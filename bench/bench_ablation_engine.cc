@@ -1,0 +1,66 @@
+// Ablation — which profile ingredient costs what (DESIGN.md "engine
+// profiles, not engine forks"). Runs PageRank on the Web Google analogue
+// while toggling one ingredient at a time:
+//   * join algorithm on stat-less temp tables (hash vs merge vs nested
+//     loop);
+//   * insert logging (Oracle's direct-path insert vs the logged inserts
+//     of DB2/PostgreSQL);
+//   * temp-table index adoption (the Fig 10 mechanism, isolated).
+#include "algos/algos.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace gpr;          // NOLINT
+using namespace gpr::bench;   // NOLINT
+
+double TimePageRank(const graph::Graph& g, const core::EngineProfile& p,
+                    int iters) {
+  auto catalog = CatalogFor(g);
+  algos::AlgoOptions opt;
+  opt.profile = p;
+  opt.max_iterations = iters;
+  WallTimer timer;
+  auto r = algos::PageRank(catalog, opt);
+  GPR_CHECK_OK(r.status());
+  return timer.ElapsedMillis();
+}
+
+}  // namespace
+
+int main() {
+  const double scale = EnvScale(0.3);
+  const int iters = EnvIters(15);
+  auto spec = graph::DatasetByAbbrev("WG");
+  GPR_CHECK_OK(spec.status());
+  graph::Graph g = graph::MakeDataset(*spec, scale);
+  std::printf("Ablation — engine-profile ingredients "
+              "(PageRank x%d, GPR_SCALE=%.2f)\n", iters, scale);
+  PrintDatasetLine(*spec, g);
+
+  PrintHeader("join algorithm on stat-less inputs");
+  for (auto algo : {ra::ops::JoinAlgorithm::kHash,
+                    ra::ops::JoinAlgorithm::kSortMerge}) {
+    core::EngineProfile p = core::OracleLike();
+    p.no_stats_join = algo;
+    p.name = std::string("hash-base+") + ra::ops::JoinAlgorithmName(algo);
+    std::printf("%-28s %10.0f ms\n", ra::ops::JoinAlgorithmName(algo),
+                TimePageRank(g, p, iters));
+  }
+
+  PrintHeader("insert logging (redo-log copies)");
+  for (bool logging : {false, true}) {
+    core::EngineProfile p = core::OracleLike();
+    p.insert_logging = logging;
+    std::printf("%-28s %10.0f ms\n",
+                logging ? "logged inserts" : "direct-path (/*+APPEND*/)",
+                TimePageRank(g, p, iters));
+  }
+
+  PrintHeader("temp-table index adoption under merge-join plans");
+  for (bool index : {false, true}) {
+    std::printf("%-28s %10.0f ms\n", index ? "indexes built" : "no indexes",
+                TimePageRank(g, core::PostgresLike(index), iters));
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure).
+//
+// Environment knobs:
+//   GPR_SCALE       multiplies every dataset's size (default per binary;
+//                   raise toward 1.0 to approach the Table 3 analogues)
+//   GPR_ITERS       overrides the fixed iteration count (PR/HITS/LP)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "algos/registry.h"
+#include "core/engine_profile.h"
+#include "graph/datasets.h"
+#include "graph/relations.h"
+#include "ra/catalog.h"
+#include "util/timer.h"
+
+namespace gpr::bench {
+
+inline double EnvScale(double fallback) {
+  const char* v = std::getenv("GPR_SCALE");
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+inline int EnvIters(int fallback) {
+  const char* v = std::getenv("GPR_ITERS");
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+/// Materializes a dataset analogue and registers E/V/VL in a fresh catalog.
+inline ra::Catalog CatalogFor(const graph::Graph& g) {
+  ra::Catalog catalog;
+  GPR_CHECK_OK(graph::RegisterGraph(g, &catalog));
+  return catalog;
+}
+
+/// Prints a header like the paper's tables.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintDatasetLine(const graph::DatasetSpec& spec,
+                             const graph::Graph& g) {
+  std::printf("dataset %-22s |V|=%-8lld |E|=%-9zu (paper: %lld / %zu)\n",
+              spec.name.c_str(), static_cast<long long>(g.num_nodes()),
+              g.num_edges(), static_cast<long long>(spec.paper_nodes),
+              spec.paper_edges);
+}
+
+/// A cell that may be unsupported ("-", like the paper's tables).
+inline std::string Cell(bool supported, double millis) {
+  if (!supported) return "        -";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%9.0f", millis);
+  return buf;
+}
+
+}  // namespace gpr::bench

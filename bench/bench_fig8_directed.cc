@@ -1,0 +1,64 @@
+// Fig 8 — 10 graph algorithms (the Fig 7 set plus TopoSort) over the six
+// directed datasets (Wiki Vote, Twitter, Web Google, Wiki Talk, Google+,
+// U.S. Patent Citation analogues), on all three engine profiles.
+//
+// Paper shape to reproduce: same engine ordering as Fig 7; MNM iteration
+// counts vary wildly by dataset (1 on Patents vs ~18 on Google+), which
+// dominates its runtime.
+#include "algos/registry.h"
+#include "bench_common.h"
+
+namespace {
+
+using namespace gpr;          // NOLINT
+using namespace gpr::bench;   // NOLINT
+
+void RunDataset(const char* abbrev, double scale, int iters) {
+  auto spec = graph::DatasetByAbbrev(abbrev);
+  GPR_CHECK_OK(spec.status());
+  graph::Graph g = graph::MakeDataset(*spec, scale);
+  PrintHeader("Fig 8: " + spec->name + " (directed)");
+  PrintDatasetLine(*spec, g);
+  std::printf("%-6s", "algo");
+  for (const auto& profile : core::AllProfiles()) {
+    std::printf(" %14s", profile.name.c_str());
+  }
+  std::printf("  iters\n");
+
+  for (const auto& entry : algos::EvaluationSet(/*include_toposort=*/true)) {
+    std::printf("%-6s", entry.abbrev.c_str());
+    size_t iterations = 0;
+    for (const auto& profile : core::AllProfiles()) {
+      auto catalog = CatalogFor(g);
+      algos::AlgoOptions opt;
+      opt.profile = profile;
+      opt.k = 5;
+      opt.max_iterations =
+          (entry.abbrev == "PR" || entry.abbrev == "HITS" ||
+           entry.abbrev == "LP")
+              ? iters
+              : 0;
+      WallTimer timer;
+      auto result = entry.run(catalog, opt);
+      GPR_CHECK_OK(result.status());
+      iterations = result->iterations;
+      std::printf(" %14.0f", timer.ElapsedMillis());
+      std::fflush(stdout);
+    }
+    std::printf("  %5zu\n", iterations);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double scale = EnvScale(0.15);
+  const int iters = EnvIters(15);
+  std::printf("Fig 8 — 10 algorithms over 6 directed graphs "
+              "(ms; GPR_SCALE=%.2f, %d fixed iterations)\n",
+              scale, iters);
+  for (const char* abbrev : {"WV", "TT", "WG", "WT", "GP", "PC"}) {
+    RunDataset(abbrev, scale, iters);
+  }
+  return 0;
+}

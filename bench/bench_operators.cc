@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) of the core relational operators:
+// the three join algorithms, MM-/MV-join across semirings, the anti-join
+// implementations, and the union-by-update implementations.
+//
+// These isolate the operator-level costs the experiment harnesses
+// aggregate; useful for regression-tracking the engine itself.
+#include <benchmark/benchmark.h>
+
+#include "core/aggregate_join.h"
+#include "core/anti_join.h"
+#include "core/union_by_update.h"
+#include "ra/operators.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace gpr;  // NOLINT
+namespace ops = ra::ops;
+using ra::Schema;
+using ra::Table;
+using ra::ValueType;
+
+Table RandomMatrix(const std::string& name, int64_t n, size_t entries,
+                   uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Table t(name, Schema{{"F", ValueType::kInt64},
+                       {"T", ValueType::kInt64},
+                       {"ew", ValueType::kDouble}});
+  t.Reserve(entries);
+  for (size_t i = 0; i < entries; ++i) {
+    t.AddRow({static_cast<int64_t>(rng.NextBounded(n)),
+              static_cast<int64_t>(rng.NextBounded(n)),
+              rng.NextDouble() * 3.0});
+  }
+  return t;
+}
+
+Table RandomVector(const std::string& name, int64_t n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Table t(name,
+          Schema{{"ID", ValueType::kInt64}, {"vw", ValueType::kDouble}});
+  t.Reserve(n);
+  for (int64_t i = 0; i < n; ++i) t.AddRow({i, rng.NextDouble()});
+  return t;
+}
+
+void BM_Join(benchmark::State& state, ops::JoinAlgorithm algo) {
+  const auto rows = static_cast<size_t>(state.range(0));
+  Table l = RandomMatrix("L", rows / 4, rows, 1);
+  Table r = RandomMatrix("R", rows / 4, rows, 2);
+  for (auto _ : state) {
+    auto out = ops::Join(l, r, {{"T"}, {"F"}}, algo);
+    GPR_CHECK_OK(out.status());
+    benchmark::DoNotOptimize(out->NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK_CAPTURE(BM_Join, hash, ops::JoinAlgorithm::kHash)
+    ->Arg(1 << 12)->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_Join, sort_merge, ops::JoinAlgorithm::kSortMerge)
+    ->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_MMJoin(benchmark::State& state, const core::Semiring& sr) {
+  const auto rows = static_cast<size_t>(state.range(0));
+  Table a = RandomMatrix("A", rows / 4, rows, 3);
+  Table b = RandomMatrix("B", rows / 4, rows, 4);
+  for (auto _ : state) {
+    auto out = core::MMJoin(a, b, sr);
+    GPR_CHECK_OK(out.status());
+    benchmark::DoNotOptimize(out->NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK_CAPTURE(BM_MMJoin, plus_times, core::PlusTimes())->Arg(1 << 12);
+BENCHMARK_CAPTURE(BM_MMJoin, min_plus, core::MinPlus())->Arg(1 << 12);
+
+void BM_MVJoin(benchmark::State& state) {
+  const auto rows = static_cast<size_t>(state.range(0));
+  Table m = RandomMatrix("M", rows / 8, rows, 5);
+  Table v = RandomVector("V", rows / 8, 6);
+  for (auto _ : state) {
+    auto out = core::MVJoin(m, v, core::PlusTimes(),
+                            core::MVOrientation::kTransposed);
+    GPR_CHECK_OK(out.status());
+    benchmark::DoNotOptimize(out->NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_MVJoin)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_AntiJoin(benchmark::State& state, core::AntiJoinImpl impl) {
+  const auto rows = static_cast<size_t>(state.range(0));
+  Table l = RandomMatrix("L", rows / 4, rows, 7);
+  Table r = RandomMatrix("R", rows / 4, rows / 2, 8);
+  // Exercise the NAAJ path (PostgreSQL-like does not rewrite not-in).
+  const auto profile = core::PostgresLike();
+  for (auto _ : state) {
+    auto out = core::AntiJoin(l, r, {{"F"}, {"F"}}, impl, profile);
+    GPR_CHECK_OK(out.status());
+    benchmark::DoNotOptimize(out->NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK_CAPTURE(BM_AntiJoin, not_exists, core::AntiJoinImpl::kNotExists)
+    ->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_AntiJoin, left_outer, core::AntiJoinImpl::kLeftOuterJoin)
+    ->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_AntiJoin, not_in, core::AntiJoinImpl::kNotIn)
+    ->Arg(1 << 14);
+
+void BM_UnionByUpdate(benchmark::State& state, core::UnionByUpdateImpl impl) {
+  const auto rows = static_cast<int64_t>(state.range(0));
+  Table r = RandomVector("R", rows, 9);
+  Table s = RandomVector("S", rows, 10);  // covering update
+  const auto profile = impl == core::UnionByUpdateImpl::kUpdateFrom
+                           ? core::PostgresLike()
+                           : core::OracleLike();
+  for (auto _ : state) {
+    auto out = core::UnionByUpdate(r, s, {"ID"}, impl, profile);
+    GPR_CHECK_OK(out.status());
+    benchmark::DoNotOptimize(out->NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK_CAPTURE(BM_UnionByUpdate, merge, core::UnionByUpdateImpl::kMerge)
+    ->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_UnionByUpdate, full_outer,
+                  core::UnionByUpdateImpl::kFullOuterJoin)
+    ->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_UnionByUpdate, update_from,
+                  core::UnionByUpdateImpl::kUpdateFrom)
+    ->Arg(1 << 14);
+BENCHMARK_CAPTURE(BM_UnionByUpdate, drop_alter,
+                  core::UnionByUpdateImpl::kDropAlter)
+    ->Arg(1 << 14);
+
+void BM_GroupBy(benchmark::State& state) {
+  const auto rows = static_cast<size_t>(state.range(0));
+  Table t = RandomMatrix("T", rows / 16, rows, 11);
+  for (auto _ : state) {
+    auto out = ops::GroupBy(t, {"T"}, {ra::SumOf(ra::Col("ew"), "s")});
+    GPR_CHECK_OK(out.status());
+    benchmark::DoNotOptimize(out->NumRows());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_GroupBy)->Arg(1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Tables 4 and 5 — the four union-by-update implementations, measured by
+// running 15 iterations of PageRank on the Web Google and U.S. Patent
+// Citation analogues under each engine profile.
+//
+// Paper shape to reproduce: full outer join ≈ drop/alter < merge; the
+// update-from row exists only under PostgreSQL, merge only under
+// Oracle/DB2; Oracle has the lowest constants (no insert logging).
+#include "algos/algos.h"
+#include "bench_common.h"
+#include "core/union_by_update.h"
+
+namespace {
+
+using namespace gpr;          // NOLINT
+using namespace gpr::bench;   // NOLINT
+
+void RunTable(const char* title, const char* abbrev, double scale,
+              int iters) {
+  auto spec = graph::DatasetByAbbrev(abbrev);
+  GPR_CHECK_OK(spec.status());
+  graph::Graph g = graph::MakeDataset(*spec, scale);
+  PrintHeader(title);
+  PrintDatasetLine(*spec, g);
+  std::printf("%-18s", "Time (ms)");
+  for (const auto& profile : core::AllProfiles()) {
+    std::printf(" %12s", profile.name.c_str());
+  }
+  std::printf("\n");
+
+  for (auto impl : core::AllUnionByUpdateImpls()) {
+    std::printf("%-18s", core::UnionByUpdateImplName(impl));
+    for (const auto& profile : core::AllProfiles()) {
+      const bool supported =
+          (impl != core::UnionByUpdateImpl::kMerge || profile.supports_merge) &&
+          (impl != core::UnionByUpdateImpl::kUpdateFrom ||
+           profile.supports_update_from);
+      if (!supported) {
+        std::printf(" %12s", "-");
+        continue;
+      }
+      auto catalog = CatalogFor(g);
+      algos::AlgoOptions opt;
+      opt.profile = profile;
+      opt.ubu_impl = impl;
+      opt.max_iterations = iters;
+      WallTimer timer;
+      auto result = algos::PageRank(catalog, opt);
+      GPR_CHECK_OK(result.status());
+      std::printf(" %12.0f", timer.ElapsedMillis());
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const double scale = EnvScale(0.3);
+  const int iters = EnvIters(15);
+  std::printf("union-by-update implementations (PageRank, %d iterations); "
+              "GPR_SCALE=%.2f\n", iters, scale);
+  RunTable("Table 4: union-by-update in Web Google", "WG", scale, iters);
+  RunTable("Table 5: union-by-update in U.S. Patent Citation", "PC", scale,
+           iters);
+  return 0;
+}

@@ -1,0 +1,146 @@
+// A tiny interactive shell for the with+ dialect.
+//
+//   ./sql_repl [dataset-abbrev] [scale]
+//
+// Loads a Table 3 analogue (default: WV at scale 0.2), registers E/V/VL,
+// and reads with+ or select statements from stdin (terminated by a line
+// containing only "go"). "\d" lists tables, "\q" quits.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/explain.h"
+#include "core/plan.h"
+#include "graph/datasets.h"
+#include "graph/relations.h"
+#include "sql/binder.h"
+#include "ra/table_io.h"
+#include "sql/parser.h"
+#include "util/string_util.h"
+
+using namespace gpr;  // NOLINT
+
+int main(int argc, char** argv) {
+  const std::string abbrev = argc > 1 ? argv[1] : "WV";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.2;
+  auto g = graph::MakeDatasetByAbbrev(abbrev, scale);
+  if (!g.ok()) {
+    std::fprintf(stderr, "%s\n", g.status().ToString().c_str());
+    return 1;
+  }
+  ra::Catalog catalog;
+  GPR_CHECK_OK(graph::RegisterGraph(*g, &catalog));
+  std::printf("loaded %s analogue: %lld nodes, %zu edges\n"
+              "tables: E(F,T,ew), V(ID,vw), VL(ID,label)\n"
+              "enter a with+ or select statement, then 'go' on its own "
+              "line; \\d lists tables; \\explain explains the next statement; \\q "
+              "quits\n",
+              abbrev.c_str(), static_cast<long long>(g->num_nodes()),
+              g->num_edges());
+
+  std::string buffer;
+  std::string line;
+  bool explain_only = false;
+  while (std::getline(std::cin, line)) {
+    const std::string trimmed(Trim(line));
+    if (trimmed == "\\q") break;
+    if (trimmed == "\\d") {
+      for (const auto& name : catalog.TableNames()) {
+        auto t = catalog.Get(name);
+        std::printf("  %s%s [%zu rows]\n", name.c_str(),
+                    (*t)->schema().ToString().c_str(), (*t)->NumRows());
+      }
+      continue;
+    }
+    if (StartsWith(trimmed, "\\save ")) {
+      // \save <table> <file.csv>
+      const auto parts = Split(std::string(Trim(trimmed.substr(6))), ' ');
+      if (parts.size() != 2) {
+        std::printf("usage: \\save <table> <file.csv>\n");
+        continue;
+      }
+      auto t = catalog.Get(parts[0]);
+      if (!t.ok()) {
+        std::printf("error: %s\n", t.status().ToString().c_str());
+        continue;
+      }
+      auto st = ra::SaveCsv(**t, parts[1]);
+      std::printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
+      continue;
+    }
+    if (StartsWith(trimmed, "\\load ")) {
+      // \load <file.csv> <table>
+      const auto parts = Split(std::string(Trim(trimmed.substr(6))), ' ');
+      if (parts.size() != 2) {
+        std::printf("usage: \\load <file.csv> <table>\n");
+        continue;
+      }
+      auto t = ra::LoadCsv(parts[0], parts[1]);
+      if (!t.ok()) {
+        std::printf("error: %s\n", t.status().ToString().c_str());
+        continue;
+      }
+      t->Analyze();
+      const size_t rows = t->NumRows();
+      auto st = catalog.CreateTable(std::move(t).value());
+      if (!st.ok()) {
+        std::printf("error: %s\n", st.ToString().c_str());
+        continue;
+      }
+      std::printf("loaded %zu rows into %s\n", rows, parts[1].c_str());
+      continue;
+    }
+    if (trimmed == "\\explain") {
+      explain_only = true;  // explain the next statement instead of running
+      std::printf("next statement will be explained, not executed\n");
+      continue;
+    }
+    if (trimmed != "go") {
+      buffer += line;
+      buffer += "\n";
+      continue;
+    }
+    // Execute the buffered statement.
+    const std::string text = buffer;
+    buffer.clear();
+    if (std::string(Trim(text)).empty()) continue;
+    if (explain_only) {
+      explain_only = false;
+      auto explained = [&]() -> Result<std::string> {
+        if (StartsWith(ToLower(std::string(Trim(text))), "with")) {
+          GPR_ASSIGN_OR_RETURN(sql::WithStatementAst ast,
+                               sql::ParseWithStatement(text));
+          GPR_ASSIGN_OR_RETURN(sql::BoundWithStatement bound,
+                               sql::BindWithStatement(ast, catalog));
+          return core::ExplainWithPlus(bound.query, catalog,
+                                       core::OracleLike());
+        }
+        GPR_ASSIGN_OR_RETURN(sql::SelectCore ast, sql::ParseSelect(text));
+        GPR_ASSIGN_OR_RETURN(core::PlanPtr plan,
+                             sql::BindSelect(ast, catalog));
+        return core::Explain(plan, catalog, core::OracleLike());
+      }();
+      if (!explained.ok()) {
+        std::printf("error: %s\n", explained.status().ToString().c_str());
+      } else {
+        std::printf("%s", explained->c_str());
+      }
+      continue;
+    }
+    Result<ra::Table> result = [&]() -> Result<ra::Table> {
+      if (StartsWith(ToLower(std::string(Trim(text))), "with")) {
+        return sql::RunSql(text, catalog, core::OracleLike());
+      }
+      GPR_ASSIGN_OR_RETURN(sql::SelectCore ast, sql::ParseSelect(text));
+      GPR_ASSIGN_OR_RETURN(core::PlanPtr plan,
+                           sql::BindSelect(ast, catalog));
+      return core::ExecutePlan(plan, catalog, core::OracleLike());
+    }();
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", result->ToString(20).c_str());
+  }
+  return 0;
+}

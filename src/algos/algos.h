@@ -1,0 +1,134 @@
+// The 10 graph algorithms of the paper's evaluation (Section 7) plus the
+// additional Table 2 algorithms, each implemented as an enhanced-with
+// (with+) recursive query over the relations E(F,T,ew) / V(ID,vw) /
+// VL(ID,label) and executed through the SQL/PSM pipeline.
+//
+// Result conventions (per algorithm) are documented on each function; all
+// return the full WithPlusResult so benchmarks can read per-iteration
+// timings and tuple counts (Figs 12–13).
+#pragma once
+
+#include "algos/common.h"
+
+namespace gpr::algos {
+
+/// TC — edge transitive closure (Fig 1), linear recursion.
+/// mode: kUnionDistinct (the with+/PostgreSQL dedup form). `options.depth`
+/// bounds the recursion (0 = run to fixpoint; cyclic graphs then still
+/// terminate because dedup reaches a fixed set).
+/// Result: TC(F, T).
+Result<WithPlusResult> TransitiveClosure(ra::Catalog& catalog,
+                                         const AlgoOptions& options = {});
+
+/// BFS reachability from options.source (Eq. 5): max/× semiring MV-join.
+/// Result: R(ID, vw) with vw = 1 for reached nodes (including the source).
+Result<WithPlusResult> Bfs(ra::Catalog& catalog,
+                           const AlgoOptions& options = {});
+
+/// BFS reachability as a set-growing recursion with SQL'99 working-table
+/// semantics — the "early selection" optimization the paper attributes to
+/// Ordonez [41]: each iteration joins only the frontier (previous
+/// iteration's new nodes) with E instead of re-aggregating every node.
+/// Result: R(ID) — the reached node set (including the source).
+Result<WithPlusResult> BfsFrontier(ra::Catalog& catalog,
+                                   const AlgoOptions& options = {});
+
+/// Weakly-connected components (Eq. 6): min/× semiring MV-join over the
+/// symmetrized edges. Result: R(ID, vw) with vw = smallest node id in the
+/// component.
+Result<WithPlusResult> Wcc(ra::Catalog& catalog,
+                           const AlgoOptions& options = {});
+
+/// Single-source shortest distances, Bellman-Ford (Eq. 7): min/+ MV-join.
+/// Result: R(ID, vw); unreachable nodes carry core::kInfDistance.
+Result<WithPlusResult> SsspBellmanFord(ra::Catalog& catalog,
+                                       const AlgoOptions& options = {});
+
+/// All-pairs shortest distances, Floyd-Warshall style (Eq. 8): nonlinear
+/// min/+ MM-join of the distance relation with itself (doubles path length
+/// per iteration). Result: D(F, T, ew) over reachable pairs.
+Result<WithPlusResult> ApspFloydWarshall(ra::Catalog& catalog,
+                                         const AlgoOptions& options = {});
+
+/// All-pairs shortest distances by linear recursion (Fig 13b): min/+
+/// MM-join of the distance relation with E (one hop per iteration).
+/// options.depth caps iterations (paper: 7). Result: D(F, T, ew).
+Result<WithPlusResult> ApspLinear(ra::Catalog& catalog,
+                                  const AlgoOptions& options = {});
+
+/// PageRank (Eq. 9 / Fig 3): MV-join + union-by-update. Edge weights are
+/// row-normalized internally (1/outdeg). 15 iterations by default.
+/// Result: P(ID, W).
+Result<WithPlusResult> PageRank(ra::Catalog& catalog,
+                                const AlgoOptions& options = {});
+
+/// PageRank expressed with SQL'99-legal with (Fig 9): union all +
+/// partition-by emulation + distinct, carrying the iteration number L.
+/// The recursive relation accumulates one generation of tuples per
+/// iteration (Fig 12's comparison series). Result: P(ID, W, L).
+Result<WithPlusResult> PageRankSql99(ra::Catalog& catalog,
+                                     const AlgoOptions& options = {});
+
+/// Random-Walk-with-Restart (Eq. 10) from options.source with restart
+/// probability options.restart_prob. Result: P(ID, W).
+Result<WithPlusResult> RandomWalkWithRestart(ra::Catalog& catalog,
+                                             const AlgoOptions& options = {});
+
+/// SimRank (Eq. 11): nonlinear MM-joins over the similarity matrix; dense —
+/// small graphs only. 5 iterations by default. Result: K(F, T, ew).
+Result<WithPlusResult> SimRank(ra::Catalog& catalog,
+                               const AlgoOptions& options = {});
+
+/// HITS (Eq. 12 / Fig 6): two MV-joins + joint normalization via a
+/// `computed by` chain; mutual recursion folded into one recursive
+/// relation. 15 iterations by default. Result: H(ID, h, a).
+Result<WithPlusResult> Hits(ra::Catalog& catalog,
+                            const AlgoOptions& options = {});
+
+/// TopoSort (Eq. 13 / Fig 5): anti-join peeling of zero-in-degree nodes;
+/// DAG input required (on cyclic input the result omits cycle members).
+/// Result: Topo(ID, L) with L = Kahn level.
+Result<WithPlusResult> TopoSort(ra::Catalog& catalog,
+                                const AlgoOptions& options = {});
+
+/// K-core (options.k): iteratively keep edges whose endpoints both have
+/// total degree ≥ k. Result: EC(F, T, ew) — the edges of the k-core.
+Result<WithPlusResult> KCore(ra::Catalog& catalog,
+                             const AlgoOptions& options = {});
+
+/// Maximal-Independent-Set, random-priority rounds (uses rand()).
+/// Result: S(ID, status) with status 1 = in the set, 2 = removed.
+Result<WithPlusResult> MaximalIndependentSet(ra::Catalog& catalog,
+                                             const AlgoOptions& options = {});
+
+/// Label-Propagation: most-frequent in-neighbour label, ties toward the
+/// smaller label; 15 iterations by default. Result: L(ID, label).
+Result<WithPlusResult> LabelPropagation(ra::Catalog& catalog,
+                                        const AlgoOptions& options = {});
+
+/// Maximal-Node-Matching: nodes pick their max-weight remaining neighbour;
+/// mutual picks match and leave the graph. Result: M(ID, mate), mate = -1
+/// while unmatched.
+Result<WithPlusResult> MaximalNodeMatching(ra::Catalog& catalog,
+                                           const AlgoOptions& options = {});
+
+/// Keyword-Search roots: per-keyword indicator bits OR-propagated along
+/// out-edges for options.depth iterations (paper: 3 labels, depth 4).
+/// Result: K(ID, k1..k_m); roots are rows with every bit 1.
+Result<WithPlusResult> KeywordSearch(ra::Catalog& catalog,
+                                     const AlgoOptions& options = {});
+
+/// Diameter estimation (HADI-flavoured): per-node reachable-set sizes via
+/// iterative neighbourhood union (exact bitset variant over sampled seeds);
+/// result R(ID, vw) where vw = hops needed to stop growing; the max vw
+/// estimates the diameter.
+Result<WithPlusResult> DiameterEstimation(ra::Catalog& catalog,
+                                          const AlgoOptions& options = {});
+
+/// Markov-Clustering: expansion (MM-join square) + inflation (entrywise
+/// square, column re-normalization); dense — small graphs only.
+/// Result: M(F, T, ew) — the flow matrix after convergence/cap.
+Result<WithPlusResult> MarkovClustering(ra::Catalog& catalog,
+                                        const AlgoOptions& options = {});
+
+}  // namespace gpr::algos

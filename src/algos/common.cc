@@ -1,0 +1,76 @@
+#include "algos/common.h"
+
+#include "core/plan.h"
+#include "ra/operators.h"
+
+namespace gpr::algos {
+
+namespace ops = ra::ops;
+using core::ExecutePlan;
+using core::JoinOp;
+using core::GroupByOp;
+using core::PlanPtr;
+using core::ProjectOp;
+using core::Scan;
+using ra::Col;
+using ra::Lit;
+using ra::Table;
+
+Status CreateLoopedEdges(ra::Catalog& catalog, const std::string& edges,
+                         const std::string& nodes, const std::string& out,
+                         double loop_weight, bool symmetrize) {
+  GPR_ASSIGN_OR_RETURN(const Table* e, catalog.Get(edges));
+  GPR_ASSIGN_OR_RETURN(const Table* v, catalog.Get(nodes));
+  Table looped(out, e->schema());
+  looped.Reserve((symmetrize ? 2 : 1) * e->NumRows() + v->NumRows());
+  GPR_ASSIGN_OR_RETURN(size_t id_col, v->schema().Resolve("ID"));
+  GPR_ASSIGN_OR_RETURN(size_t f_col, e->schema().Resolve("F"));
+  GPR_ASSIGN_OR_RETURN(size_t t_col, e->schema().Resolve("T"));
+  GPR_ASSIGN_OR_RETURN(size_t w_col, e->schema().Resolve("ew"));
+  for (const auto& row : e->rows()) looped.AddRow(row);
+  if (symmetrize) {
+    for (const auto& row : e->rows()) {
+      looped.AddRow({row[t_col], row[f_col], row[w_col]});
+    }
+  }
+  for (const auto& row : v->rows()) {
+    looped.AddRow({row[id_col], row[id_col], ra::Value(loop_weight)});
+  }
+  looped.Analyze();
+  GPR_RETURN_NOT_OK(catalog.CreateTempTable(out, looped.schema()));
+  return catalog.ReplaceTable(out, std::move(looped));
+}
+
+Status CreateNormalizedEdges(ra::Catalog& catalog, const std::string& edges,
+                             const std::string& out,
+                             const EngineProfile& profile, bool by_from) {
+  // Deg(key, d) = select key, count(*) from E group by key;
+  // out = select E.F, E.T, 1.0/d from E join Deg on key.
+  const std::string key = by_from ? "F" : "T";
+  PlanPtr deg = GroupByOp(Scan(edges), {key}, {ra::CountStar("d")});
+  PlanPtr joined =
+      JoinOp(core::RenameOp(Scan(edges), "e_norm"),
+             core::RenameOp(deg, "outdeg", {"DF", "d"}), {{key}, {"DF"}});
+  PlanPtr norm = ProjectOp(
+      joined,
+      {ops::As(Col("e_norm.F"), "F"), ops::As(Col("e_norm.T"), "T"),
+       ops::As(ra::Div(Lit(1.0), Col("outdeg.d")), "ew")},
+      out);
+  GPR_ASSIGN_OR_RETURN(Table t, ExecutePlan(norm, catalog, profile));
+  t.set_name(out);
+  t.Analyze();
+  GPR_RETURN_NOT_OK(catalog.CreateTempTable(out, t.schema()));
+  return catalog.ReplaceTable(out, std::move(t));
+}
+
+void DropQuietly(ra::Catalog& catalog,
+                 const std::vector<std::string>& names) {
+  for (const auto& n : names) (void)catalog.DropTable(n);
+}
+
+size_t RowCount(const ra::Catalog& catalog, const std::string& table) {
+  auto t = catalog.Get(table);
+  return t.ok() ? (*t)->NumRows() : 0;
+}
+
+}  // namespace gpr::algos

@@ -1,0 +1,67 @@
+// Shared options and helpers for the relational (with+) graph algorithms.
+//
+// Every algorithm in this library expects a catalog holding the graph's
+// relation representation: E(F, T, ew), V(ID, vw), and (for LP / KS)
+// VL(ID, label) — see graph/relations.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/with_plus.h"
+#include "ra/catalog.h"
+
+namespace gpr::algos {
+
+using core::EngineProfile;
+using core::WithPlusResult;
+
+/// Knobs shared by all algorithms. Defaults follow the paper's Section 7
+/// setup (full-outer-join ⊎, left-outer-join anti-join, 15 iterations for
+/// PR/HITS/LP, damping 0.85).
+struct AlgoOptions {
+  EngineProfile profile = core::OracleLike();
+  core::AntiJoinImpl anti_impl = core::AntiJoinImpl::kLeftOuterJoin;
+  core::UnionByUpdateImpl ubu_impl = core::UnionByUpdateImpl::kFullOuterJoin;
+  /// 0 = per-algorithm default (15 for PR/HITS/LP, unbounded otherwise).
+  int max_iterations = 0;
+  double damping = 0.85;
+  uint64_t seed = 42;
+
+  /// Algorithm-specific parameters.
+  int64_t source = 0;                   ///< BFS / SSSP / RWR
+  int k = 5;                            ///< K-core
+  std::vector<int64_t> keywords = {1, 2, 3};  ///< Keyword-Search labels
+  int depth = 4;                        ///< Keyword-Search depth / TC cap
+  double restart_prob = 0.15;           ///< RWR (1 - c)
+  double simrank_c = 0.6;               ///< SimRank decay
+};
+
+/// Helpers used by several algorithms -----------------------------------
+
+/// Creates a temp table `out` = E plus a self-loop (v, v, loop_weight) per
+/// node. Self-loops let MV-joins fold a node's own value into min/max
+/// aggregates (the paper's Eqs. 5–7 implicitly require this for
+/// union-by-update not to discard a node's current value). With
+/// `symmetrize` the reverse of every edge is added too (weak connectivity).
+Status CreateLoopedEdges(ra::Catalog& catalog, const std::string& edges,
+                         const std::string& nodes, const std::string& out,
+                         double loop_weight, bool symmetrize = false);
+
+/// Creates a temp table `out`(F, T, ew) with ew = 1/outdeg(F) (or
+/// 1/indeg(T) when `by_from` is false — SimRank's column normalization).
+/// Built relationally (group-by count + join) as a showcase of the
+/// substrate.
+Status CreateNormalizedEdges(ra::Catalog& catalog, const std::string& edges,
+                             const std::string& out,
+                             const EngineProfile& profile,
+                             bool by_from = true);
+
+/// Drops `names` from the catalog, ignoring missing tables.
+void DropQuietly(ra::Catalog& catalog, const std::vector<std::string>& names);
+
+/// Number of rows in `table` (0 when missing).
+size_t RowCount(const ra::Catalog& catalog, const std::string& table);
+
+}  // namespace gpr::algos

@@ -1,0 +1,142 @@
+#include "algos/extensions.h"
+
+#include "core/plan.h"
+
+namespace gpr::algos {
+
+namespace ops = ra::ops;
+using core::DistinctOp;
+using core::GroupByOp;
+using core::JoinOp;
+using core::LeftOuterJoinOp;
+using core::PlanPtr;
+using core::ProjectOp;
+using core::RenameOp;
+using core::Scan;
+using core::SelectOp;
+using core::Subquery;
+using core::UnionMode;
+using core::WithPlusQuery;
+using ra::Col;
+using ra::Lit;
+using ra::Schema;
+using ra::Value;
+using ra::ValueType;
+namespace ex = ra;
+
+Result<WithPlusResult> KTruss(ra::Catalog& catalog,
+                              const AlgoOptions& options) {
+  WithPlusQuery q;
+  q.rec_name = "ET";
+  q.rec_schema = Schema{{"F", ValueType::kInt64},
+                        {"T", ValueType::kInt64},
+                        {"ew", ValueType::kDouble}};
+  // Symmetric starting edge set (a truss is an undirected notion).
+  q.init.push_back(Subquery{
+      DistinctOp(core::UnionAllOp(
+          ProjectOp(Scan("E"), {ops::As(Col("F"), "F"), ops::As(Col("T"), "T"),
+                                ops::As(Lit(1.0), "ew")}),
+          ProjectOp(Scan("E"), {ops::As(Col("T"), "F"), ops::As(Col("F"), "T"),
+                                ops::As(Lit(1.0), "ew")}))),
+      {}});
+  Subquery rec;
+  // Wedges (u, v, w): (u,v) ∈ ET and (v,w) ∈ ET.
+  rec.computed_by.push_back(
+      {"W_kt",
+       ProjectOp(JoinOp(RenameOp(Scan("ET"), "XA"), RenameOp(Scan("ET"), "XB"),
+                        {{"T"}, {"F"}}),
+                 {ops::As(Col("XA.F"), "u"), ops::As(Col("XA.T"), "v"),
+                  ops::As(Col("XB.T"), "w")})});
+  // Triangles: wedges closed by (u,w) ∈ ET — degenerate u = w excluded.
+  rec.computed_by.push_back(
+      {"T_kt",
+       SelectOp(ProjectOp(JoinOp(Scan("W_kt"), RenameOp(Scan("ET"), "XC"),
+                                 {{"u", "w"}, {"F", "T"}}),
+                          {ops::As(Col("W_kt.u"), "u"),
+                           ops::As(Col("W_kt.v"), "v"),
+                           ops::As(Col("W_kt.w"), "w")}),
+                ex::Ne(Col("u"), Col("w")))});
+  // Support per (directed) edge (u,v) = number of closing w's.
+  rec.computed_by.push_back(
+      {"S_kt", GroupByOp(Scan("T_kt"), {"u", "v"}, {ra::CountStar("c")})});
+  // Keep edges whose support is ≥ k-2 (edges without triangles get 0 via
+  // the outer join and are removed for k ≥ 3).
+  rec.plan = ProjectOp(
+      SelectOp(
+          LeftOuterJoinOp(Scan("ET"), Scan("S_kt"), {{"F", "T"}, {"u", "v"}}),
+          ex::Ge(ra::Call("coalesce", {Col("S_kt.c"), Lit(int64_t{0})}),
+                 Lit(int64_t{options.k - 2}))),
+      {ops::As(Col("ET.F"), "F"), ops::As(Col("ET.T"), "T"),
+       ops::As(Col("ET.ew"), "ew")});
+  q.recursive.push_back(std::move(rec));
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {};  // replace the surviving edge set wholesale
+  q.ubu_impl = core::UnionByUpdateImpl::kDropAlter;
+  q.maxrecursion = options.max_iterations;
+  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+}
+
+Result<WithPlusResult> GraphBisimulation(ra::Catalog& catalog,
+                                         const AlgoOptions& options) {
+  WithPlusQuery q;
+  q.rec_name = "B_bis";
+  q.rec_schema =
+      Schema{{"ID", ValueType::kInt64}, {"blk", ValueType::kInt64}};
+  // Initial partition: by node label, canonicalized to the smallest member.
+  q.init.push_back(Subquery{
+      ProjectOp(
+          JoinOp(Scan("VL"),
+                 RenameOp(GroupByOp(Scan("VL"), {"label"},
+                                    {ra::MinOf(Col("ID"), "rep")}),
+                          "L0", {"l0", "rep"}),
+                 {{"label"}, {"l0"}}),
+          {ops::As(Col("VL.ID"), "ID"), ops::As(Col("L0.rep"), "blk")}),
+      {}});
+  Subquery rec;
+  // The set of successor blocks per node, folded order-independently into
+  // a signature hash (sum over distinct mixed block ids).
+  rec.computed_by.push_back(
+      {"SS_bis",
+       DistinctOp(ProjectOp(JoinOp(Scan("E"), Scan("B_bis"), {{"T"}, {"ID"}}),
+                            {ops::As(Col("E.F"), "ID"),
+                             ops::As(Col("B_bis.blk"), "sb")}))});
+  rec.computed_by.push_back(
+      {"Sig_bis",
+       GroupByOp(Scan("SS_bis"), {"ID"},
+                 {ra::SumOf(ex::Binary(ra::BinaryOp::kMod,
+                                       ex::Mul(ex::Add(Col("sb"), Lit(int64_t{
+                                                                     1})),
+                                               Lit(int64_t{1000003})),
+                                       Lit(int64_t{2147483647})),
+                            "sh")})});
+  // Refined (uncanonicalized) block value: combine own block and the
+  // successor-set signature.
+  rec.computed_by.push_back(
+      {"NB_bis",
+       ProjectOp(
+           LeftOuterJoinOp(Scan("B_bis"), Scan("Sig_bis"), {{"ID"}, {"ID"}}),
+           {ops::As(Col("B_bis.ID"), "ID"),
+            ops::As(ex::Binary(
+                        ra::BinaryOp::kMod,
+                        ex::Add(ex::Mul(Col("B_bis.blk"), Lit(int64_t{65599})),
+                                ra::Call("coalesce", {Col("Sig_bis.sh"),
+                                                      Lit(int64_t{0})})),
+                        Lit(int64_t{4294967291})),
+                    "h")})});
+  // Canonicalize: block id = smallest member id of the refined class.
+  rec.plan = ProjectOp(
+      JoinOp(RenameOp(Scan("NB_bis"), "NA"),
+             RenameOp(GroupByOp(Scan("NB_bis"), {"h"},
+                                {ra::MinOf(Col("ID"), "rep")}),
+                      "NR", {"h2", "rep"}),
+             {{"h"}, {"h2"}}),
+      {ops::As(Col("NA.ID"), "ID"), ops::As(Col("NR.rep"), "blk")});
+  q.recursive.push_back(std::move(rec));
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {"ID"};
+  q.ubu_impl = options.ubu_impl;
+  q.maxrecursion = options.max_iterations;
+  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+}
+
+}  // namespace gpr::algos

@@ -1,0 +1,22 @@
+// Extension algorithms completing Table 2: K-truss and Graph-Bisimulation.
+#pragma once
+
+#include "algos/common.h"
+
+namespace gpr::algos {
+
+/// K-truss (options.k): iteratively removes (undirected) edges supported
+/// by fewer than k-2 triangles. The recursive relation is the surviving
+/// symmetric edge set; converges when no edge is removed.
+/// Result: ET(F, T, ew) — both directions of every truss edge.
+Result<WithPlusResult> KTruss(ra::Catalog& catalog,
+                              const AlgoOptions& options = {});
+
+/// Maximum graph bisimulation: partition refinement where two nodes are
+/// equivalent iff they carry the same label and their successor sets hit
+/// the same blocks. Blocks are canonicalized to the smallest member id, so
+/// the fixpoint is exact. Result: B(ID, blk).
+Result<WithPlusResult> GraphBisimulation(ra::Catalog& catalog,
+                                         const AlgoOptions& options = {});
+
+}  // namespace gpr::algos

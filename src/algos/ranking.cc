@@ -1,0 +1,298 @@
+// Iterative value-propagation algorithms: PageRank (with+ and SQL'99
+// forms), Random-Walk-with-Restart, SimRank, HITS (Eqs. 9–12).
+#include "algos/algos.h"
+#include "core/plan.h"
+
+namespace gpr::algos {
+
+namespace ops = ra::ops;
+using core::CrossProductOp;
+using core::DistinctOp;
+using core::GroupByOp;
+using core::JoinOp;
+using core::MMJoinOp;
+using core::MVJoinOp;
+using core::PlanPtr;
+using core::ProjectOp;
+using core::RenameOp;
+using core::Scan;
+using core::SelectOp;
+using core::Subquery;
+using core::UnionAllOp;
+using core::UnionMode;
+using core::WithPlusQuery;
+using ra::Col;
+using ra::Lit;
+using ra::Schema;
+using ra::Value;
+using ra::ValueType;
+namespace ex = ra;
+
+Result<WithPlusResult> PageRank(ra::Catalog& catalog,
+                                const AlgoOptions& options) {
+  GPR_RETURN_NOT_OK(
+      CreateNormalizedEdges(catalog, "E", "E_pr", options.profile));
+  GPR_ASSIGN_OR_RETURN(const ra::Table* v, catalog.Get("V"));
+  const double n = static_cast<double>(v->NumRows());
+  const double c = options.damping;
+
+  WithPlusQuery q;
+  q.rec_name = "P";
+  q.rec_schema =
+      Schema{{"ID", ValueType::kInt64}, {"W", ValueType::kDouble}};
+  // Fig 3 line 3: select R.ID, 0.0 from R.
+  q.init.push_back(Subquery{
+      ProjectOp(Scan("V"),
+                {ops::As(Col("ID"), "ID"), ops::As(Lit(0.0), "W")}),
+      {}});
+  // Fig 3 lines 5–6: select S.T, c*sum(W*ew)+(1-c)/n from P, S
+  // where P.ID = S.F group by S.T.
+  PlanPtr agg = GroupByOp(
+      JoinOp(Scan("E_pr"), Scan("P"), {{"F"}, {"ID"}}), {"E_pr.T"},
+      {ra::SumOf(ex::Mul(Col("E_pr.ew"), Col("P.W")), "s")});
+  PlanPtr proj = ProjectOp(
+      agg, {ops::As(Col("T"), "ID"),
+            ops::As(ex::Add(ex::Mul(Lit(c), Col("s")), Lit((1.0 - c) / n)),
+                    "W")});
+  q.recursive.push_back(Subquery{proj, {}});
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {"ID"};  // Fig 3 line 4: union by update ID
+  q.ubu_impl = options.ubu_impl;
+  if (options.ubu_impl == core::UnionByUpdateImpl::kDropAlter) {
+    // Fig 3 with the ID attribute omitted: replace P wholesale — the
+    // drop/alter implementation. Nodes with no in-edges drop out of P.
+    q.update_keys.clear();
+  }
+  q.maxrecursion = options.max_iterations > 0 ? options.max_iterations : 15;
+  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  DropQuietly(catalog, {"E_pr"});
+  return result;
+}
+
+Result<WithPlusResult> PageRankSql99(ra::Catalog& catalog,
+                                     const AlgoOptions& options) {
+  GPR_RETURN_NOT_OK(
+      CreateNormalizedEdges(catalog, "E", "E_pr99", options.profile));
+  GPR_ASSIGN_OR_RETURN(const ra::Table* v, catalog.Get("V"));
+  const double n = static_cast<double>(v->NumRows());
+  const double c = options.damping;
+  const int d = options.max_iterations > 0 ? options.max_iterations : 10;
+
+  // Fig 9: the recursive relation carries the iteration number L because
+  // union all cannot update values; partition-by + distinct is emulated by
+  // computing the per-(T, L) sums and joining them back onto every row
+  // before deduplicating — reproducing the materialization cost of the
+  // window-function plan.
+  WithPlusQuery q;
+  q.rec_name = "P99";
+  q.rec_schema = Schema{{"ID", ValueType::kInt64},
+                        {"W", ValueType::kDouble},
+                        {"L", ValueType::kInt64}};
+  q.init.push_back(Subquery{
+      ProjectOp(Scan("V"), {ops::As(Col("ID"), "ID"), ops::As(Lit(0.0), "W"),
+                            ops::As(Lit(int64_t{0}), "L")}),
+      {}});
+  Subquery rec;
+  // ML(ml): the current generation number.
+  rec.computed_by.push_back(
+      {"ML99", GroupByOp(Scan("P99"), {}, {ra::MaxOf(Col("L"), "ml")})});
+  // CUR99: the working table — PostgreSQL's recursive term sees only the
+  // tuples produced by the previous iteration, bounded by L < d.
+  rec.computed_by.push_back(
+      {"CUR99",
+       ProjectOp(SelectOp(CrossProductOp(Scan("P99"), Scan("ML99")),
+                          ex::And(ex::Eq(Col("P99.L"), Col("ML99.ml")),
+                                  ex::Lt(Col("P99.L"), Lit(int64_t{d})))),
+                 {ops::As(Col("P99.ID"), "ID"), ops::As(Col("P99.W"), "W"),
+                  ops::As(Col("P99.L"), "L")})});
+  // J99: working table ⋈ E.
+  rec.computed_by.push_back(
+      {"J99",
+       ProjectOp(JoinOp(Scan("CUR99"), Scan("E_pr99"), {{"ID"}, {"F"}}),
+                 {ops::As(Col("E_pr99.T"), "T"),
+                  ops::As(Col("CUR99.W"), "W"),
+                  ops::As(Col("E_pr99.ew"), "ew"),
+                  ops::As(Col("CUR99.L"), "L")})});
+  // S99: the partition sums over (T, L).
+  rec.computed_by.push_back(
+      {"S99", GroupByOp(Scan("J99"), {"T", "L"},
+                        {ra::SumOf(ex::Mul(Col("W"), Col("ew")), "s")})});
+  // Every J99 row gets its partition's aggregate, then distinct collapses
+  // the duplicates — the Fig 9 plan shape.
+  PlanPtr per_row =
+      JoinOp(RenameOp(Scan("J99"), "JA"), RenameOp(Scan("S99"), "SB"),
+             {{"T", "L"}, {"T", "L"}});
+  rec.plan = DistinctOp(ProjectOp(
+      per_row,
+      {ops::As(Col("JA.T"), "ID"),
+       ops::As(ex::Add(ex::Mul(Lit(c), Col("SB.s")), Lit((1.0 - c) / n)),
+               "W"),
+       ops::As(ex::Add(Col("JA.L"), Lit(int64_t{1})), "L")}));
+  q.recursive.push_back(std::move(rec));
+  q.mode = UnionMode::kUnionAll;
+  q.maxrecursion = d + 1;
+  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  DropQuietly(catalog, {"E_pr99"});
+  return result;
+}
+
+Result<WithPlusResult> RandomWalkWithRestart(ra::Catalog& catalog,
+                                             const AlgoOptions& options) {
+  GPR_RETURN_NOT_OK(
+      CreateNormalizedEdges(catalog, "E", "E_rwr", options.profile));
+  // Restart vector: probability 1 at the source.
+  {
+    ra::Table restart("P_restart", Schema{{"ID", ValueType::kInt64},
+                                          {"vw", ValueType::kDouble}});
+    GPR_ASSIGN_OR_RETURN(const ra::Table* v, catalog.Get("V"));
+    GPR_ASSIGN_OR_RETURN(size_t id_col, v->schema().Resolve("ID"));
+    for (const auto& row : v->rows()) {
+      const double p = row[id_col].ToInt64() == options.source ? 1.0 : 0.0;
+      restart.AddRow({row[id_col], Value(p)});
+    }
+    GPR_RETURN_NOT_OK(catalog.CreateTempTable("P_restart", restart.schema()));
+    GPR_RETURN_NOT_OK(catalog.ReplaceTable("P_restart", std::move(restart)));
+  }
+  const double c = 1.0 - options.restart_prob;
+
+  WithPlusQuery q;
+  q.rec_name = "R_rwr";
+  q.rec_schema =
+      Schema{{"ID", ValueType::kInt64}, {"W", ValueType::kDouble}};
+  q.init.push_back(Subquery{
+      ProjectOp(Scan("P_restart"),
+                {ops::As(Col("ID"), "ID"),
+                 ops::As(ex::Mul(Col("vw"), Lit(1.0)), "W")}),
+      {}});
+  // Eq. 10: W ← c·sum(vw·ew) + (1-c)·P.vw.
+  PlanPtr agg = GroupByOp(
+      JoinOp(Scan("E_rwr"), Scan("R_rwr"), {{"F"}, {"ID"}}), {"E_rwr.T"},
+      {ra::SumOf(ex::Mul(Col("E_rwr.ew"), Col("R_rwr.W")), "s")});
+  PlanPtr f2 = ProjectOp(
+      agg, {ops::As(Col("T"), "ID"),
+            ops::As(ex::Mul(Lit(c), Col("s")), "f2")},
+      "RWRA");
+  PlanPtr with_restart = ProjectOp(
+      JoinOp(f2, Scan("P_restart"), {{"ID"}, {"ID"}}),
+      {ops::As(Col("RWRA.ID"), "ID"),
+       ops::As(ex::Add(Col("RWRA.f2"),
+                       ex::Mul(Lit(1.0 - c), Col("P_restart.vw"))),
+               "W")});
+  q.recursive.push_back(Subquery{with_restart, {}});
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {"ID"};
+  q.ubu_impl = options.ubu_impl;
+  q.maxrecursion = options.max_iterations > 0 ? options.max_iterations : 15;
+  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  DropQuietly(catalog, {"E_rwr", "P_restart"});
+  return result;
+}
+
+Result<WithPlusResult> SimRank(ra::Catalog& catalog,
+                               const AlgoOptions& options) {
+  // In-normalized adjacency W (ew = 1/indeg(T)) and the identity relation I.
+  GPR_RETURN_NOT_OK(CreateNormalizedEdges(catalog, "E", "W_sim",
+                                          options.profile,
+                                          /*by_from=*/false));
+  {
+    GPR_ASSIGN_OR_RETURN(const ra::Table* v, catalog.Get("V"));
+    GPR_ASSIGN_OR_RETURN(size_t id_col, v->schema().Resolve("ID"));
+    ra::Table ident("I_sim", Schema{{"F", ValueType::kInt64},
+                                    {"T", ValueType::kInt64},
+                                    {"ew", ValueType::kDouble}});
+    for (const auto& row : v->rows()) {
+      ident.AddRow({row[id_col], row[id_col], Value(1.0)});
+    }
+    GPR_RETURN_NOT_OK(catalog.CreateTempTable("I_sim", ident.schema()));
+    GPR_RETURN_NOT_OK(catalog.ReplaceTable("I_sim", std::move(ident)));
+  }
+  const double c = options.simrank_c;
+
+  WithPlusQuery q;
+  q.rec_name = "K";
+  q.rec_schema = Schema{{"F", ValueType::kInt64},
+                        {"T", ValueType::kInt64},
+                        {"ew", ValueType::kDouble}};
+  q.init.push_back(Subquery{Scan("I_sim"), {}});
+  Subquery rec;
+  // Eq. 11: R1 = Wᵀ·K (treat W transposed via column bindings).
+  rec.computed_by.push_back(
+      {"R1_sim",
+       MMJoinOp(Scan("W_sim"), Scan("K"), core::PlusTimes(),
+                core::MatrixCols{"T", "F", "ew"}, core::MatrixCols{})});
+  // R2 = R1·W.
+  rec.computed_by.push_back(
+      {"R2_sim",
+       MMJoinOp(Scan("R1_sim"), Scan("W_sim"), core::PlusTimes())});
+  // K ← max((1-c)·R2, I) entrywise.
+  rec.plan = ProjectOp(
+      GroupByOp(
+          UnionAllOp(ProjectOp(Scan("R2_sim"),
+                               {ops::As(Col("F"), "F"), ops::As(Col("T"), "T"),
+                                ops::As(ex::Mul(Lit(1.0 - c), Col("ew")),
+                                        "ew")}),
+                     Scan("I_sim")),
+          {"F", "T"}, {ra::MaxOf(Col("ew"), "m")}),
+      {ops::As(Col("F"), "F"), ops::As(Col("T"), "T"),
+       ops::As(Col("m"), "ew")});
+  q.recursive.push_back(std::move(rec));
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {};  // replace K wholesale each iteration
+  q.ubu_impl = core::UnionByUpdateImpl::kDropAlter;
+  q.maxrecursion = options.max_iterations > 0 ? options.max_iterations : 5;
+  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  DropQuietly(catalog, {"W_sim", "I_sim"});
+  return result;
+}
+
+Result<WithPlusResult> Hits(ra::Catalog& catalog,
+                            const AlgoOptions& options) {
+  WithPlusQuery q;
+  q.rec_name = "H";
+  q.rec_schema = Schema{{"ID", ValueType::kInt64},
+                        {"h", ValueType::kDouble},
+                        {"a", ValueType::kDouble}};
+  // Fig 6 line 3: select ID, 1.0, 1.0 from V.
+  q.init.push_back(Subquery{
+      ProjectOp(Scan("V"), {ops::As(Col("ID"), "ID"), ops::As(Lit(1.0), "h"),
+                            ops::As(Lit(1.0), "a")}),
+      {}});
+  Subquery rec;
+  // H_h: previous-iteration hub values as a vector.
+  rec.computed_by.push_back(
+      {"H_h", ProjectOp(Scan("H"), {ops::As(Col("ID"), "ID"),
+                                    ops::As(Col("h"), "vw")})});
+  // R_a = Eᵀ·h  (authority of t sums hub values of its in-neighbours).
+  rec.computed_by.push_back(
+      {"R_a", MVJoinOp(Scan("E"), Scan("H_h"), core::PlusTimes(),
+                       core::MVOrientation::kTransposed)});
+  // R_h = E·a  (hub of f sums fresh authorities of its out-neighbours).
+  rec.computed_by.push_back(
+      {"R_h", MVJoinOp(Scan("E"), Scan("R_a"), core::PlusTimes(),
+                       core::MVOrientation::kStandard)});
+  // R_ha: nodes carrying both values.
+  rec.computed_by.push_back(
+      {"R_ha",
+       ProjectOp(JoinOp(Scan("R_h"), Scan("R_a"), {{"ID"}, {"ID"}}),
+                 {ops::As(Col("R_h.ID"), "ID"), ops::As(Col("R_h.vw"), "h"),
+                  ops::As(Col("R_a.vw"), "a")})});
+  // R_n: joint normalizers (a single-row relation).
+  rec.computed_by.push_back(
+      {"R_n", GroupByOp(Scan("R_ha"), {},
+                        {ra::SumOf(ex::Mul(Col("h"), Col("h")), "nh"),
+                         ra::SumOf(ex::Mul(Col("a"), Col("a")), "na")})});
+  // select ID, h/sqrt(nh), a/sqrt(na) from R_ha, R_n.
+  rec.plan = ProjectOp(
+      CrossProductOp(Scan("R_ha"), Scan("R_n")),
+      {ops::As(Col("ID"), "ID"),
+       ops::As(ex::Div(Col("h"), ra::Call("sqrt", {Col("nh")})), "h"),
+       ops::As(ex::Div(Col("a"), ra::Call("sqrt", {Col("na")})), "a")});
+  q.recursive.push_back(std::move(rec));
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {"ID"};
+  q.ubu_impl = options.ubu_impl;
+  q.maxrecursion = options.max_iterations > 0 ? options.max_iterations : 15;
+  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+}
+
+}  // namespace gpr::algos

@@ -1,0 +1,64 @@
+#include "algos/registry.h"
+
+#include "algos/extensions.h"
+
+#include "util/string_util.h"
+
+namespace gpr::algos {
+
+const std::vector<AlgoEntry>& Registry() {
+  static const std::vector<AlgoEntry> kRegistry = {
+      {"TC", "TC", "-", true, false, true, TransitiveClosure},
+      {"BFS", "BFS", "max", true, false, false, Bfs},
+      {"Connected-Component", "WCC", "min", true, false, false, Wcc},
+      {"Bellman-Ford", "SSSP", "min", true, false, false, SsspBellmanFord},
+      {"Floyd-Warshall", "APSP", "min", false, false, true,
+       ApspFloydWarshall},
+      {"APSP-linear", "APSPL", "min", true, false, true, ApspLinear},
+      {"PageRank", "PR", "sum", true, false, false, PageRank},
+      {"Random-Walk-with-Restart", "RWR", "sum", true, false, false,
+       RandomWalkWithRestart},
+      {"SimRank", "SR", "sum", false, false, true, SimRank},
+      {"HITS", "HITS", "sum", false, false, false, Hits},
+      {"TopoSort", "TS", "-", false, true, false, TopoSort},
+      {"Keyword-Search", "KS", "max", true, false, false, KeywordSearch},
+      {"Label-Propagation", "LP", "count", true, false, false,
+       LabelPropagation},
+      {"Maximal-Independent-Set", "MIS", "max/min", false, false, false,
+       MaximalIndependentSet},
+      {"Maximal-Node-Matching", "MNM", "max/min", false, false, false,
+       MaximalNodeMatching},
+      {"Diameter-Estimation", "DE", "max", true, false, false,
+       DiameterEstimation},
+      {"Markov-Clustering", "MCL", "sum", false, false, true,
+       MarkovClustering},
+      {"K-core", "KC", "count", false, false, false, KCore},
+      {"K-truss", "KT", "count", false, false, false, KTruss},
+      {"Graph-Bisimulation", "GB", "-", false, false, false,
+       GraphBisimulation},
+  };
+  return kRegistry;
+}
+
+std::vector<AlgoEntry> EvaluationSet(bool include_toposort) {
+  std::vector<std::string> order = {"SSSP", "WCC", "PR",  "HITS", "KC",
+                                    "MIS",  "LP",  "MNM", "KS"};
+  if (include_toposort) order.insert(order.begin() + 4, "TS");
+  std::vector<AlgoEntry> out;
+  for (const auto& a : order) {
+    auto entry = AlgoByAbbrev(a);
+    GPR_CHECK(entry.ok());
+    out.push_back(*entry);
+  }
+  return out;
+}
+
+Result<AlgoEntry> AlgoByAbbrev(const std::string& abbrev) {
+  const std::string want = ToUpper(abbrev);
+  for (const auto& entry : Registry()) {
+    if (ToUpper(entry.abbrev) == want) return entry;
+  }
+  return Status::NotFound("no algorithm with abbreviation '" + abbrev + "'");
+}
+
+}  // namespace gpr::algos

@@ -1,0 +1,36 @@
+// Algorithm registry: Table 2 metadata plus uniform runners, used by the
+// benchmark harnesses (Figs 7–8) and the examples.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algos/algos.h"
+
+namespace gpr::algos {
+
+/// One row of Table 2 with an attached runner.
+struct AlgoEntry {
+  std::string name;      ///< paper name ("PageRank")
+  std::string abbrev;    ///< evaluation abbreviation ("PR")
+  std::string aggregation;  ///< aggregate used ("sum", "min/max", "-")
+  bool linear = true;    ///< linear recursion suffices
+  bool needs_dag = false;    ///< only meaningful on DAGs (TopoSort)
+  bool dense_output = false; ///< output grows ~n² (SimRank, APSP, MCL, TC)
+  std::function<Result<WithPlusResult>(ra::Catalog&, const AlgoOptions&)>
+      run;
+};
+
+/// All registered algorithms, Table 2 order.
+const std::vector<AlgoEntry>& Registry();
+
+/// The 9/10 algorithms of the paper's Section 7 evaluation, in figure
+/// order: SSSP, WCC, PR, HITS, TS, KC, MIS, LP, MNM, KS.
+/// `include_toposort` = false gives the undirected-graph set (Fig 7).
+std::vector<AlgoEntry> EvaluationSet(bool include_toposort);
+
+/// Lookup by abbreviation; case-insensitive.
+Result<AlgoEntry> AlgoByAbbrev(const std::string& abbrev);
+
+}  // namespace gpr::algos

@@ -1,0 +1,441 @@
+// Anti-join / selection driven algorithms: TopoSort, K-core, MIS,
+// Label-Propagation, Maximal-Node-Matching, Keyword-Search,
+// Diameter-Estimation, Markov-Clustering.
+#include "algos/algos.h"
+#include "core/plan.h"
+
+namespace gpr::algos {
+
+namespace ops = ra::ops;
+using core::AntiJoinOp;
+using core::CrossProductOp;
+using core::DistinctOp;
+using core::GroupByOp;
+using core::JoinOp;
+using core::LeftOuterJoinOp;
+using core::MMJoinOp;
+using core::PlanPtr;
+using core::ProjectOp;
+using core::RenameOp;
+using core::Scan;
+using core::SelectOp;
+using core::Subquery;
+using core::UnionAllOp;
+using core::UnionMode;
+using core::WithPlusQuery;
+using ra::Col;
+using ra::Lit;
+using ra::Schema;
+using ra::Value;
+using ra::ValueType;
+namespace ex = ra;
+
+Result<WithPlusResult> TopoSort(ra::Catalog& catalog,
+                                const AlgoOptions& options) {
+  const auto aj = options.anti_impl;
+  WithPlusQuery q;
+  q.rec_name = "Topo";
+  q.rec_schema =
+      Schema{{"ID", ValueType::kInt64}, {"L", ValueType::kInt64}};
+  // Fig 5 lines 3–4: nodes with no incoming edges, level 0.
+  q.init.push_back(Subquery{
+      ProjectOp(AntiJoinOp(Scan("V"), Scan("E"), {{"ID"}, {"T"}}, aj),
+                {ops::As(Col("ID"), "ID"), ops::As(Lit(int64_t{0}), "L")}),
+      {}});
+  Subquery rec;
+  // L_n: max level so far plus one (Fig 5 line 8).
+  rec.computed_by.push_back(
+      {"L_n", ProjectOp(GroupByOp(Scan("Topo"), {},
+                                  {ra::MaxOf(Col("L"), "m")}),
+                        {ops::As(ex::Add(Col("m"), Lit(int64_t{1})), "L")})});
+  // V_1: nodes not yet sorted (lines 9–11).
+  rec.computed_by.push_back(
+      {"V_1", AntiJoinOp(Scan("V"), Scan("Topo"), {{"ID"}, {"ID"}}, aj)});
+  // E_1: edges among unsorted nodes (lines 12–14).
+  rec.computed_by.push_back(
+      {"E_1", ProjectOp(JoinOp(Scan("V_1"), Scan("E"), {{"ID"}, {"F"}}),
+                        {ops::As(Col("E.F"), "F"), ops::As(Col("E.T"), "T")})});
+  // T_n: unsorted nodes with no unsorted predecessor × L_n (lines 15–17).
+  rec.plan = ProjectOp(
+      CrossProductOp(AntiJoinOp(Scan("V_1"), Scan("E_1"), {{"ID"}, {"T"}}, aj),
+                     Scan("L_n")),
+      {ops::As(Col("ID"), "ID"), ops::As(Col("L"), "L")});
+  q.recursive.push_back(std::move(rec));
+  q.mode = UnionMode::kUnionAll;
+  q.maxrecursion = options.max_iterations;
+  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+}
+
+Result<WithPlusResult> KCore(ra::Catalog& catalog,
+                             const AlgoOptions& options) {
+  WithPlusQuery q;
+  q.rec_name = "EC";
+  q.rec_schema = Schema{{"F", ValueType::kInt64},
+                        {"T", ValueType::kInt64},
+                        {"ew", ValueType::kDouble}};
+  q.init.push_back(Subquery{
+      ProjectOp(Scan("E"), {ops::As(Col("F"), "F"), ops::As(Col("T"), "T"),
+                            ops::As(ex::Mul(Col("ew"), Lit(1.0)), "ew")}),
+      {}});
+  Subquery rec;
+  // Deg: total degree (in + out) of every endpoint still in the core.
+  rec.computed_by.push_back(
+      {"Deg_kc",
+       GroupByOp(UnionAllOp(ProjectOp(Scan("EC"), {ops::As(Col("F"), "ID")}),
+                            ProjectOp(Scan("EC"), {ops::As(Col("T"), "ID")})),
+                 {"ID"}, {ra::CountStar("d")})});
+  // V_ok: endpoints whose degree is ≥ k.
+  rec.computed_by.push_back(
+      {"V_kc", ProjectOp(SelectOp(Scan("Deg_kc"),
+                                  ex::Ge(Col("d"), Lit(int64_t{options.k}))),
+                         {ops::As(Col("ID"), "ID")})});
+  // Keep edges whose both endpoints survive.
+  PlanPtr from_ok =
+      ProjectOp(JoinOp(Scan("EC"), Scan("V_kc"), {{"F"}, {"ID"}}),
+                {ops::As(Col("EC.F"), "F"), ops::As(Col("EC.T"), "T"),
+                 ops::As(Col("EC.ew"), "ew")},
+                "EV_kc");
+  rec.plan =
+      ProjectOp(JoinOp(from_ok, RenameOp(Scan("V_kc"), "V_kc2"),
+                       {{"T"}, {"ID"}}),
+                {ops::As(Col("EV_kc.F"), "F"), ops::As(Col("EV_kc.T"), "T"),
+                 ops::As(Col("EV_kc.ew"), "ew")});
+  q.recursive.push_back(std::move(rec));
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {};  // replace: E' is recomputed wholesale
+  q.ubu_impl = core::UnionByUpdateImpl::kDropAlter;
+  q.maxrecursion = options.max_iterations;
+  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+}
+
+Result<WithPlusResult> MaximalIndependentSet(ra::Catalog& catalog,
+                                             const AlgoOptions& options) {
+  WithPlusQuery q;
+  q.rec_name = "S_mis";
+  q.rec_schema =
+      Schema{{"ID", ValueType::kInt64}, {"status", ValueType::kInt64}};
+  q.init.push_back(Subquery{
+      ProjectOp(Scan("V"), {ops::As(Col("ID"), "ID"),
+                            ops::As(Lit(int64_t{0}), "status")}),
+      {}});
+  Subquery rec;
+  // Rv: undecided nodes.
+  rec.computed_by.push_back(
+      {"Rv_mis",
+       ProjectOp(SelectOp(Scan("S_mis"), ex::Eq(Col("status"), Lit(0))),
+                 {ops::As(Col("ID"), "ID")})});
+  // Pr: a fresh random priority per undecided node (step 1 of [40]).
+  rec.computed_by.push_back(
+      {"Pr_mis", ProjectOp(Scan("Rv_mis"),
+                           {ops::As(Col("ID"), "ID"),
+                            ops::As(ra::Call("rand", {}), "r")})});
+  // EJ: edges whose both endpoints are undecided, with their priorities.
+  PlanPtr half =
+      ProjectOp(JoinOp(Scan("E"), Scan("Pr_mis"), {{"F"}, {"ID"}}),
+                {ops::As(Col("E.F"), "F"), ops::As(Col("E.T"), "T"),
+                 ops::As(Col("Pr_mis.r"), "rF")},
+                "EJ1_mis");
+  rec.computed_by.push_back(
+      {"EJ_mis",
+       ProjectOp(JoinOp(half, RenameOp(Scan("Pr_mis"), "Pr2_mis"),
+                        {{"T"}, {"ID"}}),
+                 {ops::As(Col("EJ1_mis.F"), "F"),
+                  ops::As(Col("EJ1_mis.T"), "T"),
+                  ops::As(Col("EJ1_mis.rF"), "rF"),
+                  ops::As(Col("Pr2_mis.r"), "rT")})});
+  // Mn: the smallest neighbour priority per undecided node (undirected).
+  rec.computed_by.push_back(
+      {"Mn_mis",
+       GroupByOp(
+           UnionAllOp(ProjectOp(Scan("EJ_mis"), {ops::As(Col("F"), "ID"),
+                                                 ops::As(Col("rT"), "nr")}),
+                      ProjectOp(Scan("EJ_mis"), {ops::As(Col("T"), "ID"),
+                                                 ops::As(Col("rF"), "nr")})),
+           {"ID"}, {ra::MinOf(Col("nr"), "mn")})});
+  // Wn: winners — strictly smaller than every undecided neighbour, or
+  // isolated (step 2).
+  rec.computed_by.push_back(
+      {"Wn_mis",
+       ProjectOp(
+           SelectOp(LeftOuterJoinOp(Scan("Pr_mis"), Scan("Mn_mis"),
+                                    {{"ID"}, {"ID"}}),
+                    ex::Or(ra::IsNull(Col("Mn_mis.mn")),
+                           ex::Lt(Col("Pr_mis.r"), Col("Mn_mis.mn")))),
+           {ops::As(Col("Pr_mis.ID"), "ID")})});
+  // Rm: undecided neighbours of winners (step 3).
+  rec.computed_by.push_back(
+      {"Rm_mis",
+       DistinctOp(UnionAllOp(
+           ProjectOp(JoinOp(Scan("EJ_mis"), Scan("Wn_mis"), {{"F"}, {"ID"}}),
+                     {ops::As(Col("EJ_mis.T"), "ID")}),
+           ProjectOp(JoinOp(RenameOp(Scan("EJ_mis"), "EJ2_mis"),
+                            RenameOp(Scan("Wn_mis"), "Wn2_mis"),
+                            {{"T"}, {"ID"}}),
+                     {ops::As(Col("EJ2_mis.F"), "ID")})))});
+  rec.plan = UnionAllOp(
+      ProjectOp(Scan("Wn_mis"), {ops::As(Col("ID"), "ID"),
+                                 ops::As(Lit(int64_t{1}), "status")}),
+      ProjectOp(AntiJoinOp(Scan("Rm_mis"), Scan("Wn_mis"), {{"ID"}, {"ID"}},
+                           options.anti_impl),
+                {ops::As(Col("ID"), "ID"),
+                 ops::As(Lit(int64_t{2}), "status")}));
+  q.recursive.push_back(std::move(rec));
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {"ID"};
+  q.ubu_impl = options.ubu_impl;
+  q.maxrecursion = options.max_iterations;
+  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+}
+
+Result<WithPlusResult> LabelPropagation(ra::Catalog& catalog,
+                                        const AlgoOptions& options) {
+  WithPlusQuery q;
+  q.rec_name = "L_lp";
+  q.rec_schema =
+      Schema{{"ID", ValueType::kInt64}, {"label", ValueType::kInt64}};
+  q.init.push_back(Subquery{
+      ProjectOp(Scan("VL"), {ops::As(Col("ID"), "ID"),
+                             ops::As(Col("label"), "label")}),
+      {}});
+  Subquery rec;
+  // C: per (target, label) counts over in-neighbours.
+  rec.computed_by.push_back(
+      {"C_lp", GroupByOp(JoinOp(Scan("E"), Scan("L_lp"), {{"F"}, {"ID"}}),
+                         {"E.T", "L_lp.label"}, {ra::CountStar("c")})});
+  // Mx: the maximum count per target.
+  rec.computed_by.push_back(
+      {"Mx_lp", GroupByOp(Scan("C_lp"), {"T"},
+                          {ra::MaxOf(Col("c"), "mc")})});
+  // New label: smallest label achieving the maximum count.
+  rec.plan = ProjectOp(
+      GroupByOp(JoinOp(RenameOp(Scan("C_lp"), "CA"),
+                       RenameOp(Scan("Mx_lp"), "MB"), {{"T"}, {"T"}},
+                       ex::Eq(Col("CA.c"), Col("MB.mc"))),
+                {"CA.T"}, {ra::MinOf(Col("CA.label"), "nl")}),
+      {ops::As(Col("T"), "ID"), ops::As(Col("nl"), "label")});
+  q.recursive.push_back(std::move(rec));
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {"ID"};
+  q.ubu_impl = options.ubu_impl;
+  q.maxrecursion = options.max_iterations > 0 ? options.max_iterations : 15;
+  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+}
+
+Result<WithPlusResult> MaximalNodeMatching(ra::Catalog& catalog,
+                                           const AlgoOptions& options) {
+  // Undirected edge view, built once outside the recursion.
+  {
+    GPR_ASSIGN_OR_RETURN(const ra::Table* e, catalog.Get("E"));
+    GPR_ASSIGN_OR_RETURN(size_t f, e->schema().Resolve("F"));
+    GPR_ASSIGN_OR_RETURN(size_t t, e->schema().Resolve("T"));
+    ra::Table eu("EU_mnm",
+                 Schema{{"F", ValueType::kInt64}, {"T", ValueType::kInt64}});
+    eu.Reserve(2 * e->NumRows());
+    for (const auto& row : e->rows()) {
+      eu.AddRow({row[f], row[t]});
+      eu.AddRow({row[t], row[f]});
+    }
+    GPR_RETURN_NOT_OK(catalog.CreateTempTable("EU_mnm", eu.schema()));
+    GPR_RETURN_NOT_OK(catalog.ReplaceTable("EU_mnm", std::move(eu)));
+  }
+  WithPlusQuery q;
+  q.rec_name = "M_mnm";
+  q.rec_schema =
+      Schema{{"ID", ValueType::kInt64}, {"mate", ValueType::kInt64}};
+  q.init.push_back(Subquery{
+      ProjectOp(Scan("V"), {ops::As(Col("ID"), "ID"),
+                            ops::As(Lit(int64_t{-1}), "mate")}),
+      {}});
+  Subquery rec;
+  // Rv: unmatched nodes.
+  rec.computed_by.push_back(
+      {"Rv_mnm",
+       ProjectOp(SelectOp(Scan("M_mnm"), ex::Eq(Col("mate"), Lit(-1))),
+                 {ops::As(Col("ID"), "ID")})});
+  // Remaining undirected edges, with the target's node weight attached.
+  PlanPtr e1 =
+      ProjectOp(JoinOp(Scan("EU_mnm"), Scan("Rv_mnm"), {{"F"}, {"ID"}}),
+                {ops::As(Col("EU_mnm.F"), "F"), ops::As(Col("EU_mnm.T"), "T")},
+                "E1_mnm");
+  PlanPtr e2 =
+      ProjectOp(JoinOp(e1, RenameOp(Scan("Rv_mnm"), "Rv2_mnm"),
+                       {{"T"}, {"ID"}}),
+                {ops::As(Col("E1_mnm.F"), "F"), ops::As(Col("E1_mnm.T"), "T")},
+                "E2_mnm");
+  rec.computed_by.push_back(
+      {"EW_mnm",
+       ProjectOp(JoinOp(e2, RenameOp(Scan("V"), "Vw_mnm"), {{"T"}, {"ID"}}),
+                 {ops::As(Col("E2_mnm.F"), "F"),
+                  ops::As(Col("E2_mnm.T"), "T"),
+                  ops::As(Col("Vw_mnm.vw"), "w")})});
+  // Each node's best remaining neighbour: max weight, ties to larger id.
+  rec.computed_by.push_back(
+      {"Bw_mnm", GroupByOp(Scan("EW_mnm"), {"F"},
+                           {ra::MaxOf(Col("w"), "bw")})});
+  rec.computed_by.push_back(
+      {"Ch_mnm",
+       ProjectOp(GroupByOp(JoinOp(RenameOp(Scan("EW_mnm"), "WA"),
+                                  RenameOp(Scan("Bw_mnm"), "CB"),
+                                  {{"F"}, {"F"}},
+                                  ex::Eq(Col("WA.w"), Col("CB.bw"))),
+                           {"WA.F"}, {ra::MaxOf(Col("WA.T"), "mate")}),
+                 {ops::As(Col("F"), "ID"), ops::As(Col("mate"), "mate")})});
+  // Mutual choices form matches; both orientations update their tuple.
+  rec.plan = ProjectOp(
+      JoinOp(RenameOp(Scan("Ch_mnm"), "XA"), RenameOp(Scan("Ch_mnm"), "XB"),
+             {{"ID", "mate"}, {"mate", "ID"}}),
+      {ops::As(Col("XA.ID"), "ID"), ops::As(Col("XA.mate"), "mate")});
+  q.recursive.push_back(std::move(rec));
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {"ID"};
+  q.ubu_impl = options.ubu_impl;
+  q.maxrecursion = options.max_iterations;
+  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  DropQuietly(catalog, {"EU_mnm"});
+  return result;
+}
+
+Result<WithPlusResult> KeywordSearch(ra::Catalog& catalog,
+                                     const AlgoOptions& options) {
+  const size_t m = options.keywords.size();
+  if (m == 0 || m > 8) {
+    return Status::InvalidArgument(
+        "Keyword-Search expects between 1 and 8 keywords");
+  }
+  GPR_RETURN_NOT_OK(
+      CreateLoopedEdges(catalog, "E", "V", "E_ks", /*loop_weight=*/1.0));
+  WithPlusQuery q;
+  q.rec_name = "K_ks";
+  std::vector<ra::Column> cols{{"ID", ValueType::kInt64}};
+  for (size_t i = 0; i < m; ++i) {
+    cols.push_back({"k" + std::to_string(i + 1), ValueType::kInt64});
+  }
+  q.rec_schema = Schema(cols);
+  // Indicator vector: k_i = 1 iff the node's label is keyword i.
+  std::vector<ops::ProjectItem> init_items{ops::As(Col("ID"), "ID")};
+  for (size_t i = 0; i < m; ++i) {
+    init_items.push_back(ops::As(
+        ex::Eq(Col("label"), Lit(options.keywords[i])),
+        "k" + std::to_string(i + 1)));
+  }
+  q.init.push_back(Subquery{ProjectOp(Scan("VL"), init_items), {}});
+  // Each iteration ORs (max) the indicators of out-neighbours; self-loops
+  // keep a node's own bits.
+  std::vector<ra::AggSpec> aggs;
+  std::vector<ops::ProjectItem> out_items{ops::As(Col("F"), "ID")};
+  for (size_t i = 0; i < m; ++i) {
+    const std::string k = "k" + std::to_string(i + 1);
+    aggs.push_back(ra::MaxOf(Col("K_ks." + k), k));
+    out_items.push_back(ops::As(Col(k), k));
+  }
+  q.recursive.push_back(Subquery{
+      ProjectOp(GroupByOp(JoinOp(Scan("E_ks"), Scan("K_ks"), {{"T"}, {"ID"}}),
+                          {"E_ks.F"}, aggs),
+                out_items),
+      {}});
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {"ID"};
+  q.ubu_impl = options.ubu_impl;
+  q.maxrecursion =
+      options.max_iterations > 0 ? options.max_iterations : options.depth;
+  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  DropQuietly(catalog, {"E_ks"});
+  return result;
+}
+
+Result<WithPlusResult> DiameterEstimation(ra::Catalog& catalog,
+                                          const AlgoOptions& options) {
+  // HADI-flavoured: reachability indicators from 8 sampled seeds,
+  // propagated until no indicator changes; the iteration count bounds the
+  // diameter from below.
+  GPR_ASSIGN_OR_RETURN(const ra::Table* v, catalog.Get("V"));
+  const size_t n = v->NumRows();
+  if (n == 0) return Status::InvalidArgument("graph is empty");
+  Xoshiro256 rng(options.seed);
+  const size_t m = std::min<size_t>(8, n);
+  std::vector<int64_t> seeds;
+  for (size_t i = 0; i < m; ++i) {
+    seeds.push_back(static_cast<int64_t>(rng.NextBounded(n)));
+  }
+  GPR_RETURN_NOT_OK(
+      CreateLoopedEdges(catalog, "E", "V", "E_diam", /*loop_weight=*/1.0));
+  WithPlusQuery q;
+  q.rec_name = "R_diam";
+  std::vector<ra::Column> cols{{"ID", ValueType::kInt64}};
+  for (size_t i = 0; i < m; ++i) {
+    cols.push_back({"r" + std::to_string(i + 1), ValueType::kInt64});
+  }
+  q.rec_schema = Schema(cols);
+  std::vector<ops::ProjectItem> init_items{ops::As(Col("ID"), "ID")};
+  for (size_t i = 0; i < m; ++i) {
+    init_items.push_back(
+        ops::As(ex::Eq(Col("ID"), Lit(seeds[i])), "r" + std::to_string(i + 1)));
+  }
+  q.init.push_back(Subquery{ProjectOp(Scan("V"), init_items), {}});
+  // Propagate along edges: a node is reached once any in-neighbour is.
+  std::vector<ra::AggSpec> aggs;
+  std::vector<ops::ProjectItem> out_items{ops::As(Col("T"), "ID")};
+  for (size_t i = 0; i < m; ++i) {
+    const std::string r = "r" + std::to_string(i + 1);
+    aggs.push_back(ra::MaxOf(Col("R_diam." + r), r));
+    out_items.push_back(ops::As(Col(r), r));
+  }
+  q.recursive.push_back(Subquery{
+      ProjectOp(
+          GroupByOp(JoinOp(Scan("E_diam"), Scan("R_diam"), {{"F"}, {"ID"}}),
+                    {"E_diam.T"}, aggs),
+          out_items),
+      {}});
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {"ID"};
+  q.ubu_impl = options.ubu_impl;
+  q.maxrecursion = options.max_iterations;
+  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  DropQuietly(catalog, {"E_diam"});
+  return result;
+}
+
+Result<WithPlusResult> MarkovClustering(ra::Catalog& catalog,
+                                        const AlgoOptions& options) {
+  // Column-stochastic flow matrix with self-loops, then iterate
+  // expansion (M·M) and inflation (entrywise square + re-normalization),
+  // pruning entries below 1e-4 to keep the relation sparse.
+  GPR_RETURN_NOT_OK(
+      CreateLoopedEdges(catalog, "E", "V", "E_mcl_raw", /*loop_weight=*/1.0));
+  GPR_RETURN_NOT_OK(CreateNormalizedEdges(catalog, "E_mcl_raw", "E_mcl",
+                                          options.profile, /*by_from=*/false));
+  WithPlusQuery q;
+  q.rec_name = "M_mcl";
+  q.rec_schema = Schema{{"F", ValueType::kInt64},
+                        {"T", ValueType::kInt64},
+                        {"ew", ValueType::kDouble}};
+  q.init.push_back(Subquery{Scan("E_mcl"), {}});
+  Subquery rec;
+  // Expansion.
+  rec.computed_by.push_back(
+      {"X_mcl", MMJoinOp(Scan("M_mcl"), Scan("M_mcl"), core::PlusTimes())});
+  // Inflation: square entries, then normalize per column.
+  rec.computed_by.push_back(
+      {"Q_mcl", ProjectOp(Scan("X_mcl"),
+                          {ops::As(Col("F"), "F"), ops::As(Col("T"), "T"),
+                           ops::As(ex::Mul(Col("ew"), Col("ew")), "ew")})});
+  rec.computed_by.push_back(
+      {"Cs_mcl", GroupByOp(Scan("Q_mcl"), {"T"},
+                           {ra::SumOf(Col("ew"), "s")})});
+  rec.plan = SelectOp(
+      ProjectOp(JoinOp(RenameOp(Scan("Q_mcl"), "QA"),
+                       RenameOp(Scan("Cs_mcl"), "CB"), {{"T"}, {"T"}}),
+                {ops::As(Col("QA.F"), "F"), ops::As(Col("QA.T"), "T"),
+                 ops::As(ex::Div(Col("QA.ew"), Col("CB.s")), "ew")}),
+      ex::Gt(Col("ew"), Lit(1e-4)));
+  q.recursive.push_back(std::move(rec));
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {};
+  q.ubu_impl = core::UnionByUpdateImpl::kDropAlter;
+  q.maxrecursion = options.max_iterations > 0 ? options.max_iterations : 20;
+  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  DropQuietly(catalog, {"E_mcl_raw", "E_mcl"});
+  return result;
+}
+
+}  // namespace gpr::algos

@@ -1,0 +1,220 @@
+// Traversal / distance algorithms: TC, BFS, WCC, SSSP, APSP (Eqs. 5–8).
+#include "algos/algos.h"
+#include "core/plan.h"
+
+namespace gpr::algos {
+
+namespace ops = ra::ops;
+using core::AntiJoinOp;
+using core::GroupByOp;
+using core::JoinOp;
+using core::MMJoinOp;
+using core::MVJoinOp;
+using core::PlanPtr;
+using core::ProjectOp;
+using core::RenameOp;
+using core::Scan;
+using core::Subquery;
+using core::UnionAllOp;
+using core::UnionMode;
+using core::WithPlusQuery;
+using ra::Col;
+using ra::Lit;
+using ra::Schema;
+using ra::Value;
+using ra::ValueType;
+namespace ex = ra;  // expression builders
+
+namespace {
+
+/// Fills the shared with+ fields from the options.
+void ApplyOptions(WithPlusQuery* q, const AlgoOptions& options,
+                  int default_iters) {
+  q->ubu_impl = options.ubu_impl;
+  q->maxrecursion =
+      options.max_iterations > 0 ? options.max_iterations : default_iters;
+}
+
+}  // namespace
+
+Result<WithPlusResult> TransitiveClosure(ra::Catalog& catalog,
+                                         const AlgoOptions& options) {
+  WithPlusQuery q;
+  q.rec_name = "TC";
+  q.rec_schema =
+      Schema{{"F", ValueType::kInt64}, {"T", ValueType::kInt64}};
+  q.init.push_back(Subquery{
+      ProjectOp(Scan("E"), {ops::As(Col("F"), "F"), ops::As(Col("T"), "T")}),
+      {}});
+  // select TC.F, E.T from TC, E where TC.T = E.F  (Fig 1).
+  q.recursive.push_back(Subquery{
+      ProjectOp(JoinOp(Scan("TC"), Scan("E"), {{"T"}, {"F"}}),
+                {ops::As(Col("TC.F"), "F"), ops::As(Col("E.T"), "T")}),
+      {}});
+  q.mode = UnionMode::kUnionDistinct;
+  q.maxrecursion =
+      options.max_iterations > 0 ? options.max_iterations : options.depth;
+  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+}
+
+Result<WithPlusResult> Bfs(ra::Catalog& catalog, const AlgoOptions& options) {
+  GPR_RETURN_NOT_OK(
+      CreateLoopedEdges(catalog, "E", "V", "E_bfs", /*loop_weight=*/1.0));
+  WithPlusQuery q;
+  q.rec_name = "R_bfs";
+  q.rec_schema =
+      Schema{{"ID", ValueType::kInt64}, {"vw", ValueType::kDouble}};
+  // vw = 1.0 for the source, 0.0 elsewhere.
+  q.init.push_back(Subquery{
+      ProjectOp(Scan("V"),
+                {ops::As(Col("ID"), "ID"),
+                 ops::As(ex::Mul(ex::Eq(Col("ID"), Lit(options.source)),
+                                 Lit(1.0)),
+                         "vw")}),
+      {}});
+  // Eq. 5: V ← ρ(E ⋈^{max(vw·ew)}_{F=ID} V)  — Eᵀ·V under max/times.
+  q.recursive.push_back(Subquery{
+      MVJoinOp(Scan("E_bfs"), Scan("R_bfs"), core::MaxTimes(),
+               core::MVOrientation::kTransposed),
+      {}});
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {"ID"};
+  ApplyOptions(&q, options, /*default_iters=*/0);
+  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  DropQuietly(catalog, {"E_bfs"});
+  return result;
+}
+
+Result<WithPlusResult> BfsFrontier(ra::Catalog& catalog,
+                                   const AlgoOptions& options) {
+  WithPlusQuery q;
+  q.rec_name = "R_bfsf";
+  q.rec_schema = Schema{{"ID", ValueType::kInt64}};
+  // Seed: the source node.
+  q.init.push_back(Subquery{
+      ProjectOp(SelectOp(Scan("V"), ex::Eq(Col("ID"), Lit(options.source))),
+                {ops::As(Col("ID"), "ID")}),
+      {}});
+  // Frontier expansion: successors of the previous iteration's new nodes.
+  q.recursive.push_back(Subquery{
+      ProjectOp(JoinOp(Scan("R_bfsf"), Scan("E"), {{"ID"}, {"F"}}),
+                {ops::As(Col("E.T"), "ID")}),
+      {}});
+  q.mode = UnionMode::kUnionDistinct;
+  q.sql99_working_table = true;  // the early-selection ingredient
+  ApplyOptions(&q, options, /*default_iters=*/0);
+  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+}
+
+Result<WithPlusResult> Wcc(ra::Catalog& catalog, const AlgoOptions& options) {
+  // Weak connectivity: propagate along both directions, with self-loops so
+  // min() retains a node's own label.
+  GPR_RETURN_NOT_OK(CreateLoopedEdges(catalog, "E", "V", "E_wcc",
+                                      /*loop_weight=*/1.0,
+                                      /*symmetrize=*/true));
+  WithPlusQuery q;
+  q.rec_name = "R_wcc";
+  q.rec_schema =
+      Schema{{"ID", ValueType::kInt64}, {"vw", ValueType::kDouble}};
+  // vw = own id initially.
+  q.init.push_back(Subquery{
+      ProjectOp(Scan("V"), {ops::As(Col("ID"), "ID"),
+                            ops::As(ex::Mul(Col("ID"), Lit(1.0)), "vw")}),
+      {}});
+  // Eq. 6: min/× MV-join.
+  q.recursive.push_back(Subquery{
+      MVJoinOp(Scan("E_wcc"), Scan("R_wcc"), core::MinTimes(),
+               core::MVOrientation::kTransposed),
+      {}});
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {"ID"};
+  ApplyOptions(&q, options, /*default_iters=*/0);
+  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  DropQuietly(catalog, {"E_wcc"});
+  return result;
+}
+
+Result<WithPlusResult> SsspBellmanFord(ra::Catalog& catalog,
+                                       const AlgoOptions& options) {
+  GPR_RETURN_NOT_OK(
+      CreateLoopedEdges(catalog, "E", "V", "E_sssp", /*loop_weight=*/0.0));
+  WithPlusQuery q;
+  q.rec_name = "R_sssp";
+  q.rec_schema =
+      Schema{{"ID", ValueType::kInt64}, {"vw", ValueType::kDouble}};
+  // vw = 0 for the source, ∞ elsewhere.
+  q.init.push_back(Subquery{
+      ProjectOp(
+          Scan("V"),
+          {ops::As(Col("ID"), "ID"),
+           ops::As(ex::Mul(ex::Sub(Lit(1.0),
+                                   ex::Eq(Col("ID"), Lit(options.source))),
+                           Lit(core::kInfDistance)),
+                   "vw")}),
+      {}});
+  // Eq. 7: min/+ MV-join (distances relax along in-edges of each target).
+  q.recursive.push_back(Subquery{
+      MVJoinOp(Scan("E_sssp"), Scan("R_sssp"), core::MinPlus(),
+               core::MVOrientation::kTransposed),
+      {}});
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {"ID"};
+  ApplyOptions(&q, options, /*default_iters=*/0);
+  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  DropQuietly(catalog, {"E_sssp"});
+  return result;
+}
+
+namespace {
+
+/// Shared APSP scaffolding: distance relation seeded with the edges plus
+/// zero-length self-paths.
+WithPlusQuery ApspBase() {
+  WithPlusQuery q;
+  q.rec_name = "D_apsp";
+  q.rec_schema = Schema{{"F", ValueType::kInt64},
+                        {"T", ValueType::kInt64},
+                        {"ew", ValueType::kDouble}};
+  q.init.push_back(Subquery{
+      ProjectOp(Scan("E"),
+                {ops::As(Col("F"), "F"), ops::As(Col("T"), "T"),
+                 ops::As(ex::Mul(Col("ew"), Lit(1.0)), "ew")}),
+      {}});
+  q.init.push_back(Subquery{
+      ProjectOp(Scan("V"), {ops::As(Col("ID"), "F"), ops::As(Col("ID"), "T"),
+                            ops::As(Lit(0.0), "ew")}),
+      {}});
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {"F", "T"};
+  return q;
+}
+
+}  // namespace
+
+Result<WithPlusResult> ApspFloydWarshall(ra::Catalog& catalog,
+                                         const AlgoOptions& options) {
+  WithPlusQuery q = ApspBase();
+  // Eq. 8: nonlinear min/+ MM-join of D with itself — path length doubles
+  // per iteration, so it converges in ⌈log₂ diameter⌉ rounds.
+  q.recursive.push_back(Subquery{
+      MMJoinOp(Scan("D_apsp"), Scan("D_apsp"), core::MinPlus()), {}});
+  ApplyOptions(&q, options, /*default_iters=*/0);
+  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+}
+
+Result<WithPlusResult> ApspLinear(ra::Catalog& catalog,
+                                  const AlgoOptions& options) {
+  GPR_RETURN_NOT_OK(
+      CreateLoopedEdges(catalog, "E", "V", "E_apsp", /*loop_weight=*/0.0));
+  WithPlusQuery q = ApspBase();
+  // Linear recursion (Fig 13b): extend every path by at most one edge.
+  q.recursive.push_back(Subquery{
+      MMJoinOp(Scan("D_apsp"), Scan("E_apsp"), core::MinPlus()), {}});
+  ApplyOptions(&q, options,
+               /*default_iters=*/options.depth > 0 ? options.depth : 0);
+  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  DropQuietly(catalog, {"E_apsp"});
+  return result;
+}
+
+}  // namespace gpr::algos

@@ -1,0 +1,71 @@
+#include "baseline/bsp_engine.h"
+
+#include <limits>
+
+#include "baseline/native_algos.h"
+
+namespace gpr::baseline {
+
+using graph::Graph;
+using graph::NodeId;
+
+std::vector<double> BspPageRank(const Graph& g, int iterations,
+                                double damping) {
+  const auto n = static_cast<double>(g.num_nodes());
+  std::vector<double> init(g.num_nodes(), 1.0 / n);
+  auto compute = [&](BspContext<double, double>& ctx, NodeId v, double& value,
+                     const std::vector<double>& msgs) {
+    if (ctx.superstep() > 0) {
+      double sum = 0.0;
+      for (double m : msgs) sum += m;
+      value = damping * sum + (1.0 - damping) / n;
+    }
+    const size_t deg = g.OutDegree(v);
+    if (deg > 0) {
+      ctx.SendToNeighbors(v, value / static_cast<double>(deg));
+    }
+    ctx.SendTo(v, 0.0);  // keep every vertex active across supersteps
+  };
+  // iterations rank updates need iterations+1 supersteps (first only sends).
+  return RunBsp<double, double>(g, std::move(init), compute, iterations + 1);
+}
+
+std::vector<NodeId> BspWcc(const Graph& g) {
+  std::vector<NodeId> init(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) init[v] = v;
+  auto compute = [&](BspContext<NodeId, NodeId>& ctx, NodeId v, NodeId& value,
+                     const std::vector<NodeId>& msgs) {
+    NodeId best = value;
+    for (NodeId m : msgs) best = std::min(best, m);
+    if (best < value || ctx.superstep() == 0) {
+      value = best;
+      // Components are weakly connected: notify both directions.
+      for (NodeId w : ctx.graph().OutNeighbors(v)) ctx.SendTo(w, value);
+      for (NodeId w : ctx.graph().InNeighbors(v)) ctx.SendTo(w, value);
+    }
+  };
+  return RunBsp<NodeId, NodeId>(g, std::move(init), compute,
+                                static_cast<int>(g.num_nodes()) + 2);
+}
+
+std::vector<double> BspSssp(const Graph& g, NodeId src) {
+  std::vector<double> init(g.num_nodes(), kUnreachable);
+  init[src] = 0.0;
+  auto compute = [&](BspContext<double, double>& ctx, NodeId v, double& value,
+                     const std::vector<double>& msgs) {
+    double best = value;
+    for (double m : msgs) best = std::min(best, m);
+    const bool improved = best < value;
+    if (improved) value = best;
+    if (improved || (ctx.superstep() == 0 && v == src)) {
+      const auto nbrs = ctx.graph().OutNeighbors(v);
+      for (size_t i = 0; i < nbrs.size; ++i) {
+        ctx.SendTo(nbrs.ids[i], value + nbrs.weights[i]);
+      }
+    }
+  };
+  return RunBsp<double, double>(g, std::move(init), compute,
+                                static_cast<int>(g.num_nodes()) + 2);
+}
+
+}  // namespace gpr::baseline

@@ -1,0 +1,594 @@
+#include "baseline/native_algos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace gpr::baseline {
+
+std::vector<int64_t> Bfs(const Graph& g, NodeId src) {
+  std::vector<int64_t> level(g.num_nodes(), -1);
+  std::deque<NodeId> queue{src};
+  level[src] = 0;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (level[w] == -1) {
+        level[w] = level[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return level;
+}
+
+std::vector<NodeId> Wcc(const Graph& g) {
+  // Union-find with path halving.
+  std::vector<NodeId> parent(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) parent[v] = v;
+  auto find = [&](NodeId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      NodeId a = find(v);
+      NodeId b = find(w);
+      if (a != b) parent[std::max(a, b)] = std::min(a, b);
+    }
+  }
+  // Compress to the minimum id of the component.
+  std::vector<NodeId> label(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) label[v] = find(v);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    label[v] = std::min(label[v], label[find(v)]);
+  }
+  return label;
+}
+
+std::vector<double> SsspBellmanFord(const Graph& g, NodeId src) {
+  std::vector<double> dist(g.num_nodes(), kUnreachable);
+  dist[src] = 0.0;
+  bool changed = true;
+  for (NodeId round = 0; round < g.num_nodes() && changed; ++round) {
+    changed = false;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (dist[v] >= kUnreachable) continue;
+      const auto nbrs = g.OutNeighbors(v);
+      for (size_t i = 0; i < nbrs.size; ++i) {
+        const double cand = dist[v] + nbrs.weights[i];
+        if (cand < dist[nbrs.ids[i]]) {
+          dist[nbrs.ids[i]] = cand;
+          changed = true;
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<double>> ApspFloydWarshall(const Graph& g) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  std::vector<std::vector<double>> d(n,
+                                     std::vector<double>(n, kUnreachable));
+  for (size_t v = 0; v < n; ++v) d[v][v] = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.OutNeighbors(v);
+    for (size_t i = 0; i < nbrs.size; ++i) {
+      d[v][nbrs.ids[i]] = std::min(d[v][nbrs.ids[i]], nbrs.weights[i]);
+    }
+  }
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (d[i][k] >= kUnreachable) continue;
+      for (size_t j = 0; j < n; ++j) {
+        d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+      }
+    }
+  }
+  return d;
+}
+
+std::vector<double> PageRank(const Graph& g, int iterations, double damping) {
+  const auto n = static_cast<double>(g.num_nodes());
+  std::vector<double> pr(g.num_nodes(), 1.0 / n);
+  std::vector<double> next(g.num_nodes());
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), (1.0 - damping) / n);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const size_t deg = g.OutDegree(v);
+      if (deg == 0) continue;
+      const double share = damping * pr[v] / static_cast<double>(deg);
+      for (NodeId w : g.OutNeighbors(v)) next[w] += share;
+    }
+    std::swap(pr, next);
+  }
+  return pr;
+}
+
+std::vector<double> PaperPageRank(const Graph& g, int iterations,
+                                  double damping) {
+  const auto n = static_cast<double>(g.num_nodes());
+  std::vector<double> w(g.num_nodes(), 0.0);
+  std::vector<double> next(g.num_nodes());
+  for (int it = 0; it < iterations; ++it) {
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      if (g.InDegree(t) == 0) {
+        next[t] = w[t];  // union-by-update keeps the unmatched tuple
+        continue;
+      }
+      double sum = 0.0;
+      const auto nbrs = g.InNeighbors(t);
+      for (size_t i = 0; i < nbrs.size; ++i) {
+        sum += w[nbrs.ids[i]] * nbrs.weights[i];
+      }
+      next[t] = damping * sum + (1.0 - damping) / n;
+    }
+    std::swap(w, next);
+  }
+  return w;
+}
+
+HubAuth PaperHits(const Graph& g, int iterations) {
+  HubAuth ha;
+  ha.hub.assign(g.num_nodes(), 1.0);
+  ha.auth.assign(g.num_nodes(), 1.0);
+  for (int it = 0; it < iterations; ++it) {
+    // R_a: authority over nodes with in-edges — a(t) = Σ_{f→t} h(f)·ew.
+    std::unordered_map<NodeId, double> a_new;
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      const auto nbrs = g.InNeighbors(t);
+      if (nbrs.size == 0) continue;
+      double sum = 0.0;
+      for (size_t i = 0; i < nbrs.size; ++i) {
+        sum += ha.hub[nbrs.ids[i]] * nbrs.weights[i];
+      }
+      a_new[t] = sum;
+    }
+    // R_h: hub from the fresh authorities — h(f) = Σ_{f→t} a(t)·ew,
+    // over targets that have an authority value.
+    std::unordered_map<NodeId, double> h_new;
+    for (NodeId f = 0; f < g.num_nodes(); ++f) {
+      const auto nbrs = g.OutNeighbors(f);
+      double sum = 0.0;
+      bool any = false;
+      for (size_t i = 0; i < nbrs.size; ++i) {
+        auto it2 = a_new.find(nbrs.ids[i]);
+        if (it2 == a_new.end()) continue;
+        sum += it2->second * nbrs.weights[i];
+        any = true;
+      }
+      if (any) h_new[f] = sum;
+    }
+    // R_ha: nodes with both; R_n: joint normalizers.
+    double nh = 0.0;
+    double na = 0.0;
+    std::vector<NodeId> both;
+    for (const auto& [v, h] : h_new) {
+      auto it2 = a_new.find(v);
+      if (it2 == a_new.end()) continue;
+      both.push_back(v);
+      nh += h * h;
+      na += it2->second * it2->second;
+    }
+    // Union-by-update: only nodes in R_ha change.
+    for (NodeId v : both) {
+      ha.hub[v] = h_new[v] / std::sqrt(nh);
+      ha.auth[v] = a_new[v] / std::sqrt(na);
+    }
+  }
+  return ha;
+}
+
+std::vector<int64_t> TopoSortLevels(const Graph& g) {
+  std::vector<int64_t> level(g.num_nodes(), -1);
+  std::vector<size_t> indeg(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) indeg[v] = g.InDegree(v);
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (indeg[v] == 0) {
+      frontier.push_back(v);
+      level[v] = 0;
+    }
+  }
+  int64_t depth = 0;
+  size_t sorted = frontier.size();
+  while (!frontier.empty()) {
+    ++depth;
+    std::vector<NodeId> next;
+    for (NodeId v : frontier) {
+      for (NodeId w : g.OutNeighbors(v)) {
+        if (--indeg[w] == 0) {
+          level[w] = depth;
+          next.push_back(w);
+        }
+      }
+    }
+    sorted += next.size();
+    frontier = std::move(next);
+  }
+  if (sorted != static_cast<size_t>(g.num_nodes())) return {};  // cycle
+  return level;
+}
+
+std::vector<bool> KCore(const Graph& g, int k) {
+  std::vector<int64_t> deg(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    deg[v] = static_cast<int64_t>(g.OutDegree(v) + g.InDegree(v));
+  }
+  std::vector<bool> alive(g.num_nodes(), true);
+  std::deque<NodeId> doomed;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (deg[v] < k) doomed.push_back(v);
+  }
+  while (!doomed.empty()) {
+    const NodeId v = doomed.front();
+    doomed.pop_front();
+    if (!alive[v]) continue;
+    alive[v] = false;
+    auto relax = [&](NodeId w) {
+      if (alive[w] && deg[w]-- == k) doomed.push_back(w);
+    };
+    for (NodeId w : g.OutNeighbors(v)) relax(w);
+    for (NodeId w : g.InNeighbors(v)) relax(w);
+  }
+  return alive;
+}
+
+std::vector<int64_t> LabelPropagation(const Graph& g, int iterations) {
+  std::vector<int64_t> label(g.node_labels());
+  GPR_CHECK(!label.empty()) << "LabelPropagation needs node labels";
+  std::vector<int64_t> next(label.size());
+  for (int it = 0; it < iterations; ++it) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const auto nbrs = g.InNeighbors(v);
+      if (nbrs.size == 0) {
+        next[v] = label[v];
+        continue;
+      }
+      std::unordered_map<int64_t, int> count;
+      for (size_t i = 0; i < nbrs.size; ++i) ++count[label[nbrs.ids[i]]];
+      int best_count = 0;
+      int64_t best_label = 0;
+      for (const auto& [l, c] : count) {
+        if (c > best_count || (c == best_count && l < best_label)) {
+          best_count = c;
+          best_label = l;
+        }
+      }
+      next[v] = best_label;
+    }
+    std::swap(label, next);
+  }
+  return label;
+}
+
+std::vector<bool> MisWithPriorities(
+    const Graph& g, const std::vector<std::vector<double>>& priorities) {
+  std::vector<bool> in_set(g.num_nodes(), false);
+  std::vector<bool> removed(g.num_nodes(), false);
+  for (const auto& prio : priorities) {
+    GPR_CHECK_EQ(static_cast<NodeId>(prio.size()), g.num_nodes());
+    bool any = false;
+    std::vector<NodeId> winners;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (removed[v]) continue;
+      any = true;
+      bool wins = true;
+      auto contest = [&](NodeId w) {
+        if (removed[w]) return;
+        if (prio[w] < prio[v] || (prio[w] == prio[v] && w < v)) wins = false;
+      };
+      for (NodeId w : g.OutNeighbors(v)) contest(w);
+      for (NodeId w : g.InNeighbors(v)) contest(w);
+      if (wins) winners.push_back(v);
+    }
+    if (!any) break;
+    for (NodeId v : winners) {
+      in_set[v] = true;
+      removed[v] = true;
+      for (NodeId w : g.OutNeighbors(v)) removed[w] = true;
+      for (NodeId w : g.InNeighbors(v)) removed[w] = true;
+    }
+  }
+  return in_set;
+}
+
+std::vector<NodeId> Mnm(const Graph& g) {
+  GPR_CHECK(!g.node_weights().empty()) << "MNM needs node weights";
+  const auto& weight = g.node_weights();
+  std::vector<NodeId> match(g.num_nodes(), -1);
+  std::vector<bool> removed(g.num_nodes(), false);
+  while (true) {
+    // Each remaining node points at its best remaining neighbour.
+    std::vector<NodeId> choice(g.num_nodes(), -1);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (removed[v]) continue;
+      NodeId best = -1;
+      auto consider = [&](NodeId w) {
+        if (removed[w] || w == v) return;
+        if (best == -1 || weight[w] > weight[best] ||
+            (weight[w] == weight[best] && w > best)) {
+          best = w;
+        }
+      };
+      for (NodeId w : g.OutNeighbors(v)) consider(w);
+      for (NodeId w : g.InNeighbors(v)) consider(w);
+      choice[v] = best;
+    }
+    bool paired = false;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (removed[v] || choice[v] == -1) continue;
+      const NodeId w = choice[v];
+      if (w > v && choice[w] == v) {
+        match[v] = w;
+        match[w] = v;
+        removed[v] = removed[w] = true;
+        paired = true;
+      }
+    }
+    if (!paired) break;
+  }
+  return match;
+}
+
+std::vector<bool> KeywordSearchRoots(const Graph& g,
+                                     const std::vector<int64_t>& keywords,
+                                     int depth) {
+  GPR_CHECK(!g.node_labels().empty()) << "Keyword-Search needs labels";
+  const size_t k = keywords.size();
+  GPR_CHECK_LE(k, 63u);
+  std::unordered_map<int64_t, int> key_index;
+  for (size_t i = 0; i < k; ++i) key_index[keywords[i]] = static_cast<int>(i);
+  const uint64_t all = (uint64_t{1} << k) - 1;
+  std::vector<uint64_t> vec(g.num_nodes(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto it = key_index.find(g.node_labels()[v]);
+    if (it != key_index.end()) vec[v] |= uint64_t{1} << it->second;
+  }
+  std::vector<uint64_t> next(vec.size());
+  for (int d = 0; d < depth; ++d) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      uint64_t acc = vec[v];
+      for (NodeId w : g.OutNeighbors(v)) acc |= vec[w];
+      next[v] = acc;
+    }
+    std::swap(vec, next);
+  }
+  std::vector<bool> roots(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) roots[v] = vec[v] == all;
+  return roots;
+}
+
+std::vector<std::pair<NodeId, NodeId>> TransitiveClosure(const Graph& g,
+                                                         int max_depth) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (NodeId src = 0; src < g.num_nodes(); ++src) {
+    std::vector<int64_t> level(g.num_nodes(), -1);
+    std::deque<NodeId> queue;
+    // Seed with src's direct successors (TC contains (src, w) for paths of
+    // length >= 1).
+    for (NodeId w : g.OutNeighbors(src)) {
+      if (level[w] == -1) {
+        level[w] = 1;
+        queue.push_back(w);
+      }
+    }
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      if (max_depth > 0 && level[v] >= max_depth) continue;
+      for (NodeId w : g.OutNeighbors(v)) {
+        if (level[w] == -1) {
+          level[w] = level[v] + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    for (NodeId w = 0; w < g.num_nodes(); ++w) {
+      if (level[w] > 0) out.emplace_back(src, w);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> PaperSimRank(const Graph& g, int iterations,
+                                              double c) {
+  const size_t n = static_cast<size_t>(g.num_nodes());
+  std::vector<std::vector<double>> k(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) k[i][i] = 1.0;
+  for (int it = 0; it < iterations; ++it) {
+    // R1 = Eᵀ·K  (R1[f][t] = Σ_u E[u][f]·K[u][t] — join E.F = K.F per
+    // Eq. 11's E ⋈_{E.T=K.T} ... with the paper's renamings unrolled).
+    std::vector<std::vector<double>> r1(n, std::vector<double>(n, 0.0));
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      const auto nbrs = g.OutNeighbors(u);
+      for (size_t i = 0; i < nbrs.size; ++i) {
+        const NodeId f = nbrs.ids[i];
+        for (size_t t = 0; t < n; ++t) {
+          r1[f][t] += nbrs.weights[i] * k[u][t];
+        }
+      }
+    }
+    // R2 = R1·E (R2[f][t] = Σ_u R1[f][u]·E[u][t]).
+    std::vector<std::vector<double>> r2(n, std::vector<double>(n, 0.0));
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      const auto nbrs = g.OutNeighbors(u);
+      for (size_t i = 0; i < nbrs.size; ++i) {
+        const NodeId t = nbrs.ids[i];
+        for (size_t f = 0; f < n; ++f) {
+          r2[f][t] += r1[f][u] * nbrs.weights[i];
+        }
+      }
+    }
+    // K = max((1-c)·R2, I) entrywise.
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        double v = (1.0 - c) * r2[i][j];
+        if (i == j) v = std::max(v, 1.0);
+        k[i][j] = v;
+      }
+    }
+  }
+  return k;
+}
+
+std::vector<std::pair<NodeId, NodeId>> KTruss(const Graph& g, int k) {
+  // Undirected adjacency sets.
+  std::vector<std::unordered_set<NodeId>> adj(g.num_nodes());
+  for (const auto& e : g.EdgeList()) {
+    if (e.from == e.to) continue;
+    adj[e.from].insert(e.to);
+    adj[e.to].insert(e.from);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      std::vector<NodeId> doomed;
+      for (NodeId v : adj[u]) {
+        // Support of (u, v): common neighbours.
+        int support = 0;
+        const auto& small = adj[u].size() < adj[v].size() ? adj[u] : adj[v];
+        const auto& large = adj[u].size() < adj[v].size() ? adj[v] : adj[u];
+        for (NodeId w : small) {
+          if (w != u && w != v && large.count(w)) ++support;
+        }
+        if (support < k - 2) doomed.push_back(v);
+      }
+      for (NodeId v : doomed) {
+        adj[u].erase(v);
+        adj[v].erase(u);
+        changed = true;
+      }
+    }
+  }
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : adj[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> GraphBisimulation(const Graph& g) {
+  GPR_CHECK(!g.node_labels().empty()) << "bisimulation needs node labels";
+  // Initial blocks: by label, canonicalized to the smallest member.
+  std::vector<NodeId> block(g.num_nodes());
+  {
+    std::unordered_map<int64_t, NodeId> rep;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      auto [it, inserted] = rep.try_emplace(g.node_labels()[v], v);
+      block[v] = it->second;
+    }
+  }
+  while (true) {
+    // Signature: (own block, sorted set of successor blocks).
+    std::map<std::pair<NodeId, std::vector<NodeId>>, NodeId> rep;
+    std::vector<NodeId> next(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      std::unordered_set<NodeId> succ;
+      for (NodeId w : g.OutNeighbors(v)) succ.insert(block[w]);
+      std::vector<NodeId> sorted(succ.begin(), succ.end());
+      std::sort(sorted.begin(), sorted.end());
+      auto key = std::make_pair(block[v], std::move(sorted));
+      auto [it, inserted] = rep.try_emplace(key, v);
+      if (!inserted) it->second = std::min(it->second, v);
+      next[v] = 0;  // filled after reps are final
+    }
+    // Second pass with final (minimal) representatives.
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      std::unordered_set<NodeId> succ;
+      for (NodeId w : g.OutNeighbors(v)) succ.insert(block[w]);
+      std::vector<NodeId> sorted(succ.begin(), succ.end());
+      std::sort(sorted.begin(), sorted.end());
+      next[v] = rep.at({block[v], sorted});
+    }
+    if (next == block) break;
+    block = std::move(next);
+  }
+  return block;
+}
+
+std::vector<NodeId> SeminaiveWcc(const Graph& g) {
+  // Hash-frontier label propagation: the Datalog-engine flavour.
+  std::unordered_map<NodeId, NodeId> label;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) label[v] = v;
+  std::unordered_set<NodeId> frontier;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) frontier.insert(v);
+  while (!frontier.empty()) {
+    std::unordered_set<NodeId> next;
+    for (NodeId v : frontier) {
+      auto push = [&](NodeId w) {
+        if (label[v] < label[w]) {
+          label[w] = label[v];
+          next.insert(w);
+        }
+      };
+      for (NodeId w : g.OutNeighbors(v)) push(w);
+      for (NodeId w : g.InNeighbors(v)) push(w);
+    }
+    frontier = std::move(next);
+  }
+  std::vector<NodeId> out(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) out[v] = label[v];
+  return out;
+}
+
+std::vector<double> SeminaiveSssp(const Graph& g, NodeId src) {
+  std::unordered_map<NodeId, double> dist;
+  dist[src] = 0.0;
+  std::unordered_set<NodeId> frontier{src};
+  while (!frontier.empty()) {
+    std::unordered_set<NodeId> next;
+    for (NodeId v : frontier) {
+      const auto nbrs = g.OutNeighbors(v);
+      for (size_t i = 0; i < nbrs.size; ++i) {
+        const double cand = dist[v] + nbrs.weights[i];
+        auto it = dist.find(nbrs.ids[i]);
+        if (it == dist.end() || cand < it->second) {
+          dist[nbrs.ids[i]] = cand;
+          next.insert(nbrs.ids[i]);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::vector<double> out(g.num_nodes(), kUnreachable);
+  for (const auto& [v, d] : dist) out[v] = d;
+  return out;
+}
+
+std::vector<double> SeminaivePageRank(const Graph& g, int iterations,
+                                      double damping) {
+  const auto n = static_cast<double>(g.num_nodes());
+  std::unordered_map<NodeId, double> pr;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) pr[v] = 1.0 / n;
+  for (int it = 0; it < iterations; ++it) {
+    std::unordered_map<NodeId, double> next;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      next[v] = (1.0 - damping) / n;
+    }
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const size_t deg = g.OutDegree(v);
+      if (deg == 0) continue;
+      const double share = damping * pr[v] / static_cast<double>(deg);
+      for (NodeId w : g.OutNeighbors(v)) next[w] += share;
+    }
+    pr = std::move(next);
+  }
+  std::vector<double> out(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) out[v] = pr[v];
+  return out;
+}
+
+}  // namespace gpr::baseline

@@ -1,0 +1,116 @@
+// Native CSR graph algorithms.
+//
+// Two roles: (1) the dedicated-graph-system baselines of Fig 11 (PowerGraph
+// analogue = tight array-based implementations; SociaLite analogue =
+// hash-based seminaive variants in seminaive_*), and (2) reference
+// implementations that mirror the paper's relational semantics exactly
+// (Paper* functions) so the with+ implementations can be cross-checked on
+// random graphs.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gpr::baseline {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// BFS level per node from `src`; -1 when unreachable.
+std::vector<int64_t> Bfs(const Graph& g, NodeId src);
+
+/// Weakly-connected components: smallest node id in each node's component
+/// (edges treated as undirected).
+std::vector<NodeId> Wcc(const Graph& g);
+
+/// Bellman-Ford single-source distances; +kUnreachable when unreachable.
+constexpr double kUnreachable = 1.0e15;
+std::vector<double> SsspBellmanFord(const Graph& g, NodeId src);
+
+/// Floyd-Warshall all-pairs distances (dense n×n; small graphs only).
+std::vector<std::vector<double>> ApspFloydWarshall(const Graph& g);
+
+/// Standard power-iteration PageRank (the Fig 11 baseline series):
+/// pr = c · Aᵀpr + (1−c)/n with A row-normalized; init 1/n.
+std::vector<double> PageRank(const Graph& g, int iterations, double damping);
+
+/// PageRank mirroring the paper's with+ semantics exactly (Fig 3):
+/// init 0; each iteration t with ≥1 in-edge gets c·Σ_{f→t} w[f]·ew(f,t)
+/// + (1−c)/n, others keep their value (union-by-update). `ew` is taken
+/// from the graph's edge weights as-is.
+std::vector<double> PaperPageRank(const Graph& g, int iterations,
+                                  double damping);
+
+/// HITS mirroring Eq. 12: a = Eᵀh, h = E·a, joint normalization by
+/// sqrt(Σh²) / sqrt(Σa²) over nodes present in both; nodes missing either
+/// value keep their previous (initially 1.0) scores via union-by-update.
+struct HubAuth {
+  std::vector<double> hub;
+  std::vector<double> auth;
+};
+HubAuth PaperHits(const Graph& g, int iterations);
+
+/// Kahn topological levels for a DAG: level[v] = longest-path depth; the
+/// paper's TopoSort L attribute (Eq. 13). Fails (returns empty) on cycles.
+std::vector<int64_t> TopoSortLevels(const Graph& g);
+
+/// K-core: iteratively removes nodes with total degree (in+out) < k;
+/// returns membership flags of the k-core.
+std::vector<bool> KCore(const Graph& g, int k);
+
+/// Synchronous Label-Propagation (paper mirror): each iteration every node
+/// takes the most frequent label among in-neighbours, breaking ties toward
+/// the smallest label; nodes with no in-neighbours keep their label.
+std::vector<int64_t> LabelPropagation(const Graph& g, int iterations);
+
+/// Random-priority Maximal-Independent-Set given per-round node priorities
+/// (priorities[round][v]); deterministic for testing. A node joins I when
+/// its priority beats every remaining neighbour's.
+std::vector<bool> MisWithPriorities(
+    const Graph& g, const std::vector<std::vector<double>>& priorities);
+
+/// Maximal-Node-Matching (paper mirror): each node points at its
+/// max-weight remaining neighbour (ties toward larger id); mutual choices
+/// match and leave the graph; repeats until no pair forms.
+/// Returns match[v] = partner or -1.
+std::vector<NodeId> Mnm(const Graph& g);
+
+/// Keyword-Search roots (paper mirror): nodes whose depth-`depth`
+/// out-neighbourhood collectively covers all labels in `keywords`.
+std::vector<bool> KeywordSearchRoots(const Graph& g,
+                                     const std::vector<int64_t>& keywords,
+                                     int depth);
+
+/// Transitive-closure pairs up to `max_depth` hops (0 = unbounded);
+/// small graphs only.
+std::vector<std::pair<NodeId, NodeId>> TransitiveClosure(const Graph& g,
+                                                         int max_depth = 0);
+
+/// SimRank mirroring Eq. 11 on the edge relation: K starts as I and each
+/// iteration K ← max((1−c)·EᵀKE, I) entrywise over the support produced by
+/// the joins; dense n×n — tiny graphs only.
+std::vector<std::vector<double>> PaperSimRank(const Graph& g, int iterations,
+                                              double c);
+
+/// K-truss over the symmetrized edge set: iteratively removes undirected
+/// edges in fewer than k-2 triangles. Returns the surviving undirected
+/// edges as ordered pairs (u < v).
+std::vector<std::pair<NodeId, NodeId>> KTruss(const Graph& g, int k);
+
+/// Maximum graph bisimulation via partition refinement: two nodes are
+/// equivalent iff they have the same label and their successors cover the
+/// same set of blocks. Returns block id per node, canonicalized to the
+/// smallest member id.
+std::vector<NodeId> GraphBisimulation(const Graph& g);
+
+/// Seminaive (hash-based) variants — the SociaLite/Datalog-engine analogue
+/// for Fig 11: frontier sets and hash maps instead of dense arrays.
+std::vector<NodeId> SeminaiveWcc(const Graph& g);
+std::vector<double> SeminaiveSssp(const Graph& g, NodeId src);
+std::vector<double> SeminaivePageRank(const Graph& g, int iterations,
+                                      double damping);
+
+}  // namespace gpr::baseline

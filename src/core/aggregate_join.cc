@@ -1,0 +1,168 @@
+#include "core/aggregate_join.h"
+
+#include <map>
+#include <unordered_map>
+
+#include "ra/tuple.h"
+
+namespace gpr::core {
+
+namespace ops = ra::ops;
+using ra::AggSpec;
+using ra::Col;
+using ra::Table;
+
+Result<Table> MMJoin(const Table& a, const Table& b, const Semiring& sr,
+                     const EngineProfile& profile, const MatrixCols& a_cols,
+                     const MatrixCols& b_cols) {
+  // Fixed qualifiers keep self-joins unambiguous without copying inputs.
+  const std::string ln = "mm_a";
+  const std::string rn = "mm_b";
+
+  ops::JoinKeys keys{{a_cols.to}, {b_cols.from}};
+  ops::JoinOptions opts;
+  opts.algo = profile.ChooseJoin(b);
+  opts.left_qualifier = ln;
+  opts.right_qualifier = rn;
+  GPR_ASSIGN_OR_RETURN(Table joined, ops::JoinWithOptions(a, b, keys, opts));
+  // γ_{A.F, B.T} ⊕(A.ew ⊙ B.ew)
+  AggSpec agg{sr.add,
+              sr.Multiply(Col(ln + "." + a_cols.weight),
+                          Col(rn + "." + b_cols.weight)),
+              "ew"};
+  GPR_ASSIGN_OR_RETURN(
+      Table grouped,
+      ops::GroupBy(joined, {ln + "." + a_cols.from, rn + "." + b_cols.to},
+                   {agg}));
+  // Normalize output column names to the matrix convention.
+  return ops::Rename(grouped, "", {"F", "T", "ew"});
+}
+
+Result<Table> MVJoin(const Table& m, const Table& v, const Semiring& sr,
+                     MVOrientation orientation, const EngineProfile& profile,
+                     const MatrixCols& m_cols, const VectorCols& v_cols) {
+  const std::string ln = "mv_m";
+  const std::string rn = "mv_v";
+
+  const std::string join_col =
+      orientation == MVOrientation::kStandard ? m_cols.to : m_cols.from;
+  const std::string group_col =
+      orientation == MVOrientation::kStandard ? m_cols.from : m_cols.to;
+
+  ops::JoinKeys keys{{join_col}, {v_cols.id}};
+  ops::JoinOptions opts;
+  opts.algo = profile.ChooseJoin(v);
+  opts.left_qualifier = ln;
+  opts.right_qualifier = rn;
+  GPR_ASSIGN_OR_RETURN(Table joined, ops::JoinWithOptions(m, v, keys, opts));
+  AggSpec agg{sr.add,
+              sr.Multiply(Col(ln + "." + m_cols.weight),
+                          Col(rn + "." + v_cols.weight)),
+              "vw"};
+  GPR_ASSIGN_OR_RETURN(
+      Table grouped, ops::GroupBy(joined, {ln + "." + group_col}, {agg}));
+  return ops::Rename(grouped, "", {"ID", "vw"});
+}
+
+namespace {
+
+/// Applies ⊙ to two scalar values through the expression evaluator, so the
+/// reference implementations share exactly the semantics of the main path.
+ra::Value ApplyMultiply(const Semiring& sr, const ra::Value& a,
+                        const ra::Value& b) {
+  ra::Schema s{{"a", a.type()}, {"b", b.type()}};
+  auto compiled = Compile(sr.Multiply(Col("a"), Col("b")), s);
+  GPR_CHECK(compiled.ok());
+  return compiled->Eval({a, b});
+}
+
+}  // namespace
+
+Result<Table> MMJoinReference(const Table& a, const Table& b,
+                              const Semiring& sr, const MatrixCols& a_cols,
+                              const MatrixCols& b_cols) {
+  GPR_ASSIGN_OR_RETURN(size_t af, a.schema().Resolve(a_cols.from));
+  GPR_ASSIGN_OR_RETURN(size_t at, a.schema().Resolve(a_cols.to));
+  GPR_ASSIGN_OR_RETURN(size_t aw, a.schema().Resolve(a_cols.weight));
+  GPR_ASSIGN_OR_RETURN(size_t bf, b.schema().Resolve(b_cols.from));
+  GPR_ASSIGN_OR_RETURN(size_t bt, b.schema().Resolve(b_cols.to));
+  GPR_ASSIGN_OR_RETURN(size_t bw, b.schema().Resolve(b_cols.weight));
+
+  // Accumulate ⊕ over ⊙-products, keyed by (i, j).
+  std::map<std::pair<ra::Tuple, ra::Tuple>, ra::Accumulator> cells;
+  std::unordered_map<ra::Value, std::vector<size_t>, ra::ValueHash> b_by_from;
+  for (size_t i = 0; i < b.NumRows(); ++i) {
+    b_by_from[b.row(i)[bf]].push_back(i);
+  }
+  std::vector<std::pair<ra::Tuple, ra::Tuple>> order;
+  for (const ra::Tuple& ar : a.rows()) {
+    auto it = b_by_from.find(ar[at]);
+    if (it == b_by_from.end()) continue;
+    for (size_t bi : it->second) {
+      const ra::Tuple& br = b.row(bi);
+      auto key = std::make_pair(ra::Tuple{ar[af]}, ra::Tuple{br[bt]});
+      auto [cell, inserted] = cells.try_emplace(key, sr.add);
+      if (inserted) order.push_back(key);
+      cell->second.Add(ApplyMultiply(sr, ar[aw], br[bw]));
+    }
+  }
+  Table out("", ra::Schema{{"F", ra::ValueType::kInt64},
+                           {"T", ra::ValueType::kInt64},
+                           {"ew", ra::ValueType::kDouble}});
+  for (const auto& key : order) {
+    out.AddRow({key.first[0], key.second[0], cells.at(key).Finish()});
+  }
+  return out;
+}
+
+Result<Table> MVJoinReference(const Table& m, const Table& v,
+                              const Semiring& sr, MVOrientation orientation,
+                              const MatrixCols& m_cols,
+                              const VectorCols& v_cols) {
+  GPR_ASSIGN_OR_RETURN(size_t mf, m.schema().Resolve(m_cols.from));
+  GPR_ASSIGN_OR_RETURN(size_t mt, m.schema().Resolve(m_cols.to));
+  GPR_ASSIGN_OR_RETURN(size_t mw, m.schema().Resolve(m_cols.weight));
+  GPR_ASSIGN_OR_RETURN(size_t vid, v.schema().Resolve(v_cols.id));
+  GPR_ASSIGN_OR_RETURN(size_t vw, v.schema().Resolve(v_cols.weight));
+
+  const size_t join_idx = orientation == MVOrientation::kStandard ? mt : mf;
+  const size_t group_idx = orientation == MVOrientation::kStandard ? mf : mt;
+
+  std::unordered_map<ra::Value, const ra::Tuple*, ra::ValueHash> vec;
+  for (const ra::Tuple& vr : v.rows()) vec[vr[vid]] = &vr;
+
+  std::map<ra::Tuple, ra::Accumulator> cells;
+  std::vector<ra::Tuple> order;
+  for (const ra::Tuple& mr : m.rows()) {
+    auto it = vec.find(mr[join_idx]);
+    if (it == vec.end()) continue;
+    ra::Tuple key{mr[group_idx]};
+    auto [cell, inserted] = cells.try_emplace(key, sr.add);
+    if (inserted) order.push_back(key);
+    cell->second.Add(ApplyMultiply(sr, mr[mw], (*it->second)[vw]));
+  }
+  Table out("", ra::Schema{{"ID", ra::ValueType::kInt64},
+                           {"vw", ra::ValueType::kDouble}});
+  for (const auto& key : order) {
+    out.AddRow({key[0], cells.at(key).Finish()});
+  }
+  return out;
+}
+
+Result<Table> Transpose(const Table& m, const MatrixCols& cols) {
+  return ops::Project(m,
+                      {ops::As(Col(cols.to), "F"), ops::As(Col(cols.from), "T"),
+                       ops::As(Col(cols.weight), "ew")},
+                      nullptr, m.name().empty() ? "" : m.name() + "_t");
+}
+
+Result<Table> MatrixEntrywiseSum(const Table& a, const Table& b,
+                                 const Semiring& sr, const MatrixCols& cols) {
+  GPR_ASSIGN_OR_RETURN(Table all, ops::UnionAll(a, b));
+  AggSpec agg{sr.add, Col(cols.weight), "ew"};
+  GPR_ASSIGN_OR_RETURN(Table grouped,
+                       ops::GroupBy(all, {cols.from, cols.to}, {agg}));
+  return ops::Rename(grouped, "", {"F", "T", "ew"});
+}
+
+}  // namespace gpr::core

@@ -1,0 +1,79 @@
+// MM-join and MV-join (Section 4.1, Eqs. 3–4): the two aggregate-joins that
+// implement semiring matrix-matrix and matrix-vector multiplication over
+// relations.
+//
+// Conventions (Section 4): a matrix is a relation M(F, T, ew) with (F, T) as
+// primary key; a vector is a relation V(ID, vw).
+//
+//   MM-join  A ⋈^{⊕(⊙)}_{A.T=B.F} B  =  γ_{A.F,B.T; ⊕(A.ew ⊙ B.ew)}(A ⋈ B)
+//   MV-join  A ⋈^{⊕(⊙)}_{T=ID}    C  =  γ_{A.F;    ⊕(A.ew ⊙ C.vw)}(A ⋈ C)
+//
+// MV-join also supports the transposed form (join F=ID, group by T), which
+// computes Eᵀ·V — the direction BFS/WCC/PageRank propagate along.
+#pragma once
+
+#include <string>
+
+#include "core/engine_profile.h"
+#include "core/semiring.h"
+#include "ra/operators.h"
+#include "ra/table.h"
+#include "util/status.h"
+
+namespace gpr::core {
+
+/// Column-name bindings for a matrix relation (defaults match the paper).
+struct MatrixCols {
+  std::string from = "F";
+  std::string to = "T";
+  std::string weight = "ew";
+};
+
+/// Column-name bindings for a vector relation.
+struct VectorCols {
+  std::string id = "ID";
+  std::string weight = "vw";
+};
+
+/// Which matrix column joins the vector's ID (Eq. 5 note: E ⋈_{T=ID} V
+/// computes E·V; E ⋈_{F=ID} V computes Eᵀ·V).
+enum class MVOrientation {
+  kStandard,    ///< join T = ID, group by F  →  M · V
+  kTransposed,  ///< join F = ID, group by T  →  Mᵀ · V
+};
+
+/// Computes A ⊙⊕ B (Eq. 3). Output schema: (F, T, ew) with A.F as F and
+/// B.T as T. Join algorithm defaults to the profile's choice.
+Result<ra::Table> MMJoin(
+    const ra::Table& a, const ra::Table& b, const Semiring& sr,
+    const EngineProfile& profile = OracleLike(),
+    const MatrixCols& a_cols = {}, const MatrixCols& b_cols = {});
+
+/// Computes A ⊙⊕ C (Eq. 4) or Aᵀ ⊙⊕ C. Output schema: (ID, vw).
+Result<ra::Table> MVJoin(
+    const ra::Table& m, const ra::Table& v, const Semiring& sr,
+    MVOrientation orientation = MVOrientation::kStandard,
+    const EngineProfile& profile = OracleLike(),
+    const MatrixCols& m_cols = {}, const VectorCols& v_cols = {});
+
+/// Reference implementations computing the same products by dense/naive
+/// iteration over tuples, used by property tests to validate the joins.
+Result<ra::Table> MMJoinReference(const ra::Table& a, const ra::Table& b,
+                                  const Semiring& sr,
+                                  const MatrixCols& a_cols = {},
+                                  const MatrixCols& b_cols = {});
+Result<ra::Table> MVJoinReference(const ra::Table& m, const ra::Table& v,
+                                  const Semiring& sr,
+                                  MVOrientation orientation,
+                                  const MatrixCols& m_cols = {},
+                                  const VectorCols& v_cols = {});
+
+/// Matrix transpose via rename (Section 4.1): ρ(Π_{T,F,ew} M).
+Result<ra::Table> Transpose(const ra::Table& m, const MatrixCols& cols = {});
+
+/// Matrix entrywise sum A + B under ⊕: union then group-by (F,T).
+Result<ra::Table> MatrixEntrywiseSum(const ra::Table& a, const ra::Table& b,
+                                     const Semiring& sr,
+                                     const MatrixCols& cols = {});
+
+}  // namespace gpr::core

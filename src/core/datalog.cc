@@ -1,0 +1,316 @@
+#include "core/datalog.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace gpr::core {
+
+const char* TemporalArgName(TemporalArg t) {
+  switch (t) {
+    case TemporalArg::kNone: return "";
+    case TemporalArg::kT: return "T";
+    case TemporalArg::kST: return "s(T)";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string LiteralToString(const DatalogLiteral& lit) {
+  std::string out;
+  if (lit.negated) out += "~";
+  out += lit.predicate;
+  if (lit.temporal != TemporalArg::kNone) {
+    out += "[";
+    out += TemporalArgName(lit.temporal);
+    out += "]";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DatalogRule::ToString() const {
+  std::string out = LiteralToString(head) + " :- ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += LiteralToString(body[i]);
+  }
+  return out;
+}
+
+std::string DatalogProgram::ToString() const {
+  std::string out;
+  for (const auto& r : rules) {
+    out += r.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+DependencyGraph::DependencyGraph(const DatalogProgram& program) {
+  for (const auto& rule : program.rules) {
+    AddNode(rule.head.predicate);
+    for (const auto& lit : rule.body) {
+      AddEdge(lit.predicate, rule.head.predicate, lit.negated);
+    }
+  }
+}
+
+void DependencyGraph::AddNode(const std::string& name) {
+  nodes_.insert(name);
+  adj_.try_emplace(name);
+}
+
+void DependencyGraph::AddEdge(const std::string& from, const std::string& to,
+                              bool negated) {
+  AddNode(from);
+  AddNode(to);
+  adj_[from].push_back({to, negated});
+}
+
+std::unordered_map<std::string, int> DependencyGraph::ComputeSccs() const {
+  // Iterative Tarjan.
+  std::unordered_map<std::string, int> index, lowlink, comp;
+  std::vector<std::string> stack;
+  std::unordered_set<std::string> on_stack;
+  int next_index = 0;
+  int next_comp = 0;
+
+  struct Frame {
+    std::string node;
+    size_t edge = 0;
+  };
+
+  for (const auto& start : nodes_) {
+    if (index.count(start)) continue;
+    std::vector<Frame> frames{{start}};
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack.insert(start);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& edges = adj_.at(f.node);
+      if (f.edge < edges.size()) {
+        const std::string& next = edges[f.edge++].to;
+        if (!index.count(next)) {
+          index[next] = lowlink[next] = next_index++;
+          stack.push_back(next);
+          on_stack.insert(next);
+          frames.push_back({next});
+        } else if (on_stack.count(next)) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[next]);
+        }
+      } else {
+        if (lowlink[f.node] == index[f.node]) {
+          while (true) {
+            std::string w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            comp[w] = next_comp;
+            if (w == f.node) break;
+          }
+          ++next_comp;
+        }
+        std::string done = f.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().node] =
+              std::min(lowlink[frames.back().node], lowlink[done]);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+std::unordered_set<std::string> DependencyGraph::RecursivePredicates() const {
+  auto comp = ComputeSccs();
+  // Count component sizes.
+  std::unordered_map<int, int> size;
+  for (const auto& [node, c] : comp) ++size[c];
+  std::unordered_set<std::string> out;
+  for (const auto& [node, c] : comp) {
+    if (size[c] > 1) {
+      out.insert(node);
+      continue;
+    }
+    // Self-loop?
+    for (const auto& e : adj_.at(node)) {
+      if (e.to == node) {
+        out.insert(node);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool DependencyGraph::HasAtMostOneCycle() const {
+  auto comp = ComputeSccs();
+  auto recursive = RecursivePredicates();
+  // Component ids of recursive nodes.
+  std::unordered_set<int> rec_comps;
+  for (const auto& n : recursive) rec_comps.insert(comp.at(n));
+  if (rec_comps.size() > 1) return false;
+  // Within the single recursive SCC, each node must have at most one
+  // out-edge staying in the SCC; otherwise two distinct cycles share a node.
+  for (const auto& n : recursive) {
+    int in_scc = 0;
+    for (const auto& e : adj_.at(n)) {
+      if (recursive.count(e.to) && comp.at(e.to) == comp.at(n)) ++in_scc;
+    }
+    if (in_scc > 1) return false;
+  }
+  return true;
+}
+
+bool DependencyGraph::IsStratifiable(std::string* why) const {
+  // A negative edge violates stratifiability iff it lies on a cycle: either
+  // it is a self-loop, or its endpoints share a (necessarily cyclic,
+  // since multi-node) strongly connected component.
+  const auto comp = ComputeSccs();
+  for (const auto& [from, edges] : adj_) {
+    for (const auto& e : edges) {
+      if (!e.negated) continue;
+      const bool on_cycle = from == e.to || comp.at(from) == comp.at(e.to);
+      if (on_cycle) {
+        if (why) {
+          *why = "negative edge " + from + " -> " + e.to + " lies on a cycle";
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<std::unordered_map<std::string, int>> DependencyGraph::Stratify()
+    const {
+  std::string why;
+  if (!IsStratifiable(&why)) return Status::NotStratifiable(why);
+  // Longest-path style relaxation: stratum(h) >= stratum(g) for positive
+  // g->h, stratum(h) > stratum(g) for negative. Iterate to fixpoint; the
+  // absence of negative cycles bounds strata by the node count.
+  std::unordered_map<std::string, int> stratum;
+  for (const auto& n : nodes_) stratum[n] = 0;
+  const int n = static_cast<int>(nodes_.size());
+  bool changed = true;
+  int guard = 0;
+  while (changed) {
+    changed = false;
+    if (++guard > n + 2) {
+      return Status::Internal("stratification failed to converge");
+    }
+    for (const auto& [from, edges] : adj_) {
+      for (const auto& e : edges) {
+        const int need = stratum[from] + (e.negated ? 1 : 0);
+        if (stratum[e.to] < need) {
+          stratum[e.to] = need;
+          changed = true;
+        }
+      }
+    }
+  }
+  return stratum;
+}
+
+bool IsStratified(const DatalogProgram& program, std::string* why) {
+  return DependencyGraph(program).IsStratifiable(why);
+}
+
+Status CheckXYProgram(const DatalogProgram& program) {
+  DependencyGraph graph(program);
+  const auto recursive = graph.RecursivePredicates();
+  for (const auto& rule : program.rules) {
+    const bool head_recursive = recursive.count(rule.head.predicate) > 0;
+    bool body_recursive = false;
+    for (const auto& lit : rule.body) {
+      if (recursive.count(lit.predicate)) body_recursive = true;
+    }
+    if (!head_recursive && !body_recursive) continue;  // exit/base rule
+
+    // X-rule condition: every recursive predicate (head and body) carries
+    // the same temporal variable. A rule whose head and recursive body
+    // subgoals all carry s(T) is an X-rule under the substitution U = s(T).
+    // Y-rule condition: head carries s(T), at least one body recursive
+    // subgoal carries T, the rest carry T or s(T).
+    if (head_recursive && rule.head.temporal == TemporalArg::kNone) {
+      return Status::NotStratifiable(
+          "rule '" + rule.ToString() +
+          "': recursive head lacks a temporal argument (X-rule check)");
+    }
+    bool saw_t = false;
+    bool saw_st = false;
+    for (const auto& lit : rule.body) {
+      if (!recursive.count(lit.predicate)) continue;
+      if (lit.temporal == TemporalArg::kNone) {
+        return Status::NotStratifiable(
+            "rule '" + rule.ToString() + "': recursive subgoal " +
+            lit.predicate + " lacks a temporal argument");
+      }
+      if (lit.temporal == TemporalArg::kT) saw_t = true;
+      if (lit.temporal == TemporalArg::kST) saw_st = true;
+    }
+    if (rule.head.temporal == TemporalArg::kT) {
+      // Plain X-rule: body must stay at T.
+      if (saw_st) {
+        return Status::NotStratifiable(
+            "rule '" + rule.ToString() +
+            "': X-rule mixes temporal arguments");
+      }
+    } else {
+      // Head at s(T): either a same-stage X-rule (no T subgoal needed when
+      // every recursive subgoal is s(T)) or a genuine Y-rule.
+      const bool same_stage_x = body_recursive && !saw_t;
+      if (same_stage_x && saw_st) {
+        // All recursive subgoals at s(T): X-rule under U = s(T). Fine.
+      } else if (body_recursive && !saw_t) {
+        return Status::NotStratifiable(
+            "rule '" + rule.ToString() +
+            "': Y-rule needs a body subgoal with temporal argument T");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+DatalogProgram BiState(const DatalogProgram& program) {
+  DependencyGraph graph(program);
+  const auto recursive = graph.RecursivePredicates();
+  DatalogProgram out;
+  for (const auto& rule : program.rules) {
+    DatalogRule r = rule;
+    const TemporalArg head_t = rule.head.temporal;
+    auto transform = [&](DatalogLiteral& lit, bool is_head) {
+      if (!recursive.count(lit.predicate)) {
+        lit.temporal = TemporalArg::kNone;
+        return;
+      }
+      // Same temporal argument as the head -> new_; otherwise -> old_.
+      const bool same = lit.temporal == head_t;
+      lit.predicate =
+          (is_head || same ? "new_" : "old_") + lit.predicate;
+      lit.temporal = TemporalArg::kNone;
+    };
+    transform(r.head, /*is_head=*/true);
+    for (auto& lit : r.body) transform(lit, /*is_head=*/false);
+    out.rules.push_back(std::move(r));
+  }
+  return out;
+}
+
+Status CheckXYStratified(const DatalogProgram& program) {
+  GPR_RETURN_NOT_OK(CheckXYProgram(program));
+  std::string why;
+  if (!IsStratified(BiState(program), &why)) {
+    return Status::NotStratifiable("bi-state program is not stratified: " +
+                                   why);
+  }
+  return Status::OK();
+}
+
+}  // namespace gpr::core

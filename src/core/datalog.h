@@ -1,0 +1,107 @@
+// DATALOG rule IR, predicate dependency graphs, stratification, the bi-state
+// transform, and the XY-stratification test (Section 5, Definitions 9.1–9.3,
+// Theorem 5.1).
+//
+// with+ plans are lowered to this IR (stratify.h) and the executor refuses to
+// run plans whose program is not XY-stratified — the paper's guarantee that
+// the recursion reaches a fixpoint with a unique answer.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gpr::core {
+
+/// Temporal (stage) argument carried by a recursive predicate occurrence in
+/// an XY-program: none, T, or s(T).
+enum class TemporalArg { kNone, kT, kST };
+
+const char* TemporalArgName(TemporalArg t);
+
+/// One subgoal (or head) occurrence of a predicate.
+struct DatalogLiteral {
+  std::string predicate;
+  bool negated = false;  ///< ¬P — also set for aggregate-consuming subgoals,
+                         ///< which behave like negation for stratification
+  TemporalArg temporal = TemporalArg::kNone;
+};
+
+/// A rule  head :- body₁, …, bodyₙ.
+struct DatalogRule {
+  DatalogLiteral head;
+  std::vector<DatalogLiteral> body;
+
+  std::string ToString() const;
+};
+
+/// A DATALOG program: a set of rules plus the set of base (EDB) predicates.
+struct DatalogProgram {
+  std::vector<DatalogRule> rules;
+
+  std::string ToString() const;
+};
+
+/// The predicate dependency graph: edge g → h when g occurs in the body of a
+/// rule with head h; the edge is negative when any such occurrence is
+/// negated. Equivalent to the SQL dependency graph of Definition 9.1.
+class DependencyGraph {
+ public:
+  /// Builds the graph of `program`.
+  explicit DependencyGraph(const DatalogProgram& program);
+
+  /// Adds an edge directly (used by the SQL-side Def. 9.1 construction).
+  void AddEdge(const std::string& from, const std::string& to, bool negated);
+  void AddNode(const std::string& name);
+
+  const std::unordered_set<std::string>& nodes() const { return nodes_; }
+
+  /// Predicates that participate in a cycle (nontrivial SCC or self-loop) —
+  /// the recursive predicates.
+  std::unordered_set<std::string> RecursivePredicates() const;
+
+  /// Number of simple cycles is expensive; the with+ restriction only needs
+  /// "at most one cycle", which we approximate as: at most one nontrivial
+  /// SCC, and within it every node has ≤1 in-cycle out-edge.
+  bool HasAtMostOneCycle() const;
+
+  /// True if no negative edge lies on a cycle (Definition 9.2's
+  /// stratifiability condition).
+  bool IsStratifiable(std::string* why = nullptr) const;
+
+  /// Stratum index per predicate (0-based); fails if not stratifiable.
+  Result<std::unordered_map<std::string, int>> Stratify() const;
+
+ private:
+  struct Edge {
+    std::string to;
+    bool negated;
+  };
+  /// Strongly connected components (Tarjan); returns component id per node.
+  std::unordered_map<std::string, int> ComputeSccs() const;
+
+  std::unordered_set<std::string> nodes_;
+  std::unordered_map<std::string, std::vector<Edge>> adj_;
+};
+
+/// True if `program` is stratified (no negation through recursion).
+bool IsStratified(const DatalogProgram& program, std::string* why = nullptr);
+
+/// Checks the syntactic XY-program conditions of Definition 9.3 over the
+/// given set of recursive predicates: every recursive occurrence carries a
+/// temporal argument and every recursive rule is an X-rule or a Y-rule.
+Status CheckXYProgram(const DatalogProgram& program);
+
+/// The bi-state transform of Section 5: in each rule, recursive predicates
+/// sharing the head's temporal argument become `new_P`, other occurrences
+/// become `old_P`, and temporal arguments are dropped.
+DatalogProgram BiState(const DatalogProgram& program);
+
+/// A program is XY-stratified iff it is an XY-program whose bi-state
+/// version is stratified (the compile-time test of Theorem 5.1).
+Status CheckXYStratified(const DatalogProgram& program);
+
+}  // namespace gpr::core

@@ -1,0 +1,91 @@
+#include "core/engine_profile.h"
+
+namespace gpr::core {
+
+const char* EngineKindName(EngineKind k) {
+  switch (k) {
+    case EngineKind::kOracleLike: return "oracle-like";
+    case EngineKind::kDb2Like: return "db2-like";
+    case EngineKind::kPostgresLike: return "postgres-like";
+  }
+  return "?";
+}
+
+EngineProfile OracleLike() {
+  EngineProfile p;
+  p.kind = EngineKind::kOracleLike;
+  p.name = "oracle-like";
+  p.no_stats_join = ra::ops::JoinAlgorithm::kHash;
+  p.adopts_temp_indexes = false;
+  p.build_temp_indexes = false;
+  p.insert_logging = false;  // direct-path /*+APPEND*/ insert
+  p.supports_merge = true;
+  p.supports_update_from = false;
+  p.rewrites_not_in_to_anti_join = true;
+  // Table 1, Oracle column.
+  p.with_features.multiple_recursive_queries = false;
+  p.with_features.union_across_init_and_recursive = false;
+  p.with_features.distinct_in_recursion = false;
+  p.with_features.partition_by_in_recursion = true;
+  p.with_features.general_functions_in_recursion = true;
+  p.with_features.cycle_detection = true;  // search/cycle clauses
+  return p;
+}
+
+EngineProfile Db2Like() {
+  EngineProfile p;
+  p.kind = EngineKind::kDb2Like;
+  p.name = "db2-like";
+  p.no_stats_join = ra::ops::JoinAlgorithm::kHash;
+  p.adopts_temp_indexes = false;
+  p.build_temp_indexes = false;
+  p.insert_logging = true;
+  p.supports_merge = true;
+  p.supports_update_from = false;
+  p.rewrites_not_in_to_anti_join = false;
+  // Table 1, DB2 column.
+  p.with_features.multiple_recursive_queries = true;
+  p.with_features.union_across_init_and_recursive = false;
+  p.with_features.distinct_in_recursion = false;
+  p.with_features.partition_by_in_recursion = true;
+  p.with_features.general_functions_in_recursion = false;
+  p.with_features.cycle_detection = false;
+  return p;
+}
+
+EngineProfile PostgresLike(bool build_temp_indexes) {
+  EngineProfile p;
+  p.kind = EngineKind::kPostgresLike;
+  p.name = "postgres-like";
+  // Without statistics on temp tables PostgreSQL's optimizer falls back to
+  // merge-join plans (paper Section 7 and Exp-A).
+  p.no_stats_join = ra::ops::JoinAlgorithm::kSortMerge;
+  p.adopts_temp_indexes = true;
+  p.build_temp_indexes = build_temp_indexes;
+  p.insert_logging = true;  // non-durable still writes WAL for temp spills
+  p.supports_merge = false;  // merge arrives only in PostgreSQL 9.5+
+  p.supports_update_from = true;
+  p.rewrites_not_in_to_anti_join = false;
+  // Table 1, PostgreSQL column.
+  p.with_features.multiple_recursive_queries = false;
+  p.with_features.union_across_init_and_recursive = true;
+  p.with_features.distinct_in_recursion = true;
+  p.with_features.partition_by_in_recursion = true;
+  p.with_features.general_functions_in_recursion = true;
+  p.with_features.cycle_detection = false;
+  return p;
+}
+
+std::vector<EngineProfile> AllProfiles() {
+  return {OracleLike(), Db2Like(), PostgresLike()};
+}
+
+void RedoLog::LogInsert(const ra::Tuple& row) {
+  // Copying the tuple is the charge; the buffer is recycled so that long
+  // benchmarks do not exhaust memory.
+  bytes_logged_ += row.size() * sizeof(ra::Value);
+  buffer_.push_back(row);
+  if (buffer_.size() >= 1u << 16) buffer_.clear();
+}
+
+}  // namespace gpr::core

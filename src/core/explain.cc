@@ -1,0 +1,166 @@
+#include "core/explain.h"
+
+#include <sstream>
+
+#include "core/psm.h"
+
+namespace gpr::core {
+namespace {
+
+namespace ops = ra::ops;
+
+/// The join algorithm the profile would pick for this node's inner input.
+ops::JoinAlgorithm PredictedJoinAlgo(const Plan& node,
+                                     const ra::Catalog& catalog,
+                                     const EngineProfile& profile) {
+  if (node.join_algo) return *node.join_algo;
+  // Stats are only known for direct scans of catalog tables; any computed
+  // input behaves like a stat-less temp table.
+  const PlanPtr& inner = node.children[1];
+  if (inner->kind == PlanKind::kScan) {
+    auto t = catalog.Get(inner->table_name);
+    if (t.ok()) return profile.ChooseJoin(**t);
+  }
+  return profile.no_stats_join;
+}
+
+struct ExplainPrinter {
+  const ra::Catalog& catalog;
+  const EngineProfile& profile;
+  const std::unordered_map<std::string, ra::Schema>* overlays;
+  std::ostringstream out;
+
+  void Print(const PlanPtr& plan, int depth) {
+    out << std::string(static_cast<size_t>(depth) * 2, ' ');
+    out << PlanKindName(plan->kind);
+    switch (plan->kind) {
+      case PlanKind::kScan: {
+        out << " " << plan->table_name;
+        if (overlays != nullptr && overlays->count(plan->table_name)) {
+          out << " [recursive/def]";
+        } else if (auto t = catalog.Get(plan->table_name); t.ok()) {
+          out << " [" << (*t)->NumRows() << " rows"
+              << ((*t)->stats().present ? ", stats" : ", no stats");
+          if (catalog.IsTemporary(plan->table_name)) out << ", temp";
+          out << "]";
+        } else {
+          out << " [unbound]";
+        }
+        break;
+      }
+      case PlanKind::kSelect:
+        out << "{" << plan->predicate->ToString() << "}";
+        break;
+      case PlanKind::kJoin: {
+        out << "(" << ops::JoinAlgorithmName(
+                          PredictedJoinAlgo(*plan, catalog, profile))
+            << "){";
+        for (size_t i = 0; i < plan->keys.left.size(); ++i) {
+          if (i > 0) out << ", ";
+          out << plan->keys.left[i] << " = " << plan->keys.right[i];
+        }
+        out << "}";
+        if (profile.adopts_temp_indexes && profile.build_temp_indexes &&
+            PredictedJoinAlgo(*plan, catalog, profile) ==
+                ops::JoinAlgorithm::kSortMerge) {
+          out << " [index adopted]";
+        }
+        break;
+      }
+      case PlanKind::kAntiJoin:
+        out << "(" << AntiJoinImplName(plan->anti_impl) << ")";
+        if (plan->anti_impl == AntiJoinImpl::kNotIn &&
+            profile.rewrites_not_in_to_anti_join) {
+          out << " [rewritten to internal anti-join]";
+        }
+        if (plan->anti_impl == AntiJoinImpl::kLeftOuterJoin &&
+            profile.rewrites_left_outer_anti_join) {
+          out << " [rewritten to anti-join plan]";
+        }
+        break;
+      case PlanKind::kGroupBy: {
+        out << "{";
+        for (size_t i = 0; i < plan->group_cols.size(); ++i) {
+          if (i > 0) out << ", ";
+          out << plan->group_cols[i];
+        }
+        out << "; ";
+        for (size_t i = 0; i < plan->aggs.size(); ++i) {
+          if (i > 0) out << ", ";
+          out << ra::AggKindName(plan->aggs[i].kind);
+        }
+        out << "}";
+        break;
+      }
+      case PlanKind::kMMJoin:
+      case PlanKind::kMVJoin:
+        out << "{" << plan->semiring.name << "}";
+        break;
+      case PlanKind::kRename:
+        out << "->" << plan->new_name;
+        break;
+      default:
+        break;
+    }
+    if (auto schema = InferSchema(plan, catalog, overlays); schema.ok()) {
+      out << " " << schema->ToString();
+    }
+    out << "\n";
+    for (const auto& child : plan->children) Print(child, depth + 1);
+  }
+};
+
+}  // namespace
+
+std::string Explain(
+    const PlanPtr& plan, const ra::Catalog& catalog,
+    const EngineProfile& profile,
+    const std::unordered_map<std::string, ra::Schema>* overlays) {
+  ExplainPrinter printer{catalog, profile, overlays, {}};
+  printer.Print(plan, 0);
+  return printer.out.str();
+}
+
+std::string ExplainWithPlus(const WithPlusQuery& query,
+                            const ra::Catalog& catalog,
+                            const EngineProfile& profile) {
+  std::ostringstream out;
+  out << "recursive relation: " << query.rec_name
+      << query.rec_schema.ToString() << "\n";
+  out << "mode: " << UnionModeName(query.mode);
+  if (!query.update_keys.empty()) {
+    out << " keys(";
+    for (size_t i = 0; i < query.update_keys.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << query.update_keys[i];
+    }
+    out << ")";
+  }
+  if (query.maxrecursion > 0) out << ", maxrecursion " << query.maxrecursion;
+  out << ", profile " << profile.name << "\n";
+
+  std::unordered_map<std::string, ra::Schema> overlays;
+  overlays.emplace(query.rec_name, query.rec_schema);
+  for (size_t i = 0; i < query.init.size(); ++i) {
+    out << "\ninitial subquery " << i + 1 << ":\n"
+        << Explain(query.init[i].plan, catalog, profile);
+  }
+  for (size_t i = 0; i < query.recursive.size(); ++i) {
+    const auto& sq = query.recursive[i];
+    for (const auto& def : sq.computed_by) {
+      out << "\ncomputed by " << def.name << ":\n"
+          << Explain(def.plan, catalog, profile, &overlays);
+      if (auto s = InferSchema(def.plan, catalog, &overlays); s.ok()) {
+        overlays.emplace(def.name, *s);
+      }
+    }
+    out << "\nrecursive subquery " << i + 1 << ":\n"
+        << Explain(sq.plan, catalog, profile, &overlays);
+  }
+  if (auto proc = CompileToPsm(query); proc.ok()) {
+    out << "\nSQL/PSM procedure:\n" << proc->ToSqlSketch();
+  }
+  return out.str();
+}
+
+}  // namespace gpr::core

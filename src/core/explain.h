@@ -1,0 +1,32 @@
+// EXPLAIN: renders the physical shape a plan takes under an engine
+// profile — join algorithms, index adoption, inferred output schemas —
+// without executing it.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "core/plan.h"
+#include "core/with_plus.h"
+
+namespace gpr::core {
+
+/// Multi-line indented tree, e.g.
+///
+///   Project [(ID:Int64, W:Double)]
+///     GroupBy{E_pr.T; sum} [(E_pr.T:Int64, s:Double)]
+///       Join(hash){F = ID}
+///         Scan E_pr [6676 rows, stats]
+///         Scan P [temp, no stats]
+std::string Explain(
+    const PlanPtr& plan, const ra::Catalog& catalog,
+    const EngineProfile& profile,
+    const std::unordered_map<std::string, ra::Schema>* overlays = nullptr);
+
+/// Explains a full with+ query: the PSM sketch plus the physical plan of
+/// every initial and recursive subquery and computed-by definition.
+std::string ExplainWithPlus(const WithPlusQuery& query,
+                            const ra::Catalog& catalog,
+                            const EngineProfile& profile);
+
+}  // namespace gpr::core

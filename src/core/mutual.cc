@@ -1,0 +1,290 @@
+#include "core/mutual.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/psm.h"
+#include "util/timer.h"
+
+namespace gpr::core {
+namespace {
+
+using ra::Table;
+
+Status ValidateMutual(const MutualQuery& query) {
+  if (query.relations.size() < 2) {
+    return Status::InvalidArgument(
+        "mutual recursion needs at least two relations (use with+ "
+        "otherwise)");
+  }
+  std::unordered_set<std::string> names;
+  for (const auto& rel : query.relations) {
+    if (rel.name.empty() || rel.schema.NumColumns() == 0) {
+      return Status::InvalidArgument("every relation needs a name and "
+                                     "schema");
+    }
+    if (!names.insert(rel.name).second) {
+      return Status::InvalidArgument("relation '" + rel.name +
+                                     "' declared twice");
+    }
+    if (rel.init.empty()) {
+      return Status::InvalidArgument("relation '" + rel.name +
+                                     "' has no initialization");
+    }
+  }
+  // Every relation must depend on some relation of the system, and the
+  // initializations must not.
+  for (const auto& rel : query.relations) {
+    std::vector<TableRef> refs;
+    CollectTableRefs(rel.recursive.plan, &refs);
+    for (const auto& def : rel.recursive.computed_by) {
+      CollectTableRefs(def.plan, &refs);
+    }
+    bool recursive = false;
+    for (const auto& r : refs) recursive |= names.count(r.name) > 0;
+    if (!recursive) {
+      return Status::InvalidArgument(
+          "relation '" + rel.name +
+          "' does not reference any recursive relation");
+    }
+    for (const auto& init : rel.init) {
+      std::vector<TableRef> irefs;
+      CollectTableRefs(init, &irefs);
+      for (const auto& r : irefs) {
+        if (names.count(r.name)) {
+          return Status::InvalidArgument(
+              "initialization of '" + rel.name +
+              "' references recursive relation '" + r.name + "'");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DatalogProgram> LowerMutualToDatalog(const MutualQuery& query) {
+  // Position of each relation in the refresh order.
+  std::unordered_map<std::string, size_t> position;
+  for (size_t i = 0; i < query.relations.size(); ++i) {
+    position.emplace(query.relations[i].name, i);
+  }
+  DatalogProgram program;
+  for (size_t i = 0; i < query.relations.size(); ++i) {
+    const MutualRelation& rel = query.relations[i];
+    std::unordered_set<std::string> defs;
+    for (const auto& def : rel.recursive.computed_by) defs.insert(def.name);
+
+    auto body_of = [&](const PlanPtr& plan) {
+      std::vector<TableRef> refs;
+      CollectTableRefs(plan, &refs);
+      std::vector<DatalogLiteral> body;
+      for (const auto& ref : refs) {
+        DatalogLiteral lit;
+        lit.predicate = ref.name;
+        lit.negated = ref.negated;
+        auto it = position.find(ref.name);
+        if (it != position.end()) {
+          // Earlier relations were refreshed this iteration: stage s(T);
+          // self and later relations: previous iteration, stage T.
+          lit.temporal = it->second < i ? TemporalArg::kST : TemporalArg::kT;
+        } else if (defs.count(ref.name)) {
+          lit.temporal = TemporalArg::kST;
+        }
+        body.push_back(std::move(lit));
+      }
+      return body;
+    };
+
+    std::unordered_set<std::string> seen;
+    for (const auto& def : rel.recursive.computed_by) {
+      if (position.count(def.name) || !seen.insert(def.name).second) {
+        return Status::NotStratifiable(
+            "computed-by definition '" + def.name +
+            "' shadows a relation or repeats");
+      }
+      std::vector<TableRef> refs;
+      CollectTableRefs(def.plan, &refs);
+      for (const auto& ref : refs) {
+        if (defs.count(ref.name) && !seen.count(ref.name)) {
+          return Status::NotStratifiable("computed-by definition '" +
+                                         def.name + "' references '" +
+                                         ref.name + "' before definition");
+        }
+      }
+      DatalogRule rule;
+      rule.head = {def.name, false, TemporalArg::kST};
+      rule.body = body_of(def.plan);
+      program.rules.push_back(std::move(rule));
+    }
+
+    const std::string delta = "delta_" + rel.name;
+    DatalogRule delta_rule;
+    delta_rule.head = {delta, false, TemporalArg::kST};
+    delta_rule.body = body_of(rel.recursive.plan);
+    program.rules.push_back(std::move(delta_rule));
+
+    switch (rel.mode) {
+      case UnionMode::kUnionAll:
+      case UnionMode::kUnionDistinct: {
+        DatalogRule copy;
+        copy.head = {rel.name, false, TemporalArg::kST};
+        copy.body = {{rel.name, false, TemporalArg::kT}};
+        program.rules.push_back(std::move(copy));
+        break;
+      }
+      case UnionMode::kUnionByUpdate: {
+        DatalogRule keep;
+        keep.head = {rel.name, false, TemporalArg::kST};
+        keep.body = {{rel.name, false, TemporalArg::kT},
+                     {delta, true, TemporalArg::kST}};
+        program.rules.push_back(std::move(keep));
+        break;
+      }
+    }
+    DatalogRule add;
+    add.head = {rel.name, false, TemporalArg::kST};
+    add.body = {{delta, false, TemporalArg::kST}};
+    program.rules.push_back(std::move(add));
+  }
+  return program;
+}
+
+Result<MutualResult> ExecuteMutual(const MutualQuery& query,
+                                   ra::Catalog& catalog,
+                                   const EngineProfile& profile,
+                                   uint64_t seed) {
+  GPR_RETURN_NOT_OK(ValidateMutual(query));
+  if (query.check_stratification) {
+    GPR_ASSIGN_OR_RETURN(DatalogProgram program,
+                         LowerMutualToDatalog(query));
+    GPR_RETURN_NOT_OK(CheckXYStratified(program));
+  }
+
+  Xoshiro256 rng(seed);
+  ra::EvalContext ctx{&rng};
+  std::vector<std::string> created;
+  auto cleanup = [&] {
+    for (const auto& name : created) (void)catalog.DropTable(name);
+  };
+  auto fail = [&](Status st) {
+    cleanup();
+    return st;
+  };
+
+  // Create and initialize every relation.
+  for (const auto& rel : query.relations) {
+    if (catalog.Has(rel.name)) {
+      return fail(Status::AlreadyExists("relation '" + rel.name +
+                                        "' collides with a table"));
+    }
+    GPR_CHECK_OK(catalog.CreateTempTable(rel.name, rel.schema));
+    created.push_back(rel.name);
+    for (const auto& init : rel.init) {
+      auto t = ExecutePlan(init, catalog, profile, &ctx);
+      if (!t.ok()) return fail(t.status());
+      auto rec = catalog.Get(rel.name);
+      GPR_CHECK_OK(rec.status());
+      if (!(*rec)->schema().UnionCompatible(t->schema())) {
+        return fail(Status::TypeMismatch(
+            "initialization of '" + rel.name + "' produces " +
+            t->schema().ToString()));
+      }
+      for (const auto& row : t->rows()) (*rec)->AddRow(row);
+    }
+  }
+
+  // Per-relation seen-sets for union (distinct) combining.
+  std::vector<std::unordered_set<ra::Tuple, ra::TupleHash, ra::TupleEq>>
+      seen(query.relations.size());
+  for (size_t i = 0; i < query.relations.size(); ++i) {
+    if (query.relations[i].mode == UnionMode::kUnionDistinct) {
+      auto rec = catalog.Get(query.relations[i].name);
+      GPR_CHECK_OK(rec.status());
+      seen[i].insert((*rec)->rows().begin(), (*rec)->rows().end());
+    }
+  }
+
+  MutualResult result;
+  while (true) {
+    bool changed_any = false;
+    for (size_t i = 0; i < query.relations.size(); ++i) {
+      const MutualRelation& rel = query.relations[i];
+      std::unordered_set<std::string> known_empty;
+      for (const auto& def : rel.recursive.computed_by) {
+        Table t;
+        if (PlanMustBeEmpty(def.plan, known_empty) &&
+            catalog.Has(def.name)) {
+          t = Table(def.name, (*catalog.Get(def.name))->schema());
+        } else {
+          auto mat = ExecutePlan(def.plan, catalog, profile, &ctx);
+          if (!mat.ok()) return fail(mat.status());
+          t = std::move(mat).value();
+          t.set_name(def.name);
+        }
+        if (t.Empty()) known_empty.insert(def.name);
+        if (!catalog.Has(def.name)) {
+          GPR_CHECK_OK(catalog.CreateTempTable(def.name, t.schema()));
+          created.push_back(def.name);
+        }
+        GPR_CHECK_OK(catalog.ReplaceTable(def.name, std::move(t)));
+      }
+      if (PlanMustBeEmpty(rel.recursive.plan, known_empty)) continue;
+      auto delta = ExecutePlan(rel.recursive.plan, catalog, profile, &ctx);
+      if (!delta.ok()) return fail(delta.status());
+      if (delta->Empty()) continue;
+      auto rec = catalog.Get(rel.name);
+      GPR_CHECK_OK(rec.status());
+      Table* r = *rec;
+      if (!r->schema().UnionCompatible(delta->schema())) {
+        return fail(Status::TypeMismatch(
+            "recursive subquery of '" + rel.name + "' produces " +
+            delta->schema().ToString()));
+      }
+      switch (rel.mode) {
+        case UnionMode::kUnionAll:
+          for (auto& row : delta->mutable_rows()) {
+            r->AddRow(std::move(row));
+            changed_any = true;
+          }
+          break;
+        case UnionMode::kUnionDistinct:
+          for (auto& row : delta->mutable_rows()) {
+            if (!seen[i].insert(row).second) continue;
+            r->AddRow(std::move(row));
+            changed_any = true;
+          }
+          break;
+        case UnionMode::kUnionByUpdate: {
+          auto updated = UnionByUpdate(*r, *delta, rel.update_keys,
+                                       rel.ubu_impl, profile);
+          if (!updated.ok()) return fail(updated.status());
+          if (!updated->SameRowsAs(*r)) changed_any = true;
+          GPR_CHECK_OK(catalog.ReplaceTable(rel.name,
+                                            std::move(updated).value()));
+          break;
+        }
+      }
+    }
+    ++result.iterations;
+    if (!changed_any) {
+      result.converged = true;
+      break;
+    }
+    if (query.maxrecursion > 0 &&
+        static_cast<int>(result.iterations) >= query.maxrecursion) {
+      break;
+    }
+  }
+
+  for (const auto& rel : query.relations) {
+    auto rec = catalog.Get(rel.name);
+    GPR_CHECK_OK(rec.status());
+    result.tables.push_back(**rec);
+  }
+  cleanup();
+  return result;
+}
+
+}  // namespace gpr::core

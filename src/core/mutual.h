@@ -1,0 +1,60 @@
+// Native mutual recursion — the extension the paper leaves on the table.
+//
+// SQL'99 permits (limited) mutual recursion but none of the three engines
+// implements it, so Section 6 folds mutually recursive relations (HITS's
+// Hub/Authority) into one recursive relation with a computed-by chain.
+// This module supports the direct form: several recursive relations that
+// reference each other, evaluated Gauss-Seidel style — within an
+// iteration the relations are refreshed in declaration order, each seeing
+// the current iteration's values of the relations before it and the
+// previous iteration's values of itself and the relations after it.
+//
+// The XY-stratification argument extends naturally: a reference to an
+// earlier relation carries stage s(T), every other recursive reference
+// carries stage T, and the combination rules are per-relation (Eq. 22 for
+// union-by-update). The lowered program is checked before execution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/datalog.h"
+#include "core/with_plus.h"
+#include "util/status.h"
+
+namespace gpr::core {
+
+/// One recursive relation of a mutually recursive system.
+struct MutualRelation {
+  std::string name;
+  ra::Schema schema;
+  std::vector<PlanPtr> init;       ///< initialization (union all)
+  Subquery recursive;              ///< one recursive subquery
+  UnionMode mode = UnionMode::kUnionByUpdate;
+  std::vector<std::string> update_keys;
+  UnionByUpdateImpl ubu_impl = UnionByUpdateImpl::kFullOuterJoin;
+};
+
+struct MutualQuery {
+  std::vector<MutualRelation> relations;  ///< refresh order = vector order
+  int maxrecursion = 0;
+  bool check_stratification = true;
+};
+
+struct MutualResult {
+  /// Final contents, one table per relation, in declaration order.
+  std::vector<ra::Table> tables;
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Lowers the mutual system to DATALOG (for the XY gate and for tests).
+Result<DatalogProgram> LowerMutualToDatalog(const MutualQuery& query);
+
+/// Validates, checks XY-stratification, and runs the alternating fixpoint.
+Result<MutualResult> ExecuteMutual(const MutualQuery& query,
+                                   ra::Catalog& catalog,
+                                   const EngineProfile& profile,
+                                   uint64_t seed = 42);
+
+}  // namespace gpr::core

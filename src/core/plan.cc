@@ -1,0 +1,534 @@
+#include "core/plan.h"
+
+#include <sstream>
+
+namespace gpr::core {
+
+namespace ops = ra::ops;
+using ra::Table;
+
+const char* PlanKindName(PlanKind k) {
+  switch (k) {
+    case PlanKind::kScan: return "Scan";
+    case PlanKind::kSelect: return "Select";
+    case PlanKind::kProject: return "Project";
+    case PlanKind::kJoin: return "Join";
+    case PlanKind::kLeftOuterJoin: return "LeftOuterJoin";
+    case PlanKind::kSemiJoin: return "SemiJoin";
+    case PlanKind::kAntiJoin: return "AntiJoin";
+    case PlanKind::kUnionAll: return "UnionAll";
+    case PlanKind::kUnionDistinct: return "UnionDistinct";
+    case PlanKind::kDifference: return "Difference";
+    case PlanKind::kIntersect: return "Intersect";
+    case PlanKind::kDistinct: return "Distinct";
+    case PlanKind::kGroupBy: return "GroupBy";
+    case PlanKind::kRename: return "Rename";
+    case PlanKind::kCrossProduct: return "CrossProduct";
+    case PlanKind::kMMJoin: return "MMJoin";
+    case PlanKind::kMVJoin: return "MVJoin";
+    case PlanKind::kSort: return "Sort";
+  }
+  return "?";
+}
+
+std::string Plan::ToString() const {
+  std::ostringstream os;
+  os << PlanKindName(kind);
+  if (kind == PlanKind::kScan) os << " " << table_name;
+  if (kind == PlanKind::kRename) os << "->" << new_name;
+  if (!children.empty()) {
+    os << "(";
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << children[i]->ToString();
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+namespace {
+
+std::shared_ptr<Plan> Node(PlanKind kind, std::vector<PlanPtr> children) {
+  auto p = std::make_shared<Plan>();
+  p->kind = kind;
+  p->children = std::move(children);
+  return p;
+}
+
+}  // namespace
+
+PlanPtr Scan(std::string table) {
+  auto p = Node(PlanKind::kScan, {});
+  p->table_name = std::move(table);
+  return p;
+}
+
+PlanPtr SelectOp(PlanPtr in, ra::ExprPtr pred) {
+  auto p = Node(PlanKind::kSelect, {std::move(in)});
+  p->predicate = std::move(pred);
+  return p;
+}
+
+PlanPtr ProjectOp(PlanPtr in, std::vector<ra::ops::ProjectItem> items,
+                  std::string out_name) {
+  auto p = Node(PlanKind::kProject, {std::move(in)});
+  p->items = std::move(items);
+  p->new_name = std::move(out_name);
+  return p;
+}
+
+PlanPtr JoinOp(PlanPtr l, PlanPtr r, ra::ops::JoinKeys keys,
+               ra::ExprPtr residual) {
+  auto p = Node(PlanKind::kJoin, {std::move(l), std::move(r)});
+  p->keys = std::move(keys);
+  p->predicate = std::move(residual);
+  return p;
+}
+
+PlanPtr LeftOuterJoinOp(PlanPtr l, PlanPtr r, ra::ops::JoinKeys keys) {
+  auto p = Node(PlanKind::kLeftOuterJoin, {std::move(l), std::move(r)});
+  p->keys = std::move(keys);
+  return p;
+}
+
+PlanPtr SemiJoinOp(PlanPtr l, PlanPtr r, ra::ops::JoinKeys keys) {
+  auto p = Node(PlanKind::kSemiJoin, {std::move(l), std::move(r)});
+  p->keys = std::move(keys);
+  return p;
+}
+
+PlanPtr AntiJoinOp(PlanPtr l, PlanPtr r, ra::ops::JoinKeys keys,
+                   AntiJoinImpl impl) {
+  auto p = Node(PlanKind::kAntiJoin, {std::move(l), std::move(r)});
+  p->keys = std::move(keys);
+  p->anti_impl = impl;
+  return p;
+}
+
+PlanPtr UnionAllOp(PlanPtr l, PlanPtr r) {
+  return Node(PlanKind::kUnionAll, {std::move(l), std::move(r)});
+}
+PlanPtr UnionDistinctOp(PlanPtr l, PlanPtr r) {
+  return Node(PlanKind::kUnionDistinct, {std::move(l), std::move(r)});
+}
+PlanPtr DifferenceOp(PlanPtr l, PlanPtr r) {
+  return Node(PlanKind::kDifference, {std::move(l), std::move(r)});
+}
+PlanPtr IntersectOp(PlanPtr l, PlanPtr r) {
+  return Node(PlanKind::kIntersect, {std::move(l), std::move(r)});
+}
+PlanPtr DistinctOp(PlanPtr in) {
+  return Node(PlanKind::kDistinct, {std::move(in)});
+}
+
+PlanPtr GroupByOp(PlanPtr in, std::vector<std::string> group_cols,
+                  std::vector<ra::AggSpec> aggs) {
+  auto p = Node(PlanKind::kGroupBy, {std::move(in)});
+  p->group_cols = std::move(group_cols);
+  p->aggs = std::move(aggs);
+  return p;
+}
+
+PlanPtr RenameOp(PlanPtr in, std::string new_name,
+                 std::vector<std::string> col_names) {
+  auto p = Node(PlanKind::kRename, {std::move(in)});
+  p->new_name = std::move(new_name);
+  p->col_names = std::move(col_names);
+  return p;
+}
+
+PlanPtr CrossProductOp(PlanPtr l, PlanPtr r) {
+  return Node(PlanKind::kCrossProduct, {std::move(l), std::move(r)});
+}
+
+PlanPtr MMJoinOp(PlanPtr a, PlanPtr b, Semiring sr, MatrixCols a_cols,
+                 MatrixCols b_cols) {
+  auto p = Node(PlanKind::kMMJoin, {std::move(a), std::move(b)});
+  p->semiring = std::move(sr);
+  p->a_cols = std::move(a_cols);
+  p->b_cols = std::move(b_cols);
+  return p;
+}
+
+PlanPtr MVJoinOp(PlanPtr m, PlanPtr v, Semiring sr, MVOrientation orientation,
+                 MatrixCols m_cols, VectorCols v_cols) {
+  auto p = Node(PlanKind::kMVJoin, {std::move(m), std::move(v)});
+  p->semiring = std::move(sr);
+  p->orientation = orientation;
+  p->a_cols = std::move(m_cols);
+  p->v_cols = std::move(v_cols);
+  return p;
+}
+
+PlanPtr SortOp(PlanPtr in, std::vector<std::string> cols) {
+  auto p = Node(PlanKind::kSort, {std::move(in)});
+  p->sort_cols = std::move(cols);
+  return p;
+}
+
+namespace {
+
+using TablePtr = std::shared_ptr<const Table>;
+
+TablePtr Borrow(const Table* t) {
+  return TablePtr(TablePtr(), t);  // aliasing ctor: non-owning view
+}
+
+TablePtr Own(Table t) { return std::make_shared<Table>(std::move(t)); }
+
+struct Executor {
+  ra::Catalog& catalog;
+  const EngineProfile& profile;
+  ra::EvalContext* ctx;
+  ExecCounters* counters;
+
+  /// Builds (once) and reuses a sort index on a scanned table when the
+  /// profile adopts temp-table indexes — the Fig 10 mechanism.
+  void MaybeIndex(const PlanPtr& node, const Table* table,
+                  const std::vector<std::string>& key_cols) {
+    if (!profile.adopts_temp_indexes || !profile.build_temp_indexes) return;
+    if (node->kind != PlanKind::kScan) return;
+    auto r = catalog.Get(node->table_name);
+    if (!r.ok()) return;
+    Table* t = *r;
+    GPR_CHECK(t == table);
+    if (t->sort_index() != nullptr) return;  // still valid: reuse
+    if (t->BuildSortIndex(key_cols).ok() && counters) {
+      ++counters->index_builds;
+    }
+  }
+
+  Result<TablePtr> Exec(const PlanPtr& plan) {
+    switch (plan->kind) {
+      case PlanKind::kScan: {
+        GPR_ASSIGN_OR_RETURN(const Table* t, catalog.Get(plan->table_name));
+        return Borrow(t);
+      }
+      case PlanKind::kSelect: {
+        GPR_ASSIGN_OR_RETURN(TablePtr in, Exec(plan->children[0]));
+        GPR_ASSIGN_OR_RETURN(Table out,
+                             ops::Select(*in, plan->predicate, ctx));
+        return Own(std::move(out));
+      }
+      case PlanKind::kProject: {
+        GPR_ASSIGN_OR_RETURN(TablePtr in, Exec(plan->children[0]));
+        GPR_ASSIGN_OR_RETURN(
+            Table out, ops::Project(*in, plan->items, ctx, plan->new_name));
+        return Own(std::move(out));
+      }
+      case PlanKind::kJoin: {
+        GPR_ASSIGN_OR_RETURN(TablePtr l, Exec(plan->children[0]));
+        GPR_ASSIGN_OR_RETURN(TablePtr r, Exec(plan->children[1]));
+        const ops::JoinAlgorithm algo =
+            plan->join_algo.value_or(profile.ChooseJoin(*r));
+        if (algo == ops::JoinAlgorithm::kSortMerge) {
+          MaybeIndex(plan->children[0], l.get(), plan->keys.left);
+          MaybeIndex(plan->children[1], r.get(), plan->keys.right);
+        }
+        GPR_ASSIGN_OR_RETURN(
+            Table out,
+            ops::Join(*l, *r, plan->keys, algo, plan->predicate, ctx));
+        if (counters) {
+          ++counters->joins;
+          counters->rows_joined += out.NumRows();
+        }
+        return Own(std::move(out));
+      }
+      case PlanKind::kLeftOuterJoin: {
+        GPR_ASSIGN_OR_RETURN(TablePtr l, Exec(plan->children[0]));
+        GPR_ASSIGN_OR_RETURN(TablePtr r, Exec(plan->children[1]));
+        GPR_ASSIGN_OR_RETURN(Table out,
+                             ops::LeftOuterJoin(*l, *r, plan->keys));
+        return Own(std::move(out));
+      }
+      case PlanKind::kSemiJoin: {
+        GPR_ASSIGN_OR_RETURN(TablePtr l, Exec(plan->children[0]));
+        GPR_ASSIGN_OR_RETURN(TablePtr r, Exec(plan->children[1]));
+        GPR_ASSIGN_OR_RETURN(Table out, ops::SemiJoin(*l, *r, plan->keys));
+        return Own(std::move(out));
+      }
+      case PlanKind::kAntiJoin: {
+        GPR_ASSIGN_OR_RETURN(TablePtr l, Exec(plan->children[0]));
+        GPR_ASSIGN_OR_RETURN(TablePtr r, Exec(plan->children[1]));
+        GPR_ASSIGN_OR_RETURN(
+            Table out,
+            AntiJoin(*l, *r, plan->keys, plan->anti_impl, profile));
+        return Own(std::move(out));
+      }
+      case PlanKind::kUnionAll:
+      case PlanKind::kUnionDistinct:
+      case PlanKind::kDifference:
+      case PlanKind::kIntersect: {
+        GPR_ASSIGN_OR_RETURN(TablePtr l, Exec(plan->children[0]));
+        GPR_ASSIGN_OR_RETURN(TablePtr r, Exec(plan->children[1]));
+        Result<Table> out = [&]() -> Result<Table> {
+          switch (plan->kind) {
+            case PlanKind::kUnionAll: return ops::UnionAll(*l, *r);
+            case PlanKind::kUnionDistinct: return ops::UnionDistinct(*l, *r);
+            case PlanKind::kDifference: return ops::Difference(*l, *r);
+            default: return ops::Intersect(*l, *r);
+          }
+        }();
+        if (!out.ok()) return out.status();
+        return Own(std::move(out).value());
+      }
+      case PlanKind::kDistinct: {
+        GPR_ASSIGN_OR_RETURN(TablePtr in, Exec(plan->children[0]));
+        GPR_ASSIGN_OR_RETURN(Table out, ops::Distinct(*in));
+        return Own(std::move(out));
+      }
+      case PlanKind::kGroupBy: {
+        GPR_ASSIGN_OR_RETURN(TablePtr in, Exec(plan->children[0]));
+        GPR_ASSIGN_OR_RETURN(
+            Table out, ops::GroupBy(*in, plan->group_cols, plan->aggs, ctx));
+        return Own(std::move(out));
+      }
+      case PlanKind::kRename: {
+        GPR_ASSIGN_OR_RETURN(TablePtr in, Exec(plan->children[0]));
+        GPR_ASSIGN_OR_RETURN(
+            Table out, ops::Rename(*in, plan->new_name, plan->col_names));
+        return Own(std::move(out));
+      }
+      case PlanKind::kCrossProduct: {
+        GPR_ASSIGN_OR_RETURN(TablePtr l, Exec(plan->children[0]));
+        GPR_ASSIGN_OR_RETURN(TablePtr r, Exec(plan->children[1]));
+        GPR_ASSIGN_OR_RETURN(Table out, ops::CrossProduct(*l, *r));
+        return Own(std::move(out));
+      }
+      case PlanKind::kMMJoin: {
+        GPR_ASSIGN_OR_RETURN(TablePtr a, Exec(plan->children[0]));
+        GPR_ASSIGN_OR_RETURN(TablePtr b, Exec(plan->children[1]));
+        GPR_ASSIGN_OR_RETURN(Table out,
+                             MMJoin(*a, *b, plan->semiring, profile,
+                                    plan->a_cols, plan->b_cols));
+        if (counters) ++counters->joins;
+        return Own(std::move(out));
+      }
+      case PlanKind::kMVJoin: {
+        GPR_ASSIGN_OR_RETURN(TablePtr m, Exec(plan->children[0]));
+        GPR_ASSIGN_OR_RETURN(TablePtr v, Exec(plan->children[1]));
+        GPR_ASSIGN_OR_RETURN(Table out,
+                             MVJoin(*m, *v, plan->semiring, plan->orientation,
+                                    profile, plan->a_cols, plan->v_cols));
+        if (counters) ++counters->joins;
+        return Own(std::move(out));
+      }
+      case PlanKind::kSort: {
+        GPR_ASSIGN_OR_RETURN(TablePtr in, Exec(plan->children[0]));
+        GPR_ASSIGN_OR_RETURN(Table out, ops::Sort(*in, plan->sort_cols));
+        return Own(std::move(out));
+      }
+    }
+    GPR_UNREACHABLE();
+  }
+};
+
+}  // namespace
+
+Result<Table> ExecutePlan(const PlanPtr& plan, ra::Catalog& catalog,
+                          const EngineProfile& profile, ra::EvalContext* ctx,
+                          ExecCounters* counters) {
+  Executor exec{catalog, profile, ctx, counters};
+  GPR_ASSIGN_OR_RETURN(TablePtr out, exec.Exec(plan));
+  // Borrowed scans (non-owning aliasing pointers, use_count 0) must be
+  // copied out; owned intermediates can be moved.
+  if (out.use_count() == 0) return Table(*out);
+  return std::move(*std::const_pointer_cast<Table>(out));
+}
+
+namespace {
+
+/// The "table name" a plan output carries for join qualification purposes.
+std::string OutputName(const PlanPtr& plan) {
+  switch (plan->kind) {
+    case PlanKind::kScan:
+      return plan->table_name;
+    case PlanKind::kRename:
+      return plan->new_name;
+    case PlanKind::kProject:
+      return !plan->new_name.empty() ? plan->new_name
+                                     : OutputName(plan->children[0]);
+    case PlanKind::kSelect:
+    case PlanKind::kDistinct:
+    case PlanKind::kSort:
+    case PlanKind::kUnionAll:
+    case PlanKind::kUnionDistinct:
+    case PlanKind::kDifference:
+    case PlanKind::kIntersect:
+    case PlanKind::kSemiJoin:
+    case PlanKind::kAntiJoin:
+      return OutputName(plan->children[0]);
+    default:
+      return "";
+  }
+}
+
+}  // namespace
+
+Result<ra::Schema> InferSchema(
+    const PlanPtr& plan, const ra::Catalog& catalog,
+    const std::unordered_map<std::string, ra::Schema>* overlays) {
+  using ra::Schema;
+  using ra::ValueType;
+  auto child = [&](size_t i) {
+    return InferSchema(plan->children[i], catalog, overlays);
+  };
+  auto joined = [&]() -> Result<Schema> {
+    GPR_ASSIGN_OR_RETURN(Schema l, child(0));
+    GPR_ASSIGN_OR_RETURN(Schema r, child(1));
+    const std::string ln = OutputName(plan->children[0]);
+    const std::string rn = OutputName(plan->children[1]);
+    if (!ln.empty() && ln == rn) {
+      return Status::BindError("join inputs share the name '" + ln + "'");
+    }
+    Schema ls = ln.empty() ? l : l.Qualified(ln);
+    Schema rs = rn.empty() ? r : r.Qualified(rn);
+    return ls.Concat(rs);
+  };
+  switch (plan->kind) {
+    case PlanKind::kScan: {
+      if (overlays != nullptr) {
+        auto it = overlays->find(plan->table_name);
+        if (it != overlays->end()) return it->second;
+      }
+      GPR_ASSIGN_OR_RETURN(const ra::Table* t, catalog.Get(plan->table_name));
+      return t->schema();
+    }
+    case PlanKind::kSelect:
+    case PlanKind::kDistinct:
+    case PlanKind::kSort:
+    case PlanKind::kUnionAll:
+    case PlanKind::kUnionDistinct:
+    case PlanKind::kDifference:
+    case PlanKind::kIntersect:
+    case PlanKind::kSemiJoin:
+    case PlanKind::kAntiJoin:
+      return child(0);
+    case PlanKind::kProject: {
+      GPR_ASSIGN_OR_RETURN(Schema in, child(0));
+      std::vector<ra::Column> cols;
+      for (const auto& item : plan->items) {
+        GPR_ASSIGN_OR_RETURN(ra::CompiledExpr e, Compile(item.expr, in));
+        cols.push_back({item.name, e.result_type()});
+      }
+      return Schema(std::move(cols));
+    }
+    case PlanKind::kJoin:
+    case PlanKind::kLeftOuterJoin:
+    case PlanKind::kCrossProduct:
+      return joined();
+    case PlanKind::kGroupBy: {
+      GPR_ASSIGN_OR_RETURN(Schema in, child(0));
+      std::vector<ra::Column> cols;
+      for (const auto& g : plan->group_cols) {
+        GPR_ASSIGN_OR_RETURN(size_t idx, in.Resolve(g));
+        cols.push_back(in.column(idx));
+      }
+      for (const auto& agg : plan->aggs) {
+        ValueType t = ValueType::kInt64;
+        if (agg.arg) {
+          GPR_ASSIGN_OR_RETURN(ra::CompiledExpr e, Compile(agg.arg, in));
+          t = e.result_type();
+        }
+        if (agg.kind == ra::AggKind::kCount) t = ValueType::kInt64;
+        if (agg.kind == ra::AggKind::kAvg) t = ValueType::kDouble;
+        cols.push_back({agg.out_name, t});
+      }
+      return Schema(std::move(cols));
+    }
+    case PlanKind::kRename: {
+      GPR_ASSIGN_OR_RETURN(Schema in, child(0));
+      if (plan->col_names.empty()) return in;
+      return in.Renamed(plan->col_names);
+    }
+    case PlanKind::kMMJoin:
+      return Schema{{"F", ValueType::kInt64},
+                    {"T", ValueType::kInt64},
+                    {"ew", ValueType::kDouble}};
+    case PlanKind::kMVJoin:
+      return Schema{{"ID", ValueType::kInt64}, {"vw", ValueType::kDouble}};
+  }
+  GPR_UNREACHABLE();
+}
+
+void CollectTableRefs(const PlanPtr& plan, std::vector<TableRef>* out,
+                      bool negated) {
+  if (plan->kind == PlanKind::kScan) {
+    out->push_back({plan->table_name, negated});
+    return;
+  }
+  for (size_t i = 0; i < plan->children.size(); ++i) {
+    bool child_negated = negated;
+    if ((plan->kind == PlanKind::kAntiJoin ||
+         plan->kind == PlanKind::kDifference) &&
+        i == 1) {
+      child_negated = true;
+    }
+    CollectTableRefs(plan->children[i], out, child_negated);
+  }
+}
+
+bool PlanMustBeEmpty(const PlanPtr& plan,
+                     const std::unordered_set<std::string>& empty_tables) {
+  auto left_empty = [&] {
+    return PlanMustBeEmpty(plan->children[0], empty_tables);
+  };
+  auto right_empty = [&] {
+    return PlanMustBeEmpty(plan->children[1], empty_tables);
+  };
+  switch (plan->kind) {
+    case PlanKind::kScan:
+      return empty_tables.count(plan->table_name) > 0;
+    case PlanKind::kSelect:
+    case PlanKind::kProject:
+    case PlanKind::kDistinct:
+    case PlanKind::kSort:
+    case PlanKind::kRename:
+      return left_empty();
+    case PlanKind::kJoin:
+    case PlanKind::kCrossProduct:
+    case PlanKind::kIntersect:
+    case PlanKind::kMMJoin:
+    case PlanKind::kMVJoin:
+      return left_empty() || right_empty();
+    case PlanKind::kSemiJoin:
+      return left_empty() || right_empty();
+    case PlanKind::kLeftOuterJoin:
+    case PlanKind::kAntiJoin:
+    case PlanKind::kDifference:
+      return left_empty();
+    case PlanKind::kUnionAll:
+    case PlanKind::kUnionDistinct:
+      return left_empty() && right_empty();
+    case PlanKind::kGroupBy:
+      // Scalar aggregation produces one row even over empty input.
+      return !plan->group_cols.empty() && left_empty();
+  }
+  return false;
+}
+
+bool PlanUsesAggregation(const PlanPtr& plan) {
+  if (plan->kind == PlanKind::kGroupBy || plan->kind == PlanKind::kMMJoin ||
+      plan->kind == PlanKind::kMVJoin) {
+    return true;
+  }
+  for (const auto& c : plan->children) {
+    if (PlanUsesAggregation(c)) return true;
+  }
+  return false;
+}
+
+bool PlanUsesNegation(const PlanPtr& plan) {
+  if (plan->kind == PlanKind::kAntiJoin ||
+      plan->kind == PlanKind::kDifference ||
+      plan->kind == PlanKind::kIntersect) {
+    return true;
+  }
+  for (const auto& c : plan->children) {
+    if (PlanUsesNegation(c)) return true;
+  }
+  return false;
+}
+
+}  // namespace gpr::core

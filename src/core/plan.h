@@ -1,0 +1,171 @@
+// Logical query plans: the composable IR that with+ subqueries, `computed
+// by` definitions, and the graph-algorithm library are written in.
+//
+// Plans are executed against a Catalog under an EngineProfile (which chooses
+// the physical join algorithm and the index behaviour) by ExecutePlan().
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/aggregate_join.h"
+#include "core/anti_join.h"
+#include "core/engine_profile.h"
+#include "core/semiring.h"
+#include "ra/catalog.h"
+#include "ra/operators.h"
+#include "util/status.h"
+
+namespace gpr::core {
+
+enum class PlanKind {
+  kScan,
+  kSelect,
+  kProject,
+  kJoin,
+  kLeftOuterJoin,
+  kSemiJoin,
+  kAntiJoin,
+  kUnionAll,
+  kUnionDistinct,
+  kDifference,
+  kIntersect,
+  kDistinct,
+  kGroupBy,
+  kRename,
+  kCrossProduct,
+  kMMJoin,
+  kMVJoin,
+  kSort,
+};
+
+const char* PlanKindName(PlanKind k);
+
+struct Plan;
+using PlanPtr = std::shared_ptr<const Plan>;
+
+/// One logical operator node. Only the fields relevant to `kind` are used.
+struct Plan {
+  PlanKind kind = PlanKind::kScan;
+  std::vector<PlanPtr> children;
+
+  // kScan
+  std::string table_name;
+
+  // kSelect (predicate) / kJoin (residual predicate)
+  ra::ExprPtr predicate;
+
+  // kProject
+  std::vector<ra::ops::ProjectItem> items;
+
+  // kJoin / kLeftOuterJoin / kSemiJoin / kAntiJoin
+  ra::ops::JoinKeys keys;
+  std::optional<ra::ops::JoinAlgorithm> join_algo;  ///< profile override
+  AntiJoinImpl anti_impl = AntiJoinImpl::kNotExists;
+
+  // kGroupBy
+  std::vector<std::string> group_cols;
+  std::vector<ra::AggSpec> aggs;
+
+  // kRename / kProject (output table name)
+  std::string new_name;
+  std::vector<std::string> col_names;
+
+  // kMMJoin / kMVJoin
+  Semiring semiring = PlusTimes();
+  MVOrientation orientation = MVOrientation::kStandard;
+  MatrixCols a_cols, b_cols;
+  VectorCols v_cols;
+
+  // kSort
+  std::vector<std::string> sort_cols;
+
+  /// Compact one-line rendering ("Join[T=F](Scan TC, Scan E)").
+  std::string ToString() const;
+};
+
+/// Builders -------------------------------------------------------------
+
+PlanPtr Scan(std::string table);
+PlanPtr SelectOp(PlanPtr in, ra::ExprPtr pred);
+PlanPtr ProjectOp(PlanPtr in, std::vector<ra::ops::ProjectItem> items,
+                  std::string out_name = "");
+PlanPtr JoinOp(PlanPtr l, PlanPtr r, ra::ops::JoinKeys keys,
+               ra::ExprPtr residual = nullptr);
+PlanPtr LeftOuterJoinOp(PlanPtr l, PlanPtr r, ra::ops::JoinKeys keys);
+PlanPtr SemiJoinOp(PlanPtr l, PlanPtr r, ra::ops::JoinKeys keys);
+PlanPtr AntiJoinOp(PlanPtr l, PlanPtr r, ra::ops::JoinKeys keys,
+                   AntiJoinImpl impl = AntiJoinImpl::kNotExists);
+PlanPtr UnionAllOp(PlanPtr l, PlanPtr r);
+PlanPtr UnionDistinctOp(PlanPtr l, PlanPtr r);
+PlanPtr DifferenceOp(PlanPtr l, PlanPtr r);
+PlanPtr IntersectOp(PlanPtr l, PlanPtr r);
+PlanPtr DistinctOp(PlanPtr in);
+PlanPtr GroupByOp(PlanPtr in, std::vector<std::string> group_cols,
+                  std::vector<ra::AggSpec> aggs);
+PlanPtr RenameOp(PlanPtr in, std::string new_name,
+                 std::vector<std::string> col_names = {});
+PlanPtr CrossProductOp(PlanPtr l, PlanPtr r);
+PlanPtr MMJoinOp(PlanPtr a, PlanPtr b, Semiring sr, MatrixCols a_cols = {},
+                 MatrixCols b_cols = {});
+PlanPtr MVJoinOp(PlanPtr m, PlanPtr v, Semiring sr,
+                 MVOrientation orientation = MVOrientation::kStandard,
+                 MatrixCols m_cols = {}, VectorCols v_cols = {});
+PlanPtr SortOp(PlanPtr in, std::vector<std::string> cols);
+
+/// Per-plan execution counters (accumulated into WithPlusStats).
+struct ExecCounters {
+  size_t joins = 0;
+  size_t rows_joined = 0;
+  size_t index_builds = 0;
+};
+
+/// Computes the output schema of `plan` without executing it. `overlays`
+/// supplies schemas for tables not (yet) in the catalog — the recursive
+/// relation and computed-by definitions during SQL binding.
+Result<ra::Schema> InferSchema(
+    const PlanPtr& plan, const ra::Catalog& catalog,
+    const std::unordered_map<std::string, ra::Schema>* overlays = nullptr);
+
+/// Evaluates `plan` against `catalog` under `profile`.
+///
+/// Join algorithms are chosen per profile unless the node overrides them;
+/// under an index-adopting profile with build_temp_indexes set, sort indexes
+/// are built (and reused across iterations) on scanned tables' join columns.
+Result<ra::Table> ExecutePlan(const PlanPtr& plan, ra::Catalog& catalog,
+                              const EngineProfile& profile,
+                              ra::EvalContext* ctx = nullptr,
+                              ExecCounters* counters = nullptr);
+
+/// All table names scanned by the plan, with a flag telling whether any
+/// occurrence sits in a negated position (right side of anti-join or
+/// difference) — the raw material of the Def. 9.1 dependency graph.
+struct TableRef {
+  std::string name;
+  bool negated = false;
+};
+void CollectTableRefs(const PlanPtr& plan, std::vector<TableRef>* out,
+                      bool negated = false);
+
+/// True if the plan is guaranteed to produce no rows when every table in
+/// `empty_tables` is empty — the sound version of the paper's empty-
+/// temp-table short-circuit (Appendix, "some implementation details").
+/// Conservative: emptiness propagates through selection/projection/joins
+/// but not through union, outer joins' left side, anti-join, or scalar
+/// aggregation (which yields one row over empty input).
+bool PlanMustBeEmpty(const PlanPtr& plan,
+                     const std::unordered_set<std::string>& empty_tables);
+
+/// True if the plan contains group-by & aggregation, MM-join or MV-join —
+/// the aggregate operations SQL'99 forbids in recursion.
+bool PlanUsesAggregation(const PlanPtr& plan);
+
+/// True if the plan contains anti-join, difference or intersect — the
+/// negation-like operations.
+bool PlanUsesNegation(const PlanPtr& plan);
+
+}  // namespace gpr::core

@@ -1,0 +1,311 @@
+#include "core/psm.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/timer.h"
+
+namespace gpr::core {
+
+using ra::Table;
+
+std::string PsmProcedure::ToSqlSketch() const {
+  std::ostringstream os;
+  os << "create procedure " << name << " (\n";
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    os << "  declare " << blocks[i].cond_var << " int;\n";
+  }
+  os << "  create temporary table " << rec_table << " "
+     << rec_schema.ToString() << ";\n";
+  for (const auto& b : blocks) {
+    for (const auto& def : b.defs) {
+      os << "  create temporary table " << def.name << " as "
+         << def.plan->ToString() << ";\n";
+    }
+  }
+  for (const auto& p : init_plans) {
+    os << "  insert into " << rec_table << " " << p->ToString() << ";\n";
+  }
+  os << "  loop\n";
+  for (const auto& b : blocks) {
+    for (const auto& def : b.defs) {
+      os << "    truncate table " << def.name << "; insert into " << def.name
+         << " " << def.plan->ToString() << ";\n";
+    }
+    os << "    " << b.cond_var << " := count(delta of "
+       << b.delta_plan->ToString() << ");\n";
+  }
+  os << "    exit when ";
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    if (i > 0) os << " and ";
+    os << blocks[i].cond_var << " = 0";
+  }
+  os << ";\n    " << rec_table << " := " << rec_table << " "
+     << UnionModeName(mode) << " delta;\n";
+  if (maxrecursion > 0) {
+    os << "    exit when iteration = " << maxrecursion << ";\n";
+  }
+  os << "  end loop)\n";
+  return os.str();
+}
+
+Result<PsmProcedure> CompileToPsm(const WithPlusQuery& query) {
+  PsmProcedure proc;
+  proc.name = "F_" + query.rec_name;
+  proc.rec_table = query.rec_name;
+  proc.rec_schema = query.rec_schema;
+  proc.mode = query.mode;
+  proc.update_keys = query.update_keys;
+  proc.ubu_impl = query.ubu_impl;
+  proc.maxrecursion = query.maxrecursion;
+  proc.sql99_working_table = query.sql99_working_table;
+  if (proc.sql99_working_table && query.mode == UnionMode::kUnionByUpdate) {
+    return Status::InvalidArgument(
+        "working-table semantics apply to union all / union, not to "
+        "union by update");
+  }
+  for (const auto& sq : query.init) {
+    if (!sq.computed_by.empty()) {
+      return Status::NotSupported(
+          "computed by inside initial subqueries is not supported; inline "
+          "the definitions");
+    }
+    proc.init_plans.push_back(sq.plan);
+  }
+  for (size_t i = 0; i < query.recursive.size(); ++i) {
+    PsmRecursiveBlock block;
+    block.defs = query.recursive[i].computed_by;
+    block.delta_plan = query.recursive[i].plan;
+    block.cond_var = "C_" + std::to_string(i + 1);
+    proc.blocks.push_back(std::move(block));
+  }
+  return proc;
+}
+
+Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
+                                     ra::Catalog& catalog,
+                                     const EngineProfile& profile,
+                                     uint64_t seed) {
+  WithPlusResult result;
+  Xoshiro256 rng(seed);
+  ra::EvalContext ctx{&rng};
+  RedoLog redo;
+  std::vector<std::string> created;  // temp tables to drop on exit
+  auto cleanup = [&] {
+    for (const auto& name : created) {
+      (void)catalog.DropTable(name);
+    }
+  };
+
+  // create temporary table R.
+  if (catalog.Has(proc.rec_table)) {
+    cleanup();
+    return Status::AlreadyExists("recursive relation '" + proc.rec_table +
+                                 "' collides with an existing table");
+  }
+  GPR_CHECK_OK(catalog.CreateTempTable(proc.rec_table, proc.rec_schema));
+  created.push_back(proc.rec_table);
+
+  // Initialization: union all of the initial subqueries.
+  for (const auto& plan : proc.init_plans) {
+    auto init = ExecutePlan(plan, catalog, profile, &ctx, &result.counters);
+    if (!init.ok()) {
+      cleanup();
+      return init.status();
+    }
+    auto rec = catalog.Get(proc.rec_table);
+    GPR_CHECK_OK(rec.status());
+    if (!(*rec)->schema().UnionCompatible(init->schema())) {
+      cleanup();
+      return Status::TypeMismatch(
+          "initial subquery result " + init->schema().ToString() +
+          " is incompatible with " + proc.rec_schema.ToString());
+    }
+    for (const auto& row : init->rows()) {
+      if (profile.insert_logging) redo.LogInsert(row);
+      (*rec)->AddRow(row);
+    }
+  }
+
+  // The set of rows already in R, maintained for union (distinct) mode.
+  std::unordered_set<ra::Tuple, ra::TupleHash, ra::TupleEq> seen;
+  if (proc.mode == UnionMode::kUnionDistinct) {
+    auto rec = catalog.Get(proc.rec_table);
+    GPR_CHECK_OK(rec.status());
+    seen.insert((*rec)->rows().begin(), (*rec)->rows().end());
+  }
+  // SQL'99 working-table mode: the catalog's recursive table holds only
+  // the previous iteration's output; the full result accumulates here.
+  const bool working_mode = proc.sql99_working_table;
+  Table full_accum;
+  if (working_mode) {
+    auto rec = catalog.Get(proc.rec_table);
+    GPR_CHECK_OK(rec.status());
+    full_accum = **rec;
+  }
+
+  const int cap = proc.maxrecursion;
+  while (true) {
+    WallTimer iter_timer;
+    // Compute the deltas of every recursive subquery.
+    Table delta("delta", proc.rec_schema);
+    bool any_rows = false;
+    for (size_t b = 0; b < proc.blocks.size(); ++b) {
+      const auto& block = proc.blocks[b];
+      // The sound variant of the paper's empty-temp-table short-circuit:
+      // once a materialized definition comes out empty, any downstream plan
+      // whose output provably must be empty is skipped.
+      std::unordered_set<std::string> known_empty;
+      for (const auto& def : block.defs) {
+        Table t;
+        if (PlanMustBeEmpty(def.plan, known_empty) &&
+            catalog.Has(def.name)) {
+          // Reuse the existing (emptied) definition without executing.
+          t = Table(def.name, (*catalog.Get(def.name))->schema());
+        } else {
+          auto mat =
+              ExecutePlan(def.plan, catalog, profile, &ctx, &result.counters);
+          if (!mat.ok()) {
+            cleanup();
+            return mat.status();
+          }
+          t = std::move(mat).value();
+          t.set_name(def.name);
+        }
+        if (profile.insert_logging) {
+          for (const auto& row : t.rows()) redo.LogInsert(row);
+        }
+        if (t.Empty()) known_empty.insert(def.name);
+        if (!catalog.Has(def.name)) {
+          GPR_CHECK_OK(catalog.CreateTempTable(def.name, t.schema()));
+          created.push_back(def.name);
+        }
+        GPR_CHECK_OK(catalog.ReplaceTable(def.name, std::move(t)));
+      }
+      if (PlanMustBeEmpty(block.delta_plan, known_empty)) {
+        continue;  // C_b = 0
+      }
+      auto dres =
+          ExecutePlan(block.delta_plan, catalog, profile, &ctx,
+                      &result.counters);
+      if (!dres.ok()) {
+        cleanup();
+        return dres.status();
+      }
+      if (!delta.schema().UnionCompatible(dres->schema())) {
+        cleanup();
+        return Status::TypeMismatch(
+            "recursive subquery result " + dres->schema().ToString() +
+            " is incompatible with " + proc.rec_schema.ToString());
+      }
+      if (!dres->Empty()) {
+        any_rows = true;
+        for (auto& row : dres->mutable_rows()) delta.AddRow(std::move(row));
+      }
+    }
+
+    // Exit check: all C_i are zero.
+    if (!any_rows) {
+      result.converged = true;
+      result.iters.push_back(
+          {iter_timer.ElapsedMillis(),
+           working_mode ? full_accum.NumRows()
+                        : (*catalog.Get(proc.rec_table))->NumRows(),
+           0});
+      ++result.iterations;
+      break;
+    }
+
+    // Combine delta into R.
+    auto rec = catalog.Get(proc.rec_table);
+    GPR_CHECK_OK(rec.status());
+    Table* r = *rec;
+    bool changed = false;
+    switch (proc.mode) {
+      case UnionMode::kUnionAll: {
+        if (working_mode) {
+          for (const auto& row : delta.rows()) {
+            if (profile.insert_logging) redo.LogInsert(row);
+            full_accum.AddRow(row);
+            changed = true;
+          }
+          delta.set_name(proc.rec_table);
+          GPR_CHECK_OK(catalog.ReplaceTable(proc.rec_table, delta));
+          break;
+        }
+        for (auto& row : delta.mutable_rows()) {
+          if (profile.insert_logging) redo.LogInsert(row);
+          r->AddRow(std::move(row));
+          changed = true;
+        }
+        break;
+      }
+      case UnionMode::kUnionDistinct: {
+        if (working_mode) {
+          Table working(proc.rec_table, full_accum.schema());
+          for (auto& row : delta.mutable_rows()) {
+            if (!seen.insert(row).second) continue;
+            if (profile.insert_logging) redo.LogInsert(row);
+            full_accum.AddRow(row);
+            working.AddRow(std::move(row));
+            changed = true;
+          }
+          GPR_CHECK_OK(
+              catalog.ReplaceTable(proc.rec_table, std::move(working)));
+          break;
+        }
+        for (auto& row : delta.mutable_rows()) {
+          if (!seen.insert(row).second) continue;
+          if (profile.insert_logging) redo.LogInsert(row);
+          r->AddRow(std::move(row));
+          changed = true;
+        }
+        break;
+      }
+      case UnionMode::kUnionByUpdate: {
+        auto updated = UnionByUpdate(*r, delta, proc.update_keys,
+                                     proc.ubu_impl, profile);
+        if (!updated.ok()) {
+          cleanup();
+          return updated.status();
+        }
+        changed = !updated->SameRowsAs(*r);
+        if (profile.insert_logging) {
+          for (const auto& row : updated->rows()) redo.LogInsert(row);
+        }
+        GPR_CHECK_OK(
+            catalog.ReplaceTable(proc.rec_table, std::move(updated).value()));
+        break;
+      }
+    }
+
+    ++result.iterations;
+    result.iters.push_back({iter_timer.ElapsedMillis(),
+                            working_mode
+                                ? full_accum.NumRows()
+                                : (*catalog.Get(proc.rec_table))->NumRows(),
+                            delta.NumRows()});
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+    if (cap > 0 && static_cast<int>(result.iterations) >= cap) {
+      break;  // iteration cap (maxrecursion hint)
+    }
+  }
+
+  // select ... from R — copy the result out, then drop all temporaries.
+  if (working_mode) {
+    result.table = std::move(full_accum);
+    result.table.set_name(proc.rec_table);
+  } else {
+    auto rec = catalog.Get(proc.rec_table);
+    GPR_CHECK_OK(rec.status());
+    result.table = **rec;
+    result.table.DropIndexes();
+  }
+  cleanup();
+  return result;
+}
+
+}  // namespace gpr::core

@@ -1,0 +1,56 @@
+// SQL/PSM compilation of with+ queries (Section 6, Algorithm 1).
+//
+// A with+ statement is processed by creating a PSM procedure F_Q that
+// declares per-subquery exit-condition variables, creates temp tables for
+// every `computed by` relation, seeds the recursive relation from the
+// initial subqueries, then loops: materialize temporaries, compute each
+// recursive subquery's delta, exit when every delta is empty (or the
+// iteration cap fires), and combine the delta into the recursive relation
+// with union all / union / union-by-update.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/with_plus.h"
+#include "util/status.h"
+
+namespace gpr::core {
+
+/// One recursive subquery compiled into the procedure's loop body.
+struct PsmRecursiveBlock {
+  std::vector<ComputedByDef> defs;  ///< temp tables refreshed per iteration
+  PlanPtr delta_plan;               ///< produces this block's delta
+  std::string cond_var;             ///< the C_i emptiness-check variable
+};
+
+/// The compiled procedure F_Q.
+struct PsmProcedure {
+  std::string name;
+  std::string rec_table;
+  ra::Schema rec_schema;
+  std::vector<PlanPtr> init_plans;
+  std::vector<PsmRecursiveBlock> blocks;
+  UnionMode mode = UnionMode::kUnionAll;
+  std::vector<std::string> update_keys;
+  UnionByUpdateImpl ubu_impl = UnionByUpdateImpl::kFullOuterJoin;
+  int maxrecursion = 0;
+  bool sql99_working_table = false;
+
+  /// A human-readable SQL/PSM sketch of the procedure (documentation and
+  /// REPL output; not re-parsed).
+  std::string ToSqlSketch() const;
+};
+
+/// Algorithm 1, lines 1–4: validate and build the procedure. The query must
+/// already have passed CheckWithPlusStratified.
+Result<PsmProcedure> CompileToPsm(const WithPlusQuery& query);
+
+/// Algorithm 1, line 5: "call F_Q". Runs the procedure against `catalog`
+/// under `profile`; all temporaries are dropped before returning.
+Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
+                                     ra::Catalog& catalog,
+                                     const EngineProfile& profile,
+                                     uint64_t seed = 42);
+
+}  // namespace gpr::core

@@ -1,0 +1,51 @@
+#include "core/semiring.h"
+
+#include "util/string_util.h"
+
+namespace gpr::core {
+
+using ra::AggKind;
+using ra::BinaryOp;
+using ra::Value;
+
+const Semiring& PlusTimes() {
+  static const Semiring s{"plus_times", AggKind::kSum, BinaryOp::kMul,
+                          Value(0.0), Value(1.0)};
+  return s;
+}
+
+const Semiring& MinPlus() {
+  static const Semiring s{"min_plus", AggKind::kMin, BinaryOp::kAdd,
+                          Value(kInfDistance), Value(0.0)};
+  return s;
+}
+
+const Semiring& MaxTimes() {
+  static const Semiring s{"max_times", AggKind::kMax, BinaryOp::kMul,
+                          Value(0.0), Value(1.0)};
+  return s;
+}
+
+const Semiring& MinTimes() {
+  static const Semiring s{"min_times", AggKind::kMin, BinaryOp::kMul,
+                          Value(kInfDistance), Value(1.0)};
+  return s;
+}
+
+const Semiring& OrAnd() {
+  static const Semiring s{"or_and", AggKind::kMax, BinaryOp::kMul,
+                          Value(int64_t{0}), Value(int64_t{1})};
+  return s;
+}
+
+Result<Semiring> SemiringByName(const std::string& name) {
+  const std::string n = ToLower(name);
+  if (n == "plus_times") return PlusTimes();
+  if (n == "min_plus") return MinPlus();
+  if (n == "max_times") return MaxTimes();
+  if (n == "min_times") return MinTimes();
+  if (n == "or_and") return OrAnd();
+  return Status::InvalidArgument("unknown semiring '" + name + "'");
+}
+
+}  // namespace gpr::core

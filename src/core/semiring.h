@@ -1,0 +1,57 @@
+// Semirings (Section 4): the algebraic structure (M, ⊕, ⊙, 0, 1) by which
+// many graph algorithms are expressed as matrix/vector products.
+//
+// The ⊕ (addition) side maps onto a SQL aggregate function; the ⊙
+// (multiplication) side maps onto a scalar binary expression evaluated while
+// joining. MM-join and MV-join (aggregate_join.h) take a Semiring and build
+// the corresponding join + group-by & aggregation.
+#pragma once
+
+#include <string>
+
+#include "ra/aggregate.h"
+#include "ra/expr.h"
+#include "ra/value.h"
+#include "util/status.h"
+
+namespace gpr::core {
+
+/// A semiring instance over the Value domain.
+struct Semiring {
+  std::string name;
+  ra::AggKind add;        ///< ⊕ as an aggregate (sum / min / max / count)
+  ra::BinaryOp multiply;  ///< ⊙ as a scalar operator (* or +)
+  ra::Value zero;         ///< additive identity (annihilates under ⊙)
+  ra::Value one;          ///< multiplicative identity
+
+  /// The ⊙ expression over two operand expressions.
+  ra::ExprPtr Multiply(ra::ExprPtr a, ra::ExprPtr b) const {
+    return ra::Binary(multiply, std::move(a), std::move(b));
+  }
+};
+
+/// (ℝ, +, ×, 0, 1) — PageRank, RWR, SimRank, HITS.
+const Semiring& PlusTimes();
+
+/// (ℝ∪{∞}, min, +, ∞, 0) — shortest distances (Bellman-Ford,
+/// Floyd-Warshall). `zero` is represented by a large sentinel distance.
+const Semiring& MinPlus();
+
+/// (ℝ, max, ×, 0, 1) — BFS reachability over 0/1 values, Keyword-Search.
+const Semiring& MaxTimes();
+
+/// (ℝ, min, ×, +∞, 1) — Connected-Component label spreading (min of
+/// neighbour labels).
+const Semiring& MinTimes();
+
+/// ({0,1}, ∨, ∧, 0, 1) — boolean reachability / transitive closure.
+const Semiring& OrAnd();
+
+/// The large-but-finite distance standing in for ∞ in MinPlus relations.
+/// Kept well below numeric limits so `dist + ew` cannot overflow.
+constexpr double kInfDistance = 1.0e15;
+
+/// Looks a semiring up by name ("plus_times", "min_plus", ...).
+Result<Semiring> SemiringByName(const std::string& name);
+
+}  // namespace gpr::core

@@ -1,0 +1,148 @@
+#include "core/sql99_compat.h"
+
+#include "core/plan.h"
+
+namespace gpr::core {
+namespace {
+
+/// True if any expression under `e` is a general function call. rand() and
+/// friends count; the binder never produces calls for plain arithmetic.
+bool ExprHasCall(const ra::ExprPtr& e) {
+  if (e == nullptr) return false;
+  if (e->kind == ra::ExprKind::kCall) return true;
+  for (const auto& child : e->children) {
+    if (ExprHasCall(child)) return true;
+  }
+  return false;
+}
+
+bool PlanHasCall(const PlanPtr& plan) {
+  if (ExprHasCall(plan->predicate)) return true;
+  for (const auto& item : plan->items) {
+    if (ExprHasCall(item.expr)) return true;
+  }
+  for (const auto& agg : plan->aggs) {
+    if (ExprHasCall(agg.arg)) return true;
+  }
+  for (const auto& child : plan->children) {
+    if (PlanHasCall(child)) return true;
+  }
+  return false;
+}
+
+bool PlanHasDistinct(const PlanPtr& plan) {
+  if (plan->kind == PlanKind::kDistinct ||
+      plan->kind == PlanKind::kUnionDistinct) {
+    return true;
+  }
+  for (const auto& child : plan->children) {
+    if (PlanHasDistinct(child)) return true;
+  }
+  return false;
+}
+
+/// Number of scans of `name` anywhere under the plan.
+size_t CountRefs(const PlanPtr& plan, const std::string& name) {
+  std::vector<TableRef> refs;
+  CollectTableRefs(plan, &refs);
+  size_t n = 0;
+  for (const auto& r : refs) n += r.name == name;
+  return n;
+}
+
+}  // namespace
+
+std::vector<CompatViolation> Sql99Violations(const WithPlusQuery& query,
+                                             const EngineProfile& profile) {
+  const WithFeatureMatrix& f = profile.with_features;
+  std::vector<CompatViolation> out;
+
+  // (A) linear / nonlinear / mutual recursion.
+  for (size_t i = 0; i < query.recursive.size(); ++i) {
+    size_t refs = CountRefs(query.recursive[i].plan, query.rec_name);
+    for (const auto& def : query.recursive[i].computed_by) {
+      refs += CountRefs(def.plan, query.rec_name);
+    }
+    if (refs > 1 && !f.nonlinear_recursion) {
+      out.push_back({"nonlinear recursion",
+                     "recursive subquery " + std::to_string(i + 1) +
+                         " references " + query.rec_name + " " +
+                         std::to_string(refs) + " times"});
+    }
+  }
+
+  // (B) multiple queries in the recursive step.
+  if (query.recursive.size() > 1 && !f.multiple_recursive_queries) {
+    out.push_back({"multiple recursive queries",
+                   std::to_string(query.recursive.size()) +
+                       " recursive subqueries"});
+  }
+
+  // (C) set operations between queries.
+  if (query.mode == UnionMode::kUnionByUpdate) {
+    out.push_back({"union by update",
+                   "no RDBMS supports value updates in recursion (the "
+                   "paper's new operation)"});
+  }
+  if (query.mode == UnionMode::kUnionDistinct &&
+      !f.union_across_init_and_recursive) {
+    out.push_back({"union (distinct) across initial and recursive queries",
+                   "only PostgreSQL accepts union instead of union all"});
+  }
+
+  // computed by is a with+ extension, full stop.
+  for (size_t i = 0; i < query.recursive.size(); ++i) {
+    if (!query.recursive[i].computed_by.empty()) {
+      out.push_back({"computed by",
+                     "recursive subquery " + std::to_string(i + 1) +
+                         " uses a computed by chain (with+ extension)"});
+      break;
+    }
+  }
+
+  // (D) restrictions inside the recursive step.
+  for (size_t i = 0; i < query.recursive.size(); ++i) {
+    const auto tag = "recursive subquery " + std::to_string(i + 1);
+    std::vector<PlanPtr> plans{query.recursive[i].plan};
+    for (const auto& def : query.recursive[i].computed_by) {
+      plans.push_back(def.plan);
+    }
+    bool negation = false;
+    bool aggregation = false;
+    bool distinct = false;
+    bool calls = false;
+    for (const auto& p : plans) {
+      negation |= PlanUsesNegation(p);
+      aggregation |= PlanUsesAggregation(p);
+      distinct |= PlanHasDistinct(p);
+      calls |= PlanHasCall(p);
+    }
+    if (negation && !f.negation_in_recursion) {
+      out.push_back({"negation", tag});
+    }
+    if (aggregation && !f.aggregates_in_recursion) {
+      out.push_back({"aggregate functions / group by", tag});
+    }
+    if (distinct && !f.distinct_in_recursion) {
+      out.push_back({"distinct", tag});
+    }
+    if (calls && !f.general_functions_in_recursion) {
+      out.push_back({"general functions", tag});
+    }
+  }
+  return out;
+}
+
+Status CheckSql99Compatible(const WithPlusQuery& query,
+                            const EngineProfile& profile) {
+  auto violations = Sql99Violations(query, profile);
+  if (violations.empty()) return Status::OK();
+  return Status::NotSupported(
+      profile.name + " recursive with rejects: " + violations[0].feature +
+      " (" + violations[0].detail + ")" +
+      (violations.size() > 1
+           ? " and " + std::to_string(violations.size() - 1) + " more"
+           : ""));
+}
+
+}  // namespace gpr::core

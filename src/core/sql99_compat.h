@@ -1,0 +1,36 @@
+// SQL'99 compatibility checking — Table 1 made executable.
+//
+// Given a with+ query, decides whether the *standard* recursive with
+// clause of a given engine (per its Table 1 feature column) could run it,
+// and reports the first violated restriction otherwise. This
+// operationalizes the paper's motivating claim: the 4 operations
+// (MM-join, MV-join, anti-join, union-by-update) are non-monotonic and
+// none of them is accepted by the recursive with of Oracle 11gR2,
+// DB2 10.5, or PostgreSQL 9.4 — hence with+.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine_profile.h"
+#include "core/with_plus.h"
+#include "util/status.h"
+
+namespace gpr::core {
+
+/// One violated SQL'99/engine restriction.
+struct CompatViolation {
+  std::string feature;  ///< Table 1 row, e.g. "aggregate functions"
+  std::string detail;   ///< where it occurs in the query
+};
+
+/// All restrictions `query` violates under `profile`'s with clause
+/// (empty = the engine's plain recursive with could run it).
+std::vector<CompatViolation> Sql99Violations(const WithPlusQuery& query,
+                                             const EngineProfile& profile);
+
+/// Status form: OK or NotSupported with the first violation.
+Status CheckSql99Compatible(const WithPlusQuery& query,
+                            const EngineProfile& profile);
+
+}  // namespace gpr::core

@@ -1,0 +1,35 @@
+// Lowering with+ queries to DATALOG and the plan-level stratification
+// checks of Section 5 / Algorithm 1.
+#pragma once
+
+#include "core/datalog.h"
+#include "core/with_plus.h"
+#include "util/status.h"
+
+namespace gpr::core {
+
+/// Lowers the recursive part of `query` to a DATALOG program with temporal
+/// arguments, following the construction in the proof sketch of Theorem 5.1:
+///
+///  * a scan of the recursive relation inside a recursive subquery refers to
+///    the previous stage —  R_q(..., T);
+///  * `computed by` definitions are same-stage predicates — R_i(..., s(T));
+///  * the recursive subquery's result feeds a delta predicate Δ_i(..., s(T));
+///  * union-all contributes   R_q(s(T)) :- R_q(T)  and  R_q(s(T)) :- Δ_i(s(T));
+///  * union-by-update contributes the Eq. 22 pair
+///      R_q(s(T)) :- R_q(T), ¬Δ_i(s(T))   and   R_q(s(T)) :- Δ_i(s(T)).
+Result<DatalogProgram> LowerToDatalog(const WithPlusQuery& query);
+
+/// The Def. 9.1-style dependency graph of one subquery: nodes are the
+/// recursive relation, computed-by definitions, and base tables; edges carry
+/// negation labels. The recursive relation is treated as already known
+/// (base), so the graph must be acyclic — the `computed by` cycle-freeness
+/// requirement of Section 6.
+Result<DependencyGraph> LocalDependencyGraph(const WithPlusQuery& query,
+                                             const Subquery& subquery);
+
+/// The full Algorithm-1 gate: local graphs cycle-free, union-by-update
+/// restrictions honoured, lowered program XY-stratified.
+Status CheckWithPlusStratified(const WithPlusQuery& query);
+
+}  // namespace gpr::core

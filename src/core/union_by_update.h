@@ -1,0 +1,58 @@
+// Union-by-update (R ⊎_A S) — the new operation the paper proposes
+// (Section 4.1), with the four physical implementations benchmarked in
+// Exp-1 (Tables 4–5).
+//
+// Semantics: tuples r ∈ R and s ∈ S are identical when they agree on the
+// key attributes A. For each matched r, its non-key attributes are updated
+// to s's; unmatched r survive; unmatched s are inserted. Multiple r may
+// match one s, but multiple s matching one r is rejected (the result would
+// not be unique). With an empty key list, ⊎ replaces R by S wholesale
+// (the noninflationary assignment of Section 4.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine_profile.h"
+#include "ra/catalog.h"
+#include "ra/table.h"
+#include "util/status.h"
+
+namespace gpr::core {
+
+enum class UnionByUpdateImpl {
+  kMerge,          ///< SQL MERGE: update matched, insert unmatched;
+                   ///< detects duplicate source keys (Oracle/DB2)
+  kFullOuterJoin,  ///< full outer join + coalesce (all three engines)
+  kUpdateFrom,     ///< UPDATE ... FROM + insert of unmatched (PostgreSQL);
+                   ///< does not check duplicate source keys
+  kDropAlter,      ///< drop old table / rename new one: whole-table
+                   ///< replacement; valid when S covers every key of R
+                   ///< (e.g. PageRank) or when no key is given
+};
+
+const char* UnionByUpdateImplName(UnionByUpdateImpl impl);
+
+/// The four implementations in the order of the paper's Tables 4–5.
+std::vector<UnionByUpdateImpl> AllUnionByUpdateImpls();
+
+/// Computes R ⊎_keys S with the chosen implementation. `keys` empty means
+/// whole-table replacement. Fails with NotSupported when the engine profile
+/// lacks the statement (merge on PostgreSQL < 9.5, update-from elsewhere),
+/// and with InvalidArgument when multiple s match one r (kMerge detects
+/// this; kUpdateFrom reproduces PostgreSQL's silent last-write behaviour).
+Result<ra::Table> UnionByUpdate(const ra::Table& r, const ra::Table& s,
+                                const std::vector<std::string>& keys,
+                                UnionByUpdateImpl impl,
+                                const EngineProfile& profile = OracleLike());
+
+/// In-place variant against a catalog table (the PSM executor's path): the
+/// kDropAlter implementation truly swaps the catalog entry; the others
+/// compute the result and overwrite the table body.
+Status UnionByUpdateInPlace(ra::Catalog& catalog, const std::string& r_name,
+                            const ra::Table& s,
+                            const std::vector<std::string>& keys,
+                            UnionByUpdateImpl impl,
+                            const EngineProfile& profile = OracleLike());
+
+}  // namespace gpr::core

@@ -1,0 +1,81 @@
+#include "core/with_plus.h"
+
+#include "core/psm.h"
+#include "core/stratify.h"
+
+namespace gpr::core {
+
+const char* UnionModeName(UnionMode m) {
+  switch (m) {
+    case UnionMode::kUnionAll: return "union all";
+    case UnionMode::kUnionDistinct: return "union";
+    case UnionMode::kUnionByUpdate: return "union by update";
+  }
+  return "?";
+}
+
+Status ValidateWithPlus(const WithPlusQuery& query) {
+  if (query.rec_name.empty()) {
+    return Status::InvalidArgument("with+ needs a recursive relation name");
+  }
+  if (query.rec_schema.NumColumns() == 0) {
+    return Status::InvalidArgument("recursive relation '" + query.rec_name +
+                                   "' needs a schema");
+  }
+  if (query.recursive.empty()) {
+    return Status::InvalidArgument("with+ needs at least one recursive "
+                                   "subquery");
+  }
+  // Initial subqueries must not reference the recursive relation.
+  for (const auto& sq : query.init) {
+    std::vector<TableRef> refs;
+    CollectTableRefs(sq.plan, &refs);
+    for (const auto& def : sq.computed_by) CollectTableRefs(def.plan, &refs);
+    for (const auto& r : refs) {
+      if (r.name == query.rec_name) {
+        return Status::InvalidArgument(
+            "initial subquery references the recursive relation '" +
+            query.rec_name + "'");
+      }
+    }
+  }
+  // Recursive subqueries must reference it (directly or via computed by).
+  for (const auto& sq : query.recursive) {
+    std::vector<TableRef> refs;
+    CollectTableRefs(sq.plan, &refs);
+    for (const auto& def : sq.computed_by) CollectTableRefs(def.plan, &refs);
+    bool found = false;
+    for (const auto& r : refs) found |= r.name == query.rec_name;
+    if (!found) {
+      return Status::InvalidArgument(
+          "a recursive subquery does not reference '" + query.rec_name +
+          "'; move it to the initialization step");
+    }
+  }
+  // Section 6 restriction: union-by-update cannot be mixed with other
+  // recursive subqueries — the updated value would not be unique.
+  if (query.mode == UnionMode::kUnionByUpdate && query.recursive.size() > 1) {
+    return Status::InvalidArgument(
+        "union by update allows exactly one recursive subquery (the update "
+        "is not unique otherwise)");
+  }
+  if (query.maxrecursion < 0 || query.maxrecursion > 32767) {
+    return Status::InvalidArgument(
+        "maxrecursion must be between 0 and 32767");
+  }
+  return Status::OK();
+}
+
+Result<WithPlusResult> ExecuteWithPlus(const WithPlusQuery& query,
+                                       ra::Catalog& catalog,
+                                       const EngineProfile& profile,
+                                       uint64_t seed) {
+  GPR_RETURN_NOT_OK(ValidateWithPlus(query));
+  if (query.check_stratification) {
+    GPR_RETURN_NOT_OK(CheckWithPlusStratified(query));
+  }
+  GPR_ASSIGN_OR_RETURN(PsmProcedure proc, CompileToPsm(query));
+  return CallProcedure(proc, catalog, profile, seed);
+}
+
+}  // namespace gpr::core

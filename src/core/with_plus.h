@@ -1,0 +1,106 @@
+// The enhanced recursive `with` clause — with+ (Section 6).
+//
+// A WithPlusQuery is the plan-level form of
+//
+//   with R(cols) as (
+//     <init subqueries>                       -- union all between them
+//     union all | union | union by update [keys]
+//     <recursive subqueries with computed by>
+//     maxrecursion k )
+//
+// Executed under "algebra + while" (Section 4.2): union all / union are the
+// inflationary semantics, union-by-update is the noninflationary assignment.
+// Before execution the query is lowered to a DATALOG program and checked to
+// be XY-stratified (Theorem 5.1); non-stratifiable queries are rejected.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/plan.h"
+#include "core/union_by_update.h"
+#include "ra/catalog.h"
+#include "util/status.h"
+
+namespace gpr::core {
+
+/// How the recursive subqueries' results combine with R each iteration.
+enum class UnionMode {
+  kUnionAll,       ///< bag append (SQL'99 default; inflationary)
+  kUnionDistinct,  ///< set append — only genuinely new tuples (seminaive)
+  kUnionByUpdate,  ///< ⊎: update matched tuples in place (noninflationary)
+};
+
+const char* UnionModeName(UnionMode m);
+
+/// One `as`-defined relation inside a `computed by` block. Definitions are
+/// evaluated in order; each may reference base tables, the recursive
+/// relation (previous iteration), and earlier definitions (current
+/// iteration). The chain must be cycle-free (Section 6).
+struct ComputedByDef {
+  std::string name;
+  PlanPtr plan;
+};
+
+/// One subquery of the with+ body.
+struct Subquery {
+  PlanPtr plan;
+  std::vector<ComputedByDef> computed_by;
+};
+
+/// A full with+ statement.
+struct WithPlusQuery {
+  std::string rec_name;                  ///< the single recursive relation
+  ra::Schema rec_schema;
+  std::vector<Subquery> init;            ///< non-recursive subqueries
+  std::vector<Subquery> recursive;       ///< recursive subqueries
+  UnionMode mode = UnionMode::kUnionAll;
+  /// union-by-update key attributes; empty = replace R wholesale.
+  std::vector<std::string> update_keys;
+  /// physical ⊎ implementation (paper settles on full outer join, Exp-1).
+  UnionByUpdateImpl ubu_impl = UnionByUpdateImpl::kFullOuterJoin;
+  /// iteration cap (SQL-Server-style query hint); 0 = unbounded.
+  int maxrecursion = 0;
+  /// when false, skip the XY-stratification gate (for ablation only).
+  bool check_stratification = true;
+  /// SQL'99 working-table semantics (union all / union modes only): the
+  /// recursive subqueries see the tuples produced by the previous
+  /// iteration, not the whole accumulated relation — how PostgreSQL/DB2/
+  /// Oracle actually evaluate a recursive CTE (and why union-all TC
+  /// terminates on DAGs there). Default (false) is the paper's
+  /// "algebra + while" reading where R is the full relation.
+  bool sql99_working_table = false;
+};
+
+/// Wall-clock and cardinality record of one fixpoint iteration — the raw
+/// series behind Figs 12 and 13.
+struct IterationStats {
+  double millis = 0;
+  size_t rec_rows = 0;    ///< |R| after the iteration
+  size_t delta_rows = 0;  ///< tuples produced by the recursive subqueries
+};
+
+struct WithPlusResult {
+  ra::Table table;
+  size_t iterations = 0;
+  bool converged = false;  ///< true if a fixpoint was reached (vs. cap hit)
+  std::vector<IterationStats> iters;
+  ExecCounters counters;
+};
+
+/// Validates `query` (single recursive relation, cycle-free computed-by,
+/// union-by-update restrictions, XY-stratification) and runs the fixpoint.
+///
+/// Base tables are read from `catalog`; all temporaries created during
+/// execution are dropped before returning. `seed` feeds rand() (MIS).
+Result<WithPlusResult> ExecuteWithPlus(const WithPlusQuery& query,
+                                       ra::Catalog& catalog,
+                                       const EngineProfile& profile,
+                                       uint64_t seed = 42);
+
+/// Static validation only (the checks Algorithm 1 performs before creating
+/// the PSM procedure). Exposed separately for tests and the REPL.
+Status ValidateWithPlus(const WithPlusQuery& query);
+
+}  // namespace gpr::core

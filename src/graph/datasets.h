@@ -1,0 +1,48 @@
+// The 9 evaluation datasets of Table 3 — synthetic analogues.
+//
+// The paper's SNAP downloads are unavailable offline, so each dataset is
+// recreated as an R-MAT graph matching the original's directedness and
+// edge/node ratio at a reduced scale (SCALED so the entire benchmark suite
+// runs on one machine; see DESIGN.md for the substitution rationale).
+// R-MAT's recursive quadrant skew reproduces the heavy-tailed degree
+// distributions that drive the paper's qualitative observations — e.g.
+// dense Orkut/Google+ behaving differently from sparse Wiki-Talk.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gpr::graph {
+
+/// One row of Table 3.
+struct DatasetSpec {
+  std::string name;     ///< paper name ("Web Google")
+  std::string abbrev;   ///< paper abbreviation ("WG")
+  bool directed = true;
+  NodeId nodes = 0;     ///< scaled-down node count
+  size_t edges = 0;     ///< scaled-down directed edge count (before
+                        ///< symmetrization of undirected graphs)
+  NodeId paper_nodes = 0;  ///< original |V| from Table 3
+  size_t paper_edges = 0;  ///< original |E| from Table 3
+};
+
+/// All 9 datasets in Table 3 order (YT, LJ, OK undirected; WV, TT, WG, WT,
+/// GP, PC directed).
+const std::vector<DatasetSpec>& PaperDatasets();
+
+/// Lookup by abbreviation ("WG"). Case-insensitive.
+Result<DatasetSpec> DatasetByAbbrev(const std::string& abbrev);
+
+/// Materializes the dataset: R-MAT at spec.nodes/spec.edges × scale,
+/// symmetrized when undirected, with random node weights in [0,20] and
+/// labels (LP / KS / MNM need them). Deterministic per dataset.
+Graph MakeDataset(const DatasetSpec& spec, double scale = 1.0);
+
+/// Convenience: MakeDataset(DatasetByAbbrev(abbrev)).
+Result<Graph> MakeDatasetByAbbrev(const std::string& abbrev,
+                                  double scale = 1.0);
+
+}  // namespace gpr::graph

@@ -1,0 +1,145 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace gpr::graph {
+
+Graph ErdosRenyi(NodeId n, size_t m, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    const NodeId f = static_cast<NodeId>(rng.NextBounded(n));
+    const NodeId t = static_cast<NodeId>(rng.NextBounded(n));
+    if (f == t) continue;
+    edges.push_back({f, t, 1.0});
+  }
+  return Graph(n, DedupeEdges(std::move(edges)));
+}
+
+Graph Rmat(NodeId n, size_t m, uint64_t seed, RmatParams params) {
+  Xoshiro256 rng(seed);
+  // Round n up to a power of two for the quadrant descent, then discard
+  // out-of-range endpoints (keeps the degree skew, costs a few edges).
+  int levels = 0;
+  while ((NodeId{1} << levels) < n) ++levels;
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  for (size_t i = 0; i < m; ++i) {
+    NodeId f = 0;
+    NodeId t = 0;
+    for (int l = 0; l < levels; ++l) {
+      const double r = rng.NextDouble();
+      if (r < params.a) {
+        // top-left: nothing to add
+      } else if (r < ab) {
+        t |= NodeId{1} << l;
+      } else if (r < abc) {
+        f |= NodeId{1} << l;
+      } else {
+        f |= NodeId{1} << l;
+        t |= NodeId{1} << l;
+      }
+    }
+    if (f >= n || t >= n || f == t) continue;
+    edges.push_back({f, t, 1.0});
+  }
+  return Graph(n, DedupeEdges(std::move(edges)));
+}
+
+Graph RandomDag(NodeId n, size_t m, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  // Random permutation as the topological order.
+  std::vector<NodeId> order(n);
+  for (NodeId i = 0; i < n; ++i) order[i] = i;
+  for (NodeId i = n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.NextBounded(static_cast<uint64_t>(i + 1))]);
+  }
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    NodeId a = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId b = static_cast<NodeId>(rng.NextBounded(n));
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    edges.push_back({order[a], order[b], 1.0});
+  }
+  return Graph(n, DedupeEdges(std::move(edges)));
+}
+
+Graph Clustered(NodeId n, size_t m, int k, uint64_t seed,
+                double intra_prob) {
+  Xoshiro256 rng(seed);
+  const NodeId per = n / k;
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    if (rng.NextDouble() < intra_prob) {
+      const int c = static_cast<int>(rng.NextBounded(k));
+      const NodeId base = c * per;
+      const NodeId span = (c == k - 1) ? n - base : per;
+      const NodeId f = base + static_cast<NodeId>(rng.NextBounded(span));
+      const NodeId t = base + static_cast<NodeId>(rng.NextBounded(span));
+      if (f != t) edges.push_back({f, t, 1.0});
+    } else {
+      const NodeId f = static_cast<NodeId>(rng.NextBounded(n));
+      const NodeId t = static_cast<NodeId>(rng.NextBounded(n));
+      if (f != t) edges.push_back({f, t, 1.0});
+    }
+  }
+  return Graph(n, DedupeEdges(std::move(edges)));
+}
+
+Graph DagifyByPermutation(const Graph& g, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<NodeId> position(g.num_nodes());
+  for (NodeId i = 0; i < g.num_nodes(); ++i) position[i] = i;
+  for (NodeId i = g.num_nodes() - 1; i > 0; --i) {
+    std::swap(position[i],
+              position[rng.NextBounded(static_cast<uint64_t>(i + 1))]);
+  }
+  std::vector<Edge> edges = g.EdgeList();
+  for (Edge& e : edges) {
+    if (position[e.from] > position[e.to]) std::swap(e.from, e.to);
+  }
+  Graph out(g.num_nodes(), DedupeEdges(std::move(edges)));
+  if (!g.node_weights().empty()) out.set_node_weights(g.node_weights());
+  if (!g.node_labels().empty()) out.set_node_labels(g.node_labels());
+  return out;
+}
+
+void AttachRandomNodeData(Graph* g, uint64_t seed, double weight_lo,
+                          double weight_hi, int64_t num_labels) {
+  Xoshiro256 rng(seed);
+  std::vector<double> weights(g->num_nodes());
+  std::vector<int64_t> labels(g->num_nodes());
+  for (NodeId v = 0; v < g->num_nodes(); ++v) {
+    weights[v] = weight_lo + rng.NextDouble() * (weight_hi - weight_lo);
+    labels[v] = static_cast<int64_t>(
+        rng.NextBounded(static_cast<uint64_t>(num_labels)));
+  }
+  g->set_node_weights(std::move(weights));
+  g->set_node_labels(std::move(labels));
+}
+
+Graph WithRandomEdgeWeights(const Graph& g, uint64_t seed, double lo,
+                            double hi) {
+  Xoshiro256 rng(seed);
+  std::vector<Edge> edges = g.EdgeList();
+  for (Edge& e : edges) e.weight = lo + rng.NextDouble() * (hi - lo);
+  Graph out(g.num_nodes(), std::move(edges));
+  if (!g.node_weights().empty()) {
+    out.set_node_weights(g.node_weights());
+  }
+  if (!g.node_labels().empty()) {
+    out.set_node_labels(g.node_labels());
+  }
+  return out;
+}
+
+}  // namespace gpr::graph

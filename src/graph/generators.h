@@ -1,0 +1,52 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on 9 SNAP datasets (Table 3) which are not available
+// offline; datasets.h recreates scaled-down analogues with these generators.
+// R-MAT reproduces the skewed degree distributions of social networks;
+// Erdős–Rényi provides near-uniform graphs; RandomDag feeds TopoSort.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace gpr::graph {
+
+/// G(n, m): m directed edges drawn uniformly (no self-loops, deduped — the
+/// result can have slightly fewer than m edges).
+Graph ErdosRenyi(NodeId n, size_t m, uint64_t seed);
+
+/// R-MAT generator (Chakrabarti et al.): recursive quadrant descent with
+/// probabilities (a, b, c, d). Defaults are the conventional skewed setting.
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+};
+Graph Rmat(NodeId n, size_t m, uint64_t seed, RmatParams params = {});
+
+/// A uniformly random DAG: each edge points from a lower to a higher
+/// position of a random topological order.
+Graph RandomDag(NodeId n, size_t m, uint64_t seed);
+
+/// A dense-community graph: `k` Erdős–Rényi clusters joined sparsely.
+/// `intra_prob` is the probability an edge stays inside its cluster
+/// (1.0 produces k disconnected communities for WCC tests).
+Graph Clustered(NodeId n, size_t m, int k, uint64_t seed,
+                double intra_prob = 0.95);
+
+/// Reorients every edge along a random topological order (low position →
+/// high position), turning any graph into a DAG while preserving its
+/// degree structure — the TopoSort workload for Tables 6–7.
+Graph DagifyByPermutation(const Graph& g, uint64_t seed);
+
+/// Assigns uniform random node weights in [lo, hi] (paper: [0, 20] for MNM)
+/// and uniform random labels in [0, num_labels) for LP / Keyword-Search.
+void AttachRandomNodeData(Graph* g, uint64_t seed, double weight_lo = 0.0,
+                          double weight_hi = 20.0, int64_t num_labels = 10);
+
+/// Assigns uniform random edge weights in [lo, hi] (for SSSP/APSP).
+Graph WithRandomEdgeWeights(const Graph& g, uint64_t seed, double lo = 1.0,
+                            double hi = 10.0);
+
+}  // namespace gpr::graph

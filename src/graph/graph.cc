@@ -1,0 +1,73 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gpr::graph {
+
+Graph::Graph(NodeId num_nodes, std::vector<Edge> edges)
+    : num_nodes_(num_nodes) {
+  offsets_.assign(num_nodes_ + 1, 0);
+  in_offsets_.assign(num_nodes_ + 1, 0);
+  for (const Edge& e : edges) {
+    GPR_CHECK(e.from >= 0 && e.from < num_nodes_) << "edge from " << e.from;
+    GPR_CHECK(e.to >= 0 && e.to < num_nodes_) << "edge to " << e.to;
+    ++offsets_[e.from + 1];
+    ++in_offsets_[e.to + 1];
+  }
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    offsets_[v + 1] += offsets_[v];
+    in_offsets_[v + 1] += in_offsets_[v];
+  }
+  targets_.resize(edges.size());
+  weights_.resize(edges.size());
+  in_targets_.resize(edges.size());
+  in_weights_.resize(edges.size());
+  std::vector<int64_t> out_pos(offsets_.begin(), offsets_.end() - 1);
+  std::vector<int64_t> in_pos(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    targets_[out_pos[e.from]] = e.to;
+    weights_[out_pos[e.from]++] = e.weight;
+    in_targets_[in_pos[e.to]] = e.from;
+    in_weights_[in_pos[e.to]++] = e.weight;
+  }
+}
+
+std::vector<Edge> Graph::EdgeList() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    const auto nbrs = OutNeighbors(v);
+    for (size_t i = 0; i < nbrs.size; ++i) {
+      out.push_back({v, nbrs.ids[i], nbrs.weights[i]});
+    }
+  }
+  return out;
+}
+
+std::vector<Edge> Symmetrize(std::vector<Edge> edges) {
+  const size_t n = edges.size();
+  edges.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    edges.push_back({edges[i].to, edges[i].from, edges[i].weight});
+  }
+  return edges;
+}
+
+std::vector<Edge> DedupeEdges(std::vector<Edge> edges) {
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  });
+  std::vector<Edge> out;
+  out.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.from == e.to) continue;
+    if (!out.empty() && out.back().from == e.from && out.back().to == e.to) {
+      continue;
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace gpr::graph

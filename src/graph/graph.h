@@ -1,0 +1,113 @@
+// In-memory directed weighted graphs in CSR form.
+//
+// This is the substrate the native baselines (src/baseline) run on and the
+// source from which the relational representation E(F,T,ew) / V(ID,vw) is
+// derived (relations.h). Node ids are dense 0..n-1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace gpr::graph {
+
+using NodeId = int64_t;
+
+/// One directed edge (used while building; CSR is the query format).
+struct Edge {
+  NodeId from = 0;
+  NodeId to = 0;
+  double weight = 1.0;
+};
+
+/// Compressed-sparse-row directed graph with out- and in-adjacency.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an edge list over nodes 0..num_nodes-1. Parallel edges are
+  /// kept (callers dedupe first if needed).
+  Graph(NodeId num_nodes, std::vector<Edge> edges);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return targets_.size(); }
+
+  /// Out-neighbour range of `v`: targets and weights, parallel arrays.
+  struct NeighborRange {
+    const NodeId* ids;
+    const double* weights;
+    size_t size;
+    const NodeId* begin() const { return ids; }
+    const NodeId* end() const { return ids + size; }
+  };
+
+  NeighborRange OutNeighbors(NodeId v) const {
+    return {targets_.data() + offsets_[v], weights_.data() + offsets_[v],
+            static_cast<size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+  NeighborRange InNeighbors(NodeId v) const {
+    return {in_targets_.data() + in_offsets_[v],
+            in_weights_.data() + in_offsets_[v],
+            static_cast<size_t>(in_offsets_[v + 1] - in_offsets_[v])};
+  }
+
+  size_t OutDegree(NodeId v) const {
+    return static_cast<size_t>(offsets_[v + 1] - offsets_[v]);
+  }
+  size_t InDegree(NodeId v) const {
+    return static_cast<size_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  /// All edges in (from, to, weight) form (CSR order).
+  std::vector<Edge> EdgeList() const;
+
+  /// Optional per-node data -------------------------------------------
+
+  /// Node weights (empty when unset).
+  const std::vector<double>& node_weights() const { return node_weights_; }
+  void set_node_weights(std::vector<double> w) {
+    GPR_CHECK_EQ(static_cast<NodeId>(w.size()), num_nodes_);
+    node_weights_ = std::move(w);
+  }
+
+  /// Node labels (empty when unset) — Label-Propagation / Keyword-Search.
+  const std::vector<int64_t>& node_labels() const { return node_labels_; }
+  void set_node_labels(std::vector<int64_t> l) {
+    GPR_CHECK_EQ(static_cast<NodeId>(l.size()), num_nodes_);
+    node_labels_ = std::move(l);
+  }
+
+  /// Average out-degree m/n.
+  double AverageDegree() const {
+    return num_nodes_ == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) /
+                     static_cast<double>(num_nodes_);
+  }
+
+ private:
+  NodeId num_nodes_ = 0;
+  // Out-CSR.
+  std::vector<int64_t> offsets_;  // size n+1
+  std::vector<NodeId> targets_;
+  std::vector<double> weights_;
+  // In-CSR (reverse edges).
+  std::vector<int64_t> in_offsets_;
+  std::vector<NodeId> in_targets_;
+  std::vector<double> in_weights_;
+
+  std::vector<double> node_weights_;
+  std::vector<int64_t> node_labels_;
+};
+
+/// Adds the reverse of every edge (undirected graphs are maintained as
+/// directed graphs with both directions — Section 7).
+std::vector<Edge> Symmetrize(std::vector<Edge> edges);
+
+/// Removes parallel edges and self-loops.
+std::vector<Edge> DedupeEdges(std::vector<Edge> edges);
+
+}  // namespace gpr::graph

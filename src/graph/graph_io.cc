@@ -1,0 +1,48 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace gpr::graph {
+
+Result<Graph> LoadEdgeList(const std::string& path, bool symmetrize) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::unordered_map<int64_t, NodeId> remap;
+  std::vector<Edge> edges;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    int64_t f_raw = 0;
+    int64_t t_raw = 0;
+    double w = 1.0;
+    if (!(ls >> f_raw >> t_raw)) {
+      return Status::IoError("malformed edge line: '" + line + "'");
+    }
+    ls >> w;  // optional
+    auto intern = [&](int64_t raw) {
+      auto [it, inserted] =
+          remap.try_emplace(raw, static_cast<NodeId>(remap.size()));
+      return it->second;
+    };
+    edges.push_back({intern(f_raw), intern(t_raw), w});
+  }
+  if (symmetrize) edges = Symmetrize(std::move(edges));
+  return Graph(static_cast<NodeId>(remap.size()),
+               DedupeEdges(std::move(edges)));
+}
+
+Status SaveEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << "# nodes " << g.num_nodes() << " edges " << g.num_edges() << "\n";
+  for (const Edge& e : g.EdgeList()) {
+    out << e.from << "\t" << e.to << "\t" << e.weight << "\n";
+  }
+  if (!out.good()) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace gpr::graph

@@ -1,0 +1,21 @@
+// Edge-list text IO (the SNAP dataset format: "from<TAB>to" per line,
+// '#' comments), so users can load real datasets when available.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gpr::graph {
+
+/// Loads a whitespace-separated edge list. Lines starting with '#' are
+/// comments. An optional third column is the edge weight. Node ids are
+/// remapped to a dense 0..n-1 range preserving first-appearance order.
+Result<Graph> LoadEdgeList(const std::string& path,
+                           bool symmetrize = false);
+
+/// Writes "from\tto\tweight" lines.
+Status SaveEdgeList(const Graph& g, const std::string& path);
+
+}  // namespace gpr::graph

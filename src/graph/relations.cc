@@ -1,0 +1,85 @@
+#include "graph/relations.h"
+
+#include <algorithm>
+
+namespace gpr::graph {
+
+using ra::Schema;
+using ra::Table;
+using ra::Value;
+using ra::ValueType;
+
+Table EdgeRelation(const Graph& g, const std::string& name) {
+  Table e(name, Schema{{"F", ValueType::kInt64},
+                       {"T", ValueType::kInt64},
+                       {"ew", ValueType::kDouble}});
+  e.Reserve(g.num_edges());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.OutNeighbors(v);
+    for (size_t i = 0; i < nbrs.size; ++i) {
+      e.AddRow({Value(v), Value(nbrs.ids[i]), Value(nbrs.weights[i])});
+    }
+  }
+  return e;
+}
+
+Table NodeRelation(const Graph& g, const std::string& name) {
+  Table v(name,
+          Schema{{"ID", ValueType::kInt64}, {"vw", ValueType::kDouble}});
+  v.Reserve(g.num_nodes());
+  const auto& weights = g.node_weights();
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    const double w = weights.empty() ? 0.0 : weights[i];
+    v.AddRow({Value(i), Value(w)});
+  }
+  return v;
+}
+
+Table LabelRelation(const Graph& g, const std::string& name) {
+  GPR_CHECK(!g.node_labels().empty()) << "graph has no labels attached";
+  Table t(name,
+          Schema{{"ID", ValueType::kInt64}, {"label", ValueType::kInt64}});
+  t.Reserve(g.num_nodes());
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    t.AddRow({Value(i), Value(g.node_labels()[i])});
+  }
+  return t;
+}
+
+Status RegisterGraph(const Graph& g, ra::Catalog* catalog,
+                     const std::string& edge_name,
+                     const std::string& node_name,
+                     const std::string& label_name) {
+  Table e = EdgeRelation(g, edge_name);
+  e.Analyze();
+  GPR_RETURN_NOT_OK(catalog->CreateTable(std::move(e)));
+  Table v = NodeRelation(g, node_name);
+  v.Analyze();
+  GPR_RETURN_NOT_OK(catalog->CreateTable(std::move(v)));
+  if (!g.node_labels().empty()) {
+    Table l = LabelRelation(g, label_name);
+    l.Analyze();
+    GPR_RETURN_NOT_OK(catalog->CreateTable(std::move(l)));
+  }
+  return Status::OK();
+}
+
+Result<Graph> GraphFromEdgeRelation(const ra::Table& e) {
+  GPR_ASSIGN_OR_RETURN(size_t f, e.schema().Resolve("F"));
+  GPR_ASSIGN_OR_RETURN(size_t t, e.schema().Resolve("T"));
+  auto wcol = e.schema().IndexOf("ew");
+  std::vector<Edge> edges;
+  edges.reserve(e.NumRows());
+  NodeId max_id = -1;
+  for (const auto& row : e.rows()) {
+    Edge edge;
+    edge.from = row[f].ToInt64();
+    edge.to = row[t].ToInt64();
+    edge.weight = wcol && !row[*wcol].is_null() ? row[*wcol].ToDouble() : 1.0;
+    max_id = std::max({max_id, edge.from, edge.to});
+    edges.push_back(edge);
+  }
+  return Graph(max_id + 1, std::move(edges));
+}
+
+}  // namespace gpr::graph

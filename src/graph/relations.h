@@ -1,0 +1,36 @@
+// Conversion between graphs and their relation representation (Section 4):
+// a matrix relation E(F, T, ew) and a vector relation V(ID, vw), plus the
+// label relation VL(ID, label) used by Label-Propagation / Keyword-Search.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+#include "ra/catalog.h"
+#include "ra/table.h"
+#include "util/status.h"
+
+namespace gpr::graph {
+
+/// E(F, T, ew) — one tuple per directed edge.
+ra::Table EdgeRelation(const Graph& g, const std::string& name = "E");
+
+/// V(ID, vw) — one tuple per node; vw from the graph's node weights
+/// (0 when unset).
+ra::Table NodeRelation(const Graph& g, const std::string& name = "V");
+
+/// VL(ID, label) — one tuple per node; labels must be attached.
+ra::Table LabelRelation(const Graph& g, const std::string& name = "VL");
+
+/// Registers E and V (and VL when labels exist) in `catalog` as base
+/// tables, with statistics analyzed (base tables have stats; temp tables do
+/// not — the distinction the engine profiles key off).
+Status RegisterGraph(const Graph& g, ra::Catalog* catalog,
+                     const std::string& edge_name = "E",
+                     const std::string& node_name = "V",
+                     const std::string& label_name = "VL");
+
+/// Rebuilds a Graph from an edge relation (columns F, T, ew).
+Result<Graph> GraphFromEdgeRelation(const ra::Table& e);
+
+}  // namespace gpr::graph

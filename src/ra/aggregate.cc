@@ -1,0 +1,75 @@
+#include "ra/aggregate.h"
+
+#include "util/string_util.h"
+
+namespace gpr::ra {
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kSum: return "sum";
+    case AggKind::kMin: return "min";
+    case AggKind::kMax: return "max";
+    case AggKind::kCount: return "count";
+    case AggKind::kAvg: return "avg";
+  }
+  return "?";
+}
+
+Result<AggKind> ParseAggKind(const std::string& name) {
+  const std::string n = ToLower(name);
+  if (n == "sum") return AggKind::kSum;
+  if (n == "min") return AggKind::kMin;
+  if (n == "max") return AggKind::kMax;
+  if (n == "count") return AggKind::kCount;
+  if (n == "avg") return AggKind::kAvg;
+  return Status::InvalidArgument("unknown aggregate '" + name + "'");
+}
+
+void Accumulator::Add(const Value& v) {
+  if (v.is_null()) return;
+  seen_ = true;
+  ++count_;
+  switch (kind_) {
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      if (v.is_int64() && !any_double_) {
+        isum_ += v.AsInt64();
+      } else {
+        if (!any_double_) {
+          dsum_ = static_cast<double>(isum_);
+          any_double_ = true;
+        }
+        dsum_ += v.ToDouble();
+      }
+      break;
+    case AggKind::kMin:
+      if (best_.is_null() || v.Compare(best_) < 0) best_ = v;
+      break;
+    case AggKind::kMax:
+      if (best_.is_null() || v.Compare(best_) > 0) best_ = v;
+      break;
+    case AggKind::kCount:
+      break;
+  }
+}
+
+Value Accumulator::Finish() const {
+  switch (kind_) {
+    case AggKind::kCount:
+      return Value(count_);
+    case AggKind::kSum:
+      if (!seen_) return Value::Null();
+      return any_double_ ? Value(dsum_) : Value(isum_);
+    case AggKind::kAvg: {
+      if (!seen_) return Value::Null();
+      const double total = any_double_ ? dsum_ : static_cast<double>(isum_);
+      return Value(total / static_cast<double>(count_));
+    }
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return best_;
+  }
+  return Value::Null();
+}
+
+}  // namespace gpr::ra

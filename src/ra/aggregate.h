@@ -1,0 +1,68 @@
+// Aggregate functions for group-by & aggregation and for the ⊕ side of the
+// semiring aggregate-joins (MM-join / MV-join).
+#pragma once
+
+#include <string>
+
+#include "ra/expr.h"
+#include "ra/value.h"
+#include "util/status.h"
+
+namespace gpr::ra {
+
+/// The aggregate functions the paper uses (Table 2): sum, min, max, count —
+/// plus avg for completeness.
+enum class AggKind { kSum, kMin, kMax, kCount, kAvg };
+
+const char* AggKindName(AggKind kind);
+
+/// Parses "sum"/"min"/"max"/"count"/"avg" (case-insensitive).
+Result<AggKind> ParseAggKind(const std::string& name);
+
+/// Running state for one aggregate over one group.
+class Accumulator {
+ public:
+  explicit Accumulator(AggKind kind) : kind_(kind) {}
+
+  /// Folds one input value. NULLs are ignored (SQL semantics) except for
+  /// count(*) which is expressed by feeding non-null literals.
+  void Add(const Value& v);
+
+  /// Final value: NULL for empty sum/min/max/avg, 0 for empty count.
+  Value Finish() const;
+
+ private:
+  AggKind kind_;
+  bool seen_ = false;
+  bool any_double_ = false;
+  int64_t count_ = 0;
+  int64_t isum_ = 0;
+  double dsum_ = 0;
+  Value best_;  // min/max
+};
+
+/// One aggregate column in a group-by: kind(arg) as out_name.
+struct AggSpec {
+  AggKind kind;
+  ExprPtr arg;           ///< input expression; null means count(*)
+  std::string out_name;  ///< output column name
+};
+
+/// Convenience builders.
+inline AggSpec SumOf(ExprPtr arg, std::string name) {
+  return {AggKind::kSum, std::move(arg), std::move(name)};
+}
+inline AggSpec MinOf(ExprPtr arg, std::string name) {
+  return {AggKind::kMin, std::move(arg), std::move(name)};
+}
+inline AggSpec MaxOf(ExprPtr arg, std::string name) {
+  return {AggKind::kMax, std::move(arg), std::move(name)};
+}
+inline AggSpec CountOf(ExprPtr arg, std::string name) {
+  return {AggKind::kCount, std::move(arg), std::move(name)};
+}
+inline AggSpec CountStar(std::string name) {
+  return {AggKind::kCount, nullptr, std::move(name)};
+}
+
+}  // namespace gpr::ra

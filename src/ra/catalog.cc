@@ -1,0 +1,103 @@
+#include "ra/catalog.h"
+
+#include <algorithm>
+
+namespace gpr::ra {
+
+Status Catalog::CreateTable(Table table, bool temporary) {
+  const std::string name = table.name();
+  if (name.empty()) {
+    return Status::InvalidArgument("catalog tables must be named");
+  }
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  Entry entry;
+  entry.table = std::make_unique<Table>(std::move(table));
+  entry.temporary = temporary;
+  tables_.emplace(name, std::move(entry));
+  return Status::OK();
+}
+
+Status Catalog::CreateTempTable(const std::string& name, Schema schema) {
+  if (name.empty()) {
+    return Status::InvalidArgument("catalog tables must be named");
+  }
+  auto it = tables_.find(name);
+  if (it != tables_.end()) {
+    if (!it->second.temporary) {
+      return Status::AlreadyExists("base table '" + name +
+                                   "' shadows the temp table");
+    }
+    tables_.erase(it);
+  }
+  Entry entry;
+  entry.table = std::make_unique<Table>(name, std::move(schema));
+  entry.temporary = true;
+  tables_.emplace(name, std::move(entry));
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return Status::OK();
+}
+
+Status Catalog::Truncate(const std::string& name) {
+  GPR_ASSIGN_OR_RETURN(Table * t, Get(name));
+  t->Clear();
+  return Status::OK();
+}
+
+Status Catalog::ReplaceTable(const std::string& name, Table content) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  content.set_name(name);
+  *it->second.table = std::move(content);
+  return Status::OK();
+}
+
+bool Catalog::IsTemporary(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it != tables_.end() && it->second.temporary;
+}
+
+Result<Table*> Catalog::Get(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return it->second.table.get();
+}
+
+Result<const Table*> Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return const_cast<const Table*>(it->second.table.get());
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> base;
+  std::vector<std::string> temp;
+  for (const auto& [name, entry] : tables_) {
+    (entry.temporary ? temp : base).push_back(name);
+  }
+  std::sort(base.begin(), base.end());
+  std::sort(temp.begin(), temp.end());
+  base.insert(base.end(), temp.begin(), temp.end());
+  return base;
+}
+
+void Catalog::DropAllTemporary() {
+  for (auto it = tables_.begin(); it != tables_.end();) {
+    it = it->second.temporary ? tables_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace gpr::ra

@@ -1,0 +1,60 @@
+// The catalog: named base tables and session-scoped temporary tables.
+//
+// The PSM executor creates temp tables for `computed by` relations, truncates
+// them between iterations, and implements the drop/alter variant of
+// union-by-update by swapping table bodies — all through this interface.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ra/table.h"
+#include "util/status.h"
+
+namespace gpr::ra {
+
+/// A collection of named tables. Temporary tables mirror the paper's use of
+/// session temp tables: they bypass durability (a no-op here) and, crucially,
+/// lack statistics until explicitly analyzed.
+class Catalog {
+ public:
+  /// Registers a base table. Fails if the name exists.
+  Status CreateTable(Table table, bool temporary = false);
+
+  /// Creates an empty temp table with the given schema, replacing any
+  /// existing temp table of the same name.
+  Status CreateTempTable(const std::string& name, Schema schema);
+
+  /// Removes a table.
+  Status DropTable(const std::string& name);
+
+  /// Removes all rows but keeps the definition (SQL `truncate table`).
+  Status Truncate(const std::string& name);
+
+  /// Replaces the body of `name` with `content` (rows and schema), keeping
+  /// the catalog entry — the drop/alter union-by-update implementation.
+  Status ReplaceTable(const std::string& name, Table content);
+
+  bool Has(const std::string& name) const { return tables_.count(name) > 0; }
+  bool IsTemporary(const std::string& name) const;
+
+  Result<Table*> Get(const std::string& name);
+  Result<const Table*> Get(const std::string& name) const;
+
+  /// All table names, base tables first, each group sorted.
+  std::vector<std::string> TableNames() const;
+
+  /// Drops every temporary table (end-of-procedure cleanup).
+  void DropAllTemporary();
+
+ private:
+  struct Entry {
+    std::unique_ptr<Table> table;
+    bool temporary = false;
+  };
+  std::unordered_map<std::string, Entry> tables_;
+};
+
+}  // namespace gpr::ra

@@ -1,0 +1,412 @@
+#include "ra/expr.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace gpr::ra {
+namespace {
+
+enum FuncId {
+  kFuncSqrt = 1,
+  kFuncAbs,
+  kFuncCoalesce,
+  kFuncRand,
+  kFuncLeast,
+  kFuncGreatest,
+  kFuncFloor,
+  kFuncCeil,
+  kFuncLog,
+  kFuncExp,
+  kFuncPow,
+  kFuncMod,
+  kFuncSign,
+};
+
+int LookupFunc(const std::string& name) {
+  const std::string n = ToLower(name);
+  if (n == "sqrt") return kFuncSqrt;
+  if (n == "abs") return kFuncAbs;
+  if (n == "coalesce") return kFuncCoalesce;
+  if (n == "rand" || n == "random") return kFuncRand;
+  if (n == "least") return kFuncLeast;
+  if (n == "greatest") return kFuncGreatest;
+  if (n == "floor") return kFuncFloor;
+  if (n == "ceil" || n == "ceiling") return kFuncCeil;
+  if (n == "ln" || n == "log") return kFuncLog;
+  if (n == "exp") return kFuncExp;
+  if (n == "pow" || n == "power") return kFuncPow;
+  if (n == "mod") return kFuncMod;
+  if (n == "sign") return kFuncSign;
+  return 0;
+}
+
+Value NumericBinary(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  // Integer arithmetic stays integral except division, which widens.
+  if (l.is_int64() && r.is_int64() && op != BinaryOp::kDiv) {
+    const int64_t a = l.AsInt64();
+    const int64_t b = r.AsInt64();
+    switch (op) {
+      case BinaryOp::kAdd: return a + b;
+      case BinaryOp::kSub: return a - b;
+      case BinaryOp::kMul: return a * b;
+      case BinaryOp::kMod: return b == 0 ? Value::Null() : Value(a % b);
+      default: break;
+    }
+  }
+  const double a = l.ToDouble();
+  const double b = r.ToDouble();
+  switch (op) {
+    case BinaryOp::kAdd: return a + b;
+    case BinaryOp::kSub: return a - b;
+    case BinaryOp::kMul: return a * b;
+    case BinaryOp::kDiv: return b == 0.0 ? Value::Null() : Value(a / b);
+    case BinaryOp::kMod: return b == 0.0 ? Value::Null() : Value(std::fmod(a, b));
+    default: break;
+  }
+  GPR_UNREACHABLE();
+}
+
+Value CompareBinary(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  const int c = l.Compare(r);
+  bool out = false;
+  switch (op) {
+    case BinaryOp::kEq: out = (c == 0); break;
+    case BinaryOp::kNe: out = (c != 0); break;
+    case BinaryOp::kLt: out = (c < 0); break;
+    case BinaryOp::kLe: out = (c <= 0); break;
+    case BinaryOp::kGt: out = (c > 0); break;
+    case BinaryOp::kGe: out = (c >= 0); break;
+    default: GPR_UNREACHABLE();
+  }
+  return Value(int64_t{out});
+}
+
+/// SQL three-valued truth of a value: 1 / 0 / null.
+enum class Truth { kTrue, kFalse, kNull };
+
+Truth TruthOf(const Value& v) {
+  if (v.is_null()) return Truth::kNull;
+  if (v.is_numeric()) return v.ToDouble() != 0.0 ? Truth::kTrue : Truth::kFalse;
+  return v.AsString().empty() ? Truth::kFalse : Truth::kTrue;
+}
+
+Value TruthValue(Truth t) {
+  switch (t) {
+    case Truth::kTrue: return Value(int64_t{1});
+    case Truth::kFalse: return Value(int64_t{0});
+    case Truth::kNull: return Value::Null();
+  }
+  GPR_UNREACHABLE();
+}
+
+}  // namespace
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "and";
+    case BinaryOp::kOr: return "or";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kColumn:
+      return column_name;
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinaryOpName(bin_op) +
+             " " + children[1]->ToString() + ")";
+    case ExprKind::kUnary: {
+      switch (un_op) {
+        case UnaryOp::kNot: return "(not " + children[0]->ToString() + ")";
+        case UnaryOp::kNeg: return "(-" + children[0]->ToString() + ")";
+        case UnaryOp::kIsNull:
+          return "(" + children[0]->ToString() + " is null)";
+        case UnaryOp::kIsNotNull:
+          return "(" + children[0]->ToString() + " is not null)";
+      }
+      return "?";
+    }
+    case ExprKind::kCall: {
+      std::ostringstream os;
+      os << func_name << "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << children[i]->ToString();
+      }
+      os << ")";
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+ExprPtr Col(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumn;
+  e->column_name = std::move(name);
+  return e;
+}
+
+ExprPtr Lit(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Binary(BinaryOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Unary(UnaryOp op, ExprPtr c) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->children = {std::move(c)};
+  return e;
+}
+
+ExprPtr Call(std::string func, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCall;
+  e->func_name = std::move(func);
+  e->children = std::move(args);
+  return e;
+}
+
+Result<CompiledExpr> Compile(const ExprPtr& expr, const Schema& schema) {
+  CompiledExpr out;
+  // Recursive lowering into the flat node array.
+  struct Lowerer {
+    const Schema& schema;
+    CompiledExpr& out;
+    Result<int> Lower(const Expr& e) {
+      CompiledExpr::Node node;
+      node.kind = e.kind;
+      switch (e.kind) {
+        case ExprKind::kColumn: {
+          GPR_ASSIGN_OR_RETURN(node.column_index,
+                               schema.Resolve(e.column_name));
+          node.type = schema.column(node.column_index).type;
+          break;
+        }
+        case ExprKind::kLiteral:
+          node.literal = e.literal;
+          node.type = e.literal.type();
+          break;
+        case ExprKind::kBinary: {
+          node.bin_op = e.bin_op;
+          GPR_ASSIGN_OR_RETURN(int l, Lower(*e.children[0]));
+          GPR_ASSIGN_OR_RETURN(int r, Lower(*e.children[1]));
+          node.children = {l, r};
+          switch (e.bin_op) {
+            case BinaryOp::kAdd:
+            case BinaryOp::kSub:
+            case BinaryOp::kMul:
+            case BinaryOp::kMod: {
+              const ValueType lt = out.nodes_[l].type;
+              const ValueType rt = out.nodes_[r].type;
+              node.type = (lt == ValueType::kInt64 && rt == ValueType::kInt64)
+                              ? ValueType::kInt64
+                              : ValueType::kDouble;
+              break;
+            }
+            case BinaryOp::kDiv:
+              node.type = ValueType::kDouble;
+              break;
+            default:
+              node.type = ValueType::kInt64;  // booleans are Int64 0/1
+          }
+          break;
+        }
+        case ExprKind::kUnary: {
+          node.un_op = e.un_op;
+          GPR_ASSIGN_OR_RETURN(int c, Lower(*e.children[0]));
+          node.children = {c};
+          node.type = e.un_op == UnaryOp::kNeg ? out.nodes_[c].type
+                                               : ValueType::kInt64;
+          break;
+        }
+        case ExprKind::kCall: {
+          node.func = LookupFunc(e.func_name);
+          if (node.func == 0) {
+            return Status::BindError("unknown function '" + e.func_name + "'");
+          }
+          for (const auto& child : e.children) {
+            GPR_ASSIGN_OR_RETURN(int c, Lower(*child));
+            node.children.push_back(c);
+          }
+          node.type = ValueType::kDouble;
+          if (node.func == kFuncCoalesce || node.func == kFuncLeast ||
+              node.func == kFuncGreatest) {
+            node.type = node.children.empty()
+                            ? ValueType::kNull
+                            : out.nodes_[node.children[0]].type;
+          }
+          break;
+        }
+      }
+      out.nodes_.push_back(std::move(node));
+      return static_cast<int>(out.nodes_.size()) - 1;
+    }
+  } lowerer{schema, out};
+  GPR_ASSIGN_OR_RETURN(out.root_, lowerer.Lower(*expr));
+  out.result_type_ = out.nodes_[out.root_].type;
+  return out;
+}
+
+Value CompiledExpr::EvalNode(int id, const Tuple& row,
+                             EvalContext* ctx) const {
+  const Node& n = nodes_[id];
+  switch (n.kind) {
+    case ExprKind::kColumn:
+      return row[n.column_index];
+    case ExprKind::kLiteral:
+      return n.literal;
+    case ExprKind::kBinary: {
+      if (n.bin_op == BinaryOp::kAnd || n.bin_op == BinaryOp::kOr) {
+        const Truth l = TruthOf(EvalNode(n.children[0], row, ctx));
+        // Short-circuit where three-valued logic allows it.
+        if (n.bin_op == BinaryOp::kAnd && l == Truth::kFalse) {
+          return Value(int64_t{0});
+        }
+        if (n.bin_op == BinaryOp::kOr && l == Truth::kTrue) {
+          return Value(int64_t{1});
+        }
+        const Truth r = TruthOf(EvalNode(n.children[1], row, ctx));
+        if (n.bin_op == BinaryOp::kAnd) {
+          if (r == Truth::kFalse) return Value(int64_t{0});
+          if (l == Truth::kTrue && r == Truth::kTrue) return Value(int64_t{1});
+          return Value::Null();
+        }
+        if (r == Truth::kTrue) return Value(int64_t{1});
+        if (l == Truth::kFalse && r == Truth::kFalse) return Value(int64_t{0});
+        return Value::Null();
+      }
+      const Value l = EvalNode(n.children[0], row, ctx);
+      const Value r = EvalNode(n.children[1], row, ctx);
+      switch (n.bin_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          return NumericBinary(n.bin_op, l, r);
+        default:
+          return CompareBinary(n.bin_op, l, r);
+      }
+    }
+    case ExprKind::kUnary: {
+      const Value c = EvalNode(n.children[0], row, ctx);
+      switch (n.un_op) {
+        case UnaryOp::kNot: {
+          const Truth t = TruthOf(c);
+          if (t == Truth::kNull) return Value::Null();
+          return TruthValue(t == Truth::kTrue ? Truth::kFalse : Truth::kTrue);
+        }
+        case UnaryOp::kNeg:
+          if (c.is_null()) return Value::Null();
+          if (c.is_int64()) return Value(-c.AsInt64());
+          return Value(-c.ToDouble());
+        case UnaryOp::kIsNull:
+          return Value(int64_t{c.is_null()});
+        case UnaryOp::kIsNotNull:
+          return Value(int64_t{!c.is_null()});
+      }
+      GPR_UNREACHABLE();
+    }
+    case ExprKind::kCall: {
+      switch (n.func) {
+        case kFuncCoalesce: {
+          for (int c : n.children) {
+            Value v = EvalNode(c, row, ctx);
+            if (!v.is_null()) return v;
+          }
+          return Value::Null();
+        }
+        case kFuncRand: {
+          GPR_CHECK(ctx != nullptr && ctx->rng != nullptr)
+              << "rand() requires an EvalContext with a generator";
+          return Value(ctx->rng->NextDouble());
+        }
+        case kFuncLeast:
+        case kFuncGreatest: {
+          Value best;
+          for (int c : n.children) {
+            Value v = EvalNode(c, row, ctx);
+            if (v.is_null()) continue;
+            if (best.is_null() ||
+                (n.func == kFuncLeast ? v.Compare(best) < 0
+                                      : v.Compare(best) > 0)) {
+              best = std::move(v);
+            }
+          }
+          return best;
+        }
+        default:
+          break;
+      }
+      // Unary / binary numeric functions.
+      const Value a = EvalNode(n.children[0], row, ctx);
+      if (a.is_null()) return Value::Null();
+      switch (n.func) {
+        case kFuncSqrt: return std::sqrt(a.ToDouble());
+        case kFuncAbs:
+          return a.is_int64() ? Value(std::abs(a.AsInt64()))
+                              : Value(std::fabs(a.ToDouble()));
+        case kFuncFloor: return std::floor(a.ToDouble());
+        case kFuncCeil: return std::ceil(a.ToDouble());
+        case kFuncLog: return std::log(a.ToDouble());
+        case kFuncExp: return std::exp(a.ToDouble());
+        case kFuncSign: {
+          const double d = a.ToDouble();
+          return Value(int64_t{d > 0 ? 1 : (d < 0 ? -1 : 0)});
+        }
+        case kFuncPow:
+        case kFuncMod: {
+          const Value b = EvalNode(n.children[1], row, ctx);
+          if (b.is_null()) return Value::Null();
+          if (n.func == kFuncPow) {
+            return std::pow(a.ToDouble(), b.ToDouble());
+          }
+          return NumericBinary(BinaryOp::kMod, a, b);
+        }
+        default:
+          GPR_UNREACHABLE();
+      }
+    }
+  }
+  GPR_UNREACHABLE();
+}
+
+Value CompiledExpr::Eval(const Tuple& row, EvalContext* ctx) const {
+  return EvalNode(root_, row, ctx);
+}
+
+bool CompiledExpr::EvalBool(const Tuple& row, EvalContext* ctx) const {
+  return TruthOf(Eval(row, ctx)) == Truth::kTrue;
+}
+
+}  // namespace gpr::ra

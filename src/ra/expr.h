@@ -1,0 +1,127 @@
+// Scalar expression trees: construction, binding (name -> column index
+// resolution against a schema), and evaluation over tuples.
+//
+// Selections, projections, join conditions, and the ⊙ (multiply) side of the
+// semiring aggregate-joins are all expressed as Expr trees.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ra/schema.h"
+#include "ra/tuple.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gpr::ra {
+
+enum class ExprKind { kColumn, kLiteral, kBinary, kUnary, kCall };
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnaryOp { kNot, kNeg, kIsNull, kIsNotNull };
+
+const char* BinaryOpName(BinaryOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// An immutable scalar expression node.
+class Expr {
+ public:
+  ExprKind kind;
+
+  // kColumn
+  std::string column_name;
+
+  // kLiteral
+  Value literal;
+
+  // kBinary / kUnary
+  BinaryOp bin_op = BinaryOp::kAdd;
+  UnaryOp un_op = UnaryOp::kNot;
+
+  // kCall: function name (lower case) + arguments.
+  std::string func_name;
+
+  std::vector<ExprPtr> children;
+
+  std::string ToString() const;
+};
+
+/// Builders ------------------------------------------------------------
+
+ExprPtr Col(std::string name);
+ExprPtr Lit(Value v);
+ExprPtr Binary(BinaryOp op, ExprPtr l, ExprPtr r);
+ExprPtr Unary(UnaryOp op, ExprPtr c);
+ExprPtr Call(std::string func, std::vector<ExprPtr> args);
+
+inline ExprPtr Add(ExprPtr l, ExprPtr r) { return Binary(BinaryOp::kAdd, l, r); }
+inline ExprPtr Sub(ExprPtr l, ExprPtr r) { return Binary(BinaryOp::kSub, l, r); }
+inline ExprPtr Mul(ExprPtr l, ExprPtr r) { return Binary(BinaryOp::kMul, l, r); }
+inline ExprPtr Div(ExprPtr l, ExprPtr r) { return Binary(BinaryOp::kDiv, l, r); }
+inline ExprPtr Eq(ExprPtr l, ExprPtr r) { return Binary(BinaryOp::kEq, l, r); }
+inline ExprPtr Ne(ExprPtr l, ExprPtr r) { return Binary(BinaryOp::kNe, l, r); }
+inline ExprPtr Lt(ExprPtr l, ExprPtr r) { return Binary(BinaryOp::kLt, l, r); }
+inline ExprPtr Le(ExprPtr l, ExprPtr r) { return Binary(BinaryOp::kLe, l, r); }
+inline ExprPtr Gt(ExprPtr l, ExprPtr r) { return Binary(BinaryOp::kGt, l, r); }
+inline ExprPtr Ge(ExprPtr l, ExprPtr r) { return Binary(BinaryOp::kGe, l, r); }
+inline ExprPtr And(ExprPtr l, ExprPtr r) { return Binary(BinaryOp::kAnd, l, r); }
+inline ExprPtr Or(ExprPtr l, ExprPtr r) { return Binary(BinaryOp::kOr, l, r); }
+inline ExprPtr Not(ExprPtr c) { return Unary(UnaryOp::kNot, c); }
+inline ExprPtr Neg(ExprPtr c) { return Unary(UnaryOp::kNeg, c); }
+inline ExprPtr IsNull(ExprPtr c) { return Unary(UnaryOp::kIsNull, c); }
+inline ExprPtr IsNotNull(ExprPtr c) { return Unary(UnaryOp::kIsNotNull, c); }
+
+/// Evaluation-time services available to expressions (rand()).
+struct EvalContext {
+  Xoshiro256* rng = nullptr;
+};
+
+/// A bound expression: column references resolved to indexes, evaluable
+/// per-tuple without string lookups.
+class CompiledExpr {
+ public:
+  /// Evaluates against a row. SQL three-valued logic: comparisons and
+  /// arithmetic over NULL yield NULL; NULL predicates are treated as false
+  /// where a boolean is required.
+  Value Eval(const Tuple& row, EvalContext* ctx = nullptr) const;
+
+  /// Eval() coerced to a predicate: non-null, non-zero numeric => true.
+  bool EvalBool(const Tuple& row, EvalContext* ctx = nullptr) const;
+
+  /// Static result type of the expression (best effort).
+  ValueType result_type() const { return result_type_; }
+
+ private:
+  friend Result<CompiledExpr> Compile(const ExprPtr&, const Schema&);
+
+  struct Node {
+    ExprKind kind;
+    size_t column_index = 0;
+    Value literal;
+    BinaryOp bin_op = BinaryOp::kAdd;
+    UnaryOp un_op = UnaryOp::kNot;
+    int func = 0;  // FuncId
+    std::vector<int> children;
+    ValueType type = ValueType::kNull;
+  };
+
+  Value EvalNode(int id, const Tuple& row, EvalContext* ctx) const;
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  ValueType result_type_ = ValueType::kNull;
+};
+
+/// Binds `expr` against `schema`. Fails with BindError on unknown columns or
+/// unknown functions.
+Result<CompiledExpr> Compile(const ExprPtr& expr, const Schema& schema);
+
+}  // namespace gpr::ra

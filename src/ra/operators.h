@@ -1,0 +1,127 @@
+// The basic relational algebra: selection, projection, rename, set
+// operations, Cartesian product, θ-joins (hash / sort-merge / nested-loop),
+// outer joins, semi-join, group-by & aggregation, distinct, sort.
+//
+// All operators are materializing: they consume const Table& inputs and
+// return a fresh Table. The paper's 4 derived operations (MM-join, MV-join,
+// anti-join variants, union-by-update variants) live in src/core and are
+// built from these.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ra/aggregate.h"
+#include "ra/expr.h"
+#include "ra/table.h"
+#include "util/status.h"
+
+namespace gpr::ra::ops {
+
+/// One output column of a projection: expression + output name.
+struct ProjectItem {
+  ExprPtr expr;
+  std::string name;
+};
+
+inline ProjectItem As(ExprPtr e, std::string name) {
+  return {std::move(e), std::move(name)};
+}
+
+/// σ — rows of `in` satisfying `pred`.
+Result<Table> Select(const Table& in, const ExprPtr& pred,
+                     EvalContext* ctx = nullptr);
+
+/// Π — evaluates `items` per row. `out_name` names the result table.
+Result<Table> Project(const Table& in, const std::vector<ProjectItem>& items,
+                      EvalContext* ctx = nullptr, std::string out_name = "");
+
+/// ρ — renames the table and optionally its columns (positional).
+Result<Table> Rename(const Table& in, const std::string& new_name,
+                     const std::vector<std::string>& col_names = {});
+
+/// ∪ (bag semantics) — requires union-compatible schemas.
+Result<Table> UnionAll(const Table& a, const Table& b);
+
+/// ∪ (set semantics) — duplicates eliminated.
+Result<Table> UnionDistinct(const Table& a, const Table& b);
+
+/// − (set semantics): rows of `a` not present in `b`.
+Result<Table> Difference(const Table& a, const Table& b);
+
+/// ∩ (set semantics).
+Result<Table> Intersect(const Table& a, const Table& b);
+
+/// Duplicate elimination.
+Result<Table> Distinct(const Table& in);
+
+/// × — concatenates every pair of rows. Output columns are the inputs'
+/// columns qualified by their table names when that disambiguates.
+Result<Table> CrossProduct(const Table& a, const Table& b);
+
+/// Physical join algorithm; chosen by the engine profile (src/core).
+enum class JoinAlgorithm { kHash, kSortMerge, kNestedLoop, kIndexNestedLoop };
+
+const char* JoinAlgorithmName(JoinAlgorithm a);
+
+/// Equi-join keys: parallel lists of column names resolved against the left
+/// and right inputs respectively.
+struct JoinKeys {
+  std::vector<std::string> left;
+  std::vector<std::string> right;
+};
+
+/// Options for Join. The qualifiers override the input table names when
+/// building the output schema (avoiding a rename-copy for self-joins).
+struct JoinOptions {
+  JoinAlgorithm algo = JoinAlgorithm::kHash;
+  ExprPtr residual;
+  EvalContext* ctx = nullptr;
+  std::string left_qualifier;
+  std::string right_qualifier;
+};
+
+/// Equi-join (⋈θ with conjunctive equality condition plus an optional
+/// residual predicate evaluated over the concatenated row).
+///
+/// The output schema is left-columns then right-columns, each qualified by
+/// its input's table name ("E.F") so self-referencing predicates stay
+/// unambiguous. Inputs with identical names must be renamed first (or given
+/// distinct qualifiers via JoinOptions).
+Result<Table> Join(const Table& l, const Table& r, const JoinKeys& keys,
+                   JoinAlgorithm algo = JoinAlgorithm::kHash,
+                   const ExprPtr& residual = nullptr,
+                   EvalContext* ctx = nullptr);
+
+/// Join with full options.
+Result<Table> JoinWithOptions(const Table& l, const Table& r,
+                              const JoinKeys& keys, const JoinOptions& opts);
+
+/// Left outer join: unmatched left rows are padded with NULLs.
+Result<Table> LeftOuterJoin(const Table& l, const Table& r,
+                            const JoinKeys& keys);
+
+/// Full outer join: unmatched rows of either side are padded with NULLs.
+Result<Table> FullOuterJoin(const Table& l, const Table& r,
+                            const JoinKeys& keys);
+
+/// ⋉ — rows of `l` with at least one key match in `r`.
+Result<Table> SemiJoin(const Table& l, const Table& r, const JoinKeys& keys);
+
+/// ⋉̄ — rows of `l` with no key match in `r` (the canonical hash-based
+/// implementation; the physical variants of Section 6 live in core/).
+Result<Table> AntiJoinBasic(const Table& l, const Table& r,
+                            const JoinKeys& keys);
+
+/// γ — group-by & aggregation. `group_cols` may be empty (single group; the
+/// result then has exactly one row, even over empty input, matching SQL's
+/// scalar-aggregate behaviour).
+Result<Table> GroupBy(const Table& in,
+                      const std::vector<std::string>& group_cols,
+                      const std::vector<AggSpec>& aggs,
+                      EvalContext* ctx = nullptr);
+
+/// Ascending sort by the given columns.
+Result<Table> Sort(const Table& in, const std::vector<std::string>& cols);
+
+}  // namespace gpr::ra::ops

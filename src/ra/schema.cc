@@ -1,0 +1,91 @@
+#include "ra/schema.h"
+
+#include <sstream>
+
+namespace gpr::ra {
+namespace {
+
+/// Unqualified suffix of a possibly qualified name ("E.F" -> "F").
+std::string_view Suffix(const std::string& name) {
+  const size_t pos = name.rfind('.');
+  return pos == std::string::npos
+             ? std::string_view(name)
+             : std::string_view(name).substr(pos + 1);
+}
+
+}  // namespace
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (cols_[i].name == name) return i;
+  }
+  // Qualified lookup: "E.F" matches column "F"; "F" matches column "E.F".
+  const std::string_view want = Suffix(name);
+  std::optional<size_t> found;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (Suffix(cols_[i].name) == want) {
+      if (found) return std::nullopt;  // ambiguous
+      found = i;
+    }
+  }
+  return found;
+}
+
+Result<size_t> Schema::Resolve(const std::string& name) const {
+  if (auto idx = IndexOf(name)) return *idx;
+  return Status::BindError("column '" + name + "' not found in schema " +
+                           ToString());
+}
+
+Schema Schema::Qualified(const std::string& qualifier) const {
+  std::vector<Column> cols;
+  cols.reserve(cols_.size());
+  for (const Column& c : cols_) {
+    cols.push_back({qualifier + "." + std::string(Suffix(c.name)), c.type});
+  }
+  return Schema(std::move(cols));
+}
+
+Result<Schema> Schema::Renamed(const std::vector<std::string>& names) const {
+  if (names.size() != cols_.size()) {
+    return Status::InvalidArgument(
+        "rename expects " + std::to_string(cols_.size()) + " names, got " +
+        std::to_string(names.size()));
+  }
+  std::vector<Column> cols = cols_;
+  for (size_t i = 0; i < cols.size(); ++i) cols[i].name = names[i];
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::vector<Column> cols = cols_;
+  cols.insert(cols.end(), other.cols_.begin(), other.cols_.end());
+  return Schema(std::move(cols));
+}
+
+bool Schema::UnionCompatible(const Schema& other) const {
+  if (cols_.size() != other.cols_.size()) return false;
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    const ValueType a = cols_[i].type;
+    const ValueType b = other.cols_[i].type;
+    if (a == b) continue;
+    // Numeric types are mutually compatible.
+    const bool anum = a == ValueType::kInt64 || a == ValueType::kDouble;
+    const bool bnum = b == ValueType::kInt64 || b == ValueType::kDouble;
+    if (!(anum && bnum)) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < cols_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << cols_[i].name << ":" << ValueTypeName(cols_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace gpr::ra

@@ -1,0 +1,68 @@
+// Relation schemas: ordered, named, typed columns.
+#pragma once
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ra/value.h"
+#include "util/status.h"
+
+namespace gpr::ra {
+
+/// One column of a relation.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+
+  bool operator==(const Column& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// An ordered list of columns. Column lookup is by (case-sensitive) name;
+/// qualified references ("E.F") fall back to the unqualified suffix.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::initializer_list<Column> cols)
+      : cols_(cols.begin(), cols.end()) {}
+  explicit Schema(std::vector<Column> cols) : cols_(std::move(cols)) {}
+
+  size_t NumColumns() const { return cols_.size(); }
+  const Column& column(size_t i) const { return cols_[i]; }
+  const std::vector<Column>& columns() const { return cols_; }
+
+  /// Index of the column named `name`, trying the exact name first, then
+  /// matching `name` against each column's unqualified suffix and vice versa.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  bool Has(const std::string& name) const { return IndexOf(name).has_value(); }
+
+  /// Resolved index or a BindError mentioning the available columns.
+  Result<size_t> Resolve(const std::string& name) const;
+
+  /// A copy of this schema with all columns prefixed "qualifier.".
+  Schema Qualified(const std::string& qualifier) const;
+
+  /// A copy with columns renamed positionally (sizes must match).
+  Result<Schema> Renamed(const std::vector<std::string>& names) const;
+
+  /// Concatenation (for joins / products). Duplicate names permitted; lookups
+  /// return the first match.
+  Schema Concat(const Schema& other) const;
+
+  /// True if both schemas have the same column count and types (names may
+  /// differ) — the compatibility requirement for set operations.
+  bool UnionCompatible(const Schema& other) const;
+
+  bool operator==(const Schema& o) const { return cols_ == o.cols_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> cols_;
+};
+
+}  // namespace gpr::ra

@@ -1,0 +1,117 @@
+#include "ra/table.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace gpr::ra {
+
+void SortIndex::Build(const std::vector<Tuple>& rows) {
+  order_.resize(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) order_[i] = i;
+  std::stable_sort(order_.begin(), order_.end(), [&](size_t a, size_t b) {
+    return CompareTuples(ProjectTuple(rows[a], key_cols_),
+                         ProjectTuple(rows[b], key_cols_)) < 0;
+  });
+}
+
+void Table::AddRow(Tuple row) {
+  GPR_CHECK_EQ(row.size(), schema_.NumColumns())
+      << "row arity mismatch for table " << name_;
+  if (hash_index_) hash_index_->Add(row, rows_.size());
+  rows_.push_back(std::move(row));
+  if (sort_index_) sort_index_.reset();  // sorted order invalidated
+  stats_.present = false;
+}
+
+void Table::AppendFrom(const Table& other) {
+  GPR_CHECK(schema_.UnionCompatible(other.schema_))
+      << "append between incompatible schemas " << schema_.ToString()
+      << " and " << other.schema_.ToString();
+  rows_.reserve(rows_.size() + other.rows_.size());
+  for (const Tuple& t : other.rows_) AddRow(t);
+}
+
+void Table::Clear() {
+  rows_.clear();
+  DropIndexes();
+  stats_.present = false;
+}
+
+Status Table::BuildHashIndex(const std::vector<std::string>& cols) {
+  std::vector<size_t> idx;
+  for (const auto& c : cols) {
+    GPR_ASSIGN_OR_RETURN(size_t i, schema_.Resolve(c));
+    idx.push_back(i);
+  }
+  hash_index_ = std::make_unique<HashIndex>(std::move(idx));
+  for (size_t i = 0; i < rows_.size(); ++i) hash_index_->Add(rows_[i], i);
+  return Status::OK();
+}
+
+Status Table::BuildSortIndex(const std::vector<std::string>& cols) {
+  std::vector<size_t> idx;
+  for (const auto& c : cols) {
+    GPR_ASSIGN_OR_RETURN(size_t i, schema_.Resolve(c));
+    idx.push_back(i);
+  }
+  sort_index_ = std::make_unique<SortIndex>(std::move(idx));
+  sort_index_->Build(rows_);
+  return Status::OK();
+}
+
+void Table::DropIndexes() {
+  hash_index_.reset();
+  sort_index_.reset();
+}
+
+void Table::Analyze() {
+  stats_.present = true;
+  stats_.num_rows = rows_.size();
+  stats_.distinct.assign(schema_.NumColumns(), 0);
+  // Exact distinct counts; tables here are small enough that sampling is
+  // unnecessary, and exactness keeps planner tests deterministic.
+  for (size_t c = 0; c < schema_.NumColumns(); ++c) {
+    std::unordered_set<Value, ValueHash> seen;
+    for (const Tuple& t : rows_) seen.insert(t[c]);
+    stats_.distinct[c] = seen.size();
+  }
+}
+
+void Table::SortRows() {
+  std::sort(rows_.begin(), rows_.end(),
+            [](const Tuple& a, const Tuple& b) {
+              return CompareTuples(a, b) < 0;
+            });
+  DropIndexes();
+}
+
+std::vector<Tuple> Table::SortedRows() const {
+  std::vector<Tuple> out = rows_;
+  std::sort(out.begin(), out.end(), [](const Tuple& a, const Tuple& b) {
+    return CompareTuples(a, b) < 0;
+  });
+  return out;
+}
+
+bool Table::SameRowsAs(const Table& other) const {
+  if (rows_.size() != other.rows_.size()) return false;
+  const auto a = SortedRows();
+  const auto b = other.SortedRows();
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (CompareTuples(a[i], b[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::string Table::ToString(size_t limit) const {
+  std::ostringstream os;
+  os << name_ << schema_.ToString() << " [" << rows_.size() << " rows]\n";
+  const size_t n =
+      limit == 0 ? rows_.size() : std::min(limit, rows_.size());
+  for (size_t i = 0; i < n; ++i) os << "  " << TupleToString(rows_[i]) << "\n";
+  if (n < rows_.size()) os << "  ... (" << rows_.size() - n << " more)\n";
+  return os.str();
+}
+
+}  // namespace gpr::ra

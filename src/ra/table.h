@@ -1,0 +1,156 @@
+// Materialized relations: a schema plus a row store, with optional indexes.
+//
+// Tables are the unit the fixpoint executor iterates over, the unit the PSM
+// compiler creates as temporaries, and the unit benchmarks measure. A hash
+// index accelerates hash-join probes and point lookups; a sort index stands
+// in for a B+-tree and is what the PostgreSQL-like profile adopts for its
+// merge-join plans (paper Exp-A).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ra/schema.h"
+#include "ra/tuple.h"
+#include "util/status.h"
+
+namespace gpr::ra {
+
+/// Hash index mapping a key (projection of a row) to row positions.
+class HashIndex {
+ public:
+  HashIndex(std::vector<size_t> key_cols) : key_cols_(std::move(key_cols)) {}
+
+  const std::vector<size_t>& key_cols() const { return key_cols_; }
+
+  void Add(const Tuple& row, size_t pos) {
+    map_[ProjectTuple(row, key_cols_)].push_back(pos);
+  }
+
+  /// Row positions whose key equals `key` (empty if none).
+  const std::vector<size_t>* Lookup(const Tuple& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  size_t NumKeys() const { return map_.size(); }
+
+ private:
+  std::vector<size_t> key_cols_;
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHash, TupleEq> map_;
+};
+
+/// Sorted index: row positions ordered by key columns (B+-tree stand-in).
+class SortIndex {
+ public:
+  SortIndex(std::vector<size_t> key_cols) : key_cols_(std::move(key_cols)) {}
+
+  const std::vector<size_t>& key_cols() const { return key_cols_; }
+  const std::vector<size_t>& order() const { return order_; }
+
+  /// Rebuilds the ordering over `rows`.
+  void Build(const std::vector<Tuple>& rows);
+
+ private:
+  std::vector<size_t> key_cols_;
+  std::vector<size_t> order_;
+};
+
+/// Basic cardinality statistics; "absent" models the paper's observation that
+/// temp tables lack statistics, driving PostgreSQL to sub-optimal plans.
+struct TableStats {
+  bool present = false;
+  size_t num_rows = 0;
+  /// Rough per-column distinct counts (sampled).
+  std::vector<size_t> distinct;
+};
+
+/// A named, materialized relation.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  // Copies carry name, schema and rows; indexes and statistics are
+  // per-instance and are rebuilt on demand.
+  Table(const Table& other)
+      : name_(other.name_), schema_(other.schema_), rows_(other.rows_) {}
+  Table& operator=(const Table& other) {
+    if (this != &other) {
+      name_ = other.name_;
+      schema_ = other.schema_;
+      rows_ = other.rows_;
+      DropIndexes();
+      stats_ = TableStats{};
+    }
+    return *this;
+  }
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  const Schema& schema() const { return schema_; }
+  /// Replaces the schema in place; row shapes must already match.
+  void set_schema(Schema s) { schema_ = std::move(s); }
+
+  size_t NumRows() const { return rows_.size(); }
+  bool Empty() const { return rows_.empty(); }
+
+  const std::vector<Tuple>& rows() const { return rows_; }
+  std::vector<Tuple>& mutable_rows() { return rows_; }
+  const Tuple& row(size_t i) const { return rows_[i]; }
+
+  /// Appends a row; arity must match the schema. Invalidates indexes.
+  void AddRow(Tuple row);
+
+  /// Appends rows from another table (schemas must be union-compatible).
+  void AppendFrom(const Table& other);
+
+  void Clear();
+
+  /// Reserve capacity for `n` rows.
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  /// Creates (or replaces) the hash index on the given columns.
+  Status BuildHashIndex(const std::vector<std::string>& cols);
+  /// Creates (or replaces) the sort index on the given columns.
+  Status BuildSortIndex(const std::vector<std::string>& cols);
+
+  const HashIndex* hash_index() const { return hash_index_.get(); }
+  const SortIndex* sort_index() const { return sort_index_.get(); }
+  void DropIndexes();
+
+  /// Marks statistics as collected (ANALYZE analogue).
+  void Analyze();
+  const TableStats& stats() const { return stats_; }
+  void InvalidateStats() { stats_.present = false; }
+
+  /// Sorts rows lexicographically (used for deterministic output/tests).
+  void SortRows();
+
+  /// Sorted copy of rows — convenient for order-insensitive comparisons.
+  std::vector<Tuple> SortedRows() const;
+
+  /// True if both tables hold the same multiset of rows.
+  bool SameRowsAs(const Table& other) const;
+
+  /// Pretty-prints up to `limit` rows (0 = all).
+  std::string ToString(size_t limit = 20) const;
+
+ private:
+  void RebuildIndexes();
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  std::unique_ptr<HashIndex> hash_index_;
+  std::unique_ptr<SortIndex> sort_index_;
+  TableStats stats_;
+};
+
+}  // namespace gpr::ra

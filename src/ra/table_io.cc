@@ -1,0 +1,167 @@
+#include "ra/table_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace gpr::ra {
+namespace {
+
+std::string EscapeString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Splits one CSV line honouring double-quoted fields.
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line,
+                                              std::vector<bool>* quoted) {
+  std::vector<std::string> fields;
+  quoted->clear();
+  std::string cur;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      was_quoted = true;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(cur));
+      quoted->push_back(was_quoted);
+      cur.clear();
+      was_quoted = false;
+      continue;
+    }
+    cur += c;
+  }
+  if (in_quotes) {
+    return Status::IoError("unterminated quote in CSV line: " + line);
+  }
+  fields.push_back(std::move(cur));
+  quoted->push_back(was_quoted);
+  return fields;
+}
+
+Result<ValueType> ParseType(const std::string& name) {
+  if (name == "Int64") return ValueType::kInt64;
+  if (name == "Double") return ValueType::kDouble;
+  if (name == "String") return ValueType::kString;
+  if (name == "Null") return ValueType::kNull;
+  return Status::IoError("unknown column type '" + name + "'");
+}
+
+}  // namespace
+
+Status SaveCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  // Header: name:Type per column.
+  for (size_t c = 0; c < table.schema().NumColumns(); ++c) {
+    if (c > 0) out << ",";
+    const auto& col = table.schema().column(c);
+    out << col.name << ":" << ValueTypeName(col.type);
+  }
+  out << "\n";
+  std::ostringstream row_text;
+  for (const auto& row : table.rows()) {
+    row_text.str("");
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) row_text << ",";
+      const Value& v = row[c];
+      if (v.is_null()) {
+        // empty field
+      } else if (v.is_string()) {
+        row_text << EscapeString(v.AsString());
+      } else if (v.is_int64()) {
+        row_text << v.AsInt64();
+      } else {
+        row_text.precision(17);
+        row_text << v.AsDouble();
+      }
+    }
+    out << row_text.str() << "\n";
+  }
+  if (!out.good()) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Table> LoadCsv(const std::string& path, const std::string& name) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "'");
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("'" + path + "' is empty (no header)");
+  }
+  std::vector<bool> quoted;
+  GPR_ASSIGN_OR_RETURN(auto header, SplitCsvLine(line, &quoted));
+  std::vector<Column> cols;
+  for (const auto& field : header) {
+    const auto parts = Split(field, ':');
+    if (parts.size() != 2) {
+      return Status::IoError("header field '" + field +
+                             "' is not name:Type");
+    }
+    GPR_ASSIGN_OR_RETURN(ValueType t, ParseType(parts[1]));
+    cols.push_back({parts[0], t});
+  }
+  Table table(name, Schema(cols));
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    GPR_ASSIGN_OR_RETURN(auto fields, SplitCsvLine(line, &quoted));
+    if (fields.size() != cols.size()) {
+      return Status::IoError("line " + std::to_string(line_no) + " has " +
+                             std::to_string(fields.size()) + " fields, want " +
+                             std::to_string(cols.size()));
+    }
+    Tuple row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      if (fields[c].empty() && !quoted[c]) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      switch (cols[c].type) {
+        case ValueType::kInt64:
+          row.push_back(
+              Value(static_cast<int64_t>(std::strtoll(fields[c].c_str(),
+                                                      nullptr, 10))));
+          break;
+        case ValueType::kDouble:
+          row.push_back(Value(std::strtod(fields[c].c_str(), nullptr)));
+          break;
+        case ValueType::kString:
+        case ValueType::kNull:
+          row.push_back(Value(fields[c]));
+          break;
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace gpr::ra

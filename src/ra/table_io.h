@@ -1,0 +1,20 @@
+// CSV import/export for relations. The header row carries the schema
+// ("F:Int64,T:Int64,ew:Double"), so tables round-trip losslessly.
+#pragma once
+
+#include <string>
+
+#include "ra/table.h"
+#include "util/status.h"
+
+namespace gpr::ra {
+
+/// Writes `table` to `path`. Strings are double-quoted with "" escaping;
+/// NULL is an empty unquoted field.
+Status SaveCsv(const Table& table, const std::string& path);
+
+/// Loads a CSV written by SaveCsv (or hand-written with the same header
+/// convention). `name` overrides the table name.
+Result<Table> LoadCsv(const std::string& path, const std::string& name);
+
+}  // namespace gpr::ra

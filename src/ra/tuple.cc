@@ -1,0 +1,35 @@
+#include "ra/tuple.h"
+
+#include <sstream>
+
+namespace gpr::ra {
+
+int CompareTuples(const Tuple& a, const Tuple& b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+Tuple ProjectTuple(const Tuple& t, const std::vector<size_t>& idx) {
+  Tuple out;
+  out.reserve(idx.size());
+  for (size_t i : idx) out.push_back(t[i]);
+  return out;
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << t[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace gpr::ra

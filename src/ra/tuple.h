@@ -1,0 +1,48 @@
+// Tuples (rows) and tuple hashing for joins and grouping.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ra/value.h"
+
+namespace gpr::ra {
+
+using Tuple = std::vector<Value>;
+
+/// Combines two hashes (boost::hash_combine recipe).
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hash of a full tuple, consistent with element-wise Value::Equals.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t seed = t.size();
+    for (const Value& v : t) seed = HashCombine(seed, v.Hash());
+    return seed;
+  }
+};
+
+/// Element-wise grouping equality (NULL == NULL).
+struct TupleEq {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].Equals(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+/// Lexicographic comparison using Value::Compare.
+int CompareTuples(const Tuple& a, const Tuple& b);
+
+/// Projection of `t` onto the given column indexes.
+Tuple ProjectTuple(const Tuple& t, const std::vector<size_t>& idx);
+
+/// "(v1, v2, ...)" debug rendering.
+std::string TupleToString(const Tuple& t);
+
+}  // namespace gpr::ra

@@ -1,0 +1,98 @@
+#include "ra/value.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace gpr::ra {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "Null";
+    case ValueType::kInt64: return "Int64";
+    case ValueType::kDouble: return "Double";
+    case ValueType::kString: return "String";
+  }
+  return "Unknown";
+}
+
+bool Value::Equals(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int64() && other.is_int64()) return AsInt64() == other.AsInt64();
+    return ToDouble() == other.ToDouble();
+  }
+  if (is_string() && other.is_string()) return AsString() == other.AsString();
+  return false;
+}
+
+int Value::Compare(const Value& other) const {
+  // NULL sorts first.
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  const bool lnum = is_numeric();
+  const bool rnum = other.is_numeric();
+  if (lnum && rnum) {
+    if (is_int64() && other.is_int64()) {
+      const int64_t a = AsInt64();
+      const int64_t b = other.AsInt64();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    const double a = ToDouble();
+    const double b = other.ToDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (lnum != rnum) return lnum ? -1 : 1;  // numbers < strings
+  const int c = AsString().compare(other.AsString());
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt64: {
+      // Hash by numeric value so that Int64(3) and Double(3.0) collide,
+      // consistent with Equals.
+      const double d = ToDouble();
+      if (static_cast<double>(static_cast<int64_t>(d)) == d) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case ValueType::kDouble: {
+      const double d = AsDouble();
+      if (std::nearbyint(d) == d && std::abs(d) < 9.0e18) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace gpr::ra

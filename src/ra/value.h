@@ -1,0 +1,104 @@
+// The scalar value type flowing through the relational engine.
+//
+// Relations hold tuples of Value. Graph workloads use mostly Int64 (node
+// identifiers) and Double (weights, ranks); String supports labels for
+// Label-Propagation / Keyword-Search; Null supports outer joins and SQL
+// three-valued comparisons.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace gpr::ra {
+
+/// Runtime type tag of a Value / declared type of a column.
+enum class ValueType { kNull, kInt64, kDouble, kString };
+
+const char* ValueTypeName(ValueType t);
+
+/// A dynamically typed scalar: NULL, 64-bit integer, double, or string.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  Value(int64_t v) : v_(v) {}              // NOLINT: implicit by design
+  Value(int v) : v_(int64_t{v}) {}         // NOLINT
+  Value(double v) : v_(v) {}               // NOLINT
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt64;
+      case 2: return ValueType::kDouble;
+      default: return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return v_.index() == 0; }
+  bool is_int64() const { return v_.index() == 1; }
+  bool is_double() const { return v_.index() == 2; }
+  bool is_string() const { return v_.index() == 3; }
+  bool is_numeric() const { return is_int64() || is_double(); }
+
+  int64_t AsInt64() const {
+    GPR_CHECK(is_int64()) << "Value is " << ValueTypeName(type());
+    return std::get<int64_t>(v_);
+  }
+  double AsDouble() const {
+    GPR_CHECK(is_double()) << "Value is " << ValueTypeName(type());
+    return std::get<double>(v_);
+  }
+  const std::string& AsString() const {
+    GPR_CHECK(is_string()) << "Value is " << ValueTypeName(type());
+    return std::get<std::string>(v_);
+  }
+
+  /// Numeric view: Int64 widened to double. CHECK-fails on non-numeric.
+  double ToDouble() const {
+    if (is_int64()) return static_cast<double>(std::get<int64_t>(v_));
+    return AsDouble();
+  }
+
+  /// Numeric view truncated toward zero. CHECK-fails on non-numeric.
+  int64_t ToInt64() const {
+    if (is_double()) return static_cast<int64_t>(std::get<double>(v_));
+    return AsInt64();
+  }
+
+  /// Grouping equality: NULL equals NULL; Int64/Double compare numerically.
+  bool Equals(const Value& other) const;
+
+  /// Total order for sorting and sort-merge join: NULL < numbers < strings;
+  /// numbers compare numerically across Int64/Double.
+  /// Returns -1, 0, or 1.
+  int Compare(const Value& other) const;
+
+  /// Hash consistent with Equals (numeric values hash by double value).
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return Equals(other); }
+  bool operator!=(const Value& other) const { return !Equals(other); }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace gpr::ra

@@ -1,0 +1,84 @@
+// AST for the with+ SQL dialect.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gpr::sql {
+
+struct SqlExpr;
+using SqlExprPtr = std::shared_ptr<SqlExpr>;
+
+struct SelectCore;
+
+/// Scalar / predicate expression node.
+struct SqlExpr {
+  enum class Kind {
+    kColumn,    ///< possibly qualified column reference
+    kNumber,
+    kString,
+    kStar,      ///< "*" — only valid inside count(*)
+    kBinary,    ///< op in {+ - * / % = <> < <= > >= and or}
+    kUnary,     ///< op in {not, -}
+    kCall,      ///< function or aggregate call
+    kIsNull,
+    kIsNotNull,
+    kInSelect,  ///< expr [not] in (select ...)
+  };
+  Kind kind = Kind::kColumn;
+  std::string name;          ///< column name / function name / operator
+  double number = 0;
+  bool is_integer = false;
+  std::string string_value;
+  std::vector<SqlExprPtr> args;
+  std::shared_ptr<SelectCore> subquery;  ///< kInSelect
+  bool negated = false;                  ///< kInSelect: NOT IN
+};
+
+struct SelectItem {
+  SqlExprPtr expr;
+  std::string alias;  ///< empty when none given
+};
+
+struct TableRefAst {
+  std::string table;
+  std::string alias;  ///< empty when none given
+};
+
+/// One select-from-where-groupby block.
+struct SelectCore {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRefAst> from;
+  SqlExprPtr where;                  ///< null when absent
+  std::vector<std::string> group_by;
+};
+
+/// name(cols) as select ... ;   inside a computed by block.
+struct ComputedDefAst {
+  std::string name;
+  std::vector<std::string> columns;
+  SelectCore query;
+};
+
+struct SubqueryAst {
+  SelectCore core;
+  std::vector<ComputedDefAst> computed_by;
+};
+
+enum class CombinatorAst { kUnionAll, kUnion, kUnionByUpdate };
+
+/// with R(cols) as ( q1 <combinator> q2 ... maxrecursion k ) final-select.
+struct WithStatementAst {
+  std::string rec_name;
+  std::vector<std::string> rec_columns;
+  std::vector<SubqueryAst> subqueries;
+  std::vector<CombinatorAst> combinators;  ///< between consecutive queries
+  std::vector<std::string> update_keys;    ///< union by update attributes
+  int maxrecursion = 0;
+  std::optional<SelectCore> final_select;
+};
+
+}  // namespace gpr::sql

@@ -1,0 +1,523 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/plan.h"
+#include "sql/parser.h"
+#include "util/string_util.h"
+
+namespace gpr::sql {
+namespace {
+
+namespace ops = ra::ops;
+using core::PlanPtr;
+using ra::Schema;
+
+/// True if `name` names an aggregate function.
+bool IsAggName(const std::string& lower) {
+  return lower == "sum" || lower == "min" || lower == "max" ||
+         lower == "count" || lower == "avg";
+}
+
+/// Lowers a SqlExpr to an ra::Expr. kInSelect / kStar must have been
+/// handled by the caller.
+Result<ra::ExprPtr> LowerExpr(const SqlExprPtr& e) {
+  switch (e->kind) {
+    case SqlExpr::Kind::kColumn:
+      return ra::Col(e->name);
+    case SqlExpr::Kind::kNumber:
+      if (e->is_integer) {
+        return ra::Lit(ra::Value(static_cast<int64_t>(e->number)));
+      }
+      return ra::Lit(ra::Value(e->number));
+    case SqlExpr::Kind::kString:
+      return ra::Lit(ra::Value(e->string_value));
+    case SqlExpr::Kind::kStar:
+      return Status::BindError("'*' is only valid inside count(*)");
+    case SqlExpr::Kind::kBinary: {
+      GPR_ASSIGN_OR_RETURN(ra::ExprPtr l, LowerExpr(e->args[0]));
+      GPR_ASSIGN_OR_RETURN(ra::ExprPtr r, LowerExpr(e->args[1]));
+      static const std::pair<const char*, ra::BinaryOp> kOps[] = {
+          {"+", ra::BinaryOp::kAdd}, {"-", ra::BinaryOp::kSub},
+          {"*", ra::BinaryOp::kMul}, {"/", ra::BinaryOp::kDiv},
+          {"%", ra::BinaryOp::kMod}, {"=", ra::BinaryOp::kEq},
+          {"<>", ra::BinaryOp::kNe}, {"<", ra::BinaryOp::kLt},
+          {"<=", ra::BinaryOp::kLe}, {">", ra::BinaryOp::kGt},
+          {">=", ra::BinaryOp::kGe}, {"and", ra::BinaryOp::kAnd},
+          {"or", ra::BinaryOp::kOr}};
+      for (const auto& [name, op] : kOps) {
+        if (e->name == name) return ra::Binary(op, l, r);
+      }
+      return Status::BindError("unknown operator '" + e->name + "'");
+    }
+    case SqlExpr::Kind::kUnary: {
+      GPR_ASSIGN_OR_RETURN(ra::ExprPtr c, LowerExpr(e->args[0]));
+      if (e->name == "not") return ra::Not(c);
+      if (e->name == "-") return ra::Neg(c);
+      return Status::BindError("unknown unary operator '" + e->name + "'");
+    }
+    case SqlExpr::Kind::kCall: {
+      std::vector<ra::ExprPtr> args;
+      for (const auto& a : e->args) {
+        GPR_ASSIGN_OR_RETURN(ra::ExprPtr la, LowerExpr(a));
+        args.push_back(la);
+      }
+      return ra::Call(e->name, std::move(args));
+    }
+    case SqlExpr::Kind::kIsNull: {
+      GPR_ASSIGN_OR_RETURN(ra::ExprPtr c, LowerExpr(e->args[0]));
+      return ra::IsNull(c);
+    }
+    case SqlExpr::Kind::kIsNotNull: {
+      GPR_ASSIGN_OR_RETURN(ra::ExprPtr c, LowerExpr(e->args[0]));
+      return ra::IsNotNull(c);
+    }
+    case SqlExpr::Kind::kInSelect:
+      return Status::BindError(
+          "[not] in (select ...) is only supported as a top-level WHERE "
+          "conjunct");
+  }
+  GPR_UNREACHABLE();
+}
+
+/// Splits a WHERE tree into top-level AND conjuncts.
+void SplitConjuncts(const SqlExprPtr& e, std::vector<SqlExprPtr>* out) {
+  if (e->kind == SqlExpr::Kind::kBinary && e->name == "and") {
+    SplitConjuncts(e->args[0], out);
+    SplitConjuncts(e->args[1], out);
+    return;
+  }
+  out->push_back(e);
+}
+
+/// Unqualified suffix of a column name.
+std::string Suffix(const std::string& name) {
+  const size_t pos = name.rfind('.');
+  return pos == std::string::npos ? name : name.substr(pos + 1);
+}
+
+struct FromItem {
+  std::string name;  ///< alias or table name
+  PlanPtr plan;
+  Schema schema;
+};
+
+/// Resolves a (possibly qualified) column reference to a from-item index.
+Result<size_t> ResolveItem(const std::vector<FromItem>& items,
+                           const std::string& column) {
+  const size_t dot = column.rfind('.');
+  if (dot != std::string::npos) {
+    const std::string qual = column.substr(0, dot);
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (items[i].name == qual) return i;
+    }
+    return Status::BindError("unknown table qualifier '" + qual + "'");
+  }
+  std::optional<size_t> found;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].schema.Has(column)) {
+      if (found) {
+        return Status::BindError("ambiguous column '" + column + "'");
+      }
+      found = i;
+    }
+  }
+  if (!found) return Status::BindError("unknown column '" + column + "'");
+  return *found;
+}
+
+class SelectBinder {
+ public:
+  SelectBinder(const ra::Catalog& catalog, const SchemaOverlays* overlays)
+      : catalog_(catalog), overlays_(overlays) {}
+
+  Result<PlanPtr> Bind(const SelectCore& core) {
+    if (core.from.empty()) {
+      return Status::BindError("FROM clause is required");
+    }
+    // FROM items.
+    std::vector<FromItem> items;
+    for (const auto& ref : core.from) {
+      FromItem item;
+      item.plan = core::Scan(ref.table);
+      item.name = ref.alias.empty() ? ref.table : ref.alias;
+      if (!ref.alias.empty()) {
+        item.plan = core::RenameOp(item.plan, ref.alias);
+      }
+      GPR_ASSIGN_OR_RETURN(item.schema,
+                           core::InferSchema(item.plan, catalog_, overlays_));
+      items.push_back(std::move(item));
+    }
+    // WHERE conjunct classification.
+    std::vector<SqlExprPtr> conjuncts;
+    if (core.where) SplitConjuncts(core.where, &conjuncts);
+    struct JoinPred {
+      size_t left_item, right_item;
+      std::string left_col, right_col;
+    };
+    std::vector<JoinPred> join_preds;
+    std::vector<SqlExprPtr> in_preds;
+    std::vector<SqlExprPtr> residual;
+    for (const auto& c : conjuncts) {
+      if (c->kind == SqlExpr::Kind::kInSelect) {
+        if (c->args[0]->kind != SqlExpr::Kind::kColumn) {
+          return Status::BindError(
+              "[not] in requires a column on the left-hand side");
+        }
+        in_preds.push_back(c);
+        continue;
+      }
+      if (items.size() > 1 && c->kind == SqlExpr::Kind::kBinary &&
+          c->name == "=" && c->args[0]->kind == SqlExpr::Kind::kColumn &&
+          c->args[1]->kind == SqlExpr::Kind::kColumn) {
+        auto li = ResolveItem(items, c->args[0]->name);
+        auto ri = ResolveItem(items, c->args[1]->name);
+        if (li.ok() && ri.ok() && *li != *ri) {
+          JoinPred p{*li, *ri, c->args[0]->name, c->args[1]->name};
+          if (p.left_item > p.right_item) {
+            std::swap(p.left_item, p.right_item);
+            std::swap(p.left_col, p.right_col);
+          }
+          join_preds.push_back(std::move(p));
+          continue;
+        }
+      }
+      residual.push_back(c);
+    }
+
+    // Greedy join tree: start at item 0, connect via join predicates,
+    // cross-product anything unconnected.
+    PlanPtr plan = items[0].plan;
+    std::vector<bool> bound(items.size(), false);
+    bound[0] = true;
+    std::vector<bool> used(join_preds.size(), false);
+    size_t remaining = items.size() - 1;
+    while (remaining > 0) {
+      // Find a predicate connecting the bound set to a new item.
+      ssize_t pick = -1;
+      for (size_t p = 0; p < join_preds.size(); ++p) {
+        if (used[p]) continue;
+        const auto& jp = join_preds[p];
+        if (bound[jp.left_item] != bound[jp.right_item]) {
+          pick = static_cast<ssize_t>(p);
+          break;
+        }
+      }
+      if (pick < 0) {
+        // Cross product with the next unbound item.
+        for (size_t i = 0; i < items.size(); ++i) {
+          if (bound[i]) continue;
+          plan = core::CrossProductOp(plan, items[i].plan);
+          bound[i] = true;
+          --remaining;
+          break;
+        }
+        continue;
+      }
+      const auto jp = join_preds[pick];
+      used[pick] = true;
+      const size_t new_item = bound[jp.left_item] ? jp.right_item
+                                                  : jp.left_item;
+      const std::string bound_col =
+          bound[jp.left_item] ? jp.left_col : jp.right_col;
+      const std::string new_col =
+          bound[jp.left_item] ? jp.right_col : jp.left_col;
+      // Collect further predicates between the bound set and this item as
+      // extra key pairs.
+      ops::JoinKeys keys{{bound_col}, {Suffix(new_col)}};
+      for (size_t p = 0; p < join_preds.size(); ++p) {
+        if (used[p]) continue;
+        const auto& other = join_preds[p];
+        const bool connects =
+            (other.left_item == new_item && bound[other.right_item]) ||
+            (other.right_item == new_item && bound[other.left_item]);
+        if (!connects) continue;
+        used[p] = true;
+        if (other.left_item == new_item) {
+          keys.left.push_back(other.right_col);
+          keys.right.push_back(Suffix(other.left_col));
+        } else {
+          keys.left.push_back(other.left_col);
+          keys.right.push_back(Suffix(other.right_col));
+        }
+      }
+      plan = core::JoinOp(plan, items[new_item].plan, std::move(keys));
+      bound[new_item] = true;
+      --remaining;
+    }
+    // Any join predicate left over (e.g. between two already-bound items)
+    // becomes a residual filter.
+    for (size_t p = 0; p < join_preds.size(); ++p) {
+      if (used[p]) continue;
+      residual.push_back(nullptr);  // placeholder; lowered below
+      const auto& jp = join_preds[p];
+      auto eq = std::make_shared<SqlExpr>();
+      eq->kind = SqlExpr::Kind::kBinary;
+      eq->name = "=";
+      auto lc = std::make_shared<SqlExpr>();
+      lc->kind = SqlExpr::Kind::kColumn;
+      lc->name = jp.left_col;
+      auto rc = std::make_shared<SqlExpr>();
+      rc->kind = SqlExpr::Kind::kColumn;
+      rc->name = jp.right_col;
+      eq->args = {lc, rc};
+      residual.back() = eq;
+    }
+
+    // Residual selection.
+    for (const auto& c : residual) {
+      GPR_ASSIGN_OR_RETURN(ra::ExprPtr pred, LowerExpr(c));
+      plan = core::SelectOp(plan, pred);
+    }
+
+    // Semi-/anti-join subqueries.
+    for (const auto& c : in_preds) {
+      GPR_ASSIGN_OR_RETURN(PlanPtr sub, Bind(*c->subquery));
+      GPR_ASSIGN_OR_RETURN(Schema sub_schema,
+                           core::InferSchema(sub, catalog_, overlays_));
+      if (sub_schema.NumColumns() != 1) {
+        return Status::BindError(
+            "[not] in subquery must produce exactly one column");
+      }
+      ops::JoinKeys keys{{c->args[0]->name},
+                         {sub_schema.column(0).name}};
+      plan = c->negated
+                 ? core::AntiJoinOp(plan, sub, std::move(keys),
+                                    core::AntiJoinImpl::kNotIn)
+                 : core::SemiJoinOp(plan, sub, std::move(keys));
+    }
+
+    // Select list: aggregates + group by.
+    const bool single_star =
+        core.items.size() == 1 &&
+        core.items[0].expr->kind == SqlExpr::Kind::kStar;
+    if (single_star) {
+      if (!core.group_by.empty()) {
+        return Status::BindError("select * cannot be combined with group by");
+      }
+      if (core.distinct) plan = core::DistinctOp(plan);
+      return plan;
+    }
+
+    std::vector<ra::AggSpec> aggs;
+    std::vector<SqlExprPtr> rewritten;
+    bool has_agg = false;
+    for (const auto& item : core.items) {
+      GPR_ASSIGN_OR_RETURN(SqlExprPtr rw,
+                           ExtractAggregates(item.expr, &aggs));
+      rewritten.push_back(rw);
+    }
+    has_agg = !aggs.empty();
+
+    if (has_agg || !core.group_by.empty()) {
+      plan = core::GroupByOp(plan, core.group_by, aggs);
+    }
+
+    std::vector<ops::ProjectItem> proj;
+    for (size_t i = 0; i < core.items.size(); ++i) {
+      GPR_ASSIGN_OR_RETURN(ra::ExprPtr e, LowerExpr(rewritten[i]));
+      std::string name = core.items[i].alias;
+      if (name.empty()) {
+        name = core.items[i].expr->kind == SqlExpr::Kind::kColumn
+                   ? Suffix(core.items[i].expr->name)
+                   : "col" + std::to_string(i + 1);
+      }
+      proj.push_back(ops::As(std::move(e), std::move(name)));
+    }
+    plan = core::ProjectOp(plan, std::move(proj));
+    if (core.distinct) plan = core::DistinctOp(plan);
+    return plan;
+  }
+
+ private:
+  /// Replaces aggregate calls with references to generated columns,
+  /// appending the corresponding AggSpecs.
+  Result<SqlExprPtr> ExtractAggregates(const SqlExprPtr& e,
+                                       std::vector<ra::AggSpec>* aggs) {
+    if (e->kind == SqlExpr::Kind::kCall && IsAggName(e->name)) {
+      GPR_ASSIGN_OR_RETURN(ra::AggKind kind, ra::ParseAggKind(e->name));
+      ra::ExprPtr arg;
+      if (e->args.size() == 1 &&
+          e->args[0]->kind != SqlExpr::Kind::kStar) {
+        GPR_ASSIGN_OR_RETURN(arg, LowerExpr(e->args[0]));
+      } else if (e->args.size() > 1) {
+        return Status::BindError("aggregates take one argument");
+      } else if (kind != ra::AggKind::kCount &&
+                 (e->args.empty() ||
+                  e->args[0]->kind == SqlExpr::Kind::kStar)) {
+        return Status::BindError("only count(*) may take '*'");
+      }
+      const std::string name = "agg" + std::to_string(aggs->size() + 1);
+      aggs->push_back({kind, arg, name});
+      auto ref = std::make_shared<SqlExpr>();
+      ref->kind = SqlExpr::Kind::kColumn;
+      ref->name = name;
+      return ref;
+    }
+    if (e->args.empty()) return e;
+    auto copy = std::make_shared<SqlExpr>(*e);
+    for (auto& child : copy->args) {
+      GPR_ASSIGN_OR_RETURN(child, ExtractAggregates(child, aggs));
+    }
+    return SqlExprPtr(copy);
+  }
+
+  const ra::Catalog& catalog_;
+  const SchemaOverlays* overlays_;
+};
+
+/// True when the subquery (or its computed-by chain) references `rec`.
+bool ReferencesRelation(const SubqueryAst& sq, const std::string& rec) {
+  auto core_refs = [&](const SelectCore& core) {
+    for (const auto& ref : core.from) {
+      if (ref.table == rec) return true;
+    }
+    // Nested [not] in subqueries.
+    std::vector<SqlExprPtr> stack;
+    if (core.where) stack.push_back(core.where);
+    while (!stack.empty()) {
+      SqlExprPtr e = stack.back();
+      stack.pop_back();
+      if (e->kind == SqlExpr::Kind::kInSelect && e->subquery) {
+        for (const auto& ref : e->subquery->from) {
+          if (ref.table == rec) return true;
+        }
+        if (e->subquery->where) stack.push_back(e->subquery->where);
+      }
+      for (const auto& a : e->args) stack.push_back(a);
+    }
+    return false;
+  };
+  if (core_refs(sq.core)) return true;
+  for (const auto& def : sq.computed_by) {
+    if (core_refs(def.query)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<core::PlanPtr> BindSelect(const SelectCore& core,
+                                 const ra::Catalog& catalog,
+                                 const SchemaOverlays* overlays) {
+  SelectBinder binder(catalog, overlays);
+  return binder.Bind(core);
+}
+
+Result<BoundWithStatement> BindWithStatement(const WithStatementAst& ast,
+                                             const ra::Catalog& catalog) {
+  BoundWithStatement out;
+  core::WithPlusQuery& q = out.query;
+  q.rec_name = ast.rec_name;
+
+  // Union mode from the combinators.
+  bool has_ubu = false;
+  bool has_union = false;
+  bool has_union_all = false;
+  for (auto c : ast.combinators) {
+    has_ubu |= c == CombinatorAst::kUnionByUpdate;
+    has_union |= c == CombinatorAst::kUnion;
+    has_union_all |= c == CombinatorAst::kUnionAll;
+  }
+  if (has_ubu && (has_union || has_union_all)) {
+    return Status::InvalidArgument(
+        "union by update cannot be combined with union all (Section 6)");
+  }
+  q.mode = has_ubu ? core::UnionMode::kUnionByUpdate
+                   : (has_union ? core::UnionMode::kUnionDistinct
+                                : core::UnionMode::kUnionAll);
+  q.update_keys = ast.update_keys;
+  q.maxrecursion = ast.maxrecursion;
+
+  // Classify subqueries; the initialization prefix must not reference R.
+  std::vector<const SubqueryAst*> init;
+  std::vector<const SubqueryAst*> recursive;
+  for (const auto& sq : ast.subqueries) {
+    (ReferencesRelation(sq, ast.rec_name) ? recursive : init).push_back(&sq);
+  }
+  if (init.empty()) {
+    return Status::BindError("with+ needs at least one initial subquery");
+  }
+  if (recursive.empty()) {
+    return Status::BindError(
+        "with+ needs at least one subquery referencing '" + ast.rec_name +
+        "'");
+  }
+
+  // Bind the first initial subquery to fix the recursive schema.
+  GPR_ASSIGN_OR_RETURN(core::PlanPtr first_init,
+                       BindSelect(init[0]->core, catalog, nullptr));
+  GPR_ASSIGN_OR_RETURN(ra::Schema init_schema,
+                       core::InferSchema(first_init, catalog));
+  if (!ast.rec_columns.empty()) {
+    GPR_ASSIGN_OR_RETURN(init_schema, init_schema.Renamed(ast.rec_columns));
+  }
+  q.rec_schema = init_schema;
+  q.init.push_back({first_init, {}});
+  for (size_t i = 1; i < init.size(); ++i) {
+    if (!init[i]->computed_by.empty()) {
+      return Status::NotSupported(
+          "computed by inside initial subqueries is not supported");
+    }
+    GPR_ASSIGN_OR_RETURN(core::PlanPtr p,
+                         BindSelect(init[i]->core, catalog, nullptr));
+    q.init.push_back({p, {}});
+  }
+
+  // Bind the recursive subqueries under the rec/defs overlays.
+  for (const SubqueryAst* sq : recursive) {
+    SchemaOverlays overlays;
+    overlays.emplace(ast.rec_name, q.rec_schema);
+    core::Subquery bound;
+    for (const auto& def : sq->computed_by) {
+      GPR_ASSIGN_OR_RETURN(core::PlanPtr p,
+                           BindSelect(def.query, catalog, &overlays));
+      GPR_ASSIGN_OR_RETURN(ra::Schema s,
+                           core::InferSchema(p, catalog, &overlays));
+      if (!def.columns.empty()) {
+        GPR_ASSIGN_OR_RETURN(s, s.Renamed(def.columns));
+        p = core::RenameOp(p, def.name, def.columns);
+      }
+      overlays.emplace(def.name, s);
+      bound.computed_by.push_back({def.name, p});
+    }
+    GPR_ASSIGN_OR_RETURN(bound.plan, BindSelect(sq->core, catalog, &overlays));
+    q.recursive.push_back(std::move(bound));
+  }
+
+  if (ast.final_select) {
+    SchemaOverlays overlays;
+    overlays.emplace(ast.rec_name, q.rec_schema);
+    GPR_ASSIGN_OR_RETURN(out.final_select,
+                         BindSelect(*ast.final_select, catalog, &overlays));
+  }
+  return out;
+}
+
+Result<ra::Table> RunSql(const std::string& text, ra::Catalog& catalog,
+                         const core::EngineProfile& profile, uint64_t seed) {
+  GPR_ASSIGN_OR_RETURN(WithStatementAst ast, ParseWithStatement(text));
+  GPR_ASSIGN_OR_RETURN(BoundWithStatement bound,
+                       BindWithStatement(ast, catalog));
+  GPR_ASSIGN_OR_RETURN(core::WithPlusResult result,
+                       core::ExecuteWithPlus(bound.query, catalog, profile,
+                                             seed));
+  if (!bound.final_select) return result.table;
+  // Run the final select against the materialized recursive relation.
+  result.table.set_name(bound.query.rec_name);
+  const bool existed = catalog.Has(bound.query.rec_name);
+  if (existed) {
+    return Status::AlreadyExists("table '" + bound.query.rec_name +
+                                 "' already exists in the catalog");
+  }
+  GPR_RETURN_NOT_OK(catalog.CreateTempTable(bound.query.rec_name,
+                                            result.table.schema()));
+  GPR_RETURN_NOT_OK(
+      catalog.ReplaceTable(bound.query.rec_name, std::move(result.table)));
+  auto fin = core::ExecutePlan(bound.final_select, catalog, profile);
+  (void)catalog.DropTable(bound.query.rec_name);
+  return fin;
+}
+
+}  // namespace gpr::sql

@@ -1,0 +1,44 @@
+// Binder: turns parsed with+ ASTs into executable WithPlusQuery plans.
+//
+// The binder performs the light query planning an RDBMS frontend would:
+// FROM items become scans, equality conjuncts in WHERE drive a greedy
+// hash-join tree, [NOT] IN (select …) subqueries become semi-/anti-joins,
+// aggregates in the select list plus GROUP BY become group-by & aggregation
+// followed by a projection, and DISTINCT becomes duplicate elimination.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/with_plus.h"
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace gpr::sql {
+
+/// Schemas for tables not (yet) in the catalog during binding.
+using SchemaOverlays = std::unordered_map<std::string, ra::Schema>;
+
+/// A fully bound with+ statement.
+struct BoundWithStatement {
+  core::WithPlusQuery query;
+  /// The trailing select over the recursive relation; null when the
+  /// statement ends at the with body (result = the recursive relation).
+  core::PlanPtr final_select;
+};
+
+/// Binds a select-from-where-groupby block to a logical plan.
+Result<core::PlanPtr> BindSelect(const SelectCore& core,
+                                 const ra::Catalog& catalog,
+                                 const SchemaOverlays* overlays = nullptr);
+
+/// Binds a with+ statement.
+Result<BoundWithStatement> BindWithStatement(const WithStatementAst& ast,
+                                             const ra::Catalog& catalog);
+
+/// Convenience: parse, bind, execute, and (when present) run the final
+/// select. Returns the result table.
+Result<ra::Table> RunSql(const std::string& text, ra::Catalog& catalog,
+                         const core::EngineProfile& profile,
+                         uint64_t seed = 42);
+
+}  // namespace gpr::sql

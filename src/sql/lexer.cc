@@ -1,0 +1,112 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace gpr::sql {
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto peek = [&](size_t k = 0) -> char {
+    return i + k < n ? input[i + k] : '\0';
+  };
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- comment to end of line.
+    if (c == '-' && peek(1) == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = input.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t start = i;
+      bool integer = true;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.') {
+        integer = false;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        integer = false;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      tok.type = TokenType::kNumber;
+      tok.text = input.substr(start, i - start);
+      tok.number = std::strtod(tok.text.c_str(), nullptr);
+      tok.is_integer = integer;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      size_t start = ++i;
+      std::string value;
+      while (i < n && input[i] != '\'') {
+        value += input[i];
+        ++i;
+      }
+      if (i >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start - 1));
+      }
+      ++i;  // closing quote
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Two-character operators first.
+    if ((c == '<' && (peek(1) == '>' || peek(1) == '=')) ||
+        (c == '>' && peek(1) == '=') || (c == '!' && peek(1) == '=')) {
+      tok.type = TokenType::kSymbol;
+      tok.text = input.substr(i, 2);
+      if (tok.text == "!=") tok.text = "<>";
+      i += 2;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::string("(),;.*+-/%=<>").find(c) != std::string::npos) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace gpr::sql

@@ -1,0 +1,30 @@
+// Lexer for the with+ SQL dialect (Section 6 syntax: Figs 1, 3, 5, 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gpr::sql {
+
+enum class TokenType {
+  kIdentifier,  ///< unquoted identifiers and keywords (case-insensitive)
+  kNumber,      ///< integer or decimal literal
+  kString,      ///< 'quoted string'
+  kSymbol,      ///< punctuation / operators: ( ) , ; . * + - / % = <> < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;    ///< raw text (identifiers lower-cased for keywords)
+  double number = 0;   ///< value for kNumber
+  bool is_integer = false;
+  size_t offset = 0;   ///< byte offset in the input, for error messages
+};
+
+/// Tokenizes `input`. Comments ("-- ..." to end of line) are skipped.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace gpr::sql

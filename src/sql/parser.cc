@@ -1,0 +1,462 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+#include "util/string_util.h"
+
+namespace gpr::sql {
+namespace {
+
+/// Keyword set that terminates identifier-ish parsing positions.
+bool IsKeyword(const std::string& lower) {
+  static const char* kKeywords[] = {
+      "select", "distinct", "from",  "where",  "group",        "by",
+      "union",  "all",      "as",    "with",   "recursive",    "and",
+      "or",     "not",      "in",    "is",     "null",         "update",
+      "computed", "maxrecursion", "exists"};
+  for (const char* k : kKeywords) {
+    if (lower == k) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<WithStatementAst> ParseWith() {
+    WithStatementAst stmt;
+    GPR_RETURN_NOT_OK(ExpectKeyword("with"));
+    (void)AcceptKeyword("recursive");
+    GPR_ASSIGN_OR_RETURN(stmt.rec_name, ExpectIdentifier("relation name"));
+    if (AcceptSymbol("(")) {
+      GPR_ASSIGN_OR_RETURN(stmt.rec_columns, ParseIdentList());
+      GPR_RETURN_NOT_OK(ExpectSymbol(")"));
+    }
+    GPR_RETURN_NOT_OK(ExpectKeyword("as"));
+    GPR_RETURN_NOT_OK(ExpectSymbol("("));
+    // Body: subqueries joined by combinators.
+    while (true) {
+      GPR_ASSIGN_OR_RETURN(SubqueryAst sq, ParseSubquery());
+      stmt.subqueries.push_back(std::move(sq));
+      if (AcceptKeyword("union")) {
+        if (AcceptKeyword("all")) {
+          stmt.combinators.push_back(CombinatorAst::kUnionAll);
+        } else if (AcceptKeyword("by")) {
+          GPR_RETURN_NOT_OK(ExpectKeyword("update"));
+          stmt.combinators.push_back(CombinatorAst::kUnionByUpdate);
+          // Optional key attribute list (identifiers up to the next '(' or
+          // 'select').
+          while (PeekIdentifierNonKeyword()) {
+            GPR_ASSIGN_OR_RETURN(std::string key,
+                                 ExpectIdentifier("update key"));
+            stmt.update_keys.push_back(std::move(key));
+            if (!AcceptSymbol(",")) break;
+          }
+        } else {
+          stmt.combinators.push_back(CombinatorAst::kUnion);
+        }
+        continue;
+      }
+      break;
+    }
+    if (AcceptKeyword("maxrecursion")) {
+      GPR_ASSIGN_OR_RETURN(double v, ExpectNumber());
+      stmt.maxrecursion = static_cast<int>(v);
+    }
+    GPR_RETURN_NOT_OK(ExpectSymbol(")"));
+    // Optional final select.
+    if (PeekKeyword("select")) {
+      GPR_ASSIGN_OR_RETURN(SelectCore fin, ParseSelectCore());
+      stmt.final_select = std::move(fin);
+    }
+    (void)AcceptSymbol(";");
+    GPR_RETURN_NOT_OK(ExpectEnd());
+    return stmt;
+  }
+
+  Result<SelectCore> ParseBareSelect() {
+    GPR_ASSIGN_OR_RETURN(SelectCore core, ParseSelectCore());
+    (void)AcceptSymbol(";");
+    GPR_RETURN_NOT_OK(ExpectEnd());
+    return core;
+  }
+
+ private:
+  // Token helpers ------------------------------------------------------
+
+  const Token& Peek(size_t k = 0) const {
+    const size_t i = pos_ + k;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  bool PeekKeyword(const std::string& kw, size_t k = 0) const {
+    const Token& t = Peek(k);
+    return t.type == TokenType::kIdentifier && ToLower(t.text) == kw;
+  }
+
+  bool PeekIdentifierNonKeyword() const {
+    const Token& t = Peek();
+    return t.type == TokenType::kIdentifier && !IsKeyword(ToLower(t.text));
+  }
+
+  bool AcceptKeyword(const std::string& kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::ParseError("expected '" + kw + "' near offset " +
+                                std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+
+  bool AcceptSymbol(const std::string& s) {
+    if (Peek().type == TokenType::kSymbol && Peek().text == s) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectSymbol(const std::string& s) {
+    if (!AcceptSymbol(s)) {
+      return Status::ParseError("expected '" + s + "' near offset " +
+                                std::to_string(Peek().offset) + " (got '" +
+                                Peek().text + "')");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const std::string& what) {
+    const Token& t = Peek();
+    if (t.type != TokenType::kIdentifier || IsKeyword(ToLower(t.text))) {
+      return Status::ParseError("expected " + what + " near offset " +
+                                std::to_string(t.offset));
+    }
+    ++pos_;
+    return t.text;
+  }
+
+  Result<double> ExpectNumber() {
+    const Token& t = Peek();
+    if (t.type != TokenType::kNumber) {
+      return Status::ParseError("expected number near offset " +
+                                std::to_string(t.offset));
+    }
+    ++pos_;
+    return t.number;
+  }
+
+  Status ExpectEnd() {
+    if (Peek().type != TokenType::kEnd) {
+      return Status::ParseError("unexpected trailing input near offset " +
+                                std::to_string(Peek().offset) + " ('" +
+                                Peek().text + "')");
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ParseIdentList() {
+    std::vector<std::string> out;
+    while (true) {
+      GPR_ASSIGN_OR_RETURN(std::string id, ExpectIdentifier("identifier"));
+      out.push_back(std::move(id));
+      if (!AcceptSymbol(",")) break;
+    }
+    return out;
+  }
+
+  // Grammar ------------------------------------------------------------
+
+  Result<SubqueryAst> ParseSubquery() {
+    SubqueryAst sq;
+    const bool parenthesized = AcceptSymbol("(");
+    GPR_ASSIGN_OR_RETURN(sq.core, ParseSelectCore());
+    if (AcceptKeyword("computed")) {
+      GPR_RETURN_NOT_OK(ExpectKeyword("by"));
+      while (PeekIdentifierNonKeyword()) {
+        ComputedDefAst def;
+        GPR_ASSIGN_OR_RETURN(def.name, ExpectIdentifier("definition name"));
+        if (AcceptSymbol("(")) {
+          GPR_ASSIGN_OR_RETURN(def.columns, ParseIdentList());
+          GPR_RETURN_NOT_OK(ExpectSymbol(")"));
+        }
+        GPR_RETURN_NOT_OK(ExpectKeyword("as"));
+        GPR_ASSIGN_OR_RETURN(def.query, ParseSelectCore());
+        GPR_RETURN_NOT_OK(ExpectSymbol(";"));
+        sq.computed_by.push_back(std::move(def));
+      }
+    }
+    if (parenthesized) GPR_RETURN_NOT_OK(ExpectSymbol(")"));
+    return sq;
+  }
+
+  Result<SelectCore> ParseSelectCore() {
+    SelectCore core;
+    GPR_RETURN_NOT_OK(ExpectKeyword("select"));
+    core.distinct = AcceptKeyword("distinct");
+    while (true) {
+      SelectItem item;
+      if (Peek().type == TokenType::kSymbol && Peek().text == "*") {
+        ++pos_;
+        item.expr = std::make_shared<SqlExpr>();
+        item.expr->kind = SqlExpr::Kind::kStar;
+      } else {
+        GPR_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      }
+      if (AcceptKeyword("as")) {
+        GPR_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("column alias"));
+      } else if (PeekIdentifierNonKeyword()) {
+        // Bare alias ("select x y from ..." is uncommon but legal).
+        GPR_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("column alias"));
+      }
+      core.items.push_back(std::move(item));
+      if (!AcceptSymbol(",")) break;
+    }
+    GPR_RETURN_NOT_OK(ExpectKeyword("from"));
+    while (true) {
+      TableRefAst ref;
+      GPR_ASSIGN_OR_RETURN(ref.table, ExpectIdentifier("table name"));
+      (void)AcceptKeyword("as");
+      if (PeekIdentifierNonKeyword()) {
+        GPR_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("table alias"));
+      }
+      core.from.push_back(std::move(ref));
+      if (!AcceptSymbol(",")) break;
+    }
+    if (AcceptKeyword("where")) {
+      GPR_ASSIGN_OR_RETURN(core.where, ParseExpr());
+    }
+    if (AcceptKeyword("group")) {
+      GPR_RETURN_NOT_OK(ExpectKeyword("by"));
+      while (true) {
+        GPR_ASSIGN_OR_RETURN(std::string col, ParseColumnName());
+        core.group_by.push_back(std::move(col));
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+    return core;
+  }
+
+  Result<std::string> ParseColumnName() {
+    GPR_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("column"));
+    while (AcceptSymbol(".")) {
+      GPR_ASSIGN_OR_RETURN(std::string part, ExpectIdentifier("column"));
+      name += "." + part;
+    }
+    return name;
+  }
+
+  // Expression precedence: or < and < not < comparison/in/is < add < mul
+  // < unary < primary.
+  Result<SqlExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<SqlExprPtr> ParseOr() {
+    GPR_ASSIGN_OR_RETURN(SqlExprPtr left, ParseAnd());
+    while (AcceptKeyword("or")) {
+      GPR_ASSIGN_OR_RETURN(SqlExprPtr right, ParseAnd());
+      left = MakeBinary("or", left, right);
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseAnd() {
+    GPR_ASSIGN_OR_RETURN(SqlExprPtr left, ParseNot());
+    while (AcceptKeyword("and")) {
+      GPR_ASSIGN_OR_RETURN(SqlExprPtr right, ParseNot());
+      left = MakeBinary("and", left, right);
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseNot() {
+    if (AcceptKeyword("not")) {
+      GPR_ASSIGN_OR_RETURN(SqlExprPtr inner, ParseNot());
+      auto e = std::make_shared<SqlExpr>();
+      e->kind = SqlExpr::Kind::kUnary;
+      e->name = "not";
+      e->args = {inner};
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<SqlExprPtr> ParseComparison() {
+    GPR_ASSIGN_OR_RETURN(SqlExprPtr left, ParseAdditive());
+    // IS [NOT] NULL.
+    if (AcceptKeyword("is")) {
+      const bool negated = AcceptKeyword("not");
+      GPR_RETURN_NOT_OK(ExpectKeyword("null"));
+      auto e = std::make_shared<SqlExpr>();
+      e->kind =
+          negated ? SqlExpr::Kind::kIsNotNull : SqlExpr::Kind::kIsNull;
+      e->args = {left};
+      return e;
+    }
+    // [NOT] IN (select ...) / [NOT] IN select ...
+    bool negated = false;
+    if (PeekKeyword("not") && PeekKeyword("in", 1)) {
+      ++pos_;
+      negated = true;
+    }
+    if (AcceptKeyword("in")) {
+      const bool paren = AcceptSymbol("(");
+      GPR_ASSIGN_OR_RETURN(SelectCore sub, ParseSelectCore());
+      if (paren) GPR_RETURN_NOT_OK(ExpectSymbol(")"));
+      auto e = std::make_shared<SqlExpr>();
+      e->kind = SqlExpr::Kind::kInSelect;
+      e->negated = negated;
+      e->args = {left};
+      e->subquery = std::make_shared<SelectCore>(std::move(sub));
+      return e;
+    }
+    if (negated) {
+      return Status::ParseError("expected 'in' after 'not' near offset " +
+                                std::to_string(Peek().offset));
+    }
+    static const char* kCmp[] = {"=", "<>", "<=", ">=", "<", ">"};
+    for (const char* op : kCmp) {
+      if (AcceptSymbol(op)) {
+        GPR_ASSIGN_OR_RETURN(SqlExprPtr right, ParseAdditive());
+        return MakeBinary(op, left, right);
+      }
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseAdditive() {
+    GPR_ASSIGN_OR_RETURN(SqlExprPtr left, ParseMultiplicative());
+    while (true) {
+      if (AcceptSymbol("+")) {
+        GPR_ASSIGN_OR_RETURN(SqlExprPtr right, ParseMultiplicative());
+        left = MakeBinary("+", left, right);
+      } else if (AcceptSymbol("-")) {
+        GPR_ASSIGN_OR_RETURN(SqlExprPtr right, ParseMultiplicative());
+        left = MakeBinary("-", left, right);
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<SqlExprPtr> ParseMultiplicative() {
+    GPR_ASSIGN_OR_RETURN(SqlExprPtr left, ParseUnary());
+    while (true) {
+      if (AcceptSymbol("*")) {
+        GPR_ASSIGN_OR_RETURN(SqlExprPtr right, ParseUnary());
+        left = MakeBinary("*", left, right);
+      } else if (AcceptSymbol("/")) {
+        GPR_ASSIGN_OR_RETURN(SqlExprPtr right, ParseUnary());
+        left = MakeBinary("/", left, right);
+      } else if (AcceptSymbol("%")) {
+        GPR_ASSIGN_OR_RETURN(SqlExprPtr right, ParseUnary());
+        left = MakeBinary("%", left, right);
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<SqlExprPtr> ParseUnary() {
+    if (AcceptSymbol("-")) {
+      GPR_ASSIGN_OR_RETURN(SqlExprPtr inner, ParseUnary());
+      auto e = std::make_shared<SqlExpr>();
+      e->kind = SqlExpr::Kind::kUnary;
+      e->name = "-";
+      e->args = {inner};
+      return e;
+    }
+    return ParsePrimary();
+  }
+
+  Result<SqlExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.type == TokenType::kNumber) {
+      ++pos_;
+      auto e = std::make_shared<SqlExpr>();
+      e->kind = SqlExpr::Kind::kNumber;
+      e->number = t.number;
+      e->is_integer = t.is_integer;
+      return e;
+    }
+    if (t.type == TokenType::kString) {
+      ++pos_;
+      auto e = std::make_shared<SqlExpr>();
+      e->kind = SqlExpr::Kind::kString;
+      e->string_value = t.text;
+      return e;
+    }
+    if (AcceptSymbol("(")) {
+      GPR_ASSIGN_OR_RETURN(SqlExprPtr inner, ParseExpr());
+      GPR_RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+    if (t.type == TokenType::kIdentifier && !IsKeyword(ToLower(t.text))) {
+      // Function call?
+      if (Peek(1).type == TokenType::kSymbol && Peek(1).text == "(") {
+        GPR_ASSIGN_OR_RETURN(std::string fname,
+                             ExpectIdentifier("function name"));
+        GPR_RETURN_NOT_OK(ExpectSymbol("("));
+        auto e = std::make_shared<SqlExpr>();
+        e->kind = SqlExpr::Kind::kCall;
+        e->name = ToLower(fname);
+        if (!AcceptSymbol(")")) {
+          while (true) {
+            if (Peek().type == TokenType::kSymbol && Peek().text == "*") {
+              ++pos_;
+              auto star = std::make_shared<SqlExpr>();
+              star->kind = SqlExpr::Kind::kStar;
+              e->args.push_back(star);
+            } else {
+              GPR_ASSIGN_OR_RETURN(SqlExprPtr arg, ParseExpr());
+              e->args.push_back(arg);
+            }
+            if (!AcceptSymbol(",")) break;
+          }
+          GPR_RETURN_NOT_OK(ExpectSymbol(")"));
+        }
+        return e;
+      }
+      // Column reference.
+      GPR_ASSIGN_OR_RETURN(std::string name, ParseColumnName());
+      auto e = std::make_shared<SqlExpr>();
+      e->kind = SqlExpr::Kind::kColumn;
+      e->name = std::move(name);
+      return e;
+    }
+    return Status::ParseError("unexpected token '" + t.text +
+                              "' near offset " + std::to_string(t.offset));
+  }
+
+  SqlExprPtr MakeBinary(const std::string& op, SqlExprPtr l, SqlExprPtr r) {
+    auto e = std::make_shared<SqlExpr>();
+    e->kind = SqlExpr::Kind::kBinary;
+    e->name = op;
+    e->args = {std::move(l), std::move(r)};
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<WithStatementAst> ParseWithStatement(const std::string& text) {
+  GPR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseWith();
+}
+
+Result<SelectCore> ParseSelect(const std::string& text) {
+  GPR_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseBareSelect();
+}
+
+}  // namespace gpr::sql

@@ -1,0 +1,31 @@
+// Recursive-descent parser for the with+ dialect.
+//
+// Grammar sketch (keywords case-insensitive):
+//
+//   with_stmt  := WITH [RECURSIVE] ident ['(' ident,* ')'] AS '(' body ')'
+//                 [select_core] [';']
+//   body       := subquery (combinator subquery)* [MAXRECURSION number]
+//   combinator := UNION ALL | UNION BY UPDATE [ident,*] | UNION
+//   subquery   := ['('] select_core [COMPUTED BY def+] [')']
+//   def        := ident ['(' ident,* ')'] AS select_core ';'
+//   select_core:= SELECT [DISTINCT] item,* FROM tableref,*
+//                 [WHERE expr] [GROUP BY column,*]
+//   item       := expr [AS ident] | '*'
+//   tableref   := ident [AS? ident]
+//   expr       := or-expr with the usual precedence; supports
+//                 [NOT] IN (select …) | [NOT] IN select …, IS [NOT] NULL,
+//                 arithmetic, comparisons, function calls, count(*)
+#pragma once
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace gpr::sql {
+
+/// Parses a full with+ statement.
+Result<WithStatementAst> ParseWithStatement(const std::string& text);
+
+/// Parses a bare select statement.
+Result<SelectCore> ParseSelect(const std::string& text);
+
+}  // namespace gpr::sql

@@ -1,0 +1,75 @@
+// Minimal logging and invariant-checking macros.
+//
+// CHECK-style macros abort on violation; they guard internal invariants, not
+// user input (user input errors flow through Status).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace gpr {
+namespace internal {
+
+/// Accumulates a message and aborts the process on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) {
+    stream_ << "FATAL " << file << ":" << line << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Severity-tagged message flushed to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(const char* level, const char* file, int line) {
+    stream_ << level << " " << file << ":" << line << " ";
+  }
+  ~LogMessage() { std::cerr << stream_.str() << std::endl; }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gpr
+
+#define GPR_CHECK(cond)                                          \
+  if (!(cond))                                                   \
+  ::gpr::internal::FatalLogMessage(__FILE__, __LINE__).stream()  \
+      << "Check failed: " #cond " "
+
+#define GPR_CHECK_EQ(a, b) GPR_CHECK((a) == (b))
+#define GPR_CHECK_NE(a, b) GPR_CHECK((a) != (b))
+#define GPR_CHECK_LT(a, b) GPR_CHECK((a) < (b))
+#define GPR_CHECK_LE(a, b) GPR_CHECK((a) <= (b))
+#define GPR_CHECK_GT(a, b) GPR_CHECK((a) > (b))
+#define GPR_CHECK_GE(a, b) GPR_CHECK((a) >= (b))
+
+#define GPR_CHECK_OK(expr)                                        \
+  do {                                                            \
+    ::gpr::Status _st = (expr);                                   \
+    GPR_CHECK(_st.ok()) << _st.ToString();                        \
+  } while (0)
+
+#define GPR_LOG_WARN() \
+  ::gpr::internal::LogMessage("WARN", __FILE__, __LINE__).stream()
+#define GPR_LOG_INFO() \
+  ::gpr::internal::LogMessage("INFO", __FILE__, __LINE__).stream()
+
+#define GPR_UNREACHABLE()                                           \
+  do {                                                              \
+    ::gpr::internal::FatalLogMessage(__FILE__, __LINE__).stream()   \
+        << "Unreachable code reached";                              \
+    __builtin_unreachable();                                        \
+  } while (0)

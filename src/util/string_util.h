@@ -1,0 +1,33 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpr {
+
+/// Lower-cases ASCII characters (SQL keywords are case-insensitive).
+std::string ToLower(std::string_view s);
+
+/// Upper-cases ASCII characters.
+std::string ToUpper(std::string_view s);
+
+/// Splits on a delimiter character; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins parts with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// True if `s` begins with `prefix` (case-sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace gpr

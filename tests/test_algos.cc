@@ -1,0 +1,429 @@
+// Integration tests: every relational (with+) algorithm cross-checked
+// against the native baseline implementations on fixed and random graphs.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algos/algos.h"
+#include "algos/registry.h"
+#include "baseline/native_algos.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace gpr {
+namespace {
+
+using algos::AlgoOptions;
+using graph::Graph;
+using gpr::testing::MakeCatalog;
+using gpr::testing::MatrixOf;
+using gpr::testing::TinyDag;
+using gpr::testing::TinyGraph;
+using gpr::testing::VectorOf;
+
+/// Random graphs the parameterized integration tests sweep over.
+struct GraphCase {
+  const char* name;
+  graph::NodeId n;
+  size_t m;
+  uint64_t seed;
+};
+
+class AlgoVsBaseline : public ::testing::TestWithParam<GraphCase> {
+ protected:
+  Graph MakeGraph() const {
+    const auto& p = GetParam();
+    Graph g = graph::Rmat(p.n, p.m, p.seed);
+    graph::AttachRandomNodeData(&g, p.seed ^ 0x1234);
+    return g;
+  }
+};
+
+TEST_P(AlgoVsBaseline, BfsMatchesNative) {
+  Graph g = MakeGraph();
+  auto catalog = MakeCatalog(g);
+  AlgoOptions opt;
+  opt.source = 0;
+  auto result = algos::Bfs(catalog, opt);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+  auto got = VectorOf(result->table);
+  auto levels = baseline::Bfs(g, 0);
+  ASSERT_EQ(got.size(), static_cast<size_t>(g.num_nodes()));
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double expected = levels[v] >= 0 ? 1.0 : 0.0;
+    EXPECT_EQ(got.at(v), expected) << "node " << v;
+  }
+}
+
+TEST_P(AlgoVsBaseline, FrontierBfsMatchesMvJoinBfs) {
+  Graph g = MakeGraph();
+  auto catalog = MakeCatalog(g);
+  AlgoOptions opt;
+  opt.source = 0;
+  auto frontier = algos::BfsFrontier(catalog, opt);
+  ASSERT_TRUE(frontier.ok()) << frontier.status();
+  EXPECT_TRUE(frontier->converged);
+  auto levels = baseline::Bfs(g, 0);
+  std::set<int64_t> reached;
+  for (const auto& row : frontier->table.rows()) {
+    reached.insert(row[0].ToInt64());
+  }
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(reached.count(v) > 0, levels[v] >= 0) << "node " << v;
+  }
+}
+
+TEST_P(AlgoVsBaseline, WccMatchesNative) {
+  Graph g = MakeGraph();
+  auto catalog = MakeCatalog(g);
+  auto result = algos::Wcc(catalog, {});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+  auto got = VectorOf(result->table);
+  auto labels = baseline::Wcc(g);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(got.at(v), static_cast<double>(labels[v])) << "node " << v;
+  }
+}
+
+TEST_P(AlgoVsBaseline, SsspMatchesNative) {
+  Graph g = graph::WithRandomEdgeWeights(MakeGraph(), 7, 1.0, 5.0);
+  auto catalog = MakeCatalog(g);
+  AlgoOptions opt;
+  opt.source = 0;
+  auto result = algos::SsspBellmanFord(catalog, opt);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+  auto got = VectorOf(result->table);
+  auto dist = baseline::SsspBellmanFord(g, 0);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(got.at(v), dist[v], 1e-9) << "node " << v;
+  }
+}
+
+TEST_P(AlgoVsBaseline, PageRankMatchesPaperSemantics) {
+  Graph g = MakeGraph();
+  auto catalog = MakeCatalog(g);
+  AlgoOptions opt;
+  opt.max_iterations = 7;
+  auto result = algos::PageRank(catalog, opt);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->iterations, 7u);
+
+  // Mirror: normalized edge weights 1/outdeg.
+  std::vector<graph::Edge> edges = g.EdgeList();
+  for (auto& e : edges) {
+    e.weight = 1.0 / static_cast<double>(g.OutDegree(e.from));
+  }
+  Graph norm(g.num_nodes(), std::move(edges));
+  auto expected = baseline::PaperPageRank(norm, 7, opt.damping);
+  auto got = VectorOf(result->table);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(got.at(v), expected[v], 1e-9) << "node " << v;
+  }
+}
+
+TEST_P(AlgoVsBaseline, HitsMatchesPaperSemantics) {
+  Graph g = MakeGraph();
+  auto catalog = MakeCatalog(g);
+  AlgoOptions opt;
+  opt.max_iterations = 6;
+  auto result = algos::Hits(catalog, opt);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto expected = baseline::PaperHits(g, 6);
+  ASSERT_EQ(result->table.schema().NumColumns(), 3u);
+  for (const auto& row : result->table.rows()) {
+    const auto v = row[0].ToInt64();
+    EXPECT_NEAR(row[1].ToDouble(), expected.hub[v], 1e-9) << "hub " << v;
+    EXPECT_NEAR(row[2].ToDouble(), expected.auth[v], 1e-9) << "auth " << v;
+  }
+}
+
+TEST_P(AlgoVsBaseline, LabelPropagationMatchesNative) {
+  Graph g = MakeGraph();
+  auto catalog = MakeCatalog(g);
+  AlgoOptions opt;
+  opt.max_iterations = 5;
+  auto result = algos::LabelPropagation(catalog, opt);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto expected = baseline::LabelPropagation(g, 5);
+  auto got = VectorOf(result->table);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(static_cast<int64_t>(got.at(v)), expected[v]) << "node " << v;
+  }
+}
+
+TEST_P(AlgoVsBaseline, KCoreMatchesNative) {
+  Graph g = MakeGraph();
+  auto catalog = MakeCatalog(g);
+  AlgoOptions opt;
+  opt.k = 3;
+  auto result = algos::KCore(catalog, opt);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+  auto core_flags = baseline::KCore(g, 3);
+  // The relational result is the k-core edge set; its endpoints must be
+  // exactly the native k-core membership restricted to non-isolated nodes.
+  std::vector<bool> got(g.num_nodes(), false);
+  for (const auto& row : result->table.rows()) {
+    got[row[0].ToInt64()] = true;
+    got[row[1].ToInt64()] = true;
+  }
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(got[v], core_flags[v]) << "node " << v;
+  }
+}
+
+TEST_P(AlgoVsBaseline, MnmMatchesNative) {
+  Graph g = MakeGraph();
+  auto catalog = MakeCatalog(g);
+  auto result = algos::MaximalNodeMatching(catalog, {});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+  auto expected = baseline::Mnm(g);
+  auto got = VectorOf(result->table);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(static_cast<int64_t>(got.at(v)), expected[v]) << "node " << v;
+  }
+}
+
+TEST_P(AlgoVsBaseline, KeywordSearchMatchesNative) {
+  Graph g = MakeGraph();
+  auto catalog = MakeCatalog(g);
+  AlgoOptions opt;
+  opt.keywords = {1, 2, 3};
+  opt.depth = 4;
+  auto result = algos::KeywordSearch(catalog, opt);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto expected = baseline::KeywordSearchRoots(g, opt.keywords, opt.depth);
+  std::vector<bool> got(g.num_nodes(), false);
+  for (const auto& row : result->table.rows()) {
+    bool all = true;
+    for (size_t c = 1; c < row.size(); ++c) all &= row[c].ToInt64() == 1;
+    got[row[0].ToInt64()] = all;
+  }
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(got[v], expected[v]) << "node " << v;
+  }
+}
+
+TEST_P(AlgoVsBaseline, MisIsIndependentAndMaximal) {
+  Graph g = MakeGraph();
+  auto catalog = MakeCatalog(g);
+  auto result = algos::MaximalIndependentSet(catalog, {});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+  std::vector<bool> in_set(g.num_nodes(), false);
+  for (const auto& row : result->table.rows()) {
+    ASSERT_NE(row[1].ToInt64(), 0) << "node left undecided";
+    if (row[1].ToInt64() == 1) in_set[row[0].ToInt64()] = true;
+  }
+  // Independence: no edge inside the set.
+  for (const auto& e : g.EdgeList()) {
+    EXPECT_FALSE(in_set[e.from] && in_set[e.to])
+        << "edge " << e.from << "->" << e.to << " inside the MIS";
+  }
+  // Maximality: every node outside has a neighbour inside.
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in_set[v]) continue;
+    bool covered = false;
+    for (graph::NodeId w : g.OutNeighbors(v)) covered |= in_set[w];
+    for (graph::NodeId w : g.InNeighbors(v)) covered |= in_set[w];
+    EXPECT_TRUE(covered) << "node " << v << " could join the MIS";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, AlgoVsBaseline,
+    ::testing::Values(GraphCase{"small", 30, 80, 1},
+                      GraphCase{"medium", 120, 500, 2},
+                      GraphCase{"sparse", 200, 300, 3},
+                      GraphCase{"dense", 60, 900, 4}),
+    [](const ::testing::TestParamInfo<GraphCase>& info) {
+      return info.param.name;
+    });
+
+TEST(AlgosFixed, TransitiveClosureTinyGraph) {
+  Graph g = TinyGraph();
+  auto catalog = MakeCatalog(g);
+  algos::AlgoOptions opt;
+  opt.depth = 0;  // run to fixpoint
+  auto result = algos::TransitiveClosure(catalog, opt);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+  auto expected = baseline::TransitiveClosure(g);
+  EXPECT_EQ(result->table.NumRows(), expected.size());
+}
+
+TEST(AlgosFixed, TopoSortTinyDag) {
+  Graph g = TinyDag();
+  auto catalog = MakeCatalog(g);
+  auto result = algos::TopoSort(catalog, {});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+  auto expected = baseline::TopoSortLevels(g);
+  auto got = VectorOf(result->table);
+  ASSERT_EQ(got.size(), static_cast<size_t>(g.num_nodes()));
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(static_cast<int64_t>(got.at(v)), expected[v]) << "node " << v;
+  }
+}
+
+TEST(AlgosFixed, TopoSortOnRandomDags) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Graph g = graph::RandomDag(80, 200, seed);
+    auto catalog = MakeCatalog(g);
+    auto result = algos::TopoSort(catalog, {});
+    ASSERT_TRUE(result.ok()) << result.status();
+    auto expected = baseline::TopoSortLevels(g);
+    ASSERT_FALSE(expected.empty());
+    auto got = VectorOf(result->table);
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(static_cast<int64_t>(got.at(v)), expected[v])
+          << "seed " << seed << " node " << v;
+    }
+  }
+}
+
+TEST(AlgosFixed, TopoSortLeavesCycleNodesUnsorted) {
+  Graph g = TinyGraph();  // contains cycle 1→2→3→1
+  auto catalog = MakeCatalog(g);
+  auto result = algos::TopoSort(catalog, {});
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto got = VectorOf(result->table);
+  EXPECT_TRUE(got.count(0));
+  EXPECT_TRUE(got.count(4));
+  EXPECT_TRUE(got.count(5));
+  EXPECT_FALSE(got.count(1));
+  EXPECT_FALSE(got.count(2));
+  EXPECT_FALSE(got.count(3));
+}
+
+TEST(AlgosFixed, ApspBothFormsMatchFloydWarshall) {
+  Graph g = graph::WithRandomEdgeWeights(graph::Rmat(25, 70, 9), 10, 1.0,
+                                         4.0);
+  auto expected = baseline::ApspFloydWarshall(g);
+  auto catalog = MakeCatalog(g);
+
+  auto nonlinear = algos::ApspFloydWarshall(catalog, {});
+  ASSERT_TRUE(nonlinear.ok()) << nonlinear.status();
+  EXPECT_TRUE(nonlinear->converged);
+  auto got = MatrixOf(nonlinear->table);
+  for (const auto& [key, d] : got) {
+    EXPECT_NEAR(d, expected[key.first][key.second], 1e-9)
+        << key.first << "->" << key.second;
+  }
+  // Every finite pair must be present.
+  for (graph::NodeId i = 0; i < g.num_nodes(); ++i) {
+    for (graph::NodeId j = 0; j < g.num_nodes(); ++j) {
+      if (expected[i][j] < baseline::kUnreachable) {
+        EXPECT_TRUE(got.count({i, j})) << i << "->" << j;
+      }
+    }
+  }
+
+  auto catalog2 = MakeCatalog(g);
+  algos::AlgoOptions opt;
+  opt.depth = 0;  // unbounded: run to fixpoint
+  auto linear = algos::ApspLinear(catalog2, opt);
+  ASSERT_TRUE(linear.ok()) << linear.status();
+  EXPECT_TRUE(linear->converged);
+  auto got2 = MatrixOf(linear->table);
+  EXPECT_EQ(got.size(), got2.size());
+  for (const auto& [key, d] : got2) {
+    EXPECT_NEAR(d, expected[key.first][key.second], 1e-9);
+  }
+}
+
+TEST(AlgosFixed, SimRankMatchesReference) {
+  Graph g = graph::Rmat(12, 30, 5);
+  auto catalog = MakeCatalog(g);
+  algos::AlgoOptions opt;
+  opt.max_iterations = 4;
+  opt.simrank_c = 0.6;
+  auto result = algos::SimRank(catalog, opt);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Reference over the in-normalized adjacency.
+  std::vector<graph::Edge> edges = g.EdgeList();
+  for (auto& e : edges) {
+    e.weight = 1.0 / static_cast<double>(g.InDegree(e.to));
+  }
+  Graph norm(g.num_nodes(), std::move(edges));
+  auto expected = baseline::PaperSimRank(norm, 4, opt.simrank_c);
+  auto got = MatrixOf(result->table);
+  for (const auto& [key, v] : got) {
+    EXPECT_NEAR(v, expected[key.first][key.second], 1e-9)
+        << key.first << "," << key.second;
+  }
+  // Entries the relational form dropped must be zero in the reference —
+  // except the diagonal, which the max(..., I) keeps at 1.
+  for (graph::NodeId i = 0; i < g.num_nodes(); ++i) {
+    for (graph::NodeId j = 0; j < g.num_nodes(); ++j) {
+      if (!got.count({i, j}) && i != j) {
+        EXPECT_EQ(expected[i][j], 0.0) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(AlgosFixed, RwrConcentratesAroundSource) {
+  Graph g = TinyGraph();
+  auto catalog = MakeCatalog(g);
+  algos::AlgoOptions opt;
+  opt.source = 0;
+  opt.max_iterations = 20;
+  auto result = algos::RandomWalkWithRestart(catalog, opt);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto got = VectorOf(result->table);
+  // Nodes unreachable from the source keep zero mass.
+  EXPECT_EQ(got.at(4), 0.0);
+  // Reachable nodes get positive mass.
+  EXPECT_GT(got.at(1), 0.0);
+  EXPECT_GT(got.at(2), 0.0);
+  EXPECT_GT(got.at(3), 0.0);
+}
+
+TEST(AlgosFixed, DiameterEstimationIterationsBoundDiameter) {
+  // A directed path 0→1→…→9: propagation needs exactly 9 hops + 1
+  // convergence-detection round.
+  std::vector<graph::Edge> edges;
+  for (int i = 0; i < 9; ++i) edges.push_back({i, i + 1, 1.0});
+  Graph g(10, std::move(edges));
+  auto catalog = MakeCatalog(g);
+  algos::AlgoOptions opt;
+  opt.seed = 3;  // deterministic seed sample
+  auto result = algos::DiameterEstimation(catalog, opt);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+  EXPECT_LE(result->iterations, 11u);
+  EXPECT_GE(result->iterations, 2u);
+}
+
+TEST(AlgosFixed, MarkovClusteringProducesStochasticMatrix) {
+  Graph g = graph::Clustered(30, 120, 3, 11);
+  auto catalog = MakeCatalog(g);
+  algos::AlgoOptions opt;
+  opt.max_iterations = 8;
+  auto result = algos::MarkovClustering(catalog, opt);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Columns sum to ~1 (pruning trims a little mass).
+  std::map<int64_t, double> colsum;
+  for (const auto& row : result->table.rows()) {
+    colsum[row[1].ToInt64()] += row[2].ToDouble();
+  }
+  for (const auto& [col, s] : colsum) {
+    EXPECT_NEAR(s, 1.0, 0.05) << "column " << col;
+  }
+}
+
+TEST(AlgosFixed, RegistryCoversEvaluationSet) {
+  EXPECT_EQ(algos::EvaluationSet(false).size(), 9u);
+  EXPECT_EQ(algos::EvaluationSet(true).size(), 10u);
+  EXPECT_TRUE(algos::AlgoByAbbrev("pr").ok());
+  EXPECT_FALSE(algos::AlgoByAbbrev("nope").ok());
+}
+
+}  // namespace
+}  // namespace gpr

@@ -1,0 +1,162 @@
+// Sanity tests for the native baselines and the BSP (Giraph-analogue)
+// engine: the independent implementations must agree with each other.
+#include <gtest/gtest.h>
+
+#include "baseline/bsp_engine.h"
+#include "baseline/native_algos.h"
+#include "graph/generators.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace gpr::baseline {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+TEST(Native, BfsLevelsOnTinyGraph) {
+  Graph g = gpr::testing::TinyGraph();
+  auto levels = Bfs(g, 0);
+  EXPECT_EQ(levels[0], 0);
+  EXPECT_EQ(levels[1], 1);
+  EXPECT_EQ(levels[2], 1);
+  EXPECT_EQ(levels[3], 2);
+  EXPECT_EQ(levels[4], -1);
+  EXPECT_EQ(levels[5], -1);
+}
+
+TEST(Native, WccFindsComponents) {
+  Graph g = gpr::testing::TinyGraph();
+  auto labels = Wcc(g);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[3], 0);
+  EXPECT_EQ(labels[4], 4);
+  EXPECT_EQ(labels[5], 4);
+}
+
+TEST(Native, SeminaiveVariantsAgreeWithArrayVariants) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Graph g = graph::WithRandomEdgeWeights(graph::Rmat(120, 500, seed),
+                                           seed + 9, 1.0, 5.0);
+    EXPECT_EQ(SeminaiveWcc(g), Wcc(g)) << "seed " << seed;
+    auto d1 = SsspBellmanFord(g, 0);
+    auto d2 = SeminaiveSssp(g, 0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_NEAR(d1[v], d2[v], 1e-9) << "seed " << seed << " node " << v;
+    }
+    auto p1 = PageRank(g, 10, 0.85);
+    auto p2 = SeminaivePageRank(g, 10, 0.85);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_NEAR(p1[v], p2[v], 1e-12);
+    }
+  }
+}
+
+TEST(Bsp, WccAndSsspMatchNative) {
+  for (uint64_t seed = 4; seed <= 6; ++seed) {
+    Graph g = graph::WithRandomEdgeWeights(graph::Rmat(100, 400, seed),
+                                           seed, 1.0, 3.0);
+    EXPECT_EQ(BspWcc(g), Wcc(g)) << "seed " << seed;
+    auto d1 = SsspBellmanFord(g, 0);
+    auto d2 = BspSssp(g, 0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_NEAR(d1[v], d2[v], 1e-9) << "seed " << seed << " node " << v;
+    }
+  }
+}
+
+TEST(Bsp, PageRankCloseToNative) {
+  Graph g = graph::Rmat(100, 600, 8);
+  auto bsp = BspPageRank(g, 20, 0.85);
+  auto native = PageRank(g, 20, 0.85);
+  double total_diff = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    total_diff += std::abs(bsp[v] - native[v]);
+  }
+  // Vertices with no in-edges keep their initial value in the BSP engine
+  // (Giraph semantics), so allow a small aggregate difference.
+  EXPECT_LT(total_diff, 0.05);
+}
+
+TEST(Native, PaperPageRankKeepsSourcelessNodesAtZero) {
+  // 0 -> 1 -> 2: node 0 has no in-edges, stays 0 under the paper's
+  // union-by-update semantics.
+  Graph g(3, {{0, 1, 1.0}, {1, 2, 1.0}});
+  auto pr = PaperPageRank(g, 5, 0.85);
+  EXPECT_EQ(pr[0], 0.0);
+  EXPECT_GT(pr[1], 0.0);
+  EXPECT_GT(pr[2], 0.0);
+}
+
+TEST(Native, HitsNormalization) {
+  Graph g = graph::Rmat(40, 200, 10);
+  auto ha = PaperHits(g, 10);
+  // Norms over the jointly-updated node set should be ~1 after an update.
+  double nh = 0;
+  double na = 0;
+  size_t updated = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (ha.hub[v] != 1.0 || ha.auth[v] != 1.0) {
+      nh += ha.hub[v] * ha.hub[v];
+      na += ha.auth[v] * ha.auth[v];
+      ++updated;
+    }
+  }
+  ASSERT_GT(updated, 0u);
+  EXPECT_NEAR(nh, 1.0, 0.2);
+  EXPECT_NEAR(na, 1.0, 0.2);
+}
+
+TEST(Native, KCorePeelsCorrectly) {
+  // A triangle plus a pendant node: 2-core (by total degree) is the
+  // triangle.
+  Graph g(4, {{0, 1, 1}, {1, 2, 1}, {2, 0, 1}, {0, 3, 1}});
+  auto core3 = KCore(g, 3);  // in+out degree >= 3
+  EXPECT_FALSE(core3[3]);
+  EXPECT_TRUE(core3[0] || !core3[0]);  // smoke: no crash, see next
+  auto core4 = KCore(g, 4);
+  EXPECT_FALSE(core4[0]);  // node 0 loses the pendant, degree drops below 4
+}
+
+TEST(Native, TopoSortRejectsCycles) {
+  Graph cyclic(2, {{0, 1, 1}, {1, 0, 1}});
+  EXPECT_TRUE(TopoSortLevels(cyclic).empty());
+}
+
+TEST(Native, MnmIsAValidMatching) {
+  Graph g = graph::Rmat(80, 300, 12);
+  graph::AttachRandomNodeData(&g, 13);
+  auto match = Mnm(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (match[v] == -1) continue;
+    EXPECT_EQ(match[match[v]], v) << "asymmetric match at " << v;
+    EXPECT_NE(match[v], v);
+  }
+}
+
+TEST(Native, MisWithPrioritiesFindsIndependentSet) {
+  Graph g = graph::Rmat(60, 250, 14);
+  // Deterministic priorities: enough rounds for a maximal set.
+  std::vector<std::vector<double>> prio;
+  gpr::Xoshiro256 rng(15);
+  for (int round = 0; round < 64; ++round) {
+    std::vector<double> p(g.num_nodes());
+    for (auto& x : p) x = rng.NextDouble();
+    prio.push_back(std::move(p));
+  }
+  auto in_set = MisWithPriorities(g, prio);
+  for (const auto& e : g.EdgeList()) {
+    EXPECT_FALSE(in_set[e.from] && in_set[e.to]);
+  }
+}
+
+TEST(Native, TransitiveClosureDepthCap) {
+  // Path 0→1→2→3.
+  Graph g(4, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}});
+  EXPECT_EQ(TransitiveClosure(g).size(), 6u);      // all forward pairs
+  EXPECT_EQ(TransitiveClosure(g, 1).size(), 3u);   // direct edges only
+  EXPECT_EQ(TransitiveClosure(g, 2).size(), 5u);
+}
+
+}  // namespace
+}  // namespace gpr::baseline

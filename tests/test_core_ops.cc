@@ -1,0 +1,405 @@
+// Unit and property tests for the paper's 4 operations: MM-join, MV-join
+// (over every semiring), anti-join (all 3 physical implementations), and
+// union-by-update (all 4 physical implementations).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "core/aggregate_join.h"
+#include "core/anti_join.h"
+#include "core/engine_profile.h"
+#include "core/semiring.h"
+#include "core/union_by_update.h"
+#include "util/rng.h"
+
+namespace gpr::core {
+namespace {
+
+using ra::Schema;
+using ra::Table;
+using ra::Value;
+using ra::ValueType;
+
+Schema MatrixSchema() {
+  return Schema{{"F", ValueType::kInt64},
+                {"T", ValueType::kInt64},
+                {"ew", ValueType::kDouble}};
+}
+
+Schema VectorSchema() {
+  return Schema{{"ID", ValueType::kInt64}, {"vw", ValueType::kDouble}};
+}
+
+/// Random sparse matrix relation over an n×n index space.
+Table RandomMatrix(const std::string& name, int n, int entries,
+                   uint64_t seed, double lo = 0.0, double hi = 4.0) {
+  Xoshiro256 rng(seed);
+  Table t(name, MatrixSchema());
+  std::set<std::pair<int64_t, int64_t>> seen;
+  for (int i = 0; i < entries; ++i) {
+    int64_t f = static_cast<int64_t>(rng.NextBounded(n));
+    int64_t to = static_cast<int64_t>(rng.NextBounded(n));
+    if (!seen.insert({f, to}).second) continue;
+    t.AddRow({f, to, lo + rng.NextDouble() * (hi - lo)});
+  }
+  return t;
+}
+
+std::map<std::pair<int64_t, int64_t>, double> MatrixByKey(const Table& t) {
+  std::map<std::pair<int64_t, int64_t>, double> out;
+  for (const auto& row : t.rows()) {
+    out[{row[0].ToInt64(), row[1].ToInt64()}] = row[2].ToDouble();
+  }
+  return out;
+}
+
+Table RandomVector(const std::string& name, int n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Table t(name, VectorSchema());
+  for (int64_t i = 0; i < n; ++i) {
+    t.AddRow({i, rng.NextDouble() * 3.0});
+  }
+  return t;
+}
+
+// ----------------------------------------------- MM-join / MV-join
+
+struct SemiringCase {
+  const char* name;
+  const Semiring* sr;
+};
+
+class AggregateJoinProperty : public ::testing::TestWithParam<SemiringCase> {
+};
+
+TEST_P(AggregateJoinProperty, MMJoinMatchesReference) {
+  const Semiring& sr = *GetParam().sr;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Table a = RandomMatrix("A", 12, 40, seed);
+    Table b = RandomMatrix("B", 12, 40, seed + 100);
+    auto fast = MMJoin(a, b, sr);
+    auto ref = MMJoinReference(a, b, sr);
+    ASSERT_TRUE(fast.ok()) << fast.status();
+    ASSERT_TRUE(ref.ok()) << ref.status();
+    EXPECT_TRUE(fast->SameRowsAs(*ref))
+        << "seed " << seed << " semiring " << sr.name << "\nfast:\n"
+        << fast->ToString(0) << "ref:\n"
+        << ref->ToString(0);
+  }
+}
+
+TEST_P(AggregateJoinProperty, MVJoinMatchesReferenceBothOrientations) {
+  const Semiring& sr = *GetParam().sr;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Table m = RandomMatrix("M", 10, 35, seed);
+    Table v = RandomVector("V", 10, seed + 50);
+    for (auto orient :
+         {MVOrientation::kStandard, MVOrientation::kTransposed}) {
+      auto fast = MVJoin(m, v, sr, orient);
+      auto ref = MVJoinReference(m, v, sr, orient);
+      ASSERT_TRUE(fast.ok()) << fast.status();
+      ASSERT_TRUE(ref.ok()) << ref.status();
+      EXPECT_TRUE(fast->SameRowsAs(*ref))
+          << "seed " << seed << " semiring " << sr.name;
+    }
+  }
+}
+
+TEST_P(AggregateJoinProperty, MMJoinAgreesAcrossEngineProfiles) {
+  const Semiring& sr = *GetParam().sr;
+  Table a = RandomMatrix("A", 10, 30, 7);
+  Table b = RandomMatrix("B", 10, 30, 8);
+  auto oracle = MMJoin(a, b, sr, OracleLike());
+  auto postgres = MMJoin(a, b, sr, PostgresLike());
+  ASSERT_TRUE(oracle.ok());
+  ASSERT_TRUE(postgres.ok());
+  EXPECT_TRUE(oracle->SameRowsAs(*postgres));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Semirings, AggregateJoinProperty,
+    ::testing::Values(SemiringCase{"plus_times", &PlusTimes()},
+                      SemiringCase{"min_plus", &MinPlus()},
+                      SemiringCase{"max_times", &MaxTimes()},
+                      SemiringCase{"min_times", &MinTimes()},
+                      SemiringCase{"or_and", &OrAnd()}),
+    [](const ::testing::TestParamInfo<SemiringCase>& info) {
+      return info.param.name;
+    });
+
+TEST(AggregateJoin, MMJoinAssociativityOnPlusTimes) {
+  // (A·B)·C == A·(B·C) for the ring semiring.
+  Table a = RandomMatrix("A", 8, 25, 1);
+  Table b = RandomMatrix("B", 8, 25, 2);
+  Table c = RandomMatrix("C", 8, 25, 3);
+  auto ab = MMJoin(a, b, PlusTimes());
+  ASSERT_TRUE(ab.ok());
+  ab->set_name("AB");
+  auto ab_c = MMJoin(*ab, c, PlusTimes());
+  auto bc = MMJoin(b, c, PlusTimes());
+  ASSERT_TRUE(bc.ok());
+  bc->set_name("BC");
+  auto a_bc = MMJoin(a, *bc, PlusTimes());
+  ASSERT_TRUE(ab_c.ok());
+  ASSERT_TRUE(a_bc.ok());
+  auto left = MatrixByKey(*ab_c);
+  auto right = MatrixByKey(*a_bc);
+  ASSERT_EQ(left.size(), right.size());
+  for (const auto& [key, val] : left) {
+    EXPECT_NEAR(val, right.at(key), 1e-9);
+  }
+}
+
+TEST(AggregateJoin, TransposeInvolution) {
+  Table m = RandomMatrix("M", 9, 30, 11);
+  auto t1 = Transpose(m);
+  ASSERT_TRUE(t1.ok());
+  auto t2 = Transpose(*t1);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_TRUE(m.SameRowsAs(*t2));
+}
+
+TEST(AggregateJoin, EntrywiseSumUnionsSupports) {
+  Table a("A", MatrixSchema());
+  a.AddRow({int64_t{0}, int64_t{1}, 2.0});
+  Table b("B", MatrixSchema());
+  b.AddRow({int64_t{0}, int64_t{1}, 3.0});
+  b.AddRow({int64_t{1}, int64_t{1}, 5.0});
+  auto sum = MatrixEntrywiseSum(a, b, PlusTimes());
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->NumRows(), 2u);
+  for (const auto& row : sum->rows()) {
+    EXPECT_EQ(row[2].AsDouble(), 5.0) << TupleToString(row);
+  }
+}
+
+// ------------------------------------------------------- anti-join
+
+class AntiJoinImpls : public ::testing::TestWithParam<AntiJoinImpl> {};
+
+TEST_P(AntiJoinImpls, MatchesSetSemanticsOnCleanKeys) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Table r = RandomMatrix("R", 15, 40, seed);
+    Table s = RandomMatrix("S", 15, 25, seed + 10);
+    auto got = AntiJoin(r, s, {{"F"}, {"F"}}, GetParam());
+    ASSERT_TRUE(got.ok()) << got.status();
+    // Reference: rows of r whose F has no match among s.F.
+    std::set<int64_t> s_keys;
+    for (const auto& row : s.rows()) s_keys.insert(row[0].AsInt64());
+    Table expected("R", r.schema());
+    for (const auto& row : r.rows()) {
+      if (!s_keys.count(row[0].AsInt64())) expected.AddRow(row);
+    }
+    EXPECT_TRUE(got->SameRowsAs(expected)) << AntiJoinImplName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllImpls, AntiJoinImpls,
+    ::testing::ValuesIn(AllAntiJoinImpls()),
+    [](const ::testing::TestParamInfo<AntiJoinImpl>& info) {
+      switch (info.param) {
+        case AntiJoinImpl::kNotExists: return std::string("not_exists");
+        case AntiJoinImpl::kLeftOuterJoin: return std::string("left_outer");
+        case AntiJoinImpl::kNotIn: return std::string("not_in");
+      }
+      return std::string("unknown");
+    });
+
+TEST(AntiJoin, NaiveLeftOuterMatchesRewrittenPlan) {
+  // With the optimizer rewrite disabled, the genuine left-outer-join +
+  // IS NULL materialization must still produce anti-join semantics.
+  EngineProfile naive = OracleLike();
+  naive.rewrites_left_outer_anti_join = false;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Table r = RandomMatrix("R", 12, 30, seed);
+    Table s = RandomMatrix("S", 12, 18, seed + 20);
+    auto rewritten =
+        AntiJoin(r, s, {{"F"}, {"F"}}, AntiJoinImpl::kLeftOuterJoin);
+    auto materialized = AntiJoin(r, s, {{"F"}, {"F"}},
+                                 AntiJoinImpl::kLeftOuterJoin, naive);
+    ASSERT_TRUE(rewritten.ok());
+    ASSERT_TRUE(materialized.ok()) << materialized.status();
+    EXPECT_TRUE(rewritten->SameRowsAs(*materialized)) << "seed " << seed;
+  }
+}
+
+TEST(AntiJoin, NotInIsNullAware) {
+  Table r("R", Schema{{"k", ValueType::kInt64}});
+  r.AddRow({int64_t{1}});
+  r.AddRow({Value::Null()});
+  Table s("S", Schema{{"k", ValueType::kInt64}});
+  s.AddRow({int64_t{2}});
+  s.AddRow({Value::Null()});
+
+  // not exists / left outer: NULL in S is irrelevant; r-NULL row survives.
+  auto ne = AntiJoin(r, s, {{"k"}, {"k"}}, AntiJoinImpl::kNotExists);
+  ASSERT_TRUE(ne.ok());
+  EXPECT_EQ(ne->NumRows(), 2u);
+  auto lo = AntiJoin(r, s, {{"k"}, {"k"}}, AntiJoinImpl::kLeftOuterJoin);
+  ASSERT_TRUE(lo.ok());
+  EXPECT_EQ(lo->NumRows(), 2u);
+
+  // not in: a NULL in S empties the result (x <> NULL is unknown).
+  // Use the PostgreSQL-like profile — Oracle rewrites not-in (below).
+  auto ni = AntiJoin(r, s, {{"k"}, {"k"}}, AntiJoinImpl::kNotIn,
+                     PostgresLike());
+  ASSERT_TRUE(ni.ok());
+  EXPECT_EQ(ni->NumRows(), 0u);
+
+  // Oracle rewrites not in to the internal anti-join (non-null keys
+  // assumed), so it behaves like not exists.
+  auto oracle = AntiJoin(r, s, {{"k"}, {"k"}}, AntiJoinImpl::kNotIn,
+                         OracleLike());
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(oracle->NumRows(), 2u);
+}
+
+TEST(AntiJoin, NullLeftKeysNeverQualifyUnderNotIn) {
+  Table r("R", Schema{{"k", ValueType::kInt64}});
+  r.AddRow({Value::Null()});
+  r.AddRow({int64_t{5}});
+  Table s("S", Schema{{"k", ValueType::kInt64}});
+  s.AddRow({int64_t{1}});
+  auto ni = AntiJoin(r, s, {{"k"}, {"k"}}, AntiJoinImpl::kNotIn,
+                     PostgresLike());
+  ASSERT_TRUE(ni.ok());
+  ASSERT_EQ(ni->NumRows(), 1u);  // only the non-null row
+  EXPECT_EQ(ni->row(0)[0].AsInt64(), 5);
+  // ...whereas not exists keeps the NULL row.
+  auto ne = AntiJoin(r, s, {{"k"}, {"k"}}, AntiJoinImpl::kNotExists);
+  ASSERT_TRUE(ne.ok());
+  EXPECT_EQ(ne->NumRows(), 2u);
+}
+
+// ------------------------------------------------- union-by-update
+
+Table UbuTable(const std::string& name,
+               std::vector<std::pair<int64_t, double>> rows) {
+  Table t(name, VectorSchema());
+  for (const auto& [id, w] : rows) t.AddRow({id, w});
+  return t;
+}
+
+class UbuImpls : public ::testing::TestWithParam<UnionByUpdateImpl> {
+ protected:
+  EngineProfile ProfileFor(UnionByUpdateImpl impl) const {
+    // update-from needs the PostgreSQL-like profile; merge needs
+    // Oracle/DB2.
+    return impl == UnionByUpdateImpl::kUpdateFrom ? PostgresLike()
+                                                  : OracleLike();
+  }
+};
+
+TEST_P(UbuImpls, CoveringSourceAgreesAcrossImpls) {
+  // S covers every key of R, so even drop/alter replacement is valid.
+  Table r = UbuTable("R", {{1, 1.0}, {2, 2.0}, {3, 3.0}});
+  Table s = UbuTable("S", {{1, 10.0}, {2, 20.0}, {3, 30.0}, {4, 40.0}});
+  auto got = UnionByUpdate(r, s, {"ID"}, GetParam(), ProfileFor(GetParam()));
+  ASSERT_TRUE(got.ok()) << got.status();
+  Table expected =
+      UbuTable("R", {{1, 10.0}, {2, 20.0}, {3, 30.0}, {4, 40.0}});
+  EXPECT_TRUE(got->SameRowsAs(expected))
+      << UnionByUpdateImplName(GetParam()) << "\n"
+      << got->ToString(0);
+}
+
+TEST_P(UbuImpls, EmptyKeyListReplacesWholesale) {
+  Table r = UbuTable("R", {{1, 1.0}, {2, 2.0}});
+  Table s = UbuTable("S", {{9, 9.0}});
+  auto got = UnionByUpdate(r, s, {}, GetParam(), ProfileFor(GetParam()));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_TRUE(got->SameRowsAs(s));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllImpls, UbuImpls, ::testing::ValuesIn(AllUnionByUpdateImpls()),
+    [](const ::testing::TestParamInfo<UnionByUpdateImpl>& info) {
+      switch (info.param) {
+        case UnionByUpdateImpl::kMerge: return std::string("merge");
+        case UnionByUpdateImpl::kFullOuterJoin:
+          return std::string("full_outer_join");
+        case UnionByUpdateImpl::kUpdateFrom: return std::string("update_from");
+        case UnionByUpdateImpl::kDropAlter: return std::string("drop_alter");
+      }
+      return std::string("unknown");
+    });
+
+TEST(UnionByUpdate, PartialSourceKeepsUnmatchedTargets) {
+  Table r = UbuTable("R", {{1, 1.0}, {2, 2.0}, {3, 3.0}});
+  Table s = UbuTable("S", {{2, 20.0}, {9, 90.0}});
+  Table expected = UbuTable("R", {{1, 1.0}, {2, 20.0}, {3, 3.0}, {9, 90.0}});
+  for (auto impl :
+       {UnionByUpdateImpl::kMerge, UnionByUpdateImpl::kFullOuterJoin}) {
+    auto got = UnionByUpdate(r, s, {"ID"}, impl);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_TRUE(got->SameRowsAs(expected)) << UnionByUpdateImplName(impl);
+  }
+  auto uf = UnionByUpdate(r, s, {"ID"}, UnionByUpdateImpl::kUpdateFrom,
+                          PostgresLike());
+  ASSERT_TRUE(uf.ok());
+  EXPECT_TRUE(uf->SameRowsAs(expected));
+}
+
+TEST(UnionByUpdate, DropAlterRejectsNonCoveringSource) {
+  Table r = UbuTable("R", {{1, 1.0}, {2, 2.0}});
+  Table s = UbuTable("S", {{2, 20.0}});
+  auto got = UnionByUpdate(r, s, {"ID"}, UnionByUpdateImpl::kDropAlter);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(UnionByUpdate, MergeDetectsDuplicateSourceKeys) {
+  Table r = UbuTable("R", {{1, 1.0}});
+  Table s = UbuTable("S", {{1, 10.0}, {1, 11.0}});
+  auto merge = UnionByUpdate(r, s, {"ID"}, UnionByUpdateImpl::kMerge);
+  EXPECT_FALSE(merge.ok());
+  EXPECT_EQ(merge.status().code(), StatusCode::kInvalidArgument);
+  // update-from silently keeps the last write (the paper: "does not check
+  // and report duplicates in the source table").
+  auto uf = UnionByUpdate(r, s, {"ID"}, UnionByUpdateImpl::kUpdateFrom,
+                          PostgresLike());
+  ASSERT_TRUE(uf.ok()) << uf.status();
+  EXPECT_EQ(uf->NumRows(), 1u);
+  EXPECT_EQ(uf->row(0)[1].AsDouble(), 11.0);
+}
+
+TEST(UnionByUpdate, FeatureGatingByProfile) {
+  Table r = UbuTable("R", {{1, 1.0}});
+  Table s = UbuTable("S", {{1, 2.0}});
+  // merge missing on PostgreSQL 9.4.
+  auto merge_pg =
+      UnionByUpdate(r, s, {"ID"}, UnionByUpdateImpl::kMerge, PostgresLike());
+  EXPECT_EQ(merge_pg.status().code(), StatusCode::kNotSupported);
+  // update-from missing on Oracle and DB2.
+  auto uf_ora = UnionByUpdate(r, s, {"ID"}, UnionByUpdateImpl::kUpdateFrom,
+                              OracleLike());
+  EXPECT_EQ(uf_ora.status().code(), StatusCode::kNotSupported);
+  auto uf_db2 = UnionByUpdate(r, s, {"ID"}, UnionByUpdateImpl::kUpdateFrom,
+                              Db2Like());
+  EXPECT_EQ(uf_db2.status().code(), StatusCode::kNotSupported);
+}
+
+TEST(UnionByUpdate, MultipleTargetsMayMatchOneSource) {
+  // Keys are non-unique in R: both rows with ID=1 get updated.
+  Table r("R", Schema{{"ID", ValueType::kInt64}, {"vw", ValueType::kDouble}});
+  r.AddRow({int64_t{1}, 1.0});
+  r.AddRow({int64_t{1}, 2.0});
+  Table s = UbuTable("S", {{1, 9.0}});
+  auto got = UnionByUpdate(r, s, {"ID"}, UnionByUpdateImpl::kMerge);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->NumRows(), 2u);
+  EXPECT_EQ(got->row(0)[1].AsDouble(), 9.0);
+  EXPECT_EQ(got->row(1)[1].AsDouble(), 9.0);
+}
+
+TEST(Semiring, LookupByName) {
+  EXPECT_TRUE(SemiringByName("min_plus").ok());
+  EXPECT_EQ(SemiringByName("min_plus")->add, ra::AggKind::kMin);
+  EXPECT_FALSE(SemiringByName("bogus").ok());
+}
+
+}  // namespace
+}  // namespace gpr::core

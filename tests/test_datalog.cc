@@ -1,0 +1,254 @@
+// Unit tests for the DATALOG IR: dependency graphs, stratification, the
+// bi-state transform, XY-stratification (Section 5), and the plan-level
+// gates of Algorithm 1.
+#include <gtest/gtest.h>
+
+#include "core/datalog.h"
+#include "core/plan.h"
+#include "core/stratify.h"
+#include "core/with_plus.h"
+#include "ra/expr.h"
+
+namespace gpr::core {
+namespace {
+
+DatalogLiteral Lit0(std::string pred, bool neg = false,
+                    TemporalArg t = TemporalArg::kNone) {
+  return {std::move(pred), neg, t};
+}
+
+DatalogRule Rule(DatalogLiteral head, std::vector<DatalogLiteral> body) {
+  return {std::move(head), std::move(body)};
+}
+
+TEST(DependencyGraph, DetectsRecursivePredicates) {
+  DatalogProgram p;
+  p.rules.push_back(Rule(Lit0("tc"), {Lit0("e")}));
+  p.rules.push_back(Rule(Lit0("tc"), {Lit0("tc"), Lit0("e")}));
+  DependencyGraph g(p);
+  auto rec = g.RecursivePredicates();
+  EXPECT_EQ(rec.size(), 1u);
+  EXPECT_TRUE(rec.count("tc"));
+}
+
+TEST(DependencyGraph, MutualRecursionFormsOneScc) {
+  DatalogProgram p;
+  p.rules.push_back(Rule(Lit0("hub"), {Lit0("auth")}));
+  p.rules.push_back(Rule(Lit0("auth"), {Lit0("hub")}));
+  DependencyGraph g(p);
+  auto rec = g.RecursivePredicates();
+  EXPECT_EQ(rec.size(), 2u);
+  EXPECT_TRUE(g.HasAtMostOneCycle());
+}
+
+TEST(DependencyGraph, TwoCyclesDetected) {
+  DatalogProgram p;
+  p.rules.push_back(Rule(Lit0("a"), {Lit0("b")}));
+  p.rules.push_back(Rule(Lit0("b"), {Lit0("a")}));
+  p.rules.push_back(Rule(Lit0("c"), {Lit0("d")}));
+  p.rules.push_back(Rule(Lit0("d"), {Lit0("c")}));
+  DependencyGraph g(p);
+  EXPECT_FALSE(g.HasAtMostOneCycle());
+}
+
+TEST(Stratification, PositiveRecursionIsStratified) {
+  DatalogProgram p;
+  p.rules.push_back(Rule(Lit0("tc"), {Lit0("e")}));
+  p.rules.push_back(Rule(Lit0("tc"), {Lit0("tc"), Lit0("e")}));
+  EXPECT_TRUE(IsStratified(p));
+}
+
+TEST(Stratification, NegationThroughRecursionRejected) {
+  // win(X) :- move(X,Y), ~win(Y) — the classic non-stratified program.
+  DatalogProgram p;
+  p.rules.push_back(Rule(Lit0("win"), {Lit0("move"), Lit0("win", true)}));
+  std::string why;
+  EXPECT_FALSE(IsStratified(p, &why));
+  EXPECT_NE(why.find("win"), std::string::npos);
+}
+
+TEST(Stratification, NegationOfLowerStratumAccepted) {
+  // p :- base, ~q.  q :- base. — stratified (q before p).
+  DatalogProgram p;
+  p.rules.push_back(Rule(Lit0("q"), {Lit0("base")}));
+  p.rules.push_back(Rule(Lit0("p"), {Lit0("base"), Lit0("q", true)}));
+  EXPECT_TRUE(IsStratified(p));
+  auto strata = DependencyGraph(p).Stratify();
+  ASSERT_TRUE(strata.ok());
+  EXPECT_LT(strata->at("q"), strata->at("p"));
+}
+
+TEST(Stratification, StratifyFailsOnNegativeCycle) {
+  DatalogProgram p;
+  p.rules.push_back(Rule(Lit0("a"), {Lit0("b", true)}));
+  p.rules.push_back(Rule(Lit0("b"), {Lit0("a")}));
+  auto strata = DependencyGraph(p).Stratify();
+  EXPECT_FALSE(strata.ok());
+  EXPECT_EQ(strata.status().code(), StatusCode::kNotStratifiable);
+}
+
+TEST(BiState, SplitsNewAndOldOccurrences) {
+  // R(s(T)) :- R(T), ~D(s(T)).   (Eq. 22 "keep" rule.)
+  DatalogProgram p;
+  p.rules.push_back(
+      Rule(Lit0("r", false, TemporalArg::kST),
+           {Lit0("r", false, TemporalArg::kT),
+            Lit0("d", true, TemporalArg::kST)}));
+  p.rules.push_back(Rule(Lit0("d", false, TemporalArg::kST),
+                         {Lit0("r", false, TemporalArg::kT)}));
+  DatalogProgram bis = BiState(p);
+  ASSERT_EQ(bis.rules.size(), 2u);
+  EXPECT_EQ(bis.rules[0].head.predicate, "new_r");
+  EXPECT_EQ(bis.rules[0].body[0].predicate, "old_r");
+  EXPECT_EQ(bis.rules[0].body[1].predicate, "new_d");
+  EXPECT_TRUE(bis.rules[0].body[1].negated);
+  // The bi-state program is stratified: old_r < new_d < new_r.
+  EXPECT_TRUE(IsStratified(bis));
+}
+
+TEST(XYStratified, UnionByUpdateProgramAccepted) {
+  // The Eq. 22 pair is XY-stratified.
+  DatalogProgram p;
+  p.rules.push_back(Rule(Lit0("d", false, TemporalArg::kST),
+                         {Lit0("e"), Lit0("r", false, TemporalArg::kT)}));
+  p.rules.push_back(
+      Rule(Lit0("r", false, TemporalArg::kST),
+           {Lit0("r", false, TemporalArg::kT),
+            Lit0("d", true, TemporalArg::kST)}));
+  p.rules.push_back(Rule(Lit0("r", false, TemporalArg::kST),
+                         {Lit0("d", false, TemporalArg::kST)}));
+  EXPECT_TRUE(CheckXYStratified(p).ok());
+}
+
+TEST(XYStratified, MissingTemporalArgumentRejected) {
+  DatalogProgram p;
+  p.rules.push_back(Rule(Lit0("r", false, TemporalArg::kST),
+                         {Lit0("r")}));  // recursive subgoal without stage
+  auto st = CheckXYStratified(p);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotStratifiable);
+}
+
+TEST(XYStratified, SameStageNegationOfSelfRejected) {
+  // R(s(T)) :- E, ~R(s(T)) — bi-state: new_r :- e, ~new_r (negative
+  // self-loop).
+  DatalogProgram p;
+  p.rules.push_back(Rule(Lit0("r", false, TemporalArg::kST),
+                         {Lit0("e"), Lit0("r", true, TemporalArg::kST)}));
+  p.rules.push_back(Rule(Lit0("r", false, TemporalArg::kST),
+                         {Lit0("r", false, TemporalArg::kT)}));
+  auto st = CheckXYStratified(p);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(XYStratified, PaperExampleBfs) {
+  // delta(s(T)) :- E, R(T);  R(s(T)) :- R(T), ~delta(s(T));
+  // R(s(T)) :- delta(s(T)).
+  DatalogProgram p;
+  p.rules.push_back(Rule(Lit0("delta", false, TemporalArg::kST),
+                         {Lit0("E"), Lit0("R", false, TemporalArg::kT)}));
+  p.rules.push_back(
+      Rule(Lit0("R", false, TemporalArg::kST),
+           {Lit0("R", false, TemporalArg::kT),
+            Lit0("delta", true, TemporalArg::kST)}));
+  p.rules.push_back(Rule(Lit0("R", false, TemporalArg::kST),
+                         {Lit0("delta", false, TemporalArg::kST)}));
+  EXPECT_TRUE(CheckXYStratified(p).ok());
+}
+
+// ------------------------------------------------ plan-level gates
+
+WithPlusQuery MinimalQuery() {
+  WithPlusQuery q;
+  q.rec_name = "R";
+  q.rec_schema = ra::Schema{{"ID", ra::ValueType::kInt64}};
+  q.init.push_back({ProjectOp(Scan("V"), {ra::ops::As(ra::Col("ID"), "ID")}),
+                    {}});
+  q.recursive.push_back(
+      {ProjectOp(JoinOp(Scan("R"), Scan("E"), {{"ID"}, {"F"}}),
+                 {ra::ops::As(ra::Col("E.T"), "ID")}),
+       {}});
+  q.mode = UnionMode::kUnionDistinct;
+  return q;
+}
+
+TEST(WithPlusGate, MinimalQueryIsXYStratified) {
+  EXPECT_TRUE(CheckWithPlusStratified(MinimalQuery()).ok());
+}
+
+TEST(WithPlusGate, LoweringProducesDeltaAndCombinationRules) {
+  auto program = LowerToDatalog(MinimalQuery());
+  ASSERT_TRUE(program.ok());
+  // delta rule + copy rule + add rule.
+  EXPECT_EQ(program->rules.size(), 3u);
+}
+
+TEST(WithPlusGate, ComputedByForwardReferenceRejected) {
+  WithPlusQuery q = MinimalQuery();
+  Subquery& rec = q.recursive[0];
+  // def A references def B which is defined later: cycle-free violation.
+  rec.computed_by.push_back(
+      {"A", ProjectOp(Scan("B"), {ra::ops::As(ra::Col("ID"), "ID")})});
+  rec.computed_by.push_back(
+      {"B", ProjectOp(Scan("R"), {ra::ops::As(ra::Col("ID"), "ID")})});
+  auto st = CheckWithPlusStratified(q);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(WithPlusGate, ComputedByShadowingRecravRejected) {
+  WithPlusQuery q = MinimalQuery();
+  q.recursive[0].computed_by.push_back(
+      {"R", ProjectOp(Scan("V"), {ra::ops::As(ra::Col("ID"), "ID")})});
+  auto st = CheckWithPlusStratified(q);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(WithPlusGate, DuplicateComputedByRejected) {
+  WithPlusQuery q = MinimalQuery();
+  auto def = ComputedByDef{
+      "A", ProjectOp(Scan("R"), {ra::ops::As(ra::Col("ID"), "ID")})};
+  q.recursive[0].computed_by.push_back(def);
+  q.recursive[0].computed_by.push_back(def);
+  EXPECT_FALSE(CheckWithPlusStratified(q).ok());
+}
+
+TEST(PlanAnalysis, RefCollectionAndOperatorClasses) {
+  auto plan = ProjectOp(
+      AntiJoinOp(Scan("V"), Scan("Topo"), {{"ID"}, {"ID"}}),
+      {ra::ops::As(ra::Col("ID"), "ID")});
+  std::vector<TableRef> refs;
+  CollectTableRefs(plan, &refs);
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_FALSE(refs[0].negated);
+  EXPECT_TRUE(refs[1].negated);
+  EXPECT_TRUE(PlanUsesNegation(plan));
+  EXPECT_FALSE(PlanUsesAggregation(plan));
+
+  auto agg = GroupByOp(Scan("E"), {"F"}, {ra::CountStar("c")});
+  EXPECT_TRUE(PlanUsesAggregation(agg));
+  EXPECT_FALSE(PlanUsesNegation(agg));
+}
+
+TEST(PlanAnalysis, EmptinessPropagation) {
+  std::unordered_set<std::string> empty{"X"};
+  // Join with an empty side is empty.
+  EXPECT_TRUE(PlanMustBeEmpty(JoinOp(Scan("X"), Scan("E"), {{"a"}, {"b"}}),
+                              empty));
+  // Union with one empty side is not.
+  EXPECT_FALSE(PlanMustBeEmpty(UnionAllOp(Scan("X"), Scan("E")), empty));
+  // Anti-join with an empty right side is not empty.
+  EXPECT_FALSE(PlanMustBeEmpty(
+      AntiJoinOp(Scan("E"), Scan("X"), {{"a"}, {"b"}}), empty));
+  // Left outer join with an empty right side is not empty.
+  EXPECT_FALSE(PlanMustBeEmpty(
+      LeftOuterJoinOp(Scan("E"), Scan("X"), {{"a"}, {"b"}}), empty));
+  // Scalar aggregation over empty input still yields a row.
+  EXPECT_FALSE(PlanMustBeEmpty(
+      GroupByOp(Scan("X"), {}, {ra::CountStar("c")}), empty));
+  // Grouped aggregation over empty input is empty.
+  EXPECT_TRUE(PlanMustBeEmpty(
+      GroupByOp(Scan("X"), {"a"}, {ra::CountStar("c")}), empty));
+}
+
+}  // namespace
+}  // namespace gpr::core

@@ -1,0 +1,173 @@
+// Systematic error-path coverage: every public API must fail with the
+// documented StatusCode, never crash, and leave the catalog clean.
+#include <gtest/gtest.h>
+
+#include "algos/algos.h"
+#include "core/plan.h"
+#include "core/union_by_update.h"
+#include "core/with_plus.h"
+#include "ra/operators.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace gpr {
+namespace {
+
+namespace ops = ra::ops;
+using gpr::testing::MakeCatalog;
+using gpr::testing::TinyGraph;
+using ra::Col;
+using ra::Lit;
+using ra::Schema;
+using ra::Table;
+using ra::ValueType;
+
+TEST(ErrorPaths, OperatorsRejectBadInputs) {
+  Table e("E", Schema{{"F", ValueType::kInt64}, {"T", ValueType::kInt64}});
+  Table v("V", Schema{{"ID", ValueType::kInt64}});
+  Table s("S", Schema{{"x", ValueType::kString}});
+
+  // Union between incompatible schemas.
+  EXPECT_EQ(ops::UnionAll(e, v).status().code(), StatusCode::kTypeMismatch);
+  EXPECT_EQ(ops::UnionAll(v, s).status().code(), StatusCode::kTypeMismatch);
+  EXPECT_EQ(ops::Difference(e, s).status().code(),
+            StatusCode::kTypeMismatch);
+  // Join key arity mismatch.
+  EXPECT_EQ(
+      ops::Join(e, v, {{"F", "T"}, {"ID"}}).status().code(),
+      StatusCode::kInvalidArgument);
+  // Unknown join key column.
+  EXPECT_EQ(ops::Join(e, v, {{"nope"}, {"ID"}}).status().code(),
+            StatusCode::kBindError);
+  // Selection over an unknown column.
+  EXPECT_EQ(ops::Select(e, ra::Gt(Col("zz"), Lit(0))).status().code(),
+            StatusCode::kBindError);
+  // Group-by with an unknown aggregate input.
+  EXPECT_EQ(ops::GroupBy(e, {"F"}, {ra::SumOf(Col("zz"), "s")})
+                .status()
+                .code(),
+            StatusCode::kBindError);
+  // Rename with the wrong arity.
+  EXPECT_EQ(ops::Rename(e, "X", {"only"}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ErrorPaths, UnionByUpdateErrors) {
+  Table r("R", Schema{{"ID", ValueType::kInt64}, {"w", ValueType::kDouble}});
+  Table bad("S", Schema{{"x", ValueType::kString}});
+  EXPECT_EQ(core::UnionByUpdate(r, bad, {"ID"},
+                                core::UnionByUpdateImpl::kMerge)
+                .status()
+                .code(),
+            StatusCode::kTypeMismatch);
+  Table s("S", r.schema());
+  EXPECT_EQ(core::UnionByUpdate(r, s, {"nope"},
+                                core::UnionByUpdateImpl::kMerge)
+                .status()
+                .code(),
+            StatusCode::kBindError);
+}
+
+TEST(ErrorPaths, ExecutePlanSurfacesFailures) {
+  auto catalog = MakeCatalog(TinyGraph());
+  // Unknown table.
+  EXPECT_EQ(core::ExecutePlan(core::Scan("Nope"), catalog, core::OracleLike())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // Self-join of two unnamed intermediates with colliding columns.
+  auto bad = core::JoinOp(core::Scan("E"), core::Scan("E"), {{"T"}, {"F"}});
+  EXPECT_EQ(
+      core::ExecutePlan(bad, catalog, core::OracleLike()).status().code(),
+      StatusCode::kBindError);
+}
+
+TEST(ErrorPaths, WithPlusCleansUpAfterMidRunFailure) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  core::WithPlusQuery q;
+  q.rec_name = "Rerr";
+  q.rec_schema = Schema{{"ID", ValueType::kInt64}};
+  q.init.push_back(
+      {core::ProjectOp(core::Scan("V"), {ops::As(Col("ID"), "ID")}), {}});
+  // The recursive subquery fails at execution: unknown column.
+  q.recursive.push_back(
+      {core::ProjectOp(core::JoinOp(core::Scan("Rerr"), core::Scan("E"),
+                                    {{"ID"}, {"F"}}),
+                       {ops::As(Col("no_such_col"), "ID")}),
+       {}});
+  q.mode = core::UnionMode::kUnionDistinct;
+  auto result = core::ExecuteWithPlus(q, catalog, core::OracleLike());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kBindError);
+  // No temporaries may survive the failure.
+  EXPECT_EQ(catalog.TableNames(), before);
+}
+
+TEST(ErrorPaths, WithPlusSchemaMismatchIsReported) {
+  auto catalog = MakeCatalog(TinyGraph());
+  core::WithPlusQuery q;
+  q.rec_name = "Rmis";
+  q.rec_schema = Schema{{"ID", ValueType::kInt64}};
+  // Init produces two columns for a one-column recursive relation.
+  q.init.push_back({core::Scan("V"), {}});
+  q.recursive.push_back(
+      {core::ProjectOp(core::JoinOp(core::Scan("Rmis"), core::Scan("E"),
+                                    {{"ID"}, {"F"}}),
+                       {ops::As(Col("E.T"), "ID")}),
+       {}});
+  q.mode = core::UnionMode::kUnionDistinct;
+  auto result = core::ExecuteWithPlus(q, catalog, core::OracleLike());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeMismatch);
+}
+
+TEST(ErrorPaths, AlgosRequireTheirInputs) {
+  // Keyword-Search without labels / with too many keywords.
+  graph::Graph g = gpr::testing::TinyGraph();  // no labels attached
+  ra::Catalog catalog;
+  GPR_CHECK_OK(graph::RegisterGraph(g, &catalog));  // no VL table
+  algos::AlgoOptions opt;
+  auto ks = algos::KeywordSearch(catalog, opt);
+  EXPECT_FALSE(ks.ok());  // VL missing
+  opt.keywords = std::vector<int64_t>(9, 1);
+  EXPECT_EQ(algos::KeywordSearch(catalog, opt).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ErrorPaths, SqlParserErrorsCarryParseErrorCode) {
+  for (const char* bad : {
+           "with",                           // truncated
+           "with R as select",               // missing body parens
+           "select from E",                  // missing select list
+           "select F from",                  // missing table
+           "select F from E where",          // missing predicate
+           "select F from E group by",       // missing group column
+           "with R(x) as ((select F from E) union bogus (select F from E))",
+       }) {
+    auto r = sql::ParseWithStatement(bad);
+    if (r.ok()) {
+      ADD_FAILURE() << "accepted: " << bad;
+      continue;
+    }
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError) << bad;
+  }
+}
+
+TEST(ErrorPaths, BinderErrorsCarryBindErrorCode) {
+  auto catalog = MakeCatalog(TinyGraph());
+  // in-subquery with two output columns.
+  auto ast = sql::ParseSelect(
+      "select F from E where F not in (select F, T from E)");
+  ASSERT_TRUE(ast.ok());
+  auto plan = sql::BindSelect(*ast, catalog);
+  EXPECT_EQ(plan.status().code(), StatusCode::kBindError);
+  // '*' outside count().
+  auto star = sql::ParseSelect("select sum(*) from E");
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(sql::BindSelect(*star, catalog).status().code(),
+            StatusCode::kBindError);
+}
+
+}  // namespace
+}  // namespace gpr

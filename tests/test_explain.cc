@@ -1,0 +1,82 @@
+// Tests for the EXPLAIN facility.
+#include <gtest/gtest.h>
+
+#include "core/explain.h"
+#include "test_util.h"
+
+namespace gpr::core {
+namespace {
+
+namespace ops = ra::ops;
+using gpr::testing::MakeCatalog;
+using gpr::testing::TinyGraph;
+using ra::Col;
+
+TEST(Explain, ShowsJoinAlgorithmPerProfile) {
+  auto catalog = MakeCatalog(TinyGraph());
+  // A temp (stat-less) inner input drives the profile's fallback choice.
+  GPR_CHECK_OK(catalog.CreateTempTable(
+      "tmp", ra::Schema{{"ID", ra::ValueType::kInt64}}));
+  auto plan = JoinOp(Scan("E"), Scan("tmp"), {{"T"}, {"ID"}});
+
+  const std::string oracle = Explain(plan, catalog, OracleLike());
+  EXPECT_NE(oracle.find("Join(hash)"), std::string::npos) << oracle;
+
+  const std::string pg = Explain(plan, catalog, PostgresLike());
+  EXPECT_NE(pg.find("Join(sort-merge)"), std::string::npos) << pg;
+  EXPECT_NE(pg.find("[index adopted]"), std::string::npos) << pg;
+
+  // Base tables are analyzed, so a base inner input hashes everywhere.
+  auto base_plan = JoinOp(Scan("E"), Scan("V"), {{"T"}, {"ID"}});
+  const std::string pg_base = Explain(base_plan, catalog, PostgresLike());
+  EXPECT_NE(pg_base.find("Join(hash)"), std::string::npos) << pg_base;
+}
+
+TEST(Explain, ShowsTableFacts) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const std::string s = Explain(Scan("E"), catalog, OracleLike());
+  EXPECT_NE(s.find("Scan E [6 rows, stats]"), std::string::npos) << s;
+  const std::string missing = Explain(Scan("Nope"), catalog, OracleLike());
+  EXPECT_NE(missing.find("[unbound]"), std::string::npos);
+}
+
+TEST(Explain, ShowsAntiJoinRewrites) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto plan = AntiJoinOp(Scan("V"), Scan("E"), {{"ID"}, {"T"}},
+                         AntiJoinImpl::kNotIn);
+  const std::string oracle = Explain(plan, catalog, OracleLike());
+  EXPECT_NE(oracle.find("rewritten to internal anti-join"),
+            std::string::npos)
+      << oracle;
+  const std::string pg = Explain(plan, catalog, PostgresLike());
+  EXPECT_EQ(pg.find("rewritten to internal anti-join"), std::string::npos);
+}
+
+TEST(Explain, WithPlusCoversAllParts) {
+  auto catalog = MakeCatalog(TinyGraph());
+  WithPlusQuery q;
+  q.rec_name = "R";
+  q.rec_schema = ra::Schema{{"ID", ra::ValueType::kInt64}};
+  q.init.push_back({ProjectOp(Scan("V"), {ops::As(Col("ID"), "ID")}), {}});
+  Subquery rec;
+  rec.computed_by.push_back(
+      {"D1", ProjectOp(JoinOp(Scan("R"), Scan("E"), {{"ID"}, {"F"}}),
+                       {ops::As(Col("E.T"), "ID")})});
+  rec.plan = ProjectOp(Scan("D1"), {ops::As(Col("ID"), "ID")});
+  q.recursive.push_back(std::move(rec));
+  q.mode = UnionMode::kUnionDistinct;
+  q.maxrecursion = 9;
+
+  const std::string s = ExplainWithPlus(q, catalog, PostgresLike());
+  EXPECT_NE(s.find("recursive relation: R"), std::string::npos);
+  EXPECT_NE(s.find("mode: union"), std::string::npos);
+  EXPECT_NE(s.find("maxrecursion 9"), std::string::npos);
+  EXPECT_NE(s.find("initial subquery 1"), std::string::npos);
+  EXPECT_NE(s.find("computed by D1"), std::string::npos);
+  EXPECT_NE(s.find("recursive subquery 1"), std::string::npos);
+  EXPECT_NE(s.find("[recursive/def]"), std::string::npos) << s;
+  EXPECT_NE(s.find("create procedure F_R"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpr::core

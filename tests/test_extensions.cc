@@ -1,0 +1,116 @@
+// Tests for the Table 2 extension algorithms: K-truss and
+// Graph-Bisimulation, cross-checked against native references.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "algos/extensions.h"
+#include "baseline/native_algos.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace gpr {
+namespace {
+
+using gpr::testing::MakeCatalog;
+using graph::Graph;
+using graph::NodeId;
+
+TEST(KTruss, TriangleWithPendantEdge) {
+  // Triangle 0-1-2 plus pendant 0-3: the 3-truss is exactly the triangle.
+  Graph g(4, {{0, 1, 1}, {1, 2, 1}, {2, 0, 1}, {0, 3, 1}});
+  auto catalog = MakeCatalog(g);
+  algos::AlgoOptions opt;
+  opt.k = 3;
+  auto result = algos::KTruss(catalog, opt);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+  std::set<std::pair<int64_t, int64_t>> edges;
+  for (const auto& row : result->table.rows()) {
+    const auto u = row[0].AsInt64();
+    const auto v = row[1].AsInt64();
+    if (u < v) edges.insert({u, v});
+  }
+  EXPECT_EQ(edges, (std::set<std::pair<int64_t, int64_t>>{
+                       {0, 1}, {0, 2}, {1, 2}}));
+}
+
+TEST(KTruss, MatchesNativeOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Graph g = graph::Rmat(40, 220, seed);
+    for (int k : {3, 4}) {
+      auto catalog = MakeCatalog(g);
+      algos::AlgoOptions opt;
+      opt.k = k;
+      auto result = algos::KTruss(catalog, opt);
+      ASSERT_TRUE(result.ok()) << result.status();
+      std::set<std::pair<NodeId, NodeId>> got;
+      for (const auto& row : result->table.rows()) {
+        const auto u = row[0].AsInt64();
+        const auto v = row[1].AsInt64();
+        if (u < v) got.insert({u, v});
+      }
+      auto expected = baseline::KTruss(g, k);
+      std::set<std::pair<NodeId, NodeId>> want(expected.begin(),
+                                               expected.end());
+      EXPECT_EQ(got, want) << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(Bisimulation, DistinguishesByLabelAndSuccessors) {
+  // 0 and 1 share label and successor block; 2 differs by label; 3 and 4
+  // are sinks with equal labels.
+  Graph g(5, {{0, 3, 1}, {1, 4, 1}, {2, 3, 1}});
+  g.set_node_labels({7, 7, 9, 5, 5});
+  auto catalog = MakeCatalog(g);
+  auto result = algos::GraphBisimulation(catalog, {});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+  std::map<int64_t, int64_t> blk;
+  for (const auto& row : result->table.rows()) {
+    blk[row[0].AsInt64()] = row[1].AsInt64();
+  }
+  EXPECT_EQ(blk.at(0), blk.at(1));   // bisimilar
+  EXPECT_NE(blk.at(0), blk.at(2));   // different label
+  EXPECT_EQ(blk.at(3), blk.at(4));   // equivalent sinks
+  EXPECT_NE(blk.at(0), blk.at(3));
+}
+
+TEST(Bisimulation, MatchesNativePartitionOnRandomGraphs) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Graph g = graph::Rmat(60, 200, seed);
+    graph::AttachRandomNodeData(&g, seed + 7, 0, 20, /*num_labels=*/3);
+    auto catalog = MakeCatalog(g);
+    auto result = algos::GraphBisimulation(catalog, {});
+    ASSERT_TRUE(result.ok()) << result.status();
+    auto expected = baseline::GraphBisimulation(g);
+    auto got = gpr::testing::VectorOf(result->table);
+    ASSERT_EQ(got.size(), static_cast<size_t>(g.num_nodes()));
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(static_cast<NodeId>(got.at(v)), expected[v])
+          << "seed " << seed << " node " << v;
+    }
+  }
+}
+
+TEST(Bisimulation, RefinesStrictlyUntilFixpoint) {
+  // A directed path: every node is its own block in the end (distance to
+  // the sink differs).
+  std::vector<graph::Edge> edges;
+  for (int i = 0; i < 7; ++i) edges.push_back({i, i + 1, 1.0});
+  Graph g(8, std::move(edges));
+  g.set_node_labels(std::vector<int64_t>(8, 1));
+  auto catalog = MakeCatalog(g);
+  auto result = algos::GraphBisimulation(catalog, {});
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::set<int64_t> blocks;
+  for (const auto& row : result->table.rows()) {
+    blocks.insert(row[1].AsInt64());
+  }
+  EXPECT_EQ(blocks.size(), 8u);
+}
+
+}  // namespace
+}  // namespace gpr

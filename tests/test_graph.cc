@@ -1,0 +1,204 @@
+// Tests for the graph substrate: CSR structure, generators, Table 3
+// dataset analogues, IO round-trips, and relation conversion.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <numeric>
+
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "graph/relations.h"
+#include "test_util.h"
+
+namespace gpr::graph {
+namespace {
+
+TEST(Graph, CsrAdjacencyIsConsistent) {
+  Graph g = gpr::testing::TinyGraph();
+  EXPECT_EQ(g.num_nodes(), 6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+  // Every out-edge appears as the mirror in-edge.
+  size_t mirrored = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      const auto in = g.InNeighbors(w);
+      mirrored += std::count(in.begin(), in.end(), v);
+    }
+  }
+  EXPECT_EQ(mirrored, g.num_edges());
+}
+
+TEST(Graph, SymmetrizeAndDedupe) {
+  std::vector<Edge> edges = {{0, 1, 1.0}, {1, 0, 1.0}, {0, 1, 2.0},
+                             {2, 2, 1.0}};
+  auto clean = DedupeEdges(edges);
+  // Self-loop dropped; parallel (0,1) collapsed.
+  EXPECT_EQ(clean.size(), 2u);
+  auto sym = DedupeEdges(Symmetrize(clean));
+  EXPECT_EQ(sym.size(), 2u);  // both directions already present
+}
+
+TEST(Generators, ErdosRenyiRespectsBounds) {
+  Graph g = ErdosRenyi(100, 400, 1);
+  EXPECT_EQ(g.num_nodes(), 100);
+  EXPECT_LE(g.num_edges(), 400u);
+  EXPECT_GT(g.num_edges(), 300u);  // few duplicates at this density
+  for (const auto& e : g.EdgeList()) {
+    EXPECT_NE(e.from, e.to);
+  }
+}
+
+TEST(Generators, RmatIsSkewed) {
+  Graph g = Rmat(1 << 10, 8000, 7);
+  // Compare the max out-degree with the average: R-MAT should produce a
+  // heavy tail (max >> average), unlike a uniform graph.
+  size_t max_deg = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_deg = std::max(max_deg, g.OutDegree(v));
+  }
+  EXPECT_GT(static_cast<double>(max_deg), 5.0 * g.AverageDegree());
+}
+
+TEST(Generators, GeneratorsAreDeterministic) {
+  Graph a = Rmat(256, 1000, 42);
+  Graph b = Rmat(256, 1000, 42);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  auto ea = a.EdgeList();
+  auto eb = b.EdgeList();
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].from, eb[i].from);
+    EXPECT_EQ(ea[i].to, eb[i].to);
+  }
+}
+
+TEST(Generators, RandomDagIsAcyclic) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Graph g = RandomDag(60, 200, seed);
+    // Kahn must consume every node.
+    std::vector<size_t> indeg(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) indeg[v] = g.InDegree(v);
+    std::vector<NodeId> frontier;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (indeg[v] == 0) frontier.push_back(v);
+    }
+    size_t seen = 0;
+    while (!frontier.empty()) {
+      NodeId v = frontier.back();
+      frontier.pop_back();
+      ++seen;
+      for (NodeId w : g.OutNeighbors(v)) {
+        if (--indeg[w] == 0) frontier.push_back(w);
+      }
+    }
+    EXPECT_EQ(seen, static_cast<size_t>(g.num_nodes())) << "seed " << seed;
+  }
+}
+
+TEST(Generators, NodeDataAttachment) {
+  Graph g = ErdosRenyi(50, 100, 3);
+  AttachRandomNodeData(&g, 4, 0.0, 20.0, 10);
+  ASSERT_EQ(g.node_weights().size(), 50u);
+  ASSERT_EQ(g.node_labels().size(), 50u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_GE(g.node_weights()[v], 0.0);
+    EXPECT_LE(g.node_weights()[v], 20.0);
+    EXPECT_GE(g.node_labels()[v], 0);
+    EXPECT_LT(g.node_labels()[v], 10);
+  }
+}
+
+TEST(Datasets, Table3RegistryShape) {
+  const auto& specs = PaperDatasets();
+  ASSERT_EQ(specs.size(), 9u);
+  // The first three are the undirected graphs of Table 3.
+  EXPECT_FALSE(specs[0].directed);  // YT
+  EXPECT_FALSE(specs[1].directed);  // LJ
+  EXPECT_FALSE(specs[2].directed);  // OK
+  for (size_t i = 3; i < 9; ++i) EXPECT_TRUE(specs[i].directed);
+  // Scaled analogues preserve the density ordering of the paper: Google+
+  // is the densest, Wiki-Talk the sparsest of the directed graphs.
+  auto density = [](const DatasetSpec& s) {
+    return static_cast<double>(s.edges) / static_cast<double>(s.nodes);
+  };
+  auto gp = DatasetByAbbrev("GP");
+  auto wt = DatasetByAbbrev("wt");
+  ASSERT_TRUE(gp.ok());
+  ASSERT_TRUE(wt.ok());
+  EXPECT_GT(density(*gp), 100.0);
+  EXPECT_LT(density(*wt), 5.0);
+}
+
+TEST(Datasets, MaterializationMatchesSpec) {
+  auto spec = DatasetByAbbrev("WV");
+  ASSERT_TRUE(spec.ok());
+  Graph g = MakeDataset(*spec, /*scale=*/0.2);
+  EXPECT_GT(g.num_nodes(), 0);
+  EXPECT_GT(g.num_edges(), 0u);
+  EXPECT_FALSE(g.node_labels().empty());
+  EXPECT_FALSE(g.node_weights().empty());
+  // Undirected datasets come out symmetric.
+  auto yt = DatasetByAbbrev("YT");
+  ASSERT_TRUE(yt.ok());
+  Graph u = MakeDataset(*yt, 0.05);
+  for (NodeId v = 0; v < u.num_nodes() && v < 50; ++v) {
+    for (NodeId w : u.OutNeighbors(v)) {
+      const auto back = u.OutNeighbors(w);
+      EXPECT_NE(std::count(back.begin(), back.end(), v), 0)
+          << v << "<->" << w;
+    }
+  }
+  EXPECT_FALSE(DatasetByAbbrev("XX").ok());
+}
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  Graph g = ErdosRenyi(40, 120, 9);
+  const std::string path = ::testing::TempDir() + "/gpr_edges.txt";
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MissingFileFails) {
+  auto loaded = LoadEdgeList("/nonexistent/file.txt");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(Relations, GraphRoundTripsThroughRelations) {
+  Graph g = WithRandomEdgeWeights(ErdosRenyi(30, 90, 5), 6, 1.0, 9.0);
+  auto e = EdgeRelation(g);
+  EXPECT_EQ(e.NumRows(), g.num_edges());
+  auto back = GraphFromEdgeRelation(e);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_edges(), g.num_edges());
+  auto ea = g.EdgeList();
+  auto eb = back->EdgeList();
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].from, eb[i].from);
+    EXPECT_EQ(ea[i].to, eb[i].to);
+    EXPECT_EQ(ea[i].weight, eb[i].weight);
+  }
+}
+
+TEST(Relations, RegisterGraphAnalyzesBaseTables) {
+  Graph g = ErdosRenyi(20, 50, 2);
+  AttachRandomNodeData(&g, 3);
+  ra::Catalog catalog;
+  ASSERT_TRUE(RegisterGraph(g, &catalog).ok());
+  for (const char* name : {"E", "V", "VL"}) {
+    auto t = catalog.Get(name);
+    ASSERT_TRUE(t.ok()) << name;
+    EXPECT_TRUE((*t)->stats().present) << name;
+    EXPECT_FALSE(catalog.IsTemporary(name));
+  }
+  EXPECT_EQ((*catalog.Get("V"))->NumRows(), 20u);
+}
+
+}  // namespace
+}  // namespace gpr::graph

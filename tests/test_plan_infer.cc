@@ -1,0 +1,110 @@
+// Tests for plan schema inference (used by the SQL binder) and plan
+// rendering.
+#include <gtest/gtest.h>
+
+#include "core/plan.h"
+#include "test_util.h"
+
+namespace gpr::core {
+namespace {
+
+namespace ops = ra::ops;
+using gpr::testing::MakeCatalog;
+using gpr::testing::TinyGraph;
+using ra::Col;
+using ra::Lit;
+using ra::Schema;
+using ra::ValueType;
+
+class InferSchemaTest : public ::testing::Test {
+ protected:
+  InferSchemaTest() : catalog_(MakeCatalog(TinyGraph())) {}
+
+  /// Inference must agree with actual execution output.
+  void ExpectMatchesExecution(const PlanPtr& plan) {
+    auto inferred = InferSchema(plan, catalog_);
+    ASSERT_TRUE(inferred.ok()) << inferred.status();
+    auto executed = ExecutePlan(plan, catalog_, OracleLike());
+    ASSERT_TRUE(executed.ok()) << executed.status();
+    EXPECT_EQ(inferred->ToString(), executed->schema().ToString());
+  }
+
+  ra::Catalog catalog_;
+};
+
+TEST_F(InferSchemaTest, ScanSelectProject) {
+  ExpectMatchesExecution(Scan("E"));
+  ExpectMatchesExecution(SelectOp(Scan("E"), ra::Gt(Col("ew"), Lit(0.5))));
+  ExpectMatchesExecution(ProjectOp(
+      Scan("E"), {ops::As(Col("F"), "src"),
+                  ops::As(ra::Mul(Col("ew"), Lit(2.0)), "w2"),
+                  ops::As(ra::Eq(Col("F"), Col("T")), "loop")}));
+}
+
+TEST_F(InferSchemaTest, JoinsQualifyColumns) {
+  ExpectMatchesExecution(JoinOp(Scan("E"), Scan("V"), {{"T"}, {"ID"}}));
+  ExpectMatchesExecution(
+      LeftOuterJoinOp(Scan("V"), Scan("E"), {{"ID"}, {"F"}}));
+  ExpectMatchesExecution(CrossProductOp(Scan("V"), Scan("E")));
+  ExpectMatchesExecution(
+      JoinOp(RenameOp(Scan("E"), "E1"), RenameOp(Scan("E"), "E2"),
+             {{"T"}, {"F"}}));
+}
+
+TEST_F(InferSchemaTest, GroupByAndSetOps) {
+  ExpectMatchesExecution(GroupByOp(
+      Scan("E"), {"F"},
+      {ra::SumOf(Col("ew"), "s"), ra::CountStar("c"),
+       ra::AggSpec{ra::AggKind::kAvg, Col("ew"), "a"}}));
+  ExpectMatchesExecution(GroupByOp(Scan("E"), {},
+                                   {ra::MaxOf(Col("T"), "mx")}));
+  ExpectMatchesExecution(UnionAllOp(Scan("E"), Scan("E")));
+  ExpectMatchesExecution(DistinctOp(ProjectOp(
+      Scan("E"), {ops::As(Col("F"), "F")})));
+  ExpectMatchesExecution(
+      AntiJoinOp(Scan("V"), Scan("E"), {{"ID"}, {"T"}}));
+  ExpectMatchesExecution(SortOp(Scan("E"), {"T"}));
+}
+
+TEST_F(InferSchemaTest, MMAndMVJoin) {
+  ExpectMatchesExecution(
+      MMJoinOp(RenameOp(Scan("E"), "A"), RenameOp(Scan("E"), "B"),
+               MinPlus()));
+  ExpectMatchesExecution(MVJoinOp(Scan("E"), Scan("V"), PlusTimes()));
+}
+
+TEST_F(InferSchemaTest, OverlaysSupplyMissingTables) {
+  std::unordered_map<std::string, Schema> o;
+  o.emplace("R", Schema{{"ID", ValueType::kInt64},
+                        {"vw", ValueType::kDouble}});
+  auto plan = JoinOp(Scan("E"), Scan("R"), {{"T"}, {"ID"}});
+  auto without = InferSchema(plan, catalog_);
+  EXPECT_FALSE(without.ok());
+  auto with = InferSchema(plan, catalog_, &o);
+  ASSERT_TRUE(with.ok()) << with.status();
+  EXPECT_TRUE(with->Has("R.vw"));
+}
+
+TEST_F(InferSchemaTest, RenameWithColumnList) {
+  auto plan = RenameOp(Scan("V"), "W", {"node", "weight"});
+  auto s = InferSchema(plan, catalog_);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->column(0).name, "node");
+  EXPECT_EQ(s->column(1).name, "weight");
+  auto bad = RenameOp(Scan("V"), "W", {"only_one"});
+  EXPECT_FALSE(InferSchema(bad, catalog_).ok());
+}
+
+TEST(PlanToString, RendersTree) {
+  auto plan = ProjectOp(
+      JoinOp(Scan("TC"), Scan("E"), {{"T"}, {"F"}}),
+      {ops::As(Col("TC.F"), "F")});
+  const std::string s = plan->ToString();
+  EXPECT_NE(s.find("Project"), std::string::npos);
+  EXPECT_NE(s.find("Join"), std::string::npos);
+  EXPECT_NE(s.find("Scan TC"), std::string::npos);
+  EXPECT_NE(s.find("Scan E"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpr::core

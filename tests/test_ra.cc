@@ -1,0 +1,433 @@
+// Unit tests for the relational engine: values, schemas, expressions,
+// tables, catalog, and the basic operators.
+#include <gtest/gtest.h>
+
+#include "ra/catalog.h"
+#include "ra/expr.h"
+#include "ra/operators.h"
+#include "ra/table.h"
+
+namespace gpr::ra {
+namespace {
+
+namespace ops = ra::ops;
+
+// ----------------------------------------------------------------- Value
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(int64_t{3}).is_int64());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_EQ(Value(int64_t{3}).ToDouble(), 3.0);
+  EXPECT_EQ(Value(3.9).ToInt64(), 3);
+}
+
+TEST(Value, NumericCrossTypeEquality) {
+  EXPECT_TRUE(Value(int64_t{3}).Equals(Value(3.0)));
+  EXPECT_FALSE(Value(int64_t{3}).Equals(Value(3.5)));
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value(int64_t{0})));
+  EXPECT_FALSE(Value("3").Equals(Value(int64_t{3})));
+}
+
+TEST(Value, HashConsistentWithEquals) {
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(7.0).Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(Value, TotalOrder) {
+  EXPECT_LT(Value::Null().Compare(Value(int64_t{0})), 0);
+  EXPECT_LT(Value(int64_t{1}).Compare(Value(2.5)), 0);
+  EXPECT_LT(Value(2.5).Compare(Value("a")), 0);  // numbers < strings
+  EXPECT_EQ(Value("a").Compare(Value("a")), 0);
+  EXPECT_GT(Value("b").Compare(Value("a")), 0);
+}
+
+// ---------------------------------------------------------------- Schema
+
+TEST(Schema, QualifiedLookup) {
+  Schema s{{"E.F", ValueType::kInt64}, {"E.T", ValueType::kInt64}};
+  EXPECT_EQ(*s.IndexOf("E.F"), 0u);
+  EXPECT_EQ(*s.IndexOf("F"), 0u);  // suffix match
+  EXPECT_EQ(*s.IndexOf("T"), 1u);
+  EXPECT_FALSE(s.IndexOf("x").has_value());
+}
+
+TEST(Schema, AmbiguousSuffixFails) {
+  Schema s{{"A.F", ValueType::kInt64}, {"B.F", ValueType::kInt64}};
+  EXPECT_FALSE(s.IndexOf("F").has_value());
+  EXPECT_TRUE(s.IndexOf("A.F").has_value());
+  EXPECT_FALSE(s.Resolve("F").ok());
+}
+
+TEST(Schema, QualifiedStripsOldQualifier) {
+  Schema s{{"E.F", ValueType::kInt64}};
+  Schema q = s.Qualified("X");
+  EXPECT_EQ(q.column(0).name, "X.F");
+}
+
+TEST(Schema, UnionCompatibility) {
+  Schema a{{"x", ValueType::kInt64}, {"y", ValueType::kDouble}};
+  Schema b{{"p", ValueType::kDouble}, {"q", ValueType::kInt64}};
+  Schema c{{"p", ValueType::kString}, {"q", ValueType::kInt64}};
+  EXPECT_TRUE(a.UnionCompatible(b));  // numerics interchange
+  EXPECT_FALSE(a.UnionCompatible(c));
+  EXPECT_FALSE(a.UnionCompatible(Schema{{"x", ValueType::kInt64}}));
+}
+
+// ------------------------------------------------------------ Expression
+
+Schema TestSchema() {
+  return Schema{{"a", ValueType::kInt64},
+                {"b", ValueType::kDouble},
+                {"s", ValueType::kString}};
+}
+
+TEST(Expr, ArithmeticAndTypes) {
+  auto compiled = Compile(Add(Col("a"), Lit(int64_t{2})), TestSchema());
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->result_type(), ValueType::kInt64);
+  EXPECT_EQ(compiled->Eval({int64_t{3}, 0.0, ""}).AsInt64(), 5);
+
+  auto div = Compile(Div(Col("a"), Lit(int64_t{2})), TestSchema());
+  ASSERT_TRUE(div.ok());
+  EXPECT_EQ(div->result_type(), ValueType::kDouble);
+  EXPECT_EQ(div->Eval({int64_t{3}, 0.0, ""}).AsDouble(), 1.5);
+}
+
+TEST(Expr, DivisionByZeroYieldsNull) {
+  auto compiled = Compile(Div(Col("b"), Lit(0.0)), TestSchema());
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_TRUE(compiled->Eval({int64_t{0}, 1.0, ""}).is_null());
+}
+
+TEST(Expr, ThreeValuedLogic) {
+  // NULL and false = false; NULL or true = true; NULL and true = NULL.
+  auto and_false =
+      Compile(And(IsNull(Col("s")), Lit(int64_t{0})), TestSchema());
+  auto null_and_false =
+      Compile(And(Eq(Col("b"), Lit(1.0)), Lit(int64_t{0})), TestSchema());
+  ASSERT_TRUE(and_false.ok());
+  ASSERT_TRUE(null_and_false.ok());
+  Tuple with_null{int64_t{1}, Value::Null(), "x"};
+  EXPECT_EQ(null_and_false->Eval(with_null).AsInt64(), 0);  // null and false
+  auto null_or_true =
+      Compile(Or(Eq(Col("b"), Lit(1.0)), Lit(int64_t{1})), TestSchema());
+  ASSERT_TRUE(null_or_true.ok());
+  EXPECT_EQ(null_or_true->Eval(with_null).AsInt64(), 1);
+  auto null_and_true =
+      Compile(And(Eq(Col("b"), Lit(1.0)), Lit(int64_t{1})), TestSchema());
+  ASSERT_TRUE(null_and_true.ok());
+  EXPECT_TRUE(null_and_true->Eval(with_null).is_null());
+  EXPECT_FALSE(null_and_true->EvalBool(with_null));  // unknown is not true
+}
+
+TEST(Expr, Coalesce) {
+  auto compiled =
+      Compile(Call("coalesce", {Col("b"), Lit(9.0)}), TestSchema());
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->Eval({int64_t{0}, Value::Null(), ""}).AsDouble(), 9.0);
+  EXPECT_EQ(compiled->Eval({int64_t{0}, 2.0, ""}).AsDouble(), 2.0);
+}
+
+TEST(Expr, Functions) {
+  auto sqrt_e = Compile(Call("sqrt", {Lit(9.0)}), TestSchema());
+  ASSERT_TRUE(sqrt_e.ok());
+  EXPECT_EQ(sqrt_e->Eval({int64_t{0}, 0.0, ""}).AsDouble(), 3.0);
+  auto pow_e = Compile(Call("pow", {Lit(2.0), Lit(10.0)}), TestSchema());
+  ASSERT_TRUE(pow_e.ok());
+  EXPECT_EQ(pow_e->Eval({int64_t{0}, 0.0, ""}).AsDouble(), 1024.0);
+  auto greatest = Compile(
+      Call("greatest", {Lit(int64_t{1}), Lit(int64_t{5}), Lit(int64_t{3})}),
+      TestSchema());
+  ASSERT_TRUE(greatest.ok());
+  EXPECT_EQ(greatest->Eval({int64_t{0}, 0.0, ""}).AsInt64(), 5);
+}
+
+TEST(Expr, RandRequiresContextAndIsDeterministicPerSeed) {
+  auto compiled = Compile(Call("rand", {}), TestSchema());
+  ASSERT_TRUE(compiled.ok());
+  Xoshiro256 rng1(1);
+  Xoshiro256 rng2(1);
+  EvalContext c1{&rng1};
+  EvalContext c2{&rng2};
+  Tuple t{int64_t{0}, 0.0, ""};
+  EXPECT_EQ(compiled->Eval(t, &c1).AsDouble(),
+            compiled->Eval(t, &c2).AsDouble());
+}
+
+TEST(Expr, UnknownColumnAndFunctionFailBinding) {
+  EXPECT_FALSE(Compile(Col("nope"), TestSchema()).ok());
+  EXPECT_FALSE(Compile(Call("nosuchfn", {Col("a")}), TestSchema()).ok());
+}
+
+// ----------------------------------------------------------------- Table
+
+Table MakeEdges() {
+  Table t("E", Schema{{"F", ValueType::kInt64},
+                      {"T", ValueType::kInt64},
+                      {"ew", ValueType::kDouble}});
+  t.AddRow({int64_t{0}, int64_t{1}, 1.0});
+  t.AddRow({int64_t{1}, int64_t{2}, 2.0});
+  t.AddRow({int64_t{0}, int64_t{2}, 4.0});
+  t.AddRow({int64_t{2}, int64_t{0}, 1.5});
+  return t;
+}
+
+TEST(Table, IndexesAndStats) {
+  Table t = MakeEdges();
+  EXPECT_FALSE(t.stats().present);
+  t.Analyze();
+  EXPECT_TRUE(t.stats().present);
+  EXPECT_EQ(t.stats().num_rows, 4u);
+  EXPECT_EQ(t.stats().distinct[0], 3u);  // F has values {0, 1, 2}
+
+  ASSERT_TRUE(t.BuildHashIndex({"F"}).ok());
+  const auto* rows = t.hash_index()->Lookup({Value(int64_t{0})});
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 2u);
+  EXPECT_EQ(t.hash_index()->Lookup({Value(int64_t{9})}), nullptr);
+
+  ASSERT_TRUE(t.BuildSortIndex({"T"}).ok());
+  EXPECT_EQ(t.sort_index()->order().size(), 4u);
+  // Adding a row invalidates stats and the sort index but feeds the hash
+  // index incrementally.
+  t.AddRow({int64_t{3}, int64_t{0}, 1.0});
+  EXPECT_FALSE(t.stats().present);
+  EXPECT_EQ(t.sort_index(), nullptr);
+  ASSERT_NE(t.hash_index(), nullptr);
+  EXPECT_EQ(t.hash_index()->Lookup({Value(int64_t{3})})->size(), 1u);
+}
+
+TEST(Table, SameRowsAsIsOrderInsensitive) {
+  Table a = MakeEdges();
+  Table b("X", a.schema());
+  auto rows = a.SortedRows();
+  for (auto it = rows.rbegin(); it != rows.rend(); ++it) b.AddRow(*it);
+  EXPECT_TRUE(a.SameRowsAs(b));
+  b.AddRow({int64_t{9}, int64_t{9}, 0.0});
+  EXPECT_FALSE(a.SameRowsAs(b));
+}
+
+// --------------------------------------------------------------- Catalog
+
+TEST(Catalog, LifecycleAndTempTables) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateTable(MakeEdges()).ok());
+  EXPECT_FALSE(c.CreateTable(MakeEdges()).ok());  // duplicate
+  EXPECT_TRUE(c.Has("E"));
+  EXPECT_FALSE(c.IsTemporary("E"));
+
+  ASSERT_TRUE(c.CreateTempTable("tmp", MakeEdges().schema()).ok());
+  EXPECT_TRUE(c.IsTemporary("tmp"));
+  // Temp tables are silently replaced on re-create.
+  ASSERT_TRUE(c.CreateTempTable("tmp", MakeEdges().schema()).ok());
+  // But a temp table cannot shadow a base table.
+  EXPECT_FALSE(c.CreateTempTable("E", MakeEdges().schema()).ok());
+
+  ASSERT_TRUE(c.Truncate("tmp").ok());
+  ASSERT_TRUE(c.ReplaceTable("tmp", MakeEdges()).ok());
+  EXPECT_EQ((*c.Get("tmp"))->NumRows(), 4u);
+
+  c.DropAllTemporary();
+  EXPECT_FALSE(c.Has("tmp"));
+  EXPECT_TRUE(c.Has("E"));
+  ASSERT_TRUE(c.DropTable("E").ok());
+  EXPECT_FALSE(c.DropTable("E").ok());
+}
+
+// ------------------------------------------------------------- Operators
+
+TEST(Operators, SelectAndProject) {
+  Table e = MakeEdges();
+  auto sel = ops::Select(e, Gt(Col("ew"), Lit(1.0)));
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->NumRows(), 3u);
+
+  auto proj = ops::Project(e, {ops::As(Mul(Col("ew"), Lit(10.0)), "w10")});
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(proj->schema().column(0).name, "w10");
+  EXPECT_EQ(proj->row(0)[0].AsDouble(), 10.0);
+}
+
+TEST(Operators, SetOperations) {
+  Table e = MakeEdges();
+  auto dup = ops::UnionAll(e, e);
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(dup->NumRows(), 8u);
+  auto dedup = ops::Distinct(*dup);
+  ASSERT_TRUE(dedup.ok());
+  EXPECT_EQ(dedup->NumRows(), 4u);
+  auto united = ops::UnionDistinct(e, e);
+  ASSERT_TRUE(united.ok());
+  EXPECT_EQ(united->NumRows(), 4u);
+
+  Table half("H", e.schema());
+  half.AddRow(e.row(0));
+  half.AddRow(e.row(1));
+  auto diff = ops::Difference(e, half);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->NumRows(), 2u);
+  auto inter = ops::Intersect(e, half);
+  ASSERT_TRUE(inter.ok());
+  EXPECT_EQ(inter->NumRows(), 2u);
+}
+
+TEST(Operators, JoinAlgorithmsAgree) {
+  Table e = MakeEdges();
+  auto e2 = ops::Rename(e, "E2");
+  ASSERT_TRUE(e2.ok());
+  ops::JoinKeys keys{{"T"}, {"F"}};
+  auto hash = ops::Join(e, *e2, keys, ops::JoinAlgorithm::kHash);
+  auto merge = ops::Join(e, *e2, keys, ops::JoinAlgorithm::kSortMerge);
+  auto nl = ops::Join(e, *e2, keys, ops::JoinAlgorithm::kNestedLoop);
+  ASSERT_TRUE(hash.ok());
+  ASSERT_TRUE(merge.ok());
+  ASSERT_TRUE(nl.ok());
+  EXPECT_GT(hash->NumRows(), 0u);
+  EXPECT_TRUE(hash->SameRowsAs(*merge));
+  EXPECT_TRUE(hash->SameRowsAs(*nl));
+  // Qualified output columns.
+  EXPECT_TRUE(hash->schema().Has("E.F"));
+  EXPECT_TRUE(hash->schema().Has("E2.T"));
+}
+
+TEST(Operators, JoinWithResidualPredicate) {
+  Table e = MakeEdges();
+  auto e2 = ops::Rename(e, "E2");
+  ASSERT_TRUE(e2.ok());
+  ops::JoinKeys keys{{"T"}, {"F"}};
+  auto joined = ops::Join(e, *e2, keys, ops::JoinAlgorithm::kHash,
+                          Gt(Col("E2.ew"), Col("E.ew")));
+  ASSERT_TRUE(joined.ok());
+  for (const auto& row : joined->rows()) {
+    const auto ew_l = row[2].AsDouble();
+    const auto ew_r = row[5].AsDouble();
+    EXPECT_GT(ew_r, ew_l);
+  }
+}
+
+TEST(Operators, SelfJoinWithoutRenameFails) {
+  Table e = MakeEdges();
+  auto joined = ops::Join(e, e, {{"T"}, {"F"}});
+  EXPECT_FALSE(joined.ok());
+  EXPECT_EQ(joined.status().code(), StatusCode::kBindError);
+}
+
+TEST(Operators, NullKeysNeverMatch) {
+  Table l("L", Schema{{"k", ValueType::kInt64}});
+  l.AddRow({Value::Null()});
+  l.AddRow({int64_t{1}});
+  Table r("R", Schema{{"k", ValueType::kInt64}});
+  r.AddRow({Value::Null()});
+  r.AddRow({int64_t{1}});
+  auto joined = ops::Join(l, r, {{"k"}, {"k"}});
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->NumRows(), 1u);  // only the 1-1 pair
+}
+
+TEST(Operators, OuterJoins) {
+  Table l("L", Schema{{"k", ValueType::kInt64}, {"x", ValueType::kInt64}});
+  l.AddRow({int64_t{1}, int64_t{10}});
+  l.AddRow({int64_t{2}, int64_t{20}});
+  Table r("R", Schema{{"k", ValueType::kInt64}, {"y", ValueType::kInt64}});
+  r.AddRow({int64_t{2}, int64_t{200}});
+  r.AddRow({int64_t{3}, int64_t{300}});
+
+  auto left = ops::LeftOuterJoin(l, r, {{"k"}, {"k"}});
+  ASSERT_TRUE(left.ok());
+  EXPECT_EQ(left->NumRows(), 2u);
+  size_t nulls = 0;
+  for (const auto& row : left->rows()) nulls += row[2].is_null();
+  EXPECT_EQ(nulls, 1u);  // key 1 unmatched
+
+  auto full = ops::FullOuterJoin(l, r, {{"k"}, {"k"}});
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->NumRows(), 3u);  // 1 unmatched, 2 matched, 3 unmatched
+}
+
+TEST(Operators, SemiAndAntiJoin) {
+  Table e = MakeEdges();
+  Table roots("Roots", Schema{{"ID", ValueType::kInt64}});
+  roots.AddRow({int64_t{0}});
+  auto semi = ops::SemiJoin(e, roots, {{"F"}, {"ID"}});
+  ASSERT_TRUE(semi.ok());
+  EXPECT_EQ(semi->NumRows(), 2u);
+  auto anti = ops::AntiJoinBasic(e, roots, {{"F"}, {"ID"}});
+  ASSERT_TRUE(anti.ok());
+  EXPECT_EQ(anti->NumRows(), 2u);
+}
+
+TEST(Operators, GroupByBasics) {
+  Table e = MakeEdges();
+  auto grouped = ops::GroupBy(
+      e, {"F"},
+      {SumOf(Col("ew"), "total"), CountStar("cnt"), MaxOf(Col("T"), "mx")});
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->NumRows(), 3u);
+  for (const auto& row : grouped->rows()) {
+    if (row[0].AsInt64() == 0) {
+      EXPECT_EQ(row[1].AsDouble(), 5.0);
+      EXPECT_EQ(row[2].AsInt64(), 2);
+      EXPECT_EQ(row[3].AsInt64(), 2);
+    }
+  }
+}
+
+TEST(Operators, ScalarAggregateOverEmptyInput) {
+  Table empty("X", Schema{{"v", ValueType::kDouble}});
+  auto grouped = ops::GroupBy(
+      empty, {}, {SumOf(Col("v"), "s"), CountStar("c")});
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_EQ(grouped->NumRows(), 1u);
+  EXPECT_TRUE(grouped->row(0)[0].is_null());  // sum of nothing is NULL
+  EXPECT_EQ(grouped->row(0)[1].AsInt64(), 0);  // count of nothing is 0
+}
+
+TEST(Operators, AggregationIgnoresNulls) {
+  Table t("X", Schema{{"v", ValueType::kDouble}});
+  t.AddRow({1.0});
+  t.AddRow({Value::Null()});
+  t.AddRow({3.0});
+  auto grouped = ops::GroupBy(
+      t, {},
+      {SumOf(Col("v"), "s"), CountOf(Col("v"), "c"),
+       {AggKind::kAvg, Col("v"), "a"}, MinOf(Col("v"), "mn")});
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->row(0)[0].AsDouble(), 4.0);
+  EXPECT_EQ(grouped->row(0)[1].AsInt64(), 2);
+  EXPECT_EQ(grouped->row(0)[2].AsDouble(), 2.0);
+  EXPECT_EQ(grouped->row(0)[3].AsDouble(), 1.0);
+}
+
+TEST(Operators, SortIsStableLexicographic) {
+  Table e = MakeEdges();
+  auto sorted = ops::Sort(e, {"T", "F"});
+  ASSERT_TRUE(sorted.ok());
+  for (size_t i = 1; i < sorted->NumRows(); ++i) {
+    const auto& prev = sorted->row(i - 1);
+    const auto& cur = sorted->row(i);
+    const bool ordered =
+        prev[1].AsInt64() < cur[1].AsInt64() ||
+        (prev[1].AsInt64() == cur[1].AsInt64() &&
+         prev[0].AsInt64() <= cur[0].AsInt64());
+    EXPECT_TRUE(ordered);
+  }
+}
+
+TEST(Operators, CrossProduct) {
+  Table a("A", Schema{{"x", ValueType::kInt64}});
+  a.AddRow({int64_t{1}});
+  a.AddRow({int64_t{2}});
+  Table b("B", Schema{{"y", ValueType::kInt64}});
+  b.AddRow({int64_t{10}});
+  auto cross = ops::CrossProduct(a, b);
+  ASSERT_TRUE(cross.ok());
+  EXPECT_EQ(cross->NumRows(), 2u);
+  EXPECT_TRUE(cross->schema().Has("A.x"));
+  EXPECT_TRUE(cross->schema().Has("B.y"));
+}
+
+}  // namespace
+}  // namespace gpr::ra

@@ -1,0 +1,142 @@
+// Tests for the Table 1 compatibility checker: which with+ queries the
+// standard recursive with of each engine could run.
+#include <gtest/gtest.h>
+
+#include "core/sql99_compat.h"
+#include "ra/expr.h"
+
+namespace gpr::core {
+namespace {
+
+namespace ops = ra::ops;
+using ra::Col;
+using ra::Lit;
+using ra::Schema;
+using ra::ValueType;
+
+/// Plain linear TC with union all — the one query everyone accepts (Fig 1).
+WithPlusQuery LinearTc(UnionMode mode = UnionMode::kUnionAll) {
+  WithPlusQuery q;
+  q.rec_name = "TC";
+  q.rec_schema = Schema{{"F", ValueType::kInt64}, {"T", ValueType::kInt64}};
+  q.init.push_back({ProjectOp(Scan("E"), {ops::As(Col("F"), "F"),
+                                          ops::As(Col("T"), "T")}),
+                    {}});
+  q.recursive.push_back(
+      {ProjectOp(JoinOp(Scan("TC"), Scan("E"), {{"T"}, {"F"}}),
+                 {ops::As(Col("TC.F"), "F"), ops::As(Col("E.T"), "T")}),
+       {}});
+  q.mode = mode;
+  return q;
+}
+
+TEST(Sql99Compat, LinearUnionAllTcAcceptedEverywhere) {
+  for (const auto& profile : AllProfiles()) {
+    EXPECT_TRUE(CheckSql99Compatible(LinearTc(), profile).ok())
+        << profile.name;
+  }
+}
+
+TEST(Sql99Compat, UnionDistinctOnlyOnPostgres) {
+  WithPlusQuery q = LinearTc(UnionMode::kUnionDistinct);
+  EXPECT_TRUE(CheckSql99Compatible(q, PostgresLike()).ok());
+  EXPECT_FALSE(CheckSql99Compatible(q, OracleLike()).ok());
+  EXPECT_FALSE(CheckSql99Compatible(q, Db2Like()).ok());
+}
+
+TEST(Sql99Compat, UnionByUpdateRejectedEverywhere) {
+  WithPlusQuery q = LinearTc(UnionMode::kUnionByUpdate);
+  q.update_keys = {"F"};
+  for (const auto& profile : AllProfiles()) {
+    auto st = CheckSql99Compatible(q, profile);
+    EXPECT_EQ(st.code(), StatusCode::kNotSupported) << profile.name;
+  }
+}
+
+TEST(Sql99Compat, AggregationInRecursionRejectedEverywhere) {
+  // The Fig 3 PageRank shape: MV-join = join + group by & aggregation.
+  WithPlusQuery q;
+  q.rec_name = "P";
+  q.rec_schema = Schema{{"ID", ValueType::kInt64}, {"W", ValueType::kDouble}};
+  q.init.push_back({ProjectOp(Scan("V"), {ops::As(Col("ID"), "ID"),
+                                          ops::As(Lit(0.0), "W")}),
+                    {}});
+  q.recursive.push_back(
+      {ProjectOp(GroupByOp(JoinOp(Scan("E"), Scan("P"), {{"F"}, {"ID"}}),
+                           {"E.T"},
+                           {ra::SumOf(ra::Mul(Col("E.ew"), Col("P.W")), "s")}),
+                 {ops::As(Col("T"), "ID"), ops::As(Col("s"), "W")}),
+       {}});
+  q.mode = UnionMode::kUnionAll;
+  for (const auto& profile : AllProfiles()) {
+    auto violations = Sql99Violations(q, profile);
+    ASSERT_FALSE(violations.empty()) << profile.name;
+    bool found_agg = false;
+    for (const auto& v : violations) {
+      found_agg |= v.feature.find("aggregate") != std::string::npos;
+    }
+    EXPECT_TRUE(found_agg) << profile.name;
+  }
+}
+
+TEST(Sql99Compat, NegationAndComputedByRejected) {
+  // TopoSort's shape: anti-join + computed by.
+  WithPlusQuery q;
+  q.rec_name = "Topo";
+  q.rec_schema = Schema{{"ID", ValueType::kInt64}};
+  q.init.push_back({ProjectOp(Scan("V"), {ops::As(Col("ID"), "ID")}), {}});
+  Subquery rec;
+  rec.computed_by.push_back(
+      {"V1", AntiJoinOp(Scan("V"), Scan("Topo"), {{"ID"}, {"ID"}})});
+  rec.plan = ProjectOp(Scan("V1"), {ops::As(Col("ID"), "ID")});
+  q.recursive.push_back(std::move(rec));
+  q.mode = UnionMode::kUnionAll;
+
+  auto violations = Sql99Violations(q, OracleLike());
+  std::set<std::string> features;
+  for (const auto& v : violations) features.insert(v.feature);
+  EXPECT_TRUE(features.count("negation"));
+  EXPECT_TRUE(features.count("computed by"));
+}
+
+TEST(Sql99Compat, NonlinearRecursionRejected) {
+  // Floyd-Warshall's shape: the recursive relation joined with itself.
+  WithPlusQuery q;
+  q.rec_name = "D";
+  q.rec_schema = Schema{{"F", ValueType::kInt64},
+                        {"T", ValueType::kInt64},
+                        {"ew", ValueType::kDouble}};
+  q.init.push_back({Scan("E"), {}});
+  q.recursive.push_back({MMJoinOp(Scan("D"), Scan("D"), MinPlus()), {}});
+  q.mode = UnionMode::kUnionAll;
+  auto violations = Sql99Violations(q, Db2Like());
+  bool nonlinear = false;
+  for (const auto& v : violations) {
+    nonlinear |= v.feature == "nonlinear recursion";
+  }
+  EXPECT_TRUE(nonlinear);
+}
+
+TEST(Sql99Compat, MultipleRecursiveQueriesOnlyOnDb2) {
+  WithPlusQuery q = LinearTc();
+  q.recursive.push_back(q.recursive[0]);
+  EXPECT_TRUE(CheckSql99Compatible(q, Db2Like()).ok());
+  EXPECT_FALSE(CheckSql99Compatible(q, OracleLike()).ok());
+  EXPECT_FALSE(CheckSql99Compatible(q, PostgresLike()).ok());
+}
+
+TEST(Sql99Compat, GeneralFunctionsRejectedOnDb2Only) {
+  WithPlusQuery q = LinearTc();
+  // Attach a sqrt() call to the recursive projection.
+  q.recursive[0] = {
+      ProjectOp(JoinOp(Scan("TC"), Scan("E"), {{"T"}, {"F"}}),
+                {ops::As(Col("TC.F"), "F"),
+                 ops::As(ra::Call("sqrt", {Col("E.T")}), "T")}),
+      {}};
+  EXPECT_FALSE(CheckSql99Compatible(q, Db2Like()).ok());
+  EXPECT_TRUE(CheckSql99Compatible(q, OracleLike()).ok());
+  EXPECT_TRUE(CheckSql99Compatible(q, PostgresLike()).ok());
+}
+
+}  // namespace
+}  // namespace gpr::core

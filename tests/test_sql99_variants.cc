@@ -1,0 +1,209 @@
+// Correctness of the SQL'99-legal query forms used in Exp-C: the Fig 9
+// PageRank (union all + partition-by emulation + distinct) and the
+// with-vs-with+ tuple accounting of Fig 12.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "algos/algos.h"
+#include "baseline/native_algos.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace gpr {
+namespace {
+
+using gpr::testing::MakeCatalog;
+using graph::Graph;
+
+TEST(PageRankSql99, FinalGenerationMatchesWithPlus) {
+  // PostgreSQL's recursive term sees only the previous generation, so a
+  // node whose in-neighbours stall drops out of later generations and
+  // stops contributing — with+ equality therefore holds exactly on graphs
+  // where every non-isolated node keeps active in-neighbours, e.g. any
+  // symmetrized graph. (On general digraphs the two forms genuinely
+  // diverge — a subtlety Fig 9 glosses over; see the next test.)
+  Graph raw = graph::Rmat(50, 220, 31);
+  Graph g(raw.num_nodes(),
+          graph::DedupeEdges(graph::Symmetrize(raw.EdgeList())));
+  const int d = 6;
+
+  algos::AlgoOptions opt;
+  opt.max_iterations = d;
+
+  auto catalog_plus = MakeCatalog(g);
+  auto plus = algos::PageRank(catalog_plus, opt);
+  ASSERT_TRUE(plus.ok()) << plus.status();
+
+  auto catalog_99 = MakeCatalog(g);
+  auto sql99 = algos::PageRankSql99(catalog_99, opt);
+  ASSERT_TRUE(sql99.ok()) << sql99.status();
+
+  // Rows of the final generation L = d carry the same values the with+
+  // form holds after d updates (for nodes with in-edges; others never
+  // enter a generation).
+  std::map<int64_t, double> final_gen;
+  for (const auto& row : sql99->table.rows()) {
+    if (row[2].ToInt64() == d) final_gen[row[0].ToInt64()] = row[1].ToDouble();
+  }
+  ASSERT_FALSE(final_gen.empty());
+  auto plus_map = gpr::testing::VectorOf(plus->table);
+  for (const auto& [id, w] : final_gen) {
+    EXPECT_NEAR(w, plus_map.at(id), 1e-9) << "node " << id;
+  }
+  // Every node with an in-edge must be present in the final generation.
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.InDegree(v) > 0) {
+      EXPECT_TRUE(final_gen.count(v)) << "node " << v;
+    }
+  }
+}
+
+TEST(PageRankSql99, MatchesGenerationSemanticsOnDigraphs) {
+  // Native mirror of the true working-table semantics on a general
+  // digraph: generation L sums only over members of generation L-1.
+  Graph g = graph::Rmat(40, 160, 35);
+  const int d = 5;
+  const double c = 0.85;
+  const double n = static_cast<double>(g.num_nodes());
+
+  auto catalog = MakeCatalog(g);
+  algos::AlgoOptions opt;
+  opt.max_iterations = d;
+  auto sql99 = algos::PageRankSql99(catalog, opt);
+  ASSERT_TRUE(sql99.ok()) << sql99.status();
+
+  std::map<int64_t, double> gen;  // generation 0: every node at 0
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) gen[v] = 0.0;
+  for (int it = 0; it < d; ++it) {
+    std::map<int64_t, double> next;
+    for (const auto& [f, w] : gen) {
+      const auto nbrs = g.OutNeighbors(f);
+      for (size_t i = 0; i < nbrs.size; ++i) {
+        next[nbrs.ids[i]] +=
+            w / static_cast<double>(g.OutDegree(f));
+      }
+    }
+    for (auto& [t, sum] : next) sum = c * sum + (1.0 - c) / n;
+    gen = std::move(next);
+  }
+  std::map<int64_t, double> final_gen;
+  for (const auto& row : sql99->table.rows()) {
+    if (row[2].ToInt64() == d) final_gen[row[0].ToInt64()] = row[1].ToDouble();
+  }
+  ASSERT_EQ(final_gen.size(), gen.size());
+  for (const auto& [id, w] : gen) {
+    EXPECT_NEAR(final_gen.at(id), w, 1e-9) << "node " << id;
+  }
+}
+
+TEST(PageRankSql99, TupleGrowthIsLinearInIterations) {
+  Graph raw = graph::Rmat(60, 250, 32);
+  Graph g(raw.num_nodes(),
+          graph::DedupeEdges(graph::Symmetrize(raw.EdgeList())));
+  const int d = 5;
+  algos::AlgoOptions opt;
+  opt.max_iterations = d;
+  auto catalog = MakeCatalog(g);
+  auto sql99 = algos::PageRankSql99(catalog, opt);
+  ASSERT_TRUE(sql99.ok()) << sql99.status();
+  // Generation sizes: n initial + one batch (nodes with in-edges) per
+  // iteration — Fig 12(b)'s linear growth.
+  size_t with_in_edges = 0;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    with_in_edges += g.InDegree(v) > 0;
+  }
+  ASSERT_EQ(sql99->iters.size(), static_cast<size_t>(d) + 1);
+  for (int i = 0; i < d; ++i) {
+    EXPECT_EQ(sql99->iters[i].rec_rows,
+              static_cast<size_t>(g.num_nodes()) + (i + 1) * with_in_edges)
+        << "iteration " << i;
+  }
+  // The cap iteration produces an empty delta (L = d filtered out).
+  EXPECT_TRUE(sql99->converged);
+}
+
+TEST(Rwr, MatchesNativeMirror) {
+  Graph g = graph::Rmat(45, 200, 33);
+  const int iters = 8;
+  const double restart = 0.2;
+
+  auto catalog = MakeCatalog(g);
+  algos::AlgoOptions opt;
+  opt.source = 3;
+  opt.max_iterations = iters;
+  opt.restart_prob = restart;
+  auto rwr = algos::RandomWalkWithRestart(catalog, opt);
+  ASSERT_TRUE(rwr.ok()) << rwr.status();
+
+  // Native mirror of Eq. 10 over out-normalized edges: nodes with in-edges
+  // get c·Σ W(f)·ew + (1-c)·P(t); others keep their value.
+  const double c = 1.0 - restart;
+  std::vector<double> w(g.num_nodes(), 0.0);
+  w[3] = 1.0;
+  std::vector<double> next(g.num_nodes());
+  for (int it = 0; it < iters; ++it) {
+    for (graph::NodeId t = 0; t < g.num_nodes(); ++t) {
+      if (g.InDegree(t) == 0) {
+        next[t] = w[t];
+        continue;
+      }
+      double sum = 0;
+      const auto nbrs = g.InNeighbors(t);
+      for (size_t i = 0; i < nbrs.size; ++i) {
+        sum += w[nbrs.ids[i]] /
+               static_cast<double>(g.OutDegree(nbrs.ids[i]));
+      }
+      next[t] = c * sum + (1.0 - c) * (t == 3 ? 1.0 : 0.0);
+    }
+    std::swap(w, next);
+  }
+  auto got = gpr::testing::VectorOf(rwr->table);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(got.at(v), w[v], 1e-9) << "node " << v;
+  }
+}
+
+TEST(TcVariants, UnionDistinctAndUnionAllAgreeOnDags) {
+  // On a DAG union all terminates naturally; the deduplicated result must
+  // equal the union-distinct fixpoint.
+  Graph g = graph::RandomDag(12, 18, 34);  // union-all stores one tuple per
+                                           // path; keep the DAG tiny
+  auto catalog1 = MakeCatalog(g);
+  algos::AlgoOptions opt;
+  opt.depth = 0;
+  auto distinct = algos::TransitiveClosure(catalog1, opt);
+  ASSERT_TRUE(distinct.ok()) << distinct.status();
+
+  auto catalog2 = MakeCatalog(g);
+  core::WithPlusQuery q;
+  namespace ops = ra::ops;
+  q.rec_name = "TCall";
+  q.rec_schema = ra::Schema{{"F", ra::ValueType::kInt64},
+                            {"T", ra::ValueType::kInt64}};
+  q.init.push_back({core::ProjectOp(core::Scan("E"),
+                                    {ops::As(ra::Col("F"), "F"),
+                                     ops::As(ra::Col("T"), "T")}),
+                    {}});
+  q.recursive.push_back(
+      {core::ProjectOp(core::JoinOp(core::Scan("TCall"), core::Scan("E"),
+                                    {{"T"}, {"F"}}),
+                       {ops::As(ra::Col("TCall.F"), "F"),
+                        ops::As(ra::Col("E.T"), "T")}),
+       {}});
+  q.mode = core::UnionMode::kUnionAll;
+  // SQL'99 engines evaluate the recursive term against the working table;
+  // that is what makes union-all TC terminate on a DAG.
+  q.sql99_working_table = true;
+  auto all = core::ExecuteWithPlus(q, catalog2, core::OracleLike());
+  ASSERT_TRUE(all.ok()) << all.status();
+  EXPECT_TRUE(all->converged);
+  auto deduped = ra::ops::Distinct(all->table);
+  ASSERT_TRUE(deduped.ok());
+  EXPECT_TRUE(deduped->SameRowsAs(distinct->table));
+  // union all accumulated duplicates (one per distinct path).
+  EXPECT_GE(all->table.NumRows(), deduped->NumRows());
+}
+
+}  // namespace
+}  // namespace gpr

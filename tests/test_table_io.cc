@@ -1,0 +1,68 @@
+// CSV round-trip tests for relations.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "ra/table_io.h"
+
+namespace gpr::ra {
+namespace {
+
+TEST(TableIo, RoundTripAllTypes) {
+  Table t("T", Schema{{"i", ValueType::kInt64},
+                      {"d", ValueType::kDouble},
+                      {"s", ValueType::kString}});
+  t.AddRow({int64_t{1}, 2.5, "plain"});
+  t.AddRow({int64_t{-7}, 1e-12, "with,comma"});
+  t.AddRow({Value::Null(), Value::Null(), "he said \"hi\""});
+  t.AddRow({int64_t{0}, -3.25, ""});  // empty *quoted* string is not NULL
+
+  const std::string path = ::testing::TempDir() + "/gpr_io.csv";
+  ASSERT_TRUE(SaveCsv(t, path).ok());
+  auto loaded = LoadCsv(path, "T2");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->name(), "T2");
+  EXPECT_EQ(loaded->schema().ToString(), t.schema().ToString());
+  ASSERT_TRUE(loaded->SameRowsAs(t)) << loaded->ToString(0) << t.ToString(0);
+  std::remove(path.c_str());
+}
+
+TEST(TableIo, DoubleRoundTripIsExact) {
+  Table t("T", Schema{{"d", ValueType::kDouble}});
+  t.AddRow({0.1});
+  t.AddRow({1.0 / 3.0});
+  t.AddRow({1e300});
+  const std::string path = ::testing::TempDir() + "/gpr_io_d.csv";
+  ASSERT_TRUE(SaveCsv(t, path).ok());
+  auto loaded = LoadCsv(path, "T");
+  ASSERT_TRUE(loaded.ok());
+  for (size_t i = 0; i < t.NumRows(); ++i) {
+    EXPECT_EQ(loaded->row(i)[0].AsDouble(), t.row(i)[0].AsDouble());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableIo, Errors) {
+  EXPECT_EQ(LoadCsv("/no/such/file.csv", "X").status().code(),
+            StatusCode::kIoError);
+  // Malformed header.
+  const std::string path = ::testing::TempDir() + "/gpr_io_bad.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("justaname\n1\n", f);
+    fclose(f);
+  }
+  EXPECT_EQ(LoadCsv(path, "X").status().code(), StatusCode::kIoError);
+  // Wrong field count.
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("a:Int64,b:Int64\n1\n", f);
+    fclose(f);
+  }
+  auto r = LoadCsv(path, "X");
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gpr::ra

@@ -1,0 +1,69 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/relations.h"
+#include "ra/catalog.h"
+#include "ra/table.h"
+
+namespace gpr::testing {
+
+/// Builds a catalog holding E/V(/VL) for the graph.
+inline ra::Catalog MakeCatalog(const graph::Graph& g) {
+  ra::Catalog catalog;
+  auto st = graph::RegisterGraph(g, &catalog);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return catalog;
+}
+
+/// Extracts a map ID -> value from a two-column (ID, value) table.
+inline std::map<int64_t, double> VectorOf(const ra::Table& t) {
+  std::map<int64_t, double> out;
+  EXPECT_GE(t.schema().NumColumns(), 2u);
+  for (const auto& row : t.rows()) {
+    out[row[0].ToInt64()] = row[1].is_null() ? 0.0 : row[1].ToDouble();
+  }
+  return out;
+}
+
+/// Extracts a map (F, T) -> ew from a three-column matrix table.
+inline std::map<std::pair<int64_t, int64_t>, double> MatrixOf(
+    const ra::Table& t) {
+  std::map<std::pair<int64_t, int64_t>, double> out;
+  EXPECT_GE(t.schema().NumColumns(), 3u);
+  for (const auto& row : t.rows()) {
+    out[{row[0].ToInt64(), row[1].ToInt64()}] =
+        row[2].is_null() ? 0.0 : row[2].ToDouble();
+  }
+  return out;
+}
+
+/// A tiny fixed graph used across tests:
+///
+///   0 → 1 → 2 → 3      4 → 5 (separate component)
+///   0 → 2   3 → 1 (cycle 1→2→3→1)
+inline graph::Graph TinyGraph() {
+  std::vector<graph::Edge> edges = {
+      {0, 1, 1.0}, {0, 2, 1.0}, {1, 2, 1.0},
+      {2, 3, 1.0}, {3, 1, 1.0}, {4, 5, 1.0},
+  };
+  graph::Graph g(6, std::move(edges));
+  graph::Graph with_data = g;
+  return with_data;
+}
+
+/// A small DAG: 0→1, 0→2, 1→3, 2→3, 3→4.
+inline graph::Graph TinyDag() {
+  std::vector<graph::Edge> edges = {
+      {0, 1, 1.0}, {0, 2, 1.0}, {1, 3, 1.0}, {2, 3, 1.0}, {3, 4, 1.0},
+  };
+  return graph::Graph(5, std::move(edges));
+}
+
+}  // namespace gpr::testing

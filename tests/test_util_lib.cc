@@ -1,0 +1,102 @@
+// Tests for the util library: Status/Result, string helpers, PRNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace gpr {
+namespace {
+
+TEST(Status, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  Status s = Status::NotFound("table 'X'");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: table 'X'");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotStratifiable),
+               "NotStratifiable");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  GPR_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(Result, ValueAndErrorPaths) {
+  auto ok = Half(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  EXPECT_EQ(ok.ValueOr(-1), 2);
+
+  auto err = Half(3);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.ValueOr(-1), -1);
+
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd — propagation works
+}
+
+TEST(Result, OkStatusCannotMasqueradeAsValue) {
+  Result<int> r = Status::OK();  // defensive: coerced to an internal error
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(StringUtil, Basics) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), std::vector<std::string>{""});
+  EXPECT_EQ(Trim("  x y\t\n"), "x y");
+  EXPECT_EQ(Join({"a", "b"}, "::"), "a::b");
+  EXPECT_TRUE(StartsWith("select *", "select"));
+  EXPECT_FALSE(StartsWith("sel", "select"));
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(Rng, DeterministicAndWellDistributed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+
+  Xoshiro256 c(7);
+  std::set<uint64_t> seen;
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = c.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+    seen.insert(c.NextBounded(1000));
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+  EXPECT_GT(seen.size(), 990u);  // nearly all buckets hit
+
+  Xoshiro256 d(9);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t v = d.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, SplitMix64MatchesReference) {
+  // Reference values for seed 0 (Vigna's splitmix64).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.Next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.Next(), 0x6e789e6aa1b965f4ULL);
+}
+
+}  // namespace
+}  // namespace gpr

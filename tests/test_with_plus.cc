@@ -1,0 +1,296 @@
+// Tests for the with+ fixpoint executor, the PSM compiler, union-mode
+// semantics, looping control, and engine-profile behaviours.
+#include <gtest/gtest.h>
+
+#include "core/plan.h"
+#include "core/psm.h"
+#include "core/with_plus.h"
+#include "test_util.h"
+
+namespace gpr::core {
+namespace {
+
+namespace ops = ra::ops;
+using gpr::testing::MakeCatalog;
+using gpr::testing::TinyGraph;
+using ra::Col;
+using ra::Lit;
+using ra::Schema;
+using ra::ValueType;
+
+/// TC query over the catalog's E table.
+WithPlusQuery TcQuery(UnionMode mode, int maxrec = 0) {
+  WithPlusQuery q;
+  q.rec_name = "TCx";
+  q.rec_schema = Schema{{"F", ValueType::kInt64}, {"T", ValueType::kInt64}};
+  q.init.push_back(
+      {ProjectOp(Scan("E"),
+                 {ops::As(Col("F"), "F"), ops::As(Col("T"), "T")}),
+       {}});
+  q.recursive.push_back(
+      {ProjectOp(JoinOp(Scan("TCx"), Scan("E"), {{"T"}, {"F"}}),
+                 {ops::As(Col("TCx.F"), "F"), ops::As(Col("E.T"), "T")}),
+       {}});
+  q.mode = mode;
+  q.maxrecursion = maxrec;
+  return q;
+}
+
+TEST(WithPlusValidate, RejectsMalformedQueries) {
+  WithPlusQuery q;
+  EXPECT_FALSE(ValidateWithPlus(q).ok());  // no name
+  q.rec_name = "R";
+  EXPECT_FALSE(ValidateWithPlus(q).ok());  // no schema
+  q.rec_schema = Schema{{"ID", ValueType::kInt64}};
+  EXPECT_FALSE(ValidateWithPlus(q).ok());  // no recursive subquery
+  // An init subquery referencing R is rejected.
+  q.recursive.push_back(
+      {ProjectOp(Scan("R"), {ops::As(Col("ID"), "ID")}), {}});
+  q.init.push_back({ProjectOp(Scan("R"), {ops::As(Col("ID"), "ID")}), {}});
+  EXPECT_FALSE(ValidateWithPlus(q).ok());
+  q.init.clear();
+  q.init.push_back({ProjectOp(Scan("V"), {ops::As(Col("ID"), "ID")}), {}});
+  EXPECT_TRUE(ValidateWithPlus(q).ok());
+  // A recursive subquery NOT referencing R is rejected.
+  q.recursive.push_back(
+      {ProjectOp(Scan("V"), {ops::As(Col("ID"), "ID")}), {}});
+  EXPECT_FALSE(ValidateWithPlus(q).ok());
+  q.recursive.pop_back();
+  // maxrecursion range (SQL-Server hint range).
+  q.maxrecursion = 40000;
+  EXPECT_FALSE(ValidateWithPlus(q).ok());
+  q.maxrecursion = 0;
+  // union-by-update with two recursive subqueries is ambiguous.
+  q.mode = UnionMode::kUnionByUpdate;
+  q.recursive.push_back(q.recursive[0]);
+  EXPECT_FALSE(ValidateWithPlus(q).ok());
+}
+
+TEST(WithPlusExec, UnionDistinctReachesFixpointOnCyclicGraph) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto result =
+      ExecuteWithPlus(TcQuery(UnionMode::kUnionDistinct), catalog,
+                      OracleLike());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+  // TC of TinyGraph: cycle 1,2,3 all reach each other and themselves.
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (const auto& row : result->table.rows()) {
+    pairs.insert({row[0].AsInt64(), row[1].AsInt64()});
+  }
+  EXPECT_TRUE(pairs.count({1, 1}));
+  EXPECT_TRUE(pairs.count({0, 3}));
+  EXPECT_TRUE(pairs.count({4, 5}));
+  EXPECT_FALSE(pairs.count({5, 4}));
+}
+
+TEST(WithPlusExec, UnionAllNeedsMaxrecursionOnCycles) {
+  auto catalog = MakeCatalog(TinyGraph());
+  // On a cyclic graph, union all never converges on its own; maxrecursion
+  // caps the blow-up and reports converged = false.
+  auto result = ExecuteWithPlus(TcQuery(UnionMode::kUnionAll, 4), catalog,
+                                OracleLike());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->converged);
+  EXPECT_EQ(result->iterations, 4u);
+  // Tuples accumulate (duplicates retained) — the Fig 12b effect.
+  ASSERT_EQ(result->iters.size(), 4u);
+  EXPECT_GT(result->iters[3].rec_rows, result->iters[0].rec_rows);
+}
+
+TEST(WithPlusExec, IterationStatsAreRecorded) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto result = ExecuteWithPlus(TcQuery(UnionMode::kUnionDistinct), catalog,
+                                OracleLike());
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->iters.size(), 2u);
+  for (const auto& iter : result->iters) {
+    EXPECT_GE(iter.millis, 0.0);
+  }
+  EXPECT_GT(result->counters.joins, 0u);
+}
+
+TEST(WithPlusExec, TemporariesAreDroppedOnExit) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  auto result = ExecuteWithPlus(TcQuery(UnionMode::kUnionDistinct), catalog,
+                                OracleLike());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(catalog.TableNames(), before);
+}
+
+TEST(WithPlusExec, CollidingRecursiveNameFails) {
+  auto catalog = MakeCatalog(TinyGraph());
+  WithPlusQuery q = TcQuery(UnionMode::kUnionDistinct);
+  q.rec_name = "E";  // collides with the base edge table
+  q.recursive[0] =
+      {ProjectOp(JoinOp(RenameOp(Scan("E"), "Ex"), Scan("V"),
+                        {{"T"}, {"ID"}}),
+                 {ops::As(Col("Ex.F"), "F"), ops::As(Col("Ex.T"), "T")}),
+       {}};
+  // Make the recursive subquery reference "E" (now the rec name).
+  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(WithPlusExec, UnionByUpdateConvergesAndUpdates) {
+  // R(ID, vw): start all 0; each iteration set vw = 1 for nodes with an
+  // in-edge from a vw=1 node or the seed... emulate one-step reachability
+  // from node 0 via max.
+  auto catalog = MakeCatalog(TinyGraph());
+  WithPlusQuery q;
+  q.rec_name = "Rx";
+  q.rec_schema = Schema{{"ID", ValueType::kInt64}, {"vw", ValueType::kDouble}};
+  q.init.push_back(
+      {ProjectOp(Scan("V"),
+                 {ops::As(Col("ID"), "ID"),
+                  ops::As(ra::Mul(ra::Eq(Col("ID"), Lit(int64_t{0})),
+                                  Lit(1.0)),
+                          "vw")}),
+       {}});
+  q.recursive.push_back(
+      {ProjectOp(
+           GroupByOp(JoinOp(Scan("E"), Scan("Rx"), {{"F"}, {"ID"}}),
+                     {"E.T"},
+                     {ra::MaxOf(ra::Mul(Col("Rx.vw"), Col("E.ew")), "m")}),
+           {ops::As(Col("T"), "ID"),
+            ops::As(ra::Call("greatest", {Col("m"), Lit(0.0)}), "vw")}),
+       {}});
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {"ID"};
+  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+}
+
+TEST(WithPlusExec, AllUbuImplsGiveSameFixpointForTC) {
+  // BFS-style queries converge identically under merge / full-outer /
+  // update-from (drop/alter would reject partial coverage).
+  std::map<std::string, std::map<int64_t, double>> results;
+  for (auto impl : {UnionByUpdateImpl::kMerge,
+                    UnionByUpdateImpl::kFullOuterJoin,
+                    UnionByUpdateImpl::kUpdateFrom}) {
+    auto catalog = MakeCatalog(TinyGraph());
+    WithPlusQuery q;
+    q.rec_name = "Rb";
+    q.rec_schema =
+        Schema{{"ID", ValueType::kInt64}, {"vw", ValueType::kDouble}};
+    q.init.push_back(
+        {ProjectOp(Scan("V"),
+                   {ops::As(Col("ID"), "ID"),
+                    ops::As(ra::Mul(ra::Eq(Col("ID"), Lit(int64_t{0})),
+                                    Lit(1.0)),
+                            "vw")}),
+         {}});
+    q.recursive.push_back(
+        {ProjectOp(
+             GroupByOp(JoinOp(Scan("E"), Scan("Rb"), {{"F"}, {"ID"}}),
+                       {"E.T"},
+                       {ra::MaxOf(ra::Mul(Col("Rb.vw"), Col("E.ew")), "m")}),
+             {ops::As(Col("T"), "ID"), ops::As(Col("m"), "vw")}),
+         {}});
+    q.mode = UnionMode::kUnionByUpdate;
+    q.update_keys = {"ID"};
+    q.ubu_impl = impl;
+    const EngineProfile profile = impl == UnionByUpdateImpl::kUpdateFrom
+                                      ? PostgresLike()
+                                      : OracleLike();
+    auto result = ExecuteWithPlus(q, catalog, profile);
+    ASSERT_TRUE(result.ok())
+        << UnionByUpdateImplName(impl) << ": " << result.status();
+    EXPECT_TRUE(result->converged);
+    results[UnionByUpdateImplName(impl)] =
+        gpr::testing::VectorOf(result->table);
+  }
+  const auto& first = results.begin()->second;
+  for (const auto& [name, vec] : results) {
+    EXPECT_EQ(vec, first) << name;
+  }
+}
+
+TEST(WithPlusExec, StratificationGateCanBeToggled) {
+  auto catalog = MakeCatalog(TinyGraph());
+  WithPlusQuery q = TcQuery(UnionMode::kUnionDistinct);
+  // Introduce a computed-by forward reference: rejected when the gate is
+  // on, accepted (and executed, wrongly ordered defs fail at runtime)
+  // otherwise.
+  q.recursive[0].computed_by.push_back(
+      {"Afwd", ProjectOp(Scan("Bfwd"), {ops::As(Col("F"), "F")})});
+  q.recursive[0].computed_by.push_back(
+      {"Bfwd", ProjectOp(Scan("TCx"), {ops::As(Col("F"), "F")})});
+  auto gated = ExecuteWithPlus(q, catalog, OracleLike());
+  EXPECT_FALSE(gated.ok());
+  EXPECT_EQ(gated.status().code(), StatusCode::kNotStratifiable);
+}
+
+// ------------------------------------------------------------ PSM
+
+TEST(Psm, CompileAndSketch) {
+  WithPlusQuery q = TcQuery(UnionMode::kUnionDistinct, 7);
+  auto proc = CompileToPsm(q);
+  ASSERT_TRUE(proc.ok()) << proc.status();
+  EXPECT_EQ(proc->rec_table, "TCx");
+  EXPECT_EQ(proc->blocks.size(), 1u);
+  EXPECT_EQ(proc->blocks[0].cond_var, "C_1");
+  const std::string sketch = proc->ToSqlSketch();
+  EXPECT_NE(sketch.find("create procedure F_TCx"), std::string::npos);
+  EXPECT_NE(sketch.find("loop"), std::string::npos);
+  EXPECT_NE(sketch.find("exit when"), std::string::npos);
+  EXPECT_NE(sketch.find("iteration = 7"), std::string::npos);
+}
+
+// ------------------------------------------------- engine profiles
+
+TEST(EngineProfile, Table1FeatureMatrix) {
+  const auto oracle = OracleLike();
+  const auto db2 = Db2Like();
+  const auto pg = PostgresLike();
+  // Row A: all three support linear recursion only.
+  for (const auto& p : {oracle, db2, pg}) {
+    EXPECT_TRUE(p.with_features.linear_recursion);
+    EXPECT_FALSE(p.with_features.nonlinear_recursion);
+    EXPECT_FALSE(p.with_features.mutual_recursion);
+    EXPECT_FALSE(p.with_features.negation_in_recursion);
+    EXPECT_FALSE(p.with_features.aggregates_in_recursion);
+  }
+  // DB2 is the only one allowing multiple recursive queries.
+  EXPECT_TRUE(db2.with_features.multiple_recursive_queries);
+  EXPECT_FALSE(oracle.with_features.multiple_recursive_queries);
+  // PostgreSQL alone supports union across init/recursive and distinct.
+  EXPECT_TRUE(pg.with_features.union_across_init_and_recursive);
+  EXPECT_TRUE(pg.with_features.distinct_in_recursion);
+  EXPECT_FALSE(oracle.with_features.distinct_in_recursion);
+  EXPECT_FALSE(db2.with_features.distinct_in_recursion);
+  // Oracle alone has cycle detection (search/cycle clauses).
+  EXPECT_TRUE(oracle.with_features.cycle_detection);
+  EXPECT_FALSE(pg.with_features.cycle_detection);
+}
+
+TEST(EngineProfile, JoinChoiceDependsOnStats) {
+  ra::Table temp("tmp", Schema{{"a", ValueType::kInt64}});
+  temp.AddRow({int64_t{1}});
+  const auto pg = PostgresLike();
+  // Temp table without stats: merge join (the paper's suboptimal plan).
+  EXPECT_EQ(pg.ChooseJoin(temp), ops::JoinAlgorithm::kSortMerge);
+  // Analyzed (base) table: hash join.
+  temp.Analyze();
+  EXPECT_EQ(pg.ChooseJoin(temp), ops::JoinAlgorithm::kHash);
+  // Oracle hashes either way.
+  EXPECT_EQ(OracleLike().ChooseJoin(temp), ops::JoinAlgorithm::kHash);
+}
+
+TEST(EngineProfile, ResultsAgreeAcrossProfilesForTC) {
+  std::map<std::string, size_t> rows;
+  for (const auto& profile : AllProfiles()) {
+    auto catalog = MakeCatalog(TinyGraph());
+    auto result = ExecuteWithPlus(TcQuery(UnionMode::kUnionDistinct),
+                                  catalog, profile);
+    ASSERT_TRUE(result.ok()) << profile.name << ": " << result.status();
+    rows[profile.name] = result->table.NumRows();
+  }
+  EXPECT_EQ(rows.at("oracle-like"), rows.at("db2-like"));
+  EXPECT_EQ(rows.at("oracle-like"), rows.at("postgres-like"));
+}
+
+}  // namespace
+}  // namespace gpr::core
