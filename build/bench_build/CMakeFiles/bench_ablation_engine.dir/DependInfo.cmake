@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_engine.cc" "bench_build/CMakeFiles/bench_ablation_engine.dir/bench_ablation_engine.cc.o" "gcc" "bench_build/CMakeFiles/bench_ablation_engine.dir/bench_ablation_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/gpr_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/gpr_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gpr_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gpr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ra/CMakeFiles/gpr_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

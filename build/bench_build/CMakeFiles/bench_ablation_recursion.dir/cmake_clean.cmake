@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_recursion"
+  "../bench/bench_ablation_recursion.pdb"
+  "CMakeFiles/bench_ablation_recursion.dir/bench_ablation_recursion.cc.o"
+  "CMakeFiles/bench_ablation_recursion.dir/bench_ablation_recursion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_recursion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_indexing"
+  "../bench/bench_fig10_indexing.pdb"
+  "CMakeFiles/bench_fig10_indexing.dir/bench_fig10_indexing.cc.o"
+  "CMakeFiles/bench_fig10_indexing.dir/bench_fig10_indexing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_with_vs_withplus"
+  "../bench/bench_fig12_with_vs_withplus.pdb"
+  "CMakeFiles/bench_fig12_with_vs_withplus.dir/bench_fig12_with_vs_withplus.cc.o"
+  "CMakeFiles/bench_fig12_with_vs_withplus.dir/bench_fig12_with_vs_withplus.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_with_vs_withplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_tc_apsp"
+  "../bench/bench_fig13_tc_apsp.pdb"
+  "CMakeFiles/bench_fig13_tc_apsp.dir/bench_fig13_tc_apsp.cc.o"
+  "CMakeFiles/bench_fig13_tc_apsp.dir/bench_fig13_tc_apsp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_tc_apsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_undirected"
+  "../bench/bench_fig7_undirected.pdb"
+  "CMakeFiles/bench_fig7_undirected.dir/bench_fig7_undirected.cc.o"
+  "CMakeFiles/bench_fig7_undirected.dir/bench_fig7_undirected.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_undirected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_directed"
+  "../bench/bench_fig8_directed.pdb"
+  "CMakeFiles/bench_fig8_directed.dir/bench_fig8_directed.cc.o"
+  "CMakeFiles/bench_fig8_directed.dir/bench_fig8_directed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_directed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

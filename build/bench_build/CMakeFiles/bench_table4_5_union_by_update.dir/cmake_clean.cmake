@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_5_union_by_update"
+  "../bench/bench_table4_5_union_by_update.pdb"
+  "CMakeFiles/bench_table4_5_union_by_update.dir/bench_table4_5_union_by_update.cc.o"
+  "CMakeFiles/bench_table4_5_union_by_update.dir/bench_table4_5_union_by_update.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_5_union_by_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_toposort.dir/citation_toposort.cpp.o"
+  "CMakeFiles/citation_toposort.dir/citation_toposort.cpp.o.d"
+  "citation_toposort"
+  "citation_toposort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_toposort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/common.cc" "src/algos/CMakeFiles/gpr_algos.dir/common.cc.o" "gcc" "src/algos/CMakeFiles/gpr_algos.dir/common.cc.o.d"
+  "/root/repo/src/algos/extensions.cc" "src/algos/CMakeFiles/gpr_algos.dir/extensions.cc.o" "gcc" "src/algos/CMakeFiles/gpr_algos.dir/extensions.cc.o.d"
+  "/root/repo/src/algos/ranking.cc" "src/algos/CMakeFiles/gpr_algos.dir/ranking.cc.o" "gcc" "src/algos/CMakeFiles/gpr_algos.dir/ranking.cc.o.d"
+  "/root/repo/src/algos/registry.cc" "src/algos/CMakeFiles/gpr_algos.dir/registry.cc.o" "gcc" "src/algos/CMakeFiles/gpr_algos.dir/registry.cc.o.d"
+  "/root/repo/src/algos/selection.cc" "src/algos/CMakeFiles/gpr_algos.dir/selection.cc.o" "gcc" "src/algos/CMakeFiles/gpr_algos.dir/selection.cc.o.d"
+  "/root/repo/src/algos/traversal.cc" "src/algos/CMakeFiles/gpr_algos.dir/traversal.cc.o" "gcc" "src/algos/CMakeFiles/gpr_algos.dir/traversal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ra/CMakeFiles/gpr_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

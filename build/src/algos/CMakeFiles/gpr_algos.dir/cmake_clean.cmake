@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpr_algos.dir/common.cc.o"
+  "CMakeFiles/gpr_algos.dir/common.cc.o.d"
+  "CMakeFiles/gpr_algos.dir/extensions.cc.o"
+  "CMakeFiles/gpr_algos.dir/extensions.cc.o.d"
+  "CMakeFiles/gpr_algos.dir/ranking.cc.o"
+  "CMakeFiles/gpr_algos.dir/ranking.cc.o.d"
+  "CMakeFiles/gpr_algos.dir/registry.cc.o"
+  "CMakeFiles/gpr_algos.dir/registry.cc.o.d"
+  "CMakeFiles/gpr_algos.dir/selection.cc.o"
+  "CMakeFiles/gpr_algos.dir/selection.cc.o.d"
+  "CMakeFiles/gpr_algos.dir/traversal.cc.o"
+  "CMakeFiles/gpr_algos.dir/traversal.cc.o.d"
+  "libgpr_algos.a"
+  "libgpr_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpr_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

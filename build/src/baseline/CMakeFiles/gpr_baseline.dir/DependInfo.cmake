@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/bsp_engine.cc" "src/baseline/CMakeFiles/gpr_baseline.dir/bsp_engine.cc.o" "gcc" "src/baseline/CMakeFiles/gpr_baseline.dir/bsp_engine.cc.o.d"
+  "/root/repo/src/baseline/native_algos.cc" "src/baseline/CMakeFiles/gpr_baseline.dir/native_algos.cc.o" "gcc" "src/baseline/CMakeFiles/gpr_baseline.dir/native_algos.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gpr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ra/CMakeFiles/gpr_ra.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

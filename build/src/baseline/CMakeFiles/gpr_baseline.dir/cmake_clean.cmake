@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpr_baseline.dir/bsp_engine.cc.o"
+  "CMakeFiles/gpr_baseline.dir/bsp_engine.cc.o.d"
+  "CMakeFiles/gpr_baseline.dir/native_algos.cc.o"
+  "CMakeFiles/gpr_baseline.dir/native_algos.cc.o.d"
+  "libgpr_baseline.a"
+  "libgpr_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpr_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

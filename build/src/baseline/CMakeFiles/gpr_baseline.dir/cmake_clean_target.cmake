@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgpr_baseline.a"
+)

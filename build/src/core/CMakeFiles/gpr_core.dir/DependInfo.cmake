@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate_join.cc" "src/core/CMakeFiles/gpr_core.dir/aggregate_join.cc.o" "gcc" "src/core/CMakeFiles/gpr_core.dir/aggregate_join.cc.o.d"
+  "/root/repo/src/core/anti_join.cc" "src/core/CMakeFiles/gpr_core.dir/anti_join.cc.o" "gcc" "src/core/CMakeFiles/gpr_core.dir/anti_join.cc.o.d"
+  "/root/repo/src/core/datalog.cc" "src/core/CMakeFiles/gpr_core.dir/datalog.cc.o" "gcc" "src/core/CMakeFiles/gpr_core.dir/datalog.cc.o.d"
+  "/root/repo/src/core/engine_profile.cc" "src/core/CMakeFiles/gpr_core.dir/engine_profile.cc.o" "gcc" "src/core/CMakeFiles/gpr_core.dir/engine_profile.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/gpr_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/gpr_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/mutual.cc" "src/core/CMakeFiles/gpr_core.dir/mutual.cc.o" "gcc" "src/core/CMakeFiles/gpr_core.dir/mutual.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/gpr_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/gpr_core.dir/plan.cc.o.d"
+  "/root/repo/src/core/psm.cc" "src/core/CMakeFiles/gpr_core.dir/psm.cc.o" "gcc" "src/core/CMakeFiles/gpr_core.dir/psm.cc.o.d"
+  "/root/repo/src/core/semiring.cc" "src/core/CMakeFiles/gpr_core.dir/semiring.cc.o" "gcc" "src/core/CMakeFiles/gpr_core.dir/semiring.cc.o.d"
+  "/root/repo/src/core/sql99_compat.cc" "src/core/CMakeFiles/gpr_core.dir/sql99_compat.cc.o" "gcc" "src/core/CMakeFiles/gpr_core.dir/sql99_compat.cc.o.d"
+  "/root/repo/src/core/stratify.cc" "src/core/CMakeFiles/gpr_core.dir/stratify.cc.o" "gcc" "src/core/CMakeFiles/gpr_core.dir/stratify.cc.o.d"
+  "/root/repo/src/core/union_by_update.cc" "src/core/CMakeFiles/gpr_core.dir/union_by_update.cc.o" "gcc" "src/core/CMakeFiles/gpr_core.dir/union_by_update.cc.o.d"
+  "/root/repo/src/core/with_plus.cc" "src/core/CMakeFiles/gpr_core.dir/with_plus.cc.o" "gcc" "src/core/CMakeFiles/gpr_core.dir/with_plus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ra/CMakeFiles/gpr_ra.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

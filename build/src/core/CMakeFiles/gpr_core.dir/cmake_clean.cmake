@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpr_core.dir/aggregate_join.cc.o"
+  "CMakeFiles/gpr_core.dir/aggregate_join.cc.o.d"
+  "CMakeFiles/gpr_core.dir/anti_join.cc.o"
+  "CMakeFiles/gpr_core.dir/anti_join.cc.o.d"
+  "CMakeFiles/gpr_core.dir/datalog.cc.o"
+  "CMakeFiles/gpr_core.dir/datalog.cc.o.d"
+  "CMakeFiles/gpr_core.dir/engine_profile.cc.o"
+  "CMakeFiles/gpr_core.dir/engine_profile.cc.o.d"
+  "CMakeFiles/gpr_core.dir/explain.cc.o"
+  "CMakeFiles/gpr_core.dir/explain.cc.o.d"
+  "CMakeFiles/gpr_core.dir/mutual.cc.o"
+  "CMakeFiles/gpr_core.dir/mutual.cc.o.d"
+  "CMakeFiles/gpr_core.dir/plan.cc.o"
+  "CMakeFiles/gpr_core.dir/plan.cc.o.d"
+  "CMakeFiles/gpr_core.dir/psm.cc.o"
+  "CMakeFiles/gpr_core.dir/psm.cc.o.d"
+  "CMakeFiles/gpr_core.dir/semiring.cc.o"
+  "CMakeFiles/gpr_core.dir/semiring.cc.o.d"
+  "CMakeFiles/gpr_core.dir/sql99_compat.cc.o"
+  "CMakeFiles/gpr_core.dir/sql99_compat.cc.o.d"
+  "CMakeFiles/gpr_core.dir/stratify.cc.o"
+  "CMakeFiles/gpr_core.dir/stratify.cc.o.d"
+  "CMakeFiles/gpr_core.dir/union_by_update.cc.o"
+  "CMakeFiles/gpr_core.dir/union_by_update.cc.o.d"
+  "CMakeFiles/gpr_core.dir/with_plus.cc.o"
+  "CMakeFiles/gpr_core.dir/with_plus.cc.o.d"
+  "libgpr_core.a"
+  "libgpr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

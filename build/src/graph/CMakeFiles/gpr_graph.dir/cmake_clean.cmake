@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpr_graph.dir/datasets.cc.o"
+  "CMakeFiles/gpr_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/gpr_graph.dir/generators.cc.o"
+  "CMakeFiles/gpr_graph.dir/generators.cc.o.d"
+  "CMakeFiles/gpr_graph.dir/graph.cc.o"
+  "CMakeFiles/gpr_graph.dir/graph.cc.o.d"
+  "CMakeFiles/gpr_graph.dir/graph_io.cc.o"
+  "CMakeFiles/gpr_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/gpr_graph.dir/relations.cc.o"
+  "CMakeFiles/gpr_graph.dir/relations.cc.o.d"
+  "libgpr_graph.a"
+  "libgpr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ra/aggregate.cc" "src/ra/CMakeFiles/gpr_ra.dir/aggregate.cc.o" "gcc" "src/ra/CMakeFiles/gpr_ra.dir/aggregate.cc.o.d"
+  "/root/repo/src/ra/catalog.cc" "src/ra/CMakeFiles/gpr_ra.dir/catalog.cc.o" "gcc" "src/ra/CMakeFiles/gpr_ra.dir/catalog.cc.o.d"
+  "/root/repo/src/ra/expr.cc" "src/ra/CMakeFiles/gpr_ra.dir/expr.cc.o" "gcc" "src/ra/CMakeFiles/gpr_ra.dir/expr.cc.o.d"
+  "/root/repo/src/ra/operators.cc" "src/ra/CMakeFiles/gpr_ra.dir/operators.cc.o" "gcc" "src/ra/CMakeFiles/gpr_ra.dir/operators.cc.o.d"
+  "/root/repo/src/ra/schema.cc" "src/ra/CMakeFiles/gpr_ra.dir/schema.cc.o" "gcc" "src/ra/CMakeFiles/gpr_ra.dir/schema.cc.o.d"
+  "/root/repo/src/ra/table.cc" "src/ra/CMakeFiles/gpr_ra.dir/table.cc.o" "gcc" "src/ra/CMakeFiles/gpr_ra.dir/table.cc.o.d"
+  "/root/repo/src/ra/table_io.cc" "src/ra/CMakeFiles/gpr_ra.dir/table_io.cc.o" "gcc" "src/ra/CMakeFiles/gpr_ra.dir/table_io.cc.o.d"
+  "/root/repo/src/ra/tuple.cc" "src/ra/CMakeFiles/gpr_ra.dir/tuple.cc.o" "gcc" "src/ra/CMakeFiles/gpr_ra.dir/tuple.cc.o.d"
+  "/root/repo/src/ra/value.cc" "src/ra/CMakeFiles/gpr_ra.dir/value.cc.o" "gcc" "src/ra/CMakeFiles/gpr_ra.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpr_ra.dir/aggregate.cc.o"
+  "CMakeFiles/gpr_ra.dir/aggregate.cc.o.d"
+  "CMakeFiles/gpr_ra.dir/catalog.cc.o"
+  "CMakeFiles/gpr_ra.dir/catalog.cc.o.d"
+  "CMakeFiles/gpr_ra.dir/expr.cc.o"
+  "CMakeFiles/gpr_ra.dir/expr.cc.o.d"
+  "CMakeFiles/gpr_ra.dir/operators.cc.o"
+  "CMakeFiles/gpr_ra.dir/operators.cc.o.d"
+  "CMakeFiles/gpr_ra.dir/schema.cc.o"
+  "CMakeFiles/gpr_ra.dir/schema.cc.o.d"
+  "CMakeFiles/gpr_ra.dir/table.cc.o"
+  "CMakeFiles/gpr_ra.dir/table.cc.o.d"
+  "CMakeFiles/gpr_ra.dir/table_io.cc.o"
+  "CMakeFiles/gpr_ra.dir/table_io.cc.o.d"
+  "CMakeFiles/gpr_ra.dir/tuple.cc.o"
+  "CMakeFiles/gpr_ra.dir/tuple.cc.o.d"
+  "CMakeFiles/gpr_ra.dir/value.cc.o"
+  "CMakeFiles/gpr_ra.dir/value.cc.o.d"
+  "libgpr_ra.a"
+  "libgpr_ra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpr_ra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

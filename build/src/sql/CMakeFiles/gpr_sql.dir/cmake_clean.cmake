@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpr_sql.dir/binder.cc.o"
+  "CMakeFiles/gpr_sql.dir/binder.cc.o.d"
+  "CMakeFiles/gpr_sql.dir/lexer.cc.o"
+  "CMakeFiles/gpr_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/gpr_sql.dir/parser.cc.o"
+  "CMakeFiles/gpr_sql.dir/parser.cc.o.d"
+  "libgpr_sql.a"
+  "libgpr_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpr_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

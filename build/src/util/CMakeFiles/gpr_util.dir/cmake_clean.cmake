@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpr_util.dir/status.cc.o"
+  "CMakeFiles/gpr_util.dir/status.cc.o.d"
+  "CMakeFiles/gpr_util.dir/string_util.cc.o"
+  "CMakeFiles/gpr_util.dir/string_util.cc.o.d"
+  "libgpr_util.a"
+  "libgpr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

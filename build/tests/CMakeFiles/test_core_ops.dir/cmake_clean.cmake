@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_ops.dir/test_core_ops.cc.o"
+  "CMakeFiles/test_core_ops.dir/test_core_ops.cc.o.d"
+  "test_core_ops"
+  "test_core_ops.pdb"
+  "test_core_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datalog.dir/test_datalog.cc.o"
+  "CMakeFiles/test_datalog.dir/test_datalog.cc.o.d"
+  "test_datalog"
+  "test_datalog.pdb"
+  "test_datalog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mutual.dir/test_mutual.cc.o"
+  "CMakeFiles/test_mutual.dir/test_mutual.cc.o.d"
+  "test_mutual"
+  "test_mutual.pdb"
+  "test_mutual[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mutual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

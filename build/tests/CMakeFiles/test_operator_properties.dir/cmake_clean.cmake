@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_operator_properties.dir/test_operator_properties.cc.o"
+  "CMakeFiles/test_operator_properties.dir/test_operator_properties.cc.o.d"
+  "test_operator_properties"
+  "test_operator_properties.pdb"
+  "test_operator_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_operator_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

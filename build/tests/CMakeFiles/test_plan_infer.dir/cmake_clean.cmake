@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan_infer.dir/test_plan_infer.cc.o"
+  "CMakeFiles/test_plan_infer.dir/test_plan_infer.cc.o.d"
+  "test_plan_infer"
+  "test_plan_infer.pdb"
+  "test_plan_infer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

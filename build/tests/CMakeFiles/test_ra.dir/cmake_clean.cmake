@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ra.dir/test_ra.cc.o"
+  "CMakeFiles/test_ra.dir/test_ra.cc.o.d"
+  "test_ra"
+  "test_ra.pdb"
+  "test_ra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

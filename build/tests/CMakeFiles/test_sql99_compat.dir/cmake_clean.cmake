@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sql99_compat.dir/test_sql99_compat.cc.o"
+  "CMakeFiles/test_sql99_compat.dir/test_sql99_compat.cc.o.d"
+  "test_sql99_compat"
+  "test_sql99_compat.pdb"
+  "test_sql99_compat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sql99_compat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sql99_variants.dir/test_sql99_variants.cc.o"
+  "CMakeFiles/test_sql99_variants.dir/test_sql99_variants.cc.o.d"
+  "test_sql99_variants"
+  "test_sql99_variants.pdb"
+  "test_sql99_variants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sql99_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_io.dir/test_table_io.cc.o"
+  "CMakeFiles/test_table_io.dir/test_table_io.cc.o.d"
+  "test_table_io"
+  "test_table_io.pdb"
+  "test_table_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_with_plus.dir/test_with_plus.cc.o"
+  "CMakeFiles/test_with_plus.dir/test_with_plus.cc.o.d"
+  "test_with_plus"
+  "test_with_plus.pdb"
+  "test_with_plus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_with_plus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_algos[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_core_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_datalog[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_ra[1]_include.cmake")
+include("/root/repo/build/tests/test_sql[1]_include.cmake")
+include("/root/repo/build/tests/test_with_plus[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_plan_infer[1]_include.cmake")
+include("/root/repo/build/tests/test_sql99_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_util_lib[1]_include.cmake")
+include("/root/repo/build/tests/test_explain[1]_include.cmake")
+include("/root/repo/build/tests/test_sql99_compat[1]_include.cmake")
+include("/root/repo/build/tests/test_table_io[1]_include.cmake")
+include("/root/repo/build/tests/test_error_paths[1]_include.cmake")
+include("/root/repo/build/tests/test_operator_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_mutual[1]_include.cmake")
