@@ -1,0 +1,139 @@
+// gpr_lint — offline static checking of with+ SQL files.
+//
+//   gpr_lint [--strict] [file.sql ...]
+//
+// Reads statements (separated by a line containing only "go", like the
+// repl) from the given files, or stdin when none are given, and runs the
+// gpr::analysis pass suite against a schema-only catalog:
+//
+//   E(F:Int64, T:Int64, ew:Double)   V(ID:Int64, vw:Double)
+//   VL(ID:Int64, label:Int64)
+//
+// Nothing is executed and no data is needed — this is the pre-execution
+// gate as a batch tool. Exit status: 0 when every statement is clean,
+// 1 when any statement has an error (or, under --strict, a warning),
+// 2 on usage/IO problems.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ra/catalog.h"
+#include "ra/table.h"
+#include "sql/lint.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+using namespace gpr;  // NOLINT
+
+namespace {
+
+ra::Catalog SchemaOnlyCatalog() {
+  using ra::Schema;
+  using ra::Table;
+  using ra::ValueType;
+  ra::Catalog catalog;
+  GPR_CHECK_OK(catalog.CreateTable(Table(
+      "E", Schema{{"F", ValueType::kInt64},
+                  {"T", ValueType::kInt64},
+                  {"ew", ValueType::kDouble}})));
+  GPR_CHECK_OK(catalog.CreateTable(Table(
+      "V", Schema{{"ID", ValueType::kInt64}, {"vw", ValueType::kDouble}})));
+  GPR_CHECK_OK(catalog.CreateTable(Table(
+      "VL",
+      Schema{{"ID", ValueType::kInt64}, {"label", ValueType::kInt64}})));
+  return catalog;
+}
+
+/// Splits input into statements at lines containing only "go"
+/// (case-insensitive). Blank-only statements are dropped.
+std::vector<std::string> SplitStatements(std::istream& in) {
+  std::vector<std::string> statements;
+  std::string buffer;
+  std::string line;
+  auto flush = [&] {
+    if (!Trim(buffer).empty()) statements.push_back(buffer);
+    buffer.clear();
+  };
+  while (std::getline(in, line)) {
+    std::string trimmed(Trim(line));
+    for (auto& c : trimmed) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (trimmed == "go") {
+      flush();
+    } else {
+      buffer += line;
+      buffer += "\n";
+    }
+  }
+  flush();
+  return statements;
+}
+
+/// Lints every statement of one input; returns the number of statements
+/// that failed (errors always; warnings too under strict).
+int LintStream(std::istream& in, const std::string& label,
+               const ra::Catalog& catalog, bool strict) {
+  int failed = 0;
+  const auto statements = SplitStatements(in);
+  for (size_t i = 0; i < statements.size(); ++i) {
+    analysis::DiagnosticBag diags = sql::LintSql(statements[i], catalog);
+    const bool bad =
+        diags.HasErrors() || (strict && diags.NumWarnings() > 0);
+    if (diags.empty()) {
+      std::printf("%s: statement %zu: clean\n", label.c_str(), i + 1);
+    } else {
+      std::printf("%s: statement %zu: %zu error(s), %zu warning(s)\n%s",
+                  label.c_str(), i + 1, diags.NumErrors(),
+                  diags.NumWarnings(), diags.Render().c_str());
+    }
+    if (bad) ++failed;
+  }
+  if (statements.empty()) {
+    std::printf("%s: no statements\n", label.c_str());
+  }
+  return failed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: gpr_lint [--strict] [file.sql ...]\n"
+                  "reads stdin when no files are given; statements are "
+                  "separated by a line containing only 'go'\n");
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return 2;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+
+  const ra::Catalog catalog = SchemaOnlyCatalog();
+  int failed = 0;
+  if (files.empty()) {
+    failed += LintStream(std::cin, "<stdin>", catalog, strict);
+  } else {
+    for (const auto& path : files) {
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+        return 2;
+      }
+      failed += LintStream(in, path, catalog, strict);
+    }
+  }
+  return failed > 0 ? 1 : 0;
+}

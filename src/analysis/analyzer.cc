@@ -1,0 +1,114 @@
+// Pass 0 (structural well-formedness) and the analyzer driver.
+#include "analysis/analyzer.h"
+
+#include "core/plan.h"
+
+namespace gpr::analysis {
+
+namespace {
+
+std::string Quoted(const std::string& s) { return "'" + s + "'"; }
+
+bool References(const core::Subquery& sq, const std::string& name) {
+  std::vector<core::TableRef> refs;
+  core::CollectTableRefs(sq.plan, &refs);
+  for (const auto& def : sq.computed_by) {
+    core::CollectTableRefs(def.plan, &refs);
+  }
+  for (const auto& r : refs) {
+    if (r.name == name) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void CheckStructure(const core::WithPlusQuery& query, DiagnosticBag* diags) {
+  if (query.rec_name.empty()) {
+    diags->AddError("GPR-E001", StatusCode::kInvalidArgument, "with+",
+                    "with+ needs a recursive relation name",
+                    "name the relation: with R(cols) as (...)");
+  }
+  if (query.rec_schema.NumColumns() == 0) {
+    diags->AddError("GPR-E002", StatusCode::kInvalidArgument, "with+",
+                    "recursive relation " + Quoted(query.rec_name) +
+                        " needs a schema",
+                    "declare the column list of the recursive relation");
+  }
+  if (query.recursive.empty()) {
+    diags->AddError("GPR-E003", StatusCode::kInvalidArgument, "with+",
+                    "with+ needs at least one recursive subquery",
+                    "a with+ body is <init> union ... <recursive>");
+  }
+  for (size_t i = 0; i < query.init.size(); ++i) {
+    const std::string path = "init[" + std::to_string(i) + "]";
+    if (References(query.init[i], query.rec_name)) {
+      diags->AddError("GPR-E004", StatusCode::kInvalidArgument, path,
+                      "initial subquery references the recursive relation " +
+                          Quoted(query.rec_name),
+                      "initial subqueries seed the recursion and may only "
+                      "read base tables; move the reference to a recursive "
+                      "subquery");
+    }
+    if (!query.init[i].computed_by.empty()) {
+      diags->AddError("GPR-E009", StatusCode::kNotSupported, path,
+                      "computed by inside initial subqueries is not "
+                      "supported",
+                      "inline the definitions into the initial subquery");
+    }
+  }
+  for (size_t i = 0; i < query.recursive.size(); ++i) {
+    if (!References(query.recursive[i], query.rec_name)) {
+      diags->AddError(
+          "GPR-E005", StatusCode::kInvalidArgument,
+          "recursive[" + std::to_string(i) + "]",
+          "a recursive subquery does not reference " +
+              Quoted(query.rec_name),
+          "move it to the initialization step, or make it read the "
+          "recursive relation");
+    }
+  }
+  if (query.mode == core::UnionMode::kUnionByUpdate &&
+      query.recursive.size() > 1) {
+    diags->AddError("GPR-E006", StatusCode::kInvalidArgument, "with+",
+                    "union by update allows exactly one recursive subquery "
+                    "(the updated value is not unique otherwise)",
+                    "merge the subqueries or switch the union mode");
+  }
+  if (query.maxrecursion < 0 || query.maxrecursion > 32767) {
+    diags->AddError("GPR-E007", StatusCode::kInvalidArgument, "with+",
+                    "maxrecursion must be between 0 and 32767",
+                    "0 means unbounded; pick a cap within range");
+  }
+  if (query.sql99_working_table &&
+      query.mode == core::UnionMode::kUnionByUpdate) {
+    diags->AddError("GPR-E008", StatusCode::kInvalidArgument, "with+",
+                    "working-table semantics apply to union all / union, "
+                    "not to union by update",
+                    "clear sql99_working_table or change the union mode");
+  }
+}
+
+DiagnosticBag AnalyzeWithPlus(const core::WithPlusQuery& query,
+                              const ra::Catalog& catalog) {
+  DiagnosticBag diags;
+  CheckStructure(query, &diags);
+  // A structurally broken query (no recursive subqueries, shadowed names,
+  // ...) would only produce cascade noise in the later passes.
+  if (diags.HasErrors()) return diags;
+  CheckQueryTypes(query, catalog, &diags);
+  if (query.check_stratification) {
+    CheckStratification(query, &diags);
+  }
+  CheckConvergence(query, &diags);
+  return diags;
+}
+
+Status GateWithPlus(const core::WithPlusQuery& query,
+                    const ra::Catalog& catalog, size_t* num_warnings) {
+  DiagnosticBag diags = AnalyzeWithPlus(query, catalog);
+  if (num_warnings != nullptr) *num_warnings = diags.NumWarnings();
+  return diags.ToStatus();
+}
+
+}  // namespace gpr::analysis

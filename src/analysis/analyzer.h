@@ -1,0 +1,78 @@
+// Static plan analyzer for with+ queries (the pre-execution gate).
+//
+// Runs entirely over the bound query — no data is touched — and produces
+// Diagnostics (diagnostic.h) instead of late runtime failures:
+//
+//   1. type-flow pass (type_flow.cc): propagates column types through every
+//      plan node, rejecting unknown tables/columns, incompatible set
+//      operations, bad join keys, and subquery schemas that do not match
+//      the declared recursive relation — each with a precise plan path;
+//   2. stratification pass (stratification.cc): re-derives the X/Y temporal
+//      labeling from the query structure and reports *which* rule or
+//      predicate breaks XY-stratification (Theorem 5.1), instead of the
+//      executor's single kNotStratifiable verdict;
+//   3. convergence pass (convergence.cc): lints for non-monotone aggregates
+//      under union-by-update, unbounded recursion without a maxrecursion
+//      guard, and negation that crosses iteration strata under SQL'99
+//      working-table semantics.
+//
+// AnalyzeWithPlus runs all passes; GateWithPlus is the mandatory
+// pre-execution hook called by ExecuteWithPlus (bypassable per engine
+// profile for A/B testing — EngineProfile::static_analysis_gate).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "analysis/diagnostic.h"
+#include "core/with_plus.h"
+#include "ra/catalog.h"
+
+namespace gpr::analysis {
+
+/// Schemas for names not (yet) in the catalog — the recursive relation and
+/// computed-by definitions while analyzing a with+ body.
+using SchemaOverlays = std::unordered_map<std::string, ra::Schema>;
+
+/// Pass 1 over one plan: mirrors core::InferSchema but records a diagnostic
+/// (and keeps going where possible) instead of failing on the first error.
+/// Returns the inferred output schema when the plan types, nullopt
+/// otherwise. `root_path` prefixes every reported plan path.
+std::optional<ra::Schema> CheckPlanTypes(const core::PlanPtr& plan,
+                                         const ra::Catalog& catalog,
+                                         const SchemaOverlays& overlays,
+                                         const std::string& root_path,
+                                         DiagnosticBag* diags);
+
+/// Pass 1 over a whole query: every init/recursive subquery and computed-by
+/// definition, plus recursive-schema compatibility and update-key checks.
+void CheckQueryTypes(const core::WithPlusQuery& query,
+                     const ra::Catalog& catalog, DiagnosticBag* diags);
+
+/// Pass 2: static XY-stratification verification with per-rule reporting.
+void CheckStratification(const core::WithPlusQuery& query,
+                         DiagnosticBag* diags);
+
+/// Pass 3: convergence / monotonicity lints.
+void CheckConvergence(const core::WithPlusQuery& query, DiagnosticBag* diags);
+
+/// Structural well-formedness (the GPR-E0xx family): the checks
+/// ValidateWithPlus / CompileToPsm perform, reported as diagnostics.
+void CheckStructure(const core::WithPlusQuery& query, DiagnosticBag* diags);
+
+/// All passes in order. Passes whose prerequisites failed are skipped to
+/// avoid cascading noise (e.g. type flow is skipped for a query with no
+/// recursive subqueries).
+DiagnosticBag AnalyzeWithPlus(const core::WithPlusQuery& query,
+                              const ra::Catalog& catalog);
+
+/// The mandatory pre-execution gate: analyzes and converts error-severity
+/// findings into a Status whose StatusCode matches what the executor would
+/// have raised at runtime. Warnings never block; their count is reported
+/// through `num_warnings` when non-null.
+Status GateWithPlus(const core::WithPlusQuery& query,
+                    const ra::Catalog& catalog,
+                    size_t* num_warnings = nullptr);
+
+}  // namespace gpr::analysis

@@ -1,0 +1,141 @@
+// Pass 3 of the static plan analyzer: convergence / monotonicity lints.
+//
+// "Algebra + while" runs until the delta is empty; whether that ever
+// happens depends on the ⊕ the recursion folds new values with (Section 4)
+// and on the union mode. This pass flags the combinations that provably
+// cannot converge (errors) or commonly fail to (warnings):
+//
+//   GPR-E301  avg under union by update — avg is neither monotone nor
+//             idempotent, so the per-key value never stabilizes.
+//   GPR-W302  non-monotone ⊕ (sum / count / plus_times) under keyed union
+//             by update with no maxrecursion cap — value iteration
+//             (PageRank-style) only terminates by cap or exact fixpoint.
+//   GPR-E303  negation over the recursive relation under SQL'99
+//             working-table semantics — the working table holds only the
+//             last iteration's tuples, so ¬R reads an incomplete stratum.
+//   GPR-W401  union all with no cap, no negation, and whole-relation
+//             semantics — every nonempty delta re-derives itself, so the
+//             recursion diverges unless some input is empty.
+#include <unordered_set>
+
+#include "analysis/analyzer.h"
+#include "core/plan.h"
+#include "core/semiring.h"
+
+namespace gpr::analysis {
+
+namespace {
+
+using core::PlanKind;
+using core::PlanPtr;
+
+/// Collects the ⊕ aggregates a plan folds values with: group-by AggKinds
+/// plus the `add` side of every MM/MV-join semiring, with the name of the
+/// first non-monotone source for the report.
+struct AggScan {
+  bool non_monotone = false;  ///< sum / count / avg / plus_times seen
+  bool has_avg = false;
+  std::string source;  ///< e.g. "sum" or "semiring plus_times"
+
+  void Note(ra::AggKind kind, const std::string& what) {
+    if (kind == ra::AggKind::kAvg) has_avg = true;
+    if (kind == ra::AggKind::kSum || kind == ra::AggKind::kCount ||
+        kind == ra::AggKind::kAvg) {
+      if (!non_monotone) source = what;
+      non_monotone = true;
+    }
+  }
+
+  void Walk(const PlanPtr& plan) {
+    if (plan->kind == PlanKind::kGroupBy) {
+      for (const auto& agg : plan->aggs) {
+        Note(agg.kind, std::string(ra::AggKindName(agg.kind)));
+      }
+    }
+    if (plan->kind == PlanKind::kMMJoin || plan->kind == PlanKind::kMVJoin) {
+      Note(plan->semiring.add, "semiring " + plan->semiring.name);
+    }
+    for (const auto& c : plan->children) Walk(c);
+  }
+};
+
+/// True when any recursive subquery (or its computed-by definitions)
+/// references `name` in a negated position.
+bool NegatesRelation(const core::WithPlusQuery& query,
+                     const std::string& name, std::string* where) {
+  for (size_t i = 0; i < query.recursive.size(); ++i) {
+    std::vector<core::TableRef> refs;
+    core::CollectTableRefs(query.recursive[i].plan, &refs);
+    for (const auto& def : query.recursive[i].computed_by) {
+      core::CollectTableRefs(def.plan, &refs);
+    }
+    for (const auto& r : refs) {
+      if (r.negated && r.name == name) {
+        *where = "recursive[" + std::to_string(i) + "]";
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void CheckConvergence(const core::WithPlusQuery& query,
+                      DiagnosticBag* diags) {
+  AggScan aggs;
+  bool any_negation = false;
+  for (const auto& sq : query.recursive) {
+    aggs.Walk(sq.plan);
+    any_negation = any_negation || core::PlanUsesNegation(sq.plan);
+    for (const auto& def : sq.computed_by) {
+      aggs.Walk(def.plan);
+      any_negation = any_negation || core::PlanUsesNegation(def.plan);
+    }
+  }
+
+  if (query.mode == core::UnionMode::kUnionByUpdate) {
+    if (aggs.has_avg) {
+      diags->AddError(
+          "GPR-E301", StatusCode::kInvalidArgument, "recursive",
+          "avg inside a union-by-update recursion: avg is neither monotone "
+          "nor idempotent, so updated values cannot stabilize",
+          "fold with sum/min/max and divide outside the recursion");
+    } else if (aggs.non_monotone && !query.update_keys.empty() &&
+               query.maxrecursion == 0) {
+      diags->AddWarning(
+          "GPR-W302", "recursive",
+          "value recursion folds with non-monotone ⊕ (" + aggs.source +
+              ") under union by update without a maxrecursion cap — "
+              "termination depends on reaching an exact numeric fixpoint",
+          "add `maxrecursion k` (the paper caps PageRank-style iteration) "
+          "or switch to a monotone ⊕ (min/max)");
+    }
+  }
+
+  std::string where;
+  if (query.sql99_working_table &&
+      NegatesRelation(query, query.rec_name, &where)) {
+    diags->AddError(
+        "GPR-E303", StatusCode::kInvalidArgument, where,
+        "negation over " + std::string("'") + query.rec_name +
+            "' under SQL'99 working-table semantics: the working table "
+            "holds only the previous iteration's tuples, so the negation "
+            "reads an incomplete stratum",
+        "clear sql99_working_table (whole-relation semantics) or negate a "
+        "materialized computed-by snapshot instead");
+  }
+
+  if (query.mode == core::UnionMode::kUnionAll && query.maxrecursion == 0 &&
+      !query.sql99_working_table && !any_negation) {
+    diags->AddWarning(
+        "GPR-W401", "recursive",
+        "union all over the whole relation with no maxrecursion cap and no "
+        "negation: every nonempty delta re-derives itself, so the "
+        "recursion cannot converge",
+        "add `maxrecursion k`, use union (distinct), subtract the previous "
+        "state (anti-join), or set SQL'99 working-table semantics");
+  }
+}
+
+}  // namespace gpr::analysis

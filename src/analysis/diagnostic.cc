@@ -1,0 +1,77 @@
+#include "analysis/diagnostic.h"
+
+#include <sstream>
+
+namespace gpr::analysis {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  os << SeverityName(severity) << " " << code;
+  if (!plan_path.empty()) os << " [" << plan_path << "]";
+  os << ": " << message;
+  if (!hint.empty()) os << "\n  fix: " << hint;
+  return os.str();
+}
+
+void DiagnosticBag::AddError(std::string code, StatusCode status_code,
+                             std::string path, std::string message,
+                             std::string hint) {
+  Add({Severity::kError, std::move(code), std::move(path), std::move(message),
+       std::move(hint), status_code});
+}
+
+void DiagnosticBag::AddWarning(std::string code, std::string path,
+                               std::string message, std::string hint) {
+  Add({Severity::kWarning, std::move(code), std::move(path),
+       std::move(message), std::move(hint), StatusCode::kInvalidArgument});
+}
+
+size_t DiagnosticBag::NumErrors() const {
+  size_t n = 0;
+  for (const auto& d : diags_) n += d.severity == Severity::kError ? 1 : 0;
+  return n;
+}
+
+size_t DiagnosticBag::NumWarnings() const {
+  size_t n = 0;
+  for (const auto& d : diags_) n += d.severity == Severity::kWarning ? 1 : 0;
+  return n;
+}
+
+bool DiagnosticBag::Has(const std::string& code) const {
+  for (const auto& d : diags_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string DiagnosticBag::Render() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) os << d.ToString() << "\n";
+  return os.str();
+}
+
+Status DiagnosticBag::ToStatus() const {
+  for (const auto& d : diags_) {
+    if (d.severity != Severity::kError) continue;
+    std::ostringstream os;
+    os << d.code;
+    if (!d.plan_path.empty()) os << " [" << d.plan_path << "]";
+    os << ": " << d.message;
+    if (!d.hint.empty()) os << " (fix: " << d.hint << ")";
+    if (size() > 1) os << " [+" << size() - 1 << " more diagnostics]";
+    return Status(d.status_code, os.str());
+  }
+  return Status::OK();
+}
+
+}  // namespace gpr::analysis

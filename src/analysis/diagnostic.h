@@ -1,0 +1,67 @@
+// The diagnostic model of the static plan analyzer (gpr::analysis).
+//
+// Every finding carries a stable code ("GPR-E107"), a severity, the plan
+// path that locates the offending node inside a with+ query
+// ("recursive[0]/computed_by[L_n]/GroupBy"), a message, and an optional
+// fix-it hint. docs/diagnostics.md catalogues every code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gpr::analysis {
+
+enum class Severity { kError, kWarning, kNote };
+
+const char* SeverityName(Severity s);
+
+/// One analyzer finding.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;       ///< stable identifier, e.g. "GPR-E107"
+  std::string plan_path;  ///< "recursive[0]/Project/Join/Scan(E)"
+  std::string message;
+  std::string hint;       ///< optional fix-it suggestion
+  /// The StatusCode the pre-execution gate reports for this finding —
+  /// chosen to match what the executor would have raised at runtime.
+  StatusCode status_code = StatusCode::kInvalidArgument;
+
+  /// "error GPR-E107 [init[0]]: message\n  fix: hint".
+  std::string ToString() const;
+};
+
+/// An ordered collection of diagnostics produced by the analyzer passes.
+class DiagnosticBag {
+ public:
+  void Add(Diagnostic d) { diags_.push_back(std::move(d)); }
+  void AddError(std::string code, StatusCode status_code, std::string path,
+                std::string message, std::string hint = "");
+  void AddWarning(std::string code, std::string path, std::string message,
+                  std::string hint = "");
+
+  bool empty() const { return diags_.empty(); }
+  size_t size() const { return diags_.size(); }
+  size_t NumErrors() const;
+  size_t NumWarnings() const;
+  bool HasErrors() const { return NumErrors() > 0; }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  /// True if some diagnostic carries `code` (e.g. "GPR-E107").
+  bool Has(const std::string& code) const;
+
+  /// Multi-line rendering, one ToString() per diagnostic.
+  std::string Render() const;
+
+  /// OK when no error-severity diagnostic is present; otherwise a Status
+  /// built from the first error (its mapped StatusCode, its message
+  /// prefixed with code and plan path, and the total finding count).
+  Status ToStatus() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace gpr::analysis

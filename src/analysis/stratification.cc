@@ -1,0 +1,214 @@
+// Pass 2 of the static plan analyzer: XY-stratification verification.
+//
+// Re-derives the temporal (X/Y) labeling of Theorem 5.1 directly from the
+// query structure — the same lowering core::LowerToDatalog performs — but
+// keeps a plan path per rule, so a violation names the subquery or
+// computed-by definition responsible instead of a bare kNotStratifiable.
+//
+// The syntax of with+ guarantees XY-stratifiability for well-ordered
+// computed-by chains (the point of Theorem 5.1), so the orderings checks
+// (GPR-E201..E203) are the findings with+ programs can actually produce;
+// the bi-state cycle check (GPR-E204) is defense-in-depth over the full
+// Definition 9.2 condition.
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/analyzer.h"
+#include "core/datalog.h"
+#include "core/plan.h"
+
+namespace gpr::analysis {
+
+namespace {
+
+using core::DatalogLiteral;
+using core::DatalogProgram;
+using core::DatalogRule;
+using core::TableRef;
+using core::TemporalArg;
+
+std::string Quoted(const std::string& s) { return "'" + s + "'"; }
+
+/// One lowered rule plus the plan path it came from.
+struct PathedRule {
+  DatalogRule rule;
+  std::string path;
+};
+
+/// Body literals of one plan, with the temporal arguments of the Theorem
+/// 5.1 construction: the recursive relation reads the previous stage (T),
+/// computed-by definitions the current stage (s(T)), base tables none.
+std::vector<DatalogLiteral> BodyOf(
+    const core::PlanPtr& plan, const std::string& rec_name,
+    const std::unordered_set<std::string>& defs) {
+  std::vector<TableRef> refs;
+  core::CollectTableRefs(plan, &refs);
+  std::vector<DatalogLiteral> body;
+  for (const auto& ref : refs) {
+    DatalogLiteral lit;
+    lit.predicate = ref.name;
+    lit.negated = ref.negated;
+    if (ref.name == rec_name) {
+      lit.temporal = TemporalArg::kT;
+    } else if (defs.count(ref.name)) {
+      lit.temporal = TemporalArg::kST;
+    }
+    body.push_back(std::move(lit));
+  }
+  return body;
+}
+
+/// True when `to` can reach `from` along `adj` — i.e. the edge from→to lies
+/// on a cycle.
+bool Reaches(const std::unordered_map<std::string,
+                                      std::unordered_set<std::string>>& adj,
+             const std::string& start, const std::string& goal) {
+  std::unordered_set<std::string> seen{start};
+  std::vector<std::string> stack{start};
+  while (!stack.empty()) {
+    std::string cur = stack.back();
+    stack.pop_back();
+    if (cur == goal) return true;
+    auto it = adj.find(cur);
+    if (it == adj.end()) continue;
+    for (const auto& next : it->second) {
+      if (seen.insert(next).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void CheckStratification(const core::WithPlusQuery& query,
+                         DiagnosticBag* diags) {
+  std::vector<PathedRule> rules;
+  const size_t errors_before = diags->NumErrors();
+
+  for (size_t i = 0; i < query.recursive.size(); ++i) {
+    const core::Subquery& sq = query.recursive[i];
+    const std::string path = "recursive[" + std::to_string(i) + "]";
+
+    std::unordered_set<std::string> defs;
+    for (const auto& def : sq.computed_by) defs.insert(def.name);
+
+    // Computed-by ordering: each definition may shadow nothing, be defined
+    // once, and reference only itself and earlier definitions.
+    std::unordered_set<std::string> seen;
+    for (const auto& def : sq.computed_by) {
+      const std::string dpath = path + "/computed_by[" + def.name + "]";
+      if (def.name == query.rec_name) {
+        diags->AddError("GPR-E202", StatusCode::kInvalidArgument, dpath,
+                        "computed-by definition shadows the recursive "
+                        "relation " + Quoted(def.name),
+                        "rename the definition; the recursive relation is "
+                        "already visible inside the subquery");
+        continue;
+      }
+      if (!seen.insert(def.name).second) {
+        diags->AddError("GPR-E203", StatusCode::kInvalidArgument, dpath,
+                        "computed-by definition " + Quoted(def.name) +
+                            " is defined twice",
+                        "each `as`-definition needs a distinct name");
+        continue;
+      }
+      std::vector<TableRef> refs;
+      core::CollectTableRefs(def.plan, &refs);
+      for (const auto& ref : refs) {
+        if (defs.count(ref.name) && !seen.count(ref.name)) {
+          diags->AddError(
+              "GPR-E201", StatusCode::kNotStratifiable, dpath,
+              "computed-by definition " + Quoted(def.name) + " references " +
+                  Quoted(ref.name) + " before it is defined — the chain "
+                  "must be cycle-free (Section 6)",
+              "reorder the definitions so " + Quoted(ref.name) +
+                  " comes first, or break the cycle");
+        }
+      }
+      rules.push_back(
+          {DatalogRule{{def.name, false, TemporalArg::kST},
+                       BodyOf(def.plan, query.rec_name, defs)},
+           dpath});
+    }
+
+    // Delta rule:  Δ_i(s(T)) :- <subquery body>.
+    const std::string delta = "delta_" + std::to_string(i);
+    rules.push_back({DatalogRule{{delta, false, TemporalArg::kST},
+                                 BodyOf(sq.plan, query.rec_name, defs)},
+                     path});
+
+    // Combination rules (union-all copy/add, or the Eq. 22 pair).
+    switch (query.mode) {
+      case core::UnionMode::kUnionAll:
+      case core::UnionMode::kUnionDistinct: {
+        rules.push_back(
+            {DatalogRule{{query.rec_name, false, TemporalArg::kST},
+                         {{query.rec_name, false, TemporalArg::kT}}},
+             path});
+        rules.push_back({DatalogRule{{query.rec_name, false, TemporalArg::kST},
+                                     {{delta, false, TemporalArg::kST}}},
+                         path});
+        break;
+      }
+      case core::UnionMode::kUnionByUpdate: {
+        rules.push_back(
+            {DatalogRule{{query.rec_name, false, TemporalArg::kST},
+                         {{query.rec_name, false, TemporalArg::kT},
+                          {delta, true, TemporalArg::kST}}},
+             path});
+        rules.push_back({DatalogRule{{query.rec_name, false, TemporalArg::kST},
+                                     {{delta, false, TemporalArg::kST}}},
+                         path});
+        break;
+      }
+    }
+  }
+
+  // Ordering violations leave the program incomplete; stop before deriving
+  // spurious cycle findings from it.
+  if (diags->NumErrors() > errors_before) return;
+
+  DatalogProgram program;
+  for (const auto& pr : rules) program.rules.push_back(pr.rule);
+
+  // Definition 9.3: every rule must be an X-rule or a Y-rule. The lowering
+  // labels stages so this holds by construction; report defensively.
+  Status xy = core::CheckXYProgram(program);
+  if (!xy.ok()) {
+    diags->AddError("GPR-E204", StatusCode::kNotStratifiable, "with+",
+                    "not an XY-program: " + xy.message(),
+                    "see docs/diagnostics.md#gpr-e204");
+    return;
+  }
+
+  // Definition 9.2 over the bi-state image: no negative edge on a cycle.
+  // Attribute the finding to the source rule that carries the negation.
+  DatalogProgram bistate = core::BiState(program);
+  std::unordered_map<std::string, std::unordered_set<std::string>> adj;
+  for (const auto& rule : bistate.rules) {
+    for (const auto& lit : rule.body) {
+      adj[lit.predicate].insert(rule.head.predicate);
+    }
+  }
+  for (size_t r = 0; r < bistate.rules.size(); ++r) {
+    const DatalogRule& rule = bistate.rules[r];
+    for (size_t b = 0; b < rule.body.size(); ++b) {
+      const DatalogLiteral& lit = rule.body[b];
+      if (!lit.negated) continue;
+      if (!Reaches(adj, rule.head.predicate, lit.predicate)) continue;
+      // BiState maps rules and body literals 1:1, so (r, b) indexes the
+      // original program/paths too.
+      const std::string& original = rules[r].rule.body[b].predicate;
+      diags->AddError(
+          "GPR-E204", StatusCode::kNotStratifiable, rules[r].path,
+          "negation of " + Quoted(original) + " (bi-state " +
+              Quoted(lit.predicate) + ") lies on a recursive cycle — the "
+              "program is not XY-stratified (Definition 9.2)",
+          "move the negated relation out of the recursion or negate the "
+          "previous iteration's state");
+      return;
+    }
+  }
+}
+
+}  // namespace gpr::analysis

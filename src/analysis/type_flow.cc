@@ -1,0 +1,372 @@
+// Pass 1 of the static plan analyzer: schema/type dataflow.
+//
+// Walks every plan bottom-up, mirroring core::InferSchema *and* the checks
+// the executor performs lazily (join-key resolution, set-operation
+// compatibility, aggregate-join column bindings), so that a query that
+// would fail mid-fixpoint fails here instead — with the plan path of the
+// offending node. Where InferSchema stops at the first error, this pass
+// keeps checking sibling subtrees to report as many findings as possible.
+#include <sstream>
+
+#include "analysis/analyzer.h"
+#include "core/plan.h"
+#include "ra/expr.h"
+
+namespace gpr::analysis {
+
+namespace {
+
+using core::Plan;
+using core::PlanKind;
+using core::PlanPtr;
+using ra::Schema;
+using ra::ValueType;
+
+std::string Quoted(const std::string& s) { return "'" + s + "'"; }
+
+struct TypeChecker {
+  const ra::Catalog& catalog;
+  const SchemaOverlays& overlays;
+  DiagnosticBag* diags;
+
+  /// Path of `plan` under `parent_path`: "Scan(E)" for scans, the node's
+  /// kind name otherwise.
+  static std::string PathOf(const PlanPtr& plan,
+                            const std::string& parent_path) {
+    std::string label = core::PlanKindName(plan->kind);
+    if (plan->kind == PlanKind::kScan) label += "(" + plan->table_name + ")";
+    return parent_path.empty() ? label : parent_path + "/" + label;
+  }
+
+  /// Records E102 when `expr` does not bind against `schema` (the same
+  /// Compile the executor runs per-tuple-batch at runtime). Returns the
+  /// result type when it binds.
+  std::optional<ValueType> CheckExpr(const ra::ExprPtr& expr,
+                                     const Schema& schema,
+                                     const std::string& path,
+                                     const std::string& role) {
+    auto compiled = ra::Compile(expr, schema);
+    if (!compiled.ok()) {
+      diags->AddError("GPR-E102", StatusCode::kBindError, path,
+                      role + " does not bind: " + compiled.status().message(),
+                      "reference one of the input columns " +
+                          schema.ToString());
+      return std::nullopt;
+    }
+    return compiled->result_type();
+  }
+
+  /// Records E104 when `col` is missing from `schema`.
+  bool CheckColumn(const std::string& col, const Schema& schema,
+                   const std::string& path, const std::string& role) {
+    if (schema.Has(col)) return true;
+    diags->AddError("GPR-E104", StatusCode::kBindError, path,
+                    role + " column " + Quoted(col) +
+                        " is not produced by the input",
+                    "available columns: " + schema.ToString());
+    return false;
+  }
+
+  std::optional<Schema> Check(const PlanPtr& plan,
+                              const std::string& parent_path) {
+    const std::string path = PathOf(plan, parent_path);
+    auto child = [&](size_t i) { return Check(plan->children[i], path); };
+
+    switch (plan->kind) {
+      case PlanKind::kScan: {
+        auto it = overlays.find(plan->table_name);
+        if (it != overlays.end()) return it->second;
+        auto t = catalog.Get(plan->table_name);
+        if (!t.ok()) {
+          diags->AddError("GPR-E101", StatusCode::kNotFound, path,
+                          "unknown table " + Quoted(plan->table_name),
+                          "create the table or fix the spelling; computed-by "
+                          "definitions are visible only after their own "
+                          "definition");
+          return std::nullopt;
+        }
+        return (*t)->schema();
+      }
+
+      case PlanKind::kSelect: {
+        auto in = child(0);
+        if (!in) return std::nullopt;
+        if (plan->predicate != nullptr) {
+          CheckExpr(plan->predicate, *in, path, "selection predicate");
+        }
+        return in;
+      }
+
+      case PlanKind::kProject: {
+        auto in = child(0);
+        if (!in) return std::nullopt;
+        std::vector<ra::Column> cols;
+        bool all_ok = true;
+        for (const auto& item : plan->items) {
+          auto t = CheckExpr(item.expr, *in, path,
+                             "projection item " + Quoted(item.name));
+          if (t) {
+            cols.push_back({item.name, *t});
+          } else {
+            all_ok = false;
+          }
+        }
+        if (!all_ok) return std::nullopt;
+        return Schema(std::move(cols));
+      }
+
+      case PlanKind::kJoin:
+      case PlanKind::kLeftOuterJoin:
+      case PlanKind::kSemiJoin:
+      case PlanKind::kAntiJoin: {
+        auto l = child(0);
+        auto r = child(1);
+        if (l && plan->keys.left.size() != plan->keys.right.size()) {
+          diags->AddError(
+              "GPR-E104", StatusCode::kBindError, path,
+              "join has " + std::to_string(plan->keys.left.size()) +
+                  " left key(s) but " +
+                  std::to_string(plan->keys.right.size()) + " right key(s)",
+              "equi-join keys come in pairs");
+        }
+        if (l) {
+          for (const auto& k : plan->keys.left) {
+            CheckColumn(k, *l, path, "left join-key");
+          }
+        }
+        if (r) {
+          for (const auto& k : plan->keys.right) {
+            CheckColumn(k, *r, path, "right join-key");
+          }
+        }
+        if (!l || !r) return std::nullopt;
+        // Semi/anti joins produce the left input unchanged.
+        if (plan->kind == PlanKind::kSemiJoin ||
+            plan->kind == PlanKind::kAntiJoin) {
+          return l;
+        }
+        return Joined(plan, *l, *r, path);
+      }
+
+      case PlanKind::kCrossProduct: {
+        auto l = child(0);
+        auto r = child(1);
+        if (!l || !r) return std::nullopt;
+        return Joined(plan, *l, *r, path);
+      }
+
+      case PlanKind::kUnionAll:
+      case PlanKind::kUnionDistinct:
+      case PlanKind::kDifference:
+      case PlanKind::kIntersect: {
+        auto l = child(0);
+        auto r = child(1);
+        if (l && r && !l->UnionCompatible(*r)) {
+          diags->AddError(
+              "GPR-E103", StatusCode::kTypeMismatch, path,
+              std::string(core::PlanKindName(plan->kind)) +
+                  " inputs are not union-compatible: " + l->ToString() +
+                  " vs " + r->ToString(),
+              "both inputs need the same column count and types");
+        }
+        return l;
+      }
+
+      case PlanKind::kDistinct:
+      case PlanKind::kSort: {
+        auto in = child(0);
+        if (!in) return std::nullopt;
+        for (const auto& c : plan->sort_cols) {
+          CheckColumn(c, *in, path, "sort");
+        }
+        return in;
+      }
+
+      case PlanKind::kGroupBy: {
+        auto in = child(0);
+        if (!in) return std::nullopt;
+        std::vector<ra::Column> cols;
+        bool all_ok = true;
+        for (const auto& g : plan->group_cols) {
+          auto idx = in->IndexOf(g);
+          if (!idx) {
+            all_ok = false;
+            diags->AddError("GPR-E102", StatusCode::kBindError, path,
+                            "group-by column " + Quoted(g) +
+                                " is not produced by the input",
+                            "available columns: " + in->ToString());
+            continue;
+          }
+          cols.push_back(in->column(*idx));
+        }
+        for (const auto& agg : plan->aggs) {
+          ValueType t = ValueType::kInt64;
+          if (agg.arg != nullptr) {
+            auto at = CheckExpr(agg.arg, *in, path,
+                                "aggregate argument of " + Quoted(agg.out_name));
+            if (!at) {
+              all_ok = false;
+              continue;
+            }
+            t = *at;
+          }
+          if (agg.kind == ra::AggKind::kCount) t = ValueType::kInt64;
+          if (agg.kind == ra::AggKind::kAvg) t = ValueType::kDouble;
+          cols.push_back({agg.out_name, t});
+        }
+        if (!all_ok) return std::nullopt;
+        return Schema(std::move(cols));
+      }
+
+      case PlanKind::kRename: {
+        auto in = child(0);
+        if (!in) return std::nullopt;
+        if (plan->col_names.empty()) return in;
+        if (plan->col_names.size() != in->NumColumns()) {
+          diags->AddError(
+              "GPR-E105", StatusCode::kInvalidArgument, path,
+              "rename provides " + std::to_string(plan->col_names.size()) +
+                  " column name(s) for " + std::to_string(in->NumColumns()) +
+                  " column(s)",
+              "rename columns positionally, one name per input column");
+          return std::nullopt;
+        }
+        auto renamed = in->Renamed(plan->col_names);
+        if (!renamed.ok()) return std::nullopt;
+        return *renamed;
+      }
+
+      case PlanKind::kMMJoin: {
+        auto a = child(0);
+        auto b = child(1);
+        if (a) {
+          CheckColumn(plan->a_cols.from, *a, path, "matrix A");
+          CheckColumn(plan->a_cols.to, *a, path, "matrix A");
+          CheckColumn(plan->a_cols.weight, *a, path, "matrix A");
+        }
+        if (b) {
+          CheckColumn(plan->b_cols.from, *b, path, "matrix B");
+          CheckColumn(plan->b_cols.to, *b, path, "matrix B");
+          CheckColumn(plan->b_cols.weight, *b, path, "matrix B");
+        }
+        if (!a || !b) return std::nullopt;
+        return Schema{{"F", ValueType::kInt64},
+                      {"T", ValueType::kInt64},
+                      {"ew", ValueType::kDouble}};
+      }
+
+      case PlanKind::kMVJoin: {
+        auto m = child(0);
+        auto v = child(1);
+        if (m) {
+          CheckColumn(plan->a_cols.from, *m, path, "matrix");
+          CheckColumn(plan->a_cols.to, *m, path, "matrix");
+          CheckColumn(plan->a_cols.weight, *m, path, "matrix");
+        }
+        if (v) {
+          CheckColumn(plan->v_cols.id, *v, path, "vector");
+          CheckColumn(plan->v_cols.weight, *v, path, "vector");
+        }
+        if (!m || !v) return std::nullopt;
+        return Schema{{"ID", ValueType::kInt64}, {"vw", ValueType::kDouble}};
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Binary joining nodes: qualify each side by its output name (exactly as
+  /// InferSchema does), rejecting self-joins that share a name, then check
+  /// the residual predicate against the concatenated schema.
+  std::optional<Schema> Joined(const PlanPtr& plan, const Schema& l,
+                               const Schema& r, const std::string& path) {
+    const std::string ln = core::PlanOutputName(plan->children[0]);
+    const std::string rn = core::PlanOutputName(plan->children[1]);
+    if (!ln.empty() && ln == rn) {
+      diags->AddError("GPR-E106", StatusCode::kBindError, path,
+                      "join inputs share the name " + Quoted(ln) +
+                          "; column references would be ambiguous",
+                      "rename one side (Rename / Project with an output "
+                      "name) before joining it with itself");
+      return std::nullopt;
+    }
+    Schema ls = ln.empty() ? l : l.Qualified(ln);
+    Schema rs = rn.empty() ? r : r.Qualified(rn);
+    Schema out = ls.Concat(rs);
+    if (plan->kind == PlanKind::kJoin && plan->predicate != nullptr) {
+      CheckExpr(plan->predicate, out, path, "join residual predicate");
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::optional<ra::Schema> CheckPlanTypes(const core::PlanPtr& plan,
+                                         const ra::Catalog& catalog,
+                                         const SchemaOverlays& overlays,
+                                         const std::string& root_path,
+                                         DiagnosticBag* diags) {
+  TypeChecker checker{catalog, overlays, diags};
+  return checker.Check(plan, root_path);
+}
+
+namespace {
+
+/// Checks one subquery: computed-by definitions in order (each one's schema
+/// becomes visible to later definitions and to the main plan), then the main
+/// plan, whose schema must be union-compatible with the recursive relation.
+void CheckSubquery(const core::Subquery& sq, const core::WithPlusQuery& query,
+                   const ra::Catalog& catalog, SchemaOverlays overlays,
+                   const std::string& path, bool is_init,
+                   DiagnosticBag* diags) {
+  for (const auto& def : sq.computed_by) {
+    auto schema = CheckPlanTypes(def.plan, catalog, overlays,
+                                 path + "/computed_by[" + def.name + "]",
+                                 diags);
+    if (schema) overlays[def.name] = *schema;
+  }
+  auto schema = CheckPlanTypes(sq.plan, catalog, overlays, path, diags);
+  if (schema && !schema->UnionCompatible(query.rec_schema)) {
+    diags->AddError(
+        "GPR-E107", StatusCode::kTypeMismatch, path,
+        std::string(is_init ? "initial" : "recursive") + " subquery result " +
+            schema->ToString() + " is incompatible with " +
+            query.rec_schema.ToString(),
+        "produce exactly the declared columns of " + Quoted(query.rec_name));
+  }
+}
+
+}  // namespace
+
+void CheckQueryTypes(const core::WithPlusQuery& query,
+                     const ra::Catalog& catalog, DiagnosticBag* diags) {
+  SchemaOverlays base;
+  // The recursive relation is visible inside every subquery (init subqueries
+  // referencing it is a structural error, GPR-E004, reported elsewhere — the
+  // overlay just avoids a misleading E101 on top of it).
+  base[query.rec_name] = query.rec_schema;
+
+  for (size_t i = 0; i < query.init.size(); ++i) {
+    CheckSubquery(query.init[i], query, catalog, base,
+                  "init[" + std::to_string(i) + "]", /*is_init=*/true, diags);
+  }
+  for (size_t i = 0; i < query.recursive.size(); ++i) {
+    CheckSubquery(query.recursive[i], query, catalog, base,
+                  "recursive[" + std::to_string(i) + "]", /*is_init=*/false,
+                  diags);
+  }
+
+  // union-by-update keys must be columns of the recursive relation.
+  for (const auto& k : query.update_keys) {
+    if (!query.rec_schema.Has(k)) {
+      diags->AddError("GPR-E108", StatusCode::kBindError, "update_keys",
+                      "update key " + Quoted(k) + " is not a column of " +
+                          Quoted(query.rec_name) + " " +
+                          query.rec_schema.ToString(),
+                      "union by update keys must name recursive-relation "
+                      "columns");
+    }
+  }
+}
+
+}  // namespace gpr::analysis

@@ -90,6 +90,12 @@ struct EngineProfile {
   /// kept for the ablation benchmarks.
   bool rewrites_left_outer_anti_join = true;
 
+  /// Run the static plan analyzer (gpr::analysis) before executing a with+
+  /// query. On for every personality; off only for A/B-testing the gate
+  /// itself — a bypassed query can still fail the same checks at runtime,
+  /// just later and without plan paths.
+  bool static_analysis_gate = true;
+
   WithFeatureMatrix with_features;
 
   /// The algorithm used for a join whose inner input is `inner`.

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/analyzer.h"
 #include "core/psm.h"
 
 namespace gpr::core {
@@ -159,6 +160,15 @@ std::string ExplainWithPlus(const WithPlusQuery& query,
   }
   if (auto proc = CompileToPsm(query); proc.ok()) {
     out << "\nSQL/PSM procedure:\n" << proc->ToSqlSketch();
+  }
+
+  analysis::DiagnosticBag diags = analysis::AnalyzeWithPlus(query, catalog);
+  if (diags.empty()) {
+    out << "\nstatic analysis: clean\n";
+  } else {
+    out << "\nstatic analysis (" << diags.NumErrors() << " error(s), "
+        << diags.NumWarnings() << " warning(s)):\n"
+        << diags.Render();
   }
   return out.str();
 }

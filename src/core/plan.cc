@@ -337,10 +337,7 @@ Result<Table> ExecutePlan(const PlanPtr& plan, ra::Catalog& catalog,
   return std::move(*std::const_pointer_cast<Table>(out));
 }
 
-namespace {
-
-/// The "table name" a plan output carries for join qualification purposes.
-std::string OutputName(const PlanPtr& plan) {
+std::string PlanOutputName(const PlanPtr& plan) {
   switch (plan->kind) {
     case PlanKind::kScan:
       return plan->table_name;
@@ -348,7 +345,7 @@ std::string OutputName(const PlanPtr& plan) {
       return plan->new_name;
     case PlanKind::kProject:
       return !plan->new_name.empty() ? plan->new_name
-                                     : OutputName(plan->children[0]);
+                                     : PlanOutputName(plan->children[0]);
     case PlanKind::kSelect:
     case PlanKind::kDistinct:
     case PlanKind::kSort:
@@ -358,13 +355,11 @@ std::string OutputName(const PlanPtr& plan) {
     case PlanKind::kIntersect:
     case PlanKind::kSemiJoin:
     case PlanKind::kAntiJoin:
-      return OutputName(plan->children[0]);
+      return PlanOutputName(plan->children[0]);
     default:
       return "";
   }
 }
-
-}  // namespace
 
 Result<ra::Schema> InferSchema(
     const PlanPtr& plan, const ra::Catalog& catalog,
@@ -377,8 +372,8 @@ Result<ra::Schema> InferSchema(
   auto joined = [&]() -> Result<Schema> {
     GPR_ASSIGN_OR_RETURN(Schema l, child(0));
     GPR_ASSIGN_OR_RETURN(Schema r, child(1));
-    const std::string ln = OutputName(plan->children[0]);
-    const std::string rn = OutputName(plan->children[1]);
+    const std::string ln = PlanOutputName(plan->children[0]);
+    const std::string rn = PlanOutputName(plan->children[1]);
     if (!ln.empty() && ln == rn) {
       return Status::BindError("join inputs share the name '" + ln + "'");
     }

@@ -124,6 +124,12 @@ struct ExecCounters {
   size_t index_builds = 0;
 };
 
+/// The "table name" a plan output carries for join qualification purposes:
+/// the scanned/renamed table name, or "" for anonymous intermediates. Used
+/// by InferSchema and by the static analyzer (gpr::analysis) to mirror the
+/// executor's schema qualification.
+std::string PlanOutputName(const PlanPtr& plan);
+
 /// Computes the output schema of `plan` without executing it. `overlays`
 /// supplies schemas for tables not (yet) in the catalog — the recursive
 /// relation and computed-by definitions during SQL binding.

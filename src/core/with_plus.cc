@@ -1,5 +1,6 @@
 #include "core/with_plus.h"
 
+#include "analysis/analyzer.h"
 #include "core/psm.h"
 #include "core/stratify.h"
 
@@ -74,8 +75,19 @@ Result<WithPlusResult> ExecuteWithPlus(const WithPlusQuery& query,
   if (query.check_stratification) {
     GPR_RETURN_NOT_OK(CheckWithPlusStratified(query));
   }
+  // The static analysis gate runs after the legacy checks so established
+  // error codes/messages stay stable, and catches everything they miss
+  // (type flow, update keys, convergence) before any table is created.
+  size_t gate_warnings = 0;
+  if (profile.static_analysis_gate) {
+    GPR_RETURN_NOT_OK(
+        analysis::GateWithPlus(query, catalog, &gate_warnings));
+  }
   GPR_ASSIGN_OR_RETURN(PsmProcedure proc, CompileToPsm(query));
-  return CallProcedure(proc, catalog, profile, seed);
+  GPR_ASSIGN_OR_RETURN(WithPlusResult result,
+                       CallProcedure(proc, catalog, profile, seed));
+  result.gate_warnings = gate_warnings;
+  return result;
 }
 
 }  // namespace gpr::core

@@ -87,6 +87,10 @@ struct WithPlusResult {
   bool converged = false;  ///< true if a fixpoint was reached (vs. cap hit)
   std::vector<IterationStats> iters;
   ExecCounters counters;
+  /// Warning-severity diagnostics the pre-execution static analysis gate
+  /// reported (0 when the gate is disabled by the profile). Errors never
+  /// reach here — they fail ExecuteWithPlus before the fixpoint starts.
+  size_t gate_warnings = 0;
 };
 
 /// Validates `query` (single recursive relation, cycle-free computed-by,

@@ -1,0 +1,88 @@
+#include "sql/lint.h"
+
+#include <cctype>
+
+#include "analysis/analyzer.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace gpr::sql {
+
+namespace {
+
+/// True when the first keyword of `text` is `kw` (case-insensitive).
+bool FirstKeywordIs(const std::string& text, const std::string& kw) {
+  size_t i = 0;
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  size_t j = 0;
+  while (i < text.size() && j < kw.size()) {
+    if (std::tolower(static_cast<unsigned char>(text[i])) != kw[j]) {
+      return false;
+    }
+    ++i;
+    ++j;
+  }
+  return j == kw.size() &&
+         (i == text.size() ||
+          !std::isalnum(static_cast<unsigned char>(text[i])));
+}
+
+}  // namespace
+
+analysis::DiagnosticBag LintSql(const std::string& text,
+                                const ra::Catalog& catalog) {
+  analysis::DiagnosticBag diags;
+
+  if (!FirstKeywordIs(text, "with")) {
+    // Bare select: parse, bind, and type-check the resulting plan.
+    auto ast = ParseSelect(text);
+    if (!ast.ok()) {
+      diags.AddError("GPR-E901", StatusCode::kParseError, "select",
+                     ast.status().message(),
+                     "see the grammar sketch in src/sql/parser.h");
+      return diags;
+    }
+    auto plan = BindSelect(*ast, catalog);
+    if (!plan.ok()) {
+      diags.AddError("GPR-E902", plan.status().code(), "select",
+                     plan.status().message(),
+                     "bind names against the catalog tables");
+      return diags;
+    }
+    analysis::CheckPlanTypes(*plan, catalog, {}, "select", &diags);
+    return diags;
+  }
+
+  auto ast = ParseWithStatement(text);
+  if (!ast.ok()) {
+    diags.AddError("GPR-E901", StatusCode::kParseError, "with+",
+                   ast.status().message(),
+                   "see the grammar sketch in src/sql/parser.h");
+    return diags;
+  }
+  auto bound = BindWithStatement(*ast, catalog);
+  if (!bound.ok()) {
+    diags.AddError("GPR-E902", bound.status().code(), "with+",
+                   bound.status().message(),
+                   "bind names against the catalog tables and the "
+                   "recursive relation's declared columns");
+    return diags;
+  }
+
+  analysis::DiagnosticBag q =
+      analysis::AnalyzeWithPlus(bound->query, catalog);
+  for (const auto& d : q.diagnostics()) diags.Add(d);
+
+  if (bound->final_select != nullptr) {
+    analysis::SchemaOverlays overlays;
+    overlays.emplace(bound->query.rec_name, bound->query.rec_schema);
+    analysis::CheckPlanTypes(bound->final_select, catalog, overlays,
+                             "final_select", &diags);
+  }
+  return diags;
+}
+
+}  // namespace gpr::sql

@@ -1,0 +1,25 @@
+// Offline SQL linting: parse + bind + static analysis of with+ text,
+// reported as gpr::analysis Diagnostics instead of a first-error Status.
+// This is the library behind the `gpr_lint` CLI (examples/gpr_lint.cpp).
+#pragma once
+
+#include <string>
+
+#include "analysis/diagnostic.h"
+#include "ra/catalog.h"
+
+namespace gpr::sql {
+
+/// Lints one SQL statement (a with+ statement, or a bare select) against
+/// `catalog` without executing anything:
+///
+///   * parse errors   -> GPR-E901 (kParseError)
+///   * bind errors    -> GPR-E902 (kBindError, or the binder's own code)
+///   * bound with+    -> the full gpr::analysis::AnalyzeWithPlus pass suite
+///
+/// The catalog only needs schemas; empty tables work (gpr_lint registers
+/// schema-only E/V/VL relations by default).
+analysis::DiagnosticBag LintSql(const std::string& text,
+                                const ra::Catalog& catalog);
+
+}  // namespace gpr::sql

@@ -32,8 +32,11 @@ enum class StatusCode {
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
 const char* StatusCodeName(StatusCode code);
 
-/// A success-or-error outcome carrying a code and a message.
-class Status {
+/// A success-or-error outcome carrying a code and a message. Marked
+/// [[nodiscard]] class-wide: silently dropping a Status hides failures —
+/// callers must check it, propagate it, or discard it explicitly with
+/// a (void) cast.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg)
@@ -99,7 +102,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 
 /// Either a value of type T or an error Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : value_(std::move(status)) {

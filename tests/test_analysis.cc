@@ -1,0 +1,427 @@
+// Tests for the static plan analyzer (gpr::analysis): the diagnostic
+// model, a table of malformed with+ programs asserting the expected
+// diagnostic code and plan path, the pre-execution gate wiring inside
+// ExecuteWithPlus, the SQL lint front-end, and — most importantly — that
+// every seed algorithm of the paper's evaluation passes the gate with
+// zero diagnostics.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algos/common.h"
+#include "algos/registry.h"
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+#include "core/explain.h"
+#include "core/plan.h"
+#include "core/with_plus.h"
+#include "sql/lint.h"
+#include "test_util.h"
+
+namespace gpr {
+namespace {
+
+namespace ops = ra::ops;
+using analysis::AnalyzeWithPlus;
+using analysis::Diagnostic;
+using analysis::DiagnosticBag;
+using core::ExecuteWithPlus;
+using core::Scan;
+using core::Subquery;
+using core::UnionMode;
+using core::WithPlusQuery;
+using gpr::testing::MakeCatalog;
+using gpr::testing::TinyDag;
+using gpr::testing::TinyGraph;
+using ra::Col;
+using ra::Schema;
+using ra::ValueType;
+
+/// First diagnostic with `code`, or nullopt.
+std::optional<Diagnostic> Find(const DiagnosticBag& bag,
+                               const std::string& code) {
+  for (const auto& d : bag.diagnostics()) {
+    if (d.code == code) return d;
+  }
+  return std::nullopt;
+}
+
+/// The well-formed transitive-closure query every malformed case mutates.
+WithPlusQuery TcQuery(UnionMode mode = UnionMode::kUnionDistinct) {
+  WithPlusQuery q;
+  q.rec_name = "TCx";
+  q.rec_schema = Schema{{"F", ValueType::kInt64}, {"T", ValueType::kInt64}};
+  q.init.push_back(
+      {core::ProjectOp(Scan("E"),
+                       {ops::As(Col("F"), "F"), ops::As(Col("T"), "T")}),
+       {}});
+  q.recursive.push_back(
+      {core::ProjectOp(core::JoinOp(Scan("TCx"), Scan("E"), {{"T"}, {"F"}}),
+                       {ops::As(Col("TCx.F"), "F"),
+                        ops::As(Col("E.T"), "T")}),
+       {}});
+  q.mode = mode;
+  return q;
+}
+
+/// A value-recursion query (ID -> val) folding in-neighbour values with
+/// `agg` under union by update — the PageRank shape.
+WithPlusQuery ValueQuery(ra::AggKind agg, int maxrec) {
+  WithPlusQuery q;
+  q.rec_name = "Rv";
+  q.rec_schema =
+      Schema{{"ID", ValueType::kInt64}, {"val", ValueType::kDouble}};
+  q.init.push_back(
+      {core::ProjectOp(Scan("V"), {ops::As(Col("ID"), "ID"),
+                                   ops::As(Col("vw"), "val")}),
+       {}});
+  q.recursive.push_back(
+      {core::ProjectOp(
+           core::GroupByOp(
+               core::JoinOp(Scan("Rv"), Scan("E"), {{"ID"}, {"F"}}),
+               {"E.T"}, {ra::AggSpec{agg, Col("Rv.val"), "nv"}}),
+           {ops::As(Col("T"), "ID"), ops::As(Col("nv"), "val")}),
+       {}});
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {"ID"};
+  q.maxrecursion = maxrec;
+  return q;
+}
+
+// ---------------------------------------------------------------------
+// The malformed-program table. Each case builds a query, names the
+// diagnostic code the analyzer must raise, the plan path it must carry,
+// and (for errors) the StatusCode the gate maps it to.
+// ---------------------------------------------------------------------
+
+struct MalformedCase {
+  std::string name;
+  std::function<WithPlusQuery()> build;
+  std::string code;        ///< expected diagnostic, e.g. "GPR-E107"
+  std::string path;        ///< expected plan path (substring match)
+  bool is_error = true;    ///< false: warning — must NOT block the gate
+  StatusCode gate_code = StatusCode::kInvalidArgument;
+};
+
+std::vector<MalformedCase> MalformedCases() {
+  std::vector<MalformedCase> cases;
+
+  // Type mismatch: the recursive subquery drops a column of TCx(F, T).
+  cases.push_back(
+      {"SubqueryIncompatibleWithRecSchema",
+       [] {
+         auto q = TcQuery();
+         q.recursive[0].plan = core::ProjectOp(
+             core::JoinOp(Scan("TCx"), Scan("E"), {{"T"}, {"F"}}),
+             {ops::As(Col("TCx.F"), "F")});
+         return q;
+       },
+       "GPR-E107", "recursive[0]", true, StatusCode::kTypeMismatch});
+
+  // Unknown table: the recursive subquery scans a relation that is
+  // neither in the catalog nor a computed-by definition.
+  cases.push_back(
+      {"UnknownTable",
+       [] {
+         auto q = TcQuery();
+         q.recursive[0].plan = core::ProjectOp(
+             core::JoinOp(Scan("TCx"), Scan("Nope"), {{"T"}, {"F"}}),
+             {ops::As(Col("TCx.F"), "F"), ops::As(Col("Nope.T"), "T")});
+         return q;
+       },
+       "GPR-E101", "Scan(Nope)", true, StatusCode::kNotFound});
+
+  // Join key that resolves on neither side.
+  cases.push_back(
+      {"BadJoinKey",
+       [] {
+         auto q = TcQuery();
+         q.recursive[0].plan = core::ProjectOp(
+             core::JoinOp(Scan("TCx"), Scan("E"), {{"Nope"}, {"F"}}),
+             {ops::As(Col("TCx.F"), "F"), ops::As(Col("E.T"), "T")});
+         return q;
+       },
+       "GPR-E104", "Join", true, StatusCode::kBindError});
+
+  // Union-by-update key that is not a recursive-relation column.
+  cases.push_back(
+      {"BadUpdateKey",
+       [] {
+         auto q = TcQuery(UnionMode::kUnionByUpdate);
+         q.update_keys = {"Nope"};
+         return q;
+       },
+       "GPR-E108", "update_keys", true, StatusCode::kBindError});
+
+  // Non-stratifiable computed-by chain: definition A reads definition B
+  // before B is defined (a forward reference = a cycle among the s(T)
+  // stratum, Theorem 5.1 / Section 6).
+  cases.push_back(
+      {"ForwardReferenceNotStratifiable",
+       [] {
+         auto q = TcQuery();
+         Subquery rec;
+         rec.computed_by.push_back(
+             {"A", core::ProjectOp(Scan("B"), {ops::As(Col("F"), "F"),
+                                               ops::As(Col("T"), "T")})});
+         rec.computed_by.push_back(
+             {"B", core::ProjectOp(Scan("TCx"),
+                                   {ops::As(Col("F"), "F"),
+                                    ops::As(Col("T"), "T")})});
+         rec.plan = core::ProjectOp(
+             core::JoinOp(Scan("TCx"), Scan("A"), {{"T"}, {"F"}}),
+             {ops::As(Col("TCx.F"), "F"), ops::As(Col("A.T"), "T")});
+         q.recursive[0] = std::move(rec);
+         return q;
+       },
+       "GPR-E201", "recursive[0]/computed_by[A]", true,
+       StatusCode::kNotStratifiable});
+
+  // Non-monotone aggregate that can never stabilize: avg under UBU.
+  cases.push_back({"AvgUnderUnionByUpdate",
+                   [] { return ValueQuery(ra::AggKind::kAvg, 10); },
+                   "GPR-E301", "recursive", true,
+                   StatusCode::kInvalidArgument});
+
+  // Missing maxrecursion on a sum-folding value recursion (warning).
+  cases.push_back({"SumWithoutMaxrecursion",
+                   [] { return ValueQuery(ra::AggKind::kSum, 0); },
+                   "GPR-W302", "recursive", false});
+
+  // Missing maxrecursion on whole-relation union all (warning).
+  cases.push_back({"UnionAllWithoutMaxrecursion",
+                   [] { return TcQuery(UnionMode::kUnionAll); },
+                   "GPR-W401", "recursive", false});
+
+  // Negation over the recursive relation under SQL'99 working-table
+  // semantics reads an incomplete stratum.
+  cases.push_back(
+      {"NegationUnderWorkingTable",
+       [] {
+         auto q = TcQuery(UnionMode::kUnionAll);
+         q.recursive[0].plan = core::AntiJoinOp(
+             q.recursive[0].plan, Scan("TCx"), {{"F", "T"}, {"F", "T"}});
+         q.sql99_working_table = true;
+         q.maxrecursion = 50;
+         return q;
+       },
+       "GPR-E303", "recursive[0]", true, StatusCode::kInvalidArgument});
+
+  return cases;
+}
+
+class MalformedPrograms : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(MalformedPrograms, AnalyzerRaisesCodeAtPath) {
+  const MalformedCase& c = GetParam();
+  auto catalog = MakeCatalog(TinyGraph());
+  const WithPlusQuery q = c.build();
+
+  DiagnosticBag bag = AnalyzeWithPlus(q, catalog);
+  auto diag = Find(bag, c.code);
+  ASSERT_TRUE(diag.has_value()) << "expected " << c.code << ", got:\n"
+                                << bag.Render();
+  EXPECT_NE(diag->plan_path.find(c.path), std::string::npos)
+      << "path '" << diag->plan_path << "' does not contain '" << c.path
+      << "'";
+
+  if (c.is_error) {
+    EXPECT_TRUE(bag.HasErrors());
+    EXPECT_EQ(diag->severity, analysis::Severity::kError);
+    EXPECT_EQ(diag->status_code, c.gate_code);
+  } else {
+    EXPECT_EQ(diag->severity, analysis::Severity::kWarning);
+    EXPECT_EQ(bag.NumErrors(), 0u) << bag.Render();
+    // Warnings never block the gate.
+    size_t warnings = 0;
+    EXPECT_TRUE(analysis::GateWithPlus(q, catalog, &warnings).ok());
+    EXPECT_GE(warnings, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Analysis, MalformedPrograms, ::testing::ValuesIn(MalformedCases()),
+    [](const ::testing::TestParamInfo<MalformedCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------
+// Structural diagnostics (the GPR-E0xx family).
+// ---------------------------------------------------------------------
+
+TEST(AnalysisStructure, ReportsStructuralDefects) {
+  auto catalog = MakeCatalog(TinyGraph());
+
+  WithPlusQuery empty;
+  DiagnosticBag bag = AnalyzeWithPlus(empty, catalog);
+  EXPECT_TRUE(bag.Has("GPR-E001"));  // no name
+  EXPECT_TRUE(bag.Has("GPR-E002"));  // no schema
+  EXPECT_TRUE(bag.Has("GPR-E003"));  // no recursive subquery
+
+  auto q = TcQuery(UnionMode::kUnionByUpdate);
+  q.update_keys = {"F"};
+  q.recursive.push_back(q.recursive[0]);  // UBU allows exactly one
+  q.maxrecursion = 40000;                 // out of the hint range
+  bag = AnalyzeWithPlus(q, catalog);
+  EXPECT_TRUE(bag.Has("GPR-E006")) << bag.Render();
+  EXPECT_TRUE(bag.Has("GPR-E007")) << bag.Render();
+}
+
+// ---------------------------------------------------------------------
+// Gate wiring inside ExecuteWithPlus.
+// ---------------------------------------------------------------------
+
+TEST(AnalysisGate, BlocksBeforeExecutionWithCodeAndPath) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto q = TcQuery();
+  q.recursive[0].plan = core::ProjectOp(
+      core::JoinOp(Scan("TCx"), Scan("E"), {{"T"}, {"F"}}),
+      {ops::As(Col("TCx.F"), "F")});  // drops T -> GPR-E107
+
+  auto result = ExecuteWithPlus(q, catalog, core::OracleLike());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeMismatch);
+  EXPECT_NE(result.status().message().find("GPR-E107"), std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("recursive[0]"),
+            std::string::npos)
+      << result.status().message();
+}
+
+TEST(AnalysisGate, ProfileFlagBypassesTheGate) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto q = TcQuery();
+  q.recursive[0].plan = core::ProjectOp(
+      core::JoinOp(Scan("TCx"), Scan("E"), {{"T"}, {"F"}}),
+      {ops::As(Col("TCx.F"), "F")});
+
+  auto profile = core::OracleLike();
+  profile.static_analysis_gate = false;
+  auto result = ExecuteWithPlus(q, catalog, profile);
+  // The defect still surfaces — but from the executor, without the
+  // analyzer's code and plan path.
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message().find("GPR-"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(AnalysisGate, WarningsAreCountedButDoNotBlock) {
+  // A sum-folding UBU recursion with no cap converges on a DAG (values
+  // stabilize once every ancestor has), so it runs fine — but the
+  // analyzer cannot prove that, and reports GPR-W302.
+  auto catalog = MakeCatalog(TinyDag());
+  auto result = ExecuteWithPlus(ValueQuery(ra::AggKind::kSum, 0), catalog,
+                                core::OracleLike());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+  EXPECT_GE(result->gate_warnings, 1u);
+}
+
+TEST(AnalysisGate, CleanQueryHasZeroWarnings) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto result =
+      ExecuteWithPlus(TcQuery(), catalog, core::OracleLike());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->gate_warnings, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Every seed algorithm of the paper's evaluation passes the gate
+// unchanged: result OK and zero analyzer warnings.
+// ---------------------------------------------------------------------
+
+TEST(AnalysisGate, AllSeedAlgorithmsPassClean) {
+  for (const auto& entry : algos::EvaluationSet(/*include_toposort=*/true)) {
+    graph::Graph g = entry.needs_dag ? TinyDag() : TinyGraph();
+    std::vector<int64_t> labels;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      labels.push_back(1 + (v % 3));  // LP / KS need VL(ID, label)
+    }
+    g.set_node_labels(std::move(labels));
+    auto catalog = MakeCatalog(g);
+
+    algos::AlgoOptions opt;
+    auto result = entry.run(catalog, opt);
+    ASSERT_TRUE(result.ok()) << entry.name << ": " << result.status();
+    EXPECT_EQ(result->gate_warnings, 0u)
+        << entry.name << " tripped the static analyzer";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Explain integration and the SQL lint front-end.
+// ---------------------------------------------------------------------
+
+TEST(AnalysisExplain, RendersGateVerdict) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto clean =
+      core::ExplainWithPlus(TcQuery(), catalog, core::OracleLike());
+  EXPECT_NE(clean.find("static analysis: clean"), std::string::npos);
+
+  auto q = TcQuery(UnionMode::kUnionByUpdate);
+  q.update_keys = {"Nope"};
+  auto dirty = core::ExplainWithPlus(q, catalog, core::OracleLike());
+  EXPECT_NE(dirty.find("GPR-E108"), std::string::npos) << dirty;
+}
+
+TEST(SqlLint, FlagsParseBindAndAnalysisFindings) {
+  auto catalog = MakeCatalog(TinyGraph());
+
+  auto bag = sql::LintSql("selec oops", catalog);
+  EXPECT_TRUE(bag.Has("GPR-E901")) << bag.Render();
+
+  bag = sql::LintSql("select F from NoSuchTable", catalog);
+  EXPECT_TRUE(bag.Has("GPR-E902")) << bag.Render();
+
+  // Column binding is deferred to the analyzer's type-flow pass.
+  bag = sql::LintSql("select nope from E", catalog);
+  EXPECT_TRUE(bag.Has("GPR-E102")) << bag.Render();
+
+  // Fig 1 TC: union all with no cap -> the W401 convergence lint.
+  bag = sql::LintSql(R"(
+    with TC (F, T) as (
+      (select F, T from E)
+      union all
+      (select TC.F, E.T from TC, E where TC.T = E.F))
+    select * from TC)",
+                     catalog);
+  EXPECT_EQ(bag.NumErrors(), 0u) << bag.Render();
+  EXPECT_TRUE(bag.Has("GPR-W401")) << bag.Render();
+
+  bag = sql::LintSql("select F, T from E", catalog);
+  EXPECT_TRUE(bag.empty()) << bag.Render();
+}
+
+// ---------------------------------------------------------------------
+// The diagnostic model itself.
+// ---------------------------------------------------------------------
+
+TEST(DiagnosticBag, ToStatusUsesFirstErrorAndMappedCode) {
+  DiagnosticBag bag;
+  EXPECT_TRUE(bag.ToStatus().ok());
+
+  bag.AddWarning("GPR-W401", "recursive", "might diverge");
+  EXPECT_TRUE(bag.ToStatus().ok());  // warnings never block
+
+  bag.AddError("GPR-E107", StatusCode::kTypeMismatch, "init[0]",
+               "schema mismatch", "fix the projection");
+  bag.AddError("GPR-E101", StatusCode::kNotFound, "Scan(X)", "unknown");
+  Status st = bag.ToStatus();
+  EXPECT_EQ(st.code(), StatusCode::kTypeMismatch);
+  EXPECT_NE(st.message().find("GPR-E107"), std::string::npos);
+  EXPECT_NE(st.message().find("init[0]"), std::string::npos);
+  EXPECT_NE(st.message().find("fix the projection"), std::string::npos);
+  EXPECT_NE(st.message().find("more diagnostic"), std::string::npos);
+
+  EXPECT_EQ(bag.NumErrors(), 2u);
+  EXPECT_EQ(bag.NumWarnings(), 1u);
+  EXPECT_TRUE(bag.Has("GPR-E101"));
+  EXPECT_FALSE(bag.Has("GPR-E999"));
+  EXPECT_NE(bag.Render().find("warning GPR-W401"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpr
