@@ -1,14 +1,18 @@
 // Micro-benchmarks (google-benchmark) of the core relational operators:
 // the three join algorithms, MM-/MV-join across semirings, the anti-join
-// implementations, and the union-by-update implementations.
+// implementations, the union-by-update implementations — and the
+// execution-governor overhead on a full fixpoint workload.
 //
 // These isolate the operator-level costs the experiment harnesses
 // aggregate; useful for regression-tracking the engine itself.
 #include <benchmark/benchmark.h>
 
+#include "algos/algos.h"
 #include "core/aggregate_join.h"
 #include "core/anti_join.h"
 #include "core/union_by_update.h"
+#include "graph/generators.h"
+#include "graph/relations.h"
 #include "ra/operators.h"
 #include "util/rng.h"
 
@@ -133,6 +137,37 @@ BENCHMARK_CAPTURE(BM_UnionByUpdate, update_from,
 BENCHMARK_CAPTURE(BM_UnionByUpdate, drop_alter,
                   core::UnionByUpdateImpl::kDropAlter)
     ->Arg(1 << 14);
+
+// Governor overhead on the Fig 7 CONN workload (WCC over a random graph):
+// the same fixpoint run ungoverned (null ExecContext — the fast path) and
+// governed with generous limits that never trip. The acceptance bar for
+// the governance layer is < 2% overhead between the two.
+void BM_ConnFixpoint(benchmark::State& state, bool governed) {
+  const auto nodes = static_cast<graph::NodeId>(state.range(0));
+  graph::Graph g = graph::ErdosRenyi(nodes, 4 * nodes, /*seed=*/13);
+  ra::Catalog catalog;
+  GPR_CHECK_OK(graph::RegisterGraph(g, &catalog));
+  algos::AlgoOptions opt;
+  opt.fault_spec = "none";
+  if (governed) {
+    opt.governor.deadline_ms = 3600 * 1000.0;
+    opt.governor.row_budget = 1ull << 40;
+    opt.governor.byte_budget = 1ull << 50;
+    opt.governor.iteration_cap = 1 << 20;
+  }
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto result = algos::Wcc(catalog, opt);
+    GPR_CHECK_OK(result.status());
+    rows = result->table.NumRows();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK_CAPTURE(BM_ConnFixpoint, ungoverned, false)
+    ->Arg(1 << 10)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ConnFixpoint, governed, true)
+    ->Arg(1 << 10)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
 
 void BM_GroupBy(benchmark::State& state) {
   const auto rows = static_cast<size_t>(state.range(0));

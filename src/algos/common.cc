@@ -16,6 +16,15 @@ using ra::Col;
 using ra::Lit;
 using ra::Table;
 
+Result<WithPlusResult> RunWithPlus(core::WithPlusQuery& q,
+                                   ra::Catalog& catalog,
+                                   const AlgoOptions& options) {
+  q.governor = options.governor;
+  q.cancel = options.cancel;
+  q.fault_spec = options.fault_spec;
+  return core::ExecuteWithPlus(q, catalog, options.profile, options.seed);
+}
+
 Status CreateLoopedEdges(ra::Catalog& catalog, const std::string& edges,
                          const std::string& nodes, const std::string& out,
                          double loop_weight, bool symmetrize) {

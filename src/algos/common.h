@@ -36,7 +36,21 @@ struct AlgoOptions {
   int depth = 4;                        ///< Keyword-Search depth / TC cap
   double restart_prob = 0.15;           ///< RWR (1 - c)
   double simrank_c = 0.6;               ///< SimRank decay
+
+  /// Execution governance, forwarded to every with+ the algorithm runs
+  /// (docs/robustness.md): deadline / row / byte / iteration budgets, a
+  /// cooperative cancellation token, and the fault-injection spec (""
+  /// consults GPR_FAULTS, "none" disables). Defaults = ungoverned.
+  exec::ExecLimits governor;
+  exec::CancellationToken cancel;
+  std::string fault_spec;
 };
+
+/// Runs `q` with the governance knobs of `options` applied — the single
+/// funnel every algorithm uses instead of calling ExecuteWithPlus directly.
+Result<WithPlusResult> RunWithPlus(core::WithPlusQuery& q,
+                                   ra::Catalog& catalog,
+                                   const AlgoOptions& options);
 
 /// Helpers used by several algorithms -----------------------------------
 

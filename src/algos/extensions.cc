@@ -73,7 +73,7 @@ Result<WithPlusResult> KTruss(ra::Catalog& catalog,
   q.update_keys = {};  // replace the surviving edge set wholesale
   q.ubu_impl = core::UnionByUpdateImpl::kDropAlter;
   q.maxrecursion = options.max_iterations;
-  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  return RunWithPlus(q, catalog, options);
 }
 
 Result<WithPlusResult> GraphBisimulation(ra::Catalog& catalog,
@@ -136,7 +136,7 @@ Result<WithPlusResult> GraphBisimulation(ra::Catalog& catalog,
   q.update_keys = {"ID"};
   q.ubu_impl = options.ubu_impl;
   q.maxrecursion = options.max_iterations;
-  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  return RunWithPlus(q, catalog, options);
 }
 
 }  // namespace gpr::algos

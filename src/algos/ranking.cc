@@ -64,7 +64,7 @@ Result<WithPlusResult> PageRank(ra::Catalog& catalog,
     q.update_keys.clear();
   }
   q.maxrecursion = options.max_iterations > 0 ? options.max_iterations : 15;
-  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  auto result = RunWithPlus(q, catalog, options);
   DropQuietly(catalog, {"E_pr"});
   return result;
 }
@@ -131,7 +131,7 @@ Result<WithPlusResult> PageRankSql99(ra::Catalog& catalog,
   q.recursive.push_back(std::move(rec));
   q.mode = UnionMode::kUnionAll;
   q.maxrecursion = d + 1;
-  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  auto result = RunWithPlus(q, catalog, options);
   DropQuietly(catalog, {"E_pr99"});
   return result;
 }
@@ -183,7 +183,7 @@ Result<WithPlusResult> RandomWalkWithRestart(ra::Catalog& catalog,
   q.update_keys = {"ID"};
   q.ubu_impl = options.ubu_impl;
   q.maxrecursion = options.max_iterations > 0 ? options.max_iterations : 15;
-  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  auto result = RunWithPlus(q, catalog, options);
   DropQuietly(catalog, {"E_rwr", "P_restart"});
   return result;
 }
@@ -240,7 +240,7 @@ Result<WithPlusResult> SimRank(ra::Catalog& catalog,
   q.update_keys = {};  // replace K wholesale each iteration
   q.ubu_impl = core::UnionByUpdateImpl::kDropAlter;
   q.maxrecursion = options.max_iterations > 0 ? options.max_iterations : 5;
-  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  auto result = RunWithPlus(q, catalog, options);
   DropQuietly(catalog, {"W_sim", "I_sim"});
   return result;
 }
@@ -292,7 +292,7 @@ Result<WithPlusResult> Hits(ra::Catalog& catalog,
   q.update_keys = {"ID"};
   q.ubu_impl = options.ubu_impl;
   q.maxrecursion = options.max_iterations > 0 ? options.max_iterations : 15;
-  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  return RunWithPlus(q, catalog, options);
 }
 
 }  // namespace gpr::algos

@@ -63,7 +63,7 @@ Result<WithPlusResult> TopoSort(ra::Catalog& catalog,
   q.recursive.push_back(std::move(rec));
   q.mode = UnionMode::kUnionAll;
   q.maxrecursion = options.max_iterations;
-  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  return RunWithPlus(q, catalog, options);
 }
 
 Result<WithPlusResult> KCore(ra::Catalog& catalog,
@@ -105,7 +105,7 @@ Result<WithPlusResult> KCore(ra::Catalog& catalog,
   q.update_keys = {};  // replace: E' is recomputed wholesale
   q.ubu_impl = core::UnionByUpdateImpl::kDropAlter;
   q.maxrecursion = options.max_iterations;
-  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  return RunWithPlus(q, catalog, options);
 }
 
 Result<WithPlusResult> MaximalIndependentSet(ra::Catalog& catalog,
@@ -184,7 +184,7 @@ Result<WithPlusResult> MaximalIndependentSet(ra::Catalog& catalog,
   q.update_keys = {"ID"};
   q.ubu_impl = options.ubu_impl;
   q.maxrecursion = options.max_iterations;
-  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  return RunWithPlus(q, catalog, options);
 }
 
 Result<WithPlusResult> LabelPropagation(ra::Catalog& catalog,
@@ -218,7 +218,7 @@ Result<WithPlusResult> LabelPropagation(ra::Catalog& catalog,
   q.update_keys = {"ID"};
   q.ubu_impl = options.ubu_impl;
   q.maxrecursion = options.max_iterations > 0 ? options.max_iterations : 15;
-  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  return RunWithPlus(q, catalog, options);
 }
 
 Result<WithPlusResult> MaximalNodeMatching(ra::Catalog& catalog,
@@ -290,7 +290,7 @@ Result<WithPlusResult> MaximalNodeMatching(ra::Catalog& catalog,
   q.update_keys = {"ID"};
   q.ubu_impl = options.ubu_impl;
   q.maxrecursion = options.max_iterations;
-  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  auto result = RunWithPlus(q, catalog, options);
   DropQuietly(catalog, {"EU_mnm"});
   return result;
 }
@@ -338,7 +338,7 @@ Result<WithPlusResult> KeywordSearch(ra::Catalog& catalog,
   q.ubu_impl = options.ubu_impl;
   q.maxrecursion =
       options.max_iterations > 0 ? options.max_iterations : options.depth;
-  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  auto result = RunWithPlus(q, catalog, options);
   DropQuietly(catalog, {"E_ks"});
   return result;
 }
@@ -390,7 +390,7 @@ Result<WithPlusResult> DiameterEstimation(ra::Catalog& catalog,
   q.update_keys = {"ID"};
   q.ubu_impl = options.ubu_impl;
   q.maxrecursion = options.max_iterations;
-  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  auto result = RunWithPlus(q, catalog, options);
   DropQuietly(catalog, {"E_diam"});
   return result;
 }
@@ -433,7 +433,7 @@ Result<WithPlusResult> MarkovClustering(ra::Catalog& catalog,
   q.update_keys = {};
   q.ubu_impl = core::UnionByUpdateImpl::kDropAlter;
   q.maxrecursion = options.max_iterations > 0 ? options.max_iterations : 20;
-  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  auto result = RunWithPlus(q, catalog, options);
   DropQuietly(catalog, {"E_mcl_raw", "E_mcl"});
   return result;
 }

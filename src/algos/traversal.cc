@@ -54,7 +54,7 @@ Result<WithPlusResult> TransitiveClosure(ra::Catalog& catalog,
   q.mode = UnionMode::kUnionDistinct;
   q.maxrecursion =
       options.max_iterations > 0 ? options.max_iterations : options.depth;
-  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  return RunWithPlus(q, catalog, options);
 }
 
 Result<WithPlusResult> Bfs(ra::Catalog& catalog, const AlgoOptions& options) {
@@ -80,7 +80,7 @@ Result<WithPlusResult> Bfs(ra::Catalog& catalog, const AlgoOptions& options) {
   q.mode = UnionMode::kUnionByUpdate;
   q.update_keys = {"ID"};
   ApplyOptions(&q, options, /*default_iters=*/0);
-  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  auto result = RunWithPlus(q, catalog, options);
   DropQuietly(catalog, {"E_bfs"});
   return result;
 }
@@ -103,7 +103,7 @@ Result<WithPlusResult> BfsFrontier(ra::Catalog& catalog,
   q.mode = UnionMode::kUnionDistinct;
   q.sql99_working_table = true;  // the early-selection ingredient
   ApplyOptions(&q, options, /*default_iters=*/0);
-  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  return RunWithPlus(q, catalog, options);
 }
 
 Result<WithPlusResult> Wcc(ra::Catalog& catalog, const AlgoOptions& options) {
@@ -129,7 +129,7 @@ Result<WithPlusResult> Wcc(ra::Catalog& catalog, const AlgoOptions& options) {
   q.mode = UnionMode::kUnionByUpdate;
   q.update_keys = {"ID"};
   ApplyOptions(&q, options, /*default_iters=*/0);
-  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  auto result = RunWithPlus(q, catalog, options);
   DropQuietly(catalog, {"E_wcc"});
   return result;
 }
@@ -160,7 +160,7 @@ Result<WithPlusResult> SsspBellmanFord(ra::Catalog& catalog,
   q.mode = UnionMode::kUnionByUpdate;
   q.update_keys = {"ID"};
   ApplyOptions(&q, options, /*default_iters=*/0);
-  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  auto result = RunWithPlus(q, catalog, options);
   DropQuietly(catalog, {"E_sssp"});
   return result;
 }
@@ -199,7 +199,7 @@ Result<WithPlusResult> ApspFloydWarshall(ra::Catalog& catalog,
   q.recursive.push_back(Subquery{
       MMJoinOp(Scan("D_apsp"), Scan("D_apsp"), core::MinPlus()), {}});
   ApplyOptions(&q, options, /*default_iters=*/0);
-  return ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  return RunWithPlus(q, catalog, options);
 }
 
 Result<WithPlusResult> ApspLinear(ra::Catalog& catalog,
@@ -212,7 +212,7 @@ Result<WithPlusResult> ApspLinear(ra::Catalog& catalog,
       MMJoinOp(Scan("D_apsp"), Scan("E_apsp"), core::MinPlus()), {}});
   ApplyOptions(&q, options,
                /*default_iters=*/options.depth > 0 ? options.depth : 0);
-  auto result = ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  auto result = RunWithPlus(q, catalog, options);
   DropQuietly(catalog, {"E_apsp"});
   return result;
 }

@@ -162,36 +162,31 @@ Result<MutualResult> ExecuteMutual(const MutualQuery& query,
     GPR_RETURN_NOT_OK(CheckXYStratified(program));
   }
 
+  // Build the execution governor (nullopt = fully ungoverned fast path)
+  // and the RAII scope that drops every temp table on all exit paths.
+  GPR_ASSIGN_OR_RETURN(
+      std::optional<exec::ExecContext> gov,
+      exec::MakeGovernor(query.governor, query.cancel, query.fault_spec));
   Xoshiro256 rng(seed);
   ra::EvalContext ctx{&rng};
-  std::vector<std::string> created;
-  auto cleanup = [&] {
-    for (const auto& name : created) (void)catalog.DropTable(name);
-  };
-  auto fail = [&](Status st) {
-    cleanup();
-    return st;
-  };
+  ctx.exec = gov ? &*gov : nullptr;
+  ra::TempTableScope scope(catalog);
 
   // Create and initialize every relation.
   for (const auto& rel : query.relations) {
     if (catalog.Has(rel.name)) {
-      return fail(Status::AlreadyExists("relation '" + rel.name +
-                                        "' collides with a table"));
+      return Status::AlreadyExists("relation '" + rel.name +
+                                   "' collides with a table");
     }
-    GPR_CHECK_OK(catalog.CreateTempTable(rel.name, rel.schema));
-    created.push_back(rel.name);
+    GPR_RETURN_NOT_OK(scope.Create(rel.name, rel.schema));
     for (const auto& init : rel.init) {
-      auto t = ExecutePlan(init, catalog, profile, &ctx);
-      if (!t.ok()) return fail(t.status());
-      auto rec = catalog.Get(rel.name);
-      GPR_CHECK_OK(rec.status());
-      if (!(*rec)->schema().UnionCompatible(t->schema())) {
-        return fail(Status::TypeMismatch(
-            "initialization of '" + rel.name + "' produces " +
-            t->schema().ToString()));
+      GPR_ASSIGN_OR_RETURN(Table t, ExecutePlan(init, catalog, profile, &ctx));
+      GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(rel.name));
+      if (!rec->schema().UnionCompatible(t.schema())) {
+        return Status::TypeMismatch("initialization of '" + rel.name +
+                                    "' produces " + t.schema().ToString());
       }
-      for (const auto& row : t->rows()) (*rec)->AddRow(row);
+      for (auto& row : t.mutable_rows()) rec->AddRow(std::move(row));
     }
   }
 
@@ -200,14 +195,17 @@ Result<MutualResult> ExecuteMutual(const MutualQuery& query,
       seen(query.relations.size());
   for (size_t i = 0; i < query.relations.size(); ++i) {
     if (query.relations[i].mode == UnionMode::kUnionDistinct) {
-      auto rec = catalog.Get(query.relations[i].name);
-      GPR_CHECK_OK(rec.status());
-      seen[i].insert((*rec)->rows().begin(), (*rec)->rows().end());
+      GPR_ASSIGN_OR_RETURN(Table * rec,
+                           catalog.Get(query.relations[i].name));
+      seen[i].insert(rec->rows().begin(), rec->rows().end());
     }
   }
 
   MutualResult result;
   while (true) {
+    if (gov) {
+      GPR_RETURN_NOT_OK(gov->CheckIteration(result.iterations));
+    }
     bool changed_any = false;
     for (size_t i = 0; i < query.relations.size(); ++i) {
       const MutualRelation& rel = query.relations[i];
@@ -216,53 +214,51 @@ Result<MutualResult> ExecuteMutual(const MutualQuery& query,
         Table t;
         if (PlanMustBeEmpty(def.plan, known_empty) &&
             catalog.Has(def.name)) {
-          t = Table(def.name, (*catalog.Get(def.name))->schema());
+          GPR_ASSIGN_OR_RETURN(Table * prev, catalog.Get(def.name));
+          t = Table(def.name, prev->schema());
         } else {
-          auto mat = ExecutePlan(def.plan, catalog, profile, &ctx);
-          if (!mat.ok()) return fail(mat.status());
-          t = std::move(mat).value();
+          GPR_ASSIGN_OR_RETURN(t,
+                               ExecutePlan(def.plan, catalog, profile, &ctx));
           t.set_name(def.name);
         }
         if (t.Empty()) known_empty.insert(def.name);
         if (!catalog.Has(def.name)) {
-          GPR_CHECK_OK(catalog.CreateTempTable(def.name, t.schema()));
-          created.push_back(def.name);
+          GPR_RETURN_NOT_OK(scope.Create(def.name, t.schema()));
         }
-        GPR_CHECK_OK(catalog.ReplaceTable(def.name, std::move(t)));
+        GPR_RETURN_NOT_OK(catalog.ReplaceTable(def.name, std::move(t)));
       }
       if (PlanMustBeEmpty(rel.recursive.plan, known_empty)) continue;
-      auto delta = ExecutePlan(rel.recursive.plan, catalog, profile, &ctx);
-      if (!delta.ok()) return fail(delta.status());
-      if (delta->Empty()) continue;
-      auto rec = catalog.Get(rel.name);
-      GPR_CHECK_OK(rec.status());
-      Table* r = *rec;
-      if (!r->schema().UnionCompatible(delta->schema())) {
-        return fail(Status::TypeMismatch(
-            "recursive subquery of '" + rel.name + "' produces " +
-            delta->schema().ToString()));
+      GPR_ASSIGN_OR_RETURN(
+          Table delta, ExecutePlan(rel.recursive.plan, catalog, profile,
+                                   &ctx));
+      if (delta.Empty()) continue;
+      GPR_ASSIGN_OR_RETURN(Table * r, catalog.Get(rel.name));
+      if (!r->schema().UnionCompatible(delta.schema())) {
+        return Status::TypeMismatch("recursive subquery of '" + rel.name +
+                                    "' produces " +
+                                    delta.schema().ToString());
       }
       switch (rel.mode) {
         case UnionMode::kUnionAll:
-          for (auto& row : delta->mutable_rows()) {
+          for (auto& row : delta.mutable_rows()) {
             r->AddRow(std::move(row));
             changed_any = true;
           }
           break;
         case UnionMode::kUnionDistinct:
-          for (auto& row : delta->mutable_rows()) {
+          for (auto& row : delta.mutable_rows()) {
             if (!seen[i].insert(row).second) continue;
             r->AddRow(std::move(row));
             changed_any = true;
           }
           break;
         case UnionMode::kUnionByUpdate: {
-          auto updated = UnionByUpdate(*r, *delta, rel.update_keys,
-                                       rel.ubu_impl, profile);
-          if (!updated.ok()) return fail(updated.status());
-          if (!updated->SameRowsAs(*r)) changed_any = true;
-          GPR_CHECK_OK(catalog.ReplaceTable(rel.name,
-                                            std::move(updated).value()));
+          GPR_ASSIGN_OR_RETURN(Table updated,
+                               UnionByUpdate(*r, delta, rel.update_keys,
+                                             rel.ubu_impl, profile));
+          if (!updated.SameRowsAs(*r)) changed_any = true;
+          GPR_RETURN_NOT_OK(
+              catalog.ReplaceTable(rel.name, std::move(updated)));
           break;
         }
       }
@@ -279,11 +275,10 @@ Result<MutualResult> ExecuteMutual(const MutualQuery& query,
   }
 
   for (const auto& rel : query.relations) {
-    auto rec = catalog.Get(rel.name);
-    GPR_CHECK_OK(rec.status());
-    result.tables.push_back(**rec);
+    GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(rel.name));
+    result.tables.push_back(*rec);
   }
-  cleanup();
+  // TempTableScope drops every relation and computed-by temporary here.
   return result;
 }
 

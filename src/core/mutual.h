@@ -39,6 +39,13 @@ struct MutualQuery {
   std::vector<MutualRelation> relations;  ///< refresh order = vector order
   int maxrecursion = 0;
   bool check_stratification = true;
+
+  /// Execution-governance knobs — same semantics as WithPlusQuery's:
+  /// all-zero limits + null token + empty spec = ungoverned fast path.
+  exec::ExecLimits governor;
+  exec::CancellationToken cancel;
+  /// "" consults GPR_FAULTS; "none" disables fault injection.
+  std::string fault_spec;
 };
 
 struct MutualResult {

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "exec/exec_context.h"
+
 namespace gpr::core {
 
 namespace ops = ra::ops;
@@ -27,6 +29,30 @@ const char* PlanKindName(PlanKind k) {
     case PlanKind::kMMJoin: return "MMJoin";
     case PlanKind::kMVJoin: return "MVJoin";
     case PlanKind::kSort: return "Sort";
+  }
+  return "?";
+}
+
+const char* PlanKindSite(PlanKind k) {
+  switch (k) {
+    case PlanKind::kScan: return "scan";
+    case PlanKind::kSelect: return "select";
+    case PlanKind::kProject: return "project";
+    case PlanKind::kJoin: return "join";
+    case PlanKind::kLeftOuterJoin: return "left_outer_join";
+    case PlanKind::kSemiJoin: return "semi_join";
+    case PlanKind::kAntiJoin: return "anti_join";
+    case PlanKind::kUnionAll: return "union_all";
+    case PlanKind::kUnionDistinct: return "union_distinct";
+    case PlanKind::kDifference: return "difference";
+    case PlanKind::kIntersect: return "intersect";
+    case PlanKind::kDistinct: return "distinct";
+    case PlanKind::kGroupBy: return "group_by";
+    case PlanKind::kRename: return "rename";
+    case PlanKind::kCrossProduct: return "cross_product";
+    case PlanKind::kMMJoin: return "mm_join";
+    case PlanKind::kMVJoin: return "mv_join";
+    case PlanKind::kSort: return "sort";
   }
   return "?";
 }
@@ -182,6 +208,8 @@ struct Executor {
   const EngineProfile& profile;
   ra::EvalContext* ctx;
   ExecCounters* counters;
+  /// Execution governor (from ctx->exec); null = ungoverned.
+  exec::ExecContext* gov;
 
   /// Builds (once) and reuses a sort index on a scanned table when the
   /// profile adopts temp-table indexes — the Fig 10 mechanism.
@@ -199,7 +227,25 @@ struct Executor {
     }
   }
 
+  /// Operator-boundary governance: a checkpoint (cancellation, deadline,
+  /// fault injection) before the operator runs, and row/byte accounting of
+  /// its materialized output after. Scans are borrowed, not materialized,
+  /// so they checkpoint but never charge the budget.
   Result<TablePtr> Exec(const PlanPtr& plan) {
+    if (gov == nullptr) return ExecNode(plan);
+    const char* site = PlanKindSite(plan->kind);
+    GPR_RETURN_NOT_OK(gov->Checkpoint(site));
+    GPR_ASSIGN_OR_RETURN(TablePtr out, ExecNode(plan));
+    if (plan->kind != PlanKind::kScan) {
+      // Byte estimate: fixed-width value slots; strings count as one slot.
+      const uint64_t bytes = out->NumRows() *
+                             out->schema().NumColumns() * sizeof(ra::Value);
+      GPR_RETURN_NOT_OK(gov->ChargeRows(site, out->NumRows(), bytes));
+    }
+    return out;
+  }
+
+  Result<TablePtr> ExecNode(const PlanPtr& plan) {
     switch (plan->kind) {
       case PlanKind::kScan: {
         GPR_ASSIGN_OR_RETURN(const Table* t, catalog.Get(plan->table_name));
@@ -329,7 +375,8 @@ struct Executor {
 Result<Table> ExecutePlan(const PlanPtr& plan, ra::Catalog& catalog,
                           const EngineProfile& profile, ra::EvalContext* ctx,
                           ExecCounters* counters) {
-  Executor exec{catalog, profile, ctx, counters};
+  Executor exec{catalog, profile, ctx, counters,
+                ctx != nullptr ? ctx->exec : nullptr};
   GPR_ASSIGN_OR_RETURN(TablePtr out, exec.Exec(plan));
   // Borrowed scans (non-owning aliasing pointers, use_count 0) must be
   // copied out; owned intermediates can be moved.

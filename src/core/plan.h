@@ -45,6 +45,11 @@ enum class PlanKind {
 
 const char* PlanKindName(PlanKind k);
 
+/// snake_case operator-site name for `k` ("anti_join", "group_by", ...):
+/// the names the execution governor reports in checkpoint failures and the
+/// fault-injection harness (exec::FaultInjector) matches its spec against.
+const char* PlanKindSite(PlanKind k);
+
 struct Plan;
 using PlanPtr = std::shared_ptr<const Plan>;
 

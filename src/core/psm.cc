@@ -85,67 +85,61 @@ Result<PsmProcedure> CompileToPsm(const WithPlusQuery& query) {
 Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
                                      ra::Catalog& catalog,
                                      const EngineProfile& profile,
-                                     uint64_t seed) {
+                                     uint64_t seed,
+                                     exec::ExecContext* gov) {
   WithPlusResult result;
   Xoshiro256 rng(seed);
   ra::EvalContext ctx{&rng};
+  ctx.exec = gov;
   RedoLog redo;
-  std::vector<std::string> created;  // temp tables to drop on exit
-  auto cleanup = [&] {
-    for (const auto& name : created) {
-      (void)catalog.DropTable(name);
-    }
-  };
+  // Every temp table is registered here; the destructor drops them on all
+  // exit paths (success, plan errors, governed aborts, injected faults).
+  ra::TempTableScope scope(catalog);
 
   // create temporary table R.
   if (catalog.Has(proc.rec_table)) {
-    cleanup();
     return Status::AlreadyExists("recursive relation '" + proc.rec_table +
                                  "' collides with an existing table");
   }
-  GPR_CHECK_OK(catalog.CreateTempTable(proc.rec_table, proc.rec_schema));
-  created.push_back(proc.rec_table);
+  GPR_RETURN_NOT_OK(scope.Create(proc.rec_table, proc.rec_schema));
 
   // Initialization: union all of the initial subqueries.
   for (const auto& plan : proc.init_plans) {
-    auto init = ExecutePlan(plan, catalog, profile, &ctx, &result.counters);
-    if (!init.ok()) {
-      cleanup();
-      return init.status();
-    }
-    auto rec = catalog.Get(proc.rec_table);
-    GPR_CHECK_OK(rec.status());
-    if (!(*rec)->schema().UnionCompatible(init->schema())) {
-      cleanup();
+    GPR_ASSIGN_OR_RETURN(
+        Table init,
+        ExecutePlan(plan, catalog, profile, &ctx, &result.counters));
+    GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(proc.rec_table));
+    if (!rec->schema().UnionCompatible(init.schema())) {
       return Status::TypeMismatch(
-          "initial subquery result " + init->schema().ToString() +
+          "initial subquery result " + init.schema().ToString() +
           " is incompatible with " + proc.rec_schema.ToString());
     }
-    for (const auto& row : init->rows()) {
+    for (auto& row : init.mutable_rows()) {
       if (profile.insert_logging) redo.LogInsert(row);
-      (*rec)->AddRow(row);
+      rec->AddRow(std::move(row));
     }
   }
 
   // The set of rows already in R, maintained for union (distinct) mode.
   std::unordered_set<ra::Tuple, ra::TupleHash, ra::TupleEq> seen;
   if (proc.mode == UnionMode::kUnionDistinct) {
-    auto rec = catalog.Get(proc.rec_table);
-    GPR_CHECK_OK(rec.status());
-    seen.insert((*rec)->rows().begin(), (*rec)->rows().end());
+    GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(proc.rec_table));
+    seen.insert(rec->rows().begin(), rec->rows().end());
   }
   // SQL'99 working-table mode: the catalog's recursive table holds only
   // the previous iteration's output; the full result accumulates here.
   const bool working_mode = proc.sql99_working_table;
   Table full_accum;
   if (working_mode) {
-    auto rec = catalog.Get(proc.rec_table);
-    GPR_CHECK_OK(rec.status());
-    full_accum = **rec;
+    GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(proc.rec_table));
+    full_accum = *rec;
   }
 
   const int cap = proc.maxrecursion;
   while (true) {
+    if (gov != nullptr) {
+      GPR_RETURN_NOT_OK(gov->CheckIteration(result.iterations));
+    }
     WallTimer iter_timer;
     // Compute the deltas of every recursive subquery.
     Table delta("delta", proc.rec_schema);
@@ -161,15 +155,12 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
         if (PlanMustBeEmpty(def.plan, known_empty) &&
             catalog.Has(def.name)) {
           // Reuse the existing (emptied) definition without executing.
-          t = Table(def.name, (*catalog.Get(def.name))->schema());
+          GPR_ASSIGN_OR_RETURN(Table * prev, catalog.Get(def.name));
+          t = Table(def.name, prev->schema());
         } else {
-          auto mat =
-              ExecutePlan(def.plan, catalog, profile, &ctx, &result.counters);
-          if (!mat.ok()) {
-            cleanup();
-            return mat.status();
-          }
-          t = std::move(mat).value();
+          GPR_ASSIGN_OR_RETURN(
+              t, ExecutePlan(def.plan, catalog, profile, &ctx,
+                             &result.counters));
           t.set_name(def.name);
         }
         if (profile.insert_logging) {
@@ -177,49 +168,40 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
         }
         if (t.Empty()) known_empty.insert(def.name);
         if (!catalog.Has(def.name)) {
-          GPR_CHECK_OK(catalog.CreateTempTable(def.name, t.schema()));
-          created.push_back(def.name);
+          GPR_RETURN_NOT_OK(scope.Create(def.name, t.schema()));
         }
-        GPR_CHECK_OK(catalog.ReplaceTable(def.name, std::move(t)));
+        GPR_RETURN_NOT_OK(catalog.ReplaceTable(def.name, std::move(t)));
       }
       if (PlanMustBeEmpty(block.delta_plan, known_empty)) {
         continue;  // C_b = 0
       }
-      auto dres =
-          ExecutePlan(block.delta_plan, catalog, profile, &ctx,
-                      &result.counters);
-      if (!dres.ok()) {
-        cleanup();
-        return dres.status();
-      }
-      if (!delta.schema().UnionCompatible(dres->schema())) {
-        cleanup();
+      GPR_ASSIGN_OR_RETURN(
+          Table dres, ExecutePlan(block.delta_plan, catalog, profile, &ctx,
+                                  &result.counters));
+      if (!delta.schema().UnionCompatible(dres.schema())) {
         return Status::TypeMismatch(
-            "recursive subquery result " + dres->schema().ToString() +
+            "recursive subquery result " + dres.schema().ToString() +
             " is incompatible with " + proc.rec_schema.ToString());
       }
-      if (!dres->Empty()) {
+      if (!dres.Empty()) {
         any_rows = true;
-        for (auto& row : dres->mutable_rows()) delta.AddRow(std::move(row));
+        for (auto& row : dres.mutable_rows()) delta.AddRow(std::move(row));
       }
     }
 
     // Exit check: all C_i are zero.
     if (!any_rows) {
+      GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(proc.rec_table));
       result.converged = true;
       result.iters.push_back(
           {iter_timer.ElapsedMillis(),
-           working_mode ? full_accum.NumRows()
-                        : (*catalog.Get(proc.rec_table))->NumRows(),
-           0});
+           working_mode ? full_accum.NumRows() : rec->NumRows(), 0});
       ++result.iterations;
       break;
     }
 
     // Combine delta into R.
-    auto rec = catalog.Get(proc.rec_table);
-    GPR_CHECK_OK(rec.status());
-    Table* r = *rec;
+    GPR_ASSIGN_OR_RETURN(Table * r, catalog.Get(proc.rec_table));
     bool changed = false;
     switch (proc.mode) {
       case UnionMode::kUnionAll: {
@@ -230,7 +212,7 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
             changed = true;
           }
           delta.set_name(proc.rec_table);
-          GPR_CHECK_OK(catalog.ReplaceTable(proc.rec_table, delta));
+          GPR_RETURN_NOT_OK(catalog.ReplaceTable(proc.rec_table, delta));
           break;
         }
         for (auto& row : delta.mutable_rows()) {
@@ -250,7 +232,7 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
             working.AddRow(std::move(row));
             changed = true;
           }
-          GPR_CHECK_OK(
+          GPR_RETURN_NOT_OK(
               catalog.ReplaceTable(proc.rec_table, std::move(working)));
           break;
         }
@@ -263,28 +245,27 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
         break;
       }
       case UnionMode::kUnionByUpdate: {
-        auto updated = UnionByUpdate(*r, delta, proc.update_keys,
-                                     proc.ubu_impl, profile);
-        if (!updated.ok()) {
-          cleanup();
-          return updated.status();
-        }
-        changed = !updated->SameRowsAs(*r);
+        GPR_ASSIGN_OR_RETURN(Table updated,
+                             UnionByUpdate(*r, delta, proc.update_keys,
+                                           proc.ubu_impl, profile));
+        changed = !updated.SameRowsAs(*r);
         if (profile.insert_logging) {
-          for (const auto& row : updated->rows()) redo.LogInsert(row);
+          for (const auto& row : updated.rows()) redo.LogInsert(row);
         }
-        GPR_CHECK_OK(
-            catalog.ReplaceTable(proc.rec_table, std::move(updated).value()));
+        GPR_RETURN_NOT_OK(
+            catalog.ReplaceTable(proc.rec_table, std::move(updated)));
         break;
       }
     }
 
     ++result.iterations;
-    result.iters.push_back({iter_timer.ElapsedMillis(),
-                            working_mode
-                                ? full_accum.NumRows()
-                                : (*catalog.Get(proc.rec_table))->NumRows(),
-                            delta.NumRows()});
+    {
+      GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(proc.rec_table));
+      result.iters.push_back(
+          {iter_timer.ElapsedMillis(),
+           working_mode ? full_accum.NumRows() : rec->NumRows(),
+           delta.NumRows()});
+    }
     if (!changed) {
       result.converged = true;
       break;
@@ -294,17 +275,16 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
     }
   }
 
-  // select ... from R — copy the result out, then drop all temporaries.
+  // select ... from R — copy the result out; TempTableScope drops all
+  // temporaries when it goes out of scope.
   if (working_mode) {
     result.table = std::move(full_accum);
     result.table.set_name(proc.rec_table);
   } else {
-    auto rec = catalog.Get(proc.rec_table);
-    GPR_CHECK_OK(rec.status());
-    result.table = **rec;
+    GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(proc.rec_table));
+    result.table = *rec;
     result.table.DropIndexes();
   }
-  cleanup();
   return result;
 }
 

@@ -47,10 +47,16 @@ struct PsmProcedure {
 Result<PsmProcedure> CompileToPsm(const WithPlusQuery& query);
 
 /// Algorithm 1, line 5: "call F_Q". Runs the procedure against `catalog`
-/// under `profile`; all temporaries are dropped before returning.
+/// under `profile`; all temporaries are dropped before returning — on
+/// success, on error, and on governed aborts alike (ra::TempTableScope).
+///
+/// `gov` (optional) is the execution governor: checked once per fixpoint
+/// iteration and at every operator boundary of the plans executed inside.
+/// nullptr = ungoverned (no per-operator overhead).
 Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
                                      ra::Catalog& catalog,
                                      const EngineProfile& profile,
-                                     uint64_t seed = 42);
+                                     uint64_t seed = 42,
+                                     exec::ExecContext* gov = nullptr);
 
 }  // namespace gpr::core

@@ -84,8 +84,13 @@ Result<WithPlusResult> ExecuteWithPlus(const WithPlusQuery& query,
         analysis::GateWithPlus(query, catalog, &gate_warnings));
   }
   GPR_ASSIGN_OR_RETURN(PsmProcedure proc, CompileToPsm(query));
-  GPR_ASSIGN_OR_RETURN(WithPlusResult result,
-                       CallProcedure(proc, catalog, profile, seed));
+  // Build the execution governor (nullopt = fully ungoverned fast path).
+  GPR_ASSIGN_OR_RETURN(
+      std::optional<exec::ExecContext> gov,
+      exec::MakeGovernor(query.governor, query.cancel, query.fault_spec));
+  GPR_ASSIGN_OR_RETURN(
+      WithPlusResult result,
+      CallProcedure(proc, catalog, profile, seed, gov ? &*gov : nullptr));
   result.gate_warnings = gate_warnings;
   return result;
 }

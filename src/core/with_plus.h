@@ -20,6 +20,7 @@
 
 #include "core/plan.h"
 #include "core/union_by_update.h"
+#include "exec/exec_context.h"
 #include "ra/catalog.h"
 #include "util/status.h"
 
@@ -71,6 +72,19 @@ struct WithPlusQuery {
   /// terminates on DAGs there). Default (false) is the paper's
   /// "algebra + while" reading where R is the full relation.
   bool sql99_working_table = false;
+
+  /// Execution-governance knobs (docs/robustness.md). All-zero limits, a
+  /// null token, and an empty fault spec keep the run ungoverned (the
+  /// zero-overhead fast path). A violation fails the query with
+  /// DeadlineExceeded / ResourceExhausted / Cancelled carrying
+  /// partial-progress metadata; all temporaries are dropped either way.
+  exec::ExecLimits governor;
+  /// Cooperative cancellation: keep a copy of this token (after
+  /// CancellationToken::Create()) and RequestCancel() from anywhere.
+  exec::CancellationToken cancel;
+  /// Fault-injection spec (exec::FaultInjector); "" consults the
+  /// GPR_FAULTS environment variable, "none" disables injection.
+  std::string fault_spec;
 };
 
 /// Wall-clock and cardinality record of one fixpoint iteration — the raw

@@ -1,0 +1,113 @@
+#include "exec/exec_context.h"
+
+#include <sstream>
+
+namespace gpr::exec {
+
+std::string ProgressDetail::ToString() const {
+  std::ostringstream os;
+  os << "progress: iterations=" << progress_.iterations
+     << " rows=" << progress_.rows_produced
+     << " bytes=" << progress_.bytes_produced
+     << " checkpoints=" << progress_.checkpoints;
+  if (!progress_.tripped.empty()) os << " tripped=" << progress_.tripped;
+  return os.str();
+}
+
+const ProgressDetail* ProgressDetail::FromStatus(const Status& s) {
+  const auto& d = s.detail();
+  if (d == nullptr || std::string(d->type_id()) != kTypeId) return nullptr;
+  return static_cast<const ProgressDetail*>(d.get());
+}
+
+Status ExecContext::Trip(StatusCode code, const char* budget,
+                         const char* site, std::string why) {
+  progress_.tripped = budget;
+  Status st(code, std::move(why) + " (at operator '" + site + "')");
+  return std::move(st).WithDetail(
+      std::make_shared<ProgressDetail>(progress_));
+}
+
+Status ExecContext::Checkpoint(const char* site) {
+  ++progress_.checkpoints;
+  if (faults_.has_value()) {
+    Status injected = faults_->OnCheckpoint(site, cancel_);
+    if (!injected.ok()) return injected;
+  }
+  return Poll(site);
+}
+
+Status ExecContext::Poll(const char* site) {
+  if (cancel_.cancel_requested()) {
+    return Trip(StatusCode::kCancelled, "cancelled", site,
+                "execution cancelled");
+  }
+  if (limits_.deadline_ms > 0) {
+    const double elapsed = timer_.ElapsedMillis();
+    if (elapsed > limits_.deadline_ms) {
+      std::ostringstream os;
+      os << "deadline of " << limits_.deadline_ms << " ms exceeded after "
+         << elapsed << " ms";
+      return Trip(StatusCode::kDeadlineExceeded, "deadline", site, os.str());
+    }
+  }
+  return Status::OK();
+}
+
+Status ExecContext::ChargeRows(const char* site, uint64_t rows,
+                               uint64_t bytes) {
+  progress_.rows_produced += rows;
+  progress_.bytes_produced += bytes;
+  if (limits_.row_budget > 0 && progress_.rows_produced > limits_.row_budget) {
+    return Trip(StatusCode::kResourceExhausted, "rows", site,
+                "row budget of " + std::to_string(limits_.row_budget) +
+                    " exhausted (" +
+                    std::to_string(progress_.rows_produced) +
+                    " rows materialized)");
+  }
+  if (limits_.byte_budget > 0 &&
+      progress_.bytes_produced > limits_.byte_budget) {
+    return Trip(StatusCode::kResourceExhausted, "bytes", site,
+                "byte budget of " + std::to_string(limits_.byte_budget) +
+                    " exhausted (~" +
+                    std::to_string(progress_.bytes_produced) +
+                    " bytes materialized)");
+  }
+  return Status::OK();
+}
+
+Status ExecContext::CheckIteration(uint64_t completed) {
+  progress_.iterations = completed;
+  if (limits_.iteration_cap > 0 &&
+      completed >= static_cast<uint64_t>(limits_.iteration_cap)) {
+    return Trip(StatusCode::kResourceExhausted, "iterations", "iteration",
+                "iteration cap of " +
+                    std::to_string(limits_.iteration_cap) +
+                    " reached without convergence");
+  }
+  return Checkpoint("iteration");
+}
+
+Result<std::optional<ExecContext>> MakeGovernor(
+    const ExecLimits& limits, const CancellationToken& cancel,
+    const std::string& fault_spec) {
+  std::optional<FaultInjector> injector;
+  if (fault_spec == "none") {
+    // Explicitly ungoverned injection: ignore the environment too.
+  } else if (!fault_spec.empty()) {
+    GPR_ASSIGN_OR_RETURN(FaultInjector fi,
+                         FaultInjector::FromSpec(fault_spec));
+    injector = std::move(fi);
+  } else {
+    GPR_ASSIGN_OR_RETURN(std::optional<FaultInjector> fi,
+                         FaultInjector::FromEnv());
+    injector = std::move(fi);
+  }
+  if (!limits.Any() && !cancel.valid() && !injector.has_value()) {
+    return std::optional<ExecContext>();  // ungoverned fast path
+  }
+  return std::optional<ExecContext>(
+      ExecContext(limits, cancel, std::move(injector)));
+}
+
+}  // namespace gpr::exec

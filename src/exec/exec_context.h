@@ -1,0 +1,167 @@
+// The execution governor: resource budgets, deadlines, cooperative
+// cancellation, and fault injection for the with+ fixpoint engines.
+//
+// A production RDBMS never runs an unbounded recursive query without
+// statement timeouts and resource governance. ExecContext supplies that
+// layer for the "algebra + while" executors: it carries a wall-clock
+// deadline, a row/byte budget over materialized intermediates, an
+// iteration cap, and a cancellation token, and is consulted
+//
+//   * at every operator boundary of the plan executor
+//     (ExecContext::Checkpoint + ChargeRows, via core::ExecutePlan),
+//   * once per fixpoint iteration (ExecContext::CheckIteration, by
+//     core::CallProcedure and core::ExecuteMutual),
+//   * and — sampled every few thousand rows — inside the long row loops of
+//     the ra operators (ExecContext::Poll, via ra::EvalContext::exec).
+//
+// A violation returns Status::DeadlineExceeded / ResourceExhausted /
+// Cancelled carrying a ProgressDetail payload (iterations completed, rows
+// and bytes produced, which budget tripped) — never an abort. Catalog
+// hygiene on those paths is guaranteed by ra::TempTableScope.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "exec/fault_injector.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace gpr::exec {
+
+/// Resource limits; 0 means "unbounded" for every field.
+struct ExecLimits {
+  /// Wall-clock budget, measured from ExecContext construction.
+  double deadline_ms = 0;
+  /// Total rows materialized by operators (scans are borrowed, not
+  /// counted; a row flowing through k materializing operators costs k).
+  uint64_t row_budget = 0;
+  /// Estimated bytes materialized (rows × columns × slot size).
+  uint64_t byte_budget = 0;
+  /// Fixpoint iterations; unlike the `maxrecursion` hint — which stops
+  /// quietly and returns the partial result — tripping this cap is an
+  /// error (ResourceExhausted).
+  int iteration_cap = 0;
+
+  bool Any() const {
+    return deadline_ms > 0 || row_budget > 0 || byte_budget > 0 ||
+           iteration_cap > 0;
+  }
+};
+
+/// Shared cooperative-cancellation handle. Copies alias the same flag; the
+/// default-constructed token is null ("cancellation not possible"), which
+/// lets the engines skip governance entirely when no knob is set.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  static CancellationToken Create() {
+    CancellationToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  bool valid() const { return flag_ != nullptr; }
+  /// No-op on a null token.
+  void RequestCancel() const {
+    if (flag_) flag_->store(true, std::memory_order_relaxed);
+  }
+  /// False on a null token.
+  bool cancel_requested() const {
+    return flag_ && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Partial-progress record carried by governor failures.
+struct ExecProgress {
+  uint64_t iterations = 0;      ///< fixpoint iterations completed
+  uint64_t rows_produced = 0;   ///< rows materialized by operators
+  uint64_t bytes_produced = 0;  ///< estimated bytes materialized
+  uint64_t checkpoints = 0;     ///< operator boundaries crossed
+  std::string tripped;          ///< which budget tripped ("deadline",
+                                ///< "rows", "bytes", "iterations",
+                                ///< "cancelled"); empty while healthy
+};
+
+/// StatusDetail payload attaching ExecProgress to a governor Status.
+class ProgressDetail : public StatusDetail {
+ public:
+  static constexpr const char* kTypeId = "gpr.exec.progress";
+
+  explicit ProgressDetail(ExecProgress progress)
+      : progress_(std::move(progress)) {}
+
+  const char* type_id() const override { return kTypeId; }
+  std::string ToString() const override;
+  const ExecProgress& progress() const { return progress_; }
+
+  /// Downcasts the detail of `s`, or nullptr when absent / another type.
+  static const ProgressDetail* FromStatus(const Status& s);
+
+ private:
+  ExecProgress progress_;
+};
+
+class ExecContext {
+ public:
+  /// Unbounded, uncancellable, fault-free (still counts progress).
+  ExecContext() : ExecContext(ExecLimits{}, CancellationToken::Create()) {}
+
+  /// `cancel` may be a null token; one is created internally so that
+  /// fault-injected cancellation (cancel:<n>) always has a flag to flip.
+  explicit ExecContext(ExecLimits limits,
+                       CancellationToken cancel = CancellationToken(),
+                       std::optional<FaultInjector> faults = std::nullopt)
+      : limits_(limits),
+        cancel_(cancel.valid() ? cancel : CancellationToken::Create()),
+        faults_(std::move(faults)) {}
+
+  /// Operator-boundary check: fault injection, cancellation, deadline.
+  Status Checkpoint(const char* site);
+
+  /// Accounts `rows`/`bytes` of materialized output against the budgets.
+  Status ChargeRows(const char* site, uint64_t rows, uint64_t bytes);
+
+  /// Fixpoint-iteration check; `completed` is the engine's count of fully
+  /// finished iterations (recorded as progress and checked against the
+  /// iteration cap).
+  Status CheckIteration(uint64_t completed);
+
+  /// Cheap mid-operator poll (cancellation + deadline only — no fault
+  /// injection, so injected-fault determinism is independent of row
+  /// counts). Callers sample it every few thousand rows.
+  Status Poll(const char* site);
+
+  const ExecLimits& limits() const { return limits_; }
+  const ExecProgress& progress() const { return progress_; }
+  const CancellationToken& cancel_token() const { return cancel_; }
+  FaultInjector* faults() {
+    return faults_.has_value() ? &*faults_ : nullptr;
+  }
+
+ private:
+  /// Builds the governed failure for `budget`, attaching ProgressDetail.
+  Status Trip(StatusCode code, const char* budget, const char* site,
+              std::string why);
+
+  ExecLimits limits_;
+  CancellationToken cancel_;
+  std::optional<FaultInjector> faults_;
+  WallTimer timer_;
+  ExecProgress progress_;
+};
+
+/// Builds the governor for one query execution: nullopt when ungoverned
+/// (no limits, null token, no fault spec — the zero-overhead fast path).
+/// `fault_spec` "" consults GPR_FAULTS; "none" disables injection.
+Result<std::optional<ExecContext>> MakeGovernor(
+    const ExecLimits& limits, const CancellationToken& cancel,
+    const std::string& fault_spec);
+
+}  // namespace gpr::exec

@@ -1,0 +1,99 @@
+#include "exec/fault_injector.h"
+
+#include <cstdlib>
+
+#include "exec/exec_context.h"
+#include "util/string_util.h"
+
+namespace gpr::exec {
+
+Result<FaultInjector> FaultInjector::FromSpec(const std::string& spec) {
+  FaultInjector fi;
+  fi.spec_ = spec;
+  for (const std::string& raw : Split(spec, ',')) {
+    const std::string entry(Trim(raw));
+    if (entry.empty()) continue;
+    const auto parts = Split(entry, ':');
+    if (parts.size() != 2 || parts[0].empty() || parts[1].empty()) {
+      return Status::InvalidArgument(
+          "fault spec entry '" + entry +
+          "' is not of the form <site>:<n> (spec '" + spec + "')");
+    }
+    const std::string key = ToLower(std::string(Trim(parts[0])));
+    const std::string val(Trim(parts[1]));
+    char* end = nullptr;
+    const double num = std::strtod(val.c_str(), &end);
+    if (end == val.c_str() || *end != '\0' || num < 0) {
+      return Status::InvalidArgument("fault spec entry '" + entry +
+                                     "' needs a non-negative number");
+    }
+    if (key == "rate") {
+      if (num > 100) {
+        return Status::InvalidArgument(
+            "fault rate is a percentage; got " + val);
+      }
+      fi.rate_percent_ = num;
+    } else if (key == "seed") {
+      fi.seed_ = static_cast<uint64_t>(num);
+    } else {
+      if (num < 1 || num != static_cast<uint64_t>(num)) {
+        return Status::InvalidArgument(
+            "fault spec entry '" + entry +
+            "' needs a positive integer checkpoint count");
+      }
+      Directive d;
+      d.site = key == "cancel" ? "any" : key;
+      d.nth = static_cast<uint64_t>(num);
+      d.cancel = key == "cancel";
+      fi.directives_.push_back(std::move(d));
+    }
+  }
+  if (fi.rate_percent_ > 0) fi.rng_.emplace(fi.seed_);
+  return fi;
+}
+
+Result<std::optional<FaultInjector>> FaultInjector::FromEnv() {
+  const char* env = std::getenv("GPR_FAULTS");
+  if (env == nullptr || *env == '\0' || std::string(env) == "none") {
+    return std::optional<FaultInjector>();
+  }
+  GPR_ASSIGN_OR_RETURN(FaultInjector fi, FromSpec(env));
+  return std::optional<FaultInjector>(std::move(fi));
+}
+
+Status FaultInjector::OnCheckpoint(const char* site,
+                                   const CancellationToken& token) {
+  ++total_;
+  const uint64_t site_count = ++site_hits_[site];
+  for (const Directive& d : directives_) {
+    const uint64_t count = d.site == "any" ? total_ : site_count;
+    const bool match = (d.site == "any" || d.site == site) && count == d.nth;
+    if (!match) continue;
+    if (d.cancel) {
+      token.RequestCancel();
+      continue;  // the governor's next poll observes the flag
+    }
+    ++injected_;
+    return Status::ExecutionError(
+        "injected fault at operator '" + std::string(site) + "' (" +
+        d.site + " checkpoint #" + std::to_string(d.nth) + ", spec '" +
+        spec_ + "')");
+  }
+  if (rate_percent_ > 0 && rng_.has_value() &&
+      rng_->NextDouble() * 100.0 < rate_percent_) {
+    ++injected_;
+    return Status::ExecutionError(
+        "injected fault at operator '" + std::string(site) +
+        "' (seeded rate " + std::to_string(rate_percent_) + "%, seed " +
+        std::to_string(seed_) + ", checkpoint #" + std::to_string(total_) +
+        ")");
+  }
+  return Status::OK();
+}
+
+uint64_t FaultInjector::hits(const std::string& site) const {
+  auto it = site_hits_.find(site);
+  return it == site_hits_.end() ? 0 : it->second;
+}
+
+}  // namespace gpr::exec

@@ -1,0 +1,83 @@
+// Deterministic fault injection at operator boundaries.
+//
+// The execution governor (exec_context.h) consults a FaultInjector at every
+// operator checkpoint; the injector decides — from a fully deterministic,
+// user-supplied spec — whether to force a Status failure (simulating an
+// operator error) or to flip the cooperative cancellation token. Tests use
+// it to prove that every error path of the with+ fixpoint engines
+// propagates cleanly and leaks no catalog state.
+//
+// Spec grammar (comma-separated directives; counts are 1-based):
+//
+//   <site>:<n>    fail the n-th checkpoint at operator site <site>
+//                 (sites are the snake_case PlanKind names — "anti_join",
+//                 "join", "scan", ... — plus "iteration" for fixpoint
+//                 passes; see core::PlanKindSite)
+//   any:<n>       fail the n-th checkpoint overall, whatever the site
+//   cancel:<n>    at the n-th checkpoint overall, request cooperative
+//                 cancellation instead of failing (deterministic mid-run
+//                 cancellation for tests)
+//   rate:<p>      fail each checkpoint with probability p percent, drawn
+//                 from a seeded generator (deterministic for a fixed seed
+//                 and execution order)
+//   seed:<s>      seed for rate-based injection (default 42)
+//
+// Example: GPR_FAULTS="anti_join:3,rate:0.5,seed:7"
+//
+// The spec comes either from the query (WithPlusQuery::fault_spec) or,
+// when that is empty, from the GPR_FAULTS environment variable; the
+// literal spec "none" disables injection including the environment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gpr::exec {
+
+class CancellationToken;
+
+class FaultInjector {
+ public:
+  /// Parses a spec string. Fails with InvalidArgument on malformed specs.
+  static Result<FaultInjector> FromSpec(const std::string& spec);
+
+  /// Reads GPR_FAULTS; nullopt when unset, empty, or "none".
+  static Result<std::optional<FaultInjector>> FromEnv();
+
+  /// Called by ExecContext at each operator checkpoint. Returns the
+  /// injected failure when a directive matches, OK otherwise. `token` is
+  /// flipped by cancel:<n> directives.
+  Status OnCheckpoint(const char* site, const CancellationToken& token);
+
+  /// Checkpoints observed at `site` so far.
+  uint64_t hits(const std::string& site) const;
+  uint64_t total_hits() const { return total_; }
+  /// Failures injected (not counting cancel directives).
+  uint64_t injected() const { return injected_; }
+  const std::string& spec() const { return spec_; }
+
+ private:
+  struct Directive {
+    std::string site;  ///< operator site, or "any"
+    uint64_t nth = 0;  ///< 1-based checkpoint count that triggers
+    bool cancel = false;
+  };
+
+  std::string spec_;
+  std::vector<Directive> directives_;
+  double rate_percent_ = 0;
+  uint64_t seed_ = 42;
+  std::optional<Xoshiro256> rng_;
+
+  std::unordered_map<std::string, uint64_t> site_hits_;
+  uint64_t total_ = 0;
+  uint64_t injected_ = 0;
+};
+
+}  // namespace gpr::exec

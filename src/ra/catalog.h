@@ -57,4 +57,40 @@ class Catalog {
   std::unordered_map<std::string, Entry> tables_;
 };
 
+/// RAII scope over the temp tables one execution creates: every table made
+/// through Create() (or adopted via Track()) is dropped when the scope
+/// dies — on success, governed budget trips, operator errors, and early
+/// returns alike. This is what guarantees the fixpoint engines leave the
+/// catalog exactly as they found it on every exit path.
+class TempTableScope {
+ public:
+  explicit TempTableScope(Catalog& catalog) : catalog_(catalog) {}
+  ~TempTableScope() {
+    // Reverse creation order, mirroring nested lifetimes. A table may
+    // legitimately be gone already (e.g. replaced then dropped); only
+    // genuinely tracked names are expected here, so ignore NotFound.
+    for (auto it = names_.rbegin(); it != names_.rend(); ++it) {
+      (void)catalog_.DropTable(*it);
+    }
+  }
+  TempTableScope(const TempTableScope&) = delete;
+  TempTableScope& operator=(const TempTableScope&) = delete;
+
+  /// CreateTempTable + Track in one step.
+  Status Create(const std::string& name, Schema schema) {
+    GPR_RETURN_NOT_OK(catalog_.CreateTempTable(name, std::move(schema)));
+    Track(name);
+    return Status::OK();
+  }
+
+  /// Adopts an existing table into the scope's cleanup set.
+  void Track(std::string name) { names_.push_back(std::move(name)); }
+
+  size_t NumTracked() const { return names_.size(); }
+
+ private:
+  Catalog& catalog_;
+  std::vector<std::string> names_;
+};
+
 }  // namespace gpr::ra

@@ -14,6 +14,10 @@
 #include "util/rng.h"
 #include "util/status.h"
 
+namespace gpr::exec {
+class ExecContext;
+}
+
 namespace gpr::ra {
 
 enum class ExprKind { kColumn, kLiteral, kBinary, kUnary, kCall };
@@ -79,9 +83,15 @@ inline ExprPtr Neg(ExprPtr c) { return Unary(UnaryOp::kNeg, c); }
 inline ExprPtr IsNull(ExprPtr c) { return Unary(UnaryOp::kIsNull, c); }
 inline ExprPtr IsNotNull(ExprPtr c) { return Unary(UnaryOp::kIsNotNull, c); }
 
-/// Evaluation-time services available to expressions (rand()).
+/// Evaluation-time services available to expressions (rand()) and
+/// operators (the execution governor's cooperative checks).
 struct EvalContext {
   Xoshiro256* rng = nullptr;
+  /// Execution governor, when this evaluation runs governed (deadline /
+  /// budgets / cancellation / fault injection); null = ungoverned. The ra
+  /// operators Poll() it inside long row loops; the plan executor
+  /// checkpoints it at operator boundaries.
+  exec::ExecContext* exec = nullptr;
 };
 
 /// A bound expression: column references resolved to indexes, evaluable

@@ -4,8 +4,25 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "exec/exec_context.h"
+
 namespace gpr::ra::ops {
 namespace {
+
+/// Cooperative governance inside long row loops: every kPollStride rows the
+/// operator consults the execution governor so cancellation and deadlines
+/// can interrupt a large materialization mid-flight rather than only at
+/// operator boundaries. Ungoverned runs pay two compares per row.
+constexpr size_t kPollStride = 8192;
+
+inline Status PollGovernor(EvalContext* ctx, size_t counter,
+                           const char* site) {
+  if (ctx != nullptr && ctx->exec != nullptr &&
+      counter % kPollStride == kPollStride - 1) {
+    return ctx->exec->Poll(site);
+  }
+  return Status::OK();
+}
 
 using RowSet = std::unordered_set<Tuple, TupleHash, TupleEq>;
 using RowMultiMap =
@@ -73,7 +90,9 @@ const char* JoinAlgorithmName(JoinAlgorithm a) {
 Result<Table> Select(const Table& in, const ExprPtr& pred, EvalContext* ctx) {
   GPR_ASSIGN_OR_RETURN(CompiledExpr p, Compile(pred, in.schema()));
   Table out(in.name(), in.schema());
-  for (const Tuple& row : in.rows()) {
+  for (size_t i = 0; i < in.NumRows(); ++i) {
+    GPR_RETURN_NOT_OK(PollGovernor(ctx, i, "select"));
+    const Tuple& row = in.row(i);
     if (p.EvalBool(row, ctx)) out.AddRow(row);
   }
   return out;
@@ -92,7 +111,9 @@ Result<Table> Project(const Table& in, const std::vector<ProjectItem>& items,
   Table out(out_name.empty() ? in.name() : std::move(out_name),
             Schema(std::move(cols)));
   out.Reserve(in.NumRows());
-  for (const Tuple& row : in.rows()) {
+  for (size_t i = 0; i < in.NumRows(); ++i) {
+    GPR_RETURN_NOT_OK(PollGovernor(ctx, i, "project"));
+    const Tuple& row = in.row(i);
     Tuple t;
     t.reserve(exprs.size());
     for (const auto& e : exprs) t.push_back(e.Eval(row, ctx));
@@ -220,7 +241,9 @@ Result<Table> HashJoinImpl(const Table& l, const Table& r,
       built[std::move(key)].push_back(i);
     }
   }
-  for (const Tuple& lrow : l.rows()) {
+  for (size_t li = 0; li < l.NumRows(); ++li) {
+    GPR_RETURN_NOT_OK(PollGovernor(ctx, li, "join"));
+    const Tuple& lrow = l.row(li);
     Tuple key = ProjectTuple(lrow, plan.lkeys);
     if (HasNullKey(key)) continue;
     const std::vector<size_t>* matches = nullptr;
@@ -276,7 +299,9 @@ Result<Table> SortMergeJoinImpl(const Table& l, const Table& r,
   }
   size_t i = 0;
   size_t j = 0;
+  size_t steps = 0;
   while (i < lorder.size() && j < rorder.size()) {
+    GPR_RETURN_NOT_OK(PollGovernor(ctx, steps++, "join"));
     Tuple lkey = ProjectTuple(l.row(lorder[i]), plan.lkeys);
     Tuple rkey = ProjectTuple(r.row(rorder[j]), plan.rkeys);
     if (HasNullKey(lkey)) { ++i; continue; }
@@ -319,7 +344,9 @@ Result<Table> NestedLoopJoinImpl(const Table& l, const Table& r,
     GPR_ASSIGN_OR_RETURN(CompiledExpr e, Compile(residual, plan.out_schema));
     res = std::move(e);
   }
-  for (const Tuple& lrow : l.rows()) {
+  for (size_t li = 0; li < l.NumRows(); ++li) {
+    GPR_RETURN_NOT_OK(PollGovernor(ctx, li, "join"));
+    const Tuple& lrow = l.row(li);
     Tuple lkey = ProjectTuple(lrow, plan.lkeys);
     if (HasNullKey(lkey)) continue;
     for (const Tuple& rrow : r.rows()) {
@@ -488,7 +515,9 @@ Result<Table> GroupBy(const Table& in,
   std::unordered_map<Tuple, std::vector<Accumulator>, TupleHash, TupleEq>
       groups;
   std::vector<Tuple> group_order;  // deterministic output order
-  for (const Tuple& row : in.rows()) {
+  for (size_t ri = 0; ri < in.NumRows(); ++ri) {
+    GPR_RETURN_NOT_OK(PollGovernor(ctx, ri, "group_by"));
+    const Tuple& row = in.row(ri);
     Tuple key = ProjectTuple(row, gidx);
     auto [it, inserted] = groups.try_emplace(key);
     if (inserted) {

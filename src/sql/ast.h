@@ -70,7 +70,13 @@ struct SubqueryAst {
 
 enum class CombinatorAst { kUnionAll, kUnion, kUnionByUpdate };
 
-/// with R(cols) as ( q1 <combinator> q2 ... maxrecursion k ) final-select.
+/// with R(cols) as ( q1 <combinator> q2 ... options ) final-select.
+///
+/// Options (any order, each at most once): `maxrecursion k` (quiet
+/// iteration cap, SQL-Server style), plus the execution-governor hints
+/// `maxtime ms`, `maxrows n`, `maxbytes n` — hard budgets that fail the
+/// query with DeadlineExceeded / ResourceExhausted when tripped
+/// (docs/robustness.md).
 struct WithStatementAst {
   std::string rec_name;
   std::vector<std::string> rec_columns;
@@ -78,6 +84,9 @@ struct WithStatementAst {
   std::vector<CombinatorAst> combinators;  ///< between consecutive queries
   std::vector<std::string> update_keys;    ///< union by update attributes
   int maxrecursion = 0;
+  int64_t maxtime_ms = 0;   ///< governor wall-clock deadline; 0 = none
+  int64_t maxrows = 0;      ///< governor row budget; 0 = none
+  int64_t maxbytes = 0;     ///< governor byte budget; 0 = none
   std::optional<SelectCore> final_select;
 };
 

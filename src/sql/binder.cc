@@ -429,6 +429,16 @@ Result<BoundWithStatement> BindWithStatement(const WithStatementAst& ast,
                                 : core::UnionMode::kUnionAll);
   q.update_keys = ast.update_keys;
   q.maxrecursion = ast.maxrecursion;
+  // Governor budgets (maxtime/maxrows/maxbytes hints). Unlike
+  // maxrecursion — which stops quietly — these fail the query when
+  // tripped (DeadlineExceeded / ResourceExhausted).
+  if (ast.maxtime_ms < 0 || ast.maxrows < 0 || ast.maxbytes < 0) {
+    return Status::BindError(
+        "maxtime/maxrows/maxbytes must be non-negative");
+  }
+  q.governor.deadline_ms = static_cast<double>(ast.maxtime_ms);
+  q.governor.row_budget = static_cast<uint64_t>(ast.maxrows);
+  q.governor.byte_budget = static_cast<uint64_t>(ast.maxbytes);
 
   // Classify subqueries; the initialization prefix must not reference R.
   std::vector<const SubqueryAst*> init;

@@ -12,7 +12,8 @@ bool IsKeyword(const std::string& lower) {
       "select", "distinct", "from",  "where",  "group",        "by",
       "union",  "all",      "as",    "with",   "recursive",    "and",
       "or",     "not",      "in",    "is",     "null",         "update",
-      "computed", "maxrecursion", "exists"};
+      "computed", "maxrecursion", "exists", "maxtime",      "maxrows",
+      "maxbytes"};
   for (const char* k : kKeywords) {
     if (lower == k) return true;
   }
@@ -59,9 +60,38 @@ class Parser {
       }
       break;
     }
-    if (AcceptKeyword("maxrecursion")) {
-      GPR_ASSIGN_OR_RETURN(double v, ExpectNumber());
-      stmt.maxrecursion = static_cast<int>(v);
+    // Trailing options, in any order, each at most once: maxrecursion
+    // (quiet cap) and the governor budgets maxtime/maxrows/maxbytes.
+    bool saw_maxrecursion = false, saw_maxtime = false, saw_maxrows = false,
+         saw_maxbytes = false;
+    auto dup = [](const char* opt) {
+      return Status::ParseError(std::string("duplicate option '") + opt +
+                                "' in with+ statement");
+    };
+    while (true) {
+      if (AcceptKeyword("maxrecursion")) {
+        if (saw_maxrecursion) return dup("maxrecursion");
+        saw_maxrecursion = true;
+        GPR_ASSIGN_OR_RETURN(double v, ExpectNumber());
+        stmt.maxrecursion = static_cast<int>(v);
+      } else if (AcceptKeyword("maxtime")) {
+        if (saw_maxtime) return dup("maxtime");
+        saw_maxtime = true;
+        GPR_ASSIGN_OR_RETURN(double v, ExpectNumber());
+        stmt.maxtime_ms = static_cast<int64_t>(v);
+      } else if (AcceptKeyword("maxrows")) {
+        if (saw_maxrows) return dup("maxrows");
+        saw_maxrows = true;
+        GPR_ASSIGN_OR_RETURN(double v, ExpectNumber());
+        stmt.maxrows = static_cast<int64_t>(v);
+      } else if (AcceptKeyword("maxbytes")) {
+        if (saw_maxbytes) return dup("maxbytes");
+        saw_maxbytes = true;
+        GPR_ASSIGN_OR_RETURN(double v, ExpectNumber());
+        stmt.maxbytes = static_cast<int64_t>(v);
+      } else {
+        break;
+      }
     }
     GPR_RETURN_NOT_OK(ExpectSymbol(")"));
     // Optional final select.

@@ -30,6 +30,12 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }
@@ -40,6 +46,11 @@ std::string Status::ToString() const {
   if (!msg_.empty()) {
     out += ": ";
     out += msg_;
+  }
+  if (detail_ != nullptr) {
+    out += " [";
+    out += detail_->ToString();
+    out += "]";
   }
   return out;
 }

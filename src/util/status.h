@@ -4,6 +4,7 @@
 // invariant violations use the CHECK macros in logging.h.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -27,10 +28,23 @@ enum class StatusCode {
   kLimitExceeded,     ///< e.g. maxrecursion reached without convergence
   kIoError,
   kInternal,
+  kDeadlineExceeded,  ///< execution governor: wall-clock deadline passed
+  kResourceExhausted, ///< execution governor: row/byte/iteration budget spent
+  kCancelled,         ///< execution governor: cooperative cancellation
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
 const char* StatusCodeName(StatusCode code);
+
+/// Optional machine-readable payload attached to a Status — e.g. the
+/// execution governor's partial-progress record (gpr::exec::ProgressDetail).
+/// Consumers match on type_id() and downcast.
+class StatusDetail {
+ public:
+  virtual ~StatusDetail() = default;
+  virtual const char* type_id() const = 0;
+  virtual std::string ToString() const = 0;
+};
 
 /// A success-or-error outcome carrying a code and a message. Marked
 /// [[nodiscard]] class-wide: silently dropping a Status hides failures —
@@ -79,14 +93,39 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
 
-  /// "OK" or "<CodeName>: <message>".
+  /// Attaches a machine-readable payload (kept through copies/propagation).
+  Status& SetDetail(std::shared_ptr<const StatusDetail> detail) {
+    detail_ = std::move(detail);
+    return *this;
+  }
+  Status WithDetail(std::shared_ptr<const StatusDetail> detail) && {
+    detail_ = std::move(detail);
+    return std::move(*this);
+  }
+  const std::shared_ptr<const StatusDetail>& detail() const {
+    return detail_;
+  }
+
+  /// "OK" or "<CodeName>: <message>", with " [<detail>]" appended when a
+  /// detail payload is attached.
   std::string ToString() const;
 
+  /// Equality compares code and message only; detail payloads are
+  /// diagnostic and deliberately ignored.
   bool operator==(const Status& other) const {
     return code_ == other.code_ && msg_ == other.msg_;
   }
@@ -94,6 +133,7 @@ class [[nodiscard]] Status {
  private:
   StatusCode code_;
   std::string msg_;
+  std::shared_ptr<const StatusDetail> detail_;
 };
 
 inline std::ostream& operator<<(std::ostream& os, const Status& s) {

@@ -6,6 +6,7 @@
 #include "core/plan.h"
 #include "core/union_by_update.h"
 #include "core/with_plus.h"
+#include "exec/exec_context.h"
 #include "ra/operators.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
@@ -152,6 +153,42 @@ TEST(ErrorPaths, SqlParserErrorsCarryParseErrorCode) {
     }
     EXPECT_EQ(r.status().code(), StatusCode::kParseError) << bad;
   }
+}
+
+TEST(ErrorPaths, GovernorStatusCodesHaveNamesAndFactories) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("too slow").ToString(),
+            "DeadlineExceeded: too slow");
+}
+
+TEST(ErrorPaths, StatusDetailRendersAndIsIgnoredByEquality) {
+  exec::ExecProgress progress;
+  progress.iterations = 3;
+  progress.rows_produced = 120;
+  progress.tripped = "rows";
+  Status with_detail =
+      Status::ResourceExhausted("row budget exhausted")
+          .WithDetail(std::make_shared<exec::ProgressDetail>(progress));
+  // ToString carries the payload...
+  EXPECT_NE(with_detail.ToString().find("iterations=3"), std::string::npos);
+  EXPECT_NE(with_detail.ToString().find("tripped=rows"), std::string::npos);
+  // ...the typed accessor recovers it...
+  const auto* detail = exec::ProgressDetail::FromStatus(with_detail);
+  ASSERT_NE(detail, nullptr);
+  EXPECT_EQ(detail->progress().rows_produced, 120u);
+  // ...and a status of another type yields nullptr, not a bad cast.
+  EXPECT_EQ(exec::ProgressDetail::FromStatus(Status::OK()), nullptr);
+  // Equality compares code + message only.
+  EXPECT_EQ(with_detail, Status::ResourceExhausted("row budget exhausted"));
 }
 
 TEST(ErrorPaths, BinderErrorsCarryBindErrorCode) {

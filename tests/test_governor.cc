@@ -1,0 +1,554 @@
+// Tests for the execution governor (gpr::exec): deadlines, row/byte
+// budgets, iteration caps, cooperative cancellation, deterministic fault
+// injection, catalog hygiene under all of them, and the SQL surface
+// (maxtime / maxrows / maxbytes hints).
+//
+// This binary is also the payload of the CI fault-injection matrix: it is
+// re-run with several GPR_FAULTS settings, so every test either pins the
+// fault spec explicitly ("none" or a literal spec) or is written as a
+// property test that accepts any injected outcome.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "algos/algos.h"
+#include "core/mutual.h"
+#include "core/plan.h"
+#include "core/with_plus.h"
+#include "exec/exec_context.h"
+#include "exec/fault_injector.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace gpr {
+namespace {
+
+namespace ops = ra::ops;
+using core::ExecuteMutual;
+using core::ExecuteWithPlus;
+using core::JoinOp;
+using core::MutualQuery;
+using core::MutualRelation;
+using core::OracleLike;
+using core::ProjectOp;
+using core::RenameOp;
+using core::Scan;
+using core::UnionMode;
+using core::WithPlusQuery;
+using exec::CancellationToken;
+using exec::ExecContext;
+using exec::ExecLimits;
+using exec::FaultInjector;
+using exec::MakeGovernor;
+using exec::ProgressDetail;
+using gpr::testing::MakeCatalog;
+using gpr::testing::TinyGraph;
+using ra::Col;
+using ra::Schema;
+using ra::ValueType;
+
+/// Pins GPR_FAULTS for the lifetime of a test, restoring the previous
+/// value on destruction (the CI matrix sets it process-wide).
+class ScopedFaultsEnv {
+ public:
+  explicit ScopedFaultsEnv(const char* value) {
+    const char* old = std::getenv("GPR_FAULTS");
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv("GPR_FAULTS", value, 1);
+    } else {
+      ::unsetenv("GPR_FAULTS");
+    }
+  }
+  ~ScopedFaultsEnv() {
+    if (had_) {
+      ::setenv("GPR_FAULTS", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("GPR_FAULTS");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+/// TC over E; `spec` pins the fault-injection behaviour.
+WithPlusQuery TcQuery(UnionMode mode, const std::string& spec = "none") {
+  WithPlusQuery q;
+  q.rec_name = "TCg";
+  q.rec_schema = Schema{{"F", ValueType::kInt64}, {"T", ValueType::kInt64}};
+  q.init.push_back(
+      {ProjectOp(Scan("E"), {ops::As(Col("F"), "F"), ops::As(Col("T"), "T")}),
+       {}});
+  q.recursive.push_back(
+      {ProjectOp(JoinOp(Scan("TCg"), Scan("E"), {{"T"}, {"F"}}),
+                 {ops::As(Col("TCg.F"), "F"), ops::As(Col("E.T"), "T")}),
+       {}});
+  q.mode = mode;
+  q.fault_spec = spec;
+  return q;
+}
+
+/// Even/odd path reachability — exercises ExecuteMutual's cleanup paths.
+MutualQuery EvenOddQuery(const std::string& spec = "none") {
+  MutualQuery q;
+  MutualRelation odd;
+  odd.name = "OddG";
+  odd.schema = Schema{{"F", ValueType::kInt64}, {"T", ValueType::kInt64}};
+  odd.init = {ProjectOp(Scan("E"),
+                        {ops::As(Col("F"), "F"), ops::As(Col("T"), "T")})};
+  odd.recursive.plan =
+      ProjectOp(JoinOp(Scan("EvenG"), Scan("E"), {{"T"}, {"F"}}),
+                {ops::As(Col("EvenG.F"), "F"), ops::As(Col("E.T"), "T")});
+  odd.mode = UnionMode::kUnionDistinct;
+  MutualRelation even;
+  even.name = "EvenG";
+  even.schema = odd.schema;
+  even.init = {ProjectOp(
+      JoinOp(RenameOp(Scan("E"), "E1"), RenameOp(Scan("E"), "E2"),
+             {{"T"}, {"F"}}),
+      {ops::As(Col("E1.F"), "F"), ops::As(Col("E2.T"), "T")})};
+  even.recursive.plan =
+      ProjectOp(JoinOp(Scan("OddG"), Scan("E"), {{"T"}, {"F"}}),
+                {ops::As(Col("OddG.F"), "F"), ops::As(Col("E.T"), "T")});
+  even.mode = UnionMode::kUnionDistinct;
+  q.relations = {std::move(odd), std::move(even)};
+  q.fault_spec = spec;
+  return q;
+}
+
+// ---------------------------------------------------------------- budgets
+
+TEST(Governor, UngovernedQueryBuildsNoContext) {
+  auto gov = MakeGovernor(ExecLimits{}, CancellationToken(), "none");
+  ASSERT_TRUE(gov.ok());
+  EXPECT_FALSE(gov->has_value());
+}
+
+TEST(Governor, AnyKnobBuildsAContext) {
+  ExecLimits limits;
+  limits.row_budget = 1;
+  auto gov = MakeGovernor(limits, CancellationToken(), "none");
+  ASSERT_TRUE(gov.ok());
+  EXPECT_TRUE(gov->has_value());
+  auto cancelable =
+      MakeGovernor(ExecLimits{}, CancellationToken::Create(), "none");
+  ASSERT_TRUE(cancelable.ok());
+  EXPECT_TRUE(cancelable->has_value());
+  auto faulty = MakeGovernor(ExecLimits{}, CancellationToken(), "any:1");
+  ASSERT_TRUE(faulty.ok());
+  EXPECT_TRUE(faulty->has_value());
+}
+
+TEST(Governor, DeadlineTripsWithProgressMetadata) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  // Unbounded union-all TC on a cyclic graph never converges; the
+  // governor's deadline is the only thing that stops it.
+  auto q = TcQuery(UnionMode::kUnionAll);
+  q.governor.deadline_ms = 0.05;
+  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  const ProgressDetail* detail = ProgressDetail::FromStatus(result.status());
+  ASSERT_NE(detail, nullptr) << result.status();
+  EXPECT_EQ(detail->progress().tripped, "deadline");
+  EXPECT_GT(detail->progress().checkpoints, 0u);
+  EXPECT_EQ(catalog.TableNames(), before);
+}
+
+TEST(Governor, RowBudgetTripsAsResourceExhausted) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  auto q = TcQuery(UnionMode::kUnionDistinct);
+  q.governor.row_budget = 5;  // the init projection alone produces 6 rows
+  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  const ProgressDetail* detail = ProgressDetail::FromStatus(result.status());
+  ASSERT_NE(detail, nullptr);
+  EXPECT_EQ(detail->progress().tripped, "rows");
+  EXPECT_GT(detail->progress().rows_produced, 5u);
+  EXPECT_EQ(catalog.TableNames(), before);
+}
+
+TEST(Governor, ByteBudgetTripsAsResourceExhausted) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  auto q = TcQuery(UnionMode::kUnionDistinct);
+  q.governor.byte_budget = 16;  // any materialized table exceeds this
+  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  const ProgressDetail* detail = ProgressDetail::FromStatus(result.status());
+  ASSERT_NE(detail, nullptr);
+  EXPECT_EQ(detail->progress().tripped, "bytes");
+  EXPECT_EQ(catalog.TableNames(), before);
+}
+
+TEST(Governor, IterationCapIsAnErrorUnlikeMaxrecursion) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  // The governor cap fails the query...
+  auto governed = TcQuery(UnionMode::kUnionDistinct);
+  governed.governor.iteration_cap = 2;
+  auto gres = ExecuteWithPlus(governed, catalog, OracleLike());
+  ASSERT_FALSE(gres.ok());
+  EXPECT_EQ(gres.status().code(), StatusCode::kResourceExhausted);
+  const ProgressDetail* detail = ProgressDetail::FromStatus(gres.status());
+  ASSERT_NE(detail, nullptr);
+  EXPECT_EQ(detail->progress().tripped, "iterations");
+  EXPECT_EQ(detail->progress().iterations, 2u);
+  EXPECT_EQ(catalog.TableNames(), before);
+  // ...while the maxrecursion hint stops quietly with a partial result.
+  auto hinted = TcQuery(UnionMode::kUnionDistinct);
+  hinted.maxrecursion = 2;
+  auto hres = ExecuteWithPlus(hinted, catalog, OracleLike());
+  ASSERT_TRUE(hres.ok()) << hres.status();
+  EXPECT_FALSE(hres->converged);
+  EXPECT_EQ(hres->iterations, 2u);
+  EXPECT_EQ(catalog.TableNames(), before);
+}
+
+TEST(Governor, GenerousBudgetsDoNotChangeTheResult) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto plain = ExecuteWithPlus(TcQuery(UnionMode::kUnionDistinct), catalog,
+                               OracleLike());
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  auto q = TcQuery(UnionMode::kUnionDistinct);
+  q.governor.deadline_ms = 60000;
+  q.governor.row_budget = 1000000;
+  q.governor.byte_budget = 1ull << 30;
+  q.governor.iteration_cap = 1000;
+  auto governed = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_TRUE(governed.ok()) << governed.status();
+  EXPECT_TRUE(governed->converged);
+  EXPECT_TRUE(governed->table.SameRowsAs(plain->table));
+}
+
+// ----------------------------------------------------------- cancellation
+
+TEST(Governor, PreCancelledTokenFailsImmediately) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  auto q = TcQuery(UnionMode::kUnionDistinct);
+  q.cancel = CancellationToken::Create();
+  q.cancel.RequestCancel();
+  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  const ProgressDetail* detail = ProgressDetail::FromStatus(result.status());
+  ASSERT_NE(detail, nullptr);
+  EXPECT_EQ(detail->progress().tripped, "cancelled");
+  EXPECT_EQ(catalog.TableNames(), before);
+}
+
+TEST(Governor, InjectedMidRunCancellationIsCancelled) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  // cancel:<n> flips the token at the n-th checkpoint — a deterministic
+  // stand-in for a user hitting ctrl-C mid-fixpoint.
+  auto q = TcQuery(UnionMode::kUnionDistinct, "cancel:7");
+  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(catalog.TableNames(), before);
+}
+
+// -------------------------------------------------------- fault injection
+
+TEST(FaultInjection, SpecParsing) {
+  EXPECT_TRUE(FaultInjector::FromSpec("any:1").ok());
+  EXPECT_TRUE(FaultInjector::FromSpec("anti_join:3").ok());
+  EXPECT_TRUE(FaultInjector::FromSpec("join:2,cancel:9").ok());
+  EXPECT_TRUE(FaultInjector::FromSpec("rate:0.5,seed:7").ok());
+  for (const char* bad :
+       {"join", "join:0", "join:-2", "join:x", "rate:150", ":3", "rate:"}) {
+    auto r = FaultInjector::FromSpec(bad);
+    EXPECT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+  // A malformed spec fails governor construction, not execution.
+  auto gov = MakeGovernor(ExecLimits{}, CancellationToken(), "join:zero");
+  EXPECT_EQ(gov.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultInjection, NthCheckpointFailsDeterministically) {
+  auto run = [](const std::string& spec) {
+    auto catalog = MakeCatalog(TinyGraph());
+    return ExecuteWithPlus(TcQuery(UnionMode::kUnionDistinct, spec), catalog,
+                           OracleLike());
+  };
+  auto first = run("any:3");
+  auto second = run("any:3");
+  ASSERT_FALSE(first.ok());
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kExecutionError);
+  // Deterministic: same spec, same query — identical failure.
+  EXPECT_EQ(first.status().ToString(), second.status().ToString());
+  EXPECT_NE(first.status().ToString().find("injected fault"),
+            std::string::npos);
+}
+
+TEST(FaultInjection, SiteDirectiveHitsOnlyThatOperator) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  auto joined =
+      ExecuteWithPlus(TcQuery(UnionMode::kUnionDistinct, "join:1"), catalog,
+                      OracleLike());
+  ASSERT_FALSE(joined.ok());
+  EXPECT_NE(joined.status().ToString().find("'join'"), std::string::npos);
+  EXPECT_EQ(catalog.TableNames(), before);
+  // TC contains no anti-join, so an anti_join directive never fires.
+  auto untouched =
+      ExecuteWithPlus(TcQuery(UnionMode::kUnionDistinct, "anti_join:1"),
+                      catalog, OracleLike());
+  ASSERT_TRUE(untouched.ok()) << untouched.status();
+  EXPECT_TRUE(untouched->converged);
+  EXPECT_EQ(catalog.TableNames(), before);
+}
+
+TEST(FaultInjection, RateHundredPercentFailsFirstCheckpoint) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  auto result =
+      ExecuteWithPlus(TcQuery(UnionMode::kUnionDistinct, "rate:100"), catalog,
+                      OracleLike());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+  EXPECT_EQ(catalog.TableNames(), before);
+}
+
+// The tentpole hygiene property: fault every checkpoint of the run, one at
+// a time, and require a clean Status and an unchanged catalog every time.
+TEST(FaultInjection, SweepLeavesCatalogCleanAtEveryBoundary) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  bool succeeded = false;
+  int failures = 0;
+  for (int n = 1; n <= 500; ++n) {
+    auto q = TcQuery(UnionMode::kUnionDistinct,
+                     "any:" + std::to_string(n));
+    auto result = ExecuteWithPlus(q, catalog, OracleLike());
+    ASSERT_EQ(catalog.TableNames(), before) << "leak at checkpoint " << n;
+    if (result.ok()) {
+      // The n-th checkpoint was never reached: the run completed, so the
+      // whole checkpoint range has been swept.
+      EXPECT_TRUE(result->converged);
+      succeeded = true;
+      break;
+    }
+    ++failures;
+    EXPECT_EQ(result.status().code(), StatusCode::kExecutionError)
+        << result.status();
+  }
+  EXPECT_TRUE(succeeded) << "run still failing after 500 checkpoints";
+  EXPECT_GT(failures, 3) << "sweep too short to mean anything";
+}
+
+TEST(FaultInjection, SweepLeavesMutualRecursionClean) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  bool succeeded = false;
+  for (int n = 1; n <= 500; ++n) {
+    auto result = ExecuteMutual(EvenOddQuery("any:" + std::to_string(n)),
+                                catalog, OracleLike());
+    ASSERT_EQ(catalog.TableNames(), before) << "leak at checkpoint " << n;
+    if (result.ok()) {
+      succeeded = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(succeeded);
+}
+
+TEST(FaultInjection, EnvironmentDrivesDefaultSpec) {
+  ScopedFaultsEnv env("any:1");
+  auto catalog = MakeCatalog(TinyGraph());
+  // fault_spec "" consults GPR_FAULTS...
+  auto q = TcQuery(UnionMode::kUnionDistinct, "");
+  auto injected = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(injected.ok());
+  EXPECT_EQ(injected.status().code(), StatusCode::kExecutionError);
+  // ..."none" shields a query from the environment.
+  auto shielded =
+      ExecuteWithPlus(TcQuery(UnionMode::kUnionDistinct, "none"), catalog,
+                      OracleLike());
+  EXPECT_TRUE(shielded.ok()) << shielded.status();
+}
+
+// The property the CI fault matrix exercises: under ANY ambient GPR_FAULTS
+// spec, a with+ run either succeeds or fails with a clean governed Status —
+// and never leaks catalog state.
+TEST(FaultInjection, AmbientFaultsNeverLeakOrAbort) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  for (int round = 0; round < 3; ++round) {
+    auto with_plus =
+        ExecuteWithPlus(TcQuery(UnionMode::kUnionDistinct, ""), catalog,
+                        OracleLike());
+    if (!with_plus.ok()) {
+      const auto code = with_plus.status().code();
+      EXPECT_TRUE(code == StatusCode::kExecutionError ||
+                  code == StatusCode::kCancelled)
+          << with_plus.status();
+    }
+    EXPECT_EQ(catalog.TableNames(), before);
+    auto mutual = ExecuteMutual(EvenOddQuery(""), catalog, OracleLike());
+    EXPECT_EQ(catalog.TableNames(), before);
+    (void)mutual;
+  }
+}
+
+// ----------------------------------------------------------- governed APIs
+
+TEST(Governor, MutualRecursionHonorsIterationCap) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  auto q = EvenOddQuery();
+  q.governor.iteration_cap = 1;
+  auto result = ExecuteMutual(q, catalog, OracleLike());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  const ProgressDetail* detail = ProgressDetail::FromStatus(result.status());
+  ASSERT_NE(detail, nullptr);
+  EXPECT_EQ(detail->progress().tripped, "iterations");
+  EXPECT_EQ(catalog.TableNames(), before);
+}
+
+TEST(Governor, AlgoOptionsThreadGovernanceThrough) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  algos::AlgoOptions opt;
+  opt.fault_spec = "none";
+  opt.cancel = CancellationToken::Create();
+  opt.cancel.RequestCancel();
+  auto result = algos::TransitiveClosure(catalog, opt);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(catalog.TableNames(), before);
+  opt.cancel = CancellationToken();
+  opt.governor.iteration_cap = 1;
+  auto capped = algos::Wcc(catalog, opt);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(catalog.TableNames(), before);
+}
+
+// ------------------------------------------------------------ SQL surface
+
+TEST(GovernorSql, OptionsParseInAnyOrder) {
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) maxbytes 4096 maxrecursion 3 maxtime 250 "
+      "maxrows 77)");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  EXPECT_EQ(ast->maxrecursion, 3);
+  EXPECT_EQ(ast->maxtime_ms, 250);
+  EXPECT_EQ(ast->maxrows, 77);
+  EXPECT_EQ(ast->maxbytes, 4096);
+}
+
+TEST(GovernorSql, DuplicateOptionIsAParseError) {
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) maxrows 1 maxrows 2)");
+  ASSERT_FALSE(ast.ok());
+  EXPECT_EQ(ast.status().code(), StatusCode::kParseError);
+}
+
+TEST(GovernorSql, BinderMapsOptionsOntoLimits) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) maxtime 1500 maxrows 42 maxbytes 1024)");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  auto bound = sql::BindWithStatement(*ast, catalog);
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_DOUBLE_EQ(bound->query.governor.deadline_ms, 1500.0);
+  EXPECT_EQ(bound->query.governor.row_budget, 42u);
+  EXPECT_EQ(bound->query.governor.byte_budget, 1024u);
+  EXPECT_TRUE(bound->query.governor.Any());
+}
+
+TEST(GovernorSql, MaxrowsFailsTheStatementWhenTripped) {
+  ScopedFaultsEnv env(nullptr);  // isolate from the CI fault matrix
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  auto result = sql::RunSql(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) maxrows 3)",
+      catalog, OracleLike());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(catalog.TableNames(), before);
+  // Without the hint, the same statement completes.
+  auto plain = sql::RunSql(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F))",
+      catalog, OracleLike());
+  EXPECT_TRUE(plain.ok()) << plain.status();
+}
+
+// --------------------------------------------------------- TempTableScope
+
+TEST(TempTableScope, DropsTrackedTablesOnExit) {
+  ra::Catalog catalog;
+  const auto before = catalog.TableNames();
+  {
+    ra::TempTableScope scope(catalog);
+    ASSERT_TRUE(
+        scope.Create("tmp_a", Schema{{"x", ValueType::kInt64}}).ok());
+    ASSERT_TRUE(
+        scope.Create("tmp_b", Schema{{"y", ValueType::kDouble}}).ok());
+    EXPECT_EQ(scope.NumTracked(), 2u);
+    EXPECT_TRUE(catalog.Has("tmp_a"));
+    EXPECT_TRUE(catalog.Has("tmp_b"));
+  }
+  EXPECT_FALSE(catalog.Has("tmp_a"));
+  EXPECT_FALSE(catalog.Has("tmp_b"));
+  EXPECT_EQ(catalog.TableNames(), before);
+}
+
+TEST(TempTableScope, ToleratesAlreadyDroppedTables) {
+  ra::Catalog catalog;
+  {
+    ra::TempTableScope scope(catalog);
+    ASSERT_TRUE(
+        scope.Create("tmp_gone", Schema{{"x", ValueType::kInt64}}).ok());
+    ASSERT_TRUE(catalog.DropTable("tmp_gone").ok());
+  }  // must not blow up on the missing table
+  EXPECT_FALSE(catalog.Has("tmp_gone"));
+}
+
+TEST(TempTableScope, CreateReportsBaseTableCollisions) {
+  ra::Catalog catalog;
+  ra::Table base("base", Schema{{"x", ValueType::kInt64}});
+  ASSERT_TRUE(catalog.CreateTable(std::move(base)).ok());
+  ra::TempTableScope scope(catalog);
+  // A temp table may not shadow a base table; the failed create is not
+  // tracked, so the base table survives the scope.
+  Status st = scope.Create("base", Schema{{"x", ValueType::kInt64}});
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(scope.NumTracked(), 0u);
+}
+
+TEST(TempTableScope, BaseTablesSurviveTheScope) {
+  ra::Catalog catalog;
+  ra::Table base("keepme", Schema{{"x", ValueType::kInt64}});
+  ASSERT_TRUE(catalog.CreateTable(std::move(base)).ok());
+  {
+    ra::TempTableScope scope(catalog);
+    ASSERT_TRUE(
+        scope.Create("tmp_c", Schema{{"x", ValueType::kInt64}}).ok());
+  }
+  EXPECT_TRUE(catalog.Has("keepme"));
+  EXPECT_FALSE(catalog.Has("tmp_c"));
+}
+
+}  // namespace
+}  // namespace gpr
