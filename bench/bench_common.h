@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,62 @@
 #include "util/timer.h"
 
 namespace gpr::bench {
+
+/// True when `flag` (e.g. "--json") appears in argv.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// One machine-readable measurement; serialized as a JSON object so CI can
+/// accumulate the perf trajectory across commits.
+struct BenchRecord {
+  std::string op;       ///< operator / workload name
+  std::string profile;  ///< engine profile (or "-" when irrelevant)
+  std::string dataset;  ///< synthetic dataset label
+  int dop = 1;          ///< degree of parallelism
+  double wall_ms = 0;   ///< best-of-N wall time
+  size_t rows = 0;      ///< output rows (sanity anchor for the timing)
+};
+
+/// Collects BenchRecords and writes them as a JSON array.
+class BenchJsonWriter {
+ public:
+  void Add(BenchRecord r) { records_.push_back(std::move(r)); }
+
+  std::string ToJson() const {
+    std::string out = "[\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "  {\"op\": \"%s\", \"profile\": \"%s\", "
+                    "\"dataset\": \"%s\", \"dop\": %d, "
+                    "\"wall_ms\": %.3f, \"rows\": %zu}%s\n",
+                    r.op.c_str(), r.profile.c_str(), r.dataset.c_str(),
+                    r.dop, r.wall_ms, r.rows,
+                    i + 1 < records_.size() ? "," : "");
+      out += buf;
+    }
+    out += "]\n";
+    return out;
+  }
+
+  /// Writes the JSON array to `path`; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const std::string json = ToJson();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) ==
+                    json.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  std::vector<BenchRecord> records_;
+};
 
 inline double EnvScale(double fallback) {
   const char* v = std::getenv("GPR_SCALE");

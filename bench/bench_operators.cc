@@ -1,13 +1,22 @@
 // Micro-benchmarks (google-benchmark) of the core relational operators:
 // the three join algorithms, MM-/MV-join across semirings, the anti-join
 // implementations, the union-by-update implementations — and the
-// execution-governor overhead on a full fixpoint workload.
+// execution-governor overhead on a full fixpoint workload, at DOP=1 and
+// DOP=max so governor accounting contention is visible.
 //
 // These isolate the operator-level costs the experiment harnesses
 // aggregate; useful for regression-tracking the engine itself.
+//
+// `--json` skips google-benchmark and runs a fixed suite over the hot
+// operators at DOP 1 / 4 / hardware-max, writing BENCH_operators.json
+// (schema: bench_common.h BenchRecord) for CI artifact upload.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <thread>
+
 #include "algos/algos.h"
+#include "bench_common.h"
 #include "core/aggregate_join.h"
 #include "core/anti_join.h"
 #include "core/union_by_update.h"
@@ -138,17 +147,24 @@ BENCHMARK_CAPTURE(BM_UnionByUpdate, drop_alter,
                   core::UnionByUpdateImpl::kDropAlter)
     ->Arg(1 << 14);
 
+int HardwareDop() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
 // Governor overhead on the Fig 7 CONN workload (WCC over a random graph):
 // the same fixpoint run ungoverned (null ExecContext — the fast path) and
-// governed with generous limits that never trip. The acceptance bar for
-// the governance layer is < 2% overhead between the two.
-void BM_ConnFixpoint(benchmark::State& state, bool governed) {
+// governed with generous limits that never trip, at both DOP=1 and
+// DOP=hardware-max (dop=0 below) so the atomic-charging contention cost of
+// the governor under parallel execution is visible. The acceptance bar for
+// the governance layer is < 2% overhead between the pairs.
+void BM_ConnFixpoint(benchmark::State& state, bool governed, int dop) {
   const auto nodes = static_cast<graph::NodeId>(state.range(0));
   graph::Graph g = graph::ErdosRenyi(nodes, 4 * nodes, /*seed=*/13);
   ra::Catalog catalog;
   GPR_CHECK_OK(graph::RegisterGraph(g, &catalog));
   algos::AlgoOptions opt;
   opt.fault_spec = "none";
+  opt.degree_of_parallelism = dop == 0 ? HardwareDop() : dop;
   if (governed) {
     opt.governor.deadline_ms = 3600 * 1000.0;
     opt.governor.row_budget = 1ull << 40;
@@ -164,9 +180,13 @@ void BM_ConnFixpoint(benchmark::State& state, bool governed) {
   }
   state.SetItemsProcessed(state.iterations() * rows);
 }
-BENCHMARK_CAPTURE(BM_ConnFixpoint, ungoverned, false)
+BENCHMARK_CAPTURE(BM_ConnFixpoint, ungoverned_dop1, false, 1)
     ->Arg(1 << 10)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_ConnFixpoint, governed, true)
+BENCHMARK_CAPTURE(BM_ConnFixpoint, governed_dop1, true, 1)
+    ->Arg(1 << 10)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ConnFixpoint, ungoverned_dopmax, false, 0)
+    ->Arg(1 << 10)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ConnFixpoint, governed_dopmax, true, 0)
     ->Arg(1 << 10)->Arg(1 << 12)->Unit(benchmark::kMillisecond);
 
 void BM_GroupBy(benchmark::State& state) {
@@ -181,6 +201,144 @@ void BM_GroupBy(benchmark::State& state) {
 }
 BENCHMARK(BM_GroupBy)->Arg(1 << 14);
 
+// ---------------------------------------------------------------------------
+// --json mode: a fixed, fast suite over the morsel-parallelized operators.
+
+/// Runs `fn` (which returns the output row count) `reps` times; stores the
+/// row count in *rows and returns the best wall time in milliseconds.
+template <typename Fn>
+double BestOfMs(int reps, size_t* rows, const Fn& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    WallTimer t;
+    *rows = fn();
+    best = std::min(best, t.ElapsedMillis());
+  }
+  return best;
+}
+
+int RunJsonSuite() {
+  bench::BenchJsonWriter writer;
+  std::vector<int> dops = {1, 4, HardwareDop()};
+  std::sort(dops.begin(), dops.end());
+  dops.erase(std::unique(dops.begin(), dops.end()), dops.end());
+
+  struct DataSpec {
+    const char* label;
+    size_t rows;
+  };
+  const DataSpec specs[] = {{"rand-4k", 1 << 12}, {"rand-32k", 1 << 15}};
+
+  for (const DataSpec& spec : specs) {
+    Table l = RandomMatrix("L", static_cast<int64_t>(spec.rows / 4),
+                           spec.rows, 21);
+    Table r = RandomMatrix("R", static_cast<int64_t>(spec.rows / 4),
+                           spec.rows, 22);
+    Table vr = RandomVector("VR", static_cast<int64_t>(spec.rows), 23);
+    Table vs = RandomVector("VS", static_cast<int64_t>(spec.rows), 24);
+    for (int dop : dops) {
+      ra::EvalContext ctx;
+      ctx.dop = dop;
+      auto add = [&](const char* op, const char* profile, double ms,
+                     size_t rows) {
+        writer.Add({op, profile, spec.label, dop, ms, rows});
+      };
+      size_t rows = 0;
+      double ms = BestOfMs(3, &rows, [&] {
+        auto out = ops::Select(l, ra::Gt(ra::Col("ew"), ra::Lit(1.0)), &ctx);
+        GPR_CHECK_OK(out.status());
+        return out->NumRows();
+      });
+      add("select", "-", ms, rows);
+
+      ms = BestOfMs(3, &rows, [&] {
+        auto out = ops::Project(
+            l,
+            {ops::As(ra::Add(ra::Col("F"), ra::Col("T")), "k"),
+             ops::As(ra::Mul(ra::Col("ew"), ra::Lit(2.0)), "w")},
+            &ctx);
+        GPR_CHECK_OK(out.status());
+        return out->NumRows();
+      });
+      add("project", "-", ms, rows);
+
+      ms = BestOfMs(3, &rows, [&] {
+        auto out = ops::Join(l, r, {{"T"}, {"F"}},
+                             ops::JoinAlgorithm::kHash, nullptr, &ctx);
+        GPR_CHECK_OK(out.status());
+        return out->NumRows();
+      });
+      add("hash_join", "-", ms, rows);
+
+      ms = BestOfMs(3, &rows, [&] {
+        auto out =
+            ops::GroupBy(l, {"T"}, {ra::SumOf(ra::Col("ew"), "s")}, &ctx);
+        GPR_CHECK_OK(out.status());
+        return out->NumRows();
+      });
+      add("group_by", "-", ms, rows);
+
+      core::EngineProfile profile = core::OracleLike();
+      profile.degree_of_parallelism = dop;
+      ms = BestOfMs(3, &rows, [&] {
+        auto out = core::UnionByUpdate(vr, vs, {"ID"},
+                                       core::UnionByUpdateImpl::kMerge,
+                                       profile);
+        GPR_CHECK_OK(out.status());
+        return out->NumRows();
+      });
+      add("union_by_update", "oracle-like", ms, rows);
+    }
+  }
+
+  // Governed-vs-ungoverned WCC fixpoint at DOP=1 and DOP=max: the governor
+  // overhead numbers the docs quote, in machine-readable form.
+  {
+    const graph::NodeId nodes = 1 << 10;
+    graph::Graph g = graph::ErdosRenyi(nodes, 4 * nodes, /*seed=*/13);
+    ra::Catalog catalog;
+    GPR_CHECK_OK(graph::RegisterGraph(g, &catalog));
+    for (int dop : {1, HardwareDop()}) {
+      for (bool governed : {false, true}) {
+        algos::AlgoOptions opt;
+        opt.fault_spec = "none";
+        opt.degree_of_parallelism = dop;
+        if (governed) {
+          opt.governor.deadline_ms = 3600 * 1000.0;
+          opt.governor.row_budget = 1ull << 40;
+          opt.governor.byte_budget = 1ull << 50;
+          opt.governor.iteration_cap = 1 << 20;
+        }
+        size_t rows = 0;
+        const double ms = BestOfMs(3, &rows, [&] {
+          auto result = algos::Wcc(catalog, opt);
+          GPR_CHECK_OK(result.status());
+          return result->table.NumRows();
+        });
+        writer.Add({governed ? "wcc_fixpoint_governed"
+                             : "wcc_fixpoint_ungoverned",
+                    "-", "er-1k", dop, ms, rows});
+      }
+    }
+  }
+
+  const char* path = "BENCH_operators.json";
+  if (!writer.WriteFile(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path);
+    return 1;
+  }
+  std::printf("%s", writer.ToJson().c_str());
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (gpr::bench::HasFlag(argc, argv, "--json")) return RunJsonSuite();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -22,6 +22,9 @@ Result<WithPlusResult> RunWithPlus(core::WithPlusQuery& q,
   q.governor = options.governor;
   q.cancel = options.cancel;
   q.fault_spec = options.fault_spec;
+  if (options.degree_of_parallelism > 0) {
+    q.degree_of_parallelism = options.degree_of_parallelism;
+  }
   return core::ExecuteWithPlus(q, catalog, options.profile, options.seed);
 }
 

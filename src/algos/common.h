@@ -44,6 +44,12 @@ struct AlgoOptions {
   exec::ExecLimits governor;
   exec::CancellationToken cancel;
   std::string fault_spec;
+
+  /// Degree of parallelism for the ra operators (docs/performance.md);
+  /// 0 = inherit the profile's setting (1 = serial by default). Every
+  /// algorithm's result is DOP-invariant — MIS's rand()-driven steps
+  /// force themselves serial regardless.
+  int degree_of_parallelism = 0;
 };
 
 /// Runs `q` with the governance knobs of `options` applied — the single

@@ -96,6 +96,14 @@ struct EngineProfile {
   /// just later and without plan paths.
   bool static_analysis_gate = true;
 
+  /// Degree of parallelism for the ra operators (docs/performance.md):
+  /// 1 (the default) keeps the untouched serial path, so the paper's
+  /// single-threaded comparisons stay reproducible bit-for-bit; >1 runs
+  /// the hot row loops as morsels on exec::ThreadPool with results
+  /// guaranteed identical to DOP=1. Overridable per query via the SQL
+  /// `parallel N` hint / WithPlusQuery::degree_of_parallelism.
+  int degree_of_parallelism = 1;
+
   WithFeatureMatrix with_features;
 
   /// The algorithm used for a join whose inner input is `inner`.

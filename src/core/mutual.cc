@@ -1,5 +1,6 @@
 #include "core/mutual.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -153,9 +154,15 @@ Result<DatalogProgram> LowerMutualToDatalog(const MutualQuery& query) {
 
 Result<MutualResult> ExecuteMutual(const MutualQuery& query,
                                    ra::Catalog& catalog,
-                                   const EngineProfile& profile,
+                                   const EngineProfile& base_profile,
                                    uint64_t seed) {
   GPR_RETURN_NOT_OK(ValidateMutual(query));
+  // Query-level DOP overrides the profile's (same resolution as
+  // CallProcedure); the resolved value rides on the profile copy.
+  EngineProfile profile = base_profile;
+  if (query.degree_of_parallelism > 0) {
+    profile.degree_of_parallelism = query.degree_of_parallelism;
+  }
   if (query.check_stratification) {
     GPR_ASSIGN_OR_RETURN(DatalogProgram program,
                          LowerMutualToDatalog(query));
@@ -170,6 +177,7 @@ Result<MutualResult> ExecuteMutual(const MutualQuery& query,
   Xoshiro256 rng(seed);
   ra::EvalContext ctx{&rng};
   ctx.exec = gov ? &*gov : nullptr;
+  ctx.dop = std::max(1, profile.degree_of_parallelism);
   ra::TempTableScope scope(catalog);
 
   // Create and initialize every relation.

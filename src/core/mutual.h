@@ -39,6 +39,10 @@ struct MutualQuery {
   std::vector<MutualRelation> relations;  ///< refresh order = vector order
   int maxrecursion = 0;
   bool check_stratification = true;
+  /// Degree of parallelism for the ra operators; 0 = inherit the
+  /// profile's setting, 1 = serial. Results are DOP-invariant
+  /// (docs/performance.md).
+  int degree_of_parallelism = 0;
 
   /// Execution-governance knobs — same semantics as WithPlusQuery's:
   /// all-zero limits + null token + empty spec = ungoverned fast path.

@@ -375,6 +375,13 @@ struct Executor {
 Result<Table> ExecutePlan(const PlanPtr& plan, ra::Catalog& catalog,
                           const EngineProfile& profile, ra::EvalContext* ctx,
                           ExecCounters* counters) {
+  // Callers without an evaluation context (one-shot plans outside a
+  // fixpoint) still get the profile's degree of parallelism.
+  ra::EvalContext local;
+  if (ctx == nullptr && profile.degree_of_parallelism > 1) {
+    local.dop = profile.degree_of_parallelism;
+    ctx = &local;
+  }
   Executor exec{catalog, profile, ctx, counters,
                 ctx != nullptr ? ctx->exec : nullptr};
   GPR_ASSIGN_OR_RETURN(TablePtr out, exec.Exec(plan));

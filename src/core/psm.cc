@@ -1,5 +1,6 @@
 #include "core/psm.h"
 
+#include <algorithm>
 #include <sstream>
 #include <unordered_set>
 
@@ -58,6 +59,7 @@ Result<PsmProcedure> CompileToPsm(const WithPlusQuery& query) {
   proc.update_keys = query.update_keys;
   proc.ubu_impl = query.ubu_impl;
   proc.maxrecursion = query.maxrecursion;
+  proc.degree_of_parallelism = query.degree_of_parallelism;
   proc.sql99_working_table = query.sql99_working_table;
   if (proc.sql99_working_table && query.mode == UnionMode::kUnionByUpdate) {
     return Status::InvalidArgument(
@@ -84,13 +86,21 @@ Result<PsmProcedure> CompileToPsm(const WithPlusQuery& query) {
 
 Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
                                      ra::Catalog& catalog,
-                                     const EngineProfile& profile,
+                                     const EngineProfile& base_profile,
                                      uint64_t seed,
                                      exec::ExecContext* gov) {
   WithPlusResult result;
+  // The query-level `parallel N` hint overrides the profile's DOP; the
+  // resolved value rides on the profile so ⊎ (which takes no EvalContext)
+  // and the plan executor agree on it.
+  EngineProfile profile = base_profile;
+  if (proc.degree_of_parallelism > 0) {
+    profile.degree_of_parallelism = proc.degree_of_parallelism;
+  }
   Xoshiro256 rng(seed);
   ra::EvalContext ctx{&rng};
   ctx.exec = gov;
+  ctx.dop = std::max(1, profile.degree_of_parallelism);
   RedoLog redo;
   // Every temp table is registered here; the destructor drops them on all
   // exit paths (success, plan errors, governed aborts, injected faults).

@@ -35,6 +35,8 @@ struct PsmProcedure {
   std::vector<std::string> update_keys;
   UnionByUpdateImpl ubu_impl = UnionByUpdateImpl::kFullOuterJoin;
   int maxrecursion = 0;
+  /// 0 = inherit the profile's degree_of_parallelism.
+  int degree_of_parallelism = 0;
   bool sql99_working_table = false;
 
   /// A human-readable SQL/PSM sketch of the procedure (documentation and

@@ -1,8 +1,11 @@
 #include "core/union_by_update.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "exec/thread_pool.h"
 #include "ra/operators.h"
 #include "ra/tuple.h"
 
@@ -48,6 +51,28 @@ Status CheckCompatible(const Table& r, const Table& s) {
   return Status::OK();
 }
 
+/// Morsel decomposition for the ⊎ row loops — same shape as the one in
+/// ra/operators.cc (fixed task count from (rows, dop), outputs spliced in
+/// morsel order), but without a governor to poll: ⊎ runs between
+/// operator boundaries, which the fixpoint engines already checkpoint.
+constexpr size_t kMorselRows = 8192;
+
+inline size_t MorselRowsFor(size_t rows, int dop) {
+  const size_t per_worker = (rows + dop - 1) / static_cast<size_t>(dop);
+  return std::clamp<size_t>(per_worker, 1, kMorselRows);
+}
+
+template <typename Fn>
+Status RunMorsels(size_t rows, int dop, const Fn& morsel) {
+  const size_t morsel_rows = MorselRowsFor(rows, dop);
+  const size_t num_morsels = exec::NumMorsels(rows, morsel_rows);
+  return exec::ThreadPool::Global().RunTasks(
+      num_morsels, static_cast<size_t>(dop), [&](size_t m) -> Status {
+        const size_t begin = m * morsel_rows;
+        return morsel(m, begin, std::min(rows, begin + morsel_rows));
+      });
+}
+
 /// Shared row-matching machinery for the merge / update-from plans.
 /// `reject_duplicate_source` reproduces MERGE's duplicate-source check.
 /// `update_images` simulates the per-updated-row cost of a *real update*
@@ -55,63 +80,153 @@ Status CheckCompatible(const Table& r, const Table& s) {
 /// join instead of real update"): MERGE writes an undo and a redo image
 /// per modified row (2), UPDATE ... FROM one image (1). The images are
 /// genuinely materialized copies, not sleeps.
+///
+/// `dop` > 1 partitions the source map by key hash and splits the update
+/// scan into morsels (docs/performance.md); the result — including which
+/// duplicate MERGE reports — is identical to the serial run.
 Result<Table> MergeStyle(const Table& r, const Table& s,
                          const std::vector<std::string>& keys,
-                         bool reject_duplicate_source, int update_images) {
+                         bool reject_duplicate_source, int update_images,
+                         int dop) {
   GPR_RETURN_NOT_OK(CheckCompatible(r, s));
   GPR_ASSIGN_OR_RETURN(auto rkeys, ResolveAll(r.schema(), keys));
   GPR_ASSIGN_OR_RETURN(auto skeys, ResolveAll(s.schema(), keys));
 
-  std::unordered_map<Tuple, size_t, ra::TupleHash, ra::TupleEq> s_by_key;
-  s_by_key.reserve(s.NumRows());
-  for (size_t i = 0; i < s.NumRows(); ++i) {
-    Tuple key = ProjectTuple(s.row(i), skeys);
-    auto [it, inserted] = s_by_key.try_emplace(std::move(key), i);
-    if (!inserted) {
-      if (reject_duplicate_source) {
-        return Status::InvalidArgument(
-            "union-by-update: multiple source tuples match key " +
-            TupleToString(ProjectTuple(s.row(i), skeys)) +
-            " (MERGE reports duplicates in the source table)");
-      }
-      it->second = i;  // UPDATE ... FROM: silent last-write-wins
-    }
+  using KeyMap = std::unordered_map<Tuple, size_t, ra::TupleHash, ra::TupleEq>;
+  const size_t num_parts =
+      dop > 1 && (r.NumRows() > 1 || s.NumRows() > 1)
+          ? static_cast<size_t>(dop)
+          : 1;
+  // Dedup-map build: partition p owns the keys hashing to it and scans s
+  // in row order, so last-write-wins picks the same winner as the serial
+  // single map, and partition-local first duplicates combine (min) to the
+  // globally first one.
+  std::vector<KeyMap> s_by_key(num_parts);
+  std::vector<size_t> first_dup(num_parts, SIZE_MAX);
+  GPR_RETURN_NOT_OK(exec::ThreadPool::Global().RunTasks(
+      num_parts, num_parts, [&](size_t p) -> Status {
+        KeyMap& map = s_by_key[p];
+        map.reserve(s.NumRows() / num_parts + 1);
+        Tuple key;
+        for (size_t i = 0; i < s.NumRows(); ++i) {
+          ra::ProjectTupleInto(s.row(i), skeys, &key);
+          if (num_parts > 1 && ra::TupleHash{}(key) % num_parts != p) {
+            continue;
+          }
+          auto [it, inserted] = map.try_emplace(key, i);
+          if (!inserted) {
+            if (reject_duplicate_source) {
+              first_dup[p] = i;
+              return Status::OK();  // the whole merge fails below
+            }
+            it->second = i;  // UPDATE ... FROM: silent last-write-wins
+          }
+        }
+        return Status::OK();
+      }));
+  const size_t dup = *std::min_element(first_dup.begin(), first_dup.end());
+  if (dup != SIZE_MAX) {
+    return Status::InvalidArgument(
+        "union-by-update: multiple source tuples match key " +
+        TupleToString(ProjectTuple(s.row(dup), skeys)) +
+        " (MERGE reports duplicates in the source table)");
   }
+  auto lookup = [&](const Tuple& key) -> const size_t* {
+    const KeyMap& map =
+        s_by_key[num_parts == 1 ? 0 : ra::TupleHash{}(key) % num_parts];
+    auto it = map.find(key);
+    return it == map.end() ? nullptr : &it->second;
+  };
 
   Table out(r.name(), r.schema());
-  out.Reserve(r.NumRows());
   std::unordered_set<Tuple, ra::TupleHash, ra::TupleEq> matched;
-  std::vector<Tuple> image_log;  // undo/redo images of updated rows
-  image_log.reserve(update_images > 0 ? s.NumRows() : 0);
   std::vector<bool> is_key(r.schema().NumColumns(), false);
   for (size_t k : rkeys) is_key[k] = true;
-  for (const Tuple& rr : r.rows()) {
-    Tuple key = ProjectTuple(rr, rkeys);
-    auto it = s_by_key.find(key);
-    if (it == s_by_key.end()) {
-      out.AddRow(rr);
-      continue;
+  // Applies the update scan to r's rows [begin, end), appending result
+  // rows to `part` and the keys of updated rows to `hits`. The image log
+  // is the *real work* of an in-place update; each morsel pays for its
+  // own updated rows.
+  auto update_scan = [&](size_t begin, size_t end, std::vector<Tuple>& part,
+                         std::vector<Tuple>& hits) {
+    Tuple key;
+    std::vector<Tuple> image_log;  // undo/redo images of updated rows
+    for (size_t i = begin; i < end; ++i) {
+      const Tuple& rr = r.row(i);
+      ra::ProjectTupleInto(rr, rkeys, &key);
+      const size_t* si = lookup(key);
+      if (si == nullptr) {
+        part.push_back(rr);
+        continue;
+      }
+      hits.push_back(key);
+      // Update non-key attributes from s (positional; key positions keep
+      // r's values, which equal s's by definition of the match).
+      const Tuple& sr = s.row(*si);
+      if (update_images >= 1) image_log.push_back(rr);  // undo image
+      Tuple updated = rr;
+      // s columns correspond positionally via union-compatible schemas.
+      for (size_t c = 0; c < updated.size(); ++c) {
+        if (!is_key[c]) updated[c] = sr[c];
+      }
+      if (update_images >= 2) image_log.push_back(updated);  // redo image
+      part.push_back(std::move(updated));
+      if (image_log.size() >= 1u << 16) image_log.clear();  // bound memory
     }
-    matched.insert(key);
-    // Update non-key attributes from s (positional; key positions keep r's
-    // values, which equal s's by definition of the match).
-    const Tuple& sr = s.row(it->second);
-    if (update_images >= 1) image_log.push_back(rr);  // undo image
-    Tuple updated = rr;
-    // s columns correspond positionally via the union-compatible schemas.
-    for (size_t c = 0; c < updated.size(); ++c) {
-      if (!is_key[c]) updated[c] = sr[c];
+  };
+  // Appends s's rows [begin, end) that neither matched an r row nor were
+  // superseded by a later duplicate.
+  auto insert_scan = [&](size_t begin, size_t end,
+                         std::vector<Tuple>& part) {
+    Tuple key;
+    for (size_t i = begin; i < end; ++i) {
+      ra::ProjectTupleInto(s.row(i), skeys, &key);
+      if (*lookup(key) != i) continue;  // superseded duplicate
+      if (!matched.count(key)) part.push_back(s.row(i));
     }
-    if (update_images >= 2) image_log.push_back(updated);  // redo image
-    out.AddRow(std::move(updated));
-    if (image_log.size() >= 1u << 16) image_log.clear();  // bound memory
+  };
+  auto splice = [&out](std::vector<std::vector<Tuple>>& parts) {
+    size_t total = 0;
+    for (const auto& part : parts) total += part.size();
+    out.Reserve(out.NumRows() + total);
+    for (auto& part : parts) {
+      for (Tuple& t : part) out.AddRow(std::move(t));
+      part.clear();
+    }
+  };
+
+  if (num_parts > 1) {
+    const size_t rn = r.NumRows();
+    const size_t rm = exec::NumMorsels(rn, MorselRowsFor(rn, dop));
+    std::vector<std::vector<Tuple>> outs(rm);
+    std::vector<std::vector<Tuple>> hits(rm);
+    GPR_RETURN_NOT_OK(
+        RunMorsels(rn, dop, [&](size_t m, size_t begin, size_t end) {
+          outs[m].reserve(end - begin);
+          update_scan(begin, end, outs[m], hits[m]);
+          return Status::OK();
+        }));
+    splice(outs);
+    for (auto& part : hits) {
+      for (Tuple& key : part) matched.insert(std::move(key));
+    }
+    const size_t sn = s.NumRows();
+    const size_t sm = exec::NumMorsels(sn, MorselRowsFor(sn, dop));
+    std::vector<std::vector<Tuple>> inserts(sm);
+    GPR_RETURN_NOT_OK(
+        RunMorsels(sn, dop, [&](size_t m, size_t begin, size_t end) {
+          insert_scan(begin, end, inserts[m]);
+          return Status::OK();
+        }));
+    splice(inserts);
+    return out;
   }
-  // Insert unmatched source tuples.
-  for (size_t i = 0; i < s.NumRows(); ++i) {
-    Tuple key = ProjectTuple(s.row(i), skeys);
-    if (s_by_key.at(key) != i) continue;  // superseded duplicate
-    if (!matched.count(key)) out.AddRow(s.row(i));
-  }
+  out.Reserve(r.NumRows());
+  std::vector<Tuple> hits;
+  update_scan(0, r.NumRows(), out.mutable_rows(), hits);
+  for (Tuple& key : hits) matched.insert(std::move(key));
+  std::vector<Tuple> inserts;
+  insert_scan(0, s.NumRows(), inserts);
+  for (Tuple& t : inserts) out.AddRow(std::move(t));
   return out;
 }
 
@@ -187,14 +302,14 @@ Result<Table> UnionByUpdate(const Table& r, const Table& s,
                                     profile.name);
       }
       return MergeStyle(r, s, keys, /*reject_duplicate_source=*/true,
-                        /*update_images=*/2);
+                        /*update_images=*/2, profile.degree_of_parallelism);
     case UnionByUpdateImpl::kUpdateFrom:
       if (!profile.supports_update_from) {
         return Status::NotSupported("UPDATE ... FROM is not available under " +
                                     profile.name);
       }
       return MergeStyle(r, s, keys, /*reject_duplicate_source=*/false,
-                        /*update_images=*/1);
+                        /*update_images=*/1, profile.degree_of_parallelism);
     case UnionByUpdateImpl::kFullOuterJoin:
       return FullOuterJoinImpl(r, s, keys);
     case UnionByUpdateImpl::kDropAlter:

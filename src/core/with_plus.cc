@@ -64,6 +64,11 @@ Status ValidateWithPlus(const WithPlusQuery& query) {
     return Status::InvalidArgument(
         "maxrecursion must be between 0 and 32767");
   }
+  if (query.degree_of_parallelism < 0 ||
+      query.degree_of_parallelism > 1024) {
+    return Status::InvalidArgument(
+        "parallel degree must be between 0 and 1024");
+  }
   return Status::OK();
 }
 

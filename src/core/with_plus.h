@@ -63,6 +63,11 @@ struct WithPlusQuery {
   UnionByUpdateImpl ubu_impl = UnionByUpdateImpl::kFullOuterJoin;
   /// iteration cap (SQL-Server-style query hint); 0 = unbounded.
   int maxrecursion = 0;
+  /// degree of parallelism for the ra operators (the SQL `parallel N`
+  /// hint); 0 = inherit the profile's setting, 1 = serial. DOP > 1 is
+  /// guaranteed to produce results identical to DOP = 1
+  /// (docs/performance.md).
+  int degree_of_parallelism = 0;
   /// when false, skip the XY-stratification gate (for ablation only).
   bool check_stratification = true;
   /// SQL'99 working-table semantics (union all / union modes only): the

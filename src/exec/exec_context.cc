@@ -20,16 +20,62 @@ const ProgressDetail* ProgressDetail::FromStatus(const Status& s) {
   return static_cast<const ProgressDetail*>(d.get());
 }
 
+ExecContext::ExecContext(ExecContext&& other) noexcept
+    : limits_(other.limits_),
+      cancel_(std::move(other.cancel_)),
+      faults_(std::move(other.faults_)),
+      timer_(other.timer_),
+      iterations_(other.iterations_.load(std::memory_order_relaxed)),
+      rows_produced_(other.rows_produced_.load(std::memory_order_relaxed)),
+      bytes_produced_(other.bytes_produced_.load(std::memory_order_relaxed)),
+      checkpoints_(other.checkpoints_.load(std::memory_order_relaxed)),
+      tripped_(std::move(other.tripped_)) {}
+
+ExecContext& ExecContext::operator=(ExecContext&& other) noexcept {
+  limits_ = other.limits_;
+  cancel_ = std::move(other.cancel_);
+  faults_ = std::move(other.faults_);
+  timer_ = other.timer_;
+  iterations_.store(other.iterations_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  rows_produced_.store(other.rows_produced_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  bytes_produced_.store(other.bytes_produced_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  checkpoints_.store(other.checkpoints_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  tripped_ = std::move(other.tripped_);
+  return *this;
+}
+
+ExecProgress ExecContext::progress() const {
+  ExecProgress p;
+  p.iterations = iterations_.load(std::memory_order_relaxed);
+  p.rows_produced = rows_produced_.load(std::memory_order_relaxed);
+  p.bytes_produced = bytes_produced_.load(std::memory_order_relaxed);
+  p.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(trip_mu_);
+  p.tripped = tripped_;
+  return p;
+}
+
 Status ExecContext::Trip(StatusCode code, const char* budget,
                          const char* site, std::string why) {
-  progress_.tripped = budget;
+  {
+    // First trip wins the `tripped` label; racing workers still fail with
+    // their own cause, so no violation is ever silently swallowed.
+    std::lock_guard<std::mutex> lock(trip_mu_);
+    if (tripped_.empty()) tripped_ = budget;
+  }
+  ExecProgress snapshot = progress();
+  snapshot.tripped = budget;
   Status st(code, std::move(why) + " (at operator '" + site + "')");
   return std::move(st).WithDetail(
-      std::make_shared<ProgressDetail>(progress_));
+      std::make_shared<ProgressDetail>(std::move(snapshot)));
 }
 
 Status ExecContext::Checkpoint(const char* site) {
-  ++progress_.checkpoints;
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
   if (faults_.has_value()) {
     Status injected = faults_->OnCheckpoint(site, cancel_);
     if (!injected.ok()) return injected;
@@ -56,28 +102,27 @@ Status ExecContext::Poll(const char* site) {
 
 Status ExecContext::ChargeRows(const char* site, uint64_t rows,
                                uint64_t bytes) {
-  progress_.rows_produced += rows;
-  progress_.bytes_produced += bytes;
-  if (limits_.row_budget > 0 && progress_.rows_produced > limits_.row_budget) {
+  const uint64_t total_rows =
+      rows_produced_.fetch_add(rows, std::memory_order_relaxed) + rows;
+  const uint64_t total_bytes =
+      bytes_produced_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limits_.row_budget > 0 && total_rows > limits_.row_budget) {
     return Trip(StatusCode::kResourceExhausted, "rows", site,
                 "row budget of " + std::to_string(limits_.row_budget) +
-                    " exhausted (" +
-                    std::to_string(progress_.rows_produced) +
+                    " exhausted (" + std::to_string(total_rows) +
                     " rows materialized)");
   }
-  if (limits_.byte_budget > 0 &&
-      progress_.bytes_produced > limits_.byte_budget) {
+  if (limits_.byte_budget > 0 && total_bytes > limits_.byte_budget) {
     return Trip(StatusCode::kResourceExhausted, "bytes", site,
                 "byte budget of " + std::to_string(limits_.byte_budget) +
-                    " exhausted (~" +
-                    std::to_string(progress_.bytes_produced) +
+                    " exhausted (~" + std::to_string(total_bytes) +
                     " bytes materialized)");
   }
   return Status::OK();
 }
 
 Status ExecContext::CheckIteration(uint64_t completed) {
-  progress_.iterations = completed;
+  iterations_.store(completed, std::memory_order_relaxed);
   if (limits_.iteration_cap > 0 &&
       completed >= static_cast<uint64_t>(limits_.iteration_cap)) {
     return Trip(StatusCode::kResourceExhausted, "iterations", "iteration",

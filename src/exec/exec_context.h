@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -108,6 +109,12 @@ class ProgressDetail : public StatusDetail {
   ExecProgress progress_;
 };
 
+/// Thread-safety: the counters are atomic and Trip serializes through a
+/// mutex, so Poll and ChargeRows may be called concurrently from morsel
+/// workers (exec::ThreadPool). Checkpoint / CheckIteration — the sites
+/// where FaultInjector fires — are only ever reached from the engine's
+/// coordinating thread, which keeps injected-fault sequences deterministic
+/// under any degree of parallelism.
 class ExecContext {
  public:
   /// Unbounded, uncancellable, fault-free (still counts progress).
@@ -121,6 +128,11 @@ class ExecContext {
       : limits_(limits),
         cancel_(cancel.valid() ? cancel : CancellationToken::Create()),
         faults_(std::move(faults)) {}
+
+  /// Moves happen only while the governor is being set up (MakeGovernor
+  /// returns through Result), strictly before any worker can touch it.
+  ExecContext(ExecContext&& other) noexcept;
+  ExecContext& operator=(ExecContext&& other) noexcept;
 
   /// Operator-boundary check: fault injection, cancellation, deadline.
   Status Checkpoint(const char* site);
@@ -139,7 +151,9 @@ class ExecContext {
   Status Poll(const char* site);
 
   const ExecLimits& limits() const { return limits_; }
-  const ExecProgress& progress() const { return progress_; }
+  /// Snapshot of the counters (by value — the live fields keep moving
+  /// under parallel execution).
+  ExecProgress progress() const;
   const CancellationToken& cancel_token() const { return cancel_; }
   FaultInjector* faults() {
     return faults_.has_value() ? &*faults_ : nullptr;
@@ -147,6 +161,7 @@ class ExecContext {
 
  private:
   /// Builds the governed failure for `budget`, attaching ProgressDetail.
+  /// Concurrent trips all fail, but `tripped` records the first cause.
   Status Trip(StatusCode code, const char* budget, const char* site,
               std::string why);
 
@@ -154,7 +169,12 @@ class ExecContext {
   CancellationToken cancel_;
   std::optional<FaultInjector> faults_;
   WallTimer timer_;
-  ExecProgress progress_;
+  std::atomic<uint64_t> iterations_{0};
+  std::atomic<uint64_t> rows_produced_{0};
+  std::atomic<uint64_t> bytes_produced_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  mutable std::mutex trip_mu_;  ///< guards tripped_
+  std::string tripped_;
 };
 
 /// Builds the governor for one query execution: nullopt when ungoverned

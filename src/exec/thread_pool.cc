@@ -1,0 +1,148 @@
+#include "exec/thread_pool.h"
+
+#include <cstdlib>
+
+namespace gpr::exec {
+namespace {
+
+/// Set while a thread executes tasks for some batch; nested RunTasks calls
+/// observe it and run inline instead of waiting on the pool they occupy.
+thread_local bool t_in_worker = false;
+
+size_t DefaultPoolSize() {
+  if (const char* env = std::getenv("GPR_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n >= 1) return static_cast<size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(DefaultPoolSize());
+  return pool;
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Drain(Batch& b) {
+  while (true) {
+    const size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= b.num_tasks) return;
+    // After a failure the remaining tasks are claimed but skipped, so the
+    // finished counter still reaches num_tasks and the caller wakes up.
+    if (!b.failed.load(std::memory_order_relaxed)) {
+      Status st = (*b.fn)(i);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(b.mu);
+        if (i < b.first_failed) {
+          b.first_failed = i;
+          b.error = std::move(st);
+        }
+        b.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (b.finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        b.num_tasks) {
+      // Lock pairs with the caller's wait so the notification cannot slip
+      // between its predicate check and its sleep.
+      std::lock_guard<std::mutex> lock(b.mu);
+      b.cv.notify_all();
+    }
+  }
+}
+
+Status ThreadPool::RunTasks(size_t num_tasks, size_t max_claimers,
+                            const TaskFn& fn) {
+  if (num_tasks == 0) return Status::OK();
+  // Serial fast path; also taken for nested calls from inside a worker,
+  // where waiting on the pool could deadlock it.
+  if (num_tasks == 1 || max_claimers <= 1 || workers_.empty() ||
+      t_in_worker) {
+    for (size_t i = 0; i < num_tasks; ++i) {
+      GPR_RETURN_NOT_OK(fn(i));
+    }
+    return Status::OK();
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;
+  batch->num_tasks = num_tasks;
+  batch->max_claimers = max_claimers;
+  batch->claimers.store(1, std::memory_order_relaxed);  // the caller
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = batch;
+    ++generation_;
+  }
+  cv_.notify_all();
+
+  // The caller is claimer #0 — with an empty pool this is just the serial
+  // loop, and under contention it guarantees forward progress.
+  t_in_worker = true;
+  Drain(*batch);
+  t_in_worker = false;
+
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->cv.wait(lock, [&] {
+      return batch->finished.load(std::memory_order_acquire) ==
+             batch->num_tasks;
+    });
+  }
+  // Unpublish so late-waking workers do not pick up a drained batch; any
+  // worker already holding a reference keeps the Batch alive via its own
+  // shared_ptr and simply finds no task left to claim.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (current_ == batch) current_.reset();
+  }
+  std::lock_guard<std::mutex> lock(batch->mu);
+  return batch->first_failed == SIZE_MAX ? Status::OK()
+                                         : std::move(batch->error);
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return stop_ || (current_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      batch = current_;
+      seen_generation = generation_;
+    }
+    // Admission control: physical parallelism is capped at max_claimers
+    // (the DOP knob); extra workers go back to sleep.
+    if (batch->claimers.fetch_add(1, std::memory_order_relaxed) >=
+        batch->max_claimers) {
+      continue;
+    }
+    t_in_worker = true;
+    Drain(*batch);
+    t_in_worker = false;
+  }
+}
+
+}  // namespace gpr::exec

@@ -1,0 +1,106 @@
+// Morsel-driven parallel execution (Leis et al., SIGMOD 2014) for the ra
+// operators: a lazy, process-wide worker pool plus a task scheduler whose
+// unit of work is a fixed *logical* index, not a thread.
+//
+// The determinism contract every caller relies on:
+//
+//   * Work is split into numbered tasks (morsels of ~8192 rows, hash
+//     partitions, ...) whose count depends only on the input and the
+//     requested degree of parallelism — never on the machine or on
+//     scheduling. Workers claim task indexes from an atomic counter; each
+//     task writes into its own slot, and the caller splices the slots in
+//     task order. The result is therefore byte-identical to a serial run.
+//   * Errors are deterministic too: when several tasks fail, RunTasks
+//     reports the status of the lowest-numbered failed task, which is the
+//     error the serial loop would have hit first.
+//
+// The pool is created on first use (`ThreadPool::Global()`), sized to
+// std::thread::hardware_concurrency() (override: GPR_THREADS), and shared
+// by every operator in the process, as in the paper's design — operators
+// never spawn threads of their own. Nested RunTasks calls from inside a
+// worker run inline on that worker, so composed operators cannot deadlock
+// the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gpr::exec {
+
+class ThreadPool {
+ public:
+  /// A task body: receives the task index in [0, num_tasks).
+  using TaskFn = std::function<Status(size_t)>;
+
+  /// The process-wide pool, created lazily on first call. Thread count is
+  /// max(1, hardware_concurrency), overridable with GPR_THREADS.
+  static ThreadPool& Global();
+
+  /// Number of pool workers (excluding callers, which also participate).
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for every i in [0, num_tasks) and blocks until all have
+  /// finished. At most `max_claimers` threads (the caller plus pool
+  /// workers) execute tasks concurrently, so the physical parallelism is
+  /// min(max_claimers, num_workers() + 1) — but the task decomposition,
+  /// and hence the result, never depends on it.
+  ///
+  /// Runs entirely inline on the calling thread when num_tasks <= 1,
+  /// max_claimers <= 1, or the caller is itself a pool worker (nested
+  /// parallelism). Returns the status of the lowest-numbered failed task,
+  /// or OK.
+  Status RunTasks(size_t num_tasks, size_t max_claimers, const TaskFn& fn);
+
+  /// True when the calling thread is one of this process's pool workers.
+  static bool InWorker();
+
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  /// One RunTasks invocation. Heap-allocated and shared so that a worker
+  /// waking up late (after the caller already returned) holds a valid
+  /// reference and sees an exhausted task counter instead of freed memory.
+  struct Batch {
+    const TaskFn* fn = nullptr;
+    size_t num_tasks = 0;
+    size_t max_claimers = 1;
+    std::atomic<size_t> next{0};      ///< next unclaimed task index
+    std::atomic<size_t> finished{0};  ///< tasks completed (or skipped)
+    std::atomic<size_t> claimers{0};  ///< threads admitted so far
+    std::atomic<bool> failed{false};
+    std::mutex mu;                    ///< guards error + pairs with cv
+    std::condition_variable cv;       ///< caller waits for completion here
+    size_t first_failed = SIZE_MAX;
+    Status error;                     ///< status of task `first_failed`
+  };
+
+  void WorkerLoop();
+  /// Claims and runs tasks until the batch is drained; records failures.
+  static void Drain(Batch& b);
+
+  std::mutex mu_;                ///< guards current_/generation_/stop_
+  std::condition_variable cv_;   ///< workers wait for a new batch here
+  std::shared_ptr<Batch> current_;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Number of ~`morsel_rows`-row morsels covering `rows` inputs; at least 1.
+inline size_t NumMorsels(size_t rows, size_t morsel_rows) {
+  return rows == 0 ? 1 : (rows - 1) / morsel_rows + 1;
+}
+
+}  // namespace gpr::exec

@@ -254,6 +254,7 @@ Result<CompiledExpr> Compile(const ExprPtr& expr, const Schema& schema) {
           if (node.func == 0) {
             return Status::BindError("unknown function '" + e.func_name + "'");
           }
+          if (node.func == kFuncRand) out.deterministic_ = false;
           for (const auto& child : e.children) {
             GPR_ASSIGN_OR_RETURN(int c, Lower(*child));
             node.children.push_back(c);

@@ -92,6 +92,10 @@ struct EvalContext {
   /// operators Poll() it inside long row loops; the plan executor
   /// checkpoints it at operator boundaries.
   exec::ExecContext* exec = nullptr;
+  /// Degree of parallelism for the ra operators (docs/performance.md).
+  /// 1 = the untouched serial path; >1 lets the long row loops split into
+  /// morsels on exec::ThreadPool. Results are identical either way.
+  int dop = 1;
 };
 
 /// A bound expression: column references resolved to indexes, evaluable
@@ -108,6 +112,12 @@ class CompiledExpr {
 
   /// Static result type of the expression (best effort).
   ValueType result_type() const { return result_type_; }
+
+  /// False when the expression calls rand()/random(), whose value depends
+  /// on evaluation order. Operators only evaluate deterministic
+  /// expressions in parallel; the rest (MIS's coin flips) stay serial so
+  /// every DOP reproduces the seeded sequence exactly.
+  bool deterministic() const { return deterministic_; }
 
  private:
   friend Result<CompiledExpr> Compile(const ExprPtr&, const Schema&);
@@ -128,6 +138,7 @@ class CompiledExpr {
   std::vector<Node> nodes_;
   int root_ = -1;
   ValueType result_type_ = ValueType::kNull;
+  bool deterministic_ = true;
 };
 
 /// Binds `expr` against `schema`. Fails with BindError on unknown columns or

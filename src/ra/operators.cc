@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "exec/exec_context.h"
+#include "exec/thread_pool.h"
 
 namespace gpr::ra::ops {
 namespace {
@@ -22,6 +23,55 @@ inline Status PollGovernor(EvalContext* ctx, size_t counter,
     return ctx->exec->Poll(site);
   }
   return Status::OK();
+}
+
+/// Morsel-driven parallelism (docs/performance.md). A DOP above 1 splits
+/// the long row loops into numbered morsels executed on exec::ThreadPool;
+/// each morsel fills a private output slot and the slots are spliced in
+/// morsel order, so the result is byte-identical to the serial loop. The
+/// decomposition depends only on (rows, dop) — never on the machine.
+inline int EffectiveDop(const EvalContext* ctx) {
+  return ctx == nullptr || ctx->dop < 1 ? 1 : ctx->dop;
+}
+
+/// Morsel size: kPollStride rows at scale, shrinking on small inputs so a
+/// DOP-parallel run over a tiny table still splits into `dop` morsels
+/// (what the determinism tests exercise).
+inline size_t MorselRowsFor(size_t rows, int dop) {
+  const size_t per_worker = (rows + dop - 1) / static_cast<size_t>(dop);
+  return std::clamp<size_t>(per_worker, 1, kPollStride);
+}
+
+/// Runs `morsel(index, begin, end)` for every morsel of [0, rows) with up
+/// to `dop` threads, polling the governor once per morsel so cancellation
+/// and deadlines keep the serial poll cadence or better. The first failed
+/// morsel's status is returned (lowest index — same as the serial loop).
+template <typename Fn>
+Status RunMorsels(EvalContext* ctx, size_t rows, int dop, const char* site,
+                  const Fn& morsel) {
+  const size_t morsel_rows = MorselRowsFor(rows, dop);
+  const size_t num_morsels = exec::NumMorsels(rows, morsel_rows);
+  exec::ExecContext* gov = ctx != nullptr ? ctx->exec : nullptr;
+  return exec::ThreadPool::Global().RunTasks(
+      num_morsels, static_cast<size_t>(dop), [&](size_t m) -> Status {
+        if (gov != nullptr) {
+          GPR_RETURN_NOT_OK(gov->Poll(site));
+        }
+        const size_t begin = m * morsel_rows;
+        const size_t end = std::min(rows, begin + morsel_rows);
+        return morsel(m, begin, end);
+      });
+}
+
+/// Moves per-morsel output buffers into `out` in morsel order.
+void SpliceInto(std::vector<std::vector<Tuple>>& parts, Table* out) {
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  out->Reserve(out->NumRows() + total);
+  for (auto& part : parts) {
+    for (Tuple& t : part) out->AddRow(std::move(t));
+    part.clear();
+  }
 }
 
 using RowSet = std::unordered_set<Tuple, TupleHash, TupleEq>;
@@ -90,7 +140,25 @@ const char* JoinAlgorithmName(JoinAlgorithm a) {
 Result<Table> Select(const Table& in, const ExprPtr& pred, EvalContext* ctx) {
   GPR_ASSIGN_OR_RETURN(CompiledExpr p, Compile(pred, in.schema()));
   Table out(in.name(), in.schema());
-  for (size_t i = 0; i < in.NumRows(); ++i) {
+  const size_t n = in.NumRows();
+  const int dop = EffectiveDop(ctx);
+  if (dop > 1 && n > 1 && p.deterministic()) {
+    std::vector<std::vector<Tuple>> parts(
+        exec::NumMorsels(n, MorselRowsFor(n, dop)));
+    GPR_RETURN_NOT_OK(RunMorsels(
+        ctx, n, dop, "select", [&](size_t m, size_t begin, size_t end) {
+          std::vector<Tuple>& part = parts[m];
+          for (size_t i = begin; i < end; ++i) {
+            const Tuple& row = in.row(i);
+            if (p.EvalBool(row, ctx)) part.push_back(row);
+          }
+          return Status::OK();
+        }));
+    SpliceInto(parts, &out);
+    return out;
+  }
+  out.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
     GPR_RETURN_NOT_OK(PollGovernor(ctx, i, "select"));
     const Tuple& row = in.row(i);
     if (p.EvalBool(row, ctx)) out.AddRow(row);
@@ -110,8 +178,32 @@ Result<Table> Project(const Table& in, const std::vector<ProjectItem>& items,
   }
   Table out(out_name.empty() ? in.name() : std::move(out_name),
             Schema(std::move(cols)));
-  out.Reserve(in.NumRows());
-  for (size_t i = 0; i < in.NumRows(); ++i) {
+  const size_t n = in.NumRows();
+  const int dop = EffectiveDop(ctx);
+  const bool deterministic =
+      std::all_of(exprs.begin(), exprs.end(),
+                  [](const CompiledExpr& e) { return e.deterministic(); });
+  if (dop > 1 && n > 1 && deterministic) {
+    std::vector<std::vector<Tuple>> parts(
+        exec::NumMorsels(n, MorselRowsFor(n, dop)));
+    GPR_RETURN_NOT_OK(RunMorsels(
+        ctx, n, dop, "project", [&](size_t m, size_t begin, size_t end) {
+          std::vector<Tuple>& part = parts[m];
+          part.reserve(end - begin);
+          for (size_t i = begin; i < end; ++i) {
+            const Tuple& row = in.row(i);
+            Tuple t;
+            t.reserve(exprs.size());
+            for (const auto& e : exprs) t.push_back(e.Eval(row, ctx));
+            part.push_back(std::move(t));
+          }
+          return Status::OK();
+        }));
+    SpliceInto(parts, &out);
+    return out;
+  }
+  out.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
     GPR_RETURN_NOT_OK(PollGovernor(ctx, i, "project"));
     const Tuple& row = in.row(i);
     Tuple t;
@@ -228,31 +320,100 @@ Result<Table> HashJoinImpl(const Table& l, const Table& r,
     GPR_ASSIGN_OR_RETURN(CompiledExpr e, Compile(residual, plan.out_schema));
     res = std::move(e);
   }
+  int dop = EffectiveDop(ctx);
+  if (res && !res->deterministic()) dop = 1;
   // Reuse the right table's hash index when it covers exactly the join key.
   const HashIndex* index = r.hash_index();
   const bool index_usable =
       index != nullptr && index->key_cols() == plan.rkeys;
-  RowMultiMap built;
-  if (!index_usable) {
-    built.reserve(r.NumRows());
+
+  // Build side. Serial: one map. Parallel: radix-style two-stage build —
+  // morsels bucket right-row indexes by hash partition, then partition p
+  // builds its own map by walking its buckets in morsel order, which keeps
+  // every per-key match list in increasing row order, exactly as the
+  // serial build produces it.
+  const size_t num_parts =
+      !index_usable && dop > 1 && r.NumRows() > 1
+          ? static_cast<size_t>(dop)
+          : 1;
+  std::vector<RowMultiMap> built(index_usable ? 0 : num_parts);
+  if (!index_usable && num_parts == 1) {
+    built[0].reserve(r.NumRows());
     for (size_t i = 0; i < r.NumRows(); ++i) {
       Tuple key = ProjectTuple(r.row(i), plan.rkeys);
       if (HasNullKey(key)) continue;
-      built[std::move(key)].push_back(i);
+      built[0][std::move(key)].push_back(i);
     }
+  } else if (!index_usable) {
+    const size_t rn = r.NumRows();
+    const size_t num_morsels = exec::NumMorsels(rn, MorselRowsFor(rn, dop));
+    std::vector<std::vector<std::vector<size_t>>> buckets(
+        num_morsels, std::vector<std::vector<size_t>>(num_parts));
+    GPR_RETURN_NOT_OK(RunMorsels(
+        ctx, rn, dop, "join", [&](size_t m, size_t begin, size_t end) {
+          Tuple key;
+          for (size_t i = begin; i < end; ++i) {
+            ProjectTupleInto(r.row(i), plan.rkeys, &key);
+            if (HasNullKey(key)) continue;
+            buckets[m][TupleHash{}(key) % num_parts].push_back(i);
+          }
+          return Status::OK();
+        }));
+    GPR_RETURN_NOT_OK(exec::ThreadPool::Global().RunTasks(
+        num_parts, static_cast<size_t>(dop), [&](size_t p) {
+          RowMultiMap& map = built[p];
+          map.reserve(rn / num_parts + 1);
+          Tuple key;
+          for (size_t m = 0; m < num_morsels; ++m) {
+            for (size_t i : buckets[m][p]) {
+              ProjectTupleInto(r.row(i), plan.rkeys, &key);
+              map[key].push_back(i);
+            }
+          }
+          return Status::OK();
+        }));
   }
+  auto find_matches = [&](const Tuple& key) -> const std::vector<size_t>* {
+    if (index_usable) return index->Lookup(key);
+    const RowMultiMap& map =
+        built[num_parts == 1 ? 0 : TupleHash{}(key) % num_parts];
+    auto it = map.find(key);
+    return it == map.end() ? nullptr : &it->second;
+  };
+
+  // Probe side: morsels over l, outputs spliced in morsel order.
+  if (dop > 1 && l.NumRows() > 1) {
+    const size_t ln = l.NumRows();
+    std::vector<std::vector<Tuple>> parts(
+        exec::NumMorsels(ln, MorselRowsFor(ln, dop)));
+    GPR_RETURN_NOT_OK(RunMorsels(
+        ctx, ln, dop, "join", [&](size_t m, size_t begin, size_t end) {
+          std::vector<Tuple>& part = parts[m];
+          Tuple key;
+          for (size_t li = begin; li < end; ++li) {
+            const Tuple& lrow = l.row(li);
+            ProjectTupleInto(lrow, plan.lkeys, &key);
+            if (HasNullKey(key)) continue;
+            const std::vector<size_t>* matches = find_matches(key);
+            if (!matches) continue;
+            for (size_t ri : *matches) {
+              Tuple joined = ConcatRows(lrow, r.row(ri));
+              if (res && !res->EvalBool(joined, ctx)) continue;
+              part.push_back(std::move(joined));
+            }
+          }
+          return Status::OK();
+        }));
+    SpliceInto(parts, &out);
+    return out;
+  }
+  Tuple key;
   for (size_t li = 0; li < l.NumRows(); ++li) {
     GPR_RETURN_NOT_OK(PollGovernor(ctx, li, "join"));
     const Tuple& lrow = l.row(li);
-    Tuple key = ProjectTuple(lrow, plan.lkeys);
+    ProjectTupleInto(lrow, plan.lkeys, &key);
     if (HasNullKey(key)) continue;
-    const std::vector<size_t>* matches = nullptr;
-    if (index_usable) {
-      matches = index->Lookup(key);
-    } else {
-      auto it = built.find(key);
-      if (it != built.end()) matches = &it->second;
-    }
+    const std::vector<size_t>* matches = find_matches(key);
     if (!matches) continue;
     for (size_t ri : *matches) {
       Tuple joined = ConcatRows(lrow, r.row(ri));
@@ -512,10 +673,77 @@ Result<Table> GroupBy(const Table& in,
   }
   Table out("", Schema(std::move(out_cols)));
 
+  const size_t n = in.NumRows();
+  const int dop = EffectiveDop(ctx);
+  const bool deterministic = std::all_of(
+      args.begin(), args.end(),
+      [](const std::optional<CompiledExpr>& e) {
+        return !e || e->deterministic();
+      });
+  if (!group_cols.empty() && dop > 1 && n > 1 && deterministic) {
+    // Parallel aggregation partitions by *group-key hash*, not by input
+    // morsel: partition p owns every group whose key hashes to it and
+    // scans the whole input in row order, accumulating only its groups.
+    // Each group therefore sees its rows in exactly the serial order —
+    // floating-point sums come out bit-identical, with no partial-state
+    // merge step. Output order is rebuilt by sorting groups on the row
+    // index of their first appearance (= the serial first-appearance
+    // order).
+    struct Group {
+      size_t first_row;
+      std::vector<Accumulator> accs;
+    };
+    using GroupMap = std::unordered_map<Tuple, Group, TupleHash, TupleEq>;
+    const size_t num_parts = static_cast<size_t>(dop);
+    std::vector<GroupMap> parts(num_parts);
+    exec::ExecContext* gov = ctx != nullptr ? ctx->exec : nullptr;
+    GPR_RETURN_NOT_OK(exec::ThreadPool::Global().RunTasks(
+        num_parts, num_parts, [&](size_t p) -> Status {
+          GroupMap& groups = parts[p];
+          Tuple key;
+          for (size_t ri = 0; ri < n; ++ri) {
+            if (gov != nullptr && ri % kPollStride == kPollStride - 1) {
+              GPR_RETURN_NOT_OK(gov->Poll("group_by"));
+            }
+            const Tuple& row = in.row(ri);
+            ProjectTupleInto(row, gidx, &key);
+            if (TupleHash{}(key) % num_parts != p) continue;
+            auto [it, inserted] = groups.try_emplace(key);
+            if (inserted) {
+              it->second.first_row = ri;
+              it->second.accs.reserve(aggs.size());
+              for (const auto& a : aggs) it->second.accs.emplace_back(a.kind);
+            }
+            for (size_t i = 0; i < aggs.size(); ++i) {
+              const Value v =
+                  args[i] ? args[i]->Eval(row, ctx) : Value(int64_t{1});
+              it->second.accs[i].Add(v);
+            }
+          }
+          return Status::OK();
+        }));
+    std::vector<std::pair<size_t, std::pair<const Tuple*, const Group*>>>
+        ordered;
+    for (const GroupMap& part : parts) {
+      for (const auto& [key, group] : part) {
+        ordered.push_back({group.first_row, {&key, &group}});
+      }
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out.Reserve(ordered.size());
+    for (const auto& [first_row, entry] : ordered) {
+      Tuple t = *entry.first;
+      for (const auto& acc : entry.second->accs) t.push_back(acc.Finish());
+      out.AddRow(std::move(t));
+    }
+    return out;
+  }
+
   std::unordered_map<Tuple, std::vector<Accumulator>, TupleHash, TupleEq>
       groups;
   std::vector<Tuple> group_order;  // deterministic output order
-  for (size_t ri = 0; ri < in.NumRows(); ++ri) {
+  for (size_t ri = 0; ri < n; ++ri) {
     GPR_RETURN_NOT_OK(PollGovernor(ctx, ri, "group_by"));
     const Tuple& row = in.row(ri);
     Tuple key = ProjectTuple(row, gidx);

@@ -21,6 +21,13 @@ Tuple ProjectTuple(const Tuple& t, const std::vector<size_t>& idx) {
   return out;
 }
 
+void ProjectTupleInto(const Tuple& t, const std::vector<size_t>& idx,
+                      Tuple* out) {
+  out->clear();
+  out->reserve(idx.size());
+  for (size_t i : idx) out->push_back(t[i]);
+}
+
 std::string TupleToString(const Tuple& t) {
   std::ostringstream os;
   os << "(";

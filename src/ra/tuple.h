@@ -42,6 +42,12 @@ int CompareTuples(const Tuple& a, const Tuple& b);
 /// Projection of `t` onto the given column indexes.
 Tuple ProjectTuple(const Tuple& t, const std::vector<size_t>& idx);
 
+/// Projection into a caller-owned scratch tuple — the allocation-free
+/// variant for hot probe loops, where `out`'s capacity is reused across
+/// millions of rows instead of constructing a fresh Tuple per row.
+void ProjectTupleInto(const Tuple& t, const std::vector<size_t>& idx,
+                      Tuple* out);
+
 /// "(v1, v2, ...)" debug rendering.
 std::string TupleToString(const Tuple& t);
 

@@ -87,6 +87,7 @@ struct WithStatementAst {
   int64_t maxtime_ms = 0;   ///< governor wall-clock deadline; 0 = none
   int64_t maxrows = 0;      ///< governor row budget; 0 = none
   int64_t maxbytes = 0;     ///< governor byte budget; 0 = none
+  int parallel_dop = 0;     ///< `parallel N` hint; 0 = inherit profile
   std::optional<SelectCore> final_select;
 };
 

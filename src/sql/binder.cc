@@ -439,6 +439,12 @@ Result<BoundWithStatement> BindWithStatement(const WithStatementAst& ast,
   q.governor.deadline_ms = static_cast<double>(ast.maxtime_ms);
   q.governor.row_budget = static_cast<uint64_t>(ast.maxrows);
   q.governor.byte_budget = static_cast<uint64_t>(ast.maxbytes);
+  // `parallel N` degree-of-parallelism hint; results are DOP-invariant,
+  // so the hint is pure physical tuning (docs/performance.md).
+  if (ast.parallel_dop < 0 || ast.parallel_dop > 1024) {
+    return Status::BindError("parallel degree must be between 0 and 1024");
+  }
+  q.degree_of_parallelism = ast.parallel_dop;
 
   // Classify subqueries; the initialization prefix must not reference R.
   std::vector<const SubqueryAst*> init;

@@ -13,7 +13,7 @@ bool IsKeyword(const std::string& lower) {
       "union",  "all",      "as",    "with",   "recursive",    "and",
       "or",     "not",      "in",    "is",     "null",         "update",
       "computed", "maxrecursion", "exists", "maxtime",      "maxrows",
-      "maxbytes"};
+      "maxbytes", "parallel"};
   for (const char* k : kKeywords) {
     if (lower == k) return true;
   }
@@ -61,9 +61,10 @@ class Parser {
       break;
     }
     // Trailing options, in any order, each at most once: maxrecursion
-    // (quiet cap) and the governor budgets maxtime/maxrows/maxbytes.
+    // (quiet cap), the governor budgets maxtime/maxrows/maxbytes, and the
+    // degree-of-parallelism hint `parallel N`.
     bool saw_maxrecursion = false, saw_maxtime = false, saw_maxrows = false,
-         saw_maxbytes = false;
+         saw_maxbytes = false, saw_parallel = false;
     auto dup = [](const char* opt) {
       return Status::ParseError(std::string("duplicate option '") + opt +
                                 "' in with+ statement");
@@ -89,6 +90,11 @@ class Parser {
         saw_maxbytes = true;
         GPR_ASSIGN_OR_RETURN(double v, ExpectNumber());
         stmt.maxbytes = static_cast<int64_t>(v);
+      } else if (AcceptKeyword("parallel")) {
+        if (saw_parallel) return dup("parallel");
+        saw_parallel = true;
+        GPR_ASSIGN_OR_RETURN(double v, ExpectNumber());
+        stmt.parallel_dop = static_cast<int>(v);
       } else {
         break;
       }

@@ -76,6 +76,16 @@ class ScopedFaultsEnv {
   bool had_ = false;
 };
 
+/// Degree of parallelism for every query this binary runs; the CI fault
+/// matrix sets GPR_TEST_DOP to re-run the whole suite under parallel
+/// execution (faults fire at operator boundaries on the coordinating
+/// thread, so every assertion must hold unchanged at any DOP).
+int TestDop() {
+  const char* v = std::getenv("GPR_TEST_DOP");
+  const int dop = v != nullptr ? std::atoi(v) : 0;
+  return dop > 0 ? dop : 0;
+}
+
 /// TC over E; `spec` pins the fault-injection behaviour.
 WithPlusQuery TcQuery(UnionMode mode, const std::string& spec = "none") {
   WithPlusQuery q;
@@ -90,6 +100,7 @@ WithPlusQuery TcQuery(UnionMode mode, const std::string& spec = "none") {
        {}});
   q.mode = mode;
   q.fault_spec = spec;
+  q.degree_of_parallelism = TestDop();
   return q;
 }
 
@@ -118,6 +129,7 @@ MutualQuery EvenOddQuery(const std::string& spec = "none") {
   even.mode = UnionMode::kUnionDistinct;
   q.relations = {std::move(odd), std::move(even)};
   q.fault_spec = spec;
+  q.degree_of_parallelism = TestDop();
   return q;
 }
 

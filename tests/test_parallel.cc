@@ -1,0 +1,390 @@
+// Tests for morsel-driven parallel execution (docs/performance.md): the
+// thread pool's scheduling contract, DOP-invariance of the ra operators
+// and of every evaluation algorithm, governor budgets under parallel
+// execution, and the SQL `parallel N` hint.
+//
+// The determinism bar everywhere is *row-identical to DOP=1*, including
+// row order — not just set equality.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "algos/registry.h"
+#include "core/plan.h"
+#include "core/union_by_update.h"
+#include "core/with_plus.h"
+#include "exec/exec_context.h"
+#include "exec/thread_pool.h"
+#include "ra/operators.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace gpr {
+namespace {
+
+namespace ops = ra::ops;
+using core::ExecuteWithPlus;
+using core::JoinOp;
+using core::OracleLike;
+using core::ProjectOp;
+using core::Scan;
+using core::UnionMode;
+using core::WithPlusQuery;
+using exec::ProgressDetail;
+using exec::ThreadPool;
+using gpr::testing::MakeCatalog;
+using gpr::testing::TinyDag;
+using gpr::testing::TinyGraph;
+using ra::Col;
+using ra::Gt;
+using ra::Lit;
+using ra::Schema;
+using ra::Table;
+using ra::ValueType;
+
+/// Asserts `a` and `b` hold identical rows in identical order.
+void ExpectRowsIdentical(const Table& a, const Table& b,
+                         const std::string& label) {
+  ASSERT_EQ(a.NumRows(), b.NumRows()) << label;
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    EXPECT_TRUE(a.row(i) == b.row(i)) << label << ": row " << i << " differs";
+  }
+}
+
+Table RandomMatrix(const std::string& name, int64_t n, size_t entries,
+                   uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Table t(name, Schema{{"F", ValueType::kInt64},
+                       {"T", ValueType::kInt64},
+                       {"ew", ValueType::kDouble}});
+  t.Reserve(entries);
+  for (size_t i = 0; i < entries; ++i) {
+    t.AddRow({static_cast<int64_t>(rng.NextBounded(n)),
+              static_cast<int64_t>(rng.NextBounded(n)),
+              rng.NextDouble() * 3.0});
+  }
+  return t;
+}
+
+// ------------------------------------------------------------- thread pool
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  Status st = ThreadPool::Global().RunTasks(hits.size(), 8, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndOneTaskFastPaths) {
+  EXPECT_TRUE(ThreadPool::Global()
+                  .RunTasks(0, 8,
+                            [](size_t) {
+                              return Status::InvalidArgument("never runs");
+                            })
+                  .ok());
+  std::atomic<int> ran{0};
+  Status st = ThreadPool::Global().RunTasks(1, 8, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ran.fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, SerialErrorIsLowestFailedIndex) {
+  Status st = ThreadPool::Global().RunTasks(10, 1, [](size_t i) {
+    if (i >= 3) {
+      return Status::InvalidArgument("task " + std::to_string(i));
+    }
+    return Status::OK();
+  });
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("task 3"), std::string::npos) << st.ToString();
+}
+
+TEST(ThreadPoolTest, ParallelErrorComesFromTheFailedTask) {
+  Status st = ThreadPool::Global().RunTasks(64, 8, [](size_t i) {
+    if (i == 11) return Status::InvalidArgument("task 11 failed");
+    return Status::OK();
+  });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.ToString().find("task 11"), std::string::npos);
+}
+
+TEST(ThreadPoolTest, NestedCallsRunInlineWithoutDeadlock) {
+  std::atomic<int> inner_runs{0};
+  Status st = ThreadPool::Global().RunTasks(4, 4, [&](size_t) {
+    return ThreadPool::Global().RunTasks(8, 4, [&](size_t) {
+      inner_runs.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    });
+  });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(inner_runs.load(), 32);
+}
+
+TEST(ThreadPoolTest, InWorkerIsVisibleInsideTasksOnly) {
+  ASSERT_FALSE(ThreadPool::InWorker());
+  std::atomic<int> in_worker{0};
+  Status st = ThreadPool::Global().RunTasks(16, 4, [&](size_t) {
+    if (ThreadPool::InWorker()) in_worker.fetch_add(1);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(in_worker.load(), 16);
+  EXPECT_FALSE(ThreadPool::InWorker());
+}
+
+TEST(ThreadPoolTest, NumMorselsCoversAllRows) {
+  EXPECT_EQ(exec::NumMorsels(0, 8192), 1u);
+  EXPECT_EQ(exec::NumMorsels(1, 8192), 1u);
+  EXPECT_EQ(exec::NumMorsels(8192, 8192), 1u);
+  EXPECT_EQ(exec::NumMorsels(8193, 8192), 2u);
+  EXPECT_EQ(exec::NumMorsels(100, 7), 15u);
+}
+
+// ------------------------------------------------- operator DOP-invariance
+
+TEST(ParallelOperators, SelectProjectJoinGroupByMatchSerial) {
+  Table t = RandomMatrix("T", 97, 5000, 7);
+  Table r = RandomMatrix("R", 97, 3000, 8);
+
+  auto sel1 = ops::Select(t, Gt(Col("ew"), Lit(1.0)));
+  auto prj1 = ops::Project(
+      t, {ops::As(ra::Add(Col("F"), Col("T")), "k"),
+          ops::As(ra::Mul(Col("ew"), Lit(2.0)), "w")});
+  auto join1 = ops::Join(t, r, {{"T"}, {"F"}});
+  auto grp1 = ops::GroupBy(t, {"T"}, {ra::SumOf(Col("ew"), "s")});
+  ASSERT_TRUE(sel1.ok() && prj1.ok() && join1.ok() && grp1.ok());
+
+  for (int dop : {2, 8}) {
+    ra::EvalContext ctx;
+    ctx.dop = dop;
+    const std::string d = " (dop " + std::to_string(dop) + ")";
+    auto sel = ops::Select(t, Gt(Col("ew"), Lit(1.0)), &ctx);
+    ASSERT_TRUE(sel.ok()) << sel.status();
+    ExpectRowsIdentical(*sel1, *sel, "select" + d);
+    auto prj = ops::Project(
+        t, {ops::As(ra::Add(Col("F"), Col("T")), "k"),
+            ops::As(ra::Mul(Col("ew"), Lit(2.0)), "w")}, &ctx);
+    ASSERT_TRUE(prj.ok()) << prj.status();
+    ExpectRowsIdentical(*prj1, *prj, "project" + d);
+    auto join = ops::Join(t, r, {{"T"}, {"F"}}, ops::JoinAlgorithm::kHash,
+                          nullptr, &ctx);
+    ASSERT_TRUE(join.ok()) << join.status();
+    ExpectRowsIdentical(*join1, *join, "hash join" + d);
+    auto grp = ops::GroupBy(t, {"T"}, {ra::SumOf(Col("ew"), "s")}, &ctx);
+    ASSERT_TRUE(grp.ok()) << grp.status();
+    ExpectRowsIdentical(*grp1, *grp, "group by" + d);
+  }
+}
+
+TEST(ParallelOperators, UnionByUpdateMatchesSerial) {
+  Table r = RandomMatrix("R", 60, 2000, 9);
+  Table s = RandomMatrix("S", 60, 2000, 10);
+  auto base = core::UnionByUpdate(r, s, {"F", "T"},
+                                  core::UnionByUpdateImpl::kUpdateFrom,
+                                  core::PostgresLike());
+  ASSERT_TRUE(base.ok()) << base.status();
+  for (int dop : {2, 8}) {
+    core::EngineProfile profile = core::PostgresLike();
+    profile.degree_of_parallelism = dop;
+    auto out = core::UnionByUpdate(
+        r, s, {"F", "T"}, core::UnionByUpdateImpl::kUpdateFrom, profile);
+    ASSERT_TRUE(out.ok()) << out.status();
+    ExpectRowsIdentical(*base, *out,
+                        "union by update (dop " + std::to_string(dop) + ")");
+  }
+}
+
+TEST(ParallelOperators, MergeStyleDuplicateSourceErrorIsDeterministic) {
+  // MERGE-style ⊎ rejects duplicate source keys; under parallel execution
+  // the reported duplicate must be the serial one (lowest row index).
+  Table r("R", Schema{{"ID", ValueType::kInt64}, {"v", ValueType::kDouble}});
+  r.AddRow({int64_t{1}, 1.0});
+  Table s("S", Schema{{"ID", ValueType::kInt64}, {"v", ValueType::kDouble}});
+  for (int64_t i = 0; i < 100; ++i) s.AddRow({i, 1.0});
+  s.AddRow({int64_t{42}, 2.0});  // first duplicate (row 100 dups row 42)
+  s.AddRow({int64_t{7}, 2.0});   // second duplicate
+  auto serial = core::UnionByUpdate(r, s, {"ID"},
+                                    core::UnionByUpdateImpl::kMerge,
+                                    core::OracleLike());
+  ASSERT_FALSE(serial.ok());
+  for (int dop : {2, 8}) {
+    core::EngineProfile profile = core::OracleLike();
+    profile.degree_of_parallelism = dop;
+    auto out = core::UnionByUpdate(r, s, {"ID"},
+                                   core::UnionByUpdateImpl::kMerge, profile);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().ToString(), serial.status().ToString());
+  }
+}
+
+// ----------------------------------------------- algorithm DOP-invariance
+
+// Every evaluation algorithm (SSSP, WCC, PR, HITS, TS, KC, MIS, LP, MNM,
+// KS) must produce row-identical output at any DOP. MIS's rand()-driven
+// steps detect the nondeterministic expression and stay serial, so even
+// its coin flips reproduce the seeded sequence.
+TEST(ParallelAlgorithms, EvaluationSetIsDopInvariant) {
+  for (const auto& entry : algos::EvaluationSet(/*include_toposort=*/true)) {
+    graph::Graph g = entry.needs_dag ? TinyDag() : TinyGraph();
+    std::vector<int64_t> labels;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      labels.push_back(1 + (v % 3));  // LP / KS need VL(ID, label)
+    }
+    g.set_node_labels(std::move(labels));
+    algos::AlgoOptions base;
+    base.fault_spec = "none";
+    auto catalog = MakeCatalog(g);
+    auto baseline = entry.run(catalog, base);
+    ASSERT_TRUE(baseline.ok()) << entry.abbrev << ": " << baseline.status();
+    for (int dop : {2, 8}) {
+      auto fresh = MakeCatalog(g);
+      algos::AlgoOptions opt = base;
+      opt.degree_of_parallelism = dop;
+      auto result = entry.run(fresh, opt);
+      ASSERT_TRUE(result.ok()) << entry.abbrev << ": " << result.status();
+      ExpectRowsIdentical(baseline->table, result->table,
+                          entry.abbrev + " (dop " + std::to_string(dop) +
+                              ")");
+    }
+  }
+}
+
+// --------------------------------------------- governor under parallelism
+
+/// TC over E, as in test_governor.cc, with an explicit DOP.
+WithPlusQuery ParallelTcQuery(UnionMode mode, int dop) {
+  WithPlusQuery q;
+  q.rec_name = "TCp";
+  q.rec_schema = Schema{{"F", ValueType::kInt64}, {"T", ValueType::kInt64}};
+  q.init.push_back(
+      {ProjectOp(Scan("E"), {ops::As(Col("F"), "F"), ops::As(Col("T"), "T")}),
+       {}});
+  q.recursive.push_back(
+      {ProjectOp(JoinOp(Scan("TCp"), Scan("E"), {{"T"}, {"F"}}),
+                 {ops::As(Col("TCp.F"), "F"), ops::As(Col("E.T"), "T")}),
+       {}});
+  q.mode = mode;
+  q.fault_spec = "none";
+  q.degree_of_parallelism = dop;
+  return q;
+}
+
+TEST(ParallelGovernor, RowBudgetTripsWithProgressDetail) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  auto q = ParallelTcQuery(UnionMode::kUnionDistinct, 8);
+  q.governor.row_budget = 5;  // the init projection alone produces 6 rows
+  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  const ProgressDetail* detail = ProgressDetail::FromStatus(result.status());
+  ASSERT_NE(detail, nullptr) << result.status();
+  EXPECT_EQ(detail->progress().tripped, "rows");
+  EXPECT_GT(detail->progress().rows_produced, 5u);
+  EXPECT_EQ(catalog.TableNames(), before);
+}
+
+TEST(ParallelGovernor, DeadlineTripsWithProgressDetail) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  // Unbounded union-all TC on a cyclic graph never converges; only the
+  // deadline stops it — and it must trip from a parallel region too.
+  auto q = ParallelTcQuery(UnionMode::kUnionAll, 8);
+  q.governor.deadline_ms = 0.05;
+  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  const ProgressDetail* detail = ProgressDetail::FromStatus(result.status());
+  ASSERT_NE(detail, nullptr) << result.status();
+  EXPECT_EQ(detail->progress().tripped, "deadline");
+  EXPECT_EQ(catalog.TableNames(), before);
+}
+
+TEST(ParallelGovernor, GovernedParallelResultMatchesSerial) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto plain = ExecuteWithPlus(
+      ParallelTcQuery(UnionMode::kUnionDistinct, 1), catalog, OracleLike());
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  auto q = ParallelTcQuery(UnionMode::kUnionDistinct, 8);
+  q.governor.deadline_ms = 60000;
+  q.governor.row_budget = 1000000;
+  q.governor.byte_budget = 1ull << 30;
+  q.governor.iteration_cap = 1000;
+  auto governed = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_TRUE(governed.ok()) << governed.status();
+  EXPECT_TRUE(governed->converged);
+  ExpectRowsIdentical(plain->table, governed->table, "governed TC (dop 8)");
+}
+
+TEST(ParallelGovernor, DopOutOfRangeIsRejected) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto q = ParallelTcQuery(UnionMode::kUnionDistinct, 2000);
+  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------ SQL surface
+
+TEST(ParallelSql, ParallelHintParsesAndBinds) {
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) parallel 4 maxrecursion 3)");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  EXPECT_EQ(ast->parallel_dop, 4);
+  auto catalog = MakeCatalog(TinyGraph());
+  auto bound = sql::BindWithStatement(*ast, catalog);
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_EQ(bound->query.degree_of_parallelism, 4);
+}
+
+TEST(ParallelSql, DuplicateParallelHintIsAParseError) {
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) parallel 2 parallel 3)");
+  ASSERT_FALSE(ast.ok());
+  EXPECT_EQ(ast.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParallelSql, OutOfRangeDopIsABindError) {
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) parallel 4096)");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  auto catalog = MakeCatalog(TinyGraph());
+  auto bound = sql::BindWithStatement(*ast, catalog);
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kBindError);
+}
+
+TEST(ParallelSql, ParallelHintDoesNotChangeTheResult) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto serial = sql::RunSql(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F))",
+      catalog, OracleLike());
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  auto parallel = sql::RunSql(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) parallel 8)",
+      catalog, OracleLike());
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  ExpectRowsIdentical(*serial, *parallel, "sql parallel 8");
+}
+
+}  // namespace
+}  // namespace gpr
