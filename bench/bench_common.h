@@ -39,6 +39,11 @@ struct BenchRecord {
   int dop = 1;          ///< degree of parallelism
   double wall_ms = 0;   ///< best-of-N wall time
   size_t rows = 0;      ///< output rows (sanity anchor for the timing)
+  // Plan-state-cache counters of the measured run (0 for non-fixpoint
+  // workloads and cache-off legs).
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  double setup_ms = 0;  ///< pre-loop hoisting prologue wall time
 };
 
 /// Collects BenchRecords and writes them as a JSON array.
@@ -50,14 +55,16 @@ class BenchJsonWriter {
     std::string out = "[\n";
     for (size_t i = 0; i < records_.size(); ++i) {
       const BenchRecord& r = records_[i];
-      char buf[256];
+      char buf[384];
       std::snprintf(buf, sizeof(buf),
                     "  {\"op\": \"%s\", \"profile\": \"%s\", "
                     "\"dataset\": \"%s\", \"dop\": %d, "
-                    "\"wall_ms\": %.3f, \"rows\": %zu}%s\n",
+                    "\"wall_ms\": %.3f, \"rows\": %zu, "
+                    "\"cache_hits\": %zu, \"cache_misses\": %zu, "
+                    "\"setup_ms\": %.3f}%s\n",
                     r.op.c_str(), r.profile.c_str(), r.dataset.c_str(),
-                    r.dop, r.wall_ms, r.rows,
-                    i + 1 < records_.size() ? "," : "");
+                    r.dop, r.wall_ms, r.rows, r.cache_hits, r.cache_misses,
+                    r.setup_ms, i + 1 < records_.size() ? "," : "");
       out += buf;
     }
     out += "]\n";

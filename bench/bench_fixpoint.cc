@@ -1,0 +1,141 @@
+// BENCH_fixpoint — the cross-iteration plan-state cache measured end to
+// end: WCC and SSSP through the with+ fixpoint, cache off/on × DOP 1/max,
+// over Erdős–Rényi graphs of increasing size.
+//
+// Every leg's result table is verified row-identical (order included) to
+// the cache-off DOP=1 baseline before its timing is recorded — a leg that
+// changes the answer aborts the run. `--json` writes BENCH_fixpoint.json
+// (BenchRecord schema, with cache hit/miss counters and the hoisting
+// prologue's setup time) for the CI perf-trajectory artifact.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "algos/algos.h"
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace gpr;         // NOLINT
+using namespace gpr::bench;  // NOLINT
+
+int HardwareDop() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(2, static_cast<int>(hw != 0 ? hw : 4));
+}
+
+void ExpectIdentical(const ra::Table& baseline, const ra::Table& got,
+                     const char* label) {
+  GPR_CHECK_EQ(baseline.NumRows(), got.NumRows()) << label;
+  for (size_t i = 0; i < baseline.NumRows(); ++i) {
+    GPR_CHECK(baseline.row(i) == got.row(i))
+        << label << ": row " << i << " differs from the cache-off DOP=1 "
+        << "baseline";
+  }
+}
+
+struct Workload {
+  const char* name;
+  Result<algos::WithPlusResult> (*run)(ra::Catalog&,
+                                       const algos::AlgoOptions&);
+};
+
+int Run(bool json) {
+  BenchJsonWriter writer;
+  const double scale = EnvScale(1.0);
+  const int reps = 2;
+
+  const Workload workloads[] = {{"wcc", &algos::Wcc},
+                                {"sssp", &algos::SsspBellmanFord}};
+  struct DataSpec {
+    const char* label;
+    graph::NodeId nodes;
+  };
+  // Sizes are deliberately graded; the last (largest) dataset is the one
+  // the cache-on speedup claim in docs/performance.md is measured on.
+  const DataSpec specs[] = {{"er-4k", 1 << 12},
+                            {"er-16k", 1 << 14},
+                            {"er-64k", 1 << 16}};
+
+  std::vector<int> dops = {1, HardwareDop()};
+  dops.erase(std::unique(dops.begin(), dops.end()), dops.end());
+
+  for (const DataSpec& spec : specs) {
+    const auto nodes =
+        static_cast<graph::NodeId>(static_cast<double>(spec.nodes) * scale);
+    graph::Graph g =
+        graph::ErdosRenyi(nodes, 8 * static_cast<size_t>(nodes), /*seed=*/7);
+    std::printf("\ndataset %-8s |V|=%lld |E|=%zu\n", spec.label,
+                static_cast<long long>(nodes), g.num_edges());
+    std::printf("%-6s %-10s %4s %12s %10s %10s %10s\n", "algo", "cache",
+                "dop", "wall_ms", "hits", "misses", "setup_ms");
+
+    for (const Workload& w : workloads) {
+      ra::Table baseline;
+      for (int cache : {0, 1}) {
+        for (int dop : dops) {
+          auto catalog = CatalogFor(g);
+          algos::AlgoOptions opt;
+          opt.fault_spec = "none";
+          opt.plan_cache = cache;
+          opt.degree_of_parallelism = dop;
+          size_t rows = 0;
+          core::ExecCounters counters;
+          double best = 1e300;
+          for (int rep = 0; rep < reps; ++rep) {
+            auto fresh = CatalogFor(g);
+            WallTimer timer;
+            auto result = w.run(fresh, opt);
+            GPR_CHECK_OK(result.status());
+            best = std::min(best, timer.ElapsedMillis());
+            rows = result->table.NumRows();
+            counters = result->counters;
+            if (cache == 0 && dop == 1) {
+              baseline = result->table;
+            } else {
+              ExpectIdentical(baseline, result->table, w.name);
+            }
+          }
+          BenchRecord rec{w.name,
+                          cache != 0 ? "cache-on" : "cache-off",
+                          spec.label,
+                          dop,
+                          best,
+                          rows};
+          rec.cache_hits = counters.cache_hits;
+          rec.cache_misses = counters.cache_misses;
+          rec.setup_ms =
+              static_cast<double>(counters.hoist_setup_us) / 1000.0;
+          writer.Add(rec);
+          std::printf("%-6s %-10s %4d %12.1f %10zu %10zu %10.1f\n", w.name,
+                      cache != 0 ? "on" : "off", dop, best,
+                      counters.cache_hits, counters.cache_misses,
+                      rec.setup_ms);
+          std::fflush(stdout);
+        }
+      }
+    }
+  }
+
+  if (json) {
+    const char* path = "BENCH_fixpoint.json";
+    if (!writer.WriteFile(path)) {
+      std::fprintf(stderr, "failed to write %s\n", path);
+      return 1;
+    }
+    std::printf("wrote %s\n", path);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Fixpoint plan-state cache benchmark "
+              "(cache off/on x DOP 1/max; GPR_SCALE=%.2f)\n",
+              EnvScale(1.0));
+  return Run(HasFlag(argc, argv, "--json"));
+}

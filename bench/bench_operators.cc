@@ -300,24 +300,34 @@ int RunJsonSuite() {
     GPR_CHECK_OK(graph::RegisterGraph(g, &catalog));
     for (int dop : {1, HardwareDop()}) {
       for (bool governed : {false, true}) {
-        algos::AlgoOptions opt;
-        opt.fault_spec = "none";
-        opt.degree_of_parallelism = dop;
-        if (governed) {
-          opt.governor.deadline_ms = 3600 * 1000.0;
-          opt.governor.row_budget = 1ull << 40;
-          opt.governor.byte_budget = 1ull << 50;
-          opt.governor.iteration_cap = 1 << 20;
+        for (int cache : {0, 1}) {
+          algos::AlgoOptions opt;
+          opt.fault_spec = "none";
+          opt.degree_of_parallelism = dop;
+          opt.plan_cache = cache;
+          if (governed) {
+            opt.governor.deadline_ms = 3600 * 1000.0;
+            opt.governor.row_budget = 1ull << 40;
+            opt.governor.byte_budget = 1ull << 50;
+            opt.governor.iteration_cap = 1 << 20;
+          }
+          size_t rows = 0;
+          core::ExecCounters counters;
+          const double ms = BestOfMs(3, &rows, [&] {
+            auto result = algos::Wcc(catalog, opt);
+            GPR_CHECK_OK(result.status());
+            counters = result->counters;
+            return result->table.NumRows();
+          });
+          bench::BenchRecord rec{governed ? "wcc_fixpoint_governed"
+                                          : "wcc_fixpoint_ungoverned",
+                                 cache != 0 ? "cache-on" : "cache-off",
+                                 "er-1k", dop, ms, rows};
+          rec.cache_hits = counters.cache_hits;
+          rec.cache_misses = counters.cache_misses;
+          rec.setup_ms = static_cast<double>(counters.hoist_setup_us) / 1000.0;
+          writer.Add(rec);
         }
-        size_t rows = 0;
-        const double ms = BestOfMs(3, &rows, [&] {
-          auto result = algos::Wcc(catalog, opt);
-          GPR_CHECK_OK(result.status());
-          return result->table.NumRows();
-        });
-        writer.Add({governed ? "wcc_fixpoint_governed"
-                             : "wcc_fixpoint_ungoverned",
-                    "-", "er-1k", dop, ms, rows});
       }
     }
   }

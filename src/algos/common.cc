@@ -25,6 +25,7 @@ Result<WithPlusResult> RunWithPlus(core::WithPlusQuery& q,
   if (options.degree_of_parallelism > 0) {
     q.degree_of_parallelism = options.degree_of_parallelism;
   }
+  if (options.plan_cache >= 0) q.plan_cache = options.plan_cache;
   return core::ExecuteWithPlus(q, catalog, options.profile, options.seed);
 }
 

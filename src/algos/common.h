@@ -50,6 +50,11 @@ struct AlgoOptions {
   /// algorithm's result is DOP-invariant — MIS's rand()-driven steps
   /// force themselves serial regardless.
   int degree_of_parallelism = 0;
+
+  /// Cross-iteration plan-state cache (docs/performance.md): -1 = inherit
+  /// the profile's plan_cache setting, 0 = off, 1 = on. Results are
+  /// guaranteed identical either way.
+  int plan_cache = -1;
 };
 
 /// Runs `q` with the governance knobs of `options` applied — the single

@@ -80,6 +80,15 @@ bool Reaches(const std::unordered_map<std::string,
 
 }  // namespace
 
+// GCC 12's uninitialized-use analysis flags the braced PathedRule
+// temporaries below as maybe-uninitialized when surrounding code changes
+// its inlining decisions (PR 105593 family). Every member is a string or
+// vector and is always initialized; suppress the false positive.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 void CheckStratification(const core::WithPlusQuery& query,
                          DiagnosticBag* diags) {
   std::vector<PathedRule> rules;
@@ -210,5 +219,9 @@ void CheckStratification(const core::WithPlusQuery& query,
     }
   }
 }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace gpr::analysis

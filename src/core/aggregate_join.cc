@@ -1,8 +1,14 @@
 #include "core/aggregate_join.h"
 
+#include <array>
 #include <map>
+#include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "exec/exec_context.h"
+#include "ra/plan_cache.h"
 #include "ra/tuple.h"
 
 namespace gpr::core {
@@ -14,7 +20,8 @@ using ra::Table;
 
 Result<Table> MMJoin(const Table& a, const Table& b, const Semiring& sr,
                      const EngineProfile& profile, const MatrixCols& a_cols,
-                     const MatrixCols& b_cols) {
+                     const MatrixCols& b_cols, ra::EvalContext* ctx,
+                     bool a_stable, bool b_stable) {
   // Fixed qualifiers keep self-joins unambiguous without copying inputs.
   const std::string ln = "mm_a";
   const std::string rn = "mm_b";
@@ -22,8 +29,14 @@ Result<Table> MMJoin(const Table& a, const Table& b, const Semiring& sr,
   ops::JoinKeys keys{{a_cols.to}, {b_cols.from}};
   ops::JoinOptions opts;
   opts.algo = profile.ChooseJoin(b);
+  opts.ctx = ctx;
   opts.left_qualifier = ln;
   opts.right_qualifier = rn;
+  // The build table / sort runs of a catalog-resident side survive across
+  // fixpoint iterations (ApspLinear's invariant edge matrix).
+  opts.cache_build = b_stable;
+  opts.cache_left_sort = a_stable;
+  opts.cache_right_sort = b_stable;
   GPR_ASSIGN_OR_RETURN(Table joined, ops::JoinWithOptions(a, b, keys, opts));
   // γ_{A.F, B.T} ⊕(A.ew ⊙ B.ew)
   AggSpec agg{sr.add,
@@ -33,14 +46,131 @@ Result<Table> MMJoin(const Table& a, const Table& b, const Semiring& sr,
   GPR_ASSIGN_OR_RETURN(
       Table grouped,
       ops::GroupBy(joined, {ln + "." + a_cols.from, rn + "." + b_cols.to},
-                   {agg}));
+                   {agg}, ctx));
   // Normalize output column names to the matrix convention.
   return ops::Rename(grouped, "", {"F", "T", "ew"});
 }
 
+namespace {
+
+// Poll cadence of the fused MV-join probe loop (matches the ra operators').
+constexpr size_t kFusedPollStride = 8192;
+
+/// The cacheable half of a fused MV-join: the matrix reduced to
+/// (group, join, weight) triples in row order, rows with a NULL join value
+/// dropped (a hash join never matches them). Immutable once cached, shared
+/// read-only across iterations and worker threads.
+struct MVTriples {
+  std::vector<std::array<ra::Value, 3>> rows;
+};
+
+/// The cache-on hash path of MVJoin: instead of materializing m ⋈ v and
+/// re-grouping it every fixpoint iteration, cache m's triples once and fold
+/// the probe and the γ-aggregation into a single pass over them.
+///
+/// Byte-identity with the join + group-by + rename path holds because both
+/// visit matches in the same order (m rows in order; per m row, matching v
+/// rows in v insertion order — exactly a hash join probing a build table
+/// over v), group by first appearance in that order, evaluate the same
+/// compiled ⊙ expression over the same operand types, and fold through the
+/// same Accumulator.
+Result<Table> MVJoinFused(const Table& m, const Table& v, const Semiring& sr,
+                          MVOrientation orientation, const MatrixCols& m_cols,
+                          const VectorCols& v_cols, ra::EvalContext* ctx) {
+  GPR_ASSIGN_OR_RETURN(size_t mf, m.schema().Resolve(m_cols.from));
+  GPR_ASSIGN_OR_RETURN(size_t mt, m.schema().Resolve(m_cols.to));
+  GPR_ASSIGN_OR_RETURN(size_t mw, m.schema().Resolve(m_cols.weight));
+  GPR_ASSIGN_OR_RETURN(size_t vid, v.schema().Resolve(v_cols.id));
+  GPR_ASSIGN_OR_RETURN(size_t vwc, v.schema().Resolve(v_cols.weight));
+  const size_t join_idx = orientation == MVOrientation::kStandard ? mt : mf;
+  const size_t group_idx = orientation == MVOrientation::kStandard ? mf : mt;
+
+  const uint64_t mversion = m.version();
+  const std::string cache_key =
+      "mv:" + m.name() + ":" +
+      (orientation == MVOrientation::kStandard ? "s" : "t") + ":" +
+      m_cols.from + ":" + m_cols.to + ":" + m_cols.weight;
+  std::shared_ptr<const MVTriples> triples =
+      ctx->cache->Lookup<MVTriples>(cache_key, mversion);
+  if (triples == nullptr) {
+    auto fresh = std::make_shared<MVTriples>();
+    fresh->rows.reserve(m.NumRows());
+    for (const ra::Tuple& mr : m.rows()) {
+      if (mr[join_idx].is_null()) continue;
+      fresh->rows.push_back({mr[group_idx], mr[join_idx], mr[mw]});
+    }
+    GPR_RETURN_NOT_OK(ctx->cache->Insert<MVTriples>(
+        cache_key, mversion, fresh,
+        fresh->rows.size() * 3 * sizeof(ra::Value)));
+    triples = std::move(fresh);
+  }
+
+  // Per-iteration probe side: vector ID → v row indexes, in v row order
+  // (the order a hash-join build table would replay matches in).
+  std::unordered_map<ra::Value, std::vector<size_t>, ra::ValueHash> vmap;
+  vmap.reserve(v.NumRows());
+  for (size_t i = 0; i < v.NumRows(); ++i) {
+    const ra::Value& id = v.row(i)[vid];
+    if (!id.is_null()) vmap[id].push_back(i);
+  }
+
+  // Compile ⊙ once against the weight columns' types — the same expression
+  // the group-by path evaluates per joined row.
+  ra::Schema operand_schema{{"a", m.schema().column(mw).type},
+                            {"b", v.schema().column(vwc).type}};
+  GPR_ASSIGN_OR_RETURN(
+      ra::CompiledExpr mult,
+      Compile(sr.Multiply(Col("a"), Col("b")), operand_schema));
+  ra::ValueType out_type = mult.result_type();
+  switch (sr.add) {  // mirror GroupBy's output-type adjustment
+    case ra::AggKind::kCount: out_type = ra::ValueType::kInt64; break;
+    case ra::AggKind::kAvg: out_type = ra::ValueType::kDouble; break;
+    default: break;
+  }
+
+  std::unordered_map<ra::Tuple, size_t, ra::TupleHash, ra::TupleEq> group_pos;
+  std::vector<ra::Tuple> group_keys;  // first-appearance order
+  std::vector<ra::Accumulator> accs;
+  exec::ExecContext* gov = ctx->exec;
+  size_t probes = 0;
+  ra::Tuple operand(2);  // reused (a, b) operand row
+  for (const auto& t : triples->rows) {
+    auto vit = vmap.find(t[1]);
+    if (vit == vmap.end()) continue;
+    auto [pos_it, inserted] =
+        group_pos.try_emplace(ra::Tuple{t[0]}, group_keys.size());
+    if (inserted) {
+      group_keys.push_back(ra::Tuple{t[0]});
+      accs.emplace_back(sr.add);
+    }
+    ra::Accumulator& acc = accs[pos_it->second];
+    for (size_t vi : vit->second) {
+      if (gov != nullptr && ++probes % kFusedPollStride == 0) {
+        GPR_RETURN_NOT_OK(gov->Poll("mv_join"));
+      }
+      operand[0] = t[2];
+      operand[1] = v.row(vi)[vwc];
+      acc.Add(mult.Eval(operand, ctx));
+    }
+  }
+
+  Table out("", ra::Schema{{"ID", m.schema().column(group_idx).type},
+                           {"vw", out_type}});
+  out.Reserve(group_keys.size());
+  for (size_t i = 0; i < group_keys.size(); ++i) {
+    ra::Tuple row = std::move(group_keys[i]);
+    row.push_back(accs[i].Finish());
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace
+
 Result<Table> MVJoin(const Table& m, const Table& v, const Semiring& sr,
                      MVOrientation orientation, const EngineProfile& profile,
-                     const MatrixCols& m_cols, const VectorCols& v_cols) {
+                     const MatrixCols& m_cols, const VectorCols& v_cols,
+                     ra::EvalContext* ctx, bool m_stable) {
   const std::string ln = "mv_m";
   const std::string rn = "mv_v";
 
@@ -52,15 +182,25 @@ Result<Table> MVJoin(const Table& m, const Table& v, const Semiring& sr,
   ops::JoinKeys keys{{join_col}, {v_cols.id}};
   ops::JoinOptions opts;
   opts.algo = profile.ChooseJoin(v);
+  opts.ctx = ctx;
   opts.left_qualifier = ln;
   opts.right_qualifier = rn;
+  // Fused path: only when the matrix is a named catalog table (its
+  // (name, version) pair keys the cache) and the profile would hash-join —
+  // merge-join materializes matches in a different row order, which the
+  // fused probe cannot reproduce.
+  if (m_stable && ctx != nullptr && ctx->cache != nullptr &&
+      !m.name().empty() && opts.algo == ops::JoinAlgorithm::kHash) {
+    return MVJoinFused(m, v, sr, orientation, m_cols, v_cols, ctx);
+  }
+  opts.cache_left_sort = m_stable;
   GPR_ASSIGN_OR_RETURN(Table joined, ops::JoinWithOptions(m, v, keys, opts));
   AggSpec agg{sr.add,
               sr.Multiply(Col(ln + "." + m_cols.weight),
                           Col(rn + "." + v_cols.weight)),
               "vw"};
   GPR_ASSIGN_OR_RETURN(
-      Table grouped, ops::GroupBy(joined, {ln + "." + group_col}, {agg}));
+      Table grouped, ops::GroupBy(joined, {ln + "." + group_col}, {agg}, ctx));
   return ops::Rename(grouped, "", {"ID", "vw"});
 }
 

@@ -44,17 +44,32 @@ enum class MVOrientation {
 
 /// Computes A ⊙⊕ B (Eq. 3). Output schema: (F, T, ew) with A.F as F and
 /// B.T as T. Join algorithm defaults to the profile's choice.
+///
+/// `ctx` threads governance / parallelism / the plan cache into the
+/// internal join and group-by; `a_stable` / `b_stable` mark inputs the
+/// caller knows to be catalog-resident (cache-eligible across fixpoint
+/// iterations). Results are identical whatever the flags.
 Result<ra::Table> MMJoin(
     const ra::Table& a, const ra::Table& b, const Semiring& sr,
     const EngineProfile& profile = OracleLike(),
-    const MatrixCols& a_cols = {}, const MatrixCols& b_cols = {});
+    const MatrixCols& a_cols = {}, const MatrixCols& b_cols = {},
+    ra::EvalContext* ctx = nullptr, bool a_stable = false,
+    bool b_stable = false);
 
 /// Computes A ⊙⊕ C (Eq. 4) or Aᵀ ⊙⊕ C. Output schema: (ID, vw).
+///
+/// When the matrix side is cache-stable (`m_stable`, a catalog-resident
+/// scan) and ctx->cache is live and the profile picks a hash join, the
+/// join + group-by collapses into a fused probe-and-aggregate over cached
+/// matrix triples — byte-identical output, but the per-iteration joined
+/// materialization and matrix re-hash disappear (the main Figs 7–10
+/// fixpoint win of the plan cache).
 Result<ra::Table> MVJoin(
     const ra::Table& m, const ra::Table& v, const Semiring& sr,
     MVOrientation orientation = MVOrientation::kStandard,
     const EngineProfile& profile = OracleLike(),
-    const MatrixCols& m_cols = {}, const VectorCols& v_cols = {});
+    const MatrixCols& m_cols = {}, const VectorCols& v_cols = {},
+    ra::EvalContext* ctx = nullptr, bool m_stable = false);
 
 /// Reference implementations computing the same products by dense/naive
 /// iteration over tuples, used by property tests to validate the joins.

@@ -46,8 +46,10 @@ bool HasNullKey(const Tuple& key) {
 /// `not exists` plan: hash S keys, emit unmatched R rows. Rows of R with
 /// NULL keys qualify (the correlated subquery finds no equal row).
 Result<Table> NotExistsImpl(const Table& r, const Table& s,
-                            const ops::JoinKeys& keys) {
-  return ops::AntiJoinBasic(r, s, keys);
+                            const ops::JoinKeys& keys,
+                            ra::EvalContext* ctx = nullptr,
+                            bool s_stable = false) {
+  return ops::AntiJoinBasic(r, s, keys, ctx, s_stable);
 }
 
 /// left outer join + `S.key IS NULL` + projection back onto R's columns.
@@ -109,19 +111,20 @@ Result<Table> NotInImpl(const Table& r, const Table& s,
 
 Result<Table> AntiJoin(const Table& r, const Table& s,
                        const ops::JoinKeys& keys, AntiJoinImpl impl,
-                       const EngineProfile& profile) {
+                       const EngineProfile& profile, ra::EvalContext* ctx,
+                       bool s_stable) {
   if (keys.left.size() != keys.right.size() || keys.left.empty()) {
     return Status::InvalidArgument("anti-join needs matching non-empty keys");
   }
   switch (impl) {
     case AntiJoinImpl::kNotExists:
-      return NotExistsImpl(r, s, keys);
+      return NotExistsImpl(r, s, keys, ctx, s_stable);
     case AntiJoinImpl::kLeftOuterJoin:
       if (profile.rewrites_left_outer_anti_join) {
         // The optimizers compile this spelling to the same plan as
         // `not exists`; the naive materialization below is kept for
         // ablation runs with the rewrite disabled.
-        return NotExistsImpl(r, s, keys);
+        return NotExistsImpl(r, s, keys, ctx, s_stable);
       }
       return LeftOuterImpl(r, s, keys);
     case AntiJoinImpl::kNotIn:
@@ -129,7 +132,7 @@ Result<Table> AntiJoin(const Table& r, const Table& s,
         // Oracle executes `not in` with its internal anti-join. Note this
         // rewrite is only semantics-preserving when keys are non-nullable,
         // which holds for the graph relations here (F/T/ID are keys).
-        return NotExistsImpl(r, s, keys);
+        return NotExistsImpl(r, s, keys, ctx, s_stable);
       }
       return NotInImpl(r, s, keys);
   }

@@ -36,8 +36,13 @@ std::vector<AntiJoinImpl> AllAntiJoinImpls();
 /// profile `not in` is rewritten to the internal anti-join (kNotExists path),
 /// reproducing the paper's observation; under the other profiles kNotIn runs
 /// the NAAJ scan with its extra NULL bookkeeping.
+///
+/// `s_stable` marks S as a catalog-resident scan whose probe set may be
+/// memoized across fixpoint iterations (no-op unless ctx->cache is live).
 Result<ra::Table> AntiJoin(const ra::Table& r, const ra::Table& s,
                            const ra::ops::JoinKeys& keys, AntiJoinImpl impl,
-                           const EngineProfile& profile = OracleLike());
+                           const EngineProfile& profile = OracleLike(),
+                           ra::EvalContext* ctx = nullptr,
+                           bool s_stable = false);
 
 }  // namespace gpr::core

@@ -104,6 +104,14 @@ struct EngineProfile {
   /// `parallel N` hint / WithPlusQuery::degree_of_parallelism.
   int degree_of_parallelism = 1;
 
+  /// Cross-iteration plan-state cache (ra/plan_cache.h, docs/performance.md):
+  /// memoizes hash-join build tables, merge-join sort runs, anti-join probe
+  /// sets, and MV-join matrix triples across fixpoint iterations, keyed on
+  /// the input table's (name, version). Results are guaranteed identical
+  /// on or off; overridable per query via the SQL `cache on|off` option /
+  /// WithPlusQuery::plan_cache.
+  bool plan_cache = true;
+
   WithFeatureMatrix with_features;
 
   /// The algorithm used for a join whose inner input is `inner`.

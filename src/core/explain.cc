@@ -29,10 +29,16 @@ struct ExplainPrinter {
   const ra::Catalog& catalog;
   const EngineProfile& profile;
   const std::unordered_map<std::string, ra::Schema>* overlays;
+  /// Roots of loop-invariant subtrees the fixpoint driver would
+  /// materialize once before the loop (nullptr = not a with+ explain).
+  const std::unordered_set<const Plan*>* hoisted = nullptr;
   std::ostringstream out;
 
   void Print(const PlanPtr& plan, int depth) {
     out << std::string(static_cast<size_t>(depth) * 2, ' ');
+    if (hoisted != nullptr && hoisted->count(plan.get()) > 0) {
+      out << "[hoisted pre-loop] ";
+    }
     out << PlanKindName(plan->kind);
     switch (plan->kind) {
       case PlanKind::kScan: {
@@ -117,10 +123,25 @@ std::string Explain(
     const PlanPtr& plan, const ra::Catalog& catalog,
     const EngineProfile& profile,
     const std::unordered_map<std::string, ra::Schema>* overlays) {
-  ExplainPrinter printer{catalog, profile, overlays, {}};
+  ExplainPrinter printer{catalog, profile, overlays, nullptr, {}};
   printer.Print(plan, 0);
   return printer.out.str();
 }
+
+namespace {
+
+/// Explain with the hoisted-subtree markers of the with+ fixpoint driver.
+std::string ExplainMarked(
+    const PlanPtr& plan, const ra::Catalog& catalog,
+    const EngineProfile& profile,
+    const std::unordered_map<std::string, ra::Schema>* overlays,
+    const std::unordered_set<const Plan*>* hoisted) {
+  ExplainPrinter printer{catalog, profile, overlays, hoisted, {}};
+  printer.Print(plan, 0);
+  return printer.out.str();
+}
+
+}  // namespace
 
 std::string ExplainWithPlus(const WithPlusQuery& query,
                             const ra::Catalog& catalog,
@@ -140,6 +161,29 @@ std::string ExplainWithPlus(const WithPlusQuery& query,
   if (query.maxrecursion > 0) out << ", maxrecursion " << query.maxrecursion;
   out << ", profile " << profile.name << "\n";
 
+  // Mirror the fixpoint driver's hoisting prologue (core/psm.cc): the
+  // varying set starts as the recursive relation plus every computed-by
+  // definition; a definition referencing no varying name (and no rand())
+  // is fully invariant and leaves the set, and maximal invariant subtrees
+  // of the remaining plans get the [hoisted pre-loop] marker.
+  const bool cache_on =
+      query.plan_cache < 0 ? profile.plan_cache : query.plan_cache > 0;
+  out << "plan cache: " << (cache_on ? "on" : "off") << "\n";
+  std::unordered_set<std::string> varying;
+  varying.insert(query.rec_name);
+  for (const auto& sq : query.recursive) {
+    for (const auto& def : sq.computed_by) varying.insert(def.name);
+  }
+  auto references_varying = [&varying](const PlanPtr& p) {
+    std::vector<TableRef> refs;
+    CollectTableRefs(p, &refs);
+    for (const auto& r : refs) {
+      if (varying.count(r.name) > 0) return true;
+    }
+    return false;
+  };
+  std::unordered_set<const Plan*> hoisted;
+
   std::unordered_map<std::string, ra::Schema> overlays;
   overlays.emplace(query.rec_name, query.rec_schema);
   for (size_t i = 0; i < query.init.size(); ++i) {
@@ -149,14 +193,30 @@ std::string ExplainWithPlus(const WithPlusQuery& query,
   for (size_t i = 0; i < query.recursive.size(); ++i) {
     const auto& sq = query.recursive[i];
     for (const auto& def : sq.computed_by) {
-      out << "\ncomputed by " << def.name << ":\n"
-          << Explain(def.plan, catalog, profile, &overlays);
+      const bool invariant = cache_on && !PlanUsesRand(def.plan) &&
+                             !references_varying(def.plan);
+      if (invariant) {
+        varying.erase(def.name);
+      } else if (cache_on) {
+        for (const PlanPtr& sub : LoopInvariantSubplans(def.plan, varying)) {
+          hoisted.insert(sub.get());
+        }
+      }
+      out << "\ncomputed by " << def.name
+          << (invariant ? " [invariant — materialized once pre-loop]" : "")
+          << ":\n"
+          << ExplainMarked(def.plan, catalog, profile, &overlays, &hoisted);
       if (auto s = InferSchema(def.plan, catalog, &overlays); s.ok()) {
         overlays.emplace(def.name, *s);
       }
     }
+    if (cache_on) {
+      for (const PlanPtr& sub : LoopInvariantSubplans(sq.plan, varying)) {
+        hoisted.insert(sub.get());
+      }
+    }
     out << "\nrecursive subquery " << i + 1 << ":\n"
-        << Explain(sq.plan, catalog, profile, &overlays);
+        << ExplainMarked(sq.plan, catalog, profile, &overlays, &hoisted);
   }
   if (auto proc = CompileToPsm(query); proc.ok()) {
     out << "\nSQL/PSM procedure:\n" << proc->ToSqlSketch();

@@ -261,10 +261,11 @@ Result<MutualResult> ExecuteMutual(const MutualQuery& query,
           }
           break;
         case UnionMode::kUnionByUpdate: {
+          UbuStats ustats;
           GPR_ASSIGN_OR_RETURN(Table updated,
                                UnionByUpdate(*r, delta, rel.update_keys,
-                                             rel.ubu_impl, profile));
-          if (!updated.SameRowsAs(*r)) changed_any = true;
+                                             rel.ubu_impl, profile, &ustats));
+          if (ustats.changed) changed_any = true;
           GPR_RETURN_NOT_OK(
               catalog.ReplaceTable(rel.name, std::move(updated)));
           break;
@@ -284,7 +285,8 @@ Result<MutualResult> ExecuteMutual(const MutualQuery& query,
 
   for (const auto& rel : query.relations) {
     GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(rel.name));
-    result.tables.push_back(*rec);
+    result.tables.push_back(std::move(*rec));
+    result.tables.back().DropIndexes();
   }
   // TempTableScope drops every relation and computed-by temporary here.
   return result;

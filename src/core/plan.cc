@@ -203,6 +203,18 @@ TablePtr Borrow(const Table* t) {
 
 TablePtr Own(Table t) { return std::make_shared<Table>(std::move(t)); }
 
+/// True when `node` is a scan whose cached artifacts stay valid across
+/// fixpoint iterations: a catalog-resident table the fixpoint driver did
+/// not flag as iteration-varying. Only such inputs get cache flags — the
+/// (name, version) pair of a stable scan identifies the artifact; caching
+/// a varying table would insert an entry each iteration only to invalidate
+/// it on the next.
+bool StableScan(const PlanPtr& node, ra::EvalContext* ctx) {
+  if (node->kind != PlanKind::kScan) return false;
+  return ctx == nullptr || ctx->cache_unstable == nullptr ||
+         ctx->cache_unstable->count(node->table_name) == 0;
+}
+
 struct Executor {
   ra::Catalog& catalog;
   const EngineProfile& profile;
@@ -272,9 +284,15 @@ struct Executor {
           MaybeIndex(plan->children[0], l.get(), plan->keys.left);
           MaybeIndex(plan->children[1], r.get(), plan->keys.right);
         }
-        GPR_ASSIGN_OR_RETURN(
-            Table out,
-            ops::Join(*l, *r, plan->keys, algo, plan->predicate, ctx));
+        ops::JoinOptions opts;
+        opts.algo = algo;
+        opts.residual = plan->predicate;
+        opts.ctx = ctx;
+        opts.cache_build = StableScan(plan->children[1], ctx);
+        opts.cache_left_sort = StableScan(plan->children[0], ctx);
+        opts.cache_right_sort = opts.cache_build;
+        GPR_ASSIGN_OR_RETURN(Table out,
+                             ops::JoinWithOptions(*l, *r, plan->keys, opts));
         if (counters) {
           ++counters->joins;
           counters->rows_joined += out.NumRows();
@@ -299,7 +317,8 @@ struct Executor {
         GPR_ASSIGN_OR_RETURN(TablePtr r, Exec(plan->children[1]));
         GPR_ASSIGN_OR_RETURN(
             Table out,
-            AntiJoin(*l, *r, plan->keys, plan->anti_impl, profile));
+            AntiJoin(*l, *r, plan->keys, plan->anti_impl, profile, ctx,
+                     StableScan(plan->children[1], ctx)));
         return Own(std::move(out));
       }
       case PlanKind::kUnionAll:
@@ -345,18 +364,22 @@ struct Executor {
       case PlanKind::kMMJoin: {
         GPR_ASSIGN_OR_RETURN(TablePtr a, Exec(plan->children[0]));
         GPR_ASSIGN_OR_RETURN(TablePtr b, Exec(plan->children[1]));
-        GPR_ASSIGN_OR_RETURN(Table out,
-                             MMJoin(*a, *b, plan->semiring, profile,
-                                    plan->a_cols, plan->b_cols));
+        GPR_ASSIGN_OR_RETURN(
+            Table out,
+            MMJoin(*a, *b, plan->semiring, profile, plan->a_cols,
+                   plan->b_cols, ctx, StableScan(plan->children[0], ctx),
+                   StableScan(plan->children[1], ctx)));
         if (counters) ++counters->joins;
         return Own(std::move(out));
       }
       case PlanKind::kMVJoin: {
         GPR_ASSIGN_OR_RETURN(TablePtr m, Exec(plan->children[0]));
         GPR_ASSIGN_OR_RETURN(TablePtr v, Exec(plan->children[1]));
-        GPR_ASSIGN_OR_RETURN(Table out,
-                             MVJoin(*m, *v, plan->semiring, plan->orientation,
-                                    profile, plan->a_cols, plan->v_cols));
+        GPR_ASSIGN_OR_RETURN(
+            Table out,
+            MVJoin(*m, *v, plan->semiring, plan->orientation, profile,
+                   plan->a_cols, plan->v_cols, ctx,
+                   StableScan(plan->children[0], ctx)));
         if (counters) ++counters->joins;
         return Own(std::move(out));
       }
@@ -578,6 +601,153 @@ bool PlanUsesNegation(const PlanPtr& plan) {
     if (PlanUsesNegation(c)) return true;
   }
   return false;
+}
+
+namespace {
+
+bool ExprUsesRand(const ra::ExprPtr& e) {
+  if (e == nullptr) return false;
+  if (e->kind == ra::ExprKind::kCall &&
+      (e->func_name == "rand" || e->func_name == "random")) {
+    return true;
+  }
+  for (const auto& c : e->children) {
+    if (ExprUsesRand(c)) return true;
+  }
+  return false;
+}
+
+inline void HashMix(uint64_t* h, uint64_t v) {
+  *h ^= v + 0x9e3779b97f4a7c15ULL + (*h << 6) + (*h >> 2);
+}
+
+void HashStr(uint64_t* h, const std::string& s) {
+  uint64_t x = 1469598103934665603ULL;  // FNV-1a 64
+  for (char c : s) {
+    x ^= static_cast<unsigned char>(c);
+    x *= 1099511628211ULL;
+  }
+  HashMix(h, x);
+}
+
+void HashStrs(uint64_t* h, const std::vector<std::string>& ss) {
+  HashMix(h, ss.size());
+  for (const auto& s : ss) HashStr(h, s);
+}
+
+}  // namespace
+
+bool PlanUsesRand(const PlanPtr& plan) {
+  if (ExprUsesRand(plan->predicate)) return true;
+  for (const auto& item : plan->items) {
+    if (ExprUsesRand(item.expr)) return true;
+  }
+  for (const auto& agg : plan->aggs) {
+    if (ExprUsesRand(agg.arg)) return true;
+  }
+  for (const auto& c : plan->children) {
+    if (PlanUsesRand(c)) return true;
+  }
+  return false;
+}
+
+uint64_t PlanFingerprint(const PlanPtr& plan) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  HashMix(&h, static_cast<uint64_t>(plan->kind));
+  HashStr(&h, plan->table_name);
+  if (plan->predicate != nullptr) HashStr(&h, plan->predicate->ToString());
+  HashMix(&h, plan->items.size());
+  for (const auto& item : plan->items) {
+    HashStr(&h, item.expr != nullptr ? item.expr->ToString() : "");
+    HashStr(&h, item.name);
+  }
+  HashStrs(&h, plan->keys.left);
+  HashStrs(&h, plan->keys.right);
+  if (plan->join_algo.has_value()) {
+    HashMix(&h, static_cast<uint64_t>(*plan->join_algo) + 1);
+  }
+  HashMix(&h, static_cast<uint64_t>(plan->anti_impl));
+  HashStrs(&h, plan->group_cols);
+  HashMix(&h, plan->aggs.size());
+  for (const auto& agg : plan->aggs) {
+    HashMix(&h, static_cast<uint64_t>(agg.kind));
+    HashStr(&h, agg.arg != nullptr ? agg.arg->ToString() : "");
+    HashStr(&h, agg.out_name);
+  }
+  HashStr(&h, plan->new_name);
+  HashStrs(&h, plan->col_names);
+  HashStr(&h, plan->semiring.name);
+  HashMix(&h, static_cast<uint64_t>(plan->orientation));
+  HashStrs(&h, {plan->a_cols.from, plan->a_cols.to, plan->a_cols.weight,
+                plan->b_cols.from, plan->b_cols.to, plan->b_cols.weight,
+                plan->v_cols.id, plan->v_cols.weight});
+  HashStrs(&h, plan->sort_cols);
+  HashMix(&h, plan->children.size());
+  for (const auto& c : plan->children) HashMix(&h, PlanFingerprint(c));
+  return h;
+}
+
+namespace {
+
+/// True when the subtree contains an operator that does real work —
+/// anything beyond borrowing a table (scan) or relabeling it (rename).
+/// Hoisting a scan/rename-only subtree would just copy the table.
+bool HasRealWork(const PlanPtr& plan) {
+  if (plan->kind != PlanKind::kScan && plan->kind != PlanKind::kRename) {
+    return true;
+  }
+  for (const auto& c : plan->children) {
+    if (HasRealWork(c)) return true;
+  }
+  return false;
+}
+
+bool ReferencesAny(const PlanPtr& plan,
+                   const std::unordered_set<std::string>& names) {
+  std::vector<TableRef> refs;
+  CollectTableRefs(plan, &refs);
+  for (const auto& r : refs) {
+    if (names.count(r.name) > 0) return true;
+  }
+  return false;
+}
+
+void CollectInvariant(const PlanPtr& plan,
+                      const std::unordered_set<std::string>& varying,
+                      std::vector<PlanPtr>* out) {
+  if (!ReferencesAny(plan, varying) && !PlanUsesRand(plan)) {
+    if (HasRealWork(plan)) out->push_back(plan);
+    return;  // maximal: don't descend into an invariant subtree
+  }
+  for (const auto& c : plan->children) CollectInvariant(c, varying, out);
+}
+
+}  // namespace
+
+std::vector<PlanPtr> LoopInvariantSubplans(
+    const PlanPtr& plan, const std::unordered_set<std::string>& varying) {
+  std::vector<PlanPtr> out;
+  CollectInvariant(plan, varying, &out);
+  return out;
+}
+
+PlanPtr ReplaceSubplans(
+    const PlanPtr& plan,
+    const std::unordered_map<const Plan*, PlanPtr>& replacements) {
+  auto it = replacements.find(plan.get());
+  if (it != replacements.end()) return it->second;
+  bool changed = false;
+  std::vector<PlanPtr> children;
+  children.reserve(plan->children.size());
+  for (const auto& c : plan->children) {
+    PlanPtr nc = ReplaceSubplans(c, replacements);
+    changed |= nc != c;
+    children.push_back(std::move(nc));
+  }
+  if (!changed) return plan;
+  auto copy = std::make_shared<Plan>(*plan);
+  copy->children = std::move(children);
+  return copy;
 }
 
 }  // namespace gpr::core

@@ -127,6 +127,17 @@ struct ExecCounters {
   size_t joins = 0;
   size_t rows_joined = 0;
   size_t index_builds = 0;
+  // Cross-iteration plan-state cache (ra/plan_cache.h), populated by the
+  // fixpoint driver from PlanCache::stats() when caching is enabled.
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t cache_invalidations = 0;
+  size_t cache_bytes = 0;  ///< bytes held live by the cache at query end
+  /// Loop-invariant subplans materialized once before the fixpoint loop
+  /// (includes fully-invariant computed-by definitions).
+  size_t hoisted_subplans = 0;
+  /// Wall-clock spent in the pre-loop hoisting prologue, microseconds.
+  size_t hoist_setup_us = 0;
 };
 
 /// The "table name" a plan output carries for join qualification purposes:
@@ -178,5 +189,31 @@ bool PlanUsesAggregation(const PlanPtr& plan);
 /// True if the plan contains anti-join, difference or intersect — the
 /// negation-like operations.
 bool PlanUsesNegation(const PlanPtr& plan);
+
+/// True if any expression in the plan calls rand()/random(). Such plans are
+/// never hoisted out of the fixpoint loop and never cached: re-evaluation
+/// is observable.
+bool PlanUsesRand(const PlanPtr& plan);
+
+/// Structural fingerprint over the plan tree — kinds, table names, keys,
+/// expressions, semirings, column lists. Equal plans hash equal; the hash
+/// is deterministic within a process (it feeds plan-cache keys together
+/// with input table versions, never persisted).
+uint64_t PlanFingerprint(const PlanPtr& plan);
+
+/// The maximal subtrees of `plan` that scan none of the tables in
+/// `varying`, call no rand(), and contain at least one operator beyond
+/// scan/rename — the loop-invariant subplans the fixpoint driver
+/// materializes once before the recursive loop (and ExplainWithPlus
+/// annotates). A fully invariant plan returns itself as the single entry.
+std::vector<PlanPtr> LoopInvariantSubplans(
+    const PlanPtr& plan, const std::unordered_set<std::string>& varying);
+
+/// Rewrites `plan` by substituting nodes: wherever a node pointer equals a
+/// key of `replacements`, the mapped subtree is spliced in (children are
+/// not descended below a replaced node). Untouched subtrees are shared.
+PlanPtr ReplaceSubplans(
+    const PlanPtr& plan,
+    const std::unordered_map<const Plan*, PlanPtr>& replacements);
 
 }  // namespace gpr::core

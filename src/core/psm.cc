@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
+#include "ra/plan_cache.h"
 #include "util/timer.h"
 
 namespace gpr::core {
@@ -60,6 +63,7 @@ Result<PsmProcedure> CompileToPsm(const WithPlusQuery& query) {
   proc.ubu_impl = query.ubu_impl;
   proc.maxrecursion = query.maxrecursion;
   proc.degree_of_parallelism = query.degree_of_parallelism;
+  proc.plan_cache = query.plan_cache;
   proc.sql99_working_table = query.sql99_working_table;
   if (proc.sql99_working_table && query.mode == UnionMode::kUnionByUpdate) {
     return Status::InvalidArgument(
@@ -101,6 +105,15 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
   ra::EvalContext ctx{&rng};
   ctx.exec = gov;
   ctx.dop = std::max(1, profile.degree_of_parallelism);
+  // Cross-iteration plan-state cache: the query-level `cache on|off`
+  // option overrides the profile default. Cache memory is charged to the
+  // governor's byte budget on insert (PlanCache owns no budget of its
+  // own), so a byte-capped run trips with ResourceExhausted +
+  // ProgressDetail instead of growing without bound.
+  const bool cache_on =
+      proc.plan_cache < 0 ? profile.plan_cache : proc.plan_cache > 0;
+  ra::PlanCache cache(gov);
+  if (cache_on) ctx.cache = &cache;
   RedoLog redo;
   // Every temp table is registered here; the destructor drops them on all
   // exit paths (success, plan errors, governed aborts, injected faults).
@@ -113,7 +126,14 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
   }
   GPR_RETURN_NOT_OK(scope.Create(proc.rec_table, proc.rec_schema));
 
-  // Initialization: union all of the initial subqueries.
+  // SQL'99 working-table mode: the catalog's recursive table holds only
+  // the previous iteration's output; the full result accumulates here.
+  const bool working_mode = proc.sql99_working_table;
+  Table full_accum(proc.rec_table, proc.rec_schema);
+
+  // Initialization: union all of the initial subqueries. In working-table
+  // mode each row is copied into the accumulator before it moves into the
+  // catalog table — no full-table copy afterwards.
   for (const auto& plan : proc.init_plans) {
     GPR_ASSIGN_OR_RETURN(
         Table init,
@@ -126,6 +146,7 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
     }
     for (auto& row : init.mutable_rows()) {
       if (profile.insert_logging) redo.LogInsert(row);
+      if (working_mode) full_accum.AddRow(row);
       rec->AddRow(std::move(row));
     }
   }
@@ -136,14 +157,99 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
     GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(proc.rec_table));
     seen.insert(rec->rows().begin(), rec->rows().end());
   }
-  // SQL'99 working-table mode: the catalog's recursive table holds only
-  // the previous iteration's output; the full result accumulates here.
-  const bool working_mode = proc.sql99_working_table;
-  Table full_accum;
-  if (working_mode) {
-    GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(proc.rec_table));
-    full_accum = *rec;
+
+  // ---- Loop-invariant hoisting prologue (cache_on only) ----------------
+  //
+  // Names whose contents change across iterations: the recursive relation
+  // and every per-iteration-refreshed definition. A definition that
+  // references none of them (and no rand()) is fully invariant: it runs
+  // once here, its name leaves the varying set (so a later definition
+  // built only on settled ones is invariant too), and the loop never
+  // refreshes it. Within the remaining varying plans, maximal invariant
+  // subtrees are materialized once into __hoist_* temps and the plans
+  // rewritten to scan them.
+  std::unordered_set<std::string> varying;
+  varying.insert(proc.rec_table);
+  for (const auto& block : proc.blocks) {
+    for (const auto& def : block.defs) varying.insert(def.name);
   }
+
+  struct RunDef {
+    std::string name;
+    PlanPtr plan;
+  };
+  struct RunBlock {
+    std::vector<RunDef> defs;  ///< per-iteration (varying) definitions
+    PlanPtr delta_plan;
+  };
+  std::vector<RunBlock> run_blocks;
+  // Empty pre-materialized temps (invariant defs and hoisted subtrees):
+  // seeds for the per-iteration empty-table short-circuit.
+  std::unordered_set<std::string> preloop_empty;
+  {
+    WallTimer hoist_timer;
+    size_t hoisted = 0;
+    size_t hoist_idx = 0;
+    auto references_varying = [&varying](const PlanPtr& p) {
+      std::vector<TableRef> refs;
+      CollectTableRefs(p, &refs);
+      for (const auto& r : refs) {
+        if (varying.count(r.name) > 0) return true;
+      }
+      return false;
+    };
+    auto materialize = [&](const PlanPtr& p,
+                           const std::string& name) -> Status {
+      GPR_ASSIGN_OR_RETURN(
+          Table t, ExecutePlan(p, catalog, profile, &ctx, &result.counters));
+      t.set_name(name);
+      if (profile.insert_logging) {
+        for (const auto& row : t.rows()) redo.LogInsert(row);
+      }
+      if (t.Empty()) preloop_empty.insert(name);
+      if (!catalog.Has(name)) {
+        GPR_RETURN_NOT_OK(scope.Create(name, t.schema()));
+      }
+      GPR_RETURN_NOT_OK(catalog.ReplaceTable(name, std::move(t)));
+      ++hoisted;
+      return Status::OK();
+    };
+    std::unordered_map<const Plan*, PlanPtr> replacements;
+    auto hoist_subtrees = [&](PlanPtr plan) -> Result<PlanPtr> {
+      if (!cache_on) return plan;
+      for (const PlanPtr& sub : LoopInvariantSubplans(plan, varying)) {
+        if (replacements.count(sub.get()) > 0) continue;  // shared subtree
+        const std::string hname =
+            "__hoist_" + proc.rec_table + "_" + std::to_string(hoist_idx++);
+        GPR_RETURN_NOT_OK(materialize(sub, hname));
+        // The rename preserves the subplan's output name, keeping join
+        // qualification in the enclosing plan unchanged.
+        replacements[sub.get()] =
+            RenameOp(Scan(hname), PlanOutputName(sub));
+      }
+      return replacements.empty() ? plan
+                                  : ReplaceSubplans(plan, replacements);
+    };
+    for (const auto& block : proc.blocks) {
+      RunBlock rb;
+      for (const auto& def : block.defs) {
+        if (cache_on && !PlanUsesRand(def.plan) &&
+            !references_varying(def.plan)) {
+          GPR_RETURN_NOT_OK(materialize(def.plan, def.name));
+          varying.erase(def.name);
+          continue;
+        }
+        GPR_ASSIGN_OR_RETURN(PlanPtr hoisted_plan, hoist_subtrees(def.plan));
+        rb.defs.push_back({def.name, std::move(hoisted_plan)});
+      }
+      GPR_ASSIGN_OR_RETURN(rb.delta_plan, hoist_subtrees(block.delta_plan));
+      run_blocks.push_back(std::move(rb));
+    }
+    result.counters.hoisted_subplans = hoisted;
+    result.counters.hoist_setup_us =
+        static_cast<size_t>(hoist_timer.ElapsedMillis() * 1000.0);
+  }
+  if (cache_on) ctx.cache_unstable = &varying;
 
   const int cap = proc.maxrecursion;
   while (true) {
@@ -154,12 +260,13 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
     // Compute the deltas of every recursive subquery.
     Table delta("delta", proc.rec_schema);
     bool any_rows = false;
-    for (size_t b = 0; b < proc.blocks.size(); ++b) {
-      const auto& block = proc.blocks[b];
+    for (size_t b = 0; b < run_blocks.size(); ++b) {
+      const auto& block = run_blocks[b];
       // The sound variant of the paper's empty-temp-table short-circuit:
       // once a materialized definition comes out empty, any downstream plan
-      // whose output provably must be empty is skipped.
-      std::unordered_set<std::string> known_empty;
+      // whose output provably must be empty is skipped. Pre-materialized
+      // invariant temps that came out empty seed the set.
+      std::unordered_set<std::string> known_empty = preloop_empty;
       for (const auto& def : block.defs) {
         Table t;
         if (PlanMustBeEmpty(def.plan, known_empty) &&
@@ -255,10 +362,13 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
         break;
       }
       case UnionMode::kUnionByUpdate: {
+        // ⊎ reports updated/inserted counts as it merges, so convergence
+        // needs no after-the-fact multiset comparison against the old R.
+        UbuStats ustats;
         GPR_ASSIGN_OR_RETURN(Table updated,
                              UnionByUpdate(*r, delta, proc.update_keys,
-                                           proc.ubu_impl, profile));
-        changed = !updated.SameRowsAs(*r);
+                                           proc.ubu_impl, profile, &ustats));
+        changed = ustats.changed;
         if (profile.insert_logging) {
           for (const auto& row : updated.rows()) redo.LogInsert(row);
         }
@@ -285,15 +395,22 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
     }
   }
 
-  // select ... from R — copy the result out; TempTableScope drops all
-  // temporaries when it goes out of scope.
+  // select ... from R — move the result out (the catalog keeps an empty
+  // husk that TempTableScope drops with the other temporaries).
   if (working_mode) {
     result.table = std::move(full_accum);
     result.table.set_name(proc.rec_table);
   } else {
     GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(proc.rec_table));
-    result.table = *rec;
+    result.table = std::move(*rec);
     result.table.DropIndexes();
+  }
+  if (cache_on) {
+    const ra::PlanCacheStats cs = cache.stats();
+    result.counters.cache_hits = cs.hits;
+    result.counters.cache_misses = cs.misses;
+    result.counters.cache_invalidations = cs.invalidations;
+    result.counters.cache_bytes = cs.bytes_live;
   }
   return result;
 }

@@ -87,7 +87,7 @@ Status RunMorsels(size_t rows, int dop, const Fn& morsel) {
 Result<Table> MergeStyle(const Table& r, const Table& s,
                          const std::vector<std::string>& keys,
                          bool reject_duplicate_source, int update_images,
-                         int dop) {
+                         int dop, UbuStats* stats) {
   GPR_RETURN_NOT_OK(CheckCompatible(r, s));
   GPR_ASSIGN_OR_RETURN(auto rkeys, ResolveAll(r.schema(), keys));
   GPR_ASSIGN_OR_RETURN(auto skeys, ResolveAll(s.schema(), keys));
@@ -143,11 +143,12 @@ Result<Table> MergeStyle(const Table& r, const Table& s,
   std::vector<bool> is_key(r.schema().NumColumns(), false);
   for (size_t k : rkeys) is_key[k] = true;
   // Applies the update scan to r's rows [begin, end), appending result
-  // rows to `part` and the keys of updated rows to `hits`. The image log
-  // is the *real work* of an in-place update; each morsel pays for its
-  // own updated rows.
+  // rows to `part` and the keys of updated rows to `hits`. `num_updated`
+  // counts the rows whose tuple actually changed — the free convergence
+  // signal (UbuStats). The image log is the *real work* of an in-place
+  // update; each morsel pays for its own updated rows.
   auto update_scan = [&](size_t begin, size_t end, std::vector<Tuple>& part,
-                         std::vector<Tuple>& hits) {
+                         std::vector<Tuple>& hits, size_t& num_updated) {
     Tuple key;
     std::vector<Tuple> image_log;  // undo/redo images of updated rows
     for (size_t i = begin; i < end; ++i) {
@@ -164,10 +165,15 @@ Result<Table> MergeStyle(const Table& r, const Table& s,
       const Tuple& sr = s.row(*si);
       if (update_images >= 1) image_log.push_back(rr);  // undo image
       Tuple updated = rr;
+      bool diff = false;
       // s columns correspond positionally via union-compatible schemas.
       for (size_t c = 0; c < updated.size(); ++c) {
-        if (!is_key[c]) updated[c] = sr[c];
+        if (!is_key[c]) {
+          if (!diff && !rr[c].Equals(sr[c])) diff = true;
+          updated[c] = sr[c];
+        }
       }
+      if (diff) ++num_updated;
       if (update_images >= 2) image_log.push_back(updated);  // redo image
       part.push_back(std::move(updated));
       if (image_log.size() >= 1u << 16) image_log.clear();  // bound memory
@@ -199,10 +205,11 @@ Result<Table> MergeStyle(const Table& r, const Table& s,
     const size_t rm = exec::NumMorsels(rn, MorselRowsFor(rn, dop));
     std::vector<std::vector<Tuple>> outs(rm);
     std::vector<std::vector<Tuple>> hits(rm);
+    std::vector<size_t> updated_counts(rm, 0);
     GPR_RETURN_NOT_OK(
         RunMorsels(rn, dop, [&](size_t m, size_t begin, size_t end) {
           outs[m].reserve(end - begin);
-          update_scan(begin, end, outs[m], hits[m]);
+          update_scan(begin, end, outs[m], hits[m], updated_counts[m]);
           return Status::OK();
         }));
     splice(outs);
@@ -217,53 +224,137 @@ Result<Table> MergeStyle(const Table& r, const Table& s,
           insert_scan(begin, end, inserts[m]);
           return Status::OK();
         }));
+    if (stats != nullptr) {
+      for (size_t c : updated_counts) stats->updated += c;
+      for (const auto& part : inserts) stats->inserted += part.size();
+      stats->changed = stats->updated > 0 || stats->inserted > 0;
+    }
     splice(inserts);
     return out;
   }
   out.Reserve(r.NumRows());
   std::vector<Tuple> hits;
-  update_scan(0, r.NumRows(), out.mutable_rows(), hits);
+  size_t num_updated = 0;
+  update_scan(0, r.NumRows(), out.mutable_rows(), hits, num_updated);
   for (Tuple& key : hits) matched.insert(std::move(key));
   std::vector<Tuple> inserts;
   insert_scan(0, s.NumRows(), inserts);
+  if (stats != nullptr) {
+    stats->updated = num_updated;
+    stats->inserted = inserts.size();
+    stats->changed = num_updated > 0 || !inserts.empty();
+  }
   for (Tuple& t : inserts) out.AddRow(std::move(t));
   return out;
 }
 
+/// full outer join + coalesce, written out by hand so the convergence
+/// counters fall out of the scan. The output is row-for-row what
+/// `Project(FullOuterJoin(R, ρS), coalesce...)` used to produce: R rows in
+/// order (each matched row expanded per matching S row, in S insertion
+/// order), then unmatched S rows appended in S order. The projection is
+/// per column `coalesce(R.key, S.key)` for keys and `coalesce(S.val,
+/// R.val)` for non-keys.
 Result<Table> FullOuterJoinImpl(const Table& r, const Table& s,
-                                const std::vector<std::string>& keys) {
+                                const std::vector<std::string>& keys,
+                                UbuStats* stats) {
   GPR_RETURN_NOT_OK(CheckCompatible(r, s));
-  GPR_ASSIGN_OR_RETURN(Table lhs, ops::Rename(r, "ubu_r"));
-  GPR_ASSIGN_OR_RETURN(Table rhs, ops::Rename(s, "ubu_s"));
-  // Align s's column names with r's so coalesce pairs line up.
-  {
-    std::vector<std::string> rnames;
-    for (const auto& c : r.schema().columns()) rnames.push_back(c.name);
-    GPR_ASSIGN_OR_RETURN(rhs, ops::Rename(rhs, "ubu_s", rnames));
+  GPR_ASSIGN_OR_RETURN(auto rkeys, ResolveAll(r.schema(), keys));
+  // s's columns correspond to r's positionally (union-compatible), so r's
+  // key positions apply to s rows directly — exactly what the old rename-
+  // to-r's-names + resolve dance computed.
+  const std::vector<size_t>& skeys = rkeys;
+
+  auto has_null_key = [](const Tuple& t, const std::vector<size_t>& idx) {
+    for (size_t k : idx) {
+      if (t[k].is_null()) return true;
+    }
+    return false;
+  };
+
+  std::unordered_map<Tuple, std::vector<size_t>, ra::TupleHash, ra::TupleEq>
+      s_by_key;
+  s_by_key.reserve(s.NumRows());
+  for (size_t i = 0; i < s.NumRows(); ++i) {
+    if (has_null_key(s.row(i), skeys)) continue;  // never joins
+    s_by_key[ProjectTuple(s.row(i), skeys)].push_back(i);
   }
-  ops::JoinKeys jk{keys, keys};
-  GPR_ASSIGN_OR_RETURN(Table joined, ops::FullOuterJoin(lhs, rhs, jk));
-  // select coalesce(R.key, S.key) as key, coalesce(S.val, R.val) as val.
-  std::unordered_set<std::string> key_set(keys.begin(), keys.end());
-  std::vector<ops::ProjectItem> items;
-  for (const auto& col : r.schema().columns()) {
-    const std::string rq = "ubu_r." + col.name;
-    const std::string sq = "ubu_s." + col.name;
-    const bool is_key = key_set.count(col.name) > 0;
-    ra::ExprPtr e =
-        is_key ? ra::Call("coalesce", {ra::Col(rq), ra::Col(sq)})
-               : ra::Call("coalesce", {ra::Col(sq), ra::Col(rq)});
-    items.push_back(ops::As(std::move(e), col.name));
+
+  std::vector<bool> is_key(r.schema().NumColumns(), false);
+  for (size_t k : rkeys) is_key[k] = true;
+
+  Table out(r.name(), r.schema());
+  out.Reserve(r.NumRows());
+  std::vector<bool> smatched(s.NumRows(), false);
+  size_t updated = 0;
+  bool dup_match = false;  // an r row matched by ≥2 s rows duplicates it
+  Tuple key;
+  for (const Tuple& rr : r.rows()) {
+    ra::ProjectTupleInto(rr, rkeys, &key);
+    auto it = has_null_key(rr, rkeys) ? s_by_key.end() : s_by_key.find(key);
+    if (it == s_by_key.end()) {
+      // Unmatched r: the s side is all-NULL, every coalesce yields r.
+      out.AddRow(rr);
+      continue;
+    }
+    if (it->second.size() > 1) dup_match = true;
+    for (size_t si : it->second) {
+      smatched[si] = true;
+      const Tuple& sr = s.row(si);
+      Tuple merged = rr;
+      bool diff = false;
+      for (size_t c = 0; c < merged.size(); ++c) {
+        if (is_key[c]) {
+          if (rr[c].is_null()) merged[c] = sr[c];
+        } else if (!sr[c].is_null()) {
+          merged[c] = sr[c];
+        }
+        if (!diff && !merged[c].Equals(rr[c])) diff = true;
+      }
+      if (diff) ++updated;
+      out.AddRow(std::move(merged));
+    }
   }
-  GPR_ASSIGN_OR_RETURN(Table out, ops::Project(joined, items, nullptr,
-                                               r.name()));
-  out.set_schema(r.schema());  // coalesce defeats type inference
+  // Unmatched s rows (including NULL-key ones, which never join): the r
+  // side is all-NULL, every coalesce yields s. These are the inserts.
+  size_t inserted = 0;
+  for (size_t si = 0; si < s.NumRows(); ++si) {
+    if (smatched[si]) continue;
+    out.AddRow(s.row(si));
+    ++inserted;
+  }
+  if (stats != nullptr) {
+    stats->updated = updated;
+    stats->inserted = inserted;
+    stats->changed = updated > 0 || inserted > 0 || dup_match;
+  }
   return out;
 }
 
 Result<Table> DropAlterImpl(const Table& r, const Table& s,
-                            const std::vector<std::string>& keys) {
+                            const std::vector<std::string>& keys,
+                            UbuStats* stats) {
   GPR_RETURN_NOT_OK(CheckCompatible(r, s));
+  if (stats != nullptr) {
+    // Whole-table replacement: "did anything change" is an O(n) hash
+    // multiset comparison (vs the sort-based SameRowsAs the driver would
+    // otherwise run). Per-row update/insert counts are not meaningful for
+    // a wholesale swap and stay 0.
+    stats->changed = r.NumRows() != s.NumRows();
+    if (!stats->changed) {
+      std::unordered_map<Tuple, size_t, ra::TupleHash, ra::TupleEq> counts;
+      counts.reserve(r.NumRows());
+      for (const Tuple& t : r.rows()) ++counts[t];
+      for (const Tuple& t : s.rows()) {
+        auto it = counts.find(t);
+        if (it == counts.end() || it->second == 0) {
+          stats->changed = true;
+          break;
+        }
+        --it->second;
+      }
+    }
+  }
   if (!keys.empty()) {
     // Replacement is only equivalent to ⊎ when S covers every key of R.
     GPR_ASSIGN_OR_RETURN(auto rkeys, ResolveAll(r.schema(), keys));
@@ -289,11 +380,11 @@ Result<Table> DropAlterImpl(const Table& r, const Table& s,
 Result<Table> UnionByUpdate(const Table& r, const Table& s,
                             const std::vector<std::string>& keys,
                             UnionByUpdateImpl impl,
-                            const EngineProfile& profile) {
+                            const EngineProfile& profile, UbuStats* stats) {
   if (keys.empty() && impl != UnionByUpdateImpl::kDropAlter) {
     // ⊎ without attributes replaces the relation as a whole; every
     // implementation degenerates to the same assignment.
-    return DropAlterImpl(r, s, keys);
+    return DropAlterImpl(r, s, keys, stats);
   }
   switch (impl) {
     case UnionByUpdateImpl::kMerge:
@@ -302,18 +393,20 @@ Result<Table> UnionByUpdate(const Table& r, const Table& s,
                                     profile.name);
       }
       return MergeStyle(r, s, keys, /*reject_duplicate_source=*/true,
-                        /*update_images=*/2, profile.degree_of_parallelism);
+                        /*update_images=*/2, profile.degree_of_parallelism,
+                        stats);
     case UnionByUpdateImpl::kUpdateFrom:
       if (!profile.supports_update_from) {
         return Status::NotSupported("UPDATE ... FROM is not available under " +
                                     profile.name);
       }
       return MergeStyle(r, s, keys, /*reject_duplicate_source=*/false,
-                        /*update_images=*/1, profile.degree_of_parallelism);
+                        /*update_images=*/1, profile.degree_of_parallelism,
+                        stats);
     case UnionByUpdateImpl::kFullOuterJoin:
-      return FullOuterJoinImpl(r, s, keys);
+      return FullOuterJoinImpl(r, s, keys, stats);
     case UnionByUpdateImpl::kDropAlter:
-      return DropAlterImpl(r, s, keys);
+      return DropAlterImpl(r, s, keys, stats);
   }
   GPR_UNREACHABLE();
 }
@@ -322,9 +415,10 @@ Status UnionByUpdateInPlace(ra::Catalog& catalog, const std::string& r_name,
                             const Table& s,
                             const std::vector<std::string>& keys,
                             UnionByUpdateImpl impl,
-                            const EngineProfile& profile) {
+                            const EngineProfile& profile, UbuStats* stats) {
   GPR_ASSIGN_OR_RETURN(Table * r, catalog.Get(r_name));
-  GPR_ASSIGN_OR_RETURN(Table out, UnionByUpdate(*r, s, keys, impl, profile));
+  GPR_ASSIGN_OR_RETURN(Table out,
+                       UnionByUpdate(*r, s, keys, impl, profile, stats));
   if (profile.insert_logging) {
     RedoLog log;
     for (const Tuple& t : out.rows()) log.LogInsert(t);

@@ -36,6 +36,23 @@ const char* UnionByUpdateImplName(UnionByUpdateImpl impl);
 /// The four implementations in the order of the paper's Tables 4–5.
 std::vector<UnionByUpdateImpl> AllUnionByUpdateImpls();
 
+/// Byproduct counters of one ⊎ evaluation, collected while the operation
+/// already scans every row — `changed` gives the fixpoint driver its
+/// convergence answer for free, replacing the O(|R| log |R|) post-hoc
+/// SameRowsAs comparison it used to run per iteration.
+///
+/// `changed` ⟺ result multiset ≠ R multiset. The equivalence holds because
+/// tuples embed their key attributes: an updated row that differs from its
+/// original shifts the per-key sub-multiset, and an insert changes the row
+/// count. For kDropAlter (and the empty-key wholesale replacement) only
+/// `changed` is meaningful — it comes from an O(n) hash-multiset compare —
+/// and the per-row counters stay 0.
+struct UbuStats {
+  size_t updated = 0;   ///< matched R rows whose tuple actually changed
+  size_t inserted = 0;  ///< unmatched S rows appended
+  bool changed = false; ///< result differs from R as a multiset
+};
+
 /// Computes R ⊎_keys S with the chosen implementation. `keys` empty means
 /// whole-table replacement. Fails with NotSupported when the engine profile
 /// lacks the statement (merge on PostgreSQL < 9.5, update-from elsewhere),
@@ -44,7 +61,8 @@ std::vector<UnionByUpdateImpl> AllUnionByUpdateImpls();
 Result<ra::Table> UnionByUpdate(const ra::Table& r, const ra::Table& s,
                                 const std::vector<std::string>& keys,
                                 UnionByUpdateImpl impl,
-                                const EngineProfile& profile = OracleLike());
+                                const EngineProfile& profile = OracleLike(),
+                                UbuStats* stats = nullptr);
 
 /// In-place variant against a catalog table (the PSM executor's path): the
 /// kDropAlter implementation truly swaps the catalog entry; the others
@@ -53,6 +71,7 @@ Status UnionByUpdateInPlace(ra::Catalog& catalog, const std::string& r_name,
                             const ra::Table& s,
                             const std::vector<std::string>& keys,
                             UnionByUpdateImpl impl,
-                            const EngineProfile& profile = OracleLike());
+                            const EngineProfile& profile = OracleLike(),
+                            UbuStats* stats = nullptr);
 
 }  // namespace gpr::core

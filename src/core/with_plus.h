@@ -68,6 +68,10 @@ struct WithPlusQuery {
   /// guaranteed to produce results identical to DOP = 1
   /// (docs/performance.md).
   int degree_of_parallelism = 0;
+  /// Cross-iteration plan-state cache (the SQL `cache on|off` option):
+  /// -1 = inherit the profile's plan_cache setting, 0 = off, 1 = on.
+  /// Results are guaranteed identical either way.
+  int plan_cache = -1;
   /// when false, skip the XY-stratification gate (for ablation only).
   bool check_stratification = true;
   /// SQL'99 working-table semantics (union all / union modes only): the

@@ -58,6 +58,10 @@ Status Catalog::ReplaceTable(const std::string& name, Table content) {
   }
   content.set_name(name);
   *it->second.table = std::move(content);
+  // The entry is a new physical incarnation: force a fresh version so any
+  // cache entry keyed on the old (name, version) pair is dead, even if the
+  // moved-in content was never mutated after construction.
+  it->second.table->BumpVersion();
   return Status::OK();
 }
 

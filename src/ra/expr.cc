@@ -130,17 +130,18 @@ std::string Expr::ToString() const {
       return column_name;
     case ExprKind::kLiteral:
       return literal.ToString();
-    case ExprKind::kBinary:
-      return "(" + children[0]->ToString() + " " + BinaryOpName(bin_op) +
-             " " + children[1]->ToString() + ")";
+    case ExprKind::kBinary: {
+      const std::string l = children[0]->ToString();
+      const std::string r = children[1]->ToString();
+      return "(" + l + " " + BinaryOpName(bin_op) + " " + r + ")";
+    }
     case ExprKind::kUnary: {
+      const std::string c = children[0]->ToString();
       switch (un_op) {
-        case UnaryOp::kNot: return "(not " + children[0]->ToString() + ")";
-        case UnaryOp::kNeg: return "(-" + children[0]->ToString() + ")";
-        case UnaryOp::kIsNull:
-          return "(" + children[0]->ToString() + " is null)";
-        case UnaryOp::kIsNotNull:
-          return "(" + children[0]->ToString() + " is not null)";
+        case UnaryOp::kNot: return "(not " + c + ")";
+        case UnaryOp::kNeg: return "(-" + c + ")";
+        case UnaryOp::kIsNull: return "(" + c + " is null)";
+        case UnaryOp::kIsNotNull: return "(" + c + " is not null)";
       }
       return "?";
     }

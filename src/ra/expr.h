@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "ra/schema.h"
@@ -19,6 +20,8 @@ class ExecContext;
 }
 
 namespace gpr::ra {
+
+class PlanCache;
 
 enum class ExprKind { kColumn, kLiteral, kBinary, kUnary, kCall };
 
@@ -96,6 +99,16 @@ struct EvalContext {
   /// 1 = the untouched serial path; >1 lets the long row loops split into
   /// morsels on exec::ThreadPool. Results are identical either way.
   int dop = 1;
+  /// Cross-iteration plan-state cache (plan_cache.h); null = caching off.
+  /// Owned by the fixpoint driver; operators consult it only for inputs
+  /// the plan executor marked as cache-stable (catalog-resident scans).
+  PlanCache* cache = nullptr;
+  /// Names of tables whose contents change across fixpoint iterations
+  /// (the recursive relation and the refreshed computed-by temps), set by
+  /// the fixpoint driver. Scans of these are never treated as
+  /// cache-stable: caching them would insert an entry each iteration only
+  /// to invalidate it the next, wasting work and governor byte budget.
+  const std::unordered_set<std::string>* cache_unstable = nullptr;
 };
 
 /// A bound expression: column references resolved to indexes, evaluable

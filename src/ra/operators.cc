@@ -6,6 +6,7 @@
 
 #include "exec/exec_context.h"
 #include "exec/thread_pool.h"
+#include "ra/plan_cache.h"
 
 namespace gpr::ra::ops {
 namespace {
@@ -77,6 +78,33 @@ void SpliceInto(std::vector<std::vector<Tuple>>& parts, Table* out) {
 using RowSet = std::unordered_set<Tuple, TupleHash, TupleEq>;
 using RowMultiMap =
     std::unordered_map<Tuple, std::vector<size_t>, TupleHash, TupleEq>;
+
+/// The plan cache to consult for an input, or null when caching does not
+/// apply: the caller must have marked the input cache-stable, the context
+/// must carry a cache, and the table must be named (anonymous intermediates
+/// die with the operator, so their globally-unique versions never recur).
+PlanCache* CacheFor(EvalContext* ctx, bool stable, const Table& t) {
+  if (!stable || ctx == nullptr || ctx->cache == nullptr) return nullptr;
+  return t.name().empty() ? nullptr : ctx->cache;
+}
+
+std::string KeyColsSuffix(const std::vector<size_t>& cols) {
+  std::string out;
+  for (size_t c : cols) {
+    out += ':';
+    out += std::to_string(c);
+  }
+  return out;
+}
+
+/// Memoized hash-join build side: per-key match lists in increasing row
+/// order, partitioned by key hash. Shared read-only across morsel workers
+/// and across fixpoint iterations; `num_parts` is carried so probes route
+/// keys the way the build partitioned them regardless of the current DOP.
+struct HashBuild {
+  size_t num_parts = 1;
+  std::vector<RowMultiMap> parts;
+};
 
 Result<std::vector<size_t>> ResolveAll(const Schema& schema,
                                        const std::vector<std::string>& cols) {
@@ -313,7 +341,7 @@ Result<JoinPlan> PlanJoin(const Table& l, const Table& r,
 
 Result<Table> HashJoinImpl(const Table& l, const Table& r,
                            const JoinPlan& plan, const ExprPtr& residual,
-                           EvalContext* ctx) {
+                           EvalContext* ctx, bool cache_build) {
   Table out("", plan.out_schema);
   std::optional<CompiledExpr> res;
   if (residual) {
@@ -331,52 +359,75 @@ Result<Table> HashJoinImpl(const Table& l, const Table& r,
   // morsels bucket right-row indexes by hash partition, then partition p
   // builds its own map by walking its buckets in morsel order, which keeps
   // every per-key match list in increasing row order, exactly as the
-  // serial build produces it.
-  const size_t num_parts =
-      !index_usable && dop > 1 && r.NumRows() > 1
-          ? static_cast<size_t>(dop)
-          : 1;
-  std::vector<RowMultiMap> built(index_usable ? 0 : num_parts);
-  if (!index_usable && num_parts == 1) {
-    built[0].reserve(r.NumRows());
-    for (size_t i = 0; i < r.NumRows(); ++i) {
-      Tuple key = ProjectTuple(r.row(i), plan.rkeys);
-      if (HasNullKey(key)) continue;
-      built[0][std::move(key)].push_back(i);
-    }
-  } else if (!index_usable) {
-    const size_t rn = r.NumRows();
-    const size_t num_morsels = exec::NumMorsels(rn, MorselRowsFor(rn, dop));
-    std::vector<std::vector<std::vector<size_t>>> buckets(
-        num_morsels, std::vector<std::vector<size_t>>(num_parts));
-    GPR_RETURN_NOT_OK(RunMorsels(
-        ctx, rn, dop, "join", [&](size_t m, size_t begin, size_t end) {
-          Tuple key;
-          for (size_t i = begin; i < end; ++i) {
-            ProjectTupleInto(r.row(i), plan.rkeys, &key);
-            if (HasNullKey(key)) continue;
-            buckets[m][TupleHash{}(key) % num_parts].push_back(i);
-          }
-          return Status::OK();
-        }));
-    GPR_RETURN_NOT_OK(exec::ThreadPool::Global().RunTasks(
-        num_parts, static_cast<size_t>(dop), [&](size_t p) {
-          RowMultiMap& map = built[p];
-          map.reserve(rn / num_parts + 1);
-          Tuple key;
-          for (size_t m = 0; m < num_morsels; ++m) {
-            for (size_t i : buckets[m][p]) {
+  // serial build produces it. When the right side is cache-stable the
+  // finished build is memoized keyed on its (name, version) + key columns,
+  // so later fixpoint iterations skip the build entirely.
+  PlanCache* cache = index_usable ? nullptr : CacheFor(ctx, cache_build, r);
+  std::shared_ptr<const HashBuild> built;
+  std::string cache_key;
+  const uint64_t rversion = r.version();
+  if (cache != nullptr) {
+    cache_key = "hj:" + r.name() + KeyColsSuffix(plan.rkeys);
+    built = cache->Lookup<HashBuild>(cache_key, rversion);
+  }
+  if (!index_usable && built == nullptr) {
+    auto fresh = std::make_shared<HashBuild>();
+    fresh->num_parts = dop > 1 && r.NumRows() > 1
+                           ? static_cast<size_t>(dop)
+                           : 1;
+    fresh->parts.resize(fresh->num_parts);
+    if (fresh->num_parts == 1) {
+      fresh->parts[0].reserve(r.NumRows());
+      for (size_t i = 0; i < r.NumRows(); ++i) {
+        Tuple key = ProjectTuple(r.row(i), plan.rkeys);
+        if (HasNullKey(key)) continue;
+        fresh->parts[0][std::move(key)].push_back(i);
+      }
+    } else {
+      const size_t rn = r.NumRows();
+      const size_t num_parts = fresh->num_parts;
+      const size_t num_morsels = exec::NumMorsels(rn, MorselRowsFor(rn, dop));
+      std::vector<std::vector<std::vector<size_t>>> buckets(
+          num_morsels, std::vector<std::vector<size_t>>(num_parts));
+      GPR_RETURN_NOT_OK(RunMorsels(
+          ctx, rn, dop, "join", [&](size_t m, size_t begin, size_t end) {
+            Tuple key;
+            for (size_t i = begin; i < end; ++i) {
               ProjectTupleInto(r.row(i), plan.rkeys, &key);
-              map[key].push_back(i);
+              if (HasNullKey(key)) continue;
+              buckets[m][TupleHash{}(key) % num_parts].push_back(i);
             }
-          }
-          return Status::OK();
-        }));
+            return Status::OK();
+          }));
+      GPR_RETURN_NOT_OK(exec::ThreadPool::Global().RunTasks(
+          num_parts, static_cast<size_t>(dop), [&](size_t p) {
+            RowMultiMap& map = fresh->parts[p];
+            map.reserve(rn / num_parts + 1);
+            Tuple key;
+            for (size_t m = 0; m < num_morsels; ++m) {
+              for (size_t i : buckets[m][p]) {
+                ProjectTupleInto(r.row(i), plan.rkeys, &key);
+                map[key].push_back(i);
+              }
+            }
+            return Status::OK();
+          }));
+    }
+    if (cache != nullptr) {
+      const size_t bytes =
+          r.NumRows() *
+          (plan.rkeys.size() * sizeof(Value) + 2 * sizeof(size_t));
+      GPR_RETURN_NOT_OK(cache->Insert<HashBuild>(cache_key, rversion, fresh,
+                                                 bytes));
+    }
+    built = std::move(fresh);
   }
   auto find_matches = [&](const Tuple& key) -> const std::vector<size_t>* {
     if (index_usable) return index->Lookup(key);
     const RowMultiMap& map =
-        built[num_parts == 1 ? 0 : TupleHash{}(key) % num_parts];
+        built->parts[built->num_parts == 1
+                         ? 0
+                         : TupleHash{}(key) % built->num_parts];
     auto it = map.find(key);
     return it == map.end() ? nullptr : &it->second;
   };
@@ -426,7 +477,8 @@ Result<Table> HashJoinImpl(const Table& l, const Table& r,
 
 Result<Table> SortMergeJoinImpl(const Table& l, const Table& r,
                                 const JoinPlan& plan, const ExprPtr& residual,
-                                EvalContext* ctx) {
+                                EvalContext* ctx, bool cache_left_sort,
+                                bool cache_right_sort) {
   Table out("", plan.out_schema);
   std::optional<CompiledExpr> res;
   if (residual) {
@@ -435,6 +487,8 @@ Result<Table> SortMergeJoinImpl(const Table& l, const Table& r,
   }
   // Order both sides by key; reuse a matching sort index on the right
   // (this is what makes indexes pay off under the PostgreSQL-like profile).
+  // Cache-stable inputs additionally memoize the computed sort run keyed on
+  // (name, version, key columns) so fixpoint iterations sort only once.
   auto order_of = [](const Table& t, const std::vector<size_t>& keys) {
     std::vector<size_t> order(t.NumRows());
     for (size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -444,20 +498,32 @@ Result<Table> SortMergeJoinImpl(const Table& l, const Table& r,
     });
     return order;
   };
-  std::vector<size_t> lorder;
-  const SortIndex* lidx = l.sort_index();
-  if (lidx != nullptr && lidx->key_cols() == plan.lkeys) {
-    lorder = lidx->order();
-  } else {
-    lorder = order_of(l, plan.lkeys);
-  }
-  std::vector<size_t> rorder;
-  const SortIndex* ridx = r.sort_index();
-  if (ridx != nullptr && ridx->key_cols() == plan.rkeys) {
-    rorder = ridx->order();
-  } else {
-    rorder = order_of(r, plan.rkeys);
-  }
+  auto ordered = [&](const Table& t, const std::vector<size_t>& keys,
+                     bool cacheable)
+      -> Result<std::shared_ptr<const std::vector<size_t>>> {
+    const SortIndex* idx = t.sort_index();
+    if (idx != nullptr && idx->key_cols() == keys) {
+      return std::make_shared<const std::vector<size_t>>(idx->order());
+    }
+    PlanCache* cache = CacheFor(ctx, cacheable, t);
+    std::string key;
+    const uint64_t version = t.version();
+    if (cache != nullptr) {
+      key = "sort:" + t.name() + KeyColsSuffix(keys);
+      auto hit = cache->Lookup<std::vector<size_t>>(key, version);
+      if (hit != nullptr) return hit;
+    }
+    auto run = std::make_shared<const std::vector<size_t>>(order_of(t, keys));
+    if (cache != nullptr) {
+      GPR_RETURN_NOT_OK(cache->Insert<std::vector<size_t>>(
+          key, version, run, run->size() * sizeof(size_t)));
+    }
+    return run;
+  };
+  GPR_ASSIGN_OR_RETURN(auto lrun, ordered(l, plan.lkeys, cache_left_sort));
+  GPR_ASSIGN_OR_RETURN(auto rrun, ordered(r, plan.rkeys, cache_right_sort));
+  const std::vector<size_t>& lorder = *lrun;
+  const std::vector<size_t>& rorder = *rrun;
   size_t i = 0;
   size_t j = 0;
   size_t steps = 0;
@@ -545,9 +611,10 @@ Result<Table> JoinWithOptions(const Table& l, const Table& r,
     case JoinAlgorithm::kIndexNestedLoop:
       // Index-nested-loop degenerates to a hash probe in this engine; the
       // distinction matters only for plan accounting.
-      return HashJoinImpl(l, r, plan, residual, ctx);
+      return HashJoinImpl(l, r, plan, residual, ctx, opts.cache_build);
     case JoinAlgorithm::kSortMerge:
-      return SortMergeJoinImpl(l, r, plan, residual, ctx);
+      return SortMergeJoinImpl(l, r, plan, residual, ctx,
+                               opts.cache_left_sort, opts.cache_right_sort);
     case JoinAlgorithm::kNestedLoop:
       return NestedLoopJoinImpl(l, r, plan, residual, ctx);
   }
@@ -630,21 +697,39 @@ Result<Table> SemiJoin(const Table& l, const Table& r, const JoinKeys& keys) {
 }
 
 Result<Table> AntiJoinBasic(const Table& l, const Table& r,
-                            const JoinKeys& keys) {
+                            const JoinKeys& keys, EvalContext* ctx,
+                            bool cache_probe) {
   if (keys.left.size() != keys.right.size()) {
     return Status::InvalidArgument("join key arity mismatch");
   }
   GPR_ASSIGN_OR_RETURN(auto lkeys, ResolveAll(l.schema(), keys.left));
   GPR_ASSIGN_OR_RETURN(auto rkeys, ResolveAll(r.schema(), keys.right));
-  RowSet rset;
-  for (const Tuple& rrow : r.rows()) {
-    Tuple key = ProjectTuple(rrow, rkeys);
-    if (!HasNullKey(key)) rset.insert(std::move(key));
+  PlanCache* cache = CacheFor(ctx, cache_probe, r);
+  std::shared_ptr<const RowSet> rset;
+  std::string cache_key;
+  const uint64_t rversion = r.version();
+  if (cache != nullptr) {
+    cache_key = "aj:" + r.name() + KeyColsSuffix(rkeys);
+    rset = cache->Lookup<RowSet>(cache_key, rversion);
+  }
+  if (rset == nullptr) {
+    auto fresh = std::make_shared<RowSet>();
+    fresh->reserve(r.NumRows());
+    for (const Tuple& rrow : r.rows()) {
+      Tuple key = ProjectTuple(rrow, rkeys);
+      if (!HasNullKey(key)) fresh->insert(std::move(key));
+    }
+    if (cache != nullptr) {
+      GPR_RETURN_NOT_OK(cache->Insert<RowSet>(
+          cache_key, rversion, fresh,
+          fresh->size() * rkeys.size() * sizeof(Value)));
+    }
+    rset = std::move(fresh);
   }
   Table out(l.name(), l.schema());
   for (const Tuple& lrow : l.rows()) {
     Tuple key = ProjectTuple(lrow, lkeys);
-    if (HasNullKey(key) || !rset.count(key)) out.AddRow(lrow);
+    if (HasNullKey(key) || !rset->count(key)) out.AddRow(lrow);
   }
   return out;
 }

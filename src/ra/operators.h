@@ -79,6 +79,13 @@ struct JoinOptions {
   EvalContext* ctx = nullptr;
   std::string left_qualifier;
   std::string right_qualifier;
+  // Cross-iteration caching (plan_cache.h). The plan executor sets these
+  // only when the corresponding input is a catalog-resident scan, whose
+  // (name, version) pair makes the cached artifact's validity checkable;
+  // they are no-ops unless ctx->cache is set.
+  bool cache_build = false;       ///< hash-join build table (right input)
+  bool cache_left_sort = false;   ///< merge-join sort run for the left input
+  bool cache_right_sort = false;  ///< merge-join sort run for the right input
 };
 
 /// Equi-join (⋈θ with conjunctive equality condition plus an optional
@@ -110,8 +117,11 @@ Result<Table> SemiJoin(const Table& l, const Table& r, const JoinKeys& keys);
 
 /// ⋉̄ — rows of `l` with no key match in `r` (the canonical hash-based
 /// implementation; the physical variants of Section 6 live in core/).
+/// When `cache_probe` is set and ctx->cache is live, the probe set built
+/// over `r` is memoized across iterations keyed on `r`'s (name, version).
 Result<Table> AntiJoinBasic(const Table& l, const Table& r,
-                            const JoinKeys& keys);
+                            const JoinKeys& keys, EvalContext* ctx = nullptr,
+                            bool cache_probe = false);
 
 /// γ — group-by & aggregation. `group_cols` may be empty (single group; the
 /// result then has exactly one row, even over empty input, matching SQL's

@@ -1,0 +1,63 @@
+#include "ra/plan_cache.h"
+
+#include "exec/exec_context.h"
+
+namespace gpr::ra {
+
+std::shared_ptr<const void> PlanCache::LookupErased(const std::string& key,
+                                                    uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second.version != version) {
+    stats_.bytes_live -= it->second.bytes;
+    entries_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second.data;
+}
+
+Status PlanCache::InsertErased(const std::string& key, uint64_t version,
+                               std::shared_ptr<const void> data,
+                               size_t bytes) {
+  // Charge the governor before storing: a tripped byte budget must surface
+  // as ResourceExhausted (with ProgressDetail) and leave the cache without
+  // the oversized entry, never OOM.
+  if (gov_ != nullptr) {
+    GPR_RETURN_NOT_OK(gov_->ChargeRows("plan_cache", 0, bytes));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[key];
+  stats_.bytes_live -= e.bytes;  // no-op for a fresh entry (bytes == 0)
+  e.version = version;
+  e.data = std::move(data);
+  e.bytes = bytes;
+  stats_.bytes_live += bytes;
+  stats_.bytes_charged += bytes;
+  ++stats_.inserts;
+  return Status::OK();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t PlanCache::NumEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  stats_.bytes_live = 0;
+}
+
+}  // namespace gpr::ra

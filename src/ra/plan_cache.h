@@ -1,0 +1,110 @@
+// Cross-iteration plan-state cache (the PR-5 tentpole).
+//
+// The with+ fixpoint loop re-executes the same relational plans every
+// iteration; most of their physical setup work — hash-join build tables,
+// sort runs for merge join, anti-join probe sets, MV-join matrix triples —
+// depends only on an input table that never changes across iterations
+// (e.g. the edge relation E). The PlanCache memoizes those artifacts,
+// keyed by
+//
+//   (artifact kind + plan-node parameters, input table name, input table
+//    version)
+//
+// where the version is the table's globally-unique content version
+// (ra::NextTableVersion): any mutation of the input — AddRow, Clear,
+// ReplaceTable, index build/drop — assigns a fresh version, so a lookup
+// against the current version can never observe a stale artifact. A
+// version mismatch erases the entry (counted as an invalidation).
+//
+// Ownership and concurrency: the cache is owned by the fixpoint driver
+// (core::CallProcedure) and threaded through ra::EvalContext; it lives
+// exactly as long as one query. Lookup/Insert are mutex-guarded, and
+// artifacts are handed out as shared_ptr<const T> so morsel workers can
+// share a build read-only while the coordinator keeps the cache alive.
+//
+// Budget accounting: every inserted artifact's byte estimate is charged
+// to the execution governor (site "plan_cache") before the entry is
+// stored, so a query whose cached state would exceed the `maxbytes`
+// budget fails with ResourceExhausted + ProgressDetail instead of
+// growing without bound.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace gpr::exec {
+class ExecContext;
+}  // namespace gpr::exec
+
+namespace gpr::ra {
+
+/// Counters surfaced through ExecCounters / WithPlusResult::counters.
+struct PlanCacheStats {
+  uint64_t hits = 0;           ///< lookups satisfied from the cache
+  uint64_t misses = 0;         ///< lookups with no (valid) entry
+  uint64_t invalidations = 0;  ///< entries dropped on version mismatch
+  uint64_t inserts = 0;        ///< successful Insert calls
+  uint64_t bytes_live = 0;     ///< bytes currently held by live entries
+  uint64_t bytes_charged = 0;  ///< cumulative bytes charged to the governor
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(exec::ExecContext* gov = nullptr) : gov_(gov) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Governor charged for every insert; may be null (ungoverned query).
+  void set_governor(exec::ExecContext* gov) { gov_ = gov; }
+
+  /// Returns the artifact stored under `key` if its recorded version
+  /// matches `version`, null otherwise. A present-but-mismatched entry is
+  /// erased and counted as an invalidation.
+  template <typename T>
+  std::shared_ptr<const T> Lookup(const std::string& key, uint64_t version) {
+    return std::static_pointer_cast<const T>(LookupErased(key, version));
+  }
+
+  /// Stores `data` under `key` for input-table version `version`,
+  /// charging `bytes` to the governor's byte budget first. On a tripped
+  /// budget the entry is NOT stored and the governor's ResourceExhausted
+  /// status (with ProgressDetail) is returned — callers must propagate it.
+  template <typename T>
+  Status Insert(const std::string& key, uint64_t version,
+                std::shared_ptr<const T> data, size_t bytes) {
+    return InsertErased(key, version,
+                        std::static_pointer_cast<const void>(std::move(data)),
+                        bytes);
+  }
+
+  std::shared_ptr<const void> LookupErased(const std::string& key,
+                                           uint64_t version);
+  Status InsertErased(const std::string& key, uint64_t version,
+                      std::shared_ptr<const void> data, size_t bytes);
+
+  PlanCacheStats stats() const;
+  size_t NumEntries() const;
+
+  /// Drops every entry (stats keep accumulating).
+  void Clear();
+
+ private:
+  struct Entry {
+    uint64_t version = 0;
+    std::shared_ptr<const void> data;
+    size_t bytes = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+  exec::ExecContext* gov_ = nullptr;
+  PlanCacheStats stats_;
+};
+
+}  // namespace gpr::ra

@@ -1,10 +1,16 @@
 #include "ra/table.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <unordered_set>
 
 namespace gpr::ra {
+
+uint64_t NextTableVersion() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 void SortIndex::Build(const std::vector<Tuple>& rows) {
   order_.resize(rows.size());
@@ -22,6 +28,7 @@ void Table::AddRow(Tuple row) {
   rows_.push_back(std::move(row));
   if (sort_index_) sort_index_.reset();  // sorted order invalidated
   stats_.present = false;
+  BumpVersion();
 }
 
 void Table::AppendFrom(const Table& other) {
@@ -29,13 +36,20 @@ void Table::AppendFrom(const Table& other) {
       << "append between incompatible schemas " << schema_.ToString()
       << " and " << other.schema_.ToString();
   rows_.reserve(rows_.size() + other.rows_.size());
-  for (const Tuple& t : other.rows_) AddRow(t);
+  for (const Tuple& t : other.rows_) {
+    if (hash_index_) hash_index_->Add(t, rows_.size());
+    rows_.push_back(t);
+  }
+  if (sort_index_) sort_index_.reset();
+  stats_.present = false;
+  BumpVersion();  // one bump per entry point, not per appended row
 }
 
 void Table::Clear() {
   rows_.clear();
-  DropIndexes();
+  ResetIndexes();
   stats_.present = false;
+  BumpVersion();
 }
 
 Status Table::BuildHashIndex(const std::vector<std::string>& cols) {
@@ -46,6 +60,7 @@ Status Table::BuildHashIndex(const std::vector<std::string>& cols) {
   }
   hash_index_ = std::make_unique<HashIndex>(std::move(idx));
   for (size_t i = 0; i < rows_.size(); ++i) hash_index_->Add(rows_[i], i);
+  BumpVersion();
   return Status::OK();
 }
 
@@ -57,12 +72,13 @@ Status Table::BuildSortIndex(const std::vector<std::string>& cols) {
   }
   sort_index_ = std::make_unique<SortIndex>(std::move(idx));
   sort_index_->Build(rows_);
+  BumpVersion();
   return Status::OK();
 }
 
 void Table::DropIndexes() {
-  hash_index_.reset();
-  sort_index_.reset();
+  ResetIndexes();
+  BumpVersion();
 }
 
 void Table::Analyze() {
@@ -83,7 +99,8 @@ void Table::SortRows() {
             [](const Tuple& a, const Tuple& b) {
               return CompareTuples(a, b) < 0;
             });
-  DropIndexes();
+  ResetIndexes();
+  BumpVersion();
 }
 
 std::vector<Tuple> Table::SortedRows() const {

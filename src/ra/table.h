@@ -7,6 +7,7 @@
 // merge-join plans (paper Exp-A).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -67,6 +68,14 @@ struct TableStats {
   std::vector<size_t> distinct;
 };
 
+/// Draws a fresh value from the process-wide table-version counter.
+///
+/// Versions are globally unique (one counter for all tables), so a table
+/// that is dropped and re-created under the same name can never collide
+/// with a cached artifact built against the old incarnation — the plan
+/// cache (plan_cache.h) keys on (name, version) and relies on this.
+uint64_t NextTableVersion();
+
 /// A named, materialized relation.
 class Table {
  public:
@@ -75,7 +84,9 @@ class Table {
       : name_(std::move(name)), schema_(std::move(schema)) {}
 
   // Copies carry name, schema and rows; indexes and statistics are
-  // per-instance and are rebuilt on demand.
+  // per-instance and are rebuilt on demand. A copy is a distinct physical
+  // incarnation, so it gets a fresh version; a move keeps the source's
+  // version because the physical contents are the same bytes.
   Table(const Table& other)
       : name_(other.name_), schema_(other.schema_), rows_(other.rows_) {}
   Table& operator=(const Table& other) {
@@ -83,26 +94,43 @@ class Table {
       name_ = other.name_;
       schema_ = other.schema_;
       rows_ = other.rows_;
-      DropIndexes();
+      ResetIndexes();
       stats_ = TableStats{};
+      version_ = NextTableVersion();
     }
     return *this;
   }
   Table(Table&&) = default;
   Table& operator=(Table&&) = default;
 
+  /// Monotonic content version; every mutating entry point assigns a fresh
+  /// globally-unique value exactly once. Equal versions imply identical
+  /// physical contents for cache-validity purposes.
+  uint64_t version() const { return version_; }
+  /// Forces a fresh version without touching contents (used by Catalog
+  /// mutations such as ReplaceTable so dependent cache entries die).
+  void BumpVersion() { version_ = NextTableVersion(); }
+
   const std::string& name() const { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
 
   const Schema& schema() const { return schema_; }
   /// Replaces the schema in place; row shapes must already match.
-  void set_schema(Schema s) { schema_ = std::move(s); }
+  void set_schema(Schema s) {
+    schema_ = std::move(s);
+    BumpVersion();
+  }
 
   size_t NumRows() const { return rows_.size(); }
   bool Empty() const { return rows_.empty(); }
 
   const std::vector<Tuple>& rows() const { return rows_; }
-  std::vector<Tuple>& mutable_rows() { return rows_; }
+  /// Hands out write access to the row store; conservatively bumps the
+  /// version since the caller may mutate through the reference.
+  std::vector<Tuple>& mutable_rows() {
+    BumpVersion();
+    return rows_;
+  }
   const Tuple& row(size_t i) const { return rows_[i]; }
 
   /// Appends a row; arity must match the schema. Invalidates indexes.
@@ -144,6 +172,12 @@ class Table {
 
  private:
   void RebuildIndexes();
+  /// Drops indexes without a version bump (for use inside entry points
+  /// that already bump exactly once).
+  void ResetIndexes() {
+    hash_index_.reset();
+    sort_index_.reset();
+  }
 
   std::string name_;
   Schema schema_;
@@ -151,6 +185,7 @@ class Table {
   std::unique_ptr<HashIndex> hash_index_;
   std::unique_ptr<SortIndex> sort_index_;
   TableStats stats_;
+  uint64_t version_ = NextTableVersion();
 };
 
 }  // namespace gpr::ra

@@ -445,6 +445,9 @@ Result<BoundWithStatement> BindWithStatement(const WithStatementAst& ast,
     return Status::BindError("parallel degree must be between 0 and 1024");
   }
   q.degree_of_parallelism = ast.parallel_dop;
+  // `cache on|off` plan-state-cache toggle; results are identical either
+  // way, so this too is pure physical tuning.
+  q.plan_cache = ast.plan_cache;
 
   // Classify subqueries; the initialization prefix must not reference R.
   std::vector<const SubqueryAst*> init;

@@ -13,7 +13,7 @@ bool IsKeyword(const std::string& lower) {
       "union",  "all",      "as",    "with",   "recursive",    "and",
       "or",     "not",      "in",    "is",     "null",         "update",
       "computed", "maxrecursion", "exists", "maxtime",      "maxrows",
-      "maxbytes", "parallel"};
+      "maxbytes", "parallel", "cache"};
   for (const char* k : kKeywords) {
     if (lower == k) return true;
   }
@@ -62,9 +62,10 @@ class Parser {
     }
     // Trailing options, in any order, each at most once: maxrecursion
     // (quiet cap), the governor budgets maxtime/maxrows/maxbytes, and the
-    // degree-of-parallelism hint `parallel N`.
+    // degree-of-parallelism hint `parallel N`, and the plan-state cache
+    // toggle `cache on|off`.
     bool saw_maxrecursion = false, saw_maxtime = false, saw_maxrows = false,
-         saw_maxbytes = false, saw_parallel = false;
+         saw_maxbytes = false, saw_parallel = false, saw_cache = false;
     auto dup = [](const char* opt) {
       return Status::ParseError(std::string("duplicate option '") + opt +
                                 "' in with+ statement");
@@ -95,6 +96,18 @@ class Parser {
         saw_parallel = true;
         GPR_ASSIGN_OR_RETURN(double v, ExpectNumber());
         stmt.parallel_dop = static_cast<int>(v);
+      } else if (AcceptKeyword("cache")) {
+        if (saw_cache) return dup("cache");
+        saw_cache = true;
+        if (AcceptKeyword("on")) {
+          stmt.plan_cache = 1;
+        } else if (AcceptKeyword("off")) {
+          stmt.plan_cache = 0;
+        } else {
+          return Status::ParseError(
+              "expected 'on' or 'off' after 'cache' near offset " +
+              std::to_string(Peek().offset));
+        }
       } else {
         break;
       }

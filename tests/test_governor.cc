@@ -86,6 +86,15 @@ int TestDop() {
   return dop > 0 ? dop : 0;
 }
 
+/// Plan-state-cache override for every with+ this binary runs; the CI
+/// fault matrix sets GPR_TEST_CACHE=1 to re-run the suite with caching
+/// forced on (faults and budget trips must behave identically — cached
+/// artifacts are dropped with the query either way).
+int TestCache() {
+  const char* v = std::getenv("GPR_TEST_CACHE");
+  return v != nullptr ? std::atoi(v) : -1;
+}
+
 /// TC over E; `spec` pins the fault-injection behaviour.
 WithPlusQuery TcQuery(UnionMode mode, const std::string& spec = "none") {
   WithPlusQuery q;
@@ -101,6 +110,7 @@ WithPlusQuery TcQuery(UnionMode mode, const std::string& spec = "none") {
   q.mode = mode;
   q.fault_spec = spec;
   q.degree_of_parallelism = TestDop();
+  q.plan_cache = TestCache();
   return q;
 }
 

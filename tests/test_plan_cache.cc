@@ -1,0 +1,404 @@
+// Tests for the cross-iteration plan-state cache (docs/performance.md):
+// table content versioning (the invalidation substrate), the PlanCache
+// container itself, governor byte accounting of cached artifacts, the
+// loop-invariant hoisting prologue, result identity cache on/off at every
+// DOP, and the SQL `cache on|off` option.
+//
+// The correctness bar mirrors test_parallel.cc: results with the cache on
+// must be *row-identical* to the cache-off run — order included — at
+// every degree of parallelism.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algos/registry.h"
+#include "core/plan.h"
+#include "core/with_plus.h"
+#include "exec/exec_context.h"
+#include "ra/catalog.h"
+#include "ra/operators.h"
+#include "ra/plan_cache.h"
+#include "ra/table.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace gpr {
+namespace {
+
+namespace ops = ra::ops;
+using core::ExecuteWithPlus;
+using core::JoinOp;
+using core::OracleLike;
+using core::ProjectOp;
+using core::Scan;
+using core::UnionMode;
+using core::WithPlusQuery;
+using exec::ExecContext;
+using exec::ExecLimits;
+using exec::ProgressDetail;
+using gpr::testing::MakeCatalog;
+using gpr::testing::TinyDag;
+using gpr::testing::TinyGraph;
+using ra::Col;
+using ra::PlanCache;
+using ra::Schema;
+using ra::Table;
+using ra::ValueType;
+
+Table SmallTable(const std::string& name = "t") {
+  Table t(name, Schema{{"F", ValueType::kInt64}, {"T", ValueType::kInt64}});
+  t.AddRow({int64_t{1}, int64_t{2}});
+  t.AddRow({int64_t{2}, int64_t{3}});
+  return t;
+}
+
+/// Asserts `a` and `b` hold identical rows in identical order.
+void ExpectRowsIdentical(const Table& a, const Table& b,
+                         const std::string& label) {
+  ASSERT_EQ(a.NumRows(), b.NumRows()) << label;
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    EXPECT_TRUE(a.row(i) == b.row(i)) << label << ": row " << i << " differs";
+  }
+}
+
+// -------------------------------------------------------- table versioning
+
+// Runs `mutate` against the table and asserts it drew exactly one fresh
+// version from the process-wide counter: the bracket draws pin down the
+// counter interval, so a second internal bump would be visible.
+template <typename Fn>
+void ExpectBumpsExactlyOnce(Table& t, const char* label, Fn mutate) {
+  const uint64_t before = ra::NextTableVersion();
+  mutate(t);
+  const uint64_t after = ra::NextTableVersion();
+  EXPECT_EQ(t.version(), before + 1) << label;
+  EXPECT_EQ(after, before + 2) << label << ": expected exactly one draw";
+}
+
+TEST(TableVersioning, FreshTablesGetDistinctVersions) {
+  Table a = SmallTable("a");
+  Table b = SmallTable("b");
+  EXPECT_NE(a.version(), b.version());
+}
+
+TEST(TableVersioning, EveryMutatingEntryPointBumpsExactlyOnce) {
+  Table big = SmallTable("big");
+
+  Table t = SmallTable();
+  ExpectBumpsExactlyOnce(t, "AddRow", [](Table& x) {
+    x.AddRow({int64_t{9}, int64_t{9}});
+  });
+  ExpectBumpsExactlyOnce(t, "AppendFrom", [&big](Table& x) {
+    x.AppendFrom(big);  // one bump per call, not one per appended row
+  });
+  ExpectBumpsExactlyOnce(t, "BuildHashIndex", [](Table& x) {
+    ASSERT_TRUE(x.BuildHashIndex({"F"}).ok());
+  });
+  ExpectBumpsExactlyOnce(t, "BuildSortIndex", [](Table& x) {
+    ASSERT_TRUE(x.BuildSortIndex({"T"}).ok());
+  });
+  ExpectBumpsExactlyOnce(t, "DropIndexes",
+                         [](Table& x) { x.DropIndexes(); });
+  ExpectBumpsExactlyOnce(t, "SortRows", [](Table& x) { x.SortRows(); });
+  ExpectBumpsExactlyOnce(t, "mutable_rows",
+                         [](Table& x) { (void)x.mutable_rows(); });
+  ExpectBumpsExactlyOnce(t, "set_schema", [](Table& x) {
+    x.set_schema(Schema{{"A", ValueType::kInt64}, {"B", ValueType::kInt64}});
+  });
+  ExpectBumpsExactlyOnce(t, "Clear", [](Table& x) { x.Clear(); });
+}
+
+TEST(TableVersioning, MoveKeepsVersionCopyGetsFresh) {
+  Table t = SmallTable();
+  const uint64_t v = t.version();
+
+  Table moved = std::move(t);
+  EXPECT_EQ(moved.version(), v) << "a move keeps the physical contents";
+
+  Table copied = moved;  // copy-construct: a new physical incarnation
+  EXPECT_NE(copied.version(), v);
+
+  Table assigned("x", moved.schema());
+  assigned = moved;  // copy-assign likewise
+  EXPECT_NE(assigned.version(), v);
+  EXPECT_NE(assigned.version(), copied.version());
+}
+
+TEST(TableVersioning, CatalogReplaceTableAssignsFreshVersion) {
+  ra::Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable(SmallTable("E")).ok());
+  auto before = catalog.Get("E");
+  ASSERT_TRUE(before.ok());
+  const uint64_t v = (*before)->version();
+
+  ASSERT_TRUE(catalog.ReplaceTable("E", SmallTable("E")).ok());
+  auto after = catalog.Get("E");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE((*after)->version(), v);
+}
+
+// ------------------------------------------------------------- plan cache
+
+TEST(PlanCacheTest, MissInsertHit) {
+  PlanCache cache;
+  EXPECT_EQ(cache.Lookup<int>("k", 7), nullptr);
+
+  auto artifact = std::make_shared<const int>(42);
+  ASSERT_TRUE(cache.Insert<int>("k", 7, artifact, 100).ok());
+  auto hit = cache.Lookup<int>("k", 7);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 42);
+
+  const ra::PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.inserts, 1u);
+  EXPECT_EQ(s.bytes_live, 100u);
+}
+
+TEST(PlanCacheTest, VersionMismatchInvalidatesTheEntry) {
+  PlanCache cache;
+  ASSERT_TRUE(
+      cache.Insert<int>("k", 7, std::make_shared<const int>(1), 64).ok());
+
+  // A lookup against a newer version must never serve the stale artifact;
+  // the entry dies and its bytes leave the live count.
+  EXPECT_EQ(cache.Lookup<int>("k", 8), nullptr);
+  EXPECT_EQ(cache.NumEntries(), 0u);
+  const ra::PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.invalidations, 1u);
+  EXPECT_EQ(s.bytes_live, 0u);
+}
+
+TEST(PlanCacheTest, PoisonedEntryIsNeverServedAfterDropAndRecreate) {
+  // The poisoned-cache scenario: an artifact cached against table E, then
+  // E is dropped and re-created under the same name. Globally-unique
+  // versions guarantee the new incarnation can never alias the old one.
+  ra::Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable(SmallTable("E")).ok());
+  auto e = catalog.Get("E");
+  ASSERT_TRUE(e.ok());
+  const uint64_t old_version = (*e)->version();
+
+  PlanCache cache;
+  ASSERT_TRUE(cache
+                  .Insert<Table>("build:E", old_version,
+                                 std::make_shared<const Table>(**e), 256)
+                  .ok());
+
+  ASSERT_TRUE(catalog.DropTable("E").ok());
+  Table replacement("E", (*e)->schema());
+  replacement.AddRow({int64_t{7}, int64_t{8}});
+  ASSERT_TRUE(catalog.CreateTable(std::move(replacement)).ok());
+
+  auto fresh = catalog.Get("E");
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_NE((*fresh)->version(), old_version);
+  EXPECT_EQ(cache.Lookup<Table>("build:E", (*fresh)->version()), nullptr);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(PlanCacheTest, InsertChargesTheGovernorByteBudget) {
+  ExecContext gov{ExecLimits{.byte_budget = 1000}};
+  PlanCache cache(&gov);
+
+  ASSERT_TRUE(
+      cache.Insert<int>("a", 1, std::make_shared<const int>(1), 900).ok());
+
+  // The second insert would exceed the budget: the governor's
+  // ResourceExhausted (with ProgressDetail) comes back and the entry is
+  // NOT stored.
+  Status st =
+      cache.InsertErased("b", 2, std::make_shared<const int>(2), 200);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  const ProgressDetail* detail = ProgressDetail::FromStatus(st);
+  ASSERT_NE(detail, nullptr) << st.ToString();
+  EXPECT_EQ(detail->progress().tripped, "bytes");
+  EXPECT_EQ(cache.NumEntries(), 1u);
+  EXPECT_EQ(cache.stats().bytes_live, 900u);
+}
+
+// -------------------------------------------------- fixpoint-driver wiring
+
+/// TC over E (as in test_parallel.cc) with explicit cache/DOP knobs.
+WithPlusQuery TcQuery(int plan_cache, int dop) {
+  WithPlusQuery q;
+  q.rec_name = "TCc";
+  q.rec_schema = Schema{{"F", ValueType::kInt64}, {"T", ValueType::kInt64}};
+  q.init.push_back(
+      {ProjectOp(Scan("E"), {ops::As(Col("F"), "F"), ops::As(Col("T"), "T")}),
+       {}});
+  q.recursive.push_back(
+      {ProjectOp(JoinOp(Scan("TCc"), Scan("E"), {{"T"}, {"F"}}),
+                 {ops::As(Col("TCc.F"), "F"), ops::As(Col("E.T"), "T")}),
+       {}});
+  q.mode = UnionMode::kUnionDistinct;
+  q.fault_spec = "none";
+  q.plan_cache = plan_cache;
+  q.degree_of_parallelism = dop;
+  return q;
+}
+
+TEST(PlanCacheFixpoint, BuildSideReuseProducesHitsAndIdenticalRows) {
+  auto catalog_off = MakeCatalog(TinyGraph());
+  auto q_off = TcQuery(/*plan_cache=*/0, /*dop=*/1);
+  auto off = ExecuteWithPlus(q_off, catalog_off, OracleLike());
+  ASSERT_TRUE(off.ok()) << off.status();
+  EXPECT_EQ(off->counters.cache_hits, 0u);
+  EXPECT_EQ(off->counters.cache_misses, 0u);
+
+  auto catalog_on = MakeCatalog(TinyGraph());
+  auto q_on = TcQuery(/*plan_cache=*/1, /*dop=*/1);
+  auto on = ExecuteWithPlus(q_on, catalog_on, OracleLike());
+  ASSERT_TRUE(on.ok()) << on.status();
+
+  // E never changes, so its hash-join build is built once and hit on
+  // every later iteration; the bytes it holds are reported.
+  EXPECT_GE(on->counters.cache_hits, 1u);
+  EXPECT_GE(on->counters.cache_misses, 1u);
+  EXPECT_GT(on->counters.cache_bytes, 0u);
+  EXPECT_EQ(on->iterations, off->iterations);
+  ExpectRowsIdentical(off->table, on->table, "TC cache on vs off");
+}
+
+TEST(PlanCacheFixpoint, InvariantComputedByDefIsHoistedOnce) {
+  // E2 depends only on the base edge relation, so with the cache on it is
+  // materialized once before the loop instead of once per iteration.
+  auto make_query = [](int plan_cache) {
+    WithPlusQuery q;
+    q.rec_name = "R2";
+    q.rec_schema = Schema{{"F", ValueType::kInt64}, {"T", ValueType::kInt64}};
+    q.init.push_back({ProjectOp(Scan("E"), {ops::As(Col("F"), "F"),
+                                            ops::As(Col("T"), "T")}),
+                      {}});
+    core::Subquery rec;
+    rec.computed_by.push_back(
+        {"E2",
+         ProjectOp(JoinOp(Scan("E"), core::RenameOp(Scan("E"), "Eb"),
+                          {{"T"}, {"F"}}),
+                   {ops::As(Col("E.F"), "F"), ops::As(Col("Eb.T"), "T")},
+                   "E2")});
+    rec.plan =
+        ProjectOp(JoinOp(Scan("R2"), Scan("E2"), {{"T"}, {"F"}}),
+                  {ops::As(Col("R2.F"), "F"), ops::As(Col("E2.T"), "T")});
+    q.recursive.push_back(std::move(rec));
+    q.mode = UnionMode::kUnionDistinct;
+    q.fault_spec = "none";
+    q.plan_cache = plan_cache;
+    return q;
+  };
+
+  auto catalog_off = MakeCatalog(TinyGraph());
+  auto q_off = make_query(0);
+  auto off = ExecuteWithPlus(q_off, catalog_off, OracleLike());
+  ASSERT_TRUE(off.ok()) << off.status();
+  EXPECT_EQ(off->counters.hoisted_subplans, 0u);
+
+  auto catalog_on = MakeCatalog(TinyGraph());
+  auto q_on = make_query(1);
+  auto on = ExecuteWithPlus(q_on, catalog_on, OracleLike());
+  ASSERT_TRUE(on.ok()) << on.status();
+  EXPECT_GE(on->counters.hoisted_subplans, 1u);
+
+  ExpectRowsIdentical(off->table, on->table, "hoisted def on vs off");
+}
+
+TEST(PlanCacheFixpoint, ByteCappedCacheTripsWithProgressDetail) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  auto q = TcQuery(/*plan_cache=*/1, /*dop=*/1);
+  q.governor.byte_budget = 64;  // far below one cached build table
+  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  const ProgressDetail* detail = ProgressDetail::FromStatus(result.status());
+  ASSERT_NE(detail, nullptr) << result.status();
+  EXPECT_EQ(detail->progress().tripped, "bytes");
+  EXPECT_EQ(catalog.TableNames(), before) << "temporaries must be dropped";
+}
+
+// Every evaluation algorithm, cache on/off × DOP 1/8: row-identical.
+TEST(PlanCacheFixpoint, AlgorithmsAreCacheAndDopInvariant) {
+  for (const auto& entry : algos::EvaluationSet(/*include_toposort=*/true)) {
+    graph::Graph g = entry.needs_dag ? TinyDag() : TinyGraph();
+    std::vector<int64_t> labels;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      labels.push_back(1 + (v % 3));  // LP / KS need VL(ID, label)
+    }
+    g.set_node_labels(std::move(labels));
+
+    algos::AlgoOptions base;
+    base.fault_spec = "none";
+    base.plan_cache = 0;
+    auto catalog = MakeCatalog(g);
+    auto baseline = entry.run(catalog, base);
+    ASSERT_TRUE(baseline.ok()) << entry.abbrev << ": " << baseline.status();
+
+    for (int cache : {0, 1}) {
+      for (int dop : {1, 8}) {
+        if (cache == 0 && dop == 1) continue;  // the baseline itself
+        auto fresh = MakeCatalog(g);
+        algos::AlgoOptions opt = base;
+        opt.plan_cache = cache;
+        opt.degree_of_parallelism = dop;
+        auto result = entry.run(fresh, opt);
+        ASSERT_TRUE(result.ok()) << entry.abbrev << ": " << result.status();
+        ExpectRowsIdentical(baseline->table, result->table,
+                            entry.abbrev + " (cache " +
+                                std::to_string(cache) + ", dop " +
+                                std::to_string(dop) + ")");
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ SQL surface
+
+TEST(PlanCacheSql, CacheOptionParsesAndBinds) {
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) cache off maxrecursion 3)");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  EXPECT_EQ(ast->plan_cache, 0);
+  auto catalog = MakeCatalog(TinyGraph());
+  auto bound = sql::BindWithStatement(*ast, catalog);
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_EQ(bound->query.plan_cache, 0);
+
+  auto on = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) cache on)");
+  ASSERT_TRUE(on.ok()) << on.status();
+  EXPECT_EQ(on->plan_cache, 1);
+}
+
+TEST(PlanCacheSql, OmittedCacheOptionInheritsTheProfile) {
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F))");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  EXPECT_EQ(ast->plan_cache, -1);
+}
+
+TEST(PlanCacheSql, DuplicateCacheOptionIsAParseError) {
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) cache on cache off)");
+  ASSERT_FALSE(ast.ok());
+  EXPECT_EQ(ast.status().code(), StatusCode::kParseError);
+}
+
+TEST(PlanCacheSql, CacheWithoutOnOffIsAParseError) {
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) cache maybe)");
+  ASSERT_FALSE(ast.ok());
+  EXPECT_EQ(ast.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace gpr
