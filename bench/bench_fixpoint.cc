@@ -1,12 +1,15 @@
-// BENCH_fixpoint — the cross-iteration plan-state cache measured end to
-// end: WCC and SSSP through the with+ fixpoint, cache off/on × DOP 1/max,
-// over Erdős–Rényi graphs of increasing size.
+// BENCH_fixpoint — the cross-iteration plan-state cache and the plan-facts
+// optimizations measured end to end: WCC, SSSP and the facts-showcase
+// reachability through the with+ fixpoint, cache off/on × facts off/on ×
+// DOP 1/max, over Erdős–Rényi graphs of increasing size.
 //
 // Every leg's result table is verified row-identical (order included) to
-// the cache-off DOP=1 baseline before its timing is recorded — a leg that
-// changes the answer aborts the run. `--json` writes BENCH_fixpoint.json
-// (BenchRecord schema, with cache hit/miss counters and the hoisting
-// prologue's setup time) for the CI perf-trajectory artifact.
+// the cache-off facts-off DOP=1 baseline before its timing is recorded —
+// a leg that changes the answer aborts the run. `--json` writes
+// BENCH_fixpoint.json (BenchRecord schema, with cache hit/miss counters,
+// the hoisting prologue's setup time, and the facts counters: dedup
+// skips, dead-select skips, pruned columns, analysis time) for the CI
+// perf-trajectory artifact.
 #include <algorithm>
 #include <cstdio>
 #include <thread>
@@ -32,8 +35,8 @@ void ExpectIdentical(const ra::Table& baseline, const ra::Table& got,
   GPR_CHECK_EQ(baseline.NumRows(), got.NumRows()) << label;
   for (size_t i = 0; i < baseline.NumRows(); ++i) {
     GPR_CHECK(baseline.row(i) == got.row(i))
-        << label << ": row " << i << " differs from the cache-off DOP=1 "
-        << "baseline";
+        << label << ": row " << i << " differs from the cache-off "
+        << "facts-off DOP=1 baseline";
   }
 }
 
@@ -43,13 +46,22 @@ struct Workload {
                                        const algos::AlgoOptions&);
 };
 
+/// The plan-facts showcase (bench_common.h): reachability whose delta has
+/// a facts-skippable dedup and a facts-prunable invariant join input.
+Result<algos::WithPlusResult> ReachFacts(ra::Catalog& catalog,
+                                         const algos::AlgoOptions& options) {
+  auto q = FactsShowcaseQuery();
+  return algos::RunWithPlus(q, catalog, options);
+}
+
 int Run(bool json) {
   BenchJsonWriter writer;
   const double scale = EnvScale(1.0);
   const int reps = 2;
 
   const Workload workloads[] = {{"wcc", &algos::Wcc},
-                                {"sssp", &algos::SsspBellmanFord}};
+                                {"sssp", &algos::SsspBellmanFord},
+                                {"reach", &ReachFacts}};
   struct DataSpec {
     const char* label;
     graph::NodeId nodes;
@@ -70,51 +82,63 @@ int Run(bool json) {
         graph::ErdosRenyi(nodes, 8 * static_cast<size_t>(nodes), /*seed=*/7);
     std::printf("\ndataset %-8s |V|=%lld |E|=%zu\n", spec.label,
                 static_cast<long long>(nodes), g.num_edges());
-    std::printf("%-6s %-10s %4s %12s %10s %10s %10s\n", "algo", "cache",
-                "dop", "wall_ms", "hits", "misses", "setup_ms");
+    std::printf("%-6s %-10s %-6s %4s %12s %10s %10s %10s %7s %7s\n",
+                "algo", "cache", "facts", "dop", "wall_ms", "hits",
+                "misses", "setup_ms", "dedups", "pruned");
 
     for (const Workload& w : workloads) {
       ra::Table baseline;
       for (int cache : {0, 1}) {
         for (int dop : dops) {
-          auto catalog = CatalogFor(g);
-          algos::AlgoOptions opt;
-          opt.fault_spec = "none";
-          opt.plan_cache = cache;
-          opt.degree_of_parallelism = dop;
-          size_t rows = 0;
-          core::ExecCounters counters;
-          double best = 1e300;
-          for (int rep = 0; rep < reps; ++rep) {
-            auto fresh = CatalogFor(g);
-            WallTimer timer;
-            auto result = w.run(fresh, opt);
-            GPR_CHECK_OK(result.status());
-            best = std::min(best, timer.ElapsedMillis());
-            rows = result->table.NumRows();
-            counters = result->counters;
-            if (cache == 0 && dop == 1) {
-              baseline = result->table;
-            } else {
-              ExpectIdentical(baseline, result->table, w.name);
+          for (int facts : {0, 1}) {
+            auto catalog = CatalogFor(g);
+            algos::AlgoOptions opt;
+            opt.fault_spec = "none";
+            opt.plan_cache = cache;
+            opt.plan_facts = facts;
+            opt.degree_of_parallelism = dop;
+            size_t rows = 0;
+            core::ExecCounters counters;
+            double best = 1e300;
+            for (int rep = 0; rep < reps; ++rep) {
+              auto fresh = CatalogFor(g);
+              WallTimer timer;
+              auto result = w.run(fresh, opt);
+              GPR_CHECK_OK(result.status());
+              best = std::min(best, timer.ElapsedMillis());
+              rows = result->table.NumRows();
+              counters = result->counters;
+              if (cache == 0 && dop == 1 && facts == 0) {
+                baseline = result->table;
+              } else {
+                ExpectIdentical(baseline, result->table, w.name);
+              }
             }
+            BenchRecord rec{w.name,
+                            std::string(cache != 0 ? "cache-on" : "cache-off") +
+                                (facts != 0 ? "+facts-on" : "+facts-off"),
+                            spec.label,
+                            dop,
+                            best,
+                            rows};
+            rec.cache_hits = counters.cache_hits;
+            rec.cache_misses = counters.cache_misses;
+            rec.setup_ms =
+                static_cast<double>(counters.hoist_setup_us) / 1000.0;
+            rec.facts_dead_selects = counters.facts_dead_selects;
+            rec.facts_dedup_skips = counters.facts_dedup_skips;
+            rec.facts_pruned_columns = counters.facts_pruned_columns;
+            rec.facts_setup_ms =
+                static_cast<double>(counters.facts_setup_us) / 1000.0;
+            writer.Add(rec);
+            std::printf(
+                "%-6s %-10s %-6s %4d %12.1f %10zu %10zu %10.1f %7zu %7zu\n",
+                w.name, cache != 0 ? "on" : "off",
+                facts != 0 ? "on" : "off", dop, best, counters.cache_hits,
+                counters.cache_misses, rec.setup_ms,
+                counters.facts_dedup_skips, counters.facts_pruned_columns);
+            std::fflush(stdout);
           }
-          BenchRecord rec{w.name,
-                          cache != 0 ? "cache-on" : "cache-off",
-                          spec.label,
-                          dop,
-                          best,
-                          rows};
-          rec.cache_hits = counters.cache_hits;
-          rec.cache_misses = counters.cache_misses;
-          rec.setup_ms =
-              static_cast<double>(counters.hoist_setup_us) / 1000.0;
-          writer.Add(rec);
-          std::printf("%-6s %-10s %4d %12.1f %10zu %10zu %10.1f\n", w.name,
-                      cache != 0 ? "on" : "off", dop, best,
-                      counters.cache_hits, counters.cache_misses,
-                      rec.setup_ms);
-          std::fflush(stdout);
         }
       }
     }
@@ -134,8 +158,8 @@ int Run(bool json) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::printf("Fixpoint plan-state cache benchmark "
-              "(cache off/on x DOP 1/max; GPR_SCALE=%.2f)\n",
+  std::printf("Fixpoint plan-state cache / plan-facts benchmark "
+              "(cache off/on x facts off/on x DOP 1/max; GPR_SCALE=%.2f)\n",
               EnvScale(1.0));
   return Run(HasFlag(argc, argv, "--json"));
 }

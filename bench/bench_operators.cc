@@ -8,8 +8,9 @@
 // aggregate; useful for regression-tracking the engine itself.
 //
 // `--json` skips google-benchmark and runs a fixed suite over the hot
-// operators at DOP 1 / 4 / hardware-max, writing BENCH_operators.json
-// (schema: bench_common.h BenchRecord) for CI artifact upload.
+// operators at DOP 1 / 4 / hardware-max — plus the plan-facts showcase
+// fixpoint at facts off/on — writing BENCH_operators.json (schema:
+// bench_common.h BenchRecord) for CI artifact upload.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -288,6 +289,47 @@ int RunJsonSuite() {
         return out->NumRows();
       });
       add("union_by_update", "oracle-like", ms, rows);
+    }
+  }
+
+  // Plan-facts wins on the showcase reachability fixpoint (bench_common.h
+  // FactsShowcaseQuery): facts off vs. on at DOP=1 and DOP=max. The
+  // facts-on legs skip the delta's dedup (group-key-proven duplicate-free)
+  // and prune the dead ew / vw columns out of the hoisted invariant join —
+  // the counters land in the JSON next to the wall-time delta.
+  {
+    const graph::NodeId nodes = 1 << 12;
+    graph::Graph g = graph::ErdosRenyi(nodes, 8 * nodes, /*seed=*/29);
+    ra::Catalog catalog;
+    GPR_CHECK_OK(graph::RegisterGraph(g, &catalog));
+    core::WithPlusQuery q = bench::FactsShowcaseQuery();
+    for (int dop : {1, HardwareDop()}) {
+      for (int facts : {0, 1}) {
+        core::EngineProfile profile = core::OracleLike();
+        profile.degree_of_parallelism = dop;
+        profile.plan_facts = facts != 0;
+        size_t rows = 0;
+        core::ExecCounters counters;
+        const double ms = BestOfMs(3, &rows, [&] {
+          auto result = core::ExecuteWithPlus(q, catalog, profile);
+          GPR_CHECK_OK(result.status());
+          counters = result->counters;
+          return result->table.NumRows();
+        });
+        bench::BenchRecord rec{"reach_fixpoint",
+                               facts != 0 ? "facts-on" : "facts-off",
+                               "er-4k", dop, ms, rows};
+        rec.cache_hits = counters.cache_hits;
+        rec.cache_misses = counters.cache_misses;
+        rec.setup_ms =
+            static_cast<double>(counters.hoist_setup_us) / 1000.0;
+        rec.facts_dead_selects = counters.facts_dead_selects;
+        rec.facts_dedup_skips = counters.facts_dedup_skips;
+        rec.facts_pruned_columns = counters.facts_pruned_columns;
+        rec.facts_setup_ms =
+            static_cast<double>(counters.facts_setup_us) / 1000.0;
+        writer.Add(rec);
+      }
     }
   }
 

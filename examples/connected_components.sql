@@ -1,0 +1,11 @@
+-- Weakly connected components as min-label propagation (Eq. 5 family).
+--
+-- Every node starts as its own component; each iteration a node adopts
+-- the smallest component id among its in-neighbours. min is a monotone
+-- fold, so the keyed union-by-update converges without a cap and the
+-- analyzer stays quiet.
+with CC (ID, comp) as (
+  (select ID, ID from V)
+  union by update ID
+  (select E.T, min(comp) from CC, E where CC.ID = E.F group by E.T))
+select ID, comp from CC

@@ -1,6 +1,6 @@
 // gpr_lint — offline static checking of with+ SQL files.
 //
-//   gpr_lint [--strict] [file.sql ...]
+//   gpr_lint [--strict|--werror] [--facts=json] [file.sql ...]
 //
 // Reads statements (separated by a line containing only "go", like the
 // repl) from the given files, or stdin when none are given, and runs the
@@ -11,8 +11,13 @@
 //
 // Nothing is executed and no data is needed — this is the pre-execution
 // gate as a batch tool. Exit status: 0 when every statement is clean,
-// 1 when any statement has an error (or, under --strict, a warning),
-// 2 on usage/IO problems.
+// 1 when any statement has an error (or, under --strict/--werror, a
+// warning), 2 on usage/IO problems.
+//
+// --facts=json switches stdout to a JSON array holding, per with+
+// statement, the dataflow framework's statically-proven facts
+// (analysis::FactsToJson) — the ANALYSIS_facts.json CI artifact.
+// Diagnostics then go to stderr; the exit status is unchanged.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -74,27 +79,61 @@ std::vector<std::string> SplitStatements(std::istream& in) {
   return statements;
 }
 
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
 /// Lints every statement of one input; returns the number of statements
-/// that failed (errors always; warnings too under strict).
+/// that failed (errors always; warnings too under strict). In facts mode
+/// diagnostics go to stderr and a facts JSON object per statement is
+/// appended to `facts_out`.
 int LintStream(std::istream& in, const std::string& label,
-               const ra::Catalog& catalog, bool strict) {
+               const ra::Catalog& catalog, bool strict, bool facts_json,
+               std::vector<std::string>* facts_out) {
   int failed = 0;
   const auto statements = SplitStatements(in);
+  std::FILE* diag_out = facts_json ? stderr : stdout;
   for (size_t i = 0; i < statements.size(); ++i) {
     analysis::DiagnosticBag diags = sql::LintSql(statements[i], catalog);
     const bool bad =
         diags.HasErrors() || (strict && diags.NumWarnings() > 0);
     if (diags.empty()) {
-      std::printf("%s: statement %zu: clean\n", label.c_str(), i + 1);
+      std::fprintf(diag_out, "%s: statement %zu: clean\n", label.c_str(),
+                   i + 1);
     } else {
-      std::printf("%s: statement %zu: %zu error(s), %zu warning(s)\n%s",
-                  label.c_str(), i + 1, diags.NumErrors(),
-                  diags.NumWarnings(), diags.Render().c_str());
+      std::fprintf(diag_out,
+                   "%s: statement %zu: %zu error(s), %zu warning(s)\n%s",
+                   label.c_str(), i + 1, diags.NumErrors(),
+                   diags.NumWarnings(), diags.Render().c_str());
     }
     if (bad) ++failed;
+    if (facts_json) {
+      std::ostringstream entry;
+      entry << "{\"source\": \"" << JsonEscape(label)
+            << "\", \"statement\": " << i + 1 << ", ";
+      if (auto facts = sql::FactsJson(statements[i], catalog); facts.ok()) {
+        entry << "\"facts\": " << *facts << "}";
+      } else {
+        entry << "\"error\": \"" << JsonEscape(facts.status().message())
+              << "\"}";
+      }
+      facts_out->push_back(entry.str());
+    }
   }
   if (statements.empty()) {
-    std::printf("%s: no statements\n", label.c_str());
+    std::fprintf(diag_out, "%s: no statements\n", label.c_str());
   }
   return failed;
 }
@@ -103,15 +142,24 @@ int LintStream(std::istream& in, const std::string& label,
 
 int main(int argc, char** argv) {
   bool strict = false;
+  bool facts_json = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--strict") == 0) {
+    if (std::strcmp(argv[i], "--strict") == 0 ||
+        std::strcmp(argv[i], "--werror") == 0) {
       strict = true;
+    } else if (std::strcmp(argv[i], "--facts=json") == 0) {
+      facts_json = true;
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
-      std::printf("usage: gpr_lint [--strict] [file.sql ...]\n"
-                  "reads stdin when no files are given; statements are "
-                  "separated by a line containing only 'go'\n");
+      std::printf(
+          "usage: gpr_lint [--strict|--werror] [--facts=json] "
+          "[file.sql ...]\n"
+          "reads stdin when no files are given; statements are "
+          "separated by a line containing only 'go'\n"
+          "--werror (alias --strict) promotes warnings to failures;\n"
+          "--facts=json prints the statically-proven plan facts of every "
+          "with+ statement as a JSON array on stdout\n");
       return 0;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
@@ -123,8 +171,10 @@ int main(int argc, char** argv) {
 
   const ra::Catalog catalog = SchemaOnlyCatalog();
   int failed = 0;
+  std::vector<std::string> facts_entries;
   if (files.empty()) {
-    failed += LintStream(std::cin, "<stdin>", catalog, strict);
+    failed += LintStream(std::cin, "<stdin>", catalog, strict, facts_json,
+                         &facts_entries);
   } else {
     for (const auto& path : files) {
       std::ifstream in(path);
@@ -132,8 +182,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
         return 2;
       }
-      failed += LintStream(in, path, catalog, strict);
+      failed += LintStream(in, path, catalog, strict, facts_json,
+                           &facts_entries);
     }
+  }
+  if (facts_json) {
+    std::printf("[\n");
+    for (size_t i = 0; i < facts_entries.size(); ++i) {
+      std::printf("  %s%s\n", facts_entries[i].c_str(),
+                  i + 1 < facts_entries.size() ? "," : "");
+    }
+    std::printf("]\n");
   }
   return failed > 0 ? 1 : 0;
 }

@@ -1,0 +1,11 @@
+-- Label propagation over the labelled node relation VL(ID, label).
+--
+-- Seeded from the stored labels; each iteration a node takes the minimum
+-- label among its in-neighbours (a deterministic LP variant). The cap
+-- bounds the sweep count like the paper's LP evaluation (15 rounds).
+with L (ID, label) as (
+  (select ID, label from VL)
+  union by update ID
+  (select E.T, min(label) from L, E where L.ID = E.F group by E.T)
+  maxrecursion 15)
+select ID, label from L

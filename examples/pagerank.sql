@@ -1,0 +1,13 @@
+-- Fig 3: PageRank as a value recursion (union by update on the node key).
+--
+-- sum is not a monotone fold, so termination rests on the maxrecursion
+-- cap — omitting it draws GPR-W302 from the analyzer. The trailing
+-- options also exercise the physical-tuning hints: `parallel`, the plan
+-- cache and the plan-facts toggles (results are identical either way).
+with P (ID, W) as (
+  (select V.ID, 0.0 from V)
+  union by update ID
+  (select E.T, 0.85 * sum(W * ew) + 0.15 / 100 from P, E
+   where P.ID = E.F group by E.T)
+  maxrecursion 10 parallel 2 cache on facts on)
+select ID, W from P

@@ -1,0 +1,17 @@
+-- Fig 5: topological sort by anti-join peeling of zero-in-degree nodes.
+--
+-- The computed-by chain materializes the per-iteration temporaries in
+-- order: the next level L_n, the unsorted nodes V_1, and the probe set
+-- E_1. Every definition selects only the columns some consumer reads —
+-- a dead column would draw GPR-W315.
+with Topo (ID, L) as (
+  (select ID, 0 from V where ID not in (select E.T from E))
+  union all
+  (select ID, L from T_n
+   computed by
+     L_n(L) as select max(L) + 1 from Topo;
+     V_1(ID) as select V.ID from V where ID not in (select ID from Topo);
+     E_1(T) as select E.T from V_1, E where V_1.ID = E.F;
+     T_n as select ID, L from V_1, L_n
+           where ID not in (select T from E_1);))
+select * from Topo

@@ -1,0 +1,11 @@
+-- Fig 1: transitive closure of E(F, T, ew).
+--
+-- `union` (distinct) keeps only genuinely new pairs per iteration, so the
+-- recursion converges on cyclic graphs without an iteration cap (union all
+-- would re-derive every pair forever — the analyzer flags that as
+-- GPR-W401).
+with TC (F, T) as (
+  (select F, T from E)
+  union
+  (select TC.F, E.T from TC, E where TC.T = E.F))
+select * from TC

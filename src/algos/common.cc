@@ -26,6 +26,7 @@ Result<WithPlusResult> RunWithPlus(core::WithPlusQuery& q,
     q.degree_of_parallelism = options.degree_of_parallelism;
   }
   if (options.plan_cache >= 0) q.plan_cache = options.plan_cache;
+  if (options.plan_facts >= 0) q.plan_facts = options.plan_facts;
   return core::ExecuteWithPlus(q, catalog, options.profile, options.seed);
 }
 

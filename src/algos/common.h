@@ -55,6 +55,11 @@ struct AlgoOptions {
   /// the profile's plan_cache setting, 0 = off, 1 = on. Results are
   /// guaranteed identical either way.
   int plan_cache = -1;
+
+  /// Plan facts (analysis/dataflow.h): -1 = inherit the profile's
+  /// plan_facts setting, 0 = off, 1 = on. Results are guaranteed identical
+  /// either way.
+  int plan_facts = -1;
 };
 
 /// Runs `q` with the governance knobs of `options` applied — the single

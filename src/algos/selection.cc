@@ -48,13 +48,17 @@ Result<WithPlusResult> TopoSort(ra::Catalog& catalog,
       {"L_n", ProjectOp(GroupByOp(Scan("Topo"), {},
                                   {ra::MaxOf(Col("L"), "m")}),
                         {ops::As(ex::Add(Col("m"), Lit(int64_t{1})), "L")})});
-  // V_1: nodes not yet sorted (lines 9–11).
+  // V_1: nodes not yet sorted (lines 9–11). Only ID is kept: downstream
+  // reads nothing else (GPR-W315 flags the vw column otherwise).
   rec.computed_by.push_back(
-      {"V_1", AntiJoinOp(Scan("V"), Scan("Topo"), {{"ID"}, {"ID"}}, aj)});
-  // E_1: edges among unsorted nodes (lines 12–14).
+      {"V_1",
+       ProjectOp(AntiJoinOp(Scan("V"), Scan("Topo"), {{"ID"}, {"ID"}}, aj),
+                 {ops::As(Col("ID"), "ID")})});
+  // E_1: targets of edges leaving unsorted nodes (lines 12–14) — the
+  // anti-join below only probes T, so the source column is dropped.
   rec.computed_by.push_back(
       {"E_1", ProjectOp(JoinOp(Scan("V_1"), Scan("E"), {{"ID"}, {"F"}}),
-                        {ops::As(Col("E.F"), "F"), ops::As(Col("E.T"), "T")})});
+                        {ops::As(Col("E.T"), "T")})});
   // T_n: unsorted nodes with no unsorted predecessor × L_n (lines 15–17).
   rec.plan = ProjectOp(
       CrossProductOp(AntiJoinOp(Scan("V_1"), Scan("E_1"), {{"ID"}, {"T"}}, aj),

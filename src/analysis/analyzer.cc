@@ -1,6 +1,8 @@
 // Pass 0 (structural well-formedness) and the analyzer driver.
 #include "analysis/analyzer.h"
 
+#include "analysis/dataflow.h"
+
 #include "core/plan.h"
 
 namespace gpr::analysis {
@@ -101,6 +103,13 @@ DiagnosticBag AnalyzeWithPlus(const core::WithPlusQuery& query,
     CheckStratification(query, &diags);
   }
   CheckConvergence(query, &diags);
+  // Pass 4: facts-derived dataflow diagnostics. Offline options: base
+  // tables contribute schemas only (their current contents prove nothing
+  // about deployment data), so every verdict here is purely structural.
+  if (!diags.HasErrors()) {
+    const PlanFacts facts = ComputeQueryFacts(query, catalog, FactsOptions{});
+    CheckDataflow(query, catalog, facts, &diags);
+  }
   return diags;
 }
 

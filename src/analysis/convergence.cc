@@ -16,96 +16,53 @@
 //   GPR-W401  union all with no cap, no negation, and whole-relation
 //             semantics — every nonempty delta re-derives itself, so the
 //             recursion diverges unless some input is empty.
-#include <unordered_set>
-
+//
+// The fold / negation evidence comes from the monotonicity instance of
+// the shared dataflow framework (analysis/dataflow.h) — fold kinds and
+// sources propagate through computed-by relations to the subqueries that
+// scan them, rather than being re-collected by a bespoke walk here.
 #include "analysis/analyzer.h"
+#include "analysis/dataflow.h"
 #include "core/plan.h"
-#include "core/semiring.h"
 
 namespace gpr::analysis {
 
-namespace {
-
-using core::PlanKind;
-using core::PlanPtr;
-
-/// Collects the ⊕ aggregates a plan folds values with: group-by AggKinds
-/// plus the `add` side of every MM/MV-join semiring, with the name of the
-/// first non-monotone source for the report.
-struct AggScan {
-  bool non_monotone = false;  ///< sum / count / avg / plus_times seen
-  bool has_avg = false;
-  std::string source;  ///< e.g. "sum" or "semiring plus_times"
-
-  void Note(ra::AggKind kind, const std::string& what) {
-    if (kind == ra::AggKind::kAvg) has_avg = true;
-    if (kind == ra::AggKind::kSum || kind == ra::AggKind::kCount ||
-        kind == ra::AggKind::kAvg) {
-      if (!non_monotone) source = what;
-      non_monotone = true;
-    }
-  }
-
-  void Walk(const PlanPtr& plan) {
-    if (plan->kind == PlanKind::kGroupBy) {
-      for (const auto& agg : plan->aggs) {
-        Note(agg.kind, std::string(ra::AggKindName(agg.kind)));
-      }
-    }
-    if (plan->kind == PlanKind::kMMJoin || plan->kind == PlanKind::kMVJoin) {
-      Note(plan->semiring.add, "semiring " + plan->semiring.name);
-    }
-    for (const auto& c : plan->children) Walk(c);
-  }
-};
-
-/// True when any recursive subquery (or its computed-by definitions)
-/// references `name` in a negated position.
-bool NegatesRelation(const core::WithPlusQuery& query,
-                     const std::string& name, std::string* where) {
-  for (size_t i = 0; i < query.recursive.size(); ++i) {
-    std::vector<core::TableRef> refs;
-    core::CollectTableRefs(query.recursive[i].plan, &refs);
-    for (const auto& def : query.recursive[i].computed_by) {
-      core::CollectTableRefs(def.plan, &refs);
-    }
-    for (const auto& r : refs) {
-      if (r.negated && r.name == name) {
-        *where = "recursive[" + std::to_string(i) + "]";
-        return true;
-      }
-    }
-  }
-  return false;
-}
-
-}  // namespace
-
 void CheckConvergence(const core::WithPlusQuery& query,
                       DiagnosticBag* diags) {
-  AggScan aggs;
+  const PlanFacts facts = ComputeMonotonicityFacts(query);
+
+  bool non_monotone = false;
+  bool has_avg = false;
   bool any_negation = false;
-  for (const auto& sq : query.recursive) {
-    aggs.Walk(sq.plan);
-    any_negation = any_negation || core::PlanUsesNegation(sq.plan);
-    for (const auto& def : sq.computed_by) {
-      aggs.Walk(def.plan);
-      any_negation = any_negation || core::PlanUsesNegation(def.plan);
+  std::string source;
+  auto scan = [&](const core::Plan* p) {
+    const OperatorFacts* f = facts.Get(p);
+    if (f == nullptr) return;
+    if (f->has_negation) any_negation = true;
+    if (f->FoldsKind(ra::AggKind::kAvg)) has_avg = true;
+    if (!non_monotone && f->HasNonMonotoneFold() &&
+        !f->fold_sources.empty()) {
+      non_monotone = true;
+      source = f->fold_sources.front();
     }
+  };
+  for (const auto& sq : query.recursive) {
+    scan(sq.plan.get());
+    for (const auto& def : sq.computed_by) scan(def.plan.get());
   }
 
   if (query.mode == core::UnionMode::kUnionByUpdate) {
-    if (aggs.has_avg) {
+    if (has_avg) {
       diags->AddError(
           "GPR-E301", StatusCode::kInvalidArgument, "recursive",
           "avg inside a union-by-update recursion: avg is neither monotone "
           "nor idempotent, so updated values cannot stabilize",
           "fold with sum/min/max and divide outside the recursion");
-    } else if (aggs.non_monotone && !query.update_keys.empty() &&
+    } else if (non_monotone && !query.update_keys.empty() &&
                query.maxrecursion == 0) {
       diags->AddWarning(
           "GPR-W302", "recursive",
-          "value recursion folds with non-monotone ⊕ (" + aggs.source +
+          "value recursion folds with non-monotone ⊕ (" + source +
               ") under union by update without a maxrecursion cap — "
               "termination depends on reaching an exact numeric fixpoint",
           "add `maxrecursion k` (the paper caps PageRank-style iteration) "
@@ -113,17 +70,34 @@ void CheckConvergence(const core::WithPlusQuery& query,
     }
   }
 
-  std::string where;
-  if (query.sql99_working_table &&
-      NegatesRelation(query, query.rec_name, &where)) {
-    diags->AddError(
-        "GPR-E303", StatusCode::kInvalidArgument, where,
-        "negation over " + std::string("'") + query.rec_name +
-            "' under SQL'99 working-table semantics: the working table "
-            "holds only the previous iteration's tuples, so the negation "
-            "reads an incomplete stratum",
-        "clear sql99_working_table (whole-relation semantics) or negate a "
-        "materialized computed-by snapshot instead");
+  if (query.sql99_working_table) {
+    // Negation over the recursive relation, read off the negated-tables
+    // facts of each block's plans.
+    auto negates_rec = [&](const core::Plan* p) {
+      const OperatorFacts* f = facts.Get(p);
+      if (f == nullptr) return false;
+      for (const auto& t : f->negated_tables) {
+        if (t == query.rec_name) return true;
+      }
+      return false;
+    };
+    for (size_t i = 0; i < query.recursive.size(); ++i) {
+      bool found = negates_rec(query.recursive[i].plan.get());
+      for (const auto& def : query.recursive[i].computed_by) {
+        found = found || negates_rec(def.plan.get());
+      }
+      if (!found) continue;
+      diags->AddError(
+          "GPR-E303", StatusCode::kInvalidArgument,
+          "recursive[" + std::to_string(i) + "]",
+          "negation over " + std::string("'") + query.rec_name +
+              "' under SQL'99 working-table semantics: the working table "
+              "holds only the previous iteration's tuples, so the negation "
+              "reads an incomplete stratum",
+          "clear sql99_working_table (whole-relation semantics) or negate "
+          "a materialized computed-by snapshot instead");
+      break;
+    }
   }
 
   if (query.mode == core::UnionMode::kUnionAll && query.maxrecursion == 0 &&

@@ -1,0 +1,2687 @@
+// The plan-IR dataflow framework: graph construction, the analysis
+// instances (invariance, monotonicity, keys/FDs, intervals, cardinality,
+// column liveness), fact assembly, hoisting-set derivation, facts-driven
+// plan rewrites, the GPR-W31x/E31x diagnostics, and JSON rendering.
+#include "analysis/dataflow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "core/plan.h"
+#include "ra/table.h"
+
+namespace gpr::analysis {
+
+using core::Plan;
+using core::PlanKind;
+using core::PlanPtr;
+
+// ---------------------------------------------------------------------------
+// Fact-type implementations (declared in plan_facts.h)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Compact numeric rendering: integral doubles print without a fraction.
+std::string FormatNum(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool ValueInterval::Join(const ValueInterval& o) {
+  if (o.empty) return false;
+  if (empty) {
+    *this = o;
+    return true;
+  }
+  bool changed = false;
+  if (has_lo) {
+    if (!o.has_lo) {
+      has_lo = false;
+      changed = true;
+    } else if (o.lo < lo) {
+      lo = o.lo;
+      changed = true;
+    }
+  }
+  if (has_hi) {
+    if (!o.has_hi) {
+      has_hi = false;
+      changed = true;
+    } else if (o.hi > hi) {
+      hi = o.hi;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+void ValueInterval::Meet(const ValueInterval& o) {
+  if (empty) return;
+  if (o.empty) {
+    *this = ValueInterval{};
+    return;
+  }
+  if (o.has_lo && (!has_lo || o.lo > lo)) {
+    has_lo = true;
+    lo = o.lo;
+  }
+  if (o.has_hi && (!has_hi || o.hi < hi)) {
+    has_hi = true;
+    hi = o.hi;
+  }
+  if (has_lo && has_hi && lo > hi) *this = ValueInterval{};
+}
+
+std::string ValueInterval::ToString() const {
+  if (empty) return "empty";
+  if (IsTop()) return "top";
+  if (IsConst()) return "=" + FormatNum(lo);
+  std::string s = "[";
+  s += has_lo ? FormatNum(lo) : "-inf";
+  s += ", ";
+  s += has_hi ? FormatNum(hi) : "+inf";
+  s += "]";
+  return s;
+}
+
+const char* PredicateVerdictName(PredicateVerdict v) {
+  switch (v) {
+    case PredicateVerdict::kUnknown: return "unknown";
+    case PredicateVerdict::kAlwaysTrue: return "always-true";
+    case PredicateVerdict::kAlwaysFalse: return "always-false";
+  }
+  return "unknown";
+}
+
+std::string RowBounds::ToString() const {
+  if (!known) return "?";
+  if (has_max && min_rows == max_rows) {
+    return "=" + std::to_string(min_rows);
+  }
+  std::string s = "[" + std::to_string(min_rows) + ", ";
+  s += has_max ? std::to_string(max_rows) + "]" : "+inf)";
+  return s;
+}
+
+std::string OperatorFacts::ToString() const {
+  std::ostringstream os;
+  os << "rows=" << rows.ToString();
+  if (!unique_sets.empty() && schema_known) {
+    os << " unique=";
+    for (size_t s = 0; s < unique_sets.size(); ++s) {
+      if (s > 0) os << ",";
+      os << "{";
+      for (size_t i = 0; i < unique_sets[s].size(); ++i) {
+        if (i > 0) os << ",";
+        os << schema.column(unique_sets[s][i]).name;
+      }
+      os << "}";
+    }
+  }
+  if (dup_free) os << " dup-free";
+  if (predicate != PredicateVerdict::kUnknown) {
+    os << " pred=" << PredicateVerdictName(predicate);
+  }
+  if (schema_known) {
+    bool any = false;
+    for (size_t c = 0; c < intervals.size(); ++c) {
+      if (intervals[c].IsTop() || intervals[c].empty) continue;
+      os << (any ? "," : " vals=") << schema.column(c).name
+         << intervals[c].ToString();
+      any = true;
+    }
+  }
+  if (folds != 0) {
+    os << " folds={";
+    bool first = true;
+    for (uint32_t k = 0; k < 5; ++k) {
+      if ((folds & (1u << k)) == 0) continue;
+      if (!first) os << ",";
+      os << ra::AggKindName(static_cast<ra::AggKind>(k));
+      first = false;
+    }
+    os << "}";
+  }
+  if (has_negation) os << " negation";
+  if (invariant) os << " invariant";
+  if (uses_rand) os << " rand";
+  if (csr_eligible) os << " csr-eligible";
+  if (live_known && schema_known &&
+      live_columns.size() < schema.NumColumns()) {
+    os << " live=" << live_columns.size() << "/" << schema.NumColumns();
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Query normalization + graph construction
+// ---------------------------------------------------------------------------
+
+DataflowQuery ToDataflowQuery(const core::WithPlusQuery& query) {
+  DataflowQuery q;
+  q.rec_name = query.rec_name;
+  q.rec_schema = query.rec_schema;
+  q.mode = query.mode;
+  q.update_keys = query.update_keys;
+  q.maxrecursion = query.maxrecursion;
+  q.sql99_working_table = query.sql99_working_table;
+  // Initial subqueries cannot carry computed-by definitions (the PSM
+  // compiler rejects them); only their plans matter here.
+  for (const auto& sq : query.init) q.init.push_back(sq.plan);
+  for (const auto& sq : query.recursive) {
+    DataflowUnit u;
+    for (const auto& def : sq.computed_by) {
+      u.defs.emplace_back(def.name, def.plan);
+    }
+    u.delta = sq.plan;
+    q.blocks.push_back(std::move(u));
+  }
+  return q;
+}
+
+void DataflowGraph::AddEdge(size_t from, size_t to) {
+  auto& outs = nodes_[from].outputs;
+  if (std::find(outs.begin(), outs.end(), to) != outs.end()) return;
+  outs.push_back(to);
+  nodes_[to].inputs.push_back(from);
+}
+
+size_t DataflowGraph::AddPlanTree(
+    const PlanPtr& plan, const std::string& path,
+    const std::unordered_map<std::string, ra::Schema>* ov) {
+  auto it = plan_index_.find(plan.get());
+  if (it != plan_index_.end()) return it->second;  // shared subtree
+  std::string label = plan->kind == PlanKind::kScan
+                          ? "Scan(" + plan->table_name + ")"
+                          : core::PlanKindName(plan->kind);
+  const std::string p = path + "/" + label;
+  std::vector<size_t> kids;
+  kids.reserve(plan->children.size());
+  for (const auto& c : plan->children) kids.push_back(AddPlanTree(c, p, ov));
+  const size_t idx = nodes_.size();
+  DfNode n;
+  n.plan = plan.get();
+  n.plan_ref = plan;
+  n.path = p;
+  n.out_name = core::PlanOutputName(plan);
+  if (catalog_ != nullptr) {
+    auto s = core::InferSchema(plan, *catalog_, ov);
+    if (s.ok()) {
+      n.schema_known = true;
+      n.schema = *s;
+    }
+  }
+  nodes_.push_back(std::move(n));
+  plan_index_[plan.get()] = idx;
+  for (size_t k : kids) AddEdge(k, idx);
+  if (plan->kind == PlanKind::kScan) {
+    auto r = relation_index_.find(plan->table_name);
+    if (r != relation_index_.end()) AddEdge(r->second, idx);
+  }
+  return idx;
+}
+
+DataflowGraph DataflowGraph::Build(const DataflowQuery& query,
+                                   const ra::Catalog* catalog) {
+  DataflowGraph g;
+  g.query_ = query;
+  g.catalog_ = catalog;
+
+  // Relation pseudo-nodes first: R (the back-edge target), then every
+  // computed-by definition, so scans anywhere can link to them.
+  {
+    DfNode r;
+    r.relation = query.rec_name;
+    r.path = "relation(" + query.rec_name + ")";
+    r.back_edge_target = true;
+    r.schema_known = query.rec_schema.NumColumns() > 0;
+    r.schema = query.rec_schema;
+    g.relation_index_[query.rec_name] = g.nodes_.size();
+    g.nodes_.push_back(std::move(r));
+  }
+  for (const auto& block : query.blocks) {
+    for (const auto& [name, plan] : block.defs) {
+      (void)plan;
+      if (g.relation_index_.count(name) > 0) continue;
+      DfNode d;
+      d.relation = name;
+      d.path = "relation(" + name + ")";
+      g.relation_index_[name] = g.nodes_.size();
+      g.nodes_.push_back(std::move(d));
+    }
+  }
+
+  std::unordered_map<std::string, ra::Schema> overlays;
+  overlays.emplace(query.rec_name, query.rec_schema);
+
+  for (size_t i = 0; i < query.init.size(); ++i) {
+    const size_t root = g.AddPlanTree(
+        query.init[i], "init[" + std::to_string(i) + "]", &overlays);
+    g.nodes_[root].role = DfNode::Role::kInitRoot;
+    g.nodes_[root].block = i;
+    g.AddEdge(root, g.relation_index_[query.rec_name]);
+  }
+  for (size_t b = 0; b < query.blocks.size(); ++b) {
+    const std::string base = "recursive[" + std::to_string(b) + "]";
+    for (const auto& [name, plan] : query.blocks[b].defs) {
+      const size_t root =
+          g.AddPlanTree(plan, base + "/computed_by[" + name + "]", &overlays);
+      g.nodes_[root].role = DfNode::Role::kDefRoot;
+      g.nodes_[root].block = b;
+      const size_t rel = g.relation_index_[name];
+      g.AddEdge(root, rel);
+      if (g.nodes_[root].schema_known && !g.nodes_[rel].schema_known) {
+        g.nodes_[rel].schema_known = true;
+        g.nodes_[rel].schema = g.nodes_[root].schema;
+      }
+      if (g.nodes_[root].schema_known) {
+        overlays.emplace(name, g.nodes_[root].schema);
+      }
+    }
+    const size_t root = g.AddPlanTree(query.blocks[b].delta, base, &overlays);
+    g.nodes_[root].role = DfNode::Role::kDeltaRoot;
+    g.nodes_[root].block = b;
+    g.AddEdge(root, g.relation_index_[query.rec_name]);
+  }
+  return g;
+}
+
+size_t DataflowGraph::IndexOf(const Plan* p) const {
+  auto it = plan_index_.find(p);
+  return it == plan_index_.end() ? npos : it->second;
+}
+
+size_t DataflowGraph::RelationIndex(const std::string& name) const {
+  auto it = relation_index_.find(name);
+  return it == relation_index_.end() ? npos : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool ExprCallsRand(const ra::ExprPtr& e) {
+  if (e == nullptr) return false;
+  if (e->kind == ra::ExprKind::kCall &&
+      (e->func_name == "rand" || e->func_name == "random")) {
+    return true;
+  }
+  for (const auto& c : e->children) {
+    if (ExprCallsRand(c)) return true;
+  }
+  return false;
+}
+
+void CollectExprColumns(const ra::ExprPtr& e,
+                        std::vector<std::string>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ra::ExprKind::kColumn) out->push_back(e->column_name);
+  for (const auto& c : e->children) CollectExprColumns(c, out);
+}
+
+bool ExprUsesColumns(const ra::ExprPtr& e) {
+  if (e == nullptr) return false;
+  if (e->kind == ra::ExprKind::kColumn) return true;
+  for (const auto& c : e->children) {
+    if (ExprUsesColumns(c)) return true;
+  }
+  return false;
+}
+
+/// The scalar expressions evaluated locally by one plan node.
+void LocalExprs(const Plan& p, std::vector<ra::ExprPtr>* out) {
+  if (p.predicate != nullptr) out->push_back(p.predicate);
+  for (const auto& item : p.items) out->push_back(item.expr);
+  for (const auto& agg : p.aggs) {
+    if (agg.arg != nullptr) out->push_back(agg.arg);
+  }
+}
+
+bool NodeCallsRand(const Plan& p) {
+  std::vector<ra::ExprPtr> exprs;
+  LocalExprs(p, &exprs);
+  for (const auto& e : exprs) {
+    if (ExprCallsRand(e)) return true;
+  }
+  return false;
+}
+
+/// True for operators that do work beyond pass-through naming: everything
+/// except scan and rename (mirrors LoopInvariantSubplans' notion).
+bool NodeHasRealWork(PlanKind k) {
+  return k != PlanKind::kScan && k != PlanKind::kRename;
+}
+
+bool IsNonMonotoneAgg(ra::AggKind k) {
+  return k == ra::AggKind::kSum || k == ra::AggKind::kCount ||
+         k == ra::AggKind::kAvg;
+}
+
+// --- interval arithmetic ---------------------------------------------------
+
+using VI = ValueInterval;
+
+VI AddI(const VI& a, const VI& b) {
+  if (a.empty || b.empty) return VI{};
+  VI r = VI::Top();
+  if (a.has_lo && b.has_lo) {
+    r.has_lo = true;
+    r.lo = a.lo + b.lo;
+  }
+  if (a.has_hi && b.has_hi) {
+    r.has_hi = true;
+    r.hi = a.hi + b.hi;
+  }
+  return r;
+}
+
+VI NegI(const VI& a) {
+  if (a.empty) return VI{};
+  VI r = VI::Top();
+  if (a.has_hi) {
+    r.has_lo = true;
+    r.lo = -a.hi;
+  }
+  if (a.has_lo) {
+    r.has_hi = true;
+    r.hi = -a.lo;
+  }
+  return r;
+}
+
+VI SubI(const VI& a, const VI& b) { return AddI(a, NegI(b)); }
+
+VI MulI(const VI& a, const VI& b) {
+  if (a.empty || b.empty) return VI{};
+  // Only the fully-bounded case: endpoint products cover the range.
+  if (!(a.has_lo && a.has_hi && b.has_lo && b.has_hi)) return VI::Top();
+  const double c[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi};
+  double lo = c[0], hi = c[0];
+  for (double v : c) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return VI::Range(lo, hi);
+}
+
+VI DivI(const VI& a, const VI& b) {
+  if (a.empty || b.empty) return VI{};
+  // Divisor must be fully bounded and exclude zero.
+  if (!(b.has_lo && b.has_hi) || (b.lo <= 0 && b.hi >= 0)) return VI::Top();
+  if (!(a.has_lo && a.has_hi)) return VI::Top();
+  const double c[4] = {a.lo / b.lo, a.lo / b.hi, a.hi / b.lo, a.hi / b.hi};
+  double lo = c[0], hi = c[0];
+  for (double v : c) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return VI::Range(lo, hi);
+}
+
+/// Truthiness of a numeric interval standing for a boolean: a predicate is
+/// certainly true when its value provably excludes 0 (and, by the non-null
+/// convention, NULL), certainly false when it is provably 0.
+bool CertainlyTrue(const VI& v) {
+  if (v.empty) return false;
+  return (v.has_lo && v.lo > 0) || (v.has_hi && v.hi < 0);
+}
+bool CertainlyFalse(const VI& v) { return v.IsConst() && v.lo == 0; }
+
+VI BoolI(bool b) { return VI::Const(b ? 1 : 0); }
+VI BoolTop() { return VI::Range(0, 1); }
+
+/// Tri-state comparison of two intervals under `op`, as a 0/1/[0,1]
+/// interval. Soundness: a non-Top interval asserts non-null, and every
+/// bound is closed.
+VI CompareI(ra::BinaryOp op, const VI& a, const VI& b) {
+  if (a.empty || b.empty) return VI{};
+  // A Top operand may be NULL at runtime (comparison yields NULL ==
+  // false-ish); never conclude anything.
+  if (a.IsTop() || b.IsTop()) return BoolTop();
+  const bool a_lt_b = a.has_hi && b.has_lo && a.hi < b.lo;    // all a < all b
+  const bool a_le_b = a.has_hi && b.has_lo && a.hi <= b.lo;   // all a <= all b
+  const bool b_lt_a = b.has_hi && a.has_lo && b.hi < a.lo;
+  const bool b_le_a = b.has_hi && a.has_lo && b.hi <= a.lo;
+  const bool disjoint = a_lt_b || b_lt_a;
+  switch (op) {
+    case ra::BinaryOp::kEq:
+      if (a.IsConst() && b.IsConst() && a.lo == b.lo) return BoolI(true);
+      if (disjoint) return BoolI(false);
+      return BoolTop();
+    case ra::BinaryOp::kNe:
+      if (a.IsConst() && b.IsConst() && a.lo == b.lo) return BoolI(false);
+      if (disjoint) return BoolI(true);
+      return BoolTop();
+    case ra::BinaryOp::kLt:
+      if (a_lt_b) return BoolI(true);
+      if (b_le_a) return BoolI(false);
+      return BoolTop();
+    case ra::BinaryOp::kLe:
+      if (a_le_b) return BoolI(true);
+      if (b_lt_a) return BoolI(false);
+      return BoolTop();
+    case ra::BinaryOp::kGt:
+      if (b_lt_a) return BoolI(true);
+      if (a_le_b) return BoolI(false);
+      return BoolTop();
+    case ra::BinaryOp::kGe:
+      if (b_le_a) return BoolI(true);
+      if (a_lt_b) return BoolI(false);
+      return BoolTop();
+    default:
+      return BoolTop();
+  }
+}
+
+/// Environment for abstract expression evaluation: the input schema plus
+/// one interval per input column.
+struct IntervalEnv {
+  const ra::Schema* schema = nullptr;
+  const std::vector<VI>* cols = nullptr;
+};
+
+VI EvalInterval(const ra::ExprPtr& e, const IntervalEnv& env) {
+  if (e == nullptr) return VI::Top();
+  switch (e->kind) {
+    case ra::ExprKind::kColumn: {
+      if (env.schema == nullptr || env.cols == nullptr) return VI::Top();
+      auto idx = env.schema->IndexOf(e->column_name);
+      if (!idx.has_value() || *idx >= env.cols->size()) return VI::Top();
+      return (*env.cols)[*idx];
+    }
+    case ra::ExprKind::kLiteral: {
+      if (e->literal.is_numeric()) return VI::Const(e->literal.ToDouble());
+      return VI::Top();  // strings / NULL: no numeric interval
+    }
+    case ra::ExprKind::kBinary: {
+      const VI a = EvalInterval(e->children[0], env);
+      const VI b = EvalInterval(e->children[1], env);
+      switch (e->bin_op) {
+        case ra::BinaryOp::kAdd: return AddI(a, b);
+        case ra::BinaryOp::kSub: return SubI(a, b);
+        case ra::BinaryOp::kMul: return MulI(a, b);
+        case ra::BinaryOp::kDiv: return DivI(a, b);
+        case ra::BinaryOp::kMod: return VI::Top();
+        case ra::BinaryOp::kAnd: {
+          if (CertainlyFalse(a) || CertainlyFalse(b)) return BoolI(false);
+          if (CertainlyTrue(a) && CertainlyTrue(b)) return BoolI(true);
+          return BoolTop();
+        }
+        case ra::BinaryOp::kOr: {
+          if (CertainlyTrue(a) || CertainlyTrue(b)) return BoolI(true);
+          if (CertainlyFalse(a) && CertainlyFalse(b)) return BoolI(false);
+          return BoolTop();
+        }
+        default:
+          return CompareI(e->bin_op, a, b);
+      }
+    }
+    case ra::ExprKind::kUnary: {
+      const VI a = EvalInterval(e->children[0], env);
+      switch (e->un_op) {
+        case ra::UnaryOp::kNeg: return NegI(a);
+        case ra::UnaryOp::kNot:
+          if (CertainlyTrue(a)) return BoolI(false);
+          if (CertainlyFalse(a)) return BoolI(true);
+          return BoolTop();
+        case ra::UnaryOp::kIsNull:
+          // A non-Top interval asserts non-null.
+          if (!a.empty && !a.IsTop()) return BoolI(false);
+          return BoolTop();
+        case ra::UnaryOp::kIsNotNull:
+          if (!a.empty && !a.IsTop()) return BoolI(true);
+          return BoolTop();
+      }
+      return BoolTop();
+    }
+    case ra::ExprKind::kCall: {
+      if (e->func_name == "rand" || e->func_name == "random") {
+        return VI::Range(0, 1);
+      }
+      return VI::Top();
+    }
+  }
+  return VI::Top();
+}
+
+/// Verdict on a predicate under `env`. rand()-containing predicates never
+/// get a verdict: removing or short-circuiting them would shift the seeded
+/// RNG stream and change downstream draws (MIS's coin flips).
+PredicateVerdict JudgePredicate(const ra::ExprPtr& pred,
+                                const IntervalEnv& env) {
+  if (pred == nullptr || ExprCallsRand(pred)) {
+    return PredicateVerdict::kUnknown;
+  }
+  const VI v = EvalInterval(pred, env);
+  if (CertainlyTrue(v)) return PredicateVerdict::kAlwaysTrue;
+  if (CertainlyFalse(v)) return PredicateVerdict::kAlwaysFalse;
+  return PredicateVerdict::kUnknown;
+}
+
+// ---------------------------------------------------------------------------
+// Analysis 1: loop invariance (forward; optimistic, decreasing)
+// ---------------------------------------------------------------------------
+//
+// A subtree is invariant when it scans no iteration-varying relation and
+// calls no rand(). The recursive relation's pseudo-node is pinned varying;
+// a definition's pseudo-node copies its root, so a def built only on base
+// tables and settled defs comes out invariant — exactly the sequential
+// settling the PSM prologue computes with its bespoke walk.
+
+struct InvFact {
+  bool invariant = true;
+  bool uses_rand = false;
+  bool has_real_work = false;
+
+  bool operator==(const InvFact& o) const {
+    return invariant == o.invariant && uses_rand == o.uses_rand &&
+           has_real_work == o.has_real_work;
+  }
+};
+
+class InvarianceAnalysis {
+ public:
+  using Fact = InvFact;
+
+  DataflowDirection direction() const { return DataflowDirection::kForward; }
+
+  Fact Boundary(const DataflowGraph& g, size_t n) {
+    Fact f;
+    if (!g.node(n).relation.empty() &&
+        g.node(n).relation == g.query().rec_name) {
+      f.invariant = false;
+    }
+    return f;
+  }
+
+  Fact Transfer(const DataflowGraph& g, size_t n,
+                const std::vector<Fact>& all) {
+    const DfNode& node = g.node(n);
+    if (!node.relation.empty()) {
+      if (node.relation == g.query().rec_name) {
+        Fact f;
+        f.invariant = false;
+        return f;
+      }
+      // Definition pseudo-node: the meet over its roots.
+      Fact f;
+      for (size_t in : node.inputs) {
+        f.invariant = f.invariant && all[in].invariant;
+        f.uses_rand = f.uses_rand || all[in].uses_rand;
+        f.has_real_work = f.has_real_work || all[in].has_real_work;
+      }
+      return f;
+    }
+    const Plan& p = *node.plan;
+    Fact f;
+    if (p.kind == PlanKind::kScan) {
+      const size_t rel = g.RelationIndex(p.table_name);
+      if (rel != DataflowGraph::npos) {
+        f.invariant = all[rel].invariant;
+        f.uses_rand = all[rel].uses_rand;
+      }
+      return f;  // base-table scan: invariant, no work
+    }
+    const bool local_rand = NodeCallsRand(p);
+    f.invariant = !local_rand;
+    f.uses_rand = local_rand;
+    f.has_real_work = NodeHasRealWork(p.kind);
+    for (const auto& c : p.children) {
+      const size_t ci = g.IndexOf(c.get());
+      if (ci == DataflowGraph::npos) continue;
+      f.invariant = f.invariant && all[ci].invariant;
+      f.uses_rand = f.uses_rand || all[ci].uses_rand;
+      f.has_real_work = f.has_real_work || all[ci].has_real_work;
+    }
+    return f;
+  }
+
+  bool Join(Fact* into, const Fact& from) {
+    if (*into == from) return false;
+    *into = from;
+    return true;
+  }
+
+  void Widen(Fact* f) { f->invariant = false; }
+};
+
+// ---------------------------------------------------------------------------
+// Analysis 2: monotonicity / semiring folds (forward, increasing)
+// ---------------------------------------------------------------------------
+//
+// Which ⊕ aggregates does each subtree fold new values with, and which
+// tables does it scan (directly) in plain / negated positions? The
+// recursive relation's pseudo-node deliberately propagates nothing: folds
+// in one iteration's derivation do not belong to the next iteration's
+// subtree summary (and init-side folds never taint the loop body).
+// Definition pseudo-nodes pass folds and negation through — a delta that
+// scans a def inherits the def's aggregate behaviour — but not table sets,
+// preserving the "direct scan" semantics GPR-E303 is defined over.
+
+struct MonoFact {
+  uint32_t folds = 0;
+  std::vector<std::string> fold_sources;  ///< pre-order, deduplicated
+  bool has_negation = false;
+  std::set<std::string> tables;
+  std::set<std::string> negated_tables;
+
+  bool operator==(const MonoFact& o) const {
+    return folds == o.folds && fold_sources == o.fold_sources &&
+           has_negation == o.has_negation && tables == o.tables &&
+           negated_tables == o.negated_tables;
+  }
+
+  void AddSource(const std::string& s) {
+    for (const auto& e : fold_sources) {
+      if (e == s) return;
+    }
+    fold_sources.push_back(s);
+  }
+  void MergeSources(const MonoFact& o) {
+    for (const auto& s : o.fold_sources) AddSource(s);
+  }
+};
+
+class MonotonicityAnalysis {
+ public:
+  using Fact = MonoFact;
+
+  DataflowDirection direction() const { return DataflowDirection::kForward; }
+
+  Fact Boundary(const DataflowGraph&, size_t) { return Fact{}; }
+
+  Fact Transfer(const DataflowGraph& g, size_t n,
+                const std::vector<Fact>& all) {
+    const DfNode& node = g.node(n);
+    Fact f;
+    if (!node.relation.empty()) {
+      if (node.relation == g.query().rec_name) return f;  // blocks the cycle
+      for (size_t in : node.inputs) {
+        f.folds |= all[in].folds;
+        f.MergeSources(all[in]);
+        f.has_negation = f.has_negation || all[in].has_negation;
+      }
+      return f;
+    }
+    const Plan& p = *node.plan;
+    if (p.kind == PlanKind::kScan) {
+      f.tables.insert(p.table_name);
+      const size_t rel = g.RelationIndex(p.table_name);
+      if (rel != DataflowGraph::npos) {
+        f.folds |= all[rel].folds;
+        f.MergeSources(all[rel]);
+        f.has_negation = f.has_negation || all[rel].has_negation;
+      }
+      return f;
+    }
+    // Own folds first (pre-order source naming, matching the historical
+    // AggScan walk), then the children's summaries.
+    if (p.kind == PlanKind::kGroupBy) {
+      for (const auto& agg : p.aggs) {
+        f.folds |= 1u << static_cast<uint32_t>(agg.kind);
+        if (IsNonMonotoneAgg(agg.kind)) {
+          f.AddSource(ra::AggKindName(agg.kind));
+        }
+      }
+    }
+    if (p.kind == PlanKind::kMMJoin || p.kind == PlanKind::kMVJoin) {
+      f.folds |= 1u << static_cast<uint32_t>(p.semiring.add);
+      if (IsNonMonotoneAgg(p.semiring.add)) {
+        f.AddSource("semiring " + p.semiring.name);
+      }
+    }
+    for (const auto& c : p.children) {
+      const size_t ci = g.IndexOf(c.get());
+      if (ci == DataflowGraph::npos) continue;
+      f.folds |= all[ci].folds;
+      f.MergeSources(all[ci]);
+      f.has_negation = f.has_negation || all[ci].has_negation;
+      f.tables.insert(all[ci].tables.begin(), all[ci].tables.end());
+      f.negated_tables.insert(all[ci].negated_tables.begin(),
+                              all[ci].negated_tables.end());
+    }
+    if (p.kind == PlanKind::kAntiJoin || p.kind == PlanKind::kDifference) {
+      f.has_negation = true;
+      if (p.children.size() > 1) {
+        const size_t ri = g.IndexOf(p.children[1].get());
+        if (ri != DataflowGraph::npos) {
+          f.negated_tables.insert(all[ri].tables.begin(),
+                                  all[ri].tables.end());
+        }
+      }
+    }
+    if (p.kind == PlanKind::kIntersect) f.has_negation = true;
+    return f;
+  }
+
+  bool Join(Fact* into, const Fact& from) {
+    if (*into == from) return false;
+    *into = from;
+    return true;
+  }
+
+  void Widen(Fact*) {}  // finite lattice: folds/tables are bounded
+};
+
+// ---------------------------------------------------------------------------
+// Analysis 3: key / functional-dependency inference (forward, increasing)
+// ---------------------------------------------------------------------------
+//
+// A unique set S proves no two output rows agree on S; the empty set
+// proves "at most one row". Proofs are structural only (never derived
+// from data statistics), so the executor may act on them: any proof makes
+// the output duplicate-free and a downstream Distinct a no-op.
+
+namespace {
+
+/// Resolves column names against `schema`; nullopt if any fails.
+std::optional<std::vector<size_t>> ResolveCols(
+    const ra::Schema& schema, const std::vector<std::string>& names) {
+  std::vector<size_t> out;
+  out.reserve(names.size());
+  for (const auto& n : names) {
+    auto i = schema.IndexOf(n);
+    if (!i.has_value()) return std::nullopt;
+    out.push_back(*i);
+  }
+  return out;
+}
+
+bool IsSubset(const std::vector<size_t>& a, const std::vector<size_t>& b) {
+  // a ⊆ b; both sorted.
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/// Sorted/deduped, supersets of kept sets dropped, capped at 6 minimal
+/// sets (smallest first, then lexicographic) for determinism.
+std::vector<std::vector<size_t>> NormalizeSets(
+    std::vector<std::vector<size_t>> sets) {
+  for (auto& s : sets) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+  std::sort(sets.begin(), sets.end(),
+            [](const std::vector<size_t>& a, const std::vector<size_t>& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  sets.erase(std::unique(sets.begin(), sets.end()), sets.end());
+  std::vector<std::vector<size_t>> kept;
+  for (const auto& s : sets) {
+    bool redundant = false;
+    for (const auto& k : kept) {
+      if (IsSubset(k, s)) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) kept.push_back(s);
+    if (kept.size() >= 6) break;
+  }
+  return kept;
+}
+
+/// True when some kept set is a subset of `positions` (sorted): uniqueness
+/// on a subset implies uniqueness on the superset.
+bool HasUniqueSubset(const std::vector<std::vector<size_t>>& sets,
+                     std::vector<size_t> positions) {
+  std::sort(positions.begin(), positions.end());
+  for (const auto& s : sets) {
+    if (IsSubset(s, positions)) return true;
+  }
+  return false;
+}
+
+struct KeyFact {
+  std::vector<std::vector<size_t>> sets;
+
+  bool operator==(const KeyFact& o) const { return sets == o.sets; }
+};
+
+}  // namespace
+
+class KeyAnalysis {
+ public:
+  using Fact = KeyFact;
+
+  DataflowDirection direction() const { return DataflowDirection::kForward; }
+
+  Fact Boundary(const DataflowGraph&, size_t) { return Fact{}; }
+
+  Fact Transfer(const DataflowGraph& g, size_t n,
+                const std::vector<Fact>& all) {
+    const DfNode& node = g.node(n);
+    if (!node.relation.empty()) return RelationTransfer(g, n, all);
+    if (!node.schema_known) return Fact{};
+    const Plan& p = *node.plan;
+    const size_t ncols = node.schema.NumColumns();
+    auto child_fact = [&](size_t i) -> const Fact& {
+      static const Fact kEmpty;
+      if (i >= p.children.size()) return kEmpty;
+      const size_t ci = g.IndexOf(p.children[i].get());
+      return ci == DataflowGraph::npos ? kEmpty : all[ci];
+    };
+    auto child_schema = [&](size_t i) -> const ra::Schema* {
+      if (i >= p.children.size()) return nullptr;
+      const size_t ci = g.IndexOf(p.children[i].get());
+      if (ci == DataflowGraph::npos || !g.node(ci).schema_known) {
+        return nullptr;
+      }
+      return &g.node(ci).schema;
+    };
+    std::vector<std::vector<size_t>> out;
+    auto full_set = [&] {
+      std::vector<size_t> s(ncols);
+      for (size_t i = 0; i < ncols; ++i) s[i] = i;
+      return s;
+    };
+    switch (p.kind) {
+      case PlanKind::kScan:
+        break;  // structural proofs only: no stats-derived uniqueness
+      case PlanKind::kSelect:
+      case PlanKind::kSort:
+        out = child_fact(0).sets;  // filtering / reordering keeps proofs
+        break;
+      case PlanKind::kProject: {
+        // A set survives when every member column is passed through as a
+        // plain column reference; distinct inputs disagreeing on S yield
+        // outputs disagreeing on the mapped positions.
+        const ra::Schema* cs = child_schema(0);
+        if (cs == nullptr) break;
+        std::unordered_map<size_t, size_t> child_to_out;
+        for (size_t j = 0; j < p.items.size(); ++j) {
+          const auto& e = p.items[j].expr;
+          if (e == nullptr || e->kind != ra::ExprKind::kColumn) continue;
+          auto ci = cs->IndexOf(e->column_name);
+          if (ci.has_value() && child_to_out.count(*ci) == 0) {
+            child_to_out[*ci] = j;
+          }
+        }
+        for (const auto& s : child_fact(0).sets) {
+          std::vector<size_t> mapped;
+          bool ok = true;
+          for (size_t c : s) {
+            auto it = child_to_out.find(c);
+            if (it == child_to_out.end()) {
+              ok = false;
+              break;
+            }
+            mapped.push_back(it->second);
+          }
+          if (ok) out.push_back(std::move(mapped));
+        }
+        break;
+      }
+      case PlanKind::kDistinct:
+        out = child_fact(0).sets;
+        out.push_back(full_set());
+        break;
+      case PlanKind::kGroupBy:
+        if (p.group_cols.empty()) {
+          out.push_back({});  // scalar aggregate: exactly one row
+        } else {
+          std::vector<size_t> s(p.group_cols.size());
+          for (size_t i = 0; i < s.size(); ++i) s[i] = i;
+          out.push_back(std::move(s));  // group cols lead the output schema
+        }
+        break;
+      case PlanKind::kJoin:
+      case PlanKind::kLeftOuterJoin: {
+        const ra::Schema* ls = child_schema(0);
+        const ra::Schema* rs = child_schema(1);
+        if (ls == nullptr || rs == nullptr) break;
+        const size_t nl = ls->NumColumns();
+        auto lk = ResolveCols(*ls, p.keys.left);
+        auto rk = ResolveCols(*rs, p.keys.right);
+        const bool right_unique =
+            rk.has_value() && HasUniqueSubset(child_fact(1).sets, *rk);
+        const bool left_unique =
+            lk.has_value() && HasUniqueSubset(child_fact(0).sets, *lk);
+        if (right_unique) {
+          // Each left row matches at most one right row: the output embeds
+          // injectively into the left input, so left proofs survive.
+          for (const auto& s : child_fact(0).sets) out.push_back(s);
+        }
+        if (left_unique && p.kind == PlanKind::kJoin) {
+          for (const auto& s : child_fact(1).sets) {
+            std::vector<size_t> shifted(s);
+            for (auto& c : shifted) c += nl;
+            out.push_back(std::move(shifted));
+          }
+        }
+        break;
+      }
+      case PlanKind::kSemiJoin:
+      case PlanKind::kAntiJoin:
+        out = child_fact(0).sets;  // output ⊆ left rows
+        break;
+      case PlanKind::kDifference:
+      case PlanKind::kIntersect:
+        out = child_fact(0).sets;  // subset of the (distinct) left rows
+        out.push_back(full_set()); // set semantics: output is distinct
+        break;
+      case PlanKind::kUnionAll:
+        break;
+      case PlanKind::kUnionDistinct:
+        out.push_back(full_set());
+        break;
+      case PlanKind::kCrossProduct: {
+        const ra::Schema* ls = child_schema(0);
+        if (ls == nullptr) break;
+        const size_t nl = ls->NumColumns();
+        for (const auto& a : child_fact(0).sets) {
+          for (const auto& b : child_fact(1).sets) {
+            std::vector<size_t> s(a);
+            for (size_t c : b) s.push_back(c + nl);
+            out.push_back(std::move(s));
+          }
+        }
+        break;
+      }
+      case PlanKind::kRename:
+        out = child_fact(0).sets;  // positional identity
+        break;
+      case PlanKind::kMVJoin:
+        out.push_back({0});  // grouped by ID
+        break;
+      case PlanKind::kMMJoin:
+        out.push_back({0, 1});  // grouped by (F, T)
+        break;
+    }
+    Fact f;
+    f.sets = NormalizeSets(std::move(out));
+    return f;
+  }
+
+  bool Join(Fact* into, const Fact& from) {
+    if (*into == from) return false;
+    *into = from;
+    return true;
+  }
+
+  void Widen(Fact* f) { f->sets.clear(); }  // drop to "no proofs"
+
+ private:
+  Fact RelationTransfer(const DataflowGraph& g, size_t n,
+                        const std::vector<Fact>& all) {
+    const DfNode& node = g.node(n);
+    const DataflowQuery& q = g.query();
+    Fact f;
+    if (node.relation != q.rec_name) {
+      // Definition pseudo-node: its root's proofs.
+      for (size_t in : node.inputs) {
+        if (g.node(in).role == DfNode::Role::kDefRoot) {
+          f.sets = all[in].sets;
+          break;
+        }
+      }
+      return f;
+    }
+    const size_t ncols = q.rec_schema.NumColumns();
+    if (q.mode == core::UnionMode::kUnionDistinct) {
+      // The driver maintains R as a set (`seen`): full-row uniqueness.
+      std::vector<size_t> s(ncols);
+      for (size_t i = 0; i < ncols; ++i) s[i] = i;
+      f.sets.push_back(std::move(s));
+    } else if (q.mode == core::UnionMode::kUnionByUpdate &&
+               !q.update_keys.empty()) {
+      // ⊎ keyed on K keeps R K-unique provided it starts K-unique (single
+      // init contribution proving a subset of K) and every delta is
+      // K-unique (duplicate delta keys would fan out the outer join).
+      auto k = ResolveCols(q.rec_schema, q.update_keys);
+      if (k.has_value()) {
+        size_t init_roots = 0;
+        bool ok = true;
+        for (size_t in : node.inputs) {
+          const auto role = g.node(in).role;
+          if (role == DfNode::Role::kInitRoot) {
+            ++init_roots;
+            ok = ok && HasUniqueSubset(all[in].sets, *k);
+          } else if (role == DfNode::Role::kDeltaRoot) {
+            ok = ok && HasUniqueSubset(all[in].sets, *k);
+          }
+        }
+        if (ok && init_roots == 1) {
+          std::vector<size_t> key(*k);
+          std::sort(key.begin(), key.end());
+          f.sets.push_back(std::move(key));
+        }
+      }
+    }
+    f.sets = NormalizeSets(std::move(f.sets));
+    return f;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Analysis 4: constant / interval propagation (forward, widening)
+// ---------------------------------------------------------------------------
+
+struct IntervalFact {
+  bool valid = false;  ///< bottom until the node's inputs are computed
+  std::vector<VI> cols;
+  PredicateVerdict verdict = PredicateVerdict::kUnknown;
+};
+
+class IntervalAnalysis {
+ public:
+  using Fact = IntervalFact;
+
+  IntervalAnalysis(const ra::Catalog* catalog, bool scan_base_values)
+      : catalog_(catalog), scan_base_values_(scan_base_values) {}
+
+  DataflowDirection direction() const { return DataflowDirection::kForward; }
+
+  Fact Boundary(const DataflowGraph&, size_t) { return Fact{}; }
+
+  Fact Transfer(const DataflowGraph& g, size_t n,
+                const std::vector<Fact>& all) {
+    const DfNode& node = g.node(n);
+    if (!node.relation.empty()) {
+      // R: the hull over every contribution computed so far (optimistic
+      // least-fixpoint iteration from the init roots); definitions copy
+      // their root.
+      Fact f;
+      for (size_t in : node.inputs) {
+        if (!all[in].valid) continue;
+        if (!f.valid) {
+          f.valid = true;
+          f.cols = all[in].cols;
+        } else if (f.cols.size() == all[in].cols.size()) {
+          for (size_t c = 0; c < f.cols.size(); ++c) {
+            f.cols[c].Join(all[in].cols[c]);
+          }
+        }
+      }
+      return f;
+    }
+    if (!node.schema_known) {
+      // Still mark valid with all-Top so downstream nodes can proceed.
+      Fact f;
+      f.valid = true;
+      return f;
+    }
+    const Plan& p = *node.plan;
+    const size_t ncols = node.schema.NumColumns();
+    auto child = [&](size_t i) -> const Fact* {
+      if (i >= p.children.size()) return nullptr;
+      const size_t ci = g.IndexOf(p.children[i].get());
+      return ci == DataflowGraph::npos ? nullptr : &all[ci];
+    };
+    auto child_node = [&](size_t i) -> const DfNode* {
+      if (i >= p.children.size()) return nullptr;
+      const size_t ci = g.IndexOf(p.children[i].get());
+      return ci == DataflowGraph::npos ? nullptr : &g.node(ci);
+    };
+    auto env_of = [&](size_t i) -> IntervalEnv {
+      IntervalEnv e;
+      const DfNode* cn = child_node(i);
+      const Fact* cf = child(i);
+      if (cn != nullptr && cn->schema_known && cf != nullptr && cf->valid &&
+          cf->cols.size() == cn->schema.NumColumns()) {
+        e.schema = &cn->schema;
+        e.cols = &cf->cols;
+      }
+      return e;
+    };
+    Fact f;
+    f.valid = true;
+    f.cols.assign(ncols, VI::Top());
+
+    switch (p.kind) {
+      case PlanKind::kScan: {
+        const size_t rel = g.RelationIndex(p.table_name);
+        if (rel != DataflowGraph::npos) {
+          const Fact& rf = all[rel];
+          if (!rf.valid) return Fact{};  // wait for the relation
+          if (rf.cols.size() == ncols) f.cols = rf.cols;
+          return f;
+        }
+        if (!scan_base_values_ || catalog_ == nullptr) return f;
+        auto t = catalog_->Get(p.table_name);
+        if (!t.ok() || (*t)->Empty()) return f;
+        ScanValues(**t, &f.cols);
+        return f;
+      }
+      case PlanKind::kSelect: {
+        const Fact* cf = child(0);
+        if (cf == nullptr || !cf->valid) return Fact{};
+        if (cf->cols.size() == ncols) f.cols = cf->cols;
+        const IntervalEnv env = env_of(0);
+        f.verdict = JudgePredicate(p.predicate, env);
+        if (env.schema != nullptr && f.verdict != PredicateVerdict::kAlwaysFalse) {
+          bool contradiction = false;
+          RefineByPredicate(p.predicate, *env.schema, &f.cols,
+                            &contradiction);
+          if (contradiction && !ExprCallsRand(p.predicate)) {
+            f.verdict = PredicateVerdict::kAlwaysFalse;
+          }
+        }
+        return f;
+      }
+      case PlanKind::kProject: {
+        const Fact* cf = child(0);
+        if (cf == nullptr || !cf->valid) return Fact{};
+        const IntervalEnv env = env_of(0);
+        for (size_t j = 0; j < p.items.size() && j < ncols; ++j) {
+          f.cols[j] = EvalInterval(p.items[j].expr, env);
+        }
+        return f;
+      }
+      case PlanKind::kJoin:
+      case PlanKind::kCrossProduct: {
+        const Fact* lf = child(0);
+        const Fact* rf = child(1);
+        if (lf == nullptr || rf == nullptr || !lf->valid || !rf->valid) {
+          return Fact{};
+        }
+        ConcatCols(*lf, *rf, ncols, &f.cols);
+        if (p.kind == PlanKind::kJoin) {
+          // Residual verdict over the concatenated row.
+          IntervalEnv env;
+          env.schema = &node.schema;
+          env.cols = &f.cols;
+          if (p.predicate != nullptr) {
+            f.verdict = JudgePredicate(p.predicate, env);
+          }
+          // Provably-disjoint key intervals: the join emits nothing.
+          if (DisjointKeys(p, env_of(0), env_of(1))) {
+            f.verdict = PredicateVerdict::kAlwaysFalse;
+          }
+        }
+        return f;
+      }
+      case PlanKind::kLeftOuterJoin: {
+        const Fact* lf = child(0);
+        const Fact* rf = child(1);
+        if (lf == nullptr || rf == nullptr || !lf->valid || !rf->valid) {
+          return Fact{};
+        }
+        // Right columns may be NULL-padded: Top.
+        const size_t nl = lf->cols.size();
+        for (size_t c = 0; c < nl && c < ncols; ++c) f.cols[c] = lf->cols[c];
+        return f;
+      }
+      case PlanKind::kSemiJoin:
+      case PlanKind::kAntiJoin:
+      case PlanKind::kDifference:
+      case PlanKind::kIntersect:
+      case PlanKind::kDistinct:
+      case PlanKind::kSort:
+      case PlanKind::kRename: {
+        const Fact* cf = child(0);
+        if (cf == nullptr || !cf->valid) return Fact{};
+        if (cf->cols.size() == ncols) f.cols = cf->cols;
+        return f;
+      }
+      case PlanKind::kUnionAll:
+      case PlanKind::kUnionDistinct: {
+        const Fact* lf = child(0);
+        const Fact* rf = child(1);
+        if (lf == nullptr || rf == nullptr || !lf->valid || !rf->valid) {
+          return Fact{};
+        }
+        if (lf->cols.size() == ncols && rf->cols.size() == ncols) {
+          for (size_t c = 0; c < ncols; ++c) {
+            f.cols[c] = lf->cols[c];
+            f.cols[c].Join(rf->cols[c]);
+          }
+        }
+        return f;
+      }
+      case PlanKind::kGroupBy: {
+        const Fact* cf = child(0);
+        if (cf == nullptr || !cf->valid) return Fact{};
+        const IntervalEnv env = env_of(0);
+        const bool scalar = p.group_cols.empty();
+        size_t j = 0;
+        if (env.schema != nullptr) {
+          for (const auto& gcol : p.group_cols) {
+            auto i = env.schema->IndexOf(gcol);
+            if (i.has_value() && j < ncols) f.cols[j] = (*env.cols)[*i];
+            ++j;
+          }
+        } else {
+          j = p.group_cols.size();
+        }
+        for (const auto& agg : p.aggs) {
+          if (j >= ncols) break;
+          f.cols[j++] = AggInterval(agg, env, scalar);
+        }
+        return f;
+      }
+      case PlanKind::kMMJoin:
+      case PlanKind::kMVJoin: {
+        const Fact* mf = child(0);
+        const Fact* vf = child(1);
+        if (mf == nullptr || vf == nullptr || !mf->valid || !vf->valid) {
+          return Fact{};
+        }
+        const IntervalEnv me = env_of(0);
+        const IntervalEnv ve = env_of(1);
+        auto col_iv = [&](const IntervalEnv& e, const std::string& name) {
+          if (e.schema == nullptr) return VI::Top();
+          auto i = e.schema->IndexOf(name);
+          return i.has_value() ? (*e.cols)[*i] : VI::Top();
+        };
+        const VI mw = col_iv(me, p.a_cols.weight);
+        if (p.kind == PlanKind::kMMJoin) {
+          const VI prod = ApplyMul(p.semiring.multiply, mw,
+                                   col_iv(ve, p.b_cols.weight));
+          f.cols[0] = col_iv(me, p.a_cols.from);
+          f.cols[1] = col_iv(ve, p.b_cols.to);
+          if (ncols > 2) f.cols[2] = FoldAgg(p.semiring.add, prod);
+        } else {
+          const VI prod =
+              ApplyMul(p.semiring.multiply, mw, col_iv(ve, p.v_cols.weight));
+          f.cols[0] = p.orientation == core::MVOrientation::kStandard
+                          ? col_iv(me, p.a_cols.from)
+                          : col_iv(me, p.a_cols.to);
+          if (ncols > 1) f.cols[1] = FoldAgg(p.semiring.add, prod);
+        }
+        return f;
+      }
+    }
+    return f;
+  }
+
+  bool Join(Fact* into, const Fact& from) {
+    if (!from.valid) return false;
+    if (!into->valid || into->cols.size() != from.cols.size()) {
+      *into = from;
+      return true;
+    }
+    bool changed = false;
+    for (size_t c = 0; c < into->cols.size(); ++c) {
+      changed = into->cols[c].Join(from.cols[c]) || changed;
+    }
+    if (into->verdict != from.verdict) {
+      into->verdict = from.verdict;
+      changed = true;
+    }
+    return changed;
+  }
+
+  void Widen(Fact* f) {
+    for (auto& c : f->cols) c = VI::Top();
+  }
+
+ private:
+  static VI ApplyMul(ra::BinaryOp op, const VI& a, const VI& b) {
+    return op == ra::BinaryOp::kAdd ? AddI(a, b) : MulI(a, b);
+  }
+
+  /// ⊕-fold of group values each drawn from `arg` (≥ 1 row per group).
+  static VI FoldAgg(ra::AggKind k, const VI& arg) {
+    switch (k) {
+      case ra::AggKind::kMin:
+      case ra::AggKind::kMax:
+      case ra::AggKind::kAvg:
+        return arg;  // stays within the hull
+      case ra::AggKind::kCount: {
+        VI v = VI::Top();
+        v.has_lo = true;
+        v.lo = 1;
+        return v;
+      }
+      case ra::AggKind::kSum: {
+        VI v = VI::Top();
+        if (arg.has_lo && arg.lo >= 0) {
+          v.has_lo = true;
+          v.lo = arg.lo;
+        } else if (arg.has_hi && arg.hi <= 0) {
+          v.has_hi = true;
+          v.hi = arg.hi;
+        }
+        return v;
+      }
+    }
+    return VI::Top();
+  }
+
+  static VI AggInterval(const ra::AggSpec& agg, const IntervalEnv& env,
+                        bool scalar) {
+    if (scalar) {
+      // Scalar aggregates run even over empty input: count yields 0, the
+      // rest yield NULL — only count gets a non-Top interval.
+      if (agg.kind == ra::AggKind::kCount) {
+        VI v = VI::Top();
+        v.has_lo = true;
+        v.lo = 0;
+        return v;
+      }
+      return VI::Top();
+    }
+    if (agg.kind == ra::AggKind::kCount && agg.arg != nullptr) {
+      // count(expr) skips NULLs: a group could still count 0.
+      VI v = VI::Top();
+      v.has_lo = true;
+      v.lo = 0;
+      return v;
+    }
+    const VI arg =
+        agg.arg == nullptr ? VI::Top() : EvalInterval(agg.arg, env);
+    return FoldAgg(agg.kind, arg);
+  }
+
+  static void ConcatCols(const IntervalFact& l, const IntervalFact& r,
+                         size_t ncols, std::vector<VI>* out) {
+    size_t j = 0;
+    for (const VI& v : l.cols) {
+      if (j >= ncols) return;
+      (*out)[j++] = v;
+    }
+    for (const VI& v : r.cols) {
+      if (j >= ncols) return;
+      (*out)[j++] = v;
+    }
+  }
+
+  static bool DisjointKeys(const Plan& p, const IntervalEnv& le,
+                           const IntervalEnv& re) {
+    if (le.schema == nullptr || re.schema == nullptr) return false;
+    for (size_t i = 0;
+         i < p.keys.left.size() && i < p.keys.right.size(); ++i) {
+      auto li = le.schema->IndexOf(p.keys.left[i]);
+      auto ri = re.schema->IndexOf(p.keys.right[i]);
+      if (!li.has_value() || !ri.has_value()) continue;
+      if (CertainlyFalse(
+              CompareI(ra::BinaryOp::kEq, (*le.cols)[*li], (*re.cols)[*ri]))) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Conjunct-wise refinement: `col op literal` (either order) narrows the
+  /// column's interval; an empty meet marks a contradiction.
+  static void RefineByPredicate(const ra::ExprPtr& pred,
+                                const ra::Schema& schema,
+                                std::vector<VI>* cols, bool* contradiction) {
+    if (pred == nullptr) return;
+    if (pred->kind == ra::ExprKind::kBinary &&
+        pred->bin_op == ra::BinaryOp::kAnd) {
+      RefineByPredicate(pred->children[0], schema, cols, contradiction);
+      RefineByPredicate(pred->children[1], schema, cols, contradiction);
+      return;
+    }
+    if (pred->kind != ra::ExprKind::kBinary) return;
+    const auto& l = pred->children[0];
+    const auto& r = pred->children[1];
+    ra::BinaryOp op = pred->bin_op;
+    const Expr* col = nullptr;
+    const Expr* lit = nullptr;
+    if (l->kind == ra::ExprKind::kColumn &&
+        r->kind == ra::ExprKind::kLiteral) {
+      col = l.get();
+      lit = r.get();
+    } else if (r->kind == ra::ExprKind::kColumn &&
+               l->kind == ra::ExprKind::kLiteral) {
+      col = r.get();
+      lit = l.get();
+      // Mirror the comparison: 5 < c  ≡  c > 5.
+      switch (op) {
+        case ra::BinaryOp::kLt: op = ra::BinaryOp::kGt; break;
+        case ra::BinaryOp::kLe: op = ra::BinaryOp::kGe; break;
+        case ra::BinaryOp::kGt: op = ra::BinaryOp::kLt; break;
+        case ra::BinaryOp::kGe: op = ra::BinaryOp::kLe; break;
+        default: break;
+      }
+    } else {
+      return;
+    }
+    if (!lit->literal.is_numeric()) return;
+    auto idx = schema.IndexOf(col->column_name);
+    if (!idx.has_value() || *idx >= cols->size()) return;
+    const double v = lit->literal.ToDouble();
+    VI bound = VI::Top();
+    switch (op) {
+      case ra::BinaryOp::kEq: bound = VI::Const(v); break;
+      case ra::BinaryOp::kLt:
+      case ra::BinaryOp::kLe:
+        bound.has_hi = true;
+        bound.hi = v;
+        break;
+      case ra::BinaryOp::kGt:
+      case ra::BinaryOp::kGe:
+        bound.has_lo = true;
+        bound.lo = v;
+        break;
+      default:
+        return;
+    }
+    (*cols)[*idx].Meet(bound);
+    if ((*cols)[*idx].empty) *contradiction = true;
+  }
+
+  const ra::Catalog* catalog_;
+  bool scan_base_values_;
+
+  static void ScanValues(const ra::Table& t, std::vector<VI>* cols);
+  using Expr = ra::Expr;
+};
+
+void IntervalAnalysis::ScanValues(const ra::Table& t, std::vector<VI>* cols) {
+  const size_t n = t.schema().NumColumns();
+  for (size_t c = 0; c < n && c < cols->size(); ++c) {
+    bool ok = true;
+    double lo = 0, hi = 0;
+    bool first = true;
+    for (const auto& row : t.rows()) {
+      const ra::Value& v = row[c];
+      if (!v.is_numeric()) {
+        ok = false;
+        break;
+      }
+      const double d = v.ToDouble();
+      if (first) {
+        lo = hi = d;
+        first = false;
+      } else {
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+      }
+    }
+    if (ok && !first) (*cols)[c] = VI::Range(lo, hi);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Analysis 5: cardinality bounds (forward, widening)
+// ---------------------------------------------------------------------------
+//
+// Reads the key facts (a key-unique join side caps fan-out) and the
+// predicate verdicts (a proven-false selection emits nothing) written by
+// the earlier passes. Base-table row counts come from fresh TableStats and
+// are only consulted on the executor path (options.scan_base_values),
+// where base relations cannot change for the lifetime of the facts.
+
+namespace {
+
+constexpr size_t kSizeMax = std::numeric_limits<size_t>::max();
+
+size_t SatAdd(size_t a, size_t b) {
+  return a > kSizeMax - b ? kSizeMax : a + b;
+}
+bool SatMul(size_t a, size_t b, size_t* out) {
+  if (a == 0 || b == 0) {
+    *out = 0;
+    return true;
+  }
+  if (a > kSizeMax / b) return false;
+  *out = a * b;
+  return true;
+}
+bool SameBounds(const RowBounds& a, const RowBounds& b) {
+  return a.known == b.known && a.min_rows == b.min_rows &&
+         a.has_max == b.has_max && a.max_rows == b.max_rows;
+}
+
+}  // namespace (helpers stay in the enclosing anonymous namespace)
+
+class CardinalityAnalysis {
+ public:
+  using Fact = RowBounds;
+
+  CardinalityAnalysis(const ra::Catalog* catalog, bool use_stats,
+                      const PlanFacts* facts)
+      : catalog_(catalog), use_stats_(use_stats), facts_(facts) {}
+
+  DataflowDirection direction() const { return DataflowDirection::kForward; }
+
+  Fact Boundary(const DataflowGraph&, size_t) { return Fact{}; }
+
+  Fact Transfer(const DataflowGraph& g, size_t n,
+                const std::vector<Fact>& all) {
+    const DfNode& node = g.node(n);
+    if (!node.relation.empty()) return RelationTransfer(g, n, all);
+    const Plan& p = *node.plan;
+    auto child = [&](size_t i) -> Fact {
+      if (i >= p.children.size()) return Fact{};
+      const size_t ci = g.IndexOf(p.children[i].get());
+      return ci == DataflowGraph::npos ? Fact{} : all[ci];
+    };
+    switch (p.kind) {
+      case PlanKind::kScan: {
+        const size_t rel = g.RelationIndex(p.table_name);
+        if (rel != DataflowGraph::npos) return all[rel];
+        if (use_stats_ && catalog_ != nullptr) {
+          auto t = catalog_->Get(p.table_name);
+          if (t.ok() && (*t)->stats().present) {
+            return Fact::Exact((*t)->stats().num_rows);
+          }
+        }
+        return Fact::Unbounded();
+      }
+      case PlanKind::kSelect: {
+        const Fact c = child(0);
+        if (!c.known) return Fact{};
+        const OperatorFacts* f =
+            facts_ == nullptr ? nullptr : facts_->Get(node.plan);
+        const PredicateVerdict v =
+            f == nullptr ? PredicateVerdict::kUnknown : f->predicate;
+        if (v == PredicateVerdict::kAlwaysFalse) return Fact::Exact(0);
+        if (v == PredicateVerdict::kAlwaysTrue) return c;
+        Fact r = c;
+        r.min_rows = 0;
+        return r;
+      }
+      case PlanKind::kProject:
+      case PlanKind::kRename:
+      case PlanKind::kSort:
+        return child(0);
+      case PlanKind::kDistinct: {
+        const Fact c = child(0);
+        if (!c.known) return Fact{};
+        Fact r = c;
+        r.min_rows = c.min_rows > 0 ? 1 : 0;
+        return r;
+      }
+      case PlanKind::kJoin:
+      case PlanKind::kLeftOuterJoin: {
+        const Fact l = child(0);
+        const Fact r = child(1);
+        if (!l.known || !r.known) return Fact{};
+        Fact out = Fact::Unbounded();
+        if (l.has_max && r.has_max) {
+          size_t m;
+          if (SatMul(l.max_rows, r.max_rows, &m)) {
+            out.has_max = true;
+            out.max_rows = m;
+          }
+        }
+        // A key-unique right side caps fan-out at one match per left row.
+        if (l.has_max && RightKeyUnique(g, p)) {
+          if (!out.has_max || l.max_rows < out.max_rows) {
+            out.has_max = true;
+            out.max_rows = l.max_rows;
+          }
+        }
+        if (p.kind == PlanKind::kLeftOuterJoin) {
+          out.min_rows = l.min_rows;  // unmatched left rows are padded
+        } else {
+          const OperatorFacts* f =
+              facts_ == nullptr ? nullptr : facts_->Get(node.plan);
+          if (f != nullptr && f->predicate == PredicateVerdict::kAlwaysFalse) {
+            return Fact::Exact(0);
+          }
+        }
+        return out;
+      }
+      case PlanKind::kSemiJoin:
+      case PlanKind::kAntiJoin:
+      case PlanKind::kDifference: {
+        const Fact l = child(0);
+        if (!l.known) return Fact{};
+        Fact r = l;
+        r.min_rows = 0;
+        return r;
+      }
+      case PlanKind::kIntersect: {
+        const Fact l = child(0);
+        const Fact r = child(1);
+        if (!l.known || !r.known) return Fact{};
+        Fact out = Fact::Unbounded();
+        if (l.has_max) {
+          out.has_max = true;
+          out.max_rows = l.max_rows;
+        }
+        if (r.has_max && (!out.has_max || r.max_rows < out.max_rows)) {
+          out.has_max = true;
+          out.max_rows = r.max_rows;
+        }
+        return out;
+      }
+      case PlanKind::kUnionAll: {
+        const Fact l = child(0);
+        const Fact r = child(1);
+        if (!l.known || !r.known) return Fact{};
+        Fact out;
+        out.known = true;
+        out.min_rows = SatAdd(l.min_rows, r.min_rows);
+        if (l.has_max && r.has_max) {
+          out.has_max = true;
+          out.max_rows = SatAdd(l.max_rows, r.max_rows);
+        }
+        return out;
+      }
+      case PlanKind::kUnionDistinct: {
+        const Fact l = child(0);
+        const Fact r = child(1);
+        if (!l.known || !r.known) return Fact{};
+        Fact out;
+        out.known = true;
+        out.min_rows = (l.min_rows > 0 || r.min_rows > 0) ? 1 : 0;
+        if (l.has_max && r.has_max) {
+          out.has_max = true;
+          out.max_rows = SatAdd(l.max_rows, r.max_rows);
+        }
+        return out;
+      }
+      case PlanKind::kGroupBy: {
+        const Fact c = child(0);
+        if (!c.known) return Fact{};
+        if (p.group_cols.empty()) return Fact::Exact(1);  // scalar: one row
+        Fact r = c;
+        r.min_rows = c.min_rows > 0 ? 1 : 0;
+        return r;
+      }
+      case PlanKind::kCrossProduct: {
+        const Fact l = child(0);
+        const Fact r = child(1);
+        if (!l.known || !r.known) return Fact{};
+        Fact out;
+        out.known = true;
+        size_t m;
+        if (!SatMul(l.min_rows, r.min_rows, &m)) m = kSizeMax;
+        out.min_rows = m;
+        if (l.has_max && r.has_max && SatMul(l.max_rows, r.max_rows, &m)) {
+          out.has_max = true;
+          out.max_rows = m;
+        }
+        return out;
+      }
+      case PlanKind::kMMJoin: {
+        const Fact a = child(0);
+        const Fact b = child(1);
+        if (!a.known || !b.known) return Fact{};
+        Fact out = Fact::Unbounded();
+        size_t m;
+        if (a.has_max && b.has_max && SatMul(a.max_rows, b.max_rows, &m)) {
+          out.has_max = true;
+          out.max_rows = m;
+        }
+        return out;
+      }
+      case PlanKind::kMVJoin: {
+        const Fact m = child(0);
+        if (!m.known || !child(1).known) return Fact{};
+        Fact out = Fact::Unbounded();
+        if (m.has_max) {
+          out.has_max = true;
+          out.max_rows = m.max_rows;  // ≤ one group per matrix row
+        }
+        return out;
+      }
+    }
+    return Fact{};
+  }
+
+  bool Join(Fact* into, const Fact& from) {
+    if (SameBounds(*into, from)) return false;
+    *into = from;
+    return true;
+  }
+
+  void Widen(Fact* f) {
+    f->known = true;
+    f->min_rows = 0;
+    f->has_max = false;
+  }
+
+ private:
+  bool RightKeyUnique(const DataflowGraph& g, const Plan& p) const {
+    if (facts_ == nullptr || p.children.size() < 2 || p.keys.right.empty()) {
+      return false;
+    }
+    const size_t ri = g.IndexOf(p.children[1].get());
+    if (ri == DataflowGraph::npos || !g.node(ri).schema_known) return false;
+    const OperatorFacts* rf = facts_->Get(p.children[1].get());
+    if (rf == nullptr) return false;
+    auto rk = ResolveCols(g.node(ri).schema, p.keys.right);
+    return rk.has_value() && HasUniqueSubset(rf->unique_sets, *rk);
+  }
+
+  const ra::Catalog* catalog_;
+  bool use_stats_;
+  const PlanFacts* facts_;
+
+  Fact RelationTransfer(const DataflowGraph& g, size_t n,
+                        const std::vector<Fact>& all) {
+    const DfNode& node = g.node(n);
+    const DataflowQuery& q = g.query();
+    if (node.relation != q.rec_name) {
+      for (size_t in : node.inputs) {
+        if (g.node(in).role == DfNode::Role::kDefRoot) return all[in];
+      }
+      return Fact{};
+    }
+    Fact f;
+    f.known = true;
+    // Lower bound: R accumulates every init contribution under union all;
+    // union (distinct) may collapse them; ⊎ may replace wholesale. Under
+    // SQL'99 working-table semantics R is replaced by each delta, so no
+    // accumulation-derived lower bound is sound.
+    if (q.sql99_working_table) {
+      f.min_rows = 0;
+    } else if (q.mode == core::UnionMode::kUnionAll) {
+      for (size_t in : node.inputs) {
+        if (g.node(in).role == DfNode::Role::kInitRoot && all[in].known) {
+          f.min_rows = SatAdd(f.min_rows, all[in].min_rows);
+        }
+      }
+    } else if (q.mode == core::UnionMode::kUnionDistinct) {
+      for (size_t in : node.inputs) {
+        if (g.node(in).role == DfNode::Role::kInitRoot && all[in].known &&
+            all[in].min_rows > 0) {
+          f.min_rows = 1;
+        }
+      }
+    }
+    // Upper bound only under a maxrecursion cap: init + k iterations each
+    // contributing at most the sum of the delta maxima.
+    if (q.maxrecursion > 0) {
+      size_t init_max = 0, delta_max = 0;
+      bool ok = true;
+      for (size_t in : node.inputs) {
+        const auto role = g.node(in).role;
+        if (role != DfNode::Role::kInitRoot &&
+            role != DfNode::Role::kDeltaRoot) {
+          continue;
+        }
+        if (!all[in].known || !all[in].has_max) {
+          ok = false;
+          break;
+        }
+        if (role == DfNode::Role::kInitRoot) {
+          init_max = SatAdd(init_max, all[in].max_rows);
+        } else {
+          delta_max = SatAdd(delta_max, all[in].max_rows);
+        }
+      }
+      if (ok) {
+        size_t iter_total;
+        if (!SatMul(static_cast<size_t>(q.maxrecursion), delta_max,
+                    &iter_total)) {
+          iter_total = kSizeMax;
+        }
+        f.has_max = true;
+        f.max_rows = SatAdd(init_max, iter_total);
+      }
+    }
+    return f;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Analysis 6: backward column liveness
+// ---------------------------------------------------------------------------
+//
+// Which output columns of each operator can some consumer observe?
+// Materialized roots (init / delta / definition plans) are pinned fully
+// live — their tables are what the driver appends, merges, and returns —
+// so pruning below them is gated on genuine interior demand. Positional
+// consumers (set operations, Distinct, column-renaming Rename) demand
+// everything; name-addressed consumers demand exactly what they resolve.
+
+struct LiveFact {
+  bool all = false;
+  std::set<size_t> cols;
+
+  bool operator==(const LiveFact& o) const {
+    return all == o.all && cols == o.cols;
+  }
+  void MergeFrom(const LiveFact& o) {
+    if (o.all) {
+      all = true;
+      cols.clear();
+      return;
+    }
+    if (!all) cols.insert(o.cols.begin(), o.cols.end());
+  }
+};
+
+class LivenessAnalysis {
+ public:
+  using Fact = LiveFact;
+
+  DataflowDirection direction() const { return DataflowDirection::kBackward; }
+
+  Fact Boundary(const DataflowGraph& g, size_t n) {
+    Fact f;
+    if (g.node(n).role != DfNode::Role::kInterior) f.all = true;
+    return f;
+  }
+
+  Fact Transfer(const DataflowGraph& g, size_t n,
+                const std::vector<Fact>& all) {
+    const DfNode& node = g.node(n);
+    Fact f = Boundary(g, n);
+    if (!node.relation.empty()) {
+      // Relation liveness = union over its scan sites (identity schemas).
+      for (size_t c : node.outputs) f.MergeFrom(all[c]);
+      return f;
+    }
+    for (size_t c : node.outputs) {
+      const DfNode& consumer = g.node(c);
+      if (!consumer.relation.empty()) continue;  // roots are pinned live
+      f.MergeFrom(Contribution(g, consumer, all[c], node));
+      if (f.all) break;
+    }
+    return f;
+  }
+
+  bool Join(Fact* into, const Fact& from) {
+    if (*into == from) return false;
+    *into = from;
+    return true;
+  }
+
+  void Widen(Fact* f) { f->all = true; }
+
+ private:
+  static LiveFact AllLive() {
+    LiveFact f;
+    f.all = true;
+    return f;
+  }
+
+  /// Adds the columns `expr` references, resolved against `schema`; an
+  /// unresolvable reference makes the whole fact all-live (it belongs to
+  /// the other join side, or resolution is beyond us — stay conservative
+  /// only when nothing resolves anywhere: here a miss is simply skipped by
+  /// callers that try both sides, so this variant reports success).
+  static bool AddRefs(const ra::Schema& schema, const ra::ExprPtr& expr,
+                      LiveFact* f) {
+    std::vector<std::string> names;
+    CollectExprColumns(expr, &names);
+    bool all_resolved = true;
+    for (const auto& name : names) {
+      auto i = schema.IndexOf(name);
+      if (i.has_value()) {
+        if (!f->all) f->cols.insert(*i);
+      } else {
+        all_resolved = false;
+      }
+    }
+    return all_resolved;
+  }
+
+  static void AddNames(const ra::Schema& schema,
+                       const std::vector<std::string>& names, LiveFact* f) {
+    for (const auto& name : names) {
+      auto i = schema.IndexOf(name);
+      if (i.has_value()) {
+        if (!f->all) f->cols.insert(*i);
+      } else {
+        *f = AllLive();
+        return;
+      }
+    }
+  }
+
+  /// What consumer `c` needs from child `child` given c's own live set.
+  static LiveFact Contribution(const DataflowGraph& g, const DfNode& c,
+                               const LiveFact& lc, const DfNode& child) {
+    const Plan& p = *c.plan;
+    LiveFact out;
+    for (size_t ord = 0; ord < p.children.size(); ++ord) {
+      if (p.children[ord].get() != child.plan) continue;
+      out.MergeFrom(ContributionAt(g, c, lc, ord, child));
+      if (out.all) break;
+    }
+    return out;
+  }
+
+  static LiveFact ContributionAt(const DataflowGraph& g, const DfNode& c,
+                                 const LiveFact& lc, size_t ord,
+                                 const DfNode& child) {
+    const Plan& p = *c.plan;
+    if (!child.schema_known) return AllLive();
+    const ra::Schema& cs = child.schema;
+    LiveFact f;
+    switch (p.kind) {
+      case PlanKind::kSelect:
+        f = lc;
+        AddRefs(cs, p.predicate, &f);
+        return f;
+      case PlanKind::kProject:
+        for (const auto& item : p.items) {
+          if (!AddRefs(cs, item.expr, &f)) return AllLive();
+        }
+        return f;
+      case PlanKind::kJoin:
+      case PlanKind::kLeftOuterJoin:
+      case PlanKind::kCrossProduct: {
+        // Map the consumer's live positions onto this side of the concat.
+        const size_t li = g.IndexOf(p.children[0].get());
+        if (li == DataflowGraph::npos || !g.node(li).schema_known) {
+          return AllLive();
+        }
+        const size_t nl = g.node(li).schema.NumColumns();
+        if (lc.all) {
+          f.all = true;
+        } else {
+          for (size_t pos : lc.cols) {
+            if (ord == 0 && pos < nl) f.cols.insert(pos);
+            if (ord == 1 && pos >= nl) f.cols.insert(pos - nl);
+          }
+        }
+        AddNames(cs, ord == 0 ? p.keys.left : p.keys.right, &f);
+        // Residual references resolving on this side are needed here; the
+        // rest belong to the other side.
+        AddRefs(cs, p.predicate, &f);
+        return f;
+      }
+      case PlanKind::kSemiJoin:
+      case PlanKind::kAntiJoin:
+        if (ord == 0) {
+          f = lc;
+          AddNames(cs, p.keys.left, &f);
+        } else {
+          AddNames(cs, p.keys.right, &f);
+        }
+        return f;
+      case PlanKind::kUnionAll:
+      case PlanKind::kUnionDistinct:
+      case PlanKind::kDifference:
+      case PlanKind::kIntersect:
+      case PlanKind::kDistinct:
+      case PlanKind::kRename:
+        // Positional / whole-row semantics: everything is observable.
+        return AllLive();
+      case PlanKind::kGroupBy:
+        AddNames(cs, p.group_cols, &f);
+        for (const auto& agg : p.aggs) {
+          if (agg.arg != nullptr && !AddRefs(cs, agg.arg, &f)) {
+            return AllLive();
+          }
+        }
+        return f;
+      case PlanKind::kSort:
+        f = lc;
+        AddNames(cs, p.sort_cols, &f);
+        return f;
+      case PlanKind::kMMJoin: {
+        const core::MatrixCols& m = ord == 0 ? p.a_cols : p.b_cols;
+        AddNames(cs, {m.from, m.to, m.weight}, &f);
+        return f;
+      }
+      case PlanKind::kMVJoin:
+        if (ord == 0) {
+          AddNames(cs, {p.a_cols.from, p.a_cols.to, p.a_cols.weight}, &f);
+        } else {
+          AddNames(cs, {p.v_cols.id, p.v_cols.weight}, &f);
+        }
+        return f;
+      case PlanKind::kScan:
+        return AllLive();
+    }
+    return AllLive();
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Facts assembly
+// ---------------------------------------------------------------------------
+
+namespace {
+
+PlanFacts ComputeFactsOnGraph(const DataflowGraph& g,
+                              const ra::Catalog* catalog,
+                              const FactsOptions& options) {
+  PlanFacts facts;
+  InvarianceAnalysis inv;
+  const auto invf = RunDataflow(g, inv);
+  MonotonicityAnalysis mono;
+  const auto monof = RunDataflow(g, mono);
+  KeyAnalysis key;
+  const auto keyf = RunDataflow(g, key);
+  IntervalAnalysis ivl(catalog, options.scan_base_values);
+  const auto ivf = RunDataflow(g, ivl);
+
+  // First pass: everything the cardinality analysis reads back through the
+  // facts table (predicate verdicts, unique sets).
+  for (size_t i = 0; i < g.size(); ++i) {
+    const DfNode& n = g.node(i);
+    if (n.plan == nullptr) continue;
+    OperatorFacts& of = facts.Mutable(n.plan);
+    of.schema_known = n.schema_known;
+    of.schema = n.schema;
+    of.out_name = n.out_name;
+    of.path = n.path;
+    of.unique_sets = keyf[i].sets;
+    of.dup_free = !of.unique_sets.empty();
+    if (ivf[i].valid) {
+      of.intervals = ivf[i].cols;
+      of.predicate = ivf[i].verdict;
+    }
+    of.folds = monof[i].folds;
+    of.fold_sources = monof[i].fold_sources;
+    of.has_negation = monof[i].has_negation;
+    of.tables.assign(monof[i].tables.begin(), monof[i].tables.end());
+    of.negated_tables.assign(monof[i].negated_tables.begin(),
+                             monof[i].negated_tables.end());
+    of.invariant = invf[i].invariant;
+    of.uses_rand = invf[i].uses_rand;
+    of.has_real_work = invf[i].has_real_work;
+  }
+
+  CardinalityAnalysis card(catalog, options.scan_base_values, &facts);
+  const auto cardf = RunDataflow(g, card);
+  LivenessAnalysis live;
+  const auto livef = RunDataflow(g, live);
+
+  for (size_t i = 0; i < g.size(); ++i) {
+    const DfNode& n = g.node(i);
+    if (n.plan != nullptr) {
+      OperatorFacts& of = facts.Mutable(n.plan);
+      of.rows = cardf[i];
+      of.live_known = n.schema_known;
+      of.live_columns.clear();
+      if (n.schema_known) {
+        if (livef[i].all) {
+          for (size_t c = 0; c < n.schema.NumColumns(); ++c) {
+            of.live_columns.push_back(c);
+          }
+        } else {
+          of.live_columns.assign(livef[i].cols.begin(), livef[i].cols.end());
+        }
+      }
+      if ((n.plan->kind == PlanKind::kMMJoin ||
+           n.plan->kind == PlanKind::kMVJoin) &&
+          !n.plan->children.empty()) {
+        const size_t m = g.IndexOf(n.plan->children[0].get());
+        if (m != DataflowGraph::npos && invf[m].invariant) {
+          of.csr_eligible = true;
+        }
+      }
+    } else {
+      RelationFacts& rf = facts.MutableRelation(n.relation);
+      rf.schema_known = n.schema_known;
+      rf.schema = n.schema;
+      rf.unique_sets = keyf[i].sets;
+      if (ivf[i].valid) rf.intervals = ivf[i].cols;
+      rf.rows = cardf[i];
+      rf.invariant = invf[i].invariant;
+      // Dead columns only make sense for a definition some plan actually
+      // scans (the relation node's consumers are exactly its scan sites).
+      if (n.relation != g.query().rec_name && !n.outputs.empty() &&
+          n.schema_known && !livef[i].all) {
+        for (size_t c = 0; c < n.schema.NumColumns(); ++c) {
+          if (livef[i].cols.count(c) == 0) rf.dead_columns.push_back(c);
+        }
+      }
+    }
+  }
+  return facts;
+}
+
+}  // namespace
+
+PlanFacts ComputeFacts(const DataflowQuery& query, const ra::Catalog& catalog,
+                       const FactsOptions& options) {
+  const DataflowGraph g = DataflowGraph::Build(query, &catalog);
+  return ComputeFactsOnGraph(g, &catalog, options);
+}
+
+PlanFacts ComputeQueryFacts(const core::WithPlusQuery& query,
+                            const ra::Catalog& catalog,
+                            const FactsOptions& options) {
+  return ComputeFacts(ToDataflowQuery(query), catalog, options);
+}
+
+PlanFacts ComputeMonotonicityFacts(const core::WithPlusQuery& query) {
+  const DataflowQuery dq = ToDataflowQuery(query);
+  const DataflowGraph g = DataflowGraph::Build(dq, nullptr);
+  MonotonicityAnalysis mono;
+  const auto monof = RunDataflow(g, mono);
+  PlanFacts facts;
+  for (size_t i = 0; i < g.size(); ++i) {
+    const DfNode& n = g.node(i);
+    if (n.plan == nullptr) continue;
+    OperatorFacts& of = facts.Mutable(n.plan);
+    of.path = n.path;
+    of.out_name = n.out_name;
+    of.folds = monof[i].folds;
+    of.fold_sources = monof[i].fold_sources;
+    of.has_negation = monof[i].has_negation;
+    of.tables.assign(monof[i].tables.begin(), monof[i].tables.end());
+    of.negated_tables.assign(monof[i].negated_tables.begin(),
+                             monof[i].negated_tables.end());
+  }
+  return facts;
+}
+
+// ---------------------------------------------------------------------------
+// Hoist sets from invariance facts
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// True when every computed-by definition `p` references is already
+/// settled (materialized before the point the caller is planning for).
+bool DefRefsSettled(const core::PlanPtr& p,
+                    const std::unordered_set<std::string>& all_defs,
+                    const std::unordered_set<std::string>& settled) {
+  std::vector<core::TableRef> refs;
+  core::CollectTableRefs(p, &refs);
+  for (const auto& r : refs) {
+    if (all_defs.count(r.name) > 0 && settled.count(r.name) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Pre-order collection of maximal invariant subtrees with real work —
+/// the same frontier core::LoopInvariantSubplans walks, but read off the
+/// facts table. A root is only accepted when every definition it scans is
+/// settled: a pre-loop materialization cannot scan a table that does not
+/// exist yet.
+void CollectHoistRoots(const core::PlanPtr& p, const PlanFacts& facts,
+                       const std::unordered_set<std::string>& all_defs,
+                       const std::unordered_set<std::string>& settled,
+                       std::vector<core::PlanPtr>* out) {
+  if (p == nullptr) return;
+  const OperatorFacts* f = facts.Get(p.get());
+  if (f != nullptr && f->invariant && f->has_real_work && !f->uses_rand &&
+      DefRefsSettled(p, all_defs, settled)) {
+    out->push_back(p);
+    return;  // maximal: nothing below a hoisted root hoists separately
+  }
+  for (const auto& c : p->children) {
+    CollectHoistRoots(c, facts, all_defs, settled, out);
+  }
+}
+
+}  // namespace
+
+HoistSets ComputeHoistSets(const DataflowQuery& query,
+                           const PlanFacts& facts) {
+  HoistSets hs;
+  std::unordered_set<std::string> all_defs;
+  std::vector<std::pair<std::string, core::PlanPtr>> ordered_defs;
+  for (const auto& block : query.blocks) {
+    for (const auto& def : block.defs) {
+      all_defs.insert(def.first);
+      ordered_defs.push_back(def);
+    }
+  }
+  // Settle invariant definitions in reference-dependency order (a def may
+  // read another def's previous-iteration value; hoisting both is only
+  // valid when the referenced one materializes first).
+  std::unordered_set<std::string> settled;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& def : ordered_defs) {
+      if (settled.count(def.first) > 0) continue;
+      const RelationFacts* rf = facts.GetRelation(def.first);
+      if (rf == nullptr || !rf->invariant) continue;
+      if (!DefRefsSettled(def.second, all_defs, settled)) continue;
+      hs.invariant_defs.push_back(def.first);
+      settled.insert(def.first);
+      changed = true;
+    }
+  }
+  for (const auto& block : query.blocks) {
+    for (const auto& def : block.defs) {
+      if (settled.count(def.first) > 0) continue;
+      CollectHoistRoots(def.second, facts, all_defs, settled,
+                        &hs.hoist_roots[def.second.get()]);
+    }
+    CollectHoistRoots(block.delta, facts, all_defs, settled,
+                      &hs.hoist_roots[block.delta.get()]);
+  }
+  return hs;
+}
+
+// ---------------------------------------------------------------------------
+// Facts-driven rewrites
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool IsJoinFamily(PlanKind k) {
+  switch (k) {
+    case PlanKind::kJoin:
+    case PlanKind::kLeftOuterJoin:
+    case PlanKind::kSemiJoin:
+    case PlanKind::kAntiJoin:
+    case PlanKind::kCrossProduct:
+    case PlanKind::kMMJoin:
+    case PlanKind::kMVJoin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Builds the narrowing projection for a join input, or null when the
+/// safety proof fails. Facts are looked up under the ORIGINAL node
+/// identity; the projection wraps the (possibly already rewritten)
+/// current child.
+core::PlanPtr MaybeNarrow(const core::PlanPtr& orig_child,
+                          const core::PlanPtr& cur_child,
+                          const PlanFacts& facts, RewriteStats* stats) {
+  const OperatorFacts* f = facts.Get(orig_child.get());
+  if (f == nullptr || !f->invariant || !f->has_real_work || f->uses_rand ||
+      !f->schema_known || !f->live_known) {
+    return nullptr;
+  }
+  switch (orig_child->kind) {
+    case PlanKind::kProject:  // already narrow (or narrowed before)
+    case PlanKind::kScan:     // StableScan / hoist temps must stay bare
+    case PlanKind::kRename:
+      return nullptr;
+    default:
+      break;
+  }
+  const size_t n = f->schema.NumColumns();
+  if (f->live_columns.empty() || f->live_columns.size() >= n) return nullptr;
+  // Safety proof: every kept column must round-trip by name so that the
+  // parent's key/residual resolution is unchanged after narrowing.
+  std::unordered_set<std::string> names;
+  for (size_t c = 0; c < n; ++c) {
+    if (!names.insert(f->schema.column(c).name).second) return nullptr;
+  }
+  std::vector<ra::ops::ProjectItem> items;
+  for (size_t idx : f->live_columns) {
+    const std::string& name = f->schema.column(idx).name;
+    auto r = f->schema.IndexOf(name);
+    if (!r.has_value() || *r != idx) return nullptr;
+    items.push_back(ra::ops::As(ra::Col(name), name));
+  }
+  stats->pruned_columns += n - f->live_columns.size();
+  // Empty out_name: PlanOutputName falls through to the child, preserving
+  // join qualification of the kept columns.
+  return core::ProjectOp(cur_child, std::move(items), "");
+}
+
+core::PlanPtr RewriteTree(const core::PlanPtr& p, const PlanFacts& facts,
+                          bool allow_pushdown, RewriteStats* stats) {
+  if (p == nullptr) return p;
+  std::vector<core::PlanPtr> kids;
+  kids.reserve(p->children.size());
+  bool changed = false;
+  for (const auto& c : p->children) {
+    core::PlanPtr nc = RewriteTree(c, facts, allow_pushdown, stats);
+    changed = changed || nc.get() != c.get();
+    kids.push_back(std::move(nc));
+  }
+
+  core::PlanPtr cur = p;
+  auto ensure_own = [&]() {
+    if (cur.get() == p.get()) {
+      auto own = std::make_shared<Plan>(*p);
+      own->children = kids;
+      cur = own;
+    }
+  };
+  if (changed) ensure_own();
+
+  // Rewrite 1: drop a selection proven true for every possible input row.
+  if (p->kind == PlanKind::kSelect) {
+    const OperatorFacts* f = facts.Get(p.get());
+    if (f != nullptr && f->predicate == PredicateVerdict::kAlwaysTrue) {
+      ++stats->removed_selects;
+      return cur->children[0];
+    }
+  }
+
+  // Rewrite 2: projection pushdown under join-family operators.
+  if (allow_pushdown && IsJoinFamily(p->kind)) {
+    for (size_t i = 0; i < p->children.size(); ++i) {
+      core::PlanPtr narrowed =
+          MaybeNarrow(p->children[i], cur->children[i], facts, stats);
+      if (narrowed != nullptr) {
+        ensure_own();
+        const_cast<Plan*>(cur.get())->children[i] = std::move(narrowed);
+      }
+    }
+  }
+  return cur;
+}
+
+}  // namespace
+
+RewriteStats ApplyFactsRewrites(DataflowQuery* query, const PlanFacts& facts,
+                                bool allow_pushdown) {
+  RewriteStats stats;
+  // Init plans run once, pre-loop: dead-select removal only — a narrowing
+  // projection would just add a copy.
+  for (auto& p : query->init) {
+    p = RewriteTree(p, facts, /*allow_pushdown=*/false, &stats);
+  }
+  for (auto& block : query->blocks) {
+    for (auto& def : block.defs) {
+      def.second = RewriteTree(def.second, facts, allow_pushdown, &stats);
+    }
+    block.delta = RewriteTree(block.delta, facts, allow_pushdown, &stats);
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Facts-derived diagnostics
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool ExprUsesAnyColumn(const ra::ExprPtr& e) {
+  std::vector<std::string> names;
+  CollectExprColumns(e, &names);
+  return !names.empty();
+}
+
+/// Pre-order walk emitting the per-operator verdict diagnostics. Shared
+/// subtrees are reported once.
+void WalkForVerdicts(const core::PlanPtr& p, const PlanFacts& facts,
+                     std::unordered_set<const Plan*>* seen,
+                     DiagnosticBag* diags) {
+  if (p == nullptr || !seen->insert(p.get()).second) return;
+  const OperatorFacts* f = facts.Get(p.get());
+  if (f != nullptr) {
+    if ((p->kind == PlanKind::kSelect || p->kind == PlanKind::kJoin) &&
+        f->predicate == PredicateVerdict::kAlwaysFalse) {
+      diags->AddWarning(
+          "GPR-W310", f->path,
+          "predicate is provably false for every input row: this operator "
+          "emits no rows",
+          "remove the dead branch or fix the comparison bounds");
+    }
+    if (p->kind == PlanKind::kSelect &&
+        f->predicate == PredicateVerdict::kAlwaysTrue &&
+        !ExprUsesAnyColumn(p->predicate)) {
+      diags->AddWarning(
+          "GPR-W311", f->path,
+          "predicate is a tautology over literals: the selection filters "
+          "nothing",
+          "drop the redundant where clause");
+    }
+    if (p->kind == PlanKind::kDistinct && !p->children.empty()) {
+      const OperatorFacts* cf = facts.Get(p->children[0].get());
+      if (cf != nullptr && cf->dup_free) {
+        diags->AddWarning(
+            "GPR-W316", f->path,
+            "distinct over a provably duplicate-free input is a no-op",
+            "drop the distinct (the executor already skips it when plan "
+            "facts are on)");
+      }
+    }
+  }
+  for (const auto& c : p->children) {
+    WalkForVerdicts(c, facts, seen, diags);
+  }
+}
+
+}  // namespace
+
+void CheckDataflow(const core::WithPlusQuery& query,
+                   const ra::Catalog& catalog, const PlanFacts& facts,
+                   DiagnosticBag* diags) {
+  (void)catalog;
+  std::unordered_set<const Plan*> seen;
+  for (const auto& sq : query.init) {
+    WalkForVerdicts(sq.plan, facts, &seen, diags);
+  }
+  bool any_negation = false;
+  bool non_monotone = false;
+  std::string fold_source;
+  std::string fold_path;
+  for (size_t b = 0; b < query.recursive.size(); ++b) {
+    const auto& sq = query.recursive[b];
+    const std::string path = "recursive[" + std::to_string(b) + "]";
+    for (const auto& def : sq.computed_by) {
+      WalkForVerdicts(def.plan, facts, &seen, diags);
+    }
+    WalkForVerdicts(sq.plan, facts, &seen, diags);
+
+    auto scan_folds = [&](const Plan* p, const std::string& where) {
+      const OperatorFacts* f = facts.Get(p);
+      if (f == nullptr) return;
+      if (f->has_negation) any_negation = true;
+      if (!non_monotone && f->HasNonMonotoneFold() &&
+          !f->fold_sources.empty()) {
+        non_monotone = true;
+        fold_source = f->fold_sources.front();
+        fold_path = where;
+      }
+    };
+    scan_folds(sq.plan.get(), path);
+    for (const auto& def : sq.computed_by) {
+      scan_folds(def.plan.get(), path + "/computed_by[" + def.name + "]");
+    }
+
+    const OperatorFacts* df = facts.Get(sq.plan.get());
+    if (df == nullptr) continue;
+
+    // GPR-E312: every delta row provably carries the same update key, yet
+    // the delta provably has at least two rows — conflicting ⊎ updates.
+    if (query.mode == core::UnionMode::kUnionByUpdate &&
+        !query.update_keys.empty() && df->rows.known &&
+        df->rows.min_rows >= 2 && df->schema_known &&
+        !df->intervals.empty()) {
+      auto kpos = ResolveCols(df->schema, query.update_keys);
+      if (!kpos.has_value()) {
+        kpos = ResolveCols(query.rec_schema, query.update_keys);
+      }
+      if (kpos.has_value()) {
+        bool all_const = true;
+        for (size_t k : *kpos) {
+          if (k >= df->intervals.size() || !df->intervals[k].IsConst()) {
+            all_const = false;
+            break;
+          }
+        }
+        if (all_const && !HasUniqueSubset(df->unique_sets, *kpos)) {
+          diags->AddError(
+              "GPR-E312", StatusCode::kInvalidArgument, path,
+              "every row of the recursive step provably carries the same "
+              "update key, but the step provably produces at least two "
+              "rows: conflicting multi-row updates to one key",
+              "make the update key a real key of the delta (group by it, "
+              "or add the varying columns to update_keys)");
+        }
+      }
+    }
+
+    // GPR-W317: the recursive step provably produces no rows at all.
+    if (df->rows.known && df->rows.has_max && df->rows.max_rows == 0) {
+      diags->AddWarning(
+          "GPR-W317", path,
+          "the recursive step provably produces no rows: the recursion is "
+          "degenerate and returns the init rows only",
+          "remove the recursion or fix the provably-false step");
+    }
+
+    // GPR-W313: sharpened W401 — every iteration provably appends rows.
+    if (query.mode == core::UnionMode::kUnionAll &&
+        query.maxrecursion == 0 && !query.sql99_working_table &&
+        df->rows.known && df->rows.min_rows >= 1) {
+      diags->AddWarning(
+          "GPR-W313", path,
+          "every iteration provably appends at least one row under union "
+          "all with no maxrecursion: the fixpoint cannot converge",
+          "bound the recursion with maxrecursion, or deduplicate with "
+          "union / union-by-update");
+    }
+  }
+
+  // GPR-W314: non-monotone fold inside a union (distinct) recursion.
+  if (query.mode == core::UnionMode::kUnionDistinct &&
+      query.maxrecursion == 0 && non_monotone) {
+    diags->AddWarning(
+        "GPR-W314", fold_path,
+        "non-monotone fold (" + fold_source +
+            ") inside a union (distinct) recursion: refolded values keep "
+            "re-entering the working set and may oscillate",
+        "fold with min/max, or bound the recursion with maxrecursion");
+  }
+  (void)any_negation;
+
+  // GPR-W315: dead columns of a computed-by definition.
+  for (size_t b = 0; b < query.recursive.size(); ++b) {
+    for (const auto& def : query.recursive[b].computed_by) {
+      const RelationFacts* rf = facts.GetRelation(def.name);
+      if (rf == nullptr || !rf->schema_known || rf->dead_columns.empty()) {
+        continue;
+      }
+      std::string cols;
+      for (size_t c : rf->dead_columns) {
+        if (!cols.empty()) cols += ", ";
+        cols += rf->schema.column(c).name;
+      }
+      diags->AddWarning(
+          "GPR-W315",
+          "recursive[" + std::to_string(b) + "]/computed_by[" + def.name +
+              "]",
+          "definition column(s) " + cols +
+              " are never read by any consumer",
+          "drop the dead column(s) from the definition's select list");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON rendering
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string JsonStr(const std::string& s) {
+  std::string out = "\"";
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonIndexArray(const std::vector<size_t>& xs) {
+  std::string out = "[";
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(xs[i]);
+  }
+  out += "]";
+  return out;
+}
+
+void AppendCommonFactsJson(const OperatorFacts& f, const ra::Schema& schema,
+                           bool schema_known, std::ostringstream* os) {
+  *os << "\"rows\": " << JsonStr(f.rows.ToString());
+  *os << ", \"unique\": [";
+  for (size_t s = 0; s < f.unique_sets.size(); ++s) {
+    if (s > 0) *os << ",";
+    *os << JsonIndexArray(f.unique_sets[s]);
+  }
+  *os << "]";
+  *os << ", \"dup_free\": " << (f.dup_free ? "true" : "false");
+  *os << ", \"predicate\": " << JsonStr(PredicateVerdictName(f.predicate));
+  *os << ", \"invariant\": " << (f.invariant ? "true" : "false");
+  *os << ", \"uses_rand\": " << (f.uses_rand ? "true" : "false");
+  *os << ", \"has_real_work\": " << (f.has_real_work ? "true" : "false");
+  *os << ", \"csr_eligible\": " << (f.csr_eligible ? "true" : "false");
+  *os << ", \"negation\": " << (f.has_negation ? "true" : "false");
+  *os << ", \"fold_sources\": [";
+  for (size_t s = 0; s < f.fold_sources.size(); ++s) {
+    if (s > 0) *os << ",";
+    *os << JsonStr(f.fold_sources[s]);
+  }
+  *os << "]";
+  *os << ", \"intervals\": {";
+  bool first = true;
+  if (schema_known) {
+    for (size_t c = 0; c < f.intervals.size() && c < schema.NumColumns();
+         ++c) {
+      if (f.intervals[c].IsTop()) continue;
+      if (!first) *os << ", ";
+      first = false;
+      *os << JsonStr(schema.column(c).name) << ": "
+          << JsonStr(f.intervals[c].ToString());
+    }
+  }
+  *os << "}";
+  if (f.live_known) {
+    *os << ", \"live\": " << JsonIndexArray(f.live_columns);
+  }
+}
+
+}  // namespace
+
+std::string FactsToJson(const core::WithPlusQuery& query,
+                        const ra::Catalog& catalog) {
+  const DataflowQuery dq = ToDataflowQuery(query);
+  const DataflowGraph g = DataflowGraph::Build(dq, &catalog);
+  const PlanFacts facts = ComputeFactsOnGraph(g, &catalog, FactsOptions{});
+
+  std::ostringstream os;
+  os << "{\n  \"recursive_relation\": " << JsonStr(dq.rec_name)
+     << ",\n  \"operators\": [\n";
+  bool first = true;
+  for (size_t i = 0; i < g.size(); ++i) {
+    const DfNode& n = g.node(i);
+    if (n.plan == nullptr) continue;
+    const OperatorFacts* f = facts.Get(n.plan);
+    if (f == nullptr) continue;
+    if (!first) os << ",\n";
+    first = false;
+    os << "    {\"path\": " << JsonStr(n.path)
+       << ", \"kind\": " << JsonStr(core::PlanKindName(n.plan->kind))
+       << ", \"out_name\": " << JsonStr(n.out_name) << ", ";
+    AppendCommonFactsJson(*f, n.schema, n.schema_known, &os);
+    os << "}";
+  }
+  os << "\n  ],\n  \"relations\": {\n";
+  std::vector<std::string> rel_names;
+  for (const auto& r : facts.relations()) rel_names.push_back(r.first);
+  std::sort(rel_names.begin(), rel_names.end());
+  for (size_t i = 0; i < rel_names.size(); ++i) {
+    const RelationFacts* rf = facts.GetRelation(rel_names[i]);
+    if (i > 0) os << ",\n";
+    os << "    " << JsonStr(rel_names[i]) << ": {\"rows\": "
+       << JsonStr(rf->rows.ToString())
+       << ", \"invariant\": " << (rf->invariant ? "true" : "false")
+       << ", \"unique\": [";
+    for (size_t s = 0; s < rf->unique_sets.size(); ++s) {
+      if (s > 0) os << ",";
+      os << JsonIndexArray(rf->unique_sets[s]);
+    }
+    os << "], \"dead_columns\": " << JsonIndexArray(rf->dead_columns) << "}";
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+}  // namespace gpr::analysis

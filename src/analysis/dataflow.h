@@ -1,0 +1,240 @@
+// A generic forward/backward fixed-point dataflow framework over the RA
+// plan graph of a with+ query.
+//
+// The graph has one node per plan operator plus one pseudo-node per named
+// relation (the recursive relation R and each computed-by definition).
+// Tree edges run child -> parent; a Scan of a named relation has an edge
+// from the relation's pseudo-node; every init and recursive subquery root
+// feeds R's pseudo-node — the recursive roots' edges are the with+
+// iteration back-edges, which is what makes the analyses genuine
+// fixed-point problems rather than tree folds.
+//
+// An analysis supplies a lattice (Fact + Join + Widen) and a transfer
+// function; RunDataflow solves it with a worklist, widening facts that
+// keep changing through the back-edge so termination is guaranteed.
+//
+// Four analyses are implemented as instances of the engine (plus backward
+// column liveness and invariance, which power projection pushdown and the
+// PR 5 hoisting prologue):
+//
+//   1. monotonicity / semiring analysis  (⊕ folds per recursive relation)
+//   2. key & functional-dependency inference (unique column sets)
+//   3. constant / interval propagation over Expr
+//   4. cardinality bounds from TableStats
+//
+// ComputeFacts runs all of them and returns a PlanFacts side table; the
+// executor consults it (see plan_facts.h) and CheckDataflow derives the
+// GPR-W31x/E31x diagnostics from it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "analysis/plan_facts.h"
+#include "core/with_plus.h"
+#include "ra/catalog.h"
+
+namespace gpr::analysis {
+
+/// Which way facts flow.
+enum class DataflowDirection { kForward, kBackward };
+
+/// One node of the dataflow graph: a plan operator, or a relation
+/// pseudo-node (plan == nullptr, relation nonempty).
+struct DfNode {
+  const core::Plan* plan = nullptr;
+  core::PlanPtr plan_ref;     ///< keeps the operator alive
+  std::string relation;       ///< set for relation pseudo-nodes
+  std::string path;           ///< diagnostics path
+  std::vector<size_t> inputs;   ///< producers (children / contributing roots)
+  std::vector<size_t> outputs;  ///< consumers
+  /// Receives a back-edge (the recursive relation's pseudo-node).
+  bool back_edge_target = false;
+  /// Root kind: which boundary this node is, if any.
+  enum class Role { kInterior, kInitRoot, kDeltaRoot, kDefRoot } role =
+      Role::kInterior;
+  /// For roots: index of the subquery / block they belong to.
+  size_t block = 0;
+  /// Inferred output schema (empty + !schema_known on type errors).
+  bool schema_known = false;
+  ra::Schema schema;
+  std::string out_name;  ///< PlanOutputName (join qualification)
+};
+
+/// The normalized query shape the graph is built from: either a
+/// WithPlusQuery (diagnostics path) or the fixpoint driver's post-rewrite
+/// run plans (executor path) — both are blocks of (defs, delta).
+struct DataflowUnit {
+  std::vector<std::pair<std::string, core::PlanPtr>> defs;
+  core::PlanPtr delta;
+};
+
+struct DataflowQuery {
+  std::string rec_name;
+  ra::Schema rec_schema;
+  core::UnionMode mode = core::UnionMode::kUnionAll;
+  std::vector<std::string> update_keys;
+  int maxrecursion = 0;
+  bool sql99_working_table = false;
+  std::vector<core::PlanPtr> init;
+  std::vector<DataflowUnit> blocks;
+};
+
+/// Flattens a WithPlusQuery into the normalized shape.
+DataflowQuery ToDataflowQuery(const core::WithPlusQuery& query);
+
+/// The plan graph with iteration back-edges.
+class DataflowGraph {
+ public:
+  /// Builds the graph. `catalog` may be null: schemas then stay unknown
+  /// for scans of catalog tables (the monotonicity analysis does not need
+  /// them; the others skip schema-less nodes).
+  static DataflowGraph Build(const DataflowQuery& query,
+                             const ra::Catalog* catalog);
+
+  const std::vector<DfNode>& nodes() const { return nodes_; }
+  const DfNode& node(size_t i) const { return nodes_[i]; }
+  size_t size() const { return nodes_.size(); }
+
+  /// Node index of a plan operator (npos if absent).
+  size_t IndexOf(const core::Plan* p) const;
+  /// Node index of a relation pseudo-node (npos if absent).
+  size_t RelationIndex(const std::string& name) const;
+
+  const DataflowQuery& query() const { return query_; }
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+ private:
+  size_t AddPlanTree(const core::PlanPtr& plan, const std::string& path,
+                     const std::unordered_map<std::string, ra::Schema>* ov);
+  void AddEdge(size_t from, size_t to);
+
+  DataflowQuery query_;
+  const ra::Catalog* catalog_ = nullptr;  ///< schema inference during Build
+  std::vector<DfNode> nodes_;
+  std::unordered_map<const core::Plan*, size_t> plan_index_;
+  std::unordered_map<std::string, size_t> relation_index_;
+};
+
+/// Worklist fixed-point solver.
+///
+/// Analysis concept:
+///   struct A {
+///     using Fact = ...;                       // lattice element
+///     DataflowDirection direction() const;
+///     Fact Boundary(const DataflowGraph&, size_t n);   // initial fact
+///     Fact Transfer(const DataflowGraph&, size_t n,
+///                   const std::vector<Fact>& all);     // read deps' facts
+///     bool Join(Fact* into, const Fact& from);         // true if changed
+///     void Widen(Fact* f);                             // jump toward top
+///   };
+///
+/// Every node starts at Boundary; nodes whose fact changes push their
+/// dependents back on the worklist. A node joined more than kWidenAfter
+/// times is widened, which bounds lattice height and guarantees
+/// termination through the iteration back-edge.
+inline constexpr size_t kWidenAfter = 16;
+
+template <typename Analysis>
+std::vector<typename Analysis::Fact> RunDataflow(const DataflowGraph& g,
+                                                 Analysis& a) {
+  using Fact = typename Analysis::Fact;
+  const bool forward = a.direction() == DataflowDirection::kForward;
+  std::vector<Fact> facts(g.size());
+  std::vector<size_t> joins(g.size(), 0);
+  std::vector<char> queued(g.size(), 1);
+  std::vector<size_t> worklist;
+  worklist.reserve(g.size());
+  // Seed in a helpful order: forward analyses converge fastest processing
+  // nodes in creation order (children precede parents), backward ones in
+  // reverse.
+  for (size_t i = 0; i < g.size(); ++i) {
+    facts[i] = a.Boundary(g, i);
+    worklist.push_back(forward ? g.size() - 1 - i : i);
+  }
+  while (!worklist.empty()) {
+    const size_t n = worklist.back();
+    worklist.pop_back();
+    queued[n] = 0;
+    Fact out = a.Transfer(g, n, facts);
+    if (!a.Join(&facts[n], out)) continue;
+    if (++joins[n] > kWidenAfter) a.Widen(&facts[n]);
+    const auto& dependents =
+        forward ? g.node(n).outputs : g.node(n).inputs;
+    for (size_t d : dependents) {
+      if (!queued[d]) {
+        queued[d] = 1;
+        worklist.push_back(d);
+      }
+    }
+  }
+  return facts;
+}
+
+/// Options for ComputeFacts.
+struct FactsOptions {
+  /// Scan fresh-statistics base tables for per-column min/max values
+  /// (executor path). Off for offline linting, where catalog tables are
+  /// schema-only and their emptiness proves nothing about deployment.
+  bool scan_base_values = false;
+};
+
+/// Runs all analyses over `query` and returns the populated side table.
+PlanFacts ComputeFacts(const DataflowQuery& query, const ra::Catalog& catalog,
+                       const FactsOptions& options = {});
+
+/// Convenience: facts for a whole WithPlusQuery (diagnostics path).
+PlanFacts ComputeQueryFacts(const core::WithPlusQuery& query,
+                            const ra::Catalog& catalog,
+                            const FactsOptions& options = {});
+
+/// The facts-derived diagnostics pass (GPR-W310..W317, GPR-E312): see
+/// docs/diagnostics.md for the catalog.
+void CheckDataflow(const core::WithPlusQuery& query,
+                   const ra::Catalog& catalog, const PlanFacts& facts,
+                   DiagnosticBag* diags);
+
+/// Monotonicity-only convergence input: CheckConvergence's facts source
+/// when no catalog is available (schemas unknown — fold/negation facts do
+/// not need them).
+PlanFacts ComputeMonotonicityFacts(const core::WithPlusQuery& query);
+
+/// Hoisting/caching eligibility re-derived from invariance facts — the
+/// facts-driven replacement for core::LoopInvariantSubplans' bespoke walk.
+/// `invariant_defs` lists fully-invariant definitions (materialize once,
+/// pre-loop); `hoist_roots[p]` lists, in pre-order, the maximal invariant
+/// subtrees with real work inside each remaining plan.
+struct HoistSets {
+  std::vector<std::string> invariant_defs;
+  std::unordered_map<const core::Plan*, std::vector<core::PlanPtr>>
+      hoist_roots;
+};
+HoistSets ComputeHoistSets(const DataflowQuery& query, const PlanFacts& facts);
+
+/// Facts-driven plan rewrites (executor path), applied in place:
+///   * removes kSelect nodes whose predicate is proven always-true;
+///   * projection pushdown with a safety proof: narrows invariant,
+///     composite join inputs to the columns some consumer can observe
+///     (plus join keys and residual references).
+/// Returns counters for ExecCounters. Facts must be recomputed afterwards
+/// (node identities change). `allow_pushdown` should be true only when
+/// hoisting is enabled: the inserted projections are loop-invariant and
+/// are expected to materialize once, pre-loop.
+struct RewriteStats {
+  size_t removed_selects = 0;
+  size_t pruned_columns = 0;
+};
+RewriteStats ApplyFactsRewrites(DataflowQuery* query, const PlanFacts& facts,
+                                bool allow_pushdown);
+
+/// JSON rendering of the facts of every operator (stable order), for
+/// `gpr_lint --facts=json` / the ANALYSIS_facts.json CI artifact.
+std::string FactsToJson(const core::WithPlusQuery& query,
+                        const ra::Catalog& catalog);
+
+}  // namespace gpr::analysis

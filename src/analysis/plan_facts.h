@@ -1,0 +1,216 @@
+// PlanFacts: the side table of statically-proven facts about plan operators.
+//
+// Facts are produced by the dataflow framework (analysis/dataflow.h) and
+// consulted in two places:
+//
+//   * the executor (core/plan.cc, core/psm.cc) — a proven-false predicate
+//     skips its whole subtree, a proven duplicate-free input skips dedup,
+//     proven-dead columns are pruned by projection pushdown, and loop-
+//     invariant hoisting re-derives its eligibility from invariance facts;
+//   * the diagnostics surface — ExplainWithPlus prints the facts per
+//     operator, sql::LintSql and `gpr_lint --facts=json` report them, and
+//     the GPR-W31x / GPR-E31x codes are derived from them.
+//
+// This header holds only the fact *types*: it depends on ra/ but not on
+// core/plan.h (core::Plan is an opaque key here), so ra::EvalContext can
+// carry a `const analysis::PlanFacts*` without a dependency cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ra/aggregate.h"
+#include "ra/schema.h"
+
+namespace gpr::core {
+struct Plan;
+}  // namespace gpr::core
+
+namespace gpr::analysis {
+
+/// A (possibly half-open) numeric interval for one column. Absent bounds
+/// mean unbounded on that side; `empty` marks the bottom element (no rows
+/// reach this operator, so every column interval is vacuous).
+struct ValueInterval {
+  bool empty = true;  ///< bottom: no value observed yet
+  bool has_lo = false, has_hi = false;
+  double lo = 0.0, hi = 0.0;
+
+  static ValueInterval Top() {
+    ValueInterval v;
+    v.empty = false;
+    return v;
+  }
+  static ValueInterval Const(double c) {
+    ValueInterval v;
+    v.empty = false;
+    v.has_lo = v.has_hi = true;
+    v.lo = v.hi = c;
+    return v;
+  }
+  static ValueInterval Range(double lo, double hi) {
+    ValueInterval v;
+    v.empty = false;
+    v.has_lo = v.has_hi = true;
+    v.lo = lo;
+    v.hi = hi;
+    return v;
+  }
+
+  bool IsConst() const { return !empty && has_lo && has_hi && lo == hi; }
+  bool IsTop() const { return !empty && !has_lo && !has_hi; }
+
+  /// Lattice join (interval hull). Returns true if *this widened.
+  bool Join(const ValueInterval& o);
+  /// Intersection (predicate refinement). An impossible intersection
+  /// becomes `empty`.
+  void Meet(const ValueInterval& o);
+
+  std::string ToString() const;
+};
+
+/// Verdict of interval analysis on a selection / join-residual predicate.
+enum class PredicateVerdict {
+  kUnknown,
+  kAlwaysTrue,   ///< predicate proven true for every possible input row
+  kAlwaysFalse,  ///< predicate proven false: the operator emits no rows
+};
+
+const char* PredicateVerdictName(PredicateVerdict v);
+
+/// Cardinality bounds: [min_rows, max_rows], max absent = unbounded.
+struct RowBounds {
+  bool known = false;
+  size_t min_rows = 0;
+  bool has_max = false;
+  size_t max_rows = 0;
+
+  static RowBounds Exact(size_t n) { return {true, n, true, n}; }
+  static RowBounds AtMost(size_t n) { return {true, 0, true, n}; }
+  static RowBounds Unbounded() { return {true, 0, false, 0}; }
+
+  std::string ToString() const;
+};
+
+/// Everything the framework proved about one plan operator.
+struct OperatorFacts {
+  /// Inferred output schema (mirrors core::InferSchema). When false the
+  /// node failed to type and every other field is meaningless.
+  bool schema_known = false;
+  ra::Schema schema;
+  /// PlanOutputName of the node (join-qualification name).
+  std::string out_name;
+  /// Diagnostics path of the node ("recursive[0]/Project/Join").
+  std::string path;
+
+  // --- key / functional-dependency facts --------------------------------
+  /// Proven unique column sets (sorted indexes into `schema`): no two
+  /// output rows agree on any of these sets. The empty set ({}) means the
+  /// operator emits at most one row. Structural proofs only — never
+  /// derived from data statistics, so the executor may act on them.
+  std::vector<std::vector<size_t>> unique_sets;
+  /// True when some unique set exists: all output rows are distinct, so a
+  /// downstream Distinct over this operator is a no-op.
+  bool dup_free = false;
+
+  // --- constant / interval propagation ----------------------------------
+  /// Per-column value intervals (sized to `schema` when known).
+  std::vector<ValueInterval> intervals;
+  /// Verdict on this node's own predicate (kSelect / kJoin residual /
+  /// provably-disjoint join keys).
+  PredicateVerdict predicate = PredicateVerdict::kUnknown;
+
+  // --- cardinality bounds -----------------------------------------------
+  RowBounds rows;
+
+  // --- monotonicity / semiring facts ------------------------------------
+  /// ⊕ aggregate kinds folded anywhere in this subtree's derivation
+  /// (group-by aggregates plus the add side of MM/MV semirings), as a
+  /// bitmask of (1 << AggKind).
+  uint32_t folds = 0;
+  /// Human-readable sources of non-monotone folds, discovery order
+  /// ("sum", "semiring plus_times", ...).
+  std::vector<std::string> fold_sources;
+  /// True when the subtree contains anti-join / difference / intersect.
+  bool has_negation = false;
+  /// Table names scanned directly by this subtree, and the subset scanned
+  /// in a negated position (right of anti-join / difference).
+  std::vector<std::string> tables;
+  std::vector<std::string> negated_tables;
+
+  // --- invariance (hoisting / caching eligibility) ----------------------
+  /// True when the subtree scans no iteration-varying relation and calls
+  /// no rand(): its output is identical every fixpoint iteration.
+  bool invariant = false;
+  /// True when the subtree does work beyond scan/rename.
+  bool has_real_work = false;
+  bool uses_rand = false;
+  /// MV/MM-join whose matrix side is invariant: eligible for a future
+  /// compiled CSR kernel path.
+  bool csr_eligible = false;
+
+  // --- backward column liveness -----------------------------------------
+  /// Columns of `schema` some consumer can observe (sorted). Only valid
+  /// when live_known; roots of materialized relations are fully live.
+  bool live_known = false;
+  std::vector<size_t> live_columns;
+
+  bool FoldsKind(ra::AggKind k) const {
+    return (folds & (1u << static_cast<uint32_t>(k))) != 0;
+  }
+  bool HasNonMonotoneFold() const {
+    return FoldsKind(ra::AggKind::kSum) || FoldsKind(ra::AggKind::kCount) ||
+           FoldsKind(ra::AggKind::kAvg);
+  }
+
+  /// Compact one-line rendering for ExplainWithPlus.
+  std::string ToString() const;
+};
+
+/// Facts about a named relation of the query: the recursive relation and
+/// each computed-by definition.
+struct RelationFacts {
+  ra::Schema schema;
+  bool schema_known = false;
+  std::vector<std::vector<size_t>> unique_sets;
+  std::vector<ValueInterval> intervals;
+  RowBounds rows;
+  /// Fully loop-invariant definition: materialized once pre-loop.
+  bool invariant = false;
+  /// Columns no consumer of the relation ever reads (W315 raw material).
+  std::vector<size_t> dead_columns;
+};
+
+/// The side table: operator facts keyed by plan-node identity plus
+/// relation-level facts keyed by name. Owned by whoever computed it; the
+/// executor holds a borrowed pointer for the duration of one query.
+class PlanFacts {
+ public:
+  OperatorFacts& Mutable(const core::Plan* node) { return ops_[node]; }
+
+  const OperatorFacts* Get(const core::Plan* node) const {
+    auto it = ops_.find(node);
+    return it == ops_.end() ? nullptr : &it->second;
+  }
+
+  RelationFacts& MutableRelation(const std::string& name) {
+    return relations_[name];
+  }
+  const RelationFacts* GetRelation(const std::string& name) const {
+    auto it = relations_.find(name);
+    return it == relations_.end() ? nullptr : &it->second;
+  }
+
+  size_t NumOperators() const { return ops_.size(); }
+  const std::unordered_map<std::string, RelationFacts>& relations() const {
+    return relations_;
+  }
+
+ private:
+  std::unordered_map<const core::Plan*, OperatorFacts> ops_;
+  std::unordered_map<std::string, RelationFacts> relations_;
+};
+
+}  // namespace gpr::analysis

@@ -112,6 +112,16 @@ struct EngineProfile {
   /// WithPlusQuery::plan_cache.
   bool plan_cache = true;
 
+  /// Plan facts (analysis/dataflow.h, docs/architecture.md): run the
+  /// static dataflow analyses over the compiled with+ plans before the
+  /// fixpoint loop and let the executor act on the proofs — skip dedup
+  /// over proven duplicate-free inputs, skip proven-false selection
+  /// subtrees, prune proven-dead columns, and drive loop-invariant
+  /// hoisting from invariance facts. Results are guaranteed identical on
+  /// or off; overridable per query via the SQL `facts on|off` option /
+  /// WithPlusQuery::plan_facts.
+  bool plan_facts = true;
+
   WithFeatureMatrix with_features;
 
   /// The algorithm used for a join whose inner input is `inner`.

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "analysis/analyzer.h"
+#include "analysis/dataflow.h"
 #include "core/psm.h"
 
 namespace gpr::core {
@@ -32,6 +33,9 @@ struct ExplainPrinter {
   /// Roots of loop-invariant subtrees the fixpoint driver would
   /// materialize once before the loop (nullptr = not a with+ explain).
   const std::unordered_set<const Plan*>* hoisted = nullptr;
+  /// Statically-proven facts to print under each operator (nullptr = facts
+  /// off or not a with+ explain).
+  const analysis::PlanFacts* facts = nullptr;
   std::ostringstream out;
 
   void Print(const PlanPtr& plan, int depth) {
@@ -113,6 +117,13 @@ struct ExplainPrinter {
       out << " " << schema->ToString();
     }
     out << "\n";
+    if (facts != nullptr) {
+      if (const analysis::OperatorFacts* f = facts->Get(plan.get());
+          f != nullptr) {
+        out << std::string(static_cast<size_t>(depth) * 2, ' ')
+            << "~ facts: " << f->ToString() << "\n";
+      }
+    }
     for (const auto& child : plan->children) Print(child, depth + 1);
   }
 };
@@ -123,25 +134,10 @@ std::string Explain(
     const PlanPtr& plan, const ra::Catalog& catalog,
     const EngineProfile& profile,
     const std::unordered_map<std::string, ra::Schema>* overlays) {
-  ExplainPrinter printer{catalog, profile, overlays, nullptr, {}};
+  ExplainPrinter printer{catalog, profile, overlays, nullptr, nullptr, {}};
   printer.Print(plan, 0);
   return printer.out.str();
 }
-
-namespace {
-
-/// Explain with the hoisted-subtree markers of the with+ fixpoint driver.
-std::string ExplainMarked(
-    const PlanPtr& plan, const ra::Catalog& catalog,
-    const EngineProfile& profile,
-    const std::unordered_map<std::string, ra::Schema>* overlays,
-    const std::unordered_set<const Plan*>* hoisted) {
-  ExplainPrinter printer{catalog, profile, overlays, hoisted, {}};
-  printer.Print(plan, 0);
-  return printer.out.str();
-}
-
-}  // namespace
 
 std::string ExplainWithPlus(const WithPlusQuery& query,
                             const ra::Catalog& catalog,
@@ -161,62 +157,104 @@ std::string ExplainWithPlus(const WithPlusQuery& query,
   if (query.maxrecursion > 0) out << ", maxrecursion " << query.maxrecursion;
   out << ", profile " << profile.name << "\n";
 
-  // Mirror the fixpoint driver's hoisting prologue (core/psm.cc): the
-  // varying set starts as the recursive relation plus every computed-by
-  // definition; a definition referencing no varying name (and no rand())
-  // is fully invariant and leaves the set, and maximal invariant subtrees
-  // of the remaining plans get the [hoisted pre-loop] marker.
   const bool cache_on =
       query.plan_cache < 0 ? profile.plan_cache : query.plan_cache > 0;
+  const bool facts_on =
+      query.plan_facts < 0 ? profile.plan_facts : query.plan_facts > 0;
   out << "plan cache: " << (cache_on ? "on" : "off") << "\n";
-  std::unordered_set<std::string> varying;
-  varying.insert(query.rec_name);
-  for (const auto& sq : query.recursive) {
-    for (const auto& def : sq.computed_by) varying.insert(def.name);
-  }
-  auto references_varying = [&varying](const PlanPtr& p) {
-    std::vector<TableRef> refs;
-    CollectTableRefs(p, &refs);
-    for (const auto& r : refs) {
-      if (varying.count(r.name) > 0) return true;
-    }
-    return false;
-  };
-  std::unordered_set<const Plan*> hoisted;
+  out << "plan facts: " << (facts_on ? "on" : "off") << "\n";
 
-  std::unordered_map<std::string, ra::Schema> overlays;
-  overlays.emplace(query.rec_name, query.rec_schema);
-  for (size_t i = 0; i < query.init.size(); ++i) {
-    out << "\ninitial subquery " << i + 1 << ":\n"
-        << Explain(query.init[i].plan, catalog, profile);
-  }
-  for (size_t i = 0; i < query.recursive.size(); ++i) {
-    const auto& sq = query.recursive[i];
-    for (const auto& def : sq.computed_by) {
-      const bool invariant = cache_on && !PlanUsesRand(def.plan) &&
-                             !references_varying(def.plan);
-      if (invariant) {
-        varying.erase(def.name);
-      } else if (cache_on) {
-        for (const PlanPtr& sub : LoopInvariantSubplans(def.plan, varying)) {
+  // Mirror the fixpoint driver's pre-loop pipeline (core/psm.cc) exactly,
+  // so the printed plans, [invariant] annotations and [hoisted pre-loop]
+  // markers are the ones CallProcedure actually runs and materializes.
+  // With facts on that means: facts-driven rewrites first (the rewritten
+  // plans are shown), then hoisting decisions from the invariance facts
+  // (ComputeHoistSets — including nested invariant subtrees uncovered by
+  // dependency-ordered definition settlement). With facts off, the legacy
+  // cache-driven walk over the original plans.
+  analysis::DataflowQuery dfq = analysis::ToDataflowQuery(query);
+  analysis::PlanFacts facts;
+  const analysis::PlanFacts* facts_ptr = nullptr;
+  std::unordered_set<const Plan*> hoisted;
+  std::unordered_set<std::string> invariant_defs;
+  if (facts_on) {
+    analysis::FactsOptions fopts;
+    fopts.scan_base_values = true;  // mirror the executor path
+    const analysis::PlanFacts facts0 =
+        analysis::ComputeFacts(dfq, catalog, fopts);
+    analysis::ApplyFactsRewrites(&dfq, facts0, /*allow_pushdown=*/cache_on);
+    facts = analysis::ComputeFacts(dfq, catalog, fopts);
+    facts_ptr = &facts;
+    if (cache_on) {
+      const analysis::HoistSets hs = analysis::ComputeHoistSets(dfq, facts);
+      invariant_defs.insert(hs.invariant_defs.begin(),
+                            hs.invariant_defs.end());
+      for (const auto& entry : hs.hoist_roots) {
+        for (const PlanPtr& sub : entry.second) hoisted.insert(sub.get());
+      }
+    }
+  } else {
+    std::unordered_set<std::string> varying;
+    varying.insert(query.rec_name);
+    for (const auto& block : dfq.blocks) {
+      for (const auto& def : block.defs) varying.insert(def.first);
+    }
+    auto references_varying = [&varying](const PlanPtr& p) {
+      std::vector<TableRef> refs;
+      CollectTableRefs(p, &refs);
+      for (const auto& r : refs) {
+        if (varying.count(r.name) > 0) return true;
+      }
+      return false;
+    };
+    for (const auto& block : dfq.blocks) {
+      for (const auto& def : block.defs) {
+        const bool invariant = cache_on && !PlanUsesRand(def.second) &&
+                               !references_varying(def.second);
+        if (invariant) {
+          varying.erase(def.first);
+          invariant_defs.insert(def.first);
+        } else if (cache_on) {
+          for (const PlanPtr& sub :
+               LoopInvariantSubplans(def.second, varying)) {
+            hoisted.insert(sub.get());
+          }
+        }
+      }
+      if (cache_on) {
+        for (const PlanPtr& sub : LoopInvariantSubplans(block.delta, varying)) {
           hoisted.insert(sub.get());
         }
       }
-      out << "\ncomputed by " << def.name
+    }
+  }
+
+  std::unordered_map<std::string, ra::Schema> overlays;
+  overlays.emplace(query.rec_name, query.rec_schema);
+  for (size_t i = 0; i < dfq.init.size(); ++i) {
+    ExplainPrinter printer{catalog, profile, nullptr, nullptr, facts_ptr, {}};
+    printer.Print(dfq.init[i], 0);
+    out << "\ninitial subquery " << i + 1 << ":\n" << printer.out.str();
+  }
+  for (size_t i = 0; i < dfq.blocks.size(); ++i) {
+    const auto& block = dfq.blocks[i];
+    for (const auto& def : block.defs) {
+      const bool invariant = invariant_defs.count(def.first) > 0;
+      ExplainPrinter printer{catalog,  profile,   &overlays,
+                             &hoisted, facts_ptr, {}};
+      printer.Print(def.second, 0);
+      out << "\ncomputed by " << def.first
           << (invariant ? " [invariant — materialized once pre-loop]" : "")
           << ":\n"
-          << ExplainMarked(def.plan, catalog, profile, &overlays, &hoisted);
-      if (auto s = InferSchema(def.plan, catalog, &overlays); s.ok()) {
-        overlays.emplace(def.name, *s);
+          << printer.out.str();
+      if (auto s = InferSchema(def.second, catalog, &overlays); s.ok()) {
+        overlays.emplace(def.first, *s);
       }
     }
-    if (cache_on) {
-      for (const PlanPtr& sub : LoopInvariantSubplans(sq.plan, varying)) {
-        hoisted.insert(sub.get());
-      }
-    }
-    out << "\nrecursive subquery " << i + 1 << ":\n"
-        << ExplainMarked(sq.plan, catalog, profile, &overlays, &hoisted);
+    ExplainPrinter printer{catalog,  profile,   &overlays,
+                           &hoisted, facts_ptr, {}};
+    printer.Print(block.delta, 0);
+    out << "\nrecursive subquery " << i + 1 << ":\n" << printer.out.str();
   }
   if (auto proc = CompileToPsm(query); proc.ok()) {
     out << "\nSQL/PSM procedure:\n" << proc->ToSqlSketch();

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "analysis/plan_facts.h"
 #include "exec/exec_context.h"
 
 namespace gpr::core {
@@ -264,6 +265,16 @@ struct Executor {
         return Borrow(t);
       }
       case PlanKind::kSelect: {
+        // A facts-proven always-false predicate emits no rows: skip the
+        // whole subtree and return an empty table with the proven schema.
+        if (ctx != nullptr && ctx->facts != nullptr) {
+          const analysis::OperatorFacts* f = ctx->facts->Get(plan.get());
+          if (f != nullptr && f->schema_known && !f->uses_rand &&
+              f->predicate == analysis::PredicateVerdict::kAlwaysFalse) {
+            if (counters) ++counters->facts_dead_selects;
+            return Own(Table(f->out_name, f->schema));
+          }
+        }
         GPR_ASSIGN_OR_RETURN(TablePtr in, Exec(plan->children[0]));
         GPR_ASSIGN_OR_RETURN(Table out,
                              ops::Select(*in, plan->predicate, ctx));
@@ -340,6 +351,16 @@ struct Executor {
       }
       case PlanKind::kDistinct: {
         GPR_ASSIGN_OR_RETURN(TablePtr in, Exec(plan->children[0]));
+        // A facts-proven duplicate-free input makes dedup the identity
+        // (Distinct keeps first occurrences, so order is also unchanged).
+        if (ctx != nullptr && ctx->facts != nullptr) {
+          const analysis::OperatorFacts* f =
+              ctx->facts->Get(plan->children[0].get());
+          if (f != nullptr && f->dup_free) {
+            if (counters) ++counters->facts_dedup_skips;
+            return in;
+          }
+        }
         GPR_ASSIGN_OR_RETURN(Table out, ops::Distinct(*in));
         return Own(std::move(out));
       }

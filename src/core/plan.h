@@ -138,6 +138,16 @@ struct ExecCounters {
   size_t hoisted_subplans = 0;
   /// Wall-clock spent in the pre-loop hoisting prologue, microseconds.
   size_t hoist_setup_us = 0;
+  /// Wall-clock spent computing plan facts (analysis/dataflow.h) before
+  /// the fixpoint loop, microseconds. Zero when facts are off.
+  size_t facts_setup_us = 0;
+  /// Selections removed (always-true predicate) or skipped without
+  /// executing their subtree (always-false predicate).
+  size_t facts_dead_selects = 0;
+  /// Distinct operators skipped because the input was proven dup-free.
+  size_t facts_dedup_skips = 0;
+  /// Columns pruned by the facts-proven projection pushdown.
+  size_t facts_pruned_columns = 0;
 };
 
 /// The "table name" a plan output carries for join qualification purposes:

@@ -1,11 +1,13 @@
 #include "core/psm.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "analysis/dataflow.h"
 #include "ra/plan_cache.h"
 #include "util/timer.h"
 
@@ -64,6 +66,7 @@ Result<PsmProcedure> CompileToPsm(const WithPlusQuery& query) {
   proc.maxrecursion = query.maxrecursion;
   proc.degree_of_parallelism = query.degree_of_parallelism;
   proc.plan_cache = query.plan_cache;
+  proc.plan_facts = query.plan_facts;
   proc.sql99_working_table = query.sql99_working_table;
   if (proc.sql99_working_table && query.mode == UnionMode::kUnionByUpdate) {
     return Status::InvalidArgument(
@@ -87,6 +90,32 @@ Result<PsmProcedure> CompileToPsm(const WithPlusQuery& query) {
   }
   return proc;
 }
+
+namespace {
+
+/// The compiled procedure's loop plans in the dataflow framework's
+/// normalized shape. Init plans are included so the interval/cardinality
+/// analyses seed the recursive relation's least fixpoint from them, even
+/// though by facts time they have already executed.
+analysis::DataflowQuery ProcDataflowQuery(const PsmProcedure& proc) {
+  analysis::DataflowQuery q;
+  q.rec_name = proc.rec_table;
+  q.rec_schema = proc.rec_schema;
+  q.mode = proc.mode;
+  q.update_keys = proc.update_keys;
+  q.maxrecursion = proc.maxrecursion;
+  q.sql99_working_table = proc.sql99_working_table;
+  q.init = proc.init_plans;
+  for (const auto& b : proc.blocks) {
+    analysis::DataflowUnit u;
+    for (const auto& def : b.defs) u.defs.emplace_back(def.name, def.plan);
+    u.delta = b.delta_plan;
+    q.blocks.push_back(std::move(u));
+  }
+  return q;
+}
+
+}  // namespace
 
 Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
                                      ra::Catalog& catalog,
@@ -112,6 +141,11 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
   // ProgressDetail instead of growing without bound.
   const bool cache_on =
       proc.plan_cache < 0 ? profile.plan_cache : proc.plan_cache > 0;
+  // Plan facts: the query-level `facts on|off` option overrides the
+  // profile default. Facts never change results — every executor consult
+  // acts only on a structural proof.
+  const bool facts_on =
+      proc.plan_facts < 0 ? profile.plan_facts : proc.plan_facts > 0;
   ra::PlanCache cache(gov);
   if (cache_on) ctx.cache = &cache;
   RedoLog redo;
@@ -174,6 +208,39 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
     for (const auto& def : block.defs) varying.insert(def.name);
   }
 
+  // ---- Plan-facts pipeline (facts_on only) -----------------------------
+  //
+  // Three analysis passes bracket the hoisting prologue:
+  //   #1 facts over the compiled plans drive the proven rewrites
+  //      (always-true-select removal; projection pushdown of invariant
+  //      join inputs, so the narrowed subtree is what gets hoisted);
+  //   #2 facts over the rewritten plans re-derive hoisting/caching
+  //      eligibility — ComputeHoistSets replaces the bespoke
+  //      LoopInvariantSubplans walk on this path;
+  //   #3 (after the prologue) facts over the final run plans ride on the
+  //      EvalContext for the whole loop, letting the executor skip
+  //      proven-false selection subtrees and proven-redundant dedups.
+  analysis::PlanFacts loop_facts;  // pass #3; lifetime spans the loop
+  std::optional<analysis::HoistSets> hoist_sets;
+  analysis::DataflowQuery dfq;
+  analysis::FactsOptions fopts;
+  fopts.scan_base_values = true;  // base tables are loop-constant here
+  if (facts_on) {
+    WallTimer facts_timer;
+    dfq = ProcDataflowQuery(proc);
+    const analysis::PlanFacts facts0 =
+        analysis::ComputeFacts(dfq, catalog, fopts);
+    const analysis::RewriteStats rw = analysis::ApplyFactsRewrites(
+        &dfq, facts0, /*allow_pushdown=*/cache_on);
+    result.counters.facts_dead_selects += rw.removed_selects;
+    result.counters.facts_pruned_columns += rw.pruned_columns;
+    const analysis::PlanFacts facts1 =
+        analysis::ComputeFacts(dfq, catalog, fopts);
+    hoist_sets = analysis::ComputeHoistSets(dfq, facts1);
+    result.counters.facts_setup_us +=
+        static_cast<size_t>(facts_timer.ElapsedMillis() * 1000.0);
+  }
+
   struct RunDef {
     std::string name;
     PlanPtr plan;
@@ -217,7 +284,14 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
     std::unordered_map<const Plan*, PlanPtr> replacements;
     auto hoist_subtrees = [&](PlanPtr plan) -> Result<PlanPtr> {
       if (!cache_on) return plan;
-      for (const PlanPtr& sub : LoopInvariantSubplans(plan, varying)) {
+      std::vector<PlanPtr> subs;
+      if (hoist_sets.has_value()) {
+        auto it = hoist_sets->hoist_roots.find(plan.get());
+        if (it != hoist_sets->hoist_roots.end()) subs = it->second;
+      } else {
+        subs = LoopInvariantSubplans(plan, varying);
+      }
+      for (const PlanPtr& sub : subs) {
         if (replacements.count(sub.get()) > 0) continue;  // shared subtree
         const std::string hname =
             "__hoist_" + proc.rec_table + "_" + std::to_string(hoist_idx++);
@@ -230,11 +304,50 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
       return replacements.empty() ? plan
                                   : ReplaceSubplans(plan, replacements);
     };
-    for (const auto& block : proc.blocks) {
+    // The plans the loop will run: with facts on, the rewritten ones
+    // (same block/def structure as the procedure's).
+    std::vector<RunBlock> src_blocks;
+    if (facts_on) {
+      for (const auto& b : dfq.blocks) {
+        RunBlock sb;
+        for (const auto& def : b.defs) sb.defs.push_back({def.first, def.second});
+        sb.delta_plan = b.delta;
+        src_blocks.push_back(std::move(sb));
+      }
+    } else {
+      for (const auto& b : proc.blocks) {
+        RunBlock sb;
+        for (const auto& def : b.defs) sb.defs.push_back({def.name, def.plan});
+        sb.delta_plan = b.delta_plan;
+        src_blocks.push_back(std::move(sb));
+      }
+    }
+
+    // Facts-driven pre-materialization of fully-invariant definitions, in
+    // reference-dependency order (ComputeHoistSets guarantees a settled
+    // def never scans an unsettled one, so each materialize finds every
+    // table it needs).
+    std::unordered_set<std::string> facts_invariant;
+    if (hoist_sets.has_value() && cache_on) {
+      for (const auto& name : hoist_sets->invariant_defs) {
+        for (const auto& sb : src_blocks) {
+          for (const auto& def : sb.defs) {
+            if (def.name != name) continue;
+            GPR_RETURN_NOT_OK(materialize(def.plan, name));
+            varying.erase(name);
+            facts_invariant.insert(name);
+          }
+        }
+      }
+    }
+
+    for (const auto& block : src_blocks) {
       RunBlock rb;
       for (const auto& def : block.defs) {
-        if (cache_on && !PlanUsesRand(def.plan) &&
-            !references_varying(def.plan)) {
+        if (facts_on) {
+          if (facts_invariant.count(def.name) > 0) continue;  // settled
+        } else if (cache_on && !PlanUsesRand(def.plan) &&
+                   !references_varying(def.plan)) {
           GPR_RETURN_NOT_OK(materialize(def.plan, def.name));
           varying.erase(def.name);
           continue;
@@ -250,6 +363,29 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
         static_cast<size_t>(hoist_timer.ElapsedMillis() * 1000.0);
   }
   if (cache_on) ctx.cache_unstable = &varying;
+
+  // ---- Facts pass #3: the final run plans ------------------------------
+  if (facts_on) {
+    WallTimer facts_timer;
+    analysis::DataflowQuery runq;
+    runq.rec_name = proc.rec_table;
+    runq.rec_schema = proc.rec_schema;
+    runq.mode = proc.mode;
+    runq.update_keys = proc.update_keys;
+    runq.maxrecursion = proc.maxrecursion;
+    runq.sql99_working_table = proc.sql99_working_table;
+    runq.init = proc.init_plans;
+    for (const auto& rb : run_blocks) {
+      analysis::DataflowUnit u;
+      for (const auto& def : rb.defs) u.defs.emplace_back(def.name, def.plan);
+      u.delta = rb.delta_plan;
+      runq.blocks.push_back(std::move(u));
+    }
+    loop_facts = analysis::ComputeFacts(runq, catalog, fopts);
+    ctx.facts = &loop_facts;
+    result.counters.facts_setup_us +=
+        static_cast<size_t>(facts_timer.ElapsedMillis() * 1000.0);
+  }
 
   const int cap = proc.maxrecursion;
   while (true) {

@@ -39,6 +39,8 @@ struct PsmProcedure {
   int degree_of_parallelism = 0;
   /// -1 = inherit the profile's plan_cache; 0 = off; 1 = on.
   int plan_cache = -1;
+  /// -1 = inherit the profile's plan_facts; 0 = off; 1 = on.
+  int plan_facts = -1;
   bool sql99_working_table = false;
 
   /// A human-readable SQL/PSM sketch of the procedure (documentation and

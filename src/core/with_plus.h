@@ -72,6 +72,11 @@ struct WithPlusQuery {
   /// -1 = inherit the profile's plan_cache setting, 0 = off, 1 = on.
   /// Results are guaranteed identical either way.
   int plan_cache = -1;
+  /// Plan facts (the SQL `facts on|off` option): static dataflow analyses
+  /// whose proofs the executor acts on (analysis/dataflow.h).
+  /// -1 = inherit the profile's plan_facts setting, 0 = off, 1 = on.
+  /// Results are guaranteed identical either way.
+  int plan_facts = -1;
   /// when false, skip the XY-stratification gate (for ablation only).
   bool check_stratification = true;
   /// SQL'99 working-table semantics (union all / union modes only): the

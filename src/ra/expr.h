@@ -19,6 +19,10 @@ namespace gpr::exec {
 class ExecContext;
 }
 
+namespace gpr::analysis {
+class PlanFacts;
+}
+
 namespace gpr::ra {
 
 class PlanCache;
@@ -109,6 +113,12 @@ struct EvalContext {
   /// cache-stable: caching them would insert an entry each iteration only
   /// to invalidate it the next, wasting work and governor byte budget.
   const std::unordered_set<std::string>* cache_unstable = nullptr;
+  /// Statically-proven plan facts (analysis/plan_facts.h), keyed by plan
+  /// node identity; null = facts off. Owned by the fixpoint driver for the
+  /// duration of one query. The plan executor consults it to skip work
+  /// whose result is proven: a false-verdict selection subtree, a dedup
+  /// over a proven duplicate-free input.
+  const analysis::PlanFacts* facts = nullptr;
 };
 
 /// A bound expression: column references resolved to indexes, evaluable

@@ -89,6 +89,7 @@ struct WithStatementAst {
   int64_t maxbytes = 0;     ///< governor byte budget; 0 = none
   int parallel_dop = 0;     ///< `parallel N` hint; 0 = inherit profile
   int plan_cache = -1;      ///< `cache on|off`; -1 = inherit profile
+  int plan_facts = -1;      ///< `facts on|off`; -1 = inherit profile
   std::optional<SelectCore> final_select;
 };
 

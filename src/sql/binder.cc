@@ -448,6 +448,9 @@ Result<BoundWithStatement> BindWithStatement(const WithStatementAst& ast,
   // `cache on|off` plan-state-cache toggle; results are identical either
   // way, so this too is pure physical tuning.
   q.plan_cache = ast.plan_cache;
+  // `facts on|off` plan-facts toggle; every executor consult acts only on
+  // a structural proof, so results are identical either way.
+  q.plan_facts = ast.plan_facts;
 
   // Classify subqueries; the initialization prefix must not reference R.
   std::vector<const SubqueryAst*> init;

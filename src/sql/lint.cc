@@ -3,6 +3,7 @@
 #include <cctype>
 
 #include "analysis/analyzer.h"
+#include "analysis/dataflow.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
 
@@ -10,12 +11,19 @@ namespace gpr::sql {
 
 namespace {
 
-/// True when the first keyword of `text` is `kw` (case-insensitive).
+/// True when the first keyword of `text` is `kw` (case-insensitive),
+/// skipping whitespace and `--` line comments like the lexer does.
 bool FirstKeywordIs(const std::string& text, const std::string& kw) {
   size_t i = 0;
-  while (i < text.size() &&
-         std::isspace(static_cast<unsigned char>(text[i]))) {
-    ++i;
+  while (i < text.size()) {
+    if (std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    } else if (text[i] == '-' && i + 1 < text.size() &&
+               text[i + 1] == '-') {
+      while (i < text.size() && text[i] != '\n') ++i;
+    } else {
+      break;
+    }
   }
   size_t j = 0;
   while (i < text.size() && j < kw.size()) {
@@ -83,6 +91,18 @@ analysis::DiagnosticBag LintSql(const std::string& text,
                              "final_select", &diags);
   }
   return diags;
+}
+
+Result<std::string> FactsJson(const std::string& text,
+                              const ra::Catalog& catalog) {
+  if (!FirstKeywordIs(text, "with")) {
+    return Status::InvalidArgument(
+        "plan facts are only defined for with+ statements");
+  }
+  GPR_ASSIGN_OR_RETURN(WithStatementAst ast, ParseWithStatement(text));
+  GPR_ASSIGN_OR_RETURN(BoundWithStatement bound,
+                       BindWithStatement(ast, catalog));
+  return analysis::FactsToJson(bound.query, catalog);
 }
 
 }  // namespace gpr::sql

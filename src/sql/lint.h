@@ -7,6 +7,7 @@
 
 #include "analysis/diagnostic.h"
 #include "ra/catalog.h"
+#include "util/status.h"
 
 namespace gpr::sql {
 
@@ -21,5 +22,12 @@ namespace gpr::sql {
 /// schema-only E/V/VL relations by default).
 analysis::DiagnosticBag LintSql(const std::string& text,
                                 const ra::Catalog& catalog);
+
+/// Renders the dataflow framework's statically-proven facts for one with+
+/// statement as JSON (analysis::FactsToJson) — the payload behind
+/// `gpr_lint --facts=json` and the ANALYSIS_facts.json CI artifact.
+/// Parse/bind failures and non-with+ statements return an error Status.
+Result<std::string> FactsJson(const std::string& text,
+                              const ra::Catalog& catalog);
 
 }  // namespace gpr::sql

@@ -13,7 +13,7 @@ bool IsKeyword(const std::string& lower) {
       "union",  "all",      "as",    "with",   "recursive",    "and",
       "or",     "not",      "in",    "is",     "null",         "update",
       "computed", "maxrecursion", "exists", "maxtime",      "maxrows",
-      "maxbytes", "parallel", "cache"};
+      "maxbytes", "parallel", "cache", "facts"};
   for (const char* k : kKeywords) {
     if (lower == k) return true;
   }
@@ -62,10 +62,11 @@ class Parser {
     }
     // Trailing options, in any order, each at most once: maxrecursion
     // (quiet cap), the governor budgets maxtime/maxrows/maxbytes, and the
-    // degree-of-parallelism hint `parallel N`, and the plan-state cache
-    // toggle `cache on|off`.
+    // degree-of-parallelism hint `parallel N`, the plan-state cache
+    // toggle `cache on|off`, and the plan-facts toggle `facts on|off`.
     bool saw_maxrecursion = false, saw_maxtime = false, saw_maxrows = false,
-         saw_maxbytes = false, saw_parallel = false, saw_cache = false;
+         saw_maxbytes = false, saw_parallel = false, saw_cache = false,
+         saw_facts = false;
     auto dup = [](const char* opt) {
       return Status::ParseError(std::string("duplicate option '") + opt +
                                 "' in with+ statement");
@@ -106,6 +107,18 @@ class Parser {
         } else {
           return Status::ParseError(
               "expected 'on' or 'off' after 'cache' near offset " +
+              std::to_string(Peek().offset));
+        }
+      } else if (AcceptKeyword("facts")) {
+        if (saw_facts) return dup("facts");
+        saw_facts = true;
+        if (AcceptKeyword("on")) {
+          stmt.plan_facts = 1;
+        } else if (AcceptKeyword("off")) {
+          stmt.plan_facts = 0;
+        } else {
+          return Status::ParseError(
+              "expected 'on' or 'off' after 'facts' near offset " +
               std::to_string(Peek().offset));
         }
       } else {

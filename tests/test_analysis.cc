@@ -423,5 +423,226 @@ TEST(DiagnosticBag, ToStatusUsesFirstErrorAndMappedCode) {
   EXPECT_NE(bag.Render().find("warning GPR-W401"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------
+// Facts-derived diagnostics (the GPR-W31x / GPR-E312 family): each test
+// builds the smallest query whose abstract interpretation proves the
+// defect, and checks the stable code plus the plan path it names.
+// ---------------------------------------------------------------------
+
+TEST(AnalysisFacts, W310FlagsProvablyFalsePredicate) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto q = TcQuery();
+  q.init[0].plan =
+      core::SelectOp(q.init[0].plan, ra::Lt(ra::Lit(5), ra::Lit(3)));
+  DiagnosticBag bag = AnalyzeWithPlus(q, catalog);
+  auto d = Find(bag, "GPR-W310");
+  ASSERT_TRUE(d.has_value()) << bag.Render();
+  EXPECT_NE(d->plan_path.find("init[0]"), std::string::npos) << d->plan_path;
+  EXPECT_EQ(bag.NumErrors(), 0u) << bag.Render();
+}
+
+TEST(AnalysisFacts, W311FlagsLiteralTautologySelect) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto q = TcQuery();
+  q.init[0].plan =
+      core::SelectOp(q.init[0].plan, ra::Ge(ra::Lit(3), ra::Lit(2)));
+  DiagnosticBag bag = AnalyzeWithPlus(q, catalog);
+  EXPECT_TRUE(bag.Has("GPR-W311")) << bag.Render();
+  EXPECT_EQ(bag.NumErrors(), 0u) << bag.Render();
+}
+
+TEST(AnalysisFacts, E312FlagsConflictingMultiRowKeyedUpdate) {
+  // Both union-all branches are scalar aggregates (exactly one row each)
+  // projecting the literal key 1 — so every iteration provably writes the
+  // same key twice under union by update.
+  auto catalog = MakeCatalog(TinyGraph());
+  WithPlusQuery q;
+  q.rec_name = "Ru";
+  q.rec_schema =
+      Schema{{"ID", ValueType::kInt64}, {"W", ValueType::kInt64}};
+  q.init.push_back({core::ProjectOp(Scan("V"), {ops::As(Col("ID"), "ID"),
+                                                ops::As(Col("ID"), "W")}),
+                    {}});
+  auto branch = [](core::PlanPtr in) {
+    return core::ProjectOp(
+        core::GroupByOp(std::move(in), {}, {ra::CountStar("c")}),
+        {ops::As(ra::Lit(1), "ID"), ops::As(Col("c"), "W")});
+  };
+  q.recursive.push_back(
+      {core::UnionAllOp(branch(Scan("E")), branch(Scan("Ru"))), {}});
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {"ID"};
+
+  DiagnosticBag bag = AnalyzeWithPlus(q, catalog);
+  auto d = Find(bag, "GPR-E312");
+  ASSERT_TRUE(d.has_value()) << bag.Render();
+  EXPECT_NE(d->plan_path.find("recursive[0]"), std::string::npos) << d->plan_path;
+
+  auto result = ExecuteWithPlus(q, catalog, core::OracleLike());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("GPR-E312"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(AnalysisFacts, W313FlagsProvablyAppendingUncappedUnionAll) {
+  // A scalar aggregate delta provably appends one row per iteration; with
+  // union all and no cap the fixpoint provably cannot converge.
+  auto catalog = MakeCatalog(TinyGraph());
+  WithPlusQuery q;
+  q.rec_name = "Rc";
+  q.rec_schema = Schema{{"c", ValueType::kInt64}};
+  q.init.push_back(
+      {core::ProjectOp(Scan("V"), {ops::As(Col("ID"), "c")}), {}});
+  q.recursive.push_back(
+      {core::ProjectOp(
+           core::GroupByOp(Scan("Rc"), {}, {ra::CountStar("n")}),
+           {ops::As(Col("n"), "c")}),
+       {}});
+  q.mode = UnionMode::kUnionAll;
+  q.maxrecursion = 0;
+  DiagnosticBag bag = AnalyzeWithPlus(q, catalog);
+  EXPECT_TRUE(bag.Has("GPR-W313")) << bag.Render();
+  EXPECT_EQ(bag.NumErrors(), 0u) << bag.Render();
+}
+
+TEST(AnalysisFacts, W314FlagsNonMonotoneFoldUnderUncappedDistinct) {
+  auto q = ValueQuery(ra::AggKind::kSum, /*maxrec=*/0);
+  q.mode = UnionMode::kUnionDistinct;
+  q.update_keys.clear();
+  auto catalog = MakeCatalog(TinyGraph());
+  DiagnosticBag bag = AnalyzeWithPlus(q, catalog);
+  auto d = Find(bag, "GPR-W314");
+  ASSERT_TRUE(d.has_value()) << bag.Render();
+  EXPECT_NE(d->message.find("sum"), std::string::npos) << d->message;
+  EXPECT_EQ(bag.NumErrors(), 0u) << bag.Render();
+
+  // min is a monotone fold: same shape, no W314.
+  auto ok = ValueQuery(ra::AggKind::kMin, /*maxrec=*/0);
+  ok.mode = UnionMode::kUnionDistinct;
+  ok.update_keys.clear();
+  bag = AnalyzeWithPlus(ok, catalog);
+  EXPECT_FALSE(bag.Has("GPR-W314")) << bag.Render();
+}
+
+TEST(AnalysisFacts, W315FlagsDeadDefinitionColumns) {
+  // Dd carries E.ew as `w`, but the delta only reads F and T — backward
+  // liveness proves `w` dead across every consumer.
+  auto catalog = MakeCatalog(TinyGraph());
+  auto q = TcQuery();
+  core::Subquery sq;
+  sq.computed_by.push_back(
+      {"Dd", core::ProjectOp(
+                 core::JoinOp(Scan("TCx"), Scan("E"), {{"T"}, {"F"}}),
+                 {ops::As(Col("TCx.F"), "F"), ops::As(Col("E.T"), "T"),
+                  ops::As(Col("E.ew"), "w")})});
+  sq.plan = core::ProjectOp(
+      Scan("Dd"), {ops::As(Col("F"), "F"), ops::As(Col("T"), "T")});
+  q.recursive[0] = sq;
+
+  DiagnosticBag bag = AnalyzeWithPlus(q, catalog);
+  auto d = Find(bag, "GPR-W315");
+  ASSERT_TRUE(d.has_value()) << bag.Render();
+  EXPECT_NE(d->plan_path.find("computed_by[Dd]"), std::string::npos) << d->plan_path;
+  EXPECT_NE(d->message.find("w"), std::string::npos) << d->message;
+  EXPECT_EQ(bag.NumErrors(), 0u) << bag.Render();
+}
+
+TEST(AnalysisFacts, W316FlagsDistinctOverDuplicateFreeInput) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto q = TcQuery();
+  q.init[0].plan = core::DistinctOp(core::DistinctOp(q.init[0].plan));
+  DiagnosticBag bag = AnalyzeWithPlus(q, catalog);
+  EXPECT_TRUE(bag.Has("GPR-W316")) << bag.Render();
+  EXPECT_EQ(bag.NumErrors(), 0u) << bag.Render();
+}
+
+TEST(AnalysisFacts, W317FlagsProvablyEmptyRecursiveStep) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto q = TcQuery();
+  q.recursive[0].plan =
+      core::SelectOp(q.recursive[0].plan, ra::Lt(ra::Lit(5), ra::Lit(3)));
+  DiagnosticBag bag = AnalyzeWithPlus(q, catalog);
+  EXPECT_TRUE(bag.Has("GPR-W317")) << bag.Render();
+  EXPECT_TRUE(bag.Has("GPR-W310")) << bag.Render();
+  EXPECT_EQ(bag.NumErrors(), 0u) << bag.Render();
+
+  // Degenerate but legal: execution returns exactly the init rows.
+  auto result = ExecuteWithPlus(q, catalog, core::OracleLike());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->converged);
+  EXPECT_GE(result->gate_warnings, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Stratification edge cases: malformed recursion shapes must produce a
+// stable diagnostic, never a crash or a hang.
+// ---------------------------------------------------------------------
+
+TEST(AnalysisStratification, AliasedViewMutualRecursionIsStableE201) {
+  // A reads B through a view alias and B reads A the same way. The
+  // computed-by chain cannot be ordered; the alias must not hide the
+  // forward reference from the cycle check.
+  auto catalog = MakeCatalog(TinyGraph());
+  auto q = TcQuery();
+  core::Subquery sq;
+  sq.computed_by.push_back(
+      {"A", core::ProjectOp(
+                core::RenameOp(Scan("B"), "BV"),
+                {ops::As(Col("F"), "F"), ops::As(Col("T"), "T")})});
+  sq.computed_by.push_back(
+      {"B", core::ProjectOp(
+                core::RenameOp(Scan("A"), "AV"),
+                {ops::As(Col("F"), "F"), ops::As(Col("T"), "T")})});
+  sq.plan = core::ProjectOp(
+      core::JoinOp(Scan("TCx"), Scan("A"), {{"T"}, {"F"}}),
+      {ops::As(Col("TCx.F"), "F"), ops::As(Col("A.T"), "T")});
+  q.recursive[0] = sq;
+
+  DiagnosticBag bag = AnalyzeWithPlus(q, catalog);
+  auto d = Find(bag, "GPR-E201");
+  ASSERT_TRUE(d.has_value()) << bag.Render();
+  EXPECT_NE(d->plan_path.find("computed_by[A]"), std::string::npos) << d->plan_path;
+
+  auto result = ExecuteWithPlus(q, catalog, core::OracleLike());
+  ASSERT_FALSE(result.ok());
+  // Core's own validation rejects the cycle before the gate even runs —
+  // either way the failure is a stable status, never a crash.
+  EXPECT_NE(result.status().message().find("cycle"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(AnalysisStratification, SelfNegationBehindDeadBranchIsStableE204) {
+  // D anti-joins against itself behind a provably-false filter. After
+  // predicate pushdown the negated branch would be dead and the program
+  // XY-stratifiable — but stratification judges the program as written,
+  // so the verdict is a stable GPR-E204 either way, never a crash.
+  auto catalog = MakeCatalog(TinyGraph());
+  auto q = TcQuery();
+  core::Subquery sq;
+  sq.computed_by.push_back(
+      {"D", core::ProjectOp(
+                core::AntiJoinOp(
+                    core::ProjectOp(Scan("E"), {ops::As(Col("F"), "F"),
+                                                ops::As(Col("T"), "T")}),
+                    core::SelectOp(Scan("D"),
+                                   ra::Lt(ra::Lit(5), ra::Lit(3))),
+                    {{"F"}, {"F"}}),
+                {ops::As(Col("F"), "F"), ops::As(Col("T"), "T")})});
+  sq.plan = core::ProjectOp(
+      core::JoinOp(Scan("TCx"), Scan("D"), {{"T"}, {"F"}}),
+      {ops::As(Col("TCx.F"), "F"), ops::As(Col("D.T"), "T")});
+  q.recursive[0] = sq;
+
+  DiagnosticBag bag = AnalyzeWithPlus(q, catalog);
+  EXPECT_TRUE(bag.Has("GPR-E204")) << bag.Render();
+
+  auto result = ExecuteWithPlus(q, catalog, core::OracleLike());
+  ASSERT_FALSE(result.ok());
+  // Core's own validation rejects the cycle before the gate even runs —
+  // either way the failure is a stable status, never a crash.
+  EXPECT_NE(result.status().message().find("cycle"), std::string::npos)
+      << result.status().message();
+}
+
 }  // namespace
 }  // namespace gpr
