@@ -29,6 +29,7 @@
 #include "ra/catalog.h"
 #include "ra/table.h"
 #include "sql/lint.h"
+#include "util/diag_emit.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -79,29 +80,13 @@ std::vector<std::string> SplitStatements(std::istream& in) {
   return statements;
 }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default: out += c; break;
-    }
-  }
-  return out;
-}
-
 /// Lints every statement of one input; returns the number of statements
 /// that failed (errors always; warnings too under strict). In facts mode
 /// diagnostics go to stderr and a facts JSON object per statement is
 /// appended to `facts_out`.
 int LintStream(std::istream& in, const std::string& label,
                const ra::Catalog& catalog, bool strict, bool facts_json,
-               std::vector<std::string>* facts_out) {
+               JsonArrayEmitter* facts_out) {
   int failed = 0;
   const auto statements = SplitStatements(in);
   std::FILE* diag_out = facts_json ? stderr : stdout;
@@ -129,7 +114,7 @@ int LintStream(std::istream& in, const std::string& label,
         entry << "\"error\": \"" << JsonEscape(facts.status().message())
               << "\"}";
       }
-      facts_out->push_back(entry.str());
+      facts_out->Add(entry.str());
     }
   }
   if (statements.empty()) {
@@ -171,7 +156,7 @@ int main(int argc, char** argv) {
 
   const ra::Catalog catalog = SchemaOnlyCatalog();
   int failed = 0;
-  std::vector<std::string> facts_entries;
+  JsonArrayEmitter facts_entries;
   if (files.empty()) {
     failed += LintStream(std::cin, "<stdin>", catalog, strict, facts_json,
                          &facts_entries);
@@ -186,13 +171,6 @@ int main(int argc, char** argv) {
                            &facts_entries);
     }
   }
-  if (facts_json) {
-    std::printf("[\n");
-    for (size_t i = 0; i < facts_entries.size(); ++i) {
-      std::printf("  %s%s\n", facts_entries[i].c_str(),
-                  i + 1 < facts_entries.size() ? "," : "");
-    }
-    std::printf("]\n");
-  }
+  if (facts_json) facts_entries.Print(stdout);
   return failed > 0 ? 1 : 0;
 }

@@ -79,7 +79,11 @@ Status CreateNormalizedEdges(ra::Catalog& catalog, const std::string& edges,
 
 void DropQuietly(ra::Catalog& catalog,
                  const std::vector<std::string>& names) {
-  for (const auto& n : names) (void)catalog.DropTable(n);
+  // Route the drops through TempTableScope: its destructor is the one
+  // NotFound-tolerant cleanup path, so best-effort disposal here stays
+  // identical to the engines' error/abort-path cleanup.
+  ra::TempTableScope scope(catalog);
+  for (const auto& n : names) scope.Track(n);
 }
 
 size_t RowCount(const ra::Catalog& catalog, const std::string& table) {

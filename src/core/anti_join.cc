@@ -54,18 +54,19 @@ Result<Table> NotExistsImpl(const Table& r, const Table& s,
 
 /// left outer join + `S.key IS NULL` + projection back onto R's columns.
 Result<Table> LeftOuterImpl(const Table& r, const Table& s,
-                            const ops::JoinKeys& keys) {
+                            const ops::JoinKeys& keys,
+                            ra::EvalContext* ctx) {
   Table lhs = r;
   Table rhs = s;
   if (lhs.name().empty()) lhs.set_name("R");
   if (rhs.name().empty() || rhs.name() == lhs.name()) {
     rhs.set_name(lhs.name() + "_aj");
   }
-  GPR_ASSIGN_OR_RETURN(Table joined, ops::LeftOuterJoin(lhs, rhs, keys));
+  GPR_ASSIGN_OR_RETURN(Table joined, ops::LeftOuterJoin(lhs, rhs, keys, ctx));
   // Filter on the first right-side key column being NULL...
   const std::string right_key = rhs.name() + "." + keys.right.front();
   GPR_ASSIGN_OR_RETURN(Table matched_null,
-                       ops::Select(joined, ra::IsNull(ra::Col(right_key))));
+                       ops::Select(joined, ra::IsNull(ra::Col(right_key)), ctx));
   // ...then project the left columns back out under their original names.
   std::vector<ops::ProjectItem> items;
   for (size_t i = 0; i < r.schema().NumColumns(); ++i) {
@@ -126,7 +127,7 @@ Result<Table> AntiJoin(const Table& r, const Table& s,
         // ablation runs with the rewrite disabled.
         return NotExistsImpl(r, s, keys, ctx, s_stable);
       }
-      return LeftOuterImpl(r, s, keys);
+      return LeftOuterImpl(r, s, keys, ctx);
     case AntiJoinImpl::kNotIn:
       if (profile.rewrites_not_in_to_anti_join) {
         // Oracle executes `not in` with its internal anti-join. Note this

@@ -314,13 +314,13 @@ struct Executor {
         GPR_ASSIGN_OR_RETURN(TablePtr l, Exec(plan->children[0]));
         GPR_ASSIGN_OR_RETURN(TablePtr r, Exec(plan->children[1]));
         GPR_ASSIGN_OR_RETURN(Table out,
-                             ops::LeftOuterJoin(*l, *r, plan->keys));
+                             ops::LeftOuterJoin(*l, *r, plan->keys, ctx));
         return Own(std::move(out));
       }
       case PlanKind::kSemiJoin: {
         GPR_ASSIGN_OR_RETURN(TablePtr l, Exec(plan->children[0]));
         GPR_ASSIGN_OR_RETURN(TablePtr r, Exec(plan->children[1]));
-        GPR_ASSIGN_OR_RETURN(Table out, ops::SemiJoin(*l, *r, plan->keys));
+        GPR_ASSIGN_OR_RETURN(Table out, ops::SemiJoin(*l, *r, plan->keys, ctx));
         return Own(std::move(out));
       }
       case PlanKind::kAntiJoin: {
@@ -340,10 +340,11 @@ struct Executor {
         GPR_ASSIGN_OR_RETURN(TablePtr r, Exec(plan->children[1]));
         Result<Table> out = [&]() -> Result<Table> {
           switch (plan->kind) {
-            case PlanKind::kUnionAll: return ops::UnionAll(*l, *r);
-            case PlanKind::kUnionDistinct: return ops::UnionDistinct(*l, *r);
-            case PlanKind::kDifference: return ops::Difference(*l, *r);
-            default: return ops::Intersect(*l, *r);
+            case PlanKind::kUnionAll: return ops::UnionAll(*l, *r, ctx);
+            case PlanKind::kUnionDistinct:
+              return ops::UnionDistinct(*l, *r, ctx);
+            case PlanKind::kDifference: return ops::Difference(*l, *r, ctx);
+            default: return ops::Intersect(*l, *r, ctx);
           }
         }();
         if (!out.ok()) return out.status();
@@ -361,7 +362,7 @@ struct Executor {
             return in;
           }
         }
-        GPR_ASSIGN_OR_RETURN(Table out, ops::Distinct(*in));
+        GPR_ASSIGN_OR_RETURN(Table out, ops::Distinct(*in, ctx));
         return Own(std::move(out));
       }
       case PlanKind::kGroupBy: {
@@ -379,7 +380,7 @@ struct Executor {
       case PlanKind::kCrossProduct: {
         GPR_ASSIGN_OR_RETURN(TablePtr l, Exec(plan->children[0]));
         GPR_ASSIGN_OR_RETURN(TablePtr r, Exec(plan->children[1]));
-        GPR_ASSIGN_OR_RETURN(Table out, ops::CrossProduct(*l, *r));
+        GPR_ASSIGN_OR_RETURN(Table out, ops::CrossProduct(*l, *r, ctx));
         return Own(std::move(out));
       }
       case PlanKind::kMMJoin: {

@@ -28,8 +28,12 @@ ExecContext::ExecContext(ExecContext&& other) noexcept
       iterations_(other.iterations_.load(std::memory_order_relaxed)),
       rows_produced_(other.rows_produced_.load(std::memory_order_relaxed)),
       bytes_produced_(other.bytes_produced_.load(std::memory_order_relaxed)),
-      checkpoints_(other.checkpoints_.load(std::memory_order_relaxed)),
-      tripped_(std::move(other.tripped_)) {}
+      checkpoints_(other.checkpoints_.load(std::memory_order_relaxed)) {
+  // Guarded-member access is safe without other.trip_mu_ here: moves only
+  // happen while the governor is being set up (see the header), strictly
+  // before any worker can alias `other`.
+  tripped_ = std::move(other.tripped_);
+}
 
 ExecContext& ExecContext::operator=(ExecContext&& other) noexcept {
   limits_ = other.limits_;
@@ -44,7 +48,14 @@ ExecContext& ExecContext::operator=(ExecContext&& other) noexcept {
                         std::memory_order_relaxed);
   checkpoints_.store(other.checkpoints_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
-  tripped_ = std::move(other.tripped_);
+  {
+    // Setup-only like the move constructor, but assignment runs on fully
+    // constructed objects, so take both locks and let the analysis check
+    // it instead of exempting the access.
+    MutexLock other_lock(other.trip_mu_);
+    MutexLock my_lock(trip_mu_);
+    tripped_ = std::move(other.tripped_);
+  }
   return *this;
 }
 
@@ -54,7 +65,7 @@ ExecProgress ExecContext::progress() const {
   p.rows_produced = rows_produced_.load(std::memory_order_relaxed);
   p.bytes_produced = bytes_produced_.load(std::memory_order_relaxed);
   p.checkpoints = checkpoints_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(trip_mu_);
+  MutexLock lock(trip_mu_);
   p.tripped = tripped_;
   return p;
 }
@@ -64,7 +75,7 @@ Status ExecContext::Trip(StatusCode code, const char* budget,
   {
     // First trip wins the `tripped` label; racing workers still fail with
     // their own cause, so no violation is ever silently swallowed.
-    std::lock_guard<std::mutex> lock(trip_mu_);
+    MutexLock lock(trip_mu_);
     if (tripped_.empty()) tripped_ = budget;
   }
   ExecProgress snapshot = progress();

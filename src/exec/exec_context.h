@@ -23,12 +23,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "exec/fault_injector.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace gpr::exec {
@@ -169,12 +170,21 @@ class ExecContext {
   CancellationToken cancel_;
   std::optional<FaultInjector> faults_;
   WallTimer timer_;
+  // Memory-order contract: the four progress counters are plain tallies —
+  // no worker publishes data through them and no decision orders against
+  // another thread's increment, so every access is relaxed. Cross-thread
+  // ordering of the *results* workers produce is provided elsewhere
+  // (ThreadPool::Batch::finished acquire/release); a progress() snapshot
+  // is explicitly approximate while workers are still running. The
+  // cancellation flag (CancellationToken) is relaxed for the same reason:
+  // it only requests a stop, it transports no data.
   std::atomic<uint64_t> iterations_{0};
   std::atomic<uint64_t> rows_produced_{0};
   std::atomic<uint64_t> bytes_produced_{0};
   std::atomic<uint64_t> checkpoints_{0};
-  mutable std::mutex trip_mu_;  ///< guards tripped_
-  std::string tripped_;
+  mutable Mutex trip_mu_;
+  /// First budget to trip ("deadline", "rows", ...); empty while healthy.
+  std::string tripped_ GPR_GUARDED_BY(trip_mu_);
 };
 
 /// Builds the governor for one query execution: nullopt when ungoverned

@@ -36,10 +36,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -52,7 +52,7 @@ void ThreadPool::Drain(Batch& b) {
     if (!b.failed.load(std::memory_order_relaxed)) {
       Status st = (*b.fn)(i);
       if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(b.mu);
+        MutexLock lock(b.mu);
         if (i < b.first_failed) {
           b.first_failed = i;
           b.error = std::move(st);
@@ -64,8 +64,8 @@ void ThreadPool::Drain(Batch& b) {
         b.num_tasks) {
       // Lock pairs with the caller's wait so the notification cannot slip
       // between its predicate check and its sleep.
-      std::lock_guard<std::mutex> lock(b.mu);
-      b.cv.notify_all();
+      MutexLock lock(b.mu);
+      b.cv.NotifyAll();
     }
   }
 }
@@ -89,11 +89,11 @@ Status ThreadPool::RunTasks(size_t num_tasks, size_t max_claimers,
   batch->max_claimers = max_claimers;
   batch->claimers.store(1, std::memory_order_relaxed);  // the caller
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     current_ = batch;
     ++generation_;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 
   // The caller is claimer #0 — with an empty pool this is just the serial
   // loop, and under contention it guarantees forward progress.
@@ -102,20 +102,20 @@ Status ThreadPool::RunTasks(size_t num_tasks, size_t max_claimers,
   t_in_worker = false;
 
   {
-    std::unique_lock<std::mutex> lock(batch->mu);
-    batch->cv.wait(lock, [&] {
-      return batch->finished.load(std::memory_order_acquire) ==
-             batch->num_tasks;
-    });
+    MutexLock lock(batch->mu);
+    while (batch->finished.load(std::memory_order_acquire) !=
+           batch->num_tasks) {
+      batch->cv.Wait(batch->mu);
+    }
   }
   // Unpublish so late-waking workers do not pick up a drained batch; any
   // worker already holding a reference keeps the Batch alive via its own
   // shared_ptr and simply finds no task left to claim.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (current_ == batch) current_.reset();
   }
-  std::lock_guard<std::mutex> lock(batch->mu);
+  MutexLock lock(batch->mu);
   return batch->first_failed == SIZE_MAX ? Status::OK()
                                          : std::move(batch->error);
 }
@@ -125,10 +125,11 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] {
-        return stop_ || (current_ != nullptr && generation_ != seen_generation);
-      });
+      MutexLock lock(mu_);
+      while (!stop_ &&
+             (current_ == nullptr || generation_ == seen_generation)) {
+        cv_.Wait(mu_);
+      }
       if (stop_) return;
       batch = current_;
       seen_generation = generation_;

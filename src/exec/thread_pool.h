@@ -22,16 +22,17 @@
 // the pool.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace gpr::exec {
 
@@ -72,6 +73,20 @@ class ThreadPool {
   /// One RunTasks invocation. Heap-allocated and shared so that a worker
   /// waking up late (after the caller already returned) holds a valid
   /// reference and sees an exhausted task counter instead of freed memory.
+  ///
+  /// `fn` / `num_tasks` / `max_claimers` are written once by RunTasks
+  /// before the batch is published under the pool mutex and are immutable
+  /// afterwards; workers only reach the batch through that publication, so
+  /// the fields are safely read lock-free (const-after-publish).
+  ///
+  /// Memory-order contract for the atomics:
+  ///   * `next`, `claimers`: relaxed — pure tickets; no data is published
+  ///     through them, claiming order is irrelevant to the result.
+  ///   * `failed`: relaxed — an optimistic skip hint only; the
+  ///     authoritative failure record (first_failed/error) is under `mu`.
+  ///   * `finished`: release on increment / acquire on the caller's read,
+  ///     so every task's writes happen-before the caller observes
+  ///     finished == num_tasks and splices the output slots.
   struct Batch {
     const TaskFn* fn = nullptr;
     size_t num_tasks = 0;
@@ -80,21 +95,23 @@ class ThreadPool {
     std::atomic<size_t> finished{0};  ///< tasks completed (or skipped)
     std::atomic<size_t> claimers{0};  ///< threads admitted so far
     std::atomic<bool> failed{false};
-    std::mutex mu;                    ///< guards error + pairs with cv
-    std::condition_variable cv;       ///< caller waits for completion here
-    size_t first_failed = SIZE_MAX;
-    Status error;                     ///< status of task `first_failed`
+    Mutex mu;    ///< guards the failure record + pairs with cv
+    CondVar cv;  ///< caller waits for completion here
+    size_t first_failed GPR_GUARDED_BY(mu) = SIZE_MAX;
+    /// Status of task `first_failed`.
+    Status error GPR_GUARDED_BY(mu);
   };
 
   void WorkerLoop();
   /// Claims and runs tasks until the batch is drained; records failures.
   static void Drain(Batch& b);
 
-  std::mutex mu_;                ///< guards current_/generation_/stop_
-  std::condition_variable cv_;   ///< workers wait for a new batch here
-  std::shared_ptr<Batch> current_;
-  uint64_t generation_ = 0;
-  bool stop_ = false;
+  Mutex mu_;    ///< guards the batch-publication state below
+  CondVar cv_;  ///< workers wait for a new batch here
+  std::shared_ptr<Batch> current_ GPR_GUARDED_BY(mu_);
+  uint64_t generation_ GPR_GUARDED_BY(mu_) = 0;
+  bool stop_ GPR_GUARDED_BY(mu_) = false;
+  /// Joined in the destructor; written only during construction.
   std::vector<std::thread> workers_;
 };
 

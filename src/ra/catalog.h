@@ -70,6 +70,7 @@ class TempTableScope {
     // legitimately be gone already (e.g. replaced then dropped); only
     // genuinely tracked names are expected here, so ignore NotFound.
     for (auto it = names_.rbegin(); it != names_.rend(); ++it) {
+      // NotFound is fine: a replaced-then-dropped table is already gone.
       (void)catalog_.DropTable(*it);
     }
   }

@@ -253,7 +253,7 @@ Result<Table> Rename(const Table& in, const std::string& new_name,
   return out;
 }
 
-Result<Table> UnionAll(const Table& a, const Table& b) {
+Result<Table> UnionAll(const Table& a, const Table& b, EvalContext* ctx) {
   if (!a.schema().UnionCompatible(b.schema())) {
     return Status::TypeMismatch("union between incompatible schemas " +
                                 a.schema().ToString() + " and " +
@@ -262,56 +262,69 @@ Result<Table> UnionAll(const Table& a, const Table& b) {
   Table out(a.name(), a.schema());
   out.Reserve(a.NumRows() + b.NumRows());
   out.mutable_rows() = a.rows();
-  for (const Tuple& t : b.rows()) out.AddRow(t);
+  size_t i = 0;
+  for (const Tuple& t : b.rows()) {
+    GPR_RETURN_NOT_OK(PollGovernor(ctx, i++, "union_all"));
+    out.AddRow(t);
+  }
   return out;
 }
 
-Result<Table> UnionDistinct(const Table& a, const Table& b) {
-  GPR_ASSIGN_OR_RETURN(Table all, UnionAll(a, b));
-  return Distinct(all);
+Result<Table> UnionDistinct(const Table& a, const Table& b,
+                            EvalContext* ctx) {
+  GPR_ASSIGN_OR_RETURN(Table all, UnionAll(a, b, ctx));
+  return Distinct(all, ctx);
 }
 
-Result<Table> Difference(const Table& a, const Table& b) {
+Result<Table> Difference(const Table& a, const Table& b, EvalContext* ctx) {
   if (!a.schema().UnionCompatible(b.schema())) {
     return Status::TypeMismatch("difference between incompatible schemas");
   }
   RowSet bset(b.rows().begin(), b.rows().end());
   Table out(a.name(), a.schema());
   RowSet emitted;
+  size_t i = 0;
   for (const Tuple& t : a.rows()) {
+    GPR_RETURN_NOT_OK(PollGovernor(ctx, i++, "difference"));
     if (!bset.count(t) && emitted.insert(t).second) out.AddRow(t);
   }
   return out;
 }
 
-Result<Table> Intersect(const Table& a, const Table& b) {
+Result<Table> Intersect(const Table& a, const Table& b, EvalContext* ctx) {
   if (!a.schema().UnionCompatible(b.schema())) {
     return Status::TypeMismatch("intersect between incompatible schemas");
   }
   RowSet bset(b.rows().begin(), b.rows().end());
   Table out(a.name(), a.schema());
   RowSet emitted;
+  size_t i = 0;
   for (const Tuple& t : a.rows()) {
+    GPR_RETURN_NOT_OK(PollGovernor(ctx, i++, "intersect"));
     if (bset.count(t) && emitted.insert(t).second) out.AddRow(t);
   }
   return out;
 }
 
-Result<Table> Distinct(const Table& in) {
+Result<Table> Distinct(const Table& in, EvalContext* ctx) {
   Table out(in.name(), in.schema());
   RowSet seen;
+  size_t i = 0;
   for (const Tuple& t : in.rows()) {
+    GPR_RETURN_NOT_OK(PollGovernor(ctx, i++, "distinct"));
     if (seen.insert(t).second) out.AddRow(t);
   }
   return out;
 }
 
-Result<Table> CrossProduct(const Table& a, const Table& b) {
+Result<Table> CrossProduct(const Table& a, const Table& b, EvalContext* ctx) {
   GPR_ASSIGN_OR_RETURN(Schema schema, JoinedSchema(a, b));
   Table out("", std::move(schema));
   out.Reserve(a.NumRows() * b.NumRows());
+  size_t emitted = 0;
   for (const Tuple& ra : a.rows()) {
     for (const Tuple& rb : b.rows()) {
+      GPR_RETURN_NOT_OK(PollGovernor(ctx, emitted++, "cross_product"));
       out.AddRow(ConcatRows(ra, rb));
     }
   }
@@ -379,6 +392,7 @@ Result<Table> HashJoinImpl(const Table& l, const Table& r,
     if (fresh->num_parts == 1) {
       fresh->parts[0].reserve(r.NumRows());
       for (size_t i = 0; i < r.NumRows(); ++i) {
+        GPR_RETURN_NOT_OK(PollGovernor(ctx, i, "join"));
         Tuple key = ProjectTuple(r.row(i), plan.rkeys);
         if (HasNullKey(key)) continue;
         fresh->parts[0][std::move(key)].push_back(i);
@@ -404,8 +418,10 @@ Result<Table> HashJoinImpl(const Table& l, const Table& r,
             RowMultiMap& map = fresh->parts[p];
             map.reserve(rn / num_parts + 1);
             Tuple key;
+            size_t merged = 0;
             for (size_t m = 0; m < num_morsels; ++m) {
               for (size_t i : buckets[m][p]) {
+                GPR_RETURN_NOT_OK(PollGovernor(ctx, merged++, "join"));
                 ProjectTupleInto(r.row(i), plan.rkeys, &key);
                 map[key].push_back(i);
               }
@@ -551,6 +567,7 @@ Result<Table> SortMergeJoinImpl(const Table& l, const Table& r,
     }
     for (size_t a = i; a < i2; ++a) {
       for (size_t b = j; b < j2; ++b) {
+        GPR_RETURN_NOT_OK(PollGovernor(ctx, steps++, "join"));
         Tuple joined = ConcatRows(l.row(lorder[a]), r.row(rorder[b]));
         if (res && !res->EvalBool(joined, ctx)) continue;
         out.AddRow(std::move(joined));
@@ -622,44 +639,21 @@ Result<Table> JoinWithOptions(const Table& l, const Table& r,
 }
 
 Result<Table> LeftOuterJoin(const Table& l, const Table& r,
-                            const JoinKeys& keys) {
+                            const JoinKeys& keys, EvalContext* ctx) {
   GPR_ASSIGN_OR_RETURN(JoinPlan plan, PlanJoin(l, r, keys));
   Table out("", plan.out_schema);
   RowMultiMap built;
   built.reserve(r.NumRows());
   for (size_t i = 0; i < r.NumRows(); ++i) {
+    GPR_RETURN_NOT_OK(PollGovernor(ctx, i, "left_outer_join"));
     Tuple key = ProjectTuple(r.row(i), plan.rkeys);
     if (HasNullKey(key)) continue;
     built[std::move(key)].push_back(i);
   }
   const size_t rwidth = r.schema().NumColumns();
+  size_t steps = 0;
   for (const Tuple& lrow : l.rows()) {
-    Tuple key = ProjectTuple(lrow, plan.lkeys);
-    auto it = HasNullKey(key) ? built.end() : built.find(key);
-    if (it == built.end()) {
-      out.AddRow(ConcatRows(lrow, NullRow(rwidth)));
-      continue;
-    }
-    for (size_t ri : it->second) out.AddRow(ConcatRows(lrow, r.row(ri)));
-  }
-  return out;
-}
-
-Result<Table> FullOuterJoin(const Table& l, const Table& r,
-                            const JoinKeys& keys) {
-  GPR_ASSIGN_OR_RETURN(JoinPlan plan, PlanJoin(l, r, keys));
-  Table out("", plan.out_schema);
-  RowMultiMap built;
-  built.reserve(r.NumRows());
-  for (size_t i = 0; i < r.NumRows(); ++i) {
-    Tuple key = ProjectTuple(r.row(i), plan.rkeys);
-    if (HasNullKey(key)) continue;
-    built[std::move(key)].push_back(i);
-  }
-  std::vector<bool> rmatched(r.NumRows(), false);
-  const size_t lwidth = l.schema().NumColumns();
-  const size_t rwidth = r.schema().NumColumns();
-  for (const Tuple& lrow : l.rows()) {
+    GPR_RETURN_NOT_OK(PollGovernor(ctx, steps++, "left_outer_join"));
     Tuple key = ProjectTuple(lrow, plan.lkeys);
     auto it = HasNullKey(key) ? built.end() : built.find(key);
     if (it == built.end()) {
@@ -667,29 +661,68 @@ Result<Table> FullOuterJoin(const Table& l, const Table& r,
       continue;
     }
     for (size_t ri : it->second) {
+      GPR_RETURN_NOT_OK(PollGovernor(ctx, steps++, "left_outer_join"));
+      out.AddRow(ConcatRows(lrow, r.row(ri)));
+    }
+  }
+  return out;
+}
+
+Result<Table> FullOuterJoin(const Table& l, const Table& r,
+                            const JoinKeys& keys, EvalContext* ctx) {
+  GPR_ASSIGN_OR_RETURN(JoinPlan plan, PlanJoin(l, r, keys));
+  Table out("", plan.out_schema);
+  RowMultiMap built;
+  built.reserve(r.NumRows());
+  for (size_t i = 0; i < r.NumRows(); ++i) {
+    GPR_RETURN_NOT_OK(PollGovernor(ctx, i, "full_outer_join"));
+    Tuple key = ProjectTuple(r.row(i), plan.rkeys);
+    if (HasNullKey(key)) continue;
+    built[std::move(key)].push_back(i);
+  }
+  std::vector<bool> rmatched(r.NumRows(), false);
+  const size_t lwidth = l.schema().NumColumns();
+  const size_t rwidth = r.schema().NumColumns();
+  size_t steps = 0;
+  for (const Tuple& lrow : l.rows()) {
+    GPR_RETURN_NOT_OK(PollGovernor(ctx, steps++, "full_outer_join"));
+    Tuple key = ProjectTuple(lrow, plan.lkeys);
+    auto it = HasNullKey(key) ? built.end() : built.find(key);
+    if (it == built.end()) {
+      out.AddRow(ConcatRows(lrow, NullRow(rwidth)));
+      continue;
+    }
+    for (size_t ri : it->second) {
+      GPR_RETURN_NOT_OK(PollGovernor(ctx, steps++, "full_outer_join"));
       rmatched[ri] = true;
       out.AddRow(ConcatRows(lrow, r.row(ri)));
     }
   }
   for (size_t ri = 0; ri < r.NumRows(); ++ri) {
+    GPR_RETURN_NOT_OK(PollGovernor(ctx, ri, "full_outer_join"));
     if (!rmatched[ri]) out.AddRow(ConcatRows(NullRow(lwidth), r.row(ri)));
   }
   return out;
 }
 
-Result<Table> SemiJoin(const Table& l, const Table& r, const JoinKeys& keys) {
+Result<Table> SemiJoin(const Table& l, const Table& r, const JoinKeys& keys,
+                       EvalContext* ctx) {
   if (keys.left.size() != keys.right.size()) {
     return Status::InvalidArgument("join key arity mismatch");
   }
   GPR_ASSIGN_OR_RETURN(auto lkeys, ResolveAll(l.schema(), keys.left));
   GPR_ASSIGN_OR_RETURN(auto rkeys, ResolveAll(r.schema(), keys.right));
   RowSet rset;
+  size_t i = 0;
   for (const Tuple& rrow : r.rows()) {
+    GPR_RETURN_NOT_OK(PollGovernor(ctx, i++, "semi_join"));
     Tuple key = ProjectTuple(rrow, rkeys);
     if (!HasNullKey(key)) rset.insert(std::move(key));
   }
   Table out(l.name(), l.schema());
+  i = 0;
   for (const Tuple& lrow : l.rows()) {
+    GPR_RETURN_NOT_OK(PollGovernor(ctx, i++, "semi_join"));
     Tuple key = ProjectTuple(lrow, lkeys);
     if (!HasNullKey(key) && rset.count(key)) out.AddRow(lrow);
   }
@@ -715,7 +748,9 @@ Result<Table> AntiJoinBasic(const Table& l, const Table& r,
   if (rset == nullptr) {
     auto fresh = std::make_shared<RowSet>();
     fresh->reserve(r.NumRows());
+    size_t bi = 0;
     for (const Tuple& rrow : r.rows()) {
+      GPR_RETURN_NOT_OK(PollGovernor(ctx, bi++, "anti_join"));
       Tuple key = ProjectTuple(rrow, rkeys);
       if (!HasNullKey(key)) fresh->insert(std::move(key));
     }
@@ -727,7 +762,9 @@ Result<Table> AntiJoinBasic(const Table& l, const Table& r,
     rset = std::move(fresh);
   }
   Table out(l.name(), l.schema());
+  size_t pi = 0;
   for (const Tuple& lrow : l.rows()) {
+    GPR_RETURN_NOT_OK(PollGovernor(ctx, pi++, "anti_join"));
     Tuple key = ProjectTuple(lrow, lkeys);
     if (HasNullKey(key) || !rset->count(key)) out.AddRow(lrow);
   }

@@ -41,23 +41,28 @@ Result<Table> Rename(const Table& in, const std::string& new_name,
                      const std::vector<std::string>& col_names = {});
 
 /// ∪ (bag semantics) — requires union-compatible schemas.
-Result<Table> UnionAll(const Table& a, const Table& b);
+Result<Table> UnionAll(const Table& a, const Table& b,
+                       EvalContext* ctx = nullptr);
 
 /// ∪ (set semantics) — duplicates eliminated.
-Result<Table> UnionDistinct(const Table& a, const Table& b);
+Result<Table> UnionDistinct(const Table& a, const Table& b,
+                            EvalContext* ctx = nullptr);
 
 /// − (set semantics): rows of `a` not present in `b`.
-Result<Table> Difference(const Table& a, const Table& b);
+Result<Table> Difference(const Table& a, const Table& b,
+                         EvalContext* ctx = nullptr);
 
 /// ∩ (set semantics).
-Result<Table> Intersect(const Table& a, const Table& b);
+Result<Table> Intersect(const Table& a, const Table& b,
+                        EvalContext* ctx = nullptr);
 
 /// Duplicate elimination.
-Result<Table> Distinct(const Table& in);
+Result<Table> Distinct(const Table& in, EvalContext* ctx = nullptr);
 
 /// × — concatenates every pair of rows. Output columns are the inputs'
 /// columns qualified by their table names when that disambiguates.
-Result<Table> CrossProduct(const Table& a, const Table& b);
+Result<Table> CrossProduct(const Table& a, const Table& b,
+                           EvalContext* ctx = nullptr);
 
 /// Physical join algorithm; chosen by the engine profile (src/core).
 enum class JoinAlgorithm { kHash, kSortMerge, kNestedLoop, kIndexNestedLoop };
@@ -106,14 +111,15 @@ Result<Table> JoinWithOptions(const Table& l, const Table& r,
 
 /// Left outer join: unmatched left rows are padded with NULLs.
 Result<Table> LeftOuterJoin(const Table& l, const Table& r,
-                            const JoinKeys& keys);
+                            const JoinKeys& keys, EvalContext* ctx = nullptr);
 
 /// Full outer join: unmatched rows of either side are padded with NULLs.
 Result<Table> FullOuterJoin(const Table& l, const Table& r,
-                            const JoinKeys& keys);
+                            const JoinKeys& keys, EvalContext* ctx = nullptr);
 
 /// ⋉ — rows of `l` with at least one key match in `r`.
-Result<Table> SemiJoin(const Table& l, const Table& r, const JoinKeys& keys);
+Result<Table> SemiJoin(const Table& l, const Table& r, const JoinKeys& keys,
+                       EvalContext* ctx = nullptr);
 
 /// ⋉̄ — rows of `l` with no key match in `r` (the canonical hash-based
 /// implementation; the physical variants of Section 6 live in core/).

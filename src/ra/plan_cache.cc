@@ -6,7 +6,7 @@ namespace gpr::ra {
 
 std::shared_ptr<const void> PlanCache::LookupErased(const std::string& key,
                                                     uint64_t version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -32,7 +32,7 @@ Status PlanCache::InsertErased(const std::string& key, uint64_t version,
   if (gov_ != nullptr) {
     GPR_RETURN_NOT_OK(gov_->ChargeRows("plan_cache", 0, bytes));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& e = entries_[key];
   stats_.bytes_live -= e.bytes;  // no-op for a fresh entry (bytes == 0)
   e.version = version;
@@ -45,17 +45,17 @@ Status PlanCache::InsertErased(const std::string& key, uint64_t version,
 }
 
 PlanCacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 size_t PlanCache::NumEntries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   stats_.bytes_live = 0;
 }

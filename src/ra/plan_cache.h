@@ -31,11 +31,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace gpr::exec {
 class ExecContext;
@@ -101,10 +102,13 @@ class PlanCache {
     size_t bytes = 0;
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Entry> entries_ GPR_GUARDED_BY(mu_);
+  /// Set once by the coordinating thread before workers share the cache
+  /// (set_governor is setup-only); read lock-free afterwards. The pointee
+  /// is internally thread-safe.
   exec::ExecContext* gov_ = nullptr;
-  PlanCacheStats stats_;
+  PlanCacheStats stats_ GPR_GUARDED_BY(mu_);
 };
 
 }  // namespace gpr::ra

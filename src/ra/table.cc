@@ -8,6 +8,12 @@
 namespace gpr::ra {
 
 uint64_t NextTableVersion() {
+  // Relaxed is sufficient: the counter only needs to hand out distinct
+  // values — fetch_add is atomic under any ordering. Publication of the
+  // table contents a version describes is ordered by whoever shares the
+  // table across threads (the fixpoint drivers run mutations on the
+  // coordinating thread; morsel workers only ever read, after a
+  // ThreadPool::RunTasks publication barrier).
   static std::atomic<uint64_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }

@@ -538,6 +538,8 @@ Result<ra::Table> RunSql(const std::string& text, ra::Catalog& catalog,
   GPR_RETURN_NOT_OK(
       catalog.ReplaceTable(bound.query.rec_name, std::move(result.table)));
   auto fin = core::ExecutePlan(bound.final_select, catalog, profile);
+  // Best-effort: the result is already materialized in `fin`, and a failed
+  // drop of the recursive temp must not mask its status.
   (void)catalog.DropTable(bound.query.rec_name);
   return fin;
 }

@@ -27,6 +27,7 @@ class Parser {
   Result<WithStatementAst> ParseWith() {
     WithStatementAst stmt;
     GPR_RETURN_NOT_OK(ExpectKeyword("with"));
+    // Optional: bare WITH parses identically to WITH RECURSIVE here.
     (void)AcceptKeyword("recursive");
     GPR_ASSIGN_OR_RETURN(stmt.rec_name, ExpectIdentifier("relation name"));
     if (AcceptSymbol("(")) {
@@ -131,14 +132,14 @@ class Parser {
       GPR_ASSIGN_OR_RETURN(SelectCore fin, ParseSelectCore());
       stmt.final_select = std::move(fin);
     }
-    (void)AcceptSymbol(";");
+    (void)AcceptSymbol(";");  // trailing semicolon is optional
     GPR_RETURN_NOT_OK(ExpectEnd());
     return stmt;
   }
 
   Result<SelectCore> ParseBareSelect() {
     GPR_ASSIGN_OR_RETURN(SelectCore core, ParseSelectCore());
-    (void)AcceptSymbol(";");
+    (void)AcceptSymbol(";");  // trailing semicolon is optional
     GPR_RETURN_NOT_OK(ExpectEnd());
     return core;
   }
@@ -284,7 +285,7 @@ class Parser {
     while (true) {
       TableRefAst ref;
       GPR_ASSIGN_OR_RETURN(ref.table, ExpectIdentifier("table name"));
-      (void)AcceptKeyword("as");
+      (void)AcceptKeyword("as");  // AS is optional sugar before an alias
       if (PeekIdentifierNonKeyword()) {
         GPR_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("table alias"));
       }

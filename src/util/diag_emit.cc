@@ -1,0 +1,55 @@
+#include "util/diag_emit.h"
+
+namespace gpr {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string JsonArrayEmitter::Render() const {
+  if (entries_.empty()) return "[]\n";
+  std::string out = "[\n";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    out += "  ";
+    out += entries_[i];
+    out += i + 1 < entries_.size() ? ",\n" : "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+void JsonArrayEmitter::Print(std::FILE* out) const {
+  const std::string rendered = Render();
+  std::fwrite(rendered.data(), 1, rendered.size(), out);
+}
+
+bool JsonArrayEmitter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string rendered = Render();
+  const bool ok =
+      std::fwrite(rendered.data(), 1, rendered.size(), f) == rendered.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace gpr

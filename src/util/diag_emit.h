@@ -1,0 +1,43 @@
+// Shared diagnostic-emitting helpers for the offline checking tools.
+//
+// Both batch analyzers — `gpr_lint` (examples/gpr_lint.cpp, with+ SQL
+// statements) and `gpr_check` (tools/gpr_check, repo-invariant linter over
+// the C++ sources) — print human-readable findings and additionally emit a
+// machine-readable JSON-array artifact for CI (ANALYSIS_facts.json /
+// ANALYSIS_check.json). The escaping and array plumbing used to be
+// duplicated; this header is the single implementation.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gpr {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+/// Collects pre-rendered JSON values and emits them as a pretty-printed
+/// JSON array — one value per line, two-space indent, trailing newline —
+/// the shape CI artifact consumers diff across commits.
+class JsonArrayEmitter {
+ public:
+  void Add(std::string entry) { entries_.push_back(std::move(entry)); }
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  /// "[]\n" when empty, otherwise "[\n  e1,\n  e2\n]\n".
+  std::string Render() const;
+
+  void Print(std::FILE* out) const;
+
+  /// Writes Render() to `path`; false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> entries_;
+};
+
+}  // namespace gpr

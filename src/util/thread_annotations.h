@@ -1,0 +1,60 @@
+// Clang Thread Safety Analysis annotations (GPR_ prefix), no-ops on every
+// other compiler.
+//
+// The engine's concurrency invariants — which mutex guards which member,
+// which functions must (or must not) be called with a lock held — are
+// machine-checked at compile time instead of being enforced by convention
+// and caught by TSan after the fact. Annotate with these macros and build
+// with Clang and -Wthread-safety (the `clang-tsa` CMake preset, and the
+// `static-analysis` CI job, promote the warning to an error); see
+// docs/static-analysis.md for the catalog and the `gpr::Mutex` wrapper
+// (util/mutex.h) that carries the capability.
+//
+// The macro set mirrors the official Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); only the
+// spellings the codebase uses are defined.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define GPR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define GPR_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/// Declares a type to be a capability ("mutex"); used on gpr::Mutex.
+#define GPR_CAPABILITY(x) GPR_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor; used on gpr::MutexLock.
+#define GPR_SCOPED_CAPABILITY GPR_THREAD_ANNOTATION(scoped_lockable)
+
+/// The annotated member may only be read or written while holding `x`.
+#define GPR_GUARDED_BY(x) GPR_THREAD_ANNOTATION(guarded_by(x))
+
+/// The annotated pointer member may be dereferenced only while holding `x`
+/// (the pointer itself is unrestricted).
+#define GPR_PT_GUARDED_BY(x) GPR_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The caller must hold the listed capabilities exclusively before calling.
+#define GPR_REQUIRES(...) \
+  GPR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and does not release them.
+#define GPR_ACQUIRE(...) \
+  GPR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (which must be held).
+#define GPR_RELEASE(...) \
+  GPR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (deadlock prevention
+/// for non-reentrant locks).
+#define GPR_EXCLUDES(...) GPR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the listed capability.
+#define GPR_RETURN_CAPABILITY(x) GPR_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code that is intentionally checked by other means
+/// (e.g. publication ordering); always pair with a comment saying why.
+#define GPR_NO_THREAD_SAFETY_ANALYSIS \
+  GPR_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,374 @@
+// Fixture tests for the gpr_check linter (tools/gpr_check): one
+// known-good and one known-bad snippet per rule, run through
+// CheckSourceText so the rules are exercised exactly as the CLI applies
+// them — path-based applicability included. The snippets are minimal by
+// design; the real sources under src/ are the integration fixture (CI
+// runs `gpr_check src bench examples tools` and requires zero findings).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gpr_check/gpr_check.h"
+
+namespace gpr::check {
+namespace {
+
+std::vector<std::string> Codes(const std::vector<Finding>& findings) {
+  std::vector<std::string> out;
+  out.reserve(findings.size());
+  for (const auto& f : findings) out.push_back(f.code);
+  return out;
+}
+
+bool Has(const std::vector<Finding>& findings, const std::string& code) {
+  const auto codes = Codes(findings);
+  return std::find(codes.begin(), codes.end(), code) != codes.end();
+}
+
+// ---------------------------------------------------------------------------
+// GPR-C400 — Table mutators bump the version exactly once.
+
+TEST(GprCheckC400, MutatorWithSingleBumpIsClean) {
+  const auto f = CheckSourceText("src/ra/table.cc",
+                                 "#pragma once\n"  // not a header; harmless
+                                 "void Table::AddRow(Tuple t) {\n"
+                                 "  rows_.push_back(std::move(t));\n"
+                                 "  BumpVersion();\n"
+                                 "}\n");
+  EXPECT_FALSE(Has(f, "GPR-C400")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC400, MutatorWithoutBumpFires) {
+  const auto f = CheckSourceText("src/ra/table.cc",
+                                 "void Table::AddRow(Tuple t) {\n"
+                                 "  rows_.push_back(std::move(t));\n"
+                                 "}\n");
+  EXPECT_TRUE(Has(f, "GPR-C400")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC400, MutatorWithDoubleBumpFires) {
+  const auto f = CheckSourceText("src/ra/table.cc",
+                                 "void Table::Clear() {\n"
+                                 "  rows_.clear();\n"
+                                 "  BumpVersion();\n"
+                                 "  BumpVersion();\n"
+                                 "}\n");
+  EXPECT_TRUE(Has(f, "GPR-C400")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC400, OnlyAppliesToTableCc) {
+  // The same shape elsewhere is not a Table mutator.
+  const auto f = CheckSourceText("src/core/plan.cc",
+                                 "void Table::AddRow(Tuple t) {\n"
+                                 "  rows_.push_back(std::move(t));\n"
+                                 "}\n");
+  EXPECT_FALSE(Has(f, "GPR-C400")) << FindingsToJson(f);
+}
+
+// ---------------------------------------------------------------------------
+// GPR-C401 — row loops in ra/ operator code carry a governor poll.
+
+TEST(GprCheckC401, PolledRowLoopIsClean) {
+  const auto f = CheckSourceText(
+      "src/ra/operators.cc",
+      "Status F(const Table& in, EvalContext* ctx) {\n"
+      "  size_t i = 0;\n"
+      "  for (const Tuple& t : in.rows()) {\n"
+      "    GPR_RETURN_NOT_OK(PollGovernor(ctx, i++, \"f\"));\n"
+      "    Use(t);\n"
+      "  }\n"
+      "  return Status::OK();\n"
+      "}\n");
+  EXPECT_FALSE(Has(f, "GPR-C401")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC401, UnpolledRowLoopFires) {
+  const auto f =
+      CheckSourceText("src/ra/operators.cc",
+                      "void F(const Table& in) {\n"
+                      "  for (const Tuple& t : in.rows()) Use(t);\n"
+                      "}\n");
+  EXPECT_TRUE(Has(f, "GPR-C401")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC401, MorselLoopIsClean) {
+  // Loops inside RunMorsels(...) poll per morsel; the rule must not fire.
+  const auto f = CheckSourceText(
+      "src/ra/operators.cc",
+      "Status F(EvalContext* ctx, const Table& in, int dop) {\n"
+      "  return RunMorsels(ctx, in.NumRows(), dop, \"f\",\n"
+      "      [&](size_t, size_t begin, size_t end) {\n"
+      "        for (size_t i = begin; i < end; ++i) Use(in.row(i));\n"
+      "        return Status::OK();\n"
+      "      });\n"
+      "}\n");
+  EXPECT_FALSE(Has(f, "GPR-C401")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC401, SuppressionCommentIsHonoured) {
+  const auto f = CheckSourceText(
+      "src/ra/table_io.cc",
+      "void F(const Table& in) {\n"
+      "  // gpr_check(disable: GPR-C401): export path, ungoverned\n"
+      "  for (const auto& row : in.rows()) Write(row);\n"
+      "}\n");
+  EXPECT_FALSE(Has(f, "GPR-C401")) << FindingsToJson(f);
+}
+
+// ---------------------------------------------------------------------------
+// GPR-C402 — raw std::mutex & friends outside the gpr::Mutex wrapper.
+
+TEST(GprCheckC402, WrapperMutexIsClean) {
+  const auto f = CheckSourceText("src/exec/thing.h",
+                                 "#pragma once\n"
+                                 "struct S {\n"
+                                 "  Mutex mu_;\n"
+                                 "  int x GPR_GUARDED_BY(mu_) = 0;\n"
+                                 "};\n");
+  EXPECT_FALSE(Has(f, "GPR-C402")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC402, RawStdMutexFires) {
+  const auto f = CheckSourceText("src/exec/thing.h",
+                                 "#pragma once\n"
+                                 "struct S { std::mutex mu_; };\n");
+  EXPECT_TRUE(Has(f, "GPR-C402")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC402, RawLockGuardFires) {
+  const auto f = CheckSourceText(
+      "src/ra/thing.cc",
+      "void F() { std::lock_guard<std::mutex> lock(mu_); }\n");
+  EXPECT_TRUE(Has(f, "GPR-C402")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC402, WrapperImplementationIsExempt) {
+  // util/mutex.h legitimately wraps std::mutex.
+  const auto f = CheckSourceText("src/util/mutex.h",
+                                 "#pragma once\n"
+                                 "class Mutex { std::mutex mu_; };\n");
+  EXPECT_FALSE(Has(f, "GPR-C402")) << FindingsToJson(f);
+}
+
+// ---------------------------------------------------------------------------
+// GPR-C403 — (void)-discarded call results need a justification comment.
+
+TEST(GprCheckC403, JustifiedDiscardIsClean) {
+  const auto f = CheckSourceText(
+      "src/core/thing.cc",
+      "void F() {\n"
+      "  // Best-effort: failure only means the temp was already gone.\n"
+      "  (void)catalog.DropTable(name);\n"
+      "}\n");
+  EXPECT_FALSE(Has(f, "GPR-C403")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC403, BareDiscardFires) {
+  const auto f =
+      CheckSourceText("src/core/thing.cc",
+                      "void F() {\n"
+                      "  (void)catalog.DropTable(name);\n"
+                      "}\n");
+  EXPECT_TRUE(Has(f, "GPR-C403")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC403, NonCallCastIsClean) {
+  // Silencing an unused parameter is not a status discard.
+  const auto f = CheckSourceText("src/core/thing.cc",
+                                 "void F(int unused) { (void)unused; }\n");
+  EXPECT_FALSE(Has(f, "GPR-C403")) << FindingsToJson(f);
+}
+
+// ---------------------------------------------------------------------------
+// GPR-C404 — temp-table cleanup goes through TempTableScope, not loops.
+
+TEST(GprCheckC404, ScopeBasedCleanupIsClean) {
+  const auto f = CheckSourceText(
+      "src/algos/thing.cc",
+      "void F(ra::Catalog& catalog, const std::vector<std::string>& ns) {\n"
+      "  ra::TempTableScope scope(catalog);\n"
+      "  for (const auto& n : ns) scope.Track(n);\n"
+      "}\n");
+  EXPECT_FALSE(Has(f, "GPR-C404")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC404, LoopDropFires) {
+  const auto f = CheckSourceText(
+      "src/algos/thing.cc",
+      "void F(ra::Catalog& catalog, const std::vector<std::string>& ns) {\n"
+      "  // loop-drop: leaks on the paths between the drops\n"
+      "  for (const auto& n : ns) (void)catalog.DropTable(n);\n"
+      "}\n");
+  EXPECT_TRUE(Has(f, "GPR-C404")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC404, ScopeDestructorIsExempt) {
+  // ra/catalog.{h,cc} hold the one legitimate drop loop (the scope's own
+  // destructor).
+  const auto f = CheckSourceText(
+      "src/ra/catalog.h",
+      "#pragma once\n"
+      "struct S {\n"
+      "  ~S() {\n"
+      "    // NotFound is fine here.\n"
+      "    for (auto& n : names_) (void)catalog_.DropTable(n);\n"
+      "  }\n"
+      "};\n");
+  EXPECT_FALSE(Has(f, "GPR-C404")) << FindingsToJson(f);
+}
+
+// ---------------------------------------------------------------------------
+// GPR-C405 — no wall-clock or libc randomness in operator code.
+
+TEST(GprCheckC405, DeterministicOperatorIsClean) {
+  const auto f = CheckSourceText(
+      "src/ra/thing.cc",
+      "size_t F(const Tuple& t) { return TupleHash{}(t); }\n");
+  EXPECT_FALSE(Has(f, "GPR-C405")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC405, RandFires) {
+  const auto f = CheckSourceText("src/ra/thing.cc",
+                                 "size_t F() { return rand() % 7; }\n");
+  EXPECT_TRUE(Has(f, "GPR-C405")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC405, TimeNullFires) {
+  const auto f = CheckSourceText(
+      "src/core/thing.cc", "long F() { return time(nullptr); }\n");
+  EXPECT_TRUE(Has(f, "GPR-C405")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC405, IdentifierSuffixIsClean) {
+  // `operand()`, `my_rand()`… must not match: the pattern is word-bounded.
+  const auto f = CheckSourceText("src/ra/thing.cc",
+                                 "int F() { return my_rand(); }\n");
+  EXPECT_FALSE(Has(f, "GPR-C405")) << FindingsToJson(f);
+}
+
+// ---------------------------------------------------------------------------
+// GPR-C406 — bench JSON emitters go through BenchJsonWriter with counters.
+
+TEST(GprCheckC406, WriterWithCountersIsClean) {
+  const auto f = CheckSourceText(
+      "bench/bench_thing.cc",
+      "void Emit(const std::vector<BenchRecord>& rs) {\n"
+      "  BenchJsonWriter w(\"BENCH_thing.json\");\n"
+      "  for (const auto& r : rs) w.Add(r);  // carries cache_hits et al.\n"
+      "}\n"
+      "size_t cache_hits = 0;\n");
+  EXPECT_FALSE(Has(f, "GPR-C406")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC406, HandRolledEmitterFires) {
+  const auto f = CheckSourceText(
+      "bench/bench_thing.cc",
+      "void Emit() {\n"
+      "  FILE* f = fopen(\"BENCH_thing.json\", \"w\");\n"
+      "  fprintf(f, \"[]\");\n"
+      "  fclose(f);\n"
+      "}\n");
+  EXPECT_TRUE(Has(f, "GPR-C406")) << FindingsToJson(f);
+}
+
+// ---------------------------------------------------------------------------
+// GPR-C407 — headers open with #pragma once.
+
+TEST(GprCheckC407, PragmaOnceHeaderIsClean) {
+  const auto f = CheckSourceText("src/core/thing.h",
+                                 "// File comment.\n"
+                                 "#pragma once\n"
+                                 "struct S {};\n");
+  EXPECT_FALSE(Has(f, "GPR-C407")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC407, MissingPragmaFires) {
+  const auto f = CheckSourceText("src/core/thing.h",
+                                 "// File comment.\n"
+                                 "struct S {};\n");
+  EXPECT_TRUE(Has(f, "GPR-C407")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC407, IncludeGuardInsteadOfPragmaFires) {
+  const auto f = CheckSourceText("src/core/thing.h",
+                                 "#ifndef GPR_CORE_THING_H_\n"
+                                 "#define GPR_CORE_THING_H_\n"
+                                 "struct S {};\n"
+                                 "#endif\n");
+  EXPECT_TRUE(Has(f, "GPR-C407")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC407, DoesNotApplyToSourceFiles) {
+  const auto f =
+      CheckSourceText("src/core/thing.cc", "struct S {};\n");
+  EXPECT_FALSE(Has(f, "GPR-C407")) << FindingsToJson(f);
+}
+
+// ---------------------------------------------------------------------------
+// Preprocessing — the comment/literal stripper behind every rule.
+
+TEST(GprCheckPrepare, CommentedViolationsDoNotFire) {
+  const auto f = CheckSourceText(
+      "src/ra/thing.cc",
+      "// size_t F() { return rand(); }\n"
+      "/* std::mutex mu_; */\n"
+      "int x = 0;\n");
+  EXPECT_TRUE(f.empty()) << FindingsToJson(f);
+}
+
+TEST(GprCheckPrepare, StringLiteralViolationsDoNotFire) {
+  const auto f = CheckSourceText(
+      "src/ra/thing.cc",
+      "const char* kDoc = \"never call rand() or std::mutex\";\n");
+  EXPECT_TRUE(f.empty()) << FindingsToJson(f);
+}
+
+TEST(GprCheckPrepare, LineNumbersSurviveStripping) {
+  const auto f = CheckSourceText("src/ra/thing.cc",
+                                 "/* multi\n"
+                                 "   line\n"
+                                 "   comment */\n"
+                                 "size_t F() { return rand(); }\n");
+  ASSERT_EQ(f.size(), 1u) << FindingsToJson(f);
+  EXPECT_EQ(f[0].code, "GPR-C405");
+  EXPECT_EQ(f[0].line, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Output shapes.
+
+TEST(GprCheckOutput, JsonIsWellFormedAndSorted) {
+  // Two rules firing in one snippet: findings come back sorted by line.
+  const auto f = CheckSourceText("src/ra/thing.cc",
+                                 "void F(const Table& in) {\n"
+                                 "  for (const Tuple& t : in.rows()) Use(t);\n"
+                                 "  (void)Drop(t);\n"
+                                 "}\n");
+  ASSERT_EQ(f.size(), 2u) << FindingsToJson(f);
+  EXPECT_EQ(f[0].code, "GPR-C401");
+  EXPECT_EQ(f[1].code, "GPR-C403");
+  EXPECT_LT(f[0].line, f[1].line);
+  const std::string json = FindingsToJson(f);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"code\": \"GPR-C401\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"file\": \"src/ra/thing.cc\""), std::string::npos)
+      << json;
+}
+
+TEST(GprCheckOutput, FindingToStringCarriesLocation) {
+  const auto f = CheckSourceText("src/ra/thing.cc",
+                                 "int F() { return rand(); }\n");
+  ASSERT_EQ(f.size(), 1u);
+  const std::string s = f[0].ToString();
+  EXPECT_NE(s.find("src/ra/thing.cc:1"), std::string::npos) << s;
+  EXPECT_NE(s.find("GPR-C405"), std::string::npos) << s;
+}
+
+// The repo's own sources are the ultimate fixture: CI runs the binary over
+// src/bench/examples/tools and fails on any finding, so every rule stays
+// demonstrably clean against real code (see .github/workflows/ci.yml).
+
+}  // namespace
+}  // namespace gpr::check

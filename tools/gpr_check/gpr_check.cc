@@ -1,0 +1,593 @@
+#include "gpr_check/gpr_check.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+#include "util/diag_emit.h"
+
+namespace gpr::check {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Path components of a '/'-normalized path ("src/ra/table.cc" ->
+/// {"src","ra","table.cc"}). Component matching avoids substring traps
+/// ("algebra/" must not count as "ra/").
+std::vector<std::string> Components(const std::string& path) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool HasComponent(const std::string& path, const std::string& name) {
+  for (const auto& c : Components(path)) {
+    if (c == name) return true;
+  }
+  return false;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Offset of the closer matching the opener at `open`, or npos.
+size_t MatchForward(const std::string& s, size_t open, char oc, char cc) {
+  size_t depth = 0;
+  for (size_t i = open; i < s.size(); ++i) {
+    if (s[i] == oc) {
+      ++depth;
+    } else if (s[i] == cc) {
+      if (--depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+/// A half-open [begin, end) offset range in the stripped text.
+struct Span {
+  size_t begin = 0;
+  size_t end = 0;
+  bool Contains(size_t offset) const {
+    return offset >= begin && offset < end;
+  }
+};
+
+/// One `for` loop: header span (inside the parens) and body span (inside
+/// the braces, or the single statement up to ';').
+struct ForLoop {
+  size_t start = 0;  ///< offset of the 'f' of `for`
+  Span header;
+  Span body;
+};
+
+/// All `for` loops of the stripped text, by lightweight paren/brace
+/// matching. Loops whose shape cannot be matched are skipped.
+std::vector<ForLoop> FindForLoops(const std::string& code) {
+  static const std::regex kFor(R"((^|[^\w])for\s*\()");
+  std::vector<ForLoop> out;
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kFor);
+       it != std::sregex_iterator(); ++it) {
+    ForLoop loop;
+    loop.start = it->position(0) + it->length(1);
+    const size_t open = it->position(0) + it->length(0) - 1;
+    const size_t close = MatchForward(code, open, '(', ')');
+    if (close == std::string::npos) continue;
+    loop.header = {open + 1, close};
+    size_t p = close + 1;
+    while (p < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[p]))) {
+      ++p;
+    }
+    if (p >= code.size()) continue;
+    if (code[p] == '{') {
+      const size_t body_close = MatchForward(code, p, '{', '}');
+      if (body_close == std::string::npos) continue;
+      loop.body = {p + 1, body_close};
+    } else {
+      // Single-statement body: up to the terminating ';'. Good enough for
+      // the statement shapes the rules care about (calls, casts).
+      const size_t semi = code.find(';', p);
+      if (semi == std::string::npos) continue;
+      loop.body = {p, semi + 1};
+    }
+    out.push_back(loop);
+  }
+  return out;
+}
+
+/// Spans of every call `name(...)` in the stripped text.
+std::vector<Span> CallSpans(const std::string& code, const std::string& name) {
+  std::vector<Span> out;
+  size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    if (pos > 0 && IsIdentChar(code[pos - 1])) {
+      pos += name.size();
+      continue;
+    }
+    size_t open = pos + name.size();
+    while (open < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[open]))) {
+      ++open;
+    }
+    if (open < code.size() && code[open] == '(') {
+      const size_t close = MatchForward(code, open, '(', ')');
+      if (close != std::string::npos) out.push_back({pos, close + 1});
+    }
+    pos += name.size();
+  }
+  return out;
+}
+
+void Add(const SourceFile& src, std::vector<Finding>* out, const char* code,
+         size_t offset, std::string message, std::string hint) {
+  const size_t line = src.LineOf(offset);
+  if (src.Suppressed(code, line)) return;
+  out->push_back(Finding{code, src.path, line, std::move(message),
+                         std::move(hint)});
+}
+
+// --- GPR-C400 ------------------------------------------------------------
+// Every mutable Table entry point bumps the content version exactly once.
+// The plan cache keys artifacts on (name, version); a missing bump serves
+// stale state, a double bump silently kills valid entries.
+void CheckC400(const SourceFile& src, std::vector<Finding>* out) {
+  if (!EndsWith(src.path, "ra/table.cc") && src.path != "table.cc") return;
+  static const std::regex kMethod(R"(Table::(\w+)\s*\()");
+  static const std::regex kMutation(
+      R"(rows_\s*\.\s*(push_back|emplace_back|clear|resize|erase|pop_back|assign|swap|insert)|sort\s*\(\s*rows_|rows_\s*=[^=])");
+  static const std::regex kBump(R"(BumpVersion\s*\(|version_\s*=\s*NextTableVersion)");
+  const std::string& code = src.code;
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kMethod);
+       it != std::sregex_iterator(); ++it) {
+    const size_t open = code.find('(', it->position(0));
+    const size_t close = MatchForward(code, open, '(', ')');
+    if (close == std::string::npos) continue;
+    // Definition (not a declaration/call): a '{' before the next ';'.
+    const size_t brace = code.find_first_of("{;", close + 1);
+    if (brace == std::string::npos || code[brace] != '{') continue;
+    const size_t body_close = MatchForward(code, brace, '{', '}');
+    if (body_close == std::string::npos) continue;
+    const std::string body = code.substr(brace + 1, body_close - brace - 1);
+    if (!std::regex_search(body, kMutation)) continue;
+    const size_t bumps = std::distance(
+        std::sregex_iterator(body.begin(), body.end(), kBump),
+        std::sregex_iterator());
+    if (bumps != 1) {
+      Add(src, out, "GPR-C400", it->position(0),
+          "mutable Table entry point 'Table::" + it->str(1) + "' bumps the "
+          "content version " + std::to_string(bumps) + " times, not exactly "
+          "once — plan-cache validity depends on one bump per mutation",
+          bumps == 0 ? "call BumpVersion() once before returning"
+                     : "bump once at the entry point; use ResetIndexes()-style "
+                       "no-bump helpers internally");
+    }
+  }
+}
+
+// --- GPR-C401 ------------------------------------------------------------
+// Long row loops in the ra operators must stay cancellable: every loop
+// over table tuples either polls the governor, runs inside RunMorsels
+// (which polls per ~8192-row morsel), or is nested in a polling loop.
+void CheckC401(const SourceFile& src, std::vector<Finding>* out) {
+  if (!HasComponent(src.path, "ra") || !EndsWith(src.path, ".cc")) return;
+  const std::string& code = src.code;
+  const std::vector<ForLoop> loops = FindForLoops(code);
+  const std::vector<Span> morsel_regions = CallSpans(code, "RunMorsels");
+
+  auto is_row_loop = [&](const ForLoop& l) {
+    const std::string header =
+        code.substr(l.header.begin, l.header.end - l.header.begin);
+    if (header.find(".rows()") != std::string::npos ||
+        header.find("->rows()") != std::string::npos) {
+      return true;
+    }
+    const std::string body =
+        code.substr(l.body.begin, l.body.end - l.body.begin);
+    return body.find(".row(") != std::string::npos ||
+           body.find("->row(") != std::string::npos;
+  };
+  auto body_polls = [&](const ForLoop& l) {
+    return code.substr(l.body.begin, l.body.end - l.body.begin)
+               .find("Poll") != std::string::npos;
+  };
+
+  for (const ForLoop& loop : loops) {
+    if (!is_row_loop(loop)) continue;
+    bool exempt = body_polls(loop);
+    for (const Span& region : morsel_regions) {
+      exempt = exempt || region.Contains(loop.start);
+    }
+    for (const ForLoop& outer : loops) {
+      // A polling ancestor covers its nested loops.
+      if (outer.body.Contains(loop.start) && body_polls(outer)) {
+        exempt = true;
+      }
+    }
+    if (!exempt) {
+      Add(src, out, "GPR-C401", loop.start,
+          "row loop over tuples without a governor poll — deadlines and "
+          "cancellation cannot interrupt it",
+          "call PollGovernor(ctx, i, site) in the loop, or run it under "
+          "RunMorsels (per-morsel polls)");
+    }
+  }
+}
+
+// --- GPR-C402 ------------------------------------------------------------
+// Raw standard-library synchronization in src/ defeats the Clang
+// thread-safety analysis: only gpr::Mutex carries the capability
+// attribute, so GPR_GUARDED_BY contracts on members are unenforceable
+// through std::mutex.
+void CheckC402(const SourceFile& src, std::vector<Finding>* out) {
+  if (!HasComponent(src.path, "src")) return;
+  if (EndsWith(src.path, "util/mutex.h") ||
+      EndsWith(src.path, "util/thread_annotations.h")) {
+    return;  // the wrapper itself
+  }
+  static const std::regex kRawSync(
+      R"(std\s*::\s*(mutex|timed_mutex|recursive_mutex|shared_mutex|lock_guard|unique_lock|scoped_lock|condition_variable_any|condition_variable)\b)");
+  const std::string& code = src.code;
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kRawSync);
+       it != std::sregex_iterator(); ++it) {
+    const size_t pos = it->position(0);
+    if (pos > 0 && IsIdentChar(code[pos - 1])) continue;
+    Add(src, out, "GPR-C402",
+        pos, "raw std::" + it->str(1) + " outside util/mutex.h — the "
+        "thread-safety analysis cannot check GPR_GUARDED_BY through it",
+        "use gpr::Mutex / gpr::MutexLock / gpr::CondVar from util/mutex.h");
+  }
+}
+
+// --- GPR-C403 ------------------------------------------------------------
+// Status/Result are [[nodiscard]], so the only way to drop one is an
+// explicit (void) cast; every such cast must say why, or a swallowed
+// failure looks identical to a considered one.
+void CheckC403(const SourceFile& src, std::vector<Finding>* out) {
+  static const std::regex kDiscard(
+      R"(\(\s*void\s*\)\s*[A-Za-z_][\w:.>-]*\s*\()");
+  const std::string& code = src.code;
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kDiscard);
+       it != std::sregex_iterator(); ++it) {
+    const size_t line = src.LineOf(it->position(0));
+    const bool justified =
+        src.RawLine(line).find("//") != std::string::npos ||
+        src.RawLine(line == 0 ? 0 : line - 1).find("//") !=
+            std::string::npos;
+    if (!justified) {
+      Add(src, out, "GPR-C403", it->position(0),
+          "(void)-discarded call result without a justification comment — "
+          "Status/Result discards must say why the failure is ignorable",
+          "add a // comment on this or the preceding line, or handle the "
+          "status");
+    }
+  }
+}
+
+// --- GPR-C404 ------------------------------------------------------------
+// Temp-table cleanup belongs to ra::TempTableScope: loop-dropping tables
+// (or blanket DropAllTemporary calls) runs only on the paths the author
+// remembered, while the RAII scope covers success, errors, and governed
+// aborts alike.
+void CheckC404(const SourceFile& src, std::vector<Finding>* out) {
+  if (EndsWith(src.path, "ra/catalog.h") ||
+      EndsWith(src.path, "ra/catalog.cc")) {
+    return;  // the owning implementation
+  }
+  const std::string& code = src.code;
+  const std::vector<ForLoop> loops = FindForLoops(code);
+  for (const Span& call : CallSpans(code, "DropTable")) {
+    for (const ForLoop& loop : loops) {
+      if (loop.body.Contains(call.begin)) {
+        Add(src, out, "GPR-C404", call.begin,
+            "manual temp-table cleanup loop — error and governed-abort "
+            "paths will leak catalog entries",
+            "track the tables in a ra::TempTableScope and let its "
+            "destructor drop them");
+        break;
+      }
+    }
+  }
+  for (const Span& call : CallSpans(code, "DropAllTemporary")) {
+    Add(src, out, "GPR-C404", call.begin,
+        "blanket DropAllTemporary call — drops temp tables other "
+        "executions may still own",
+        "track this execution's tables in a ra::TempTableScope instead");
+  }
+}
+
+// --- GPR-C405 ------------------------------------------------------------
+// Operator and engine code must be deterministic and reproducible:
+// rand()/srand() and wall-clock reads belong behind util/rng.h and
+// util/timer.h, where seeds and clocks are injectable.
+void CheckC405(const SourceFile& src, std::vector<Finding>* out) {
+  if (!HasComponent(src.path, "src")) return;
+  if (!HasComponent(src.path, "ra") && !HasComponent(src.path, "core") &&
+      !HasComponent(src.path, "exec") && !HasComponent(src.path, "algos")) {
+    return;
+  }
+  static const std::regex kNonDet(
+      R"((^|[^\w:.>])(rand\s*\(|srand\s*\(|time\s*\(\s*(NULL|nullptr)\s*\)|clock\s*\(\s*\)))");
+  const std::string& code = src.code;
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kNonDet);
+       it != std::sregex_iterator(); ++it) {
+    Add(src, out, "GPR-C405", it->position(2),
+        "non-deterministic libc call in engine code — results must be "
+        "reproducible under a fixed seed",
+        "use the deterministic PRNG (util/rng.h) or WallTimer "
+        "(util/timer.h)");
+  }
+}
+
+// --- GPR-C406 ------------------------------------------------------------
+// Every BENCH_*.json emitter must carry the counters section (cache,
+// facts) — CI trend tooling joins the artifacts on those keys, and a
+// hand-rolled emitter that drops them silently breaks the perf history.
+void CheckC406(const SourceFile& src, std::vector<Finding>* out) {
+  if (!HasComponent(src.path, "bench")) return;
+  static const std::regex kArtifact(R"("BENCH_\w*\.json")");
+  std::smatch m;
+  if (!std::regex_search(src.raw, m, kArtifact)) return;
+  if (src.raw.find("BenchJsonWriter") != std::string::npos ||
+      src.raw.find("cache_hits") != std::string::npos) {
+    return;
+  }
+  Add(src, out, "GPR-C406", m.position(0),
+      "bench JSON artifact emitted without the counters section",
+      "emit through bench::BenchJsonWriter (bench_common.h), whose record "
+      "schema carries the cache/facts counters");
+}
+
+// --- GPR-C407 ------------------------------------------------------------
+// Public headers use #pragma once, uniformly — a missing or ifndef-style
+// guard is a double-include bug (or an inconsistency) waiting to happen.
+void CheckC407(const SourceFile& src, std::vector<Finding>* out) {
+  if (!EndsWith(src.path, ".h")) return;
+  const std::string& code = src.code;
+  const size_t first =
+      code.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return;  // empty header: nothing to guard
+  static const std::regex kPragmaOnce(R"(^#\s*pragma\s+once\b)");
+  const size_t line = src.LineOf(first);
+  const size_t line_start = src.line_starts[line - 1];
+  const size_t line_end = code.find('\n', line_start);
+  const std::string first_line = code.substr(
+      line_start, (line_end == std::string::npos ? code.size() : line_end) -
+                      line_start);
+  if (!std::regex_search(first_line, kPragmaOnce)) {
+    Add(src, out, "GPR-C407", first,
+        "header does not open with #pragma once",
+        "make #pragma once the first non-comment line (repo convention; "
+        "no #ifndef guards)");
+  }
+}
+
+}  // namespace
+
+size_t SourceFile::LineOf(size_t offset) const {
+  auto it = std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+  return static_cast<size_t>(it - line_starts.begin());
+}
+
+std::string SourceFile::RawLine(size_t line) const {
+  if (line == 0 || line > line_starts.size()) return "";
+  const size_t begin = line_starts[line - 1];
+  const size_t end = raw.find('\n', begin);
+  return raw.substr(begin,
+                    (end == std::string::npos ? raw.size() : end) - begin);
+}
+
+bool SourceFile::Suppressed(const std::string& code_id, size_t line) const {
+  for (size_t l : {line, line == 0 ? size_t{0} : line - 1}) {
+    const std::string text = RawLine(l);
+    const size_t pos = text.find("gpr_check(disable:");
+    if (pos == std::string::npos) continue;
+    const size_t close = text.find(')', pos);
+    if (close == std::string::npos) continue;
+    if (text.substr(pos, close - pos).find(code_id) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SourceFile PrepareSource(std::string path, std::string text) {
+  SourceFile src;
+  std::replace(path.begin(), path.end(), '\\', '/');
+  src.path = std::move(path);
+  src.raw = std::move(text);
+  src.code = src.raw;
+
+  // Blank comment and literal contents to spaces, preserving newlines so
+  // offsets/lines in `code` match `raw`.
+  std::string& c = src.code;
+  enum class St { kNormal, kLine, kBlock, kString, kChar, kRaw };
+  St st = St::kNormal;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (size_t i = 0; i < c.size(); ++i) {
+    switch (st) {
+      case St::kNormal:
+        if (c[i] == '/' && i + 1 < c.size() && c[i + 1] == '/') {
+          st = St::kLine;
+          c[i] = c[i + 1] = ' ';
+          ++i;
+        } else if (c[i] == '/' && i + 1 < c.size() && c[i + 1] == '*') {
+          st = St::kBlock;
+          c[i] = c[i + 1] = ' ';
+          ++i;
+        } else if (c[i] == '"' && i > 0 && c[i - 1] == 'R') {
+          // Raw string: collect the delimiter up to '('.
+          raw_delim.clear();
+          size_t j = i + 1;
+          while (j < c.size() && c[j] != '(') raw_delim += c[j++];
+          st = St::kRaw;
+        } else if (c[i] == '"') {
+          st = St::kString;
+        } else if (c[i] == '\'' && !(i > 0 && IsIdentChar(c[i - 1]))) {
+          // Ident-adjacent ' is a digit separator (1'000), not a char.
+          st = St::kChar;
+        }
+        break;
+      case St::kLine:
+        if (c[i] == '\n') {
+          st = St::kNormal;
+        } else {
+          c[i] = ' ';
+        }
+        break;
+      case St::kBlock:
+        if (c[i] == '*' && i + 1 < c.size() && c[i + 1] == '/') {
+          st = St::kNormal;
+          c[i] = c[i + 1] = ' ';
+          ++i;
+        } else if (c[i] != '\n') {
+          c[i] = ' ';
+        }
+        break;
+      case St::kString:
+        if (c[i] == '\\' && i + 1 < c.size()) {
+          c[i] = c[i + 1] = ' ';
+          ++i;
+        } else if (c[i] == '"') {
+          st = St::kNormal;
+        } else if (c[i] != '\n') {
+          c[i] = ' ';
+        }
+        break;
+      case St::kChar:
+        if (c[i] == '\\' && i + 1 < c.size()) {
+          c[i] = c[i + 1] = ' ';
+          ++i;
+        } else if (c[i] == '\'') {
+          st = St::kNormal;
+        } else {
+          c[i] = ' ';
+        }
+        break;
+      case St::kRaw: {
+        const std::string closer = ")" + raw_delim + "\"";
+        if (c.compare(i, closer.size(), closer) == 0) {
+          st = St::kNormal;
+          i += closer.size() - 1;
+        } else if (c[i] != '\n') {
+          c[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+
+  src.line_starts.push_back(0);
+  for (size_t i = 0; i < src.raw.size(); ++i) {
+    if (src.raw[i] == '\n' && i + 1 < src.raw.size()) {
+      src.line_starts.push_back(i + 1);
+    }
+  }
+  return src;
+}
+
+void CheckSource(const SourceFile& src, std::vector<Finding>* out) {
+  CheckC400(src, out);
+  CheckC401(src, out);
+  CheckC402(src, out);
+  CheckC403(src, out);
+  CheckC404(src, out);
+  CheckC405(src, out);
+  CheckC406(src, out);
+  CheckC407(src, out);
+}
+
+std::vector<Finding> CheckSourceText(const std::string& path,
+                                     const std::string& text) {
+  std::vector<Finding> out;
+  CheckSource(PrepareSource(path, text), &out);
+  return out;
+}
+
+std::string Finding::ToString() const {
+  std::string out =
+      file + ":" + std::to_string(line) + ": error " + code + ": " + message;
+  if (!hint.empty()) out += "\n  fix: " + hint;
+  return out;
+}
+
+std::string Finding::ToJson() const {
+  std::string out = "{\"file\": \"" + JsonEscape(file) +
+                    "\", \"line\": " + std::to_string(line) +
+                    ", \"code\": \"" + JsonEscape(code) +
+                    "\", \"severity\": \"error\", \"message\": \"" +
+                    JsonEscape(message) + "\"";
+  if (!hint.empty()) out += ", \"hint\": \"" + JsonEscape(hint) + "\"";
+  out += "}";
+  return out;
+}
+
+Result<std::vector<Finding>> CheckPaths(
+    const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& p : paths) {
+    const fs::path root(p);
+    if (fs::is_directory(root, ec)) {
+      for (fs::recursive_directory_iterator it(root, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (!it->is_regular_file(ec)) continue;
+        const std::string ext = it->path().extension().string();
+        if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+          files.push_back(it->path().generic_string());
+        }
+      }
+      if (ec) {
+        return Status(StatusCode::kIoError,
+                      "cannot walk '" + p + "': " + ec.message());
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root.generic_string());
+    } else {
+      return Status(StatusCode::kNotFound, "no such file or directory: " + p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      return Status(StatusCode::kIoError, "cannot open '" + file + "'");
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    CheckSource(PrepareSource(file, buf.str()), &findings);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.code < b.code;
+            });
+  return findings;
+}
+
+std::string FindingsToJson(const std::vector<Finding>& findings) {
+  JsonArrayEmitter emitter;
+  for (const Finding& f : findings) emitter.Add(f.ToJson());
+  return emitter.Render();
+}
+
+}  // namespace gpr::check

@@ -1,0 +1,80 @@
+// gpr_check — the repo-invariant linter (tools/gpr_check).
+//
+// A standalone token-lite analyzer over the C++ sources that enforces the
+// engine conventions no compiler checks: version-bump discipline in the
+// Table mutators, governor polls in row loops, the gpr::Mutex lock
+// wrapper, justified Status discards, RAII temp-table cleanup,
+// deterministic operator code, bench-artifact schema, and header hygiene.
+// Each rule has a stable GPR-C4xx code; docs/static-analysis.md is the
+// catalog.
+//
+// The scan is deliberately not a full parser: sources are stripped of
+// comments and string/character literals (preserving line structure) and
+// rules pattern-match with lightweight brace/paren tracking. That keeps
+// the tool dependency-free, fast enough to run on every CI push, and —
+// unlike a clang plugin — trivially testable against in-memory fixture
+// snippets (tests/test_gpr_check.cc).
+//
+// Intentional exceptions are annotated at the site, never silently
+// skipped:   // gpr_check(disable: GPR-C402): <reason>
+// on the offending line or the line above suppresses that code there.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gpr::check {
+
+/// One linter finding, located by file and 1-based line.
+struct Finding {
+  std::string code;  ///< stable identifier, e.g. "GPR-C402"
+  std::string file;  ///< path as scanned ('/'-separated)
+  size_t line = 0;   ///< 1-based
+  std::string message;
+  std::string hint;  ///< optional fix-it suggestion
+
+  /// "file:line: error GPR-C402: message\n  fix: hint".
+  std::string ToString() const;
+  /// One flat JSON object (the ANALYSIS_check.json entry shape).
+  std::string ToJson() const;
+};
+
+/// A source file prepared for rule scanning.
+struct SourceFile {
+  std::string path;  ///< normalized to '/' separators
+  std::string raw;   ///< original text (string literals, comments intact)
+  /// `raw` with comments and string/char literal *contents* blanked to
+  /// spaces — newlines kept, so offsets and line numbers match `raw`.
+  std::string code;
+  std::vector<size_t> line_starts;  ///< offset of each line in raw/code
+
+  /// 1-based line containing `offset`.
+  size_t LineOf(size_t offset) const;
+  /// Raw text of 1-based line `line` ("" when out of range).
+  std::string RawLine(size_t line) const;
+  /// True when `line` or the line above carries
+  /// "gpr_check(disable: <code>)".
+  bool Suppressed(const std::string& code_id, size_t line) const;
+};
+
+/// Normalizes separators, strips comments/literals, indexes lines.
+SourceFile PrepareSource(std::string path, std::string text);
+
+/// Runs every rule applicable to `src.path` and appends findings.
+void CheckSource(const SourceFile& src, std::vector<Finding>* out);
+
+/// PrepareSource + CheckSource over an in-memory snippet (fixture tests).
+std::vector<Finding> CheckSourceText(const std::string& path,
+                                     const std::string& text);
+
+/// Scans the given files and/or directories (recursively; .h/.cc/.cpp)
+/// and returns all findings sorted by (file, line, code). Fails on a path
+/// that does not exist or cannot be read.
+Result<std::vector<Finding>> CheckPaths(const std::vector<std::string>& paths);
+
+/// Renders findings as the ANALYSIS_check.json array.
+std::string FindingsToJson(const std::vector<Finding>& findings);
+
+}  // namespace gpr::check

@@ -1,0 +1,71 @@
+// gpr_check — repo-invariant linter CLI.
+//
+//   gpr_check [--json=PATH] [--quiet] <file-or-dir> ...
+//
+// Scans the given C++ sources (.h/.cc/.cpp, directories walked
+// recursively) for violations of the engine conventions, printing one
+// diagnostic per finding and optionally writing the machine-readable
+// ANALYSIS_check.json artifact. Exit status: 0 clean, 1 findings,
+// 2 usage/IO problems. See docs/static-analysis.md for the GPR-C4xx
+// catalog and the suppression syntax.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gpr_check/gpr_check.h"
+#include "util/diag_emit.h"
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quiet = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::printf(
+          "usage: gpr_check [--json=PATH] [--quiet] <file-or-dir> ...\n"
+          "lints C++ sources against the repo invariants (GPR-C4xx; see\n"
+          "docs/static-analysis.md). --json writes the findings as a JSON\n"
+          "array (the ANALYSIS_check.json CI artifact); --quiet suppresses\n"
+          "per-finding text. exit: 0 clean, 1 findings, 2 usage/IO.\n");
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return 2;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "gpr_check: no paths given (try --help)\n");
+    return 2;
+  }
+
+  auto findings = gpr::check::CheckPaths(paths);
+  if (!findings.ok()) {
+    std::fprintf(stderr, "gpr_check: %s\n",
+                 findings.status().message().c_str());
+    return 2;
+  }
+  if (!quiet) {
+    for (const auto& f : *findings) {
+      std::printf("%s\n", f.ToString().c_str());
+    }
+  }
+  if (!json_path.empty()) {
+    gpr::JsonArrayEmitter emitter;
+    for (const auto& f : *findings) emitter.Add(f.ToJson());
+    if (!emitter.WriteFile(json_path)) {
+      std::fprintf(stderr, "gpr_check: cannot write '%s'\n",
+                   json_path.c_str());
+      return 2;
+    }
+  }
+  std::printf("gpr_check: %zu finding(s)\n", findings->size());
+  return findings->empty() ? 0 : 1;
+}
