@@ -10,6 +10,11 @@
 // the hoisting prologue's setup time, and the facts counters: dedup
 // skips, dead-select skips, pruned columns, analysis time) for the CI
 // perf-trajectory artifact.
+//
+// A trailing section measures the resilience layer's cost: WCC and SSSP
+// with iteration-granular checkpointing off vs every 8 iterations
+// ("ckpt-off" / "ckpt-every-8" variants) — the snapshot copies must stay
+// within a few percent of the checkpoint-free run (docs/robustness.md).
 #include <algorithm>
 #include <cstdio>
 #include <thread>
@@ -17,6 +22,7 @@
 
 #include "algos/algos.h"
 #include "bench_common.h"
+#include "core/checkpoint.h"
 #include "graph/generators.h"
 #include "util/timer.h"
 
@@ -140,6 +146,52 @@ int Run(bool json) {
             std::fflush(stdout);
           }
         }
+      }
+    }
+
+    // Checkpoint-overhead legs: cache on, facts on, DOP 1, snapshots off
+    // vs every 8 iterations into a private store. Results are verified
+    // identical against the leg's own checkpoint-off run.
+    std::printf("%-6s %-14s %4s %12s %10s\n", "algo", "checkpoint", "dop",
+                "wall_ms", "rows");
+    const Workload ckpt_workloads[] = {{"wcc", &algos::Wcc},
+                                       {"sssp", &algos::SsspBellmanFord}};
+    for (const Workload& w : ckpt_workloads) {
+      ra::Table ckpt_baseline;
+      for (int every : {0, 8}) {
+        core::CheckpointStore store;
+        algos::AlgoOptions opt;
+        opt.fault_spec = "none";
+        opt.plan_cache = 1;
+        opt.plan_facts = 1;
+        opt.degree_of_parallelism = 1;
+        opt.checkpoint_every = every;
+        opt.checkpoint_store = &store;
+        size_t rows = 0;
+        double best = 1e300;
+        for (int rep = 0; rep < reps; ++rep) {
+          auto fresh = CatalogFor(g);
+          WallTimer timer;
+          auto result = w.run(fresh, opt);
+          GPR_CHECK_OK(result.status());
+          best = std::min(best, timer.ElapsedMillis());
+          rows = result->table.NumRows();
+          if (every == 0) {
+            ckpt_baseline = result->table;
+          } else {
+            ExpectIdentical(ckpt_baseline, result->table, w.name);
+          }
+        }
+        BenchRecord rec{w.name,
+                        every == 0 ? "ckpt-off" : "ckpt-every-8",
+                        spec.label,
+                        1,
+                        best,
+                        rows};
+        writer.Add(rec);
+        std::printf("%-6s %-14s %4d %12.1f %10zu\n", w.name,
+                    every == 0 ? "off" : "every-8", 1, best, rows);
+        std::fflush(stdout);
       }
     }
   }

@@ -1,5 +1,6 @@
 #include "algos/common.h"
 
+#include "core/checkpoint.h"
 #include "core/plan.h"
 #include "ra/operators.h"
 
@@ -27,7 +28,37 @@ Result<WithPlusResult> RunWithPlus(core::WithPlusQuery& q,
   }
   if (options.plan_cache >= 0) q.plan_cache = options.plan_cache;
   if (options.plan_facts >= 0) q.plan_facts = options.plan_facts;
-  return core::ExecuteWithPlus(q, catalog, options.profile, options.seed);
+  q.checkpoint_every = options.checkpoint_every;
+  q.checkpoint_store = options.checkpoint_store;
+  if (!options.resume_from.empty() && q.resume_from.empty()) {
+    // An algorithm forwards the caller's token to every with+ it runs, so
+    // only hand it to the fixpoint that actually issued it: the one whose
+    // recursive relation matches the snapshot. Everything else (another
+    // stage, or a token the resuming stage already consumed) runs fresh
+    // instead of tripping the engine's strict unknown-token NotFound.
+    core::CheckpointStore& store = options.checkpoint_store != nullptr
+                                       ? *options.checkpoint_store
+                                       : core::CheckpointStore::Default();
+    if (auto snap = store.Find(options.resume_from);
+        snap.has_value() && snap->rec_table == q.rec_name) {
+      q.resume_from = options.resume_from;
+    }
+  }
+  exec::RetryState retry(options.retry);
+  while (true) {
+    Result<WithPlusResult> result =
+        core::ExecuteWithPlus(q, catalog, options.profile, options.seed);
+    if (result.ok() || !retry.ShouldRetry(result.status())) return result;
+    // A retryable failure: resume from the attempt's last snapshot when
+    // one was published (ProgressDetail rides on every governor trip and
+    // injected fault); without one the retry restarts from scratch.
+    const exec::ProgressDetail* detail =
+        exec::ProgressDetail::FromStatus(result.status());
+    if (detail != nullptr && !detail->progress().resume_token.empty()) {
+      q.resume_from = detail->progress().resume_token;
+    }
+    retry.SleepBeforeNextAttempt();
+  }
 }
 
 Status CreateLoopedEdges(ra::Catalog& catalog, const std::string& edges,

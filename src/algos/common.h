@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/with_plus.h"
+#include "exec/retry.h"
 #include "ra/catalog.h"
 
 namespace gpr::algos {
@@ -60,6 +61,22 @@ struct AlgoOptions {
   /// plan_facts setting, 0 = off, 1 = on. Results are guaranteed identical
   /// either way.
   int plan_facts = -1;
+
+  /// Checkpoint/resume (core/checkpoint.h, docs/robustness.md): -1 =
+  /// inherit the profile's checkpoint_every, 0 = off, N = snapshot every
+  /// N fixpoint iterations. `resume_from` continues an interrupted run
+  /// from its snapshot token; nullptr store = CheckpointStore::Default().
+  int checkpoint_every = -1;
+  std::string resume_from;
+  core::CheckpointStore* checkpoint_store = nullptr;
+
+  /// Retry policy (exec/retry.h): with max_attempts > 1, RunWithPlus
+  /// retries transient failures (Unavailable — plus governed trips when
+  /// retry_governed is set) after a deterministic seeded backoff. When
+  /// checkpointing is on, each retry resumes from the failed attempt's
+  /// last snapshot, so a recurring transient fault still makes monotonic
+  /// progress instead of restarting from scratch.
+  exec::RetryPolicy retry;
 };
 
 /// Runs `q` with the governance knobs of `options` applied — the single

@@ -122,6 +122,21 @@ struct EngineProfile {
   /// WithPlusQuery::plan_facts.
   bool plan_facts = true;
 
+  /// Rows between mid-operator governor polls (docs/robustness.md): the
+  /// cadence at which long row loops check cancellation and deadlines.
+  /// Lower = snappier interrupts, higher = less poll overhead. The
+  /// GPR_POLL_INTERVAL environment variable overrides it process-wide
+  /// (exec::ResolvePollInterval); <= 0 falls back to the 8192 default.
+  int governor_poll_interval = 8192;
+
+  /// Fixpoint checkpoint cadence (core/checkpoint.h, docs/robustness.md):
+  /// snapshot the recursive state every N completed iterations so a
+  /// governor trip or injected fault can be resumed from the last
+  /// snapshot instead of restarting. 0 (the default) = off; overridable
+  /// per query via the SQL `checkpoint every N` option /
+  /// WithPlusQuery::checkpoint_every.
+  int checkpoint_every = 0;
+
   WithFeatureMatrix with_features;
 
   /// The algorithm used for a join whose inner input is `inner`.

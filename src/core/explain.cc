@@ -163,6 +163,18 @@ std::string ExplainWithPlus(const WithPlusQuery& query,
       query.plan_facts < 0 ? profile.plan_facts : query.plan_facts > 0;
   out << "plan cache: " << (cache_on ? "on" : "off") << "\n";
   out << "plan facts: " << (facts_on ? "on" : "off") << "\n";
+  const int ckpt_every = query.checkpoint_every < 0
+                             ? profile.checkpoint_every
+                             : query.checkpoint_every;
+  if (ckpt_every > 0) {
+    out << "checkpoint: every " << ckpt_every << " iterations";
+    if (!query.resume_from.empty()) {
+      out << " (resume from '" << query.resume_from << "')";
+    }
+    out << "\n";
+  } else {
+    out << "checkpoint: off\n";
+  }
 
   // Mirror the fixpoint driver's pre-loop pipeline (core/psm.cc) exactly,
   // so the printed plans, [invariant] annotations and [hoisted pre-loop]

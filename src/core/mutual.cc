@@ -1,9 +1,11 @@
 #include "core/mutual.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/checkpoint.h"
 #include "core/psm.h"
 #include "util/timer.h"
 
@@ -178,15 +180,53 @@ Result<MutualResult> ExecuteMutual(const MutualQuery& query,
   ra::EvalContext ctx{&rng};
   ctx.exec = gov ? &*gov : nullptr;
   ctx.dop = std::max(1, profile.degree_of_parallelism);
+  ctx.poll_stride = exec::ResolvePollInterval(profile.governor_poll_interval);
   ra::TempTableScope scope(catalog);
 
-  // Create and initialize every relation.
-  for (const auto& rel : query.relations) {
+  // ---- Checkpoint/resume (core/checkpoint.h) — same protocol as
+  // CallProcedure: active_token is replaced by newer snapshots, removed on
+  // success, and left in the store on failure for the retry to resume.
+  const int ckpt_every = query.checkpoint_every < 0
+                             ? profile.checkpoint_every
+                             : query.checkpoint_every;
+  CheckpointStore& store = query.checkpoint_store != nullptr
+                               ? *query.checkpoint_store
+                               : CheckpointStore::Default();
+  std::string active_token;
+  std::optional<FixpointCheckpoint> cp_resume;
+  if (!query.resume_from.empty()) {
+    cp_resume = store.Find(query.resume_from);
+    if (!cp_resume.has_value()) {
+      return Status::NotFound("resume token '" + query.resume_from +
+                              "' not found (completed, evicted, or never "
+                              "issued)");
+    }
+    bool names_match =
+        cp_resume->mutual_names.size() == query.relations.size();
+    for (size_t i = 0; names_match && i < query.relations.size(); ++i) {
+      names_match = cp_resume->mutual_names[i] == query.relations[i].name;
+    }
+    // A token from a different fixpoint (e.g. a with+ stage of the same
+    // pipeline): run fresh and let the issuing stage resume it.
+    if (!names_match) cp_resume.reset();
+  }
+  const bool resumed = cp_resume.has_value();
+
+  // Create every relation; initialize it from its init plans on a fresh
+  // run, from the snapshot on a resumed one (the Find copy gives the
+  // restored tables fresh content versions — see checkpoint.h).
+  for (size_t i = 0; i < query.relations.size(); ++i) {
+    const MutualRelation& rel = query.relations[i];
     if (catalog.Has(rel.name)) {
       return Status::AlreadyExists("relation '" + rel.name +
                                    "' collides with a table");
     }
     GPR_RETURN_NOT_OK(scope.Create(rel.name, rel.schema));
+    if (resumed) {
+      GPR_RETURN_NOT_OK(catalog.ReplaceTable(
+          rel.name, std::move(cp_resume->mutual_tables[i])));
+      continue;
+    }
     for (const auto& init : rel.init) {
       GPR_ASSIGN_OR_RETURN(Table t, ExecutePlan(init, catalog, profile, &ctx));
       GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(rel.name));
@@ -210,6 +250,12 @@ Result<MutualResult> ExecuteMutual(const MutualQuery& query,
   }
 
   MutualResult result;
+  if (resumed) {
+    result.iterations = cp_resume->iterations;
+    rng = cp_resume->rng;
+    active_token = cp_resume->token;
+    if (gov) gov->set_resume_token(active_token);
+  }
   while (true) {
     if (gov) {
       GPR_RETURN_NOT_OK(gov->CheckIteration(result.iterations));
@@ -273,6 +319,26 @@ Result<MutualResult> ExecuteMutual(const MutualQuery& query,
       }
     }
     ++result.iterations;
+    // Snapshot every ckpt_every completed iterations, except when this
+    // iteration ends the run anyway (see CallProcedure).
+    if (ckpt_every > 0 && changed_any &&
+        (query.maxrecursion == 0 ||
+         static_cast<int>(result.iterations) < query.maxrecursion) &&
+        result.iterations % static_cast<size_t>(ckpt_every) == 0) {
+      FixpointCheckpoint cp;
+      cp.seed = seed;
+      cp.iterations = result.iterations;
+      cp.rng = rng;
+      for (const auto& rel : query.relations) {
+        GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(rel.name));
+        cp.mutual_names.push_back(rel.name);
+        cp.mutual_tables.push_back(*rec);  // copy; the store owns it
+      }
+      const std::string token = store.Insert(std::move(cp));
+      if (!active_token.empty()) store.Remove(active_token);
+      active_token = token;
+      if (gov) gov->set_resume_token(active_token);
+    }
     if (!changed_any) {
       result.converged = true;
       break;
@@ -288,6 +354,9 @@ Result<MutualResult> ExecuteMutual(const MutualQuery& query,
     result.tables.push_back(std::move(*rec));
     result.tables.back().DropIndexes();
   }
+  // Success: nothing will resume this run (failure paths return above and
+  // keep the active snapshot for the retry).
+  if (!active_token.empty()) store.Remove(active_token);
   // TempTableScope drops every relation and computed-by temporary here.
   return result;
 }

@@ -50,6 +50,14 @@ struct MutualQuery {
   exec::CancellationToken cancel;
   /// "" consults GPR_FAULTS; "none" disables fault injection.
   std::string fault_spec;
+
+  /// Checkpoint/resume — same semantics as WithPlusQuery's
+  /// (core/checkpoint.h): -1 inherits the profile's checkpoint_every,
+  /// 0 = off, N = snapshot every N iterations; resume_from restores a
+  /// prior snapshot; nullptr store = CheckpointStore::Default().
+  int checkpoint_every = -1;
+  std::string resume_from;
+  CheckpointStore* checkpoint_store = nullptr;
 };
 
 struct MutualResult {

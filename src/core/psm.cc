@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "analysis/dataflow.h"
+#include "core/checkpoint.h"
 #include "ra/plan_cache.h"
 #include "util/timer.h"
 
@@ -68,6 +69,9 @@ Result<PsmProcedure> CompileToPsm(const WithPlusQuery& query) {
   proc.plan_cache = query.plan_cache;
   proc.plan_facts = query.plan_facts;
   proc.sql99_working_table = query.sql99_working_table;
+  proc.checkpoint_every = query.checkpoint_every;
+  proc.resume_from = query.resume_from;
+  proc.checkpoint_store = query.checkpoint_store;
   if (proc.sql99_working_table && query.mode == UnionMode::kUnionByUpdate) {
     return Status::InvalidArgument(
         "working-table semantics apply to union all / union, not to "
@@ -134,6 +138,7 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
   ra::EvalContext ctx{&rng};
   ctx.exec = gov;
   ctx.dop = std::max(1, profile.degree_of_parallelism);
+  ctx.poll_stride = exec::ResolvePollInterval(profile.governor_poll_interval);
   // Cross-iteration plan-state cache: the query-level `cache on|off`
   // option overrides the profile default. Cache memory is charged to the
   // governor's byte budget on insert (PlanCache owns no budget of its
@@ -165,31 +170,85 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
   const bool working_mode = proc.sql99_working_table;
   Table full_accum(proc.rec_table, proc.rec_schema);
 
-  // Initialization: union all of the initial subqueries. In working-table
-  // mode each row is copied into the accumulator before it moves into the
-  // catalog table — no full-table copy afterwards.
-  for (const auto& plan : proc.init_plans) {
-    GPR_ASSIGN_OR_RETURN(
-        Table init,
-        ExecutePlan(plan, catalog, profile, &ctx, &result.counters));
-    GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(proc.rec_table));
-    if (!rec->schema().UnionCompatible(init.schema())) {
-      return Status::TypeMismatch(
-          "initial subquery result " + init.schema().ToString() +
-          " is incompatible with " + proc.rec_schema.ToString());
+  // ---- Checkpoint/resume (core/checkpoint.h, docs/robustness.md) -------
+  //
+  // `active_token` names the snapshot currently covering this run: it is
+  // replaced as newer snapshots supersede it, removed on success, and
+  // deliberately left in the store on every failure path — it is exactly
+  // what a retry resumes from.
+  const int ckpt_every = proc.checkpoint_every < 0 ? profile.checkpoint_every
+                                                   : proc.checkpoint_every;
+  CheckpointStore& store = proc.checkpoint_store != nullptr
+                               ? *proc.checkpoint_store
+                               : CheckpointStore::Default();
+  std::string active_token;
+  std::optional<FixpointCheckpoint> resume;
+  if (!proc.resume_from.empty()) {
+    resume = store.Find(proc.resume_from);
+    if (!resume.has_value()) {
+      return Status::NotFound("resume token '" + proc.resume_from +
+                              "' not found (completed, evicted, or never "
+                              "issued)");
     }
-    for (auto& row : init.mutable_rows()) {
-      if (profile.insert_logging) redo.LogInsert(row);
-      if (working_mode) full_accum.AddRow(row);
-      rec->AddRow(std::move(row));
+    if (resume->rec_table != proc.rec_table) {
+      // A token from a different fixpoint stage: multi-stage algorithms
+      // run several with+ queries back to back and pass the token to each;
+      // the settled stages replay fresh (deterministically) and only the
+      // stage that issued the token actually resumes.
+      resume.reset();
+    }
+  }
+  const bool resumed = resume.has_value();
+
+  if (resumed) {
+    // Restore the snapshot instead of running the initial subqueries: the
+    // recursive relation's catalog contents, the working-table
+    // accumulator, and the iteration record. The restored tables are
+    // copies out of the store (CheckpointStore::Find), so they carry
+    // fresh content versions — the plan cache can never serve an
+    // artifact built for the interrupted incarnation of the relation.
+    GPR_RETURN_NOT_OK(
+        catalog.ReplaceTable(proc.rec_table, std::move(resume->rec)));
+    if (working_mode) full_accum = std::move(resume->full_accum);
+    result.iterations = resume->iterations;
+    result.iters = resume->iters;
+    result.counters = resume->counters;
+    active_token = resume->token;
+    if (gov != nullptr) gov->set_resume_token(active_token);
+  } else {
+    // Initialization: union all of the initial subqueries. In
+    // working-table mode each row is copied into the accumulator before
+    // it moves into the catalog table — no full-table copy afterwards.
+    for (const auto& plan : proc.init_plans) {
+      GPR_ASSIGN_OR_RETURN(
+          Table init,
+          ExecutePlan(plan, catalog, profile, &ctx, &result.counters));
+      GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(proc.rec_table));
+      if (!rec->schema().UnionCompatible(init.schema())) {
+        return Status::TypeMismatch(
+            "initial subquery result " + init.schema().ToString() +
+            " is incompatible with " + proc.rec_schema.ToString());
+      }
+      for (auto& row : init.mutable_rows()) {
+        if (profile.insert_logging) redo.LogInsert(row);
+        if (working_mode) full_accum.AddRow(row);
+        rec->AddRow(std::move(row));
+      }
     }
   }
 
   // The set of rows already in R, maintained for union (distinct) mode.
+  // In working-table mode the catalog table holds only the last delta, so
+  // the set comes from the accumulator (identical on the fresh path, and
+  // the only complete record on the resumed one).
   std::unordered_set<ra::Tuple, ra::TupleHash, ra::TupleEq> seen;
   if (proc.mode == UnionMode::kUnionDistinct) {
-    GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(proc.rec_table));
-    seen.insert(rec->rows().begin(), rec->rows().end());
+    if (working_mode) {
+      seen.insert(full_accum.rows().begin(), full_accum.rows().end());
+    } else {
+      GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(proc.rec_table));
+      seen.insert(rec->rows().begin(), rec->rows().end());
+    }
   }
 
   // ---- Loop-invariant hoisting prologue (cache_on only) ----------------
@@ -387,6 +446,14 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
         static_cast<size_t>(facts_timer.ElapsedMillis() * 1000.0);
   }
 
+  if (resumed) {
+    // The prologue above runs only rand()-free plans (hoisting refuses
+    // PlanUsesRand subtrees and the facts analyses are static), so the
+    // generator is untouched since seeding; restoring it here continues
+    // the exact random sequence the interrupted run was drawing (MIS).
+    rng = resume->rng;
+  }
+
   const int cap = proc.maxrecursion;
   while (true) {
     if (gov != nullptr) {
@@ -522,6 +589,30 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
            working_mode ? full_accum.NumRows() : rec->NumRows(),
            delta.NumRows()});
     }
+    // Snapshot every ckpt_every completed iterations — but not when this
+    // iteration ends the run anyway (convergence or the maxrecursion cap):
+    // a snapshot nothing can resume from would only be store churn.
+    if (ckpt_every > 0 && changed &&
+        (cap == 0 || static_cast<int>(result.iterations) < cap) &&
+        result.iterations % static_cast<size_t>(ckpt_every) == 0) {
+      FixpointCheckpoint cp;
+      cp.rec_table = proc.rec_table;
+      cp.seed = seed;
+      cp.iterations = result.iterations;
+      cp.rng = rng;
+      cp.working_mode = working_mode;
+      {
+        GPR_ASSIGN_OR_RETURN(Table * rec, catalog.Get(proc.rec_table));
+        cp.rec = *rec;  // the store owns its own incarnation
+      }
+      if (working_mode) cp.full_accum = full_accum;
+      cp.iters = result.iters;
+      cp.counters = result.counters;
+      const std::string token = store.Insert(std::move(cp));
+      if (!active_token.empty()) store.Remove(active_token);
+      active_token = token;
+      if (gov != nullptr) gov->set_resume_token(active_token);
+    }
     if (!changed) {
       result.converged = true;
       break;
@@ -548,6 +639,9 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
     result.counters.cache_invalidations = cs.invalidations;
     result.counters.cache_bytes = cs.bytes_live;
   }
+  // Success: the run is complete, nothing will resume it. Failure paths
+  // return above and leave the active snapshot in the store on purpose.
+  if (!active_token.empty()) store.Remove(active_token);
   return result;
 }
 

@@ -42,6 +42,13 @@ struct PsmProcedure {
   /// -1 = inherit the profile's plan_facts; 0 = off; 1 = on.
   int plan_facts = -1;
   bool sql99_working_table = false;
+  /// Checkpoint cadence: -1 = inherit the profile's checkpoint_every;
+  /// 0 = off; N = snapshot every N completed iterations.
+  int checkpoint_every = -1;
+  /// Resume token of a prior snapshot; "" = start fresh.
+  std::string resume_from;
+  /// Snapshot store; nullptr = CheckpointStore::Default().
+  CheckpointStore* checkpoint_store = nullptr;
 
   /// A human-readable SQL/PSM sketch of the procedure (documentation and
   /// REPL output; not re-parsed).

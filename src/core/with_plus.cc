@@ -69,6 +69,11 @@ Status ValidateWithPlus(const WithPlusQuery& query) {
     return Status::InvalidArgument(
         "parallel degree must be between 0 and 1024");
   }
+  if (query.checkpoint_every < -1 || query.checkpoint_every > 32767) {
+    return Status::InvalidArgument(
+        "checkpoint every must be between 0 and 32767 (-1 inherits the "
+        "profile)");
+  }
   return Status::OK();
 }
 

@@ -26,6 +26,8 @@
 
 namespace gpr::core {
 
+class CheckpointStore;  // core/checkpoint.h
+
 /// How the recursive subqueries' results combine with R each iteration.
 enum class UnionMode {
   kUnionAll,       ///< bag append (SQL'99 default; inflationary)
@@ -99,6 +101,23 @@ struct WithPlusQuery {
   /// Fault-injection spec (exec::FaultInjector); "" consults the
   /// GPR_FAULTS environment variable, "none" disables injection.
   std::string fault_spec;
+
+  /// Checkpoint/resume (core/checkpoint.h, docs/robustness.md) -------
+
+  /// Snapshot the fixpoint state every N completed iterations (the SQL
+  /// `checkpoint every N` option): -1 = inherit the profile's
+  /// checkpoint_every, 0 = off, N > 0 = every N iterations. A governor
+  /// trip or injected fault then carries the latest snapshot's token in
+  /// its ProgressDetail (ExecProgress::resume_token).
+  int checkpoint_every = -1;
+  /// Resume token from a previous interrupted run of this same query.
+  /// Non-empty = restore the snapshot and continue the fixpoint from it
+  /// instead of re-running the initial subqueries and completed
+  /// iterations. Unknown tokens fail with NotFound.
+  std::string resume_from;
+  /// Snapshot store; nullptr = CheckpointStore::Default(). Tests inject
+  /// a private store to keep runs isolated.
+  CheckpointStore* checkpoint_store = nullptr;
 };
 
 /// Wall-clock and cardinality record of one fixpoint iteration — the raw

@@ -1,5 +1,6 @@
 #include "exec/exec_context.h"
 
+#include <cstdlib>
 #include <sstream>
 
 namespace gpr::exec {
@@ -10,7 +11,16 @@ std::string ProgressDetail::ToString() const {
      << " rows=" << progress_.rows_produced
      << " bytes=" << progress_.bytes_produced
      << " checkpoints=" << progress_.checkpoints;
-  if (!progress_.tripped.empty()) os << " tripped=" << progress_.tripped;
+  if (!progress_.tripped.empty()) {
+    // The post-mortem fields: which budget stopped the run, how far it
+    // got, and whether a checkpoint exists to resume from.
+    os << " tripped=" << progress_.tripped
+       << " last_completed_iteration=" << progress_.iterations
+       << " resumable=" << (progress_.resume_token.empty() ? "no" : "yes");
+  }
+  if (!progress_.resume_token.empty()) {
+    os << " resume_token=" << progress_.resume_token;
+  }
   return os.str();
 }
 
@@ -33,6 +43,7 @@ ExecContext::ExecContext(ExecContext&& other) noexcept
   // happen while the governor is being set up (see the header), strictly
   // before any worker can alias `other`.
   tripped_ = std::move(other.tripped_);
+  resume_token_ = std::move(other.resume_token_);
 }
 
 ExecContext& ExecContext::operator=(ExecContext&& other) noexcept {
@@ -55,6 +66,7 @@ ExecContext& ExecContext::operator=(ExecContext&& other) noexcept {
     MutexLock other_lock(other.trip_mu_);
     MutexLock my_lock(trip_mu_);
     tripped_ = std::move(other.tripped_);
+    resume_token_ = std::move(other.resume_token_);
   }
   return *this;
 }
@@ -67,7 +79,13 @@ ExecProgress ExecContext::progress() const {
   p.checkpoints = checkpoints_.load(std::memory_order_relaxed);
   MutexLock lock(trip_mu_);
   p.tripped = tripped_;
+  p.resume_token = resume_token_;
   return p;
+}
+
+void ExecContext::set_resume_token(std::string token) {
+  MutexLock lock(trip_mu_);
+  resume_token_ = std::move(token);
 }
 
 Status ExecContext::Trip(StatusCode code, const char* budget,
@@ -89,7 +107,19 @@ Status ExecContext::Checkpoint(const char* site) {
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
   if (faults_.has_value()) {
     Status injected = faults_->OnCheckpoint(site, cancel_);
-    if (!injected.ok()) return injected;
+    if (!injected.ok()) {
+      // Injected faults carry the same ProgressDetail as governor trips so
+      // callers (exec::RetryState + resume_from) can classify and resume
+      // them without special-casing the failure source.
+      {
+        MutexLock lock(trip_mu_);
+        if (tripped_.empty()) tripped_ = "fault";
+      }
+      ExecProgress snapshot = progress();
+      snapshot.tripped = "fault";
+      return std::move(injected).WithDetail(
+          std::make_shared<ProgressDetail>(std::move(snapshot)));
+    }
   }
   return Poll(site);
 }
@@ -164,6 +194,16 @@ Result<std::optional<ExecContext>> MakeGovernor(
   }
   return std::optional<ExecContext>(
       ExecContext(limits, cancel, std::move(injector)));
+}
+
+size_t ResolvePollInterval(int configured) {
+  const char* env = std::getenv("GPR_POLL_INTERVAL");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<size_t>(v);
+  }
+  return configured > 0 ? static_cast<size_t>(configured) : 8192;
 }
 
 }  // namespace gpr::exec

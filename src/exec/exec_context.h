@@ -89,6 +89,11 @@ struct ExecProgress {
   std::string tripped;          ///< which budget tripped ("deadline",
                                 ///< "rows", "bytes", "iterations",
                                 ///< "cancelled"); empty while healthy
+  /// Resume token of the last fixpoint checkpoint the engine published
+  /// (core::CheckpointStore); empty when checkpointing is off or no
+  /// iteration completed a snapshot yet. Passing it back through
+  /// WithPlusQuery::resume_from continues the fixpoint from that state.
+  std::string resume_token;
 };
 
 /// StatusDetail payload attaching ExecProgress to a governor Status.
@@ -155,6 +160,10 @@ class ExecContext {
   /// Snapshot of the counters (by value — the live fields keep moving
   /// under parallel execution).
   ExecProgress progress() const;
+  /// Publishes the latest checkpoint's resume token; any later trip
+  /// carries it in its ProgressDetail. Called from the engine's
+  /// coordinating thread only (like Checkpoint / CheckIteration).
+  void set_resume_token(std::string token);
   const CancellationToken& cancel_token() const { return cancel_; }
   FaultInjector* faults() {
     return faults_.has_value() ? &*faults_ : nullptr;
@@ -185,7 +194,15 @@ class ExecContext {
   mutable Mutex trip_mu_;
   /// First budget to trip ("deadline", "rows", ...); empty while healthy.
   std::string tripped_ GPR_GUARDED_BY(trip_mu_);
+  /// Latest published checkpoint token; empty = nothing to resume from.
+  std::string resume_token_ GPR_GUARDED_BY(trip_mu_);
 };
+
+/// Governor poll interval (rows between mid-operator Poll()s): the
+/// GPR_POLL_INTERVAL environment variable when set to a positive integer,
+/// else `configured` (EngineProfile::governor_poll_interval), else the
+/// 8192-row default. Always >= 1.
+size_t ResolvePollInterval(int configured);
 
 /// Builds the governor for one query execution: nullopt when ungoverned
 /// (no limits, null token, no fault spec — the zero-overhead fast path).

@@ -14,13 +14,32 @@ Result<FaultInjector> FaultInjector::FromSpec(const std::string& spec) {
     const std::string entry(Trim(raw));
     if (entry.empty()) continue;
     const auto parts = Split(entry, ':');
-    if (parts.size() != 2 || parts[0].empty() || parts[1].empty()) {
+    if (parts.size() < 2 || parts.size() > 3 || parts[0].empty() ||
+        parts[1].empty()) {
       return Status::InvalidArgument(
           "fault spec entry '" + entry +
-          "' is not of the form <site>:<n> (spec '" + spec + "')");
+          "' is not of the form <site>:<n>[:<class>] (spec '" + spec +
+          "')");
     }
     const std::string key = ToLower(std::string(Trim(parts[0])));
     const std::string val(Trim(parts[1]));
+    // Optional third part: the fault class, permanent (default) or
+    // transient. Cancel/seed directives take no class.
+    bool transient = false;
+    if (parts.size() == 3) {
+      const std::string cls = ToLower(std::string(Trim(parts[2])));
+      if (key == "cancel" || key == "seed") {
+        return Status::InvalidArgument("fault spec entry '" + entry +
+                                       "' does not take a fault class");
+      }
+      if (cls == "transient") {
+        transient = true;
+      } else if (cls != "permanent") {
+        return Status::InvalidArgument(
+            "fault class in '" + entry +
+            "' must be 'transient' or 'permanent'");
+      }
+    }
     char* end = nullptr;
     const double num = std::strtod(val.c_str(), &end);
     if (end == val.c_str() || *end != '\0' || num < 0) {
@@ -33,6 +52,7 @@ Result<FaultInjector> FaultInjector::FromSpec(const std::string& spec) {
             "fault rate is a percentage; got " + val);
       }
       fi.rate_percent_ = num;
+      fi.rate_transient_ = transient;
     } else if (key == "seed") {
       fi.seed_ = static_cast<uint64_t>(num);
     } else {
@@ -45,6 +65,7 @@ Result<FaultInjector> FaultInjector::FromSpec(const std::string& spec) {
       d.site = key == "cancel" ? "any" : key;
       d.nth = static_cast<uint64_t>(num);
       d.cancel = key == "cancel";
+      d.transient = transient;
       fi.directives_.push_back(std::move(d));
     }
   }
@@ -74,21 +95,26 @@ Status FaultInjector::OnCheckpoint(const char* site,
       continue;  // the governor's next poll observes the flag
     }
     ++injected_;
-    return Status::ExecutionError(
-        "injected fault at operator '" + std::string(site) + "' (" +
-        d.site + " checkpoint #" + std::to_string(d.nth) + ", spec '" +
-        spec_ + "')");
+    return Injected(d.transient,
+                    "injected fault at operator '" + std::string(site) +
+                        "' (" + d.site + " checkpoint #" +
+                        std::to_string(d.nth) + ", spec '" + spec_ + "')");
   }
   if (rate_percent_ > 0 && rng_.has_value() &&
       rng_->NextDouble() * 100.0 < rate_percent_) {
     ++injected_;
-    return Status::ExecutionError(
-        "injected fault at operator '" + std::string(site) +
-        "' (seeded rate " + std::to_string(rate_percent_) + "%, seed " +
-        std::to_string(seed_) + ", checkpoint #" + std::to_string(total_) +
-        ")");
+    return Injected(rate_transient_,
+                    "injected fault at operator '" + std::string(site) +
+                        "' (seeded rate " + std::to_string(rate_percent_) +
+                        "%, seed " + std::to_string(seed_) +
+                        ", checkpoint #" + std::to_string(total_) + ")");
   }
   return Status::OK();
+}
+
+Status FaultInjector::Injected(bool transient, std::string msg) {
+  return transient ? Status::Unavailable(std::move(msg))
+                   : Status::ExecutionError(std::move(msg));
 }
 
 uint64_t FaultInjector::hits(const std::string& site) const {

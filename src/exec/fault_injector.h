@@ -12,7 +12,9 @@
 //   <site>:<n>    fail the n-th checkpoint at operator site <site>
 //                 (sites are the snake_case PlanKind names — "anti_join",
 //                 "join", "scan", ... — plus "iteration" for fixpoint
-//                 passes; see core::PlanKindSite)
+//                 passes [core::PlanKindSite] and the I/O sites "io_open",
+//                 "io_read", "io_write", "io_fsync", "io_rename" consulted
+//                 by ra/table_io)
 //   any:<n>       fail the n-th checkpoint overall, whatever the site
 //   cancel:<n>    at the n-th checkpoint overall, request cooperative
 //                 cancellation instead of failing (deterministic mid-run
@@ -21,6 +23,11 @@
 //                 from a seeded generator (deterministic for a fixed seed
 //                 and execution order)
 //   seed:<s>      seed for rate-based injection (default 42)
+//
+// A site/any/rate directive may carry a fault class as a third part:
+// ":permanent" (the default — an ExecutionError, never retried) or
+// ":transient" (an Unavailable, the class exec::RetryPolicy classifies as
+// retryable). Example: "join:2:transient".
 //
 // Example: GPR_FAULTS="anti_join:3,rate:0.5,seed:7"
 //
@@ -67,11 +74,16 @@ class FaultInjector {
     std::string site;  ///< operator site, or "any"
     uint64_t nth = 0;  ///< 1-based checkpoint count that triggers
     bool cancel = false;
+    bool transient = false;  ///< inject Unavailable instead of ExecutionError
   };
+
+  /// Builds the injected Status for a fault of the given class.
+  Status Injected(bool transient, std::string msg);
 
   std::string spec_;
   std::vector<Directive> directives_;
   double rate_percent_ = 0;
+  bool rate_transient_ = false;
   uint64_t seed_ = 42;
   std::optional<Xoshiro256> rng_;
 

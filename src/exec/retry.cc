@@ -1,0 +1,52 @@
+#include "exec/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace gpr::exec {
+
+bool RetryableStatus(const Status& s, const RetryPolicy& policy) {
+  switch (s.code()) {
+    case StatusCode::kUnavailable:
+      return true;
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+      return policy.retry_governed;
+    default:
+      return false;
+  }
+}
+
+bool RetryState::ShouldRetry(const Status& s) {
+  ++attempts_;
+  if (attempts_ >= policy_.max_attempts) return false;
+  return RetryableStatus(s, policy_);
+}
+
+double RetryState::NextBackoffMs() {
+  // attempts_ counts the failures so far, so the first retry uses the
+  // base value. The exponential is capped before jitter so the cap is a
+  // real ceiling up to the jitter fraction.
+  const int exponent = std::max(0, attempts_ - 1);
+  double backoff = policy_.backoff_base_ms *
+                   std::pow(policy_.backoff_multiplier, exponent);
+  if (policy_.backoff_cap_ms > 0) {
+    backoff = std::min(backoff, policy_.backoff_cap_ms);
+  }
+  if (policy_.jitter_fraction > 0) {
+    const double u = rng_.NextDouble();  // [0, 1)
+    backoff *= 1.0 + policy_.jitter_fraction * (2.0 * u - 1.0);
+  }
+  return std::max(0.0, backoff);
+}
+
+void RetryState::SleepBeforeNextAttempt() {
+  const double ms = NextBackoffMs();
+  if (ms < 1.0) return;  // tests with base 0 never block
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(ms * 1000.0)));
+}
+
+}  // namespace gpr::exec

@@ -1,0 +1,78 @@
+// Retry with exponential backoff for fixpoint segments (docs/robustness.md).
+//
+// A long-running with+ fixpoint can fail transiently — an injected
+// Unavailable fault, a deadline that a less-loaded retry would make, a
+// temporarily exhausted budget. RetryPolicy classifies which Status codes
+// are worth retrying and RetryState paces the attempts: exponential
+// backoff with deterministic seeded jitter, so two runs of the same
+// chaos schedule retry at identical instants (no wall-clock or libc
+// randomness — the repo's determinism invariant, GPR-C405).
+//
+// The retry driver is algos::RunWithPlus: on a retryable failure it pulls
+// the resume token out of the ProgressDetail payload and re-executes with
+// WithPlusQuery::resume_from set, so each attempt continues from the last
+// checkpoint instead of repeating completed iterations.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gpr::exec {
+
+/// Knobs of one retry loop. The default (max_attempts = 1) disables
+/// retrying entirely — the zero-surprise path.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 = never retry.
+  int max_attempts = 1;
+  /// Backoff before retry k (1-based) is
+  /// min(cap, base * multiplier^(k-1)), then jittered.
+  double backoff_base_ms = 0;
+  double backoff_multiplier = 2.0;
+  double backoff_cap_ms = 1000;
+  /// Uniform jitter of +-fraction around the exponential value, drawn
+  /// from a generator seeded with jitter_seed (deterministic schedule).
+  double jitter_fraction = 0.1;
+  uint64_t jitter_seed = 42;
+  /// Also retry governed trips (DeadlineExceeded / ResourceExhausted).
+  /// Budgets are measured per attempt, so a retry genuinely restarts the
+  /// clock; combined with checkpoint/resume each attempt still makes
+  /// monotonic progress. Off by default — a spent budget usually means
+  /// the query is too big, not unlucky.
+  bool retry_governed = false;
+};
+
+/// True when `s` is worth retrying under `policy`: Unavailable (transient
+/// faults) always; DeadlineExceeded / ResourceExhausted only with
+/// retry_governed. Cancelled is never retryable — cancellation is intent,
+/// not misfortune.
+bool RetryableStatus(const Status& s, const RetryPolicy& policy);
+
+/// Mutable state of one retry loop.
+class RetryState {
+ public:
+  explicit RetryState(RetryPolicy policy)
+      : policy_(policy), rng_(policy.jitter_seed) {}
+
+  /// Decides whether the attempt that just failed with `s` should be
+  /// retried; counts the attempt either way.
+  bool ShouldRetry(const Status& s);
+
+  /// Deterministic backoff before the next attempt, in milliseconds.
+  /// Advances the jitter stream; call once per retry.
+  double NextBackoffMs();
+
+  /// NextBackoffMs + blocking sleep (skipped for sub-millisecond waits).
+  void SleepBeforeNextAttempt();
+
+  /// Attempts that have failed so far.
+  int attempts() const { return attempts_; }
+
+ private:
+  RetryPolicy policy_;
+  Xoshiro256 rng_;
+  int attempts_ = 0;
+};
+
+}  // namespace gpr::exec

@@ -113,6 +113,12 @@ struct EvalContext {
   /// cache-stable: caching them would insert an entry each iteration only
   /// to invalidate it the next, wasting work and governor byte budget.
   const std::unordered_set<std::string>* cache_unstable = nullptr;
+  /// Rows between mid-operator governor Poll()s (the long-row-loop
+  /// cancellation/deadline cadence). Set by the fixpoint drivers from
+  /// exec::ResolvePollInterval(EngineProfile::governor_poll_interval) /
+  /// GPR_POLL_INTERVAL. Affects only the poll cadence — the morsel
+  /// decomposition stays fixed so results remain DOP-invariant.
+  size_t poll_stride = 8192;
   /// Statically-proven plan facts (analysis/plan_facts.h), keyed by plan
   /// node identity; null = facts off. Owned by the fixpoint driver for the
   /// duration of one query. The plan executor consults it to skip work

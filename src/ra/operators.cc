@@ -11,16 +11,17 @@
 namespace gpr::ra::ops {
 namespace {
 
-/// Cooperative governance inside long row loops: every kPollStride rows the
-/// operator consults the execution governor so cancellation and deadlines
-/// can interrupt a large materialization mid-flight rather than only at
-/// operator boundaries. Ungoverned runs pay two compares per row.
+/// Cooperative governance inside long row loops: every poll_stride rows
+/// (EvalContext::poll_stride, default kPollStride) the operator consults
+/// the execution governor so cancellation and deadlines can interrupt a
+/// large materialization mid-flight rather than only at operator
+/// boundaries. Ungoverned runs pay two compares per row.
 constexpr size_t kPollStride = 8192;
 
 inline Status PollGovernor(EvalContext* ctx, size_t counter,
                            const char* site) {
   if (ctx != nullptr && ctx->exec != nullptr &&
-      counter % kPollStride == kPollStride - 1) {
+      counter % ctx->poll_stride == ctx->poll_stride - 1) {
     return ctx->exec->Poll(site);
   }
   return Status::OK();
@@ -819,12 +820,13 @@ Result<Table> GroupBy(const Table& in,
     const size_t num_parts = static_cast<size_t>(dop);
     std::vector<GroupMap> parts(num_parts);
     exec::ExecContext* gov = ctx != nullptr ? ctx->exec : nullptr;
+    const size_t poll_stride = ctx != nullptr ? ctx->poll_stride : kPollStride;
     GPR_RETURN_NOT_OK(exec::ThreadPool::Global().RunTasks(
         num_parts, num_parts, [&](size_t p) -> Status {
           GroupMap& groups = parts[p];
           Tuple key;
           for (size_t ri = 0; ri < n; ++ri) {
-            if (gov != nullptr && ri % kPollStride == kPollStride - 1) {
+            if (gov != nullptr && ri % poll_stride == poll_stride - 1) {
               GPR_RETURN_NOT_OK(gov->Poll("group_by"));
             }
             const Tuple& row = in.row(ri);

@@ -1,9 +1,17 @@
 #include "ra/table_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "exec/exec_context.h"
+#include "exec/fault_injector.h"
 #include "util/string_util.h"
 
 namespace gpr::ra {
@@ -72,11 +80,88 @@ Result<ValueType> ParseType(const std::string& name) {
   return Status::IoError("unknown column type '" + name + "'");
 }
 
+/// Consults the I/O fault site `site` when an injector is present.
+Status IoSite(exec::FaultInjector* faults, const char* site) {
+  if (faults == nullptr) return Status::OK();
+  // A default token: io sites never carry cancel directives in practice,
+  // and a flip on a throwaway token is a harmless no-op.
+  exec::CancellationToken token;
+  return faults->OnCheckpoint(site, token);
+}
+
+/// Closes `fd` if still open, removes the temp file, and forwards `s` —
+/// the single exit ramp for every AtomicWriteFile failure.
+Status FailWrite(int fd, const std::string& tmp, Status s) {
+  if (fd >= 0) ::close(fd);
+  ::unlink(tmp.c_str());
+  return s;
+}
+
 }  // namespace
 
-Status SaveCsv(const Table& table, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+Status AtomicWriteFile(const std::string& path, const std::string& content,
+                       exec::FaultInjector* faults) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  if (Status s = IoSite(faults, "io_open"); !s.ok()) {
+    return FailWrite(-1, tmp, std::move(s));
+  }
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open '" + tmp +
+                           "' for writing: " + std::strerror(errno));
+  }
+  if (Status s = IoSite(faults, "io_write"); !s.ok()) {
+    return FailWrite(fd, tmp, std::move(s));
+  }
+  size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return FailWrite(fd, tmp,
+                       Status::IoError("write to '" + tmp +
+                                       "' failed: " + std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (Status s = IoSite(faults, "io_fsync"); !s.ok()) {
+    return FailWrite(fd, tmp, std::move(s));
+  }
+  if (::fsync(fd) != 0) {
+    return FailWrite(fd, tmp,
+                     Status::IoError("fsync of '" + tmp +
+                                     "' failed: " + std::strerror(errno)));
+  }
+  if (::close(fd) != 0) {
+    return FailWrite(-1, tmp,
+                     Status::IoError("close of '" + tmp +
+                                     "' failed: " + std::strerror(errno)));
+  }
+  if (Status s = IoSite(faults, "io_rename"); !s.ok()) {
+    return FailWrite(-1, tmp, std::move(s));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return FailWrite(-1, tmp,
+                     Status::IoError("rename '" + tmp + "' -> '" + path +
+                                     "' failed: " + std::strerror(errno)));
+  }
+  // Durability of the rename itself needs the directory flushed; failure
+  // here is non-fatal (the file content is already complete and atomic).
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+Status SaveCsv(const Table& table, const std::string& path,
+               exec::FaultInjector* faults) {
+  std::ostringstream out;
   // Header: name:Type per column.
   for (size_t c = 0; c < table.schema().NumColumns(); ++c) {
     if (c > 0) out << ",";
@@ -84,30 +169,27 @@ Status SaveCsv(const Table& table, const std::string& path) {
     out << col.name << ":" << ValueTypeName(col.type);
   }
   out << "\n";
-  std::ostringstream row_text;
   // CSV export runs outside governed query execution: callers invoke it
   // directly, never through a plan with a deadline or cancellation context.
   // gpr_check(disable: GPR-C401): ungoverned by design (see above)
   for (const auto& row : table.rows()) {
-    row_text.str("");
     for (size_t c = 0; c < row.size(); ++c) {
-      if (c > 0) row_text << ",";
+      if (c > 0) out << ",";
       const Value& v = row[c];
       if (v.is_null()) {
         // empty field
       } else if (v.is_string()) {
-        row_text << EscapeString(v.AsString());
+        out << EscapeString(v.AsString());
       } else if (v.is_int64()) {
-        row_text << v.AsInt64();
+        out << v.AsInt64();
       } else {
-        row_text.precision(17);
-        row_text << v.AsDouble();
+        out.precision(17);
+        out << v.AsDouble();
       }
     }
-    out << row_text.str() << "\n";
+    out << "\n";
   }
-  if (!out.good()) return Status::IoError("write to '" + path + "' failed");
-  return Status::OK();
+  return AtomicWriteFile(path, out.str(), faults);
 }
 
 // GCC 12's -Wmaybe-uninitialized fires a false positive here: the Value
@@ -115,7 +197,9 @@ Status SaveCsv(const Table& table, const std::string& path) {
 // vector push_back at -O2. Nothing is read uninitialized.
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
-Result<Table> LoadCsv(const std::string& path, const std::string& name) {
+Result<Table> LoadCsv(const std::string& path, const std::string& name,
+                      exec::FaultInjector* faults) {
+  if (Status s = IoSite(faults, "io_open"); !s.ok()) return s;
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open '" + path + "'");
   std::string line;
@@ -139,6 +223,7 @@ Result<Table> LoadCsv(const std::string& path, const std::string& name) {
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
+    if (Status s = IoSite(faults, "io_read"); !s.ok()) return s;
     GPR_ASSIGN_OR_RETURN(auto fields, SplitCsvLine(line, &quoted));
     if (fields.size() != cols.size()) {
       return Status::IoError("line " + std::to_string(line_no) + " has " +

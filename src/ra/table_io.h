@@ -1,5 +1,12 @@
 // CSV import/export for relations. The header row carries the schema
 // ("F:Int64,T:Int64,ew:Double"), so tables round-trip losslessly.
+//
+// Writes are atomic (docs/robustness.md): the content is staged in a
+// temporary sibling file, fsync'd, then rename(2)'d over the target, so a
+// crash or injected fault mid-write can never leave a torn table file —
+// readers see either the old complete file or the new complete one.
+// gpr_check rule GPR-C408 keeps it that way: table_io write sites must go
+// through AtomicWriteFile, never a bare ofstream/fopen.
 #pragma once
 
 #include <string>
@@ -7,14 +14,32 @@
 #include "ra/table.h"
 #include "util/status.h"
 
+namespace gpr::exec {
+class FaultInjector;
+}  // namespace gpr::exec
+
 namespace gpr::ra {
 
-/// Writes `table` to `path`. Strings are double-quoted with "" escaping;
-/// NULL is an empty unquoted field.
-Status SaveCsv(const Table& table, const std::string& path);
+/// Atomically replaces the file at `path` with `content`: write to a
+/// temporary sibling, fsync, rename over `path`, then a best-effort fsync
+/// of the containing directory. On any failure — real or injected — the
+/// temporary is removed and `path` is untouched.
+///
+/// `faults` (optional) is consulted at the I/O fault sites "io_open",
+/// "io_write", "io_fsync" and "io_rename", making torn-write and
+/// lost-write scenarios deterministically testable.
+Status AtomicWriteFile(const std::string& path, const std::string& content,
+                       exec::FaultInjector* faults = nullptr);
+
+/// Writes `table` to `path` atomically (via AtomicWriteFile). Strings are
+/// double-quoted with "" escaping; NULL is an empty unquoted field.
+Status SaveCsv(const Table& table, const std::string& path,
+               exec::FaultInjector* faults = nullptr);
 
 /// Loads a CSV written by SaveCsv (or hand-written with the same header
-/// convention). `name` overrides the table name.
-Result<Table> LoadCsv(const std::string& path, const std::string& name);
+/// convention). `name` overrides the table name. `faults` (optional) is
+/// consulted at the "io_open" and "io_read" sites.
+Result<Table> LoadCsv(const std::string& path, const std::string& name,
+                      exec::FaultInjector* faults = nullptr);
 
 }  // namespace gpr::ra

@@ -451,6 +451,13 @@ Result<BoundWithStatement> BindWithStatement(const WithStatementAst& ast,
   // `facts on|off` plan-facts toggle; every executor consult acts only on
   // a structural proof, so results are identical either way.
   q.plan_facts = ast.plan_facts;
+  // `checkpoint every N` fixpoint-snapshot cadence (docs/robustness.md);
+  // N = 0 turns checkpointing off explicitly, -1 inherits the profile.
+  if (ast.checkpoint_every < -1 || ast.checkpoint_every > 32767) {
+    return Status::BindError(
+        "checkpoint every must be between 0 and 32767");
+  }
+  q.checkpoint_every = ast.checkpoint_every;
 
   // Classify subqueries; the initialization prefix must not reference R.
   std::vector<const SubqueryAst*> init;

@@ -13,7 +13,7 @@ bool IsKeyword(const std::string& lower) {
       "union",  "all",      "as",    "with",   "recursive",    "and",
       "or",     "not",      "in",    "is",     "null",         "update",
       "computed", "maxrecursion", "exists", "maxtime",      "maxrows",
-      "maxbytes", "parallel", "cache", "facts"};
+      "maxbytes", "parallel", "cache", "facts", "checkpoint", "every"};
   for (const char* k : kKeywords) {
     if (lower == k) return true;
   }
@@ -62,12 +62,13 @@ class Parser {
       break;
     }
     // Trailing options, in any order, each at most once: maxrecursion
-    // (quiet cap), the governor budgets maxtime/maxrows/maxbytes, and the
+    // (quiet cap), the governor budgets maxtime/maxrows/maxbytes, the
     // degree-of-parallelism hint `parallel N`, the plan-state cache
-    // toggle `cache on|off`, and the plan-facts toggle `facts on|off`.
+    // toggle `cache on|off`, the plan-facts toggle `facts on|off`, and
+    // the checkpoint cadence `checkpoint every N` (docs/robustness.md).
     bool saw_maxrecursion = false, saw_maxtime = false, saw_maxrows = false,
          saw_maxbytes = false, saw_parallel = false, saw_cache = false,
-         saw_facts = false;
+         saw_facts = false, saw_checkpoint = false;
     auto dup = [](const char* opt) {
       return Status::ParseError(std::string("duplicate option '") + opt +
                                 "' in with+ statement");
@@ -110,6 +111,12 @@ class Parser {
               "expected 'on' or 'off' after 'cache' near offset " +
               std::to_string(Peek().offset));
         }
+      } else if (AcceptKeyword("checkpoint")) {
+        if (saw_checkpoint) return dup("checkpoint");
+        saw_checkpoint = true;
+        GPR_RETURN_NOT_OK(ExpectKeyword("every"));
+        GPR_ASSIGN_OR_RETURN(double v, ExpectNumber());
+        stmt.checkpoint_every = static_cast<int>(v);
       } else if (AcceptKeyword("facts")) {
         if (saw_facts) return dup("facts");
         saw_facts = true;

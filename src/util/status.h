@@ -31,6 +31,7 @@ enum class StatusCode {
   kDeadlineExceeded,  ///< execution governor: wall-clock deadline passed
   kResourceExhausted, ///< execution governor: row/byte/iteration budget spent
   kCancelled,         ///< execution governor: cooperative cancellation
+  kUnavailable,       ///< transient failure; safe to retry (exec/retry.h)
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -101,6 +102,9 @@ class [[nodiscard]] Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -307,6 +307,64 @@ TEST(GprCheckC407, DoesNotApplyToSourceFiles) {
 }
 
 // ---------------------------------------------------------------------------
+// GPR-C408 — table_io writes go through AtomicWriteFile, never raw streams.
+
+TEST(GprCheckC408, AtomicWriteIsClean) {
+  const auto f = CheckSourceText(
+      "src/ra/table_io.cc",
+      "Status SaveCsv(const Table& t, const std::string& path) {\n"
+      "  std::ostringstream out;\n"
+      "  out << t.ToString(0);\n"
+      "  return AtomicWriteFile(path, out.str());\n"
+      "}\n");
+  EXPECT_FALSE(Has(f, "GPR-C408")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC408, RawOfstreamFires) {
+  const auto f = CheckSourceText(
+      "src/ra/table_io.cc",
+      "Status SaveCsv(const Table& t, const std::string& path) {\n"
+      "  std::ofstream out(path);\n"
+      "  out << t.ToString(0);\n"
+      "  return Status::OK();\n"
+      "}\n");
+  EXPECT_TRUE(Has(f, "GPR-C408")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC408, FopenFires) {
+  const auto f = CheckSourceText(
+      "src/ra/table_io.cc",
+      "void Dump(const char* path) { FILE* f = fopen(path, \"w\"); }\n");
+  EXPECT_TRUE(Has(f, "GPR-C408")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC408, ReadsViaIfstreamAreExempt) {
+  // Reads cannot tear the file; only the write path must be atomic.
+  const auto f = CheckSourceText(
+      "src/ra/table_io.cc",
+      "Result<Table> LoadCsv(const std::string& path) {\n"
+      "  std::ifstream in(path);\n"
+      "  return Table{};\n"
+      "}\n");
+  EXPECT_FALSE(Has(f, "GPR-C408")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC408, OnlyAppliesToTableIo) {
+  const auto f = CheckSourceText(
+      "src/core/thing.cc",
+      "void Dump(const char* path) { std::ofstream out(path); }\n");
+  EXPECT_FALSE(Has(f, "GPR-C408")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC408, SuppressionCommentIsHonoured) {
+  const auto f = CheckSourceText(
+      "src/ra/table_io.cc",
+      "// gpr_check(disable: GPR-C408): scratch file, torn writes are fine\n"
+      "void Dump(const char* path) { std::ofstream out(path); }\n");
+  EXPECT_FALSE(Has(f, "GPR-C408")) << FindingsToJson(f);
+}
+
+// ---------------------------------------------------------------------------
 // Preprocessing — the comment/literal stripper behind every rule.
 
 TEST(GprCheckPrepare, CommentedViolationsDoNotFire) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "algos/registry.h"
+#include "core/checkpoint.h"
 #include "core/plan.h"
 #include "core/with_plus.h"
 #include "exec/exec_context.h"
@@ -354,6 +355,59 @@ TEST(PlanCacheFixpoint, AlgorithmsAreCacheAndDopInvariant) {
       }
     }
   }
+}
+
+// ------------------------------------------------- cache hygiene / faults
+
+// An injected operator fault mid-fixpoint with the cache on must leak
+// nothing: the query-scoped cache dies with the query and TempTableScope
+// drops every temporary.
+TEST(PlanCacheFaults, InjectedFaultLeavesCatalogClean) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  auto q = TcQuery(/*plan_cache=*/1, /*dop=*/1);
+  q.fault_spec = "join:2";
+  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+  EXPECT_EQ(catalog.TableNames(), before);
+}
+
+// The poisoned-artifact scenario for checkpoint/resume: a run caches
+// build-side artifacts against the recursive relation, is interrupted,
+// and a later run resumes from the snapshot with the cache still on. The
+// restored table's fresh content version (CheckpointStore::Find returns
+// copies) guarantees no artifact from the interrupted incarnation is
+// served — the resumed result must match the cache-off baseline exactly.
+TEST(PlanCacheFaults, InterruptedThenResumedRunMatchesCacheOffBaseline) {
+  auto catalog_off = MakeCatalog(TinyGraph());
+  auto q_off = TcQuery(/*plan_cache=*/0, /*dop=*/1);
+  auto off = ExecuteWithPlus(q_off, catalog_off, OracleLike());
+  ASSERT_TRUE(off.ok()) << off.status();
+
+  auto catalog = MakeCatalog(TinyGraph());
+  core::CheckpointStore store;
+  auto q = TcQuery(/*plan_cache=*/1, /*dop=*/1);
+  q.fault_spec = "iteration:3";
+  q.checkpoint_every = 1;
+  q.checkpoint_store = &store;
+  auto interrupted = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(interrupted.ok());
+  const ProgressDetail* detail =
+      ProgressDetail::FromStatus(interrupted.status());
+  ASSERT_NE(detail, nullptr) << interrupted.status();
+  const std::string token = detail->progress().resume_token;
+  ASSERT_FALSE(token.empty());
+
+  auto resume = TcQuery(/*plan_cache=*/1, /*dop=*/1);
+  resume.checkpoint_every = 1;
+  resume.checkpoint_store = &store;
+  resume.resume_from = token;
+  auto resumed = ExecuteWithPlus(resume, catalog, OracleLike());
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  ExpectRowsIdentical(off->table, resumed->table,
+                      "resumed cache-on vs cache-off");
+  EXPECT_EQ(resumed->iterations, off->iterations);
 }
 
 // ------------------------------------------------------------ SQL surface

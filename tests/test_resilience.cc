@@ -1,0 +1,738 @@
+// Tests for the resilience layer (docs/robustness.md): iteration-granular
+// checkpoint/resume for both fixpoint engines, retry-with-backoff, fault
+// classes (transient vs permanent), and the SQL / explain surface of
+// `checkpoint every N`.
+//
+// The centerpiece is a chaos harness: every evaluation algorithm (SSSP,
+// WCC, PR, HITS, TS, KC, MIS, LP, MNM, KS) is interrupted mid-fixpoint by
+// an injected fault, resumed from the published checkpoint token, and must
+// produce byte-identical results — across plan cache on/off and DOP 1/4.
+//
+// Like test_governor.cc, this binary is a payload of the CI fault matrix:
+// every test pins its fault spec explicitly ("none" or a literal spec).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "algos/registry.h"
+#include "core/checkpoint.h"
+#include "core/explain.h"
+#include "core/mutual.h"
+#include "core/plan.h"
+#include "core/with_plus.h"
+#include "exec/exec_context.h"
+#include "exec/retry.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace gpr {
+namespace {
+
+namespace ops = ra::ops;
+using core::CheckpointStore;
+using core::ExecuteMutual;
+using core::ExecuteWithPlus;
+using core::FixpointCheckpoint;
+using core::JoinOp;
+using core::MutualQuery;
+using core::MutualRelation;
+using core::OracleLike;
+using core::ProjectOp;
+using core::RenameOp;
+using core::Scan;
+using core::UnionMode;
+using core::WithPlusQuery;
+using exec::ProgressDetail;
+using exec::RetryPolicy;
+using exec::RetryState;
+using gpr::testing::MakeCatalog;
+using gpr::testing::TinyDag;
+using gpr::testing::TinyGraph;
+using ra::Col;
+using ra::Schema;
+using ra::Table;
+using ra::ValueType;
+
+/// Degree of parallelism for every query this binary runs (the CI fault
+/// matrix re-runs the suite with GPR_TEST_DOP set).
+int TestDop() {
+  const char* v = std::getenv("GPR_TEST_DOP");
+  const int dop = v != nullptr ? std::atoi(v) : 0;
+  return dop > 0 ? dop : 0;
+}
+
+/// Plan-state-cache override (GPR_TEST_CACHE, see test_governor.cc).
+int TestCache() {
+  const char* v = std::getenv("GPR_TEST_CACHE");
+  return v != nullptr ? std::atoi(v) : -1;
+}
+
+/// Pins an environment variable for the lifetime of a test, restoring the
+/// previous value on destruction.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_.c_str(), saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+/// Asserts `a` and `b` hold identical rows in identical order.
+void ExpectRowsIdentical(const Table& a, const Table& b,
+                         const std::string& label) {
+  ASSERT_EQ(a.NumRows(), b.NumRows()) << label;
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    EXPECT_TRUE(a.row(i) == b.row(i)) << label << ": row " << i << " differs";
+  }
+}
+
+/// TC over E; `spec` pins the fault-injection behaviour.
+WithPlusQuery TcQuery(UnionMode mode, const std::string& spec = "none") {
+  WithPlusQuery q;
+  q.rec_name = "TCr";
+  q.rec_schema = Schema{{"F", ValueType::kInt64}, {"T", ValueType::kInt64}};
+  q.init.push_back(
+      {ProjectOp(Scan("E"), {ops::As(Col("F"), "F"), ops::As(Col("T"), "T")}),
+       {}});
+  q.recursive.push_back(
+      {ProjectOp(JoinOp(Scan("TCr"), Scan("E"), {{"T"}, {"F"}}),
+                 {ops::As(Col("TCr.F"), "F"), ops::As(Col("E.T"), "T")}),
+       {}});
+  q.mode = mode;
+  q.fault_spec = spec;
+  q.degree_of_parallelism = TestDop();
+  q.plan_cache = TestCache();
+  return q;
+}
+
+/// Even/odd path reachability — the mutual-recursion engine's test query.
+MutualQuery EvenOddQuery(const std::string& spec = "none") {
+  MutualQuery q;
+  MutualRelation odd;
+  odd.name = "OddR";
+  odd.schema = Schema{{"F", ValueType::kInt64}, {"T", ValueType::kInt64}};
+  odd.init = {ProjectOp(Scan("E"),
+                        {ops::As(Col("F"), "F"), ops::As(Col("T"), "T")})};
+  odd.recursive.plan =
+      ProjectOp(JoinOp(Scan("EvenR"), Scan("E"), {{"T"}, {"F"}}),
+                {ops::As(Col("EvenR.F"), "F"), ops::As(Col("E.T"), "T")});
+  odd.mode = UnionMode::kUnionDistinct;
+  MutualRelation even;
+  even.name = "EvenR";
+  even.schema = odd.schema;
+  even.init = {ProjectOp(
+      JoinOp(RenameOp(Scan("E"), "E1"), RenameOp(Scan("E"), "E2"),
+             {{"T"}, {"F"}}),
+      {ops::As(Col("E1.F"), "F"), ops::As(Col("E2.T"), "T")})};
+  even.recursive.plan =
+      ProjectOp(JoinOp(Scan("OddR"), Scan("E"), {{"T"}, {"F"}}),
+                {ops::As(Col("OddR.F"), "F"), ops::As(Col("E.T"), "T")});
+  even.mode = UnionMode::kUnionDistinct;
+  q.relations = {std::move(odd), std::move(even)};
+  q.fault_spec = spec;
+  q.degree_of_parallelism = TestDop();
+  return q;
+}
+
+/// A small one-row snapshot for the store unit tests.
+FixpointCheckpoint SmallCheckpoint(const std::string& rec_table) {
+  FixpointCheckpoint cp;
+  cp.rec_table = rec_table;
+  cp.iterations = 3;
+  Table t(rec_table, Schema{{"x", ValueType::kInt64}});
+  t.AddRow({int64_t{7}});
+  cp.rec = t;
+  return cp;
+}
+
+// -------------------------------------------------------- CheckpointStore
+
+TEST(CheckpointStore, InsertFindRemove) {
+  CheckpointStore store;
+  EXPECT_EQ(store.Size(), 0u);
+  const std::string token = store.Insert(SmallCheckpoint("R"));
+  EXPECT_EQ(token.rfind("ckpt-", 0), 0u) << token;
+  EXPECT_EQ(store.Size(), 1u);
+  auto found = store.Find(token);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->rec_table, "R");
+  EXPECT_EQ(found->iterations, 3u);
+  ASSERT_EQ(found->rec.NumRows(), 1u);
+  EXPECT_TRUE(store.Remove(token));
+  EXPECT_EQ(store.Size(), 0u);
+  EXPECT_FALSE(store.Remove(token)) << "second remove must report unknown";
+  EXPECT_FALSE(store.Find(token).has_value());
+}
+
+// The plan cache keys on (table name, content version); serving a
+// restored table under the interrupted run's version would resurrect
+// stale artifacts. Find must therefore hand out copies with fresh
+// versions (ra::Table copy ctor — see core/checkpoint.h).
+TEST(CheckpointStore, FindReturnsCopyWithFreshVersion) {
+  CheckpointStore store;
+  FixpointCheckpoint cp = SmallCheckpoint("R");
+  const uint64_t original_version = cp.rec.version();
+  const std::string token = store.Insert(std::move(cp));
+  auto first = store.Find(token);
+  auto second = store.Find(token);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(first->rec.version(), original_version);
+  EXPECT_NE(second->rec.version(), original_version);
+  EXPECT_NE(first->rec.version(), second->rec.version());
+}
+
+TEST(CheckpointStore, FifoEvictionAtCap) {
+  CheckpointStore store;
+  std::vector<std::string> tokens;
+  for (size_t i = 0; i < CheckpointStore::kMaxEntries + 3; ++i) {
+    tokens.push_back(store.Insert(SmallCheckpoint("R")));
+  }
+  EXPECT_EQ(store.Size(), CheckpointStore::kMaxEntries);
+  // The three oldest snapshots were evicted; everything younger survives.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(store.Find(tokens[i]).has_value()) << tokens[i];
+  }
+  for (size_t i = 3; i < tokens.size(); ++i) {
+    EXPECT_TRUE(store.Find(tokens[i]).has_value()) << tokens[i];
+  }
+}
+
+TEST(CheckpointStore, UnknownResumeTokenIsNotFound) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  CheckpointStore store;
+  auto q = TcQuery(UnionMode::kUnionDistinct);
+  q.checkpoint_every = 1;
+  q.checkpoint_store = &store;
+  q.resume_from = "ckpt-never-issued";
+  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.TableNames(), before);
+
+  auto m = EvenOddQuery();
+  m.checkpoint_every = 1;
+  m.checkpoint_store = &store;
+  m.resume_from = "ckpt-never-issued";
+  auto mres = ExecuteMutual(m, catalog, OracleLike());
+  ASSERT_FALSE(mres.ok());
+  EXPECT_EQ(mres.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog.TableNames(), before);
+}
+
+// ------------------------------------------------------------------ retry
+
+TEST(Retry, StatusClassification) {
+  RetryPolicy p;
+  EXPECT_TRUE(exec::RetryableStatus(Status::Unavailable("blip"), p));
+  EXPECT_FALSE(exec::RetryableStatus(Status::DeadlineExceeded("slow"), p));
+  EXPECT_FALSE(exec::RetryableStatus(Status::ResourceExhausted("big"), p));
+  EXPECT_FALSE(exec::RetryableStatus(Status::Cancelled("stop"), p));
+  EXPECT_FALSE(exec::RetryableStatus(Status::ExecutionError("torn"), p));
+  EXPECT_FALSE(exec::RetryableStatus(Status::OK(), p));
+  p.retry_governed = true;
+  EXPECT_TRUE(exec::RetryableStatus(Status::DeadlineExceeded("slow"), p));
+  EXPECT_TRUE(exec::RetryableStatus(Status::ResourceExhausted("big"), p));
+  // Cancellation is intent, not misfortune — never retried.
+  EXPECT_FALSE(exec::RetryableStatus(Status::Cancelled("stop"), p));
+}
+
+TEST(Retry, StateExhaustsAttempts) {
+  RetryPolicy p;
+  p.max_attempts = 3;
+  RetryState st(p);
+  EXPECT_TRUE(st.ShouldRetry(Status::Unavailable("1")));
+  EXPECT_TRUE(st.ShouldRetry(Status::Unavailable("2")));
+  EXPECT_FALSE(st.ShouldRetry(Status::Unavailable("3")))
+      << "third failure exhausts max_attempts=3";
+  EXPECT_EQ(st.attempts(), 3);
+
+  RetryState never(RetryPolicy{});  // default max_attempts = 1
+  EXPECT_FALSE(never.ShouldRetry(Status::Unavailable("x")));
+
+  RetryState wrong_class(p);
+  EXPECT_FALSE(wrong_class.ShouldRetry(Status::ExecutionError("permanent")));
+}
+
+TEST(Retry, BackoffIsDeterministicAndCapped) {
+  RetryPolicy p;
+  p.max_attempts = 8;
+  p.backoff_base_ms = 100;
+  p.backoff_multiplier = 2.0;
+  p.backoff_cap_ms = 300;
+  p.jitter_fraction = 0.5;
+  p.jitter_seed = 1234;
+  RetryState a(p);
+  RetryState b(p);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(a.ShouldRetry(Status::Unavailable("x")));
+    ASSERT_TRUE(b.ShouldRetry(Status::Unavailable("x")));
+    const double da = a.NextBackoffMs();
+    const double db = b.NextBackoffMs();
+    EXPECT_DOUBLE_EQ(da, db) << "retry " << i << ": same seed, same delay";
+    EXPECT_GE(da, 100 * (1 - p.jitter_fraction));
+    EXPECT_LE(da, 300 * (1 + p.jitter_fraction));
+  }
+}
+
+TEST(Retry, BackoffWithoutJitterIsExact) {
+  RetryPolicy p;
+  p.max_attempts = 8;
+  p.backoff_base_ms = 100;
+  p.backoff_multiplier = 2.0;
+  p.backoff_cap_ms = 1000;
+  p.jitter_fraction = 0;
+  RetryState st(p);
+  const double expected[] = {100, 200, 400, 800, 1000, 1000};
+  for (double e : expected) {
+    ASSERT_TRUE(st.ShouldRetry(Status::Unavailable("x")));
+    EXPECT_DOUBLE_EQ(st.NextBackoffMs(), e);
+  }
+}
+
+// ---------------------------------------------------------- fault classes
+
+TEST(FaultClasses, TransientFaultIsUnavailable) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  auto q = TcQuery(UnionMode::kUnionDistinct, "iteration:2:transient");
+  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  const ProgressDetail* detail = ProgressDetail::FromStatus(result.status());
+  ASSERT_NE(detail, nullptr) << result.status();
+  EXPECT_EQ(detail->progress().tripped, "fault");
+  EXPECT_EQ(catalog.TableNames(), before);
+}
+
+TEST(FaultClasses, PermanentFaultIsExecutionError) {
+  auto catalog = MakeCatalog(TinyGraph());
+  for (const char* spec : {"iteration:2", "iteration:2:permanent"}) {
+    auto q = TcQuery(UnionMode::kUnionDistinct, spec);
+    auto result = ExecuteWithPlus(q, catalog, OracleLike());
+    ASSERT_FALSE(result.ok()) << spec;
+    EXPECT_EQ(result.status().code(), StatusCode::kExecutionError) << spec;
+  }
+}
+
+TEST(FaultClasses, MalformedClassIsRejected) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto q = TcQuery(UnionMode::kUnionDistinct, "iteration:1:bogus");
+  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------- checkpoint/resume core
+
+TEST(CheckpointResume, InterruptedRunPublishesResumeToken) {
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  CheckpointStore store;
+  auto q = TcQuery(UnionMode::kUnionDistinct, "iteration:3");
+  q.checkpoint_every = 1;
+  q.checkpoint_store = &store;
+  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(result.ok());
+  const ProgressDetail* detail = ProgressDetail::FromStatus(result.status());
+  ASSERT_NE(detail, nullptr) << result.status();
+  EXPECT_EQ(detail->progress().iterations, 2u);
+  const std::string token = detail->progress().resume_token;
+  ASSERT_FALSE(token.empty());
+  // The failure path leaves the snapshot in the store — it is what a
+  // retry resumes from.
+  EXPECT_TRUE(store.Find(token).has_value());
+  EXPECT_EQ(catalog.TableNames(), before);
+  // The post-mortem rendering surfaces resumability.
+  const std::string rendered = detail->ToString();
+  EXPECT_NE(rendered.find("resumable=yes"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("resume_token=" + token), std::string::npos)
+      << rendered;
+}
+
+TEST(CheckpointResume, CheckpointOffPublishesNoToken) {
+  auto catalog = MakeCatalog(TinyGraph());
+  CheckpointStore store;
+  auto q = TcQuery(UnionMode::kUnionDistinct, "iteration:3");
+  q.checkpoint_every = 0;
+  q.checkpoint_store = &store;
+  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(result.ok());
+  const ProgressDetail* detail = ProgressDetail::FromStatus(result.status());
+  ASSERT_NE(detail, nullptr);
+  EXPECT_TRUE(detail->progress().resume_token.empty());
+  EXPECT_EQ(store.Size(), 0u);
+  EXPECT_NE(detail->ToString().find("resumable=no"), std::string::npos)
+      << detail->ToString();
+}
+
+TEST(CheckpointResume, ResumeProducesIdenticalResult) {
+  auto baseline_catalog = MakeCatalog(TinyGraph());
+  auto baseline = ExecuteWithPlus(TcQuery(UnionMode::kUnionDistinct),
+                                  baseline_catalog, OracleLike());
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  auto catalog = MakeCatalog(TinyGraph());
+  CheckpointStore store;
+  auto q = TcQuery(UnionMode::kUnionDistinct, "iteration:3");
+  q.checkpoint_every = 1;
+  q.checkpoint_store = &store;
+  auto interrupted = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(interrupted.ok());
+  const ProgressDetail* detail =
+      ProgressDetail::FromStatus(interrupted.status());
+  ASSERT_NE(detail, nullptr);
+  const std::string token = detail->progress().resume_token;
+  ASSERT_FALSE(token.empty());
+
+  auto resume = TcQuery(UnionMode::kUnionDistinct);
+  resume.checkpoint_every = 1;
+  resume.checkpoint_store = &store;
+  resume.resume_from = token;
+  auto resumed = ExecuteWithPlus(resume, catalog, OracleLike());
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  ExpectRowsIdentical(baseline->table, resumed->table, "resumed TC");
+  // Iteration accounting continues across the resume instead of
+  // restarting, and the successful run cleans its token out of the store.
+  EXPECT_EQ(resumed->iterations, baseline->iterations);
+  EXPECT_EQ(resumed->iters.size(), baseline->iters.size());
+  EXPECT_EQ(store.Size(), 0u);
+}
+
+// A governed trip (here: the iteration cap) carries the resume token just
+// like an injected fault, and lifting the budget on the resumed run
+// finishes the fixpoint with identical results.
+TEST(CheckpointResume, GovernorTripResumesToIdenticalResult) {
+  auto baseline_catalog = MakeCatalog(TinyGraph());
+  auto baseline = ExecuteWithPlus(TcQuery(UnionMode::kUnionDistinct),
+                                  baseline_catalog, OracleLike());
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  auto catalog = MakeCatalog(TinyGraph());
+  CheckpointStore store;
+  auto q = TcQuery(UnionMode::kUnionDistinct);
+  q.checkpoint_every = 1;
+  q.checkpoint_store = &store;
+  q.governor.iteration_cap = 2;
+  auto tripped = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_FALSE(tripped.ok());
+  EXPECT_EQ(tripped.status().code(), StatusCode::kResourceExhausted);
+  const ProgressDetail* detail = ProgressDetail::FromStatus(tripped.status());
+  ASSERT_NE(detail, nullptr);
+  EXPECT_EQ(detail->progress().tripped, "iterations");
+  const std::string token = detail->progress().resume_token;
+  ASSERT_FALSE(token.empty());
+
+  auto resume = TcQuery(UnionMode::kUnionDistinct);
+  resume.checkpoint_every = 1;
+  resume.checkpoint_store = &store;
+  resume.resume_from = token;
+  auto resumed = ExecuteWithPlus(resume, catalog, OracleLike());
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  ExpectRowsIdentical(baseline->table, resumed->table, "resumed after cap");
+  EXPECT_EQ(resumed->iterations, baseline->iterations);
+}
+
+TEST(CheckpointResume, SuccessfulRunLeavesStoreEmpty) {
+  auto catalog = MakeCatalog(TinyGraph());
+  CheckpointStore store;
+  auto q = TcQuery(UnionMode::kUnionDistinct);
+  q.checkpoint_every = 1;
+  q.checkpoint_store = &store;
+  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(store.Size(), 0u)
+      << "snapshots must not outlive the run that published them";
+}
+
+TEST(CheckpointResume, MutualInterruptThenResumeIdentical) {
+  auto baseline_catalog = MakeCatalog(TinyGraph());
+  auto baseline =
+      ExecuteMutual(EvenOddQuery(), baseline_catalog, OracleLike());
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  auto catalog = MakeCatalog(TinyGraph());
+  const auto before = catalog.TableNames();
+  CheckpointStore store;
+  auto m = EvenOddQuery("iteration:2");
+  m.checkpoint_every = 1;
+  m.checkpoint_store = &store;
+  auto interrupted = ExecuteMutual(m, catalog, OracleLike());
+  ASSERT_FALSE(interrupted.ok());
+  EXPECT_EQ(catalog.TableNames(), before);
+  const ProgressDetail* detail =
+      ProgressDetail::FromStatus(interrupted.status());
+  ASSERT_NE(detail, nullptr) << interrupted.status();
+  const std::string token = detail->progress().resume_token;
+  ASSERT_FALSE(token.empty());
+
+  auto resume = EvenOddQuery();
+  resume.checkpoint_every = 1;
+  resume.checkpoint_store = &store;
+  resume.resume_from = token;
+  auto resumed = ExecuteMutual(resume, catalog, OracleLike());
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  ASSERT_EQ(resumed->tables.size(), baseline->tables.size());
+  for (size_t i = 0; i < baseline->tables.size(); ++i) {
+    ExpectRowsIdentical(baseline->tables[i], resumed->tables[i],
+                        "mutual relation " + std::to_string(i));
+  }
+  EXPECT_EQ(resumed->iterations, baseline->iterations);
+  EXPECT_EQ(store.Size(), 0u);
+}
+
+// ---------------------------------------------------------- chaos harness
+
+// Interrupt every evaluation algorithm mid-fixpoint, resume from the
+// published token, and require byte-identical results — across plan cache
+// on/off and DOP 1/4. Algorithms that converge before the fault's third
+// iteration checkpoint complete uninterrupted; their results must be
+// identical anyway, and enough of the set runs long enough that the
+// resume path is exercised many times.
+TEST(ChaosHarness, EvaluationSetInterruptResumeIdentical) {
+  int resumed_runs = 0;
+  for (const auto& entry : algos::EvaluationSet(/*include_toposort=*/true)) {
+    graph::Graph g = entry.needs_dag ? TinyDag() : TinyGraph();
+    std::vector<int64_t> labels;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      labels.push_back(1 + (v % 3));  // LP / KS need VL(ID, label)
+    }
+    g.set_node_labels(std::move(labels));
+    for (int cache : {0, 1}) {
+      for (int dop : {1, 4}) {
+        const std::string leg = entry.abbrev + " (cache " +
+                                std::to_string(cache) + ", dop " +
+                                std::to_string(dop) + ")";
+        algos::AlgoOptions base;
+        base.fault_spec = "none";
+        base.plan_cache = cache;
+        base.degree_of_parallelism = dop;
+        auto baseline_catalog = MakeCatalog(g);
+        auto baseline = entry.run(baseline_catalog, base);
+        ASSERT_TRUE(baseline.ok()) << leg << ": " << baseline.status();
+
+        CheckpointStore store;
+        auto catalog = MakeCatalog(g);
+        const auto before = catalog.TableNames();
+        algos::AlgoOptions faulty = base;
+        faulty.checkpoint_every = 1;
+        faulty.checkpoint_store = &store;
+        faulty.fault_spec = "iteration:3";
+        auto interrupted = entry.run(catalog, faulty);
+        if (interrupted.ok()) {
+          // Converged before the fault could fire.
+          ExpectRowsIdentical(baseline->table, interrupted->table, leg);
+          continue;
+        }
+        ASSERT_EQ(catalog.TableNames(), before) << leg;
+        const ProgressDetail* detail =
+            ProgressDetail::FromStatus(interrupted.status());
+        ASSERT_NE(detail, nullptr)
+            << leg << ": " << interrupted.status();
+        const std::string token = detail->progress().resume_token;
+        ASSERT_FALSE(token.empty()) << leg;
+
+        algos::AlgoOptions resume = base;
+        resume.checkpoint_every = 1;
+        resume.checkpoint_store = &store;
+        resume.resume_from = token;
+        auto resumed = entry.run(catalog, resume);
+        ASSERT_TRUE(resumed.ok()) << leg << ": " << resumed.status();
+        ExpectRowsIdentical(baseline->table, resumed->table, leg);
+        ++resumed_runs;
+      }
+    }
+  }
+  // The harness is only meaningful if the fault actually interrupted a
+  // good share of the runs (10 algorithms x 4 legs).
+  EXPECT_GE(resumed_runs, 12) << "chaos fault fired on too few runs";
+}
+
+// A recurring transient fault (fails every attempt at the same site) plus
+// checkpoint/resume still converges: each retry resumes from the previous
+// attempt's snapshot, so the fixpoint makes monotonic progress of one
+// iteration per attempt instead of restarting from scratch.
+TEST(ChaosHarness, RetryWithResumeMakesMonotonicProgress) {
+  auto baseline_catalog = MakeCatalog(TinyGraph());
+  auto baseline = ExecuteWithPlus(TcQuery(UnionMode::kUnionDistinct),
+                                  baseline_catalog, OracleLike());
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  auto catalog = MakeCatalog(TinyGraph());
+  CheckpointStore store;
+  auto q = TcQuery(UnionMode::kUnionDistinct);
+  algos::AlgoOptions options;
+  options.fault_spec = "iteration:2:transient";
+  options.checkpoint_every = 1;
+  options.checkpoint_store = &store;
+  options.plan_cache = TestCache();
+  options.degree_of_parallelism = TestDop();
+  options.retry.max_attempts = 20;
+  options.retry.backoff_base_ms = 0;
+  auto result = algos::RunWithPlus(q, catalog, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectRowsIdentical(baseline->table, result->table, "retry+resume TC");
+  EXPECT_EQ(result->iterations, baseline->iterations);
+  EXPECT_EQ(store.Size(), 0u);
+}
+
+// Without checkpointing the same recurring fault can never get past its
+// site: the retry loop restarts from scratch each time and exhausts its
+// attempts.
+TEST(ChaosHarness, RetryWithoutCheckpointCannotPassRecurringFault) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto q = TcQuery(UnionMode::kUnionDistinct);
+  algos::AlgoOptions options;
+  options.fault_spec = "iteration:2:transient";
+  options.checkpoint_every = 0;
+  options.plan_cache = TestCache();
+  options.degree_of_parallelism = TestDop();
+  options.retry.max_attempts = 4;
+  options.retry.backoff_base_ms = 0;
+  auto result = algos::RunWithPlus(q, catalog, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+// ------------------------------------------------------------ SQL surface
+
+TEST(ResilienceSql, CheckpointEveryParsesAndBinds) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) checkpoint every 4 maxrecursion 3)");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  EXPECT_EQ(ast->checkpoint_every, 4);
+  auto bound = sql::BindWithStatement(*ast, catalog);
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_EQ(bound->query.checkpoint_every, 4);
+}
+
+TEST(ResilienceSql, CheckpointDefaultsToInherit) {
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F))");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  EXPECT_EQ(ast->checkpoint_every, -1);
+}
+
+TEST(ResilienceSql, DuplicateCheckpointOptionIsAParseError) {
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) checkpoint every 2 checkpoint every 3)");
+  ASSERT_FALSE(ast.ok());
+  EXPECT_EQ(ast.status().code(), StatusCode::kParseError);
+}
+
+TEST(ResilienceSql, OutOfRangeCheckpointIsABindError) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) checkpoint every 40000)");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  auto bound = sql::BindWithStatement(*ast, catalog);
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kBindError);
+}
+
+TEST(ResilienceSql, CheckpointHintDoesNotChangeResults) {
+  ScopedEnv faults("GPR_FAULTS", nullptr);  // isolate from the CI matrix
+  auto catalog = MakeCatalog(TinyGraph());
+  auto plain = sql::RunSql(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F))",
+      catalog, OracleLike());
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  auto checkpointed = sql::RunSql(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) checkpoint every 1)",
+      catalog, OracleLike());
+  ASSERT_TRUE(checkpointed.ok()) << checkpointed.status();
+  ExpectRowsIdentical(*plain, *checkpointed, "checkpoint every 1");
+}
+
+// -------------------------------------------------------- explain surface
+
+TEST(ResilienceExplain, ShowsCheckpointCadence) {
+  auto catalog = MakeCatalog(TinyGraph());
+  auto q = TcQuery(UnionMode::kUnionDistinct);
+  EXPECT_NE(core::ExplainWithPlus(q, catalog, OracleLike())
+                .find("checkpoint: off"),
+            std::string::npos);
+  q.checkpoint_every = 2;
+  const std::string on = core::ExplainWithPlus(q, catalog, OracleLike());
+  EXPECT_NE(on.find("checkpoint: every 2 iterations"), std::string::npos)
+      << on;
+  q.resume_from = "ckpt-9";
+  const std::string resuming =
+      core::ExplainWithPlus(q, catalog, OracleLike());
+  EXPECT_NE(resuming.find("resume from 'ckpt-9'"), std::string::npos)
+      << resuming;
+}
+
+// ----------------------------------------------------- poll configuration
+
+TEST(PollInterval, ResolutionOrder) {
+  {
+    ScopedEnv env("GPR_POLL_INTERVAL", nullptr);
+    EXPECT_EQ(exec::ResolvePollInterval(0), 8192u);
+    EXPECT_EQ(exec::ResolvePollInterval(-3), 8192u);
+    EXPECT_EQ(exec::ResolvePollInterval(17), 17u);
+  }
+  {
+    ScopedEnv env("GPR_POLL_INTERVAL", "33");
+    EXPECT_EQ(exec::ResolvePollInterval(17), 33u);
+  }
+  {
+    // Garbage / non-positive values fall back to the configured interval.
+    ScopedEnv env("GPR_POLL_INTERVAL", "not-a-number");
+    EXPECT_EQ(exec::ResolvePollInterval(17), 17u);
+  }
+  {
+    ScopedEnv env("GPR_POLL_INTERVAL", "-5");
+    EXPECT_EQ(exec::ResolvePollInterval(17), 17u);
+  }
+}
+
+// A tiny poll stride changes only how often the governor is consulted —
+// never the result rows (morsel decomposition stays fixed).
+TEST(PollInterval, StrideDoesNotChangeResults) {
+  auto baseline_catalog = MakeCatalog(TinyGraph());
+  auto baseline = ExecuteWithPlus(TcQuery(UnionMode::kUnionDistinct),
+                                  baseline_catalog, OracleLike());
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  auto catalog = MakeCatalog(TinyGraph());
+  core::EngineProfile profile = OracleLike();
+  profile.governor_poll_interval = 3;
+  auto q = TcQuery(UnionMode::kUnionDistinct);
+  q.governor.row_budget = 1000000;  // governed, but far from tripping
+  auto result = ExecuteWithPlus(q, catalog, profile);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ExpectRowsIdentical(baseline->table, result->table, "poll stride 3");
+}
+
+}  // namespace
+}  // namespace gpr

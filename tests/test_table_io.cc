@@ -1,12 +1,37 @@
-// CSV round-trip tests for relations.
+// CSV round-trip tests for relations, plus the atomic-write contract:
+// a fault at any I/O site (io_open / io_write / io_fsync / io_rename)
+// must leave the previous file contents intact and no temp file behind
+// (docs/robustness.md; linted by GPR-C408).
 #include <gtest/gtest.h>
 
-#include <cstdio>
+#include <unistd.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "exec/fault_injector.h"
 #include "ra/table_io.h"
 
 namespace gpr::ra {
 namespace {
+
+/// The temp name AtomicWriteFile stages into before the rename.
+std::string TmpPathFor(const std::string& path) {
+  return path + ".tmp." + std::to_string(::getpid());
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return static_cast<bool>(in);
+}
 
 TEST(TableIo, RoundTripAllTypes) {
   Table t("T", Schema{{"i", ValueType::kInt64},
@@ -61,6 +86,90 @@ TEST(TableIo, Errors) {
   }
   auto r = LoadCsv(path, "X");
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------- atomic writes
+
+TEST(TableIoAtomic, AtomicWriteFileReplacesContentAndLeavesNoTemp) {
+  const std::string path = ::testing::TempDir() + "/gpr_atomic.txt";
+  ASSERT_TRUE(AtomicWriteFile(path, "first\n").ok());
+  EXPECT_EQ(ReadWholeFile(path), "first\n");
+  ASSERT_TRUE(AtomicWriteFile(path, "second\n").ok());
+  EXPECT_EQ(ReadWholeFile(path), "second\n");
+  EXPECT_FALSE(FileExists(TmpPathFor(path)));
+  std::remove(path.c_str());
+}
+
+// A fault at every staged I/O site in turn: the previous contents must
+// survive byte-for-byte and the temp file must be cleaned up — a torn
+// table file is exactly what the temp+fsync+rename protocol rules out.
+TEST(TableIoAtomic, FaultAtAnySiteLeavesTargetIntact) {
+  const std::string path = ::testing::TempDir() + "/gpr_atomic_fault.txt";
+  ASSERT_TRUE(AtomicWriteFile(path, "durable\n").ok());
+  for (const char* spec :
+       {"io_open:1", "io_write:1", "io_fsync:1", "io_rename:1"}) {
+    auto faults = exec::FaultInjector::FromSpec(spec);
+    ASSERT_TRUE(faults.ok()) << spec;
+    Status s = AtomicWriteFile(path, "torn!", &*faults);
+    ASSERT_FALSE(s.ok()) << spec;
+    EXPECT_EQ(s.code(), StatusCode::kExecutionError) << spec;
+    EXPECT_EQ(ReadWholeFile(path), "durable\n") << spec;
+    EXPECT_FALSE(FileExists(TmpPathFor(path))) << spec;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableIoAtomic, TransientFaultClassPropagates) {
+  const std::string path = ::testing::TempDir() + "/gpr_atomic_tr.txt";
+  auto faults = exec::FaultInjector::FromSpec("io_write:1:transient");
+  ASSERT_TRUE(faults.ok());
+  Status s = AtomicWriteFile(path, "x", &*faults);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_FALSE(FileExists(TmpPathFor(path)));
+}
+
+TEST(TableIoAtomic, SaveCsvFaultPreservesPreviousSnapshot) {
+  Table t("T", Schema{{"i", ValueType::kInt64}});
+  t.AddRow({int64_t{1}});
+  const std::string path = ::testing::TempDir() + "/gpr_atomic_csv.csv";
+  ASSERT_TRUE(SaveCsv(t, path).ok());
+  const std::string before = ReadWholeFile(path);
+
+  t.AddRow({int64_t{2}});
+  auto faults = exec::FaultInjector::FromSpec("io_rename:1");
+  ASSERT_TRUE(faults.ok());
+  ASSERT_FALSE(SaveCsv(t, path, &*faults).ok());
+  EXPECT_EQ(ReadWholeFile(path), before) << "old snapshot must survive";
+
+  // Without the fault the save goes through and loads back both rows.
+  ASSERT_TRUE(SaveCsv(t, path).ok());
+  auto loaded = LoadCsv(path, "T");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->NumRows(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TableIoAtomic, LoadCsvConsultsReadSites) {
+  Table t("T", Schema{{"i", ValueType::kInt64}});
+  t.AddRow({int64_t{1}});
+  t.AddRow({int64_t{2}});
+  const std::string path = ::testing::TempDir() + "/gpr_atomic_load.csv";
+  ASSERT_TRUE(SaveCsv(t, path).ok());
+
+  auto open_fault = exec::FaultInjector::FromSpec("io_open:1");
+  ASSERT_TRUE(open_fault.ok());
+  EXPECT_FALSE(LoadCsv(path, "T", &*open_fault).ok());
+
+  auto read_fault = exec::FaultInjector::FromSpec("io_read:2");
+  ASSERT_TRUE(read_fault.ok());
+  EXPECT_FALSE(LoadCsv(path, "T", &*read_fault).ok());
+
+  auto clean = LoadCsv(path, "T");
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  EXPECT_EQ(clean->NumRows(), 2u);
   std::remove(path.c_str());
 }
 

@@ -377,6 +377,27 @@ void CheckC407(const SourceFile& src, std::vector<Finding>* out) {
   }
 }
 
+// --- GPR-C408 ------------------------------------------------------------
+// Table files on disk must never tear: every table_io write goes through
+// AtomicWriteFile (temp file + fsync + rename), so a crash or injected
+// fault leaves either the old complete file or the new complete one. A
+// bare ofstream/fopen write site silently reintroduces torn files.
+void CheckC408(const SourceFile& src, std::vector<Finding>* out) {
+  if (src.path.find("table_io") == std::string::npos) return;
+  static const std::regex kRawWrite(
+      R"(std\s*::\s*(ofstream|fstream)\b|\bfopen\s*\()");
+  const std::string& code = src.code;
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kRawWrite);
+       it != std::sregex_iterator(); ++it) {
+    const size_t pos = it->position(0);
+    if (pos > 0 && IsIdentChar(code[pos - 1])) continue;
+    Add(src, out, "GPR-C408", pos,
+        "raw file-write primitive in table_io — a fault mid-write leaves a "
+        "torn table file",
+        "route writes through AtomicWriteFile (temp file + fsync + rename)");
+  }
+}
+
 }  // namespace
 
 size_t SourceFile::LineOf(size_t offset) const {
@@ -510,6 +531,7 @@ void CheckSource(const SourceFile& src, std::vector<Finding>* out) {
   CheckC405(src, out);
   CheckC406(src, out);
   CheckC407(src, out);
+  CheckC408(src, out);
 }
 
 std::vector<Finding> CheckSourceText(const std::string& path,
