@@ -28,8 +28,12 @@ Result<WithPlusResult> RunWithPlus(core::WithPlusQuery& q,
   }
   if (options.plan_cache >= 0) q.plan_cache = options.plan_cache;
   if (options.plan_facts >= 0) q.plan_facts = options.plan_facts;
-  q.checkpoint_every = options.checkpoint_every;
-  q.checkpoint_store = options.checkpoint_store;
+  if (options.checkpoint_every != -1) {
+    q.checkpoint_every = options.checkpoint_every;
+  }
+  if (options.checkpoint_store != nullptr) {
+    q.checkpoint_store = options.checkpoint_store;
+  }
   if (!options.resume_from.empty() && q.resume_from.empty()) {
     // An algorithm forwards the caller's token to every with+ it runs, so
     // only hand it to the fixpoint that actually issued it: the one whose

@@ -1,0 +1,50 @@
+#include "core/checkpoint.h"
+
+namespace gpr::core {
+
+CheckpointStore& CheckpointStore::Default() {
+  static CheckpointStore* store = new CheckpointStore();
+  return *store;
+}
+
+std::string CheckpointStore::Insert(FixpointCheckpoint cp) {
+  MutexLock lock(mu_);
+  const std::string token = "ckpt-" + std::to_string(next_id_++);
+  cp.token = token;
+  by_token_.emplace(token, std::move(cp));
+  order_.push_back(token);
+  while (by_token_.size() > kMaxEntries) {
+    by_token_.erase(order_.front());
+    order_.pop_front();
+  }
+  return token;
+}
+
+std::optional<FixpointCheckpoint> CheckpointStore::Find(
+    const std::string& token) const {
+  MutexLock lock(mu_);
+  auto it = by_token_.find(token);
+  if (it == by_token_.end()) return std::nullopt;
+  return it->second;  // copy — restored tables draw fresh versions
+}
+
+bool CheckpointStore::Remove(const std::string& token) {
+  MutexLock lock(mu_);
+  const bool removed = by_token_.erase(token) > 0;
+  if (removed) {
+    for (auto it = order_.begin(); it != order_.end(); ++it) {
+      if (*it == token) {
+        order_.erase(it);
+        break;
+      }
+    }
+  }
+  return removed;
+}
+
+size_t CheckpointStore::Size() const {
+  MutexLock lock(mu_);
+  return by_token_.size();
+}
+
+}  // namespace gpr::core

@@ -1,0 +1,102 @@
+// Iteration-granular checkpoint/resume for the fixpoint engines
+// (docs/robustness.md).
+//
+// Every K completed iterations (K = the `checkpoint every K` SQL option /
+// EngineProfile::checkpoint_every / AlgoOptions::checkpoint_every) the
+// fixpoint drivers — core::CallProcedure for with+ and
+// core::ExecuteMutual for mutual recursion — snapshot everything the loop
+// needs to continue: the recursive relation(s), the SQL'99 working-table
+// accumulator, the iteration counter and per-iteration stats, the
+// ExecCounters, and the rand() generator state. The snapshot lives in a
+// CheckpointStore under a fresh token; the engine publishes the token to
+// the execution governor, so any later trip (deadline, budget,
+// cancellation, injected fault) carries it in its ProgressDetail payload.
+// Passing the token back through WithPlusQuery::resume_from /
+// MutualQuery::resume_from continues the fixpoint from the snapshot
+// instead of repeating completed iterations.
+//
+// Restored tables are *copies* of the stored ones, and ra::Table's copy
+// constructor draws a fresh content version — so the plan cache can never
+// serve an artifact built for a pre-interruption incarnation of the
+// relation (the PR 5 invalidation substrate does the work; see
+// docs/performance.md).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/plan.h"
+#include "core/with_plus.h"
+#include "ra/table.h"
+#include "util/mutex.h"
+#include "util/rng.h"
+#include "util/thread_annotations.h"
+
+namespace gpr::core {
+
+/// One resumable fixpoint snapshot. Exactly one of the two shapes is
+/// populated: the with+ shape (rec / full_accum / iters / counters) or
+/// the mutual shape (mutual_names / mutual_tables).
+struct FixpointCheckpoint {
+  std::string token;      ///< assigned by CheckpointStore::Insert
+  std::string rec_table;  ///< with+ recursive relation; "" for mutual
+  uint64_t seed = 0;      ///< the seed the interrupted run started with
+  size_t iterations = 0;  ///< fully completed iterations
+  Xoshiro256 rng{0};      ///< rand() state right after iteration #iterations
+
+  // with+ (CallProcedure) ------------------------------------------------
+  bool working_mode = false;  ///< SQL'99 working-table semantics
+  ra::Table rec;              ///< catalog contents of the recursive relation
+  ra::Table full_accum;       ///< the working-mode accumulator
+  std::vector<IterationStats> iters;
+  ExecCounters counters;
+
+  // mutual recursion (ExecuteMutual) -------------------------------------
+  std::vector<std::string> mutual_names;  ///< declaration order
+  std::vector<ra::Table> mutual_tables;
+};
+
+/// Process-wide, thread-safe store of resumable snapshots. Bounded: the
+/// oldest snapshot is evicted once kMaxEntries live ones accumulate, so
+/// abandoned tokens (a caller that never resumes) cannot grow memory
+/// without bound. The engines remove their own tokens on success and
+/// replace them as newer snapshots supersede older ones, so a healthy
+/// process stays far below the cap.
+class CheckpointStore {
+ public:
+  static constexpr size_t kMaxEntries = 64;
+
+  CheckpointStore() = default;
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
+  /// The default store used when no explicit one is supplied
+  /// (WithPlusQuery::checkpoint_store == nullptr).
+  static CheckpointStore& Default();
+
+  /// Stores `cp` under a fresh token ("ckpt-<n>") and returns it.
+  std::string Insert(FixpointCheckpoint cp);
+
+  /// Copy of the snapshot under `token`, or nullopt. The copy is what
+  /// gives restored tables fresh content versions (ra::Table copy ctor).
+  std::optional<FixpointCheckpoint> Find(const std::string& token) const;
+
+  /// Drops the snapshot; false when the token is unknown (already
+  /// removed, evicted, or never issued).
+  bool Remove(const std::string& token);
+
+  size_t Size() const;
+
+ private:
+  mutable Mutex mu_;
+  std::unordered_map<std::string, FixpointCheckpoint> by_token_
+      GPR_GUARDED_BY(mu_);
+  /// Insertion order, for FIFO eviction at the cap.
+  std::deque<std::string> order_ GPR_GUARDED_BY(mu_);
+  uint64_t next_id_ GPR_GUARDED_BY(mu_) = 1;
+};
+
+}  // namespace gpr::core

@@ -3,12 +3,14 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "exec/exec_context.h"
 #include "exec/fault_injector.h"
@@ -89,107 +91,163 @@ Status IoSite(exec::FaultInjector* faults, const char* site) {
   return faults->OnCheckpoint(site, token);
 }
 
-/// Closes `fd` if still open, removes the temp file, and forwards `s` —
-/// the single exit ramp for every AtomicWriteFile failure.
-Status FailWrite(int fd, const std::string& tmp, Status s) {
-  if (fd >= 0) ::close(fd);
-  ::unlink(tmp.c_str());
-  return s;
-}
+/// Staged atomic write shared by AtomicWriteFile and SaveCsv: open a
+/// uniquely named temp sibling, Append() data (buffered, flushed in
+/// chunks so large exports never materialize whole in memory), then
+/// Finish() runs the fsync + rename + directory-fsync protocol. Any
+/// failure — or destruction before Finish() — closes the fd and unlinks
+/// the temp, leaving the target untouched. The temp name carries the pid
+/// plus a process-wide counter so concurrent writers targeting the same
+/// path never share a staging file.
+class AtomicFileWriter {
+ public:
+  AtomicFileWriter(const std::string& path, exec::FaultInjector* faults)
+      : path_(path), faults_(faults) {
+    static std::atomic<uint64_t> counter{0};
+    tmp_ = path + ".tmp." + std::to_string(::getpid()) + "." +
+           std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  }
+  ~AtomicFileWriter() {
+    if (!done_) Discard();
+  }
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  Status Open() {
+    if (Status s = IoSite(faults_, "io_open"); !s.ok()) return Fail(s);
+    fd_ = ::open(tmp_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd_ < 0) {
+      done_ = true;  // nothing staged; leave any unrelated file alone
+      return Status::IoError("cannot open '" + tmp_ +
+                             "' for writing: " + std::strerror(errno));
+    }
+    if (Status s = IoSite(faults_, "io_write"); !s.ok()) return Fail(s);
+    return Status::OK();
+  }
+
+  Status Append(std::string_view data) {
+    buf_.append(data);
+    if (buf_.size() >= kFlushBytes) return FlushBuf();
+    return Status::OK();
+  }
+
+  Status Finish() {
+    if (Status s = FlushBuf(); !s.ok()) return s;
+    if (Status s = IoSite(faults_, "io_fsync"); !s.ok()) return Fail(s);
+    if (::fsync(fd_) != 0) {
+      return Fail(Status::IoError("fsync of '" + tmp_ +
+                                  "' failed: " + std::strerror(errno)));
+    }
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Fail(Status::IoError("close of '" + tmp_ +
+                                  "' failed: " + std::strerror(errno)));
+    }
+    if (Status s = IoSite(faults_, "io_rename"); !s.ok()) return Fail(s);
+    if (::rename(tmp_.c_str(), path_.c_str()) != 0) {
+      return Fail(Status::IoError("rename '" + tmp_ + "' -> '" + path_ +
+                                  "' failed: " + std::strerror(errno)));
+    }
+    done_ = true;
+    // Durability of the rename itself needs the directory flushed; failure
+    // here is non-fatal (the file content is already complete and atomic).
+    const auto slash = path_.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path_.substr(0, slash == 0 ? 1 : slash);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+      ::fsync(dfd);
+      ::close(dfd);
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr size_t kFlushBytes = 1 << 20;
+
+  Status FlushBuf() {
+    size_t off = 0;
+    while (off < buf_.size()) {
+      const ssize_t n = ::write(fd_, buf_.data() + off, buf_.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Fail(Status::IoError("write to '" + tmp_ +
+                                    "' failed: " + std::strerror(errno)));
+      }
+      off += static_cast<size_t>(n);
+    }
+    buf_.clear();
+    return Status::OK();
+  }
+
+  void Discard() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    ::unlink(tmp_.c_str());
+    done_ = true;
+  }
+
+  Status Fail(Status s) {
+    Discard();
+    return s;
+  }
+
+  std::string path_;
+  std::string tmp_;
+  exec::FaultInjector* faults_;
+  int fd_ = -1;
+  bool done_ = false;
+  std::string buf_;
+};
 
 }  // namespace
 
 Status AtomicWriteFile(const std::string& path, const std::string& content,
                        exec::FaultInjector* faults) {
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
-  if (Status s = IoSite(faults, "io_open"); !s.ok()) {
-    return FailWrite(-1, tmp, std::move(s));
-  }
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    return Status::IoError("cannot open '" + tmp +
-                           "' for writing: " + std::strerror(errno));
-  }
-  if (Status s = IoSite(faults, "io_write"); !s.ok()) {
-    return FailWrite(fd, tmp, std::move(s));
-  }
-  size_t off = 0;
-  while (off < content.size()) {
-    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return FailWrite(fd, tmp,
-                       Status::IoError("write to '" + tmp +
-                                       "' failed: " + std::strerror(errno)));
-    }
-    off += static_cast<size_t>(n);
-  }
-  if (Status s = IoSite(faults, "io_fsync"); !s.ok()) {
-    return FailWrite(fd, tmp, std::move(s));
-  }
-  if (::fsync(fd) != 0) {
-    return FailWrite(fd, tmp,
-                     Status::IoError("fsync of '" + tmp +
-                                     "' failed: " + std::strerror(errno)));
-  }
-  if (::close(fd) != 0) {
-    return FailWrite(-1, tmp,
-                     Status::IoError("close of '" + tmp +
-                                     "' failed: " + std::strerror(errno)));
-  }
-  if (Status s = IoSite(faults, "io_rename"); !s.ok()) {
-    return FailWrite(-1, tmp, std::move(s));
-  }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    return FailWrite(-1, tmp,
-                     Status::IoError("rename '" + tmp + "' -> '" + path +
-                                     "' failed: " + std::strerror(errno)));
-  }
-  // Durability of the rename itself needs the directory flushed; failure
-  // here is non-fatal (the file content is already complete and atomic).
-  const auto slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash == 0 ? 1 : slash);
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd >= 0) {
-    ::fsync(dfd);
-    ::close(dfd);
-  }
-  return Status::OK();
+  AtomicFileWriter out(path, faults);
+  if (Status s = out.Open(); !s.ok()) return s;
+  if (Status s = out.Append(content); !s.ok()) return s;
+  return out.Finish();
 }
 
 Status SaveCsv(const Table& table, const std::string& path,
                exec::FaultInjector* faults) {
-  std::ostringstream out;
+  AtomicFileWriter out(path, faults);
+  if (Status s = out.Open(); !s.ok()) return s;
+  std::ostringstream line;
+  line.precision(17);
   // Header: name:Type per column.
   for (size_t c = 0; c < table.schema().NumColumns(); ++c) {
-    if (c > 0) out << ",";
+    if (c > 0) line << ",";
     const auto& col = table.schema().column(c);
-    out << col.name << ":" << ValueTypeName(col.type);
+    line << col.name << ":" << ValueTypeName(col.type);
   }
-  out << "\n";
+  line << "\n";
+  if (Status s = out.Append(line.str()); !s.ok()) return s;
   // CSV export runs outside governed query execution: callers invoke it
   // directly, never through a plan with a deadline or cancellation context.
   // gpr_check(disable: GPR-C401): ungoverned by design (see above)
   for (const auto& row : table.rows()) {
+    line.str("");
     for (size_t c = 0; c < row.size(); ++c) {
-      if (c > 0) out << ",";
+      if (c > 0) line << ",";
       const Value& v = row[c];
       if (v.is_null()) {
         // empty field
       } else if (v.is_string()) {
-        out << EscapeString(v.AsString());
+        line << EscapeString(v.AsString());
       } else if (v.is_int64()) {
-        out << v.AsInt64();
+        line << v.AsInt64();
       } else {
-        out.precision(17);
-        out << v.AsDouble();
+        line << v.AsDouble();
       }
     }
-    out << "\n";
+    line << "\n";
+    if (Status s = out.Append(line.str()); !s.ok()) return s;
   }
-  return AtomicWriteFile(path, out.str(), faults);
+  return out.Finish();
 }
 
 // GCC 12's -Wmaybe-uninitialized fires a false positive here: the Value

@@ -21,9 +21,10 @@ class FaultInjector;
 namespace gpr::ra {
 
 /// Atomically replaces the file at `path` with `content`: write to a
-/// temporary sibling, fsync, rename over `path`, then a best-effort fsync
-/// of the containing directory. On any failure — real or injected — the
-/// temporary is removed and `path` is untouched.
+/// temporary sibling (named uniquely per call, so concurrent writers to
+/// the same path never share a staging file), fsync, rename over `path`,
+/// then a best-effort fsync of the containing directory. On any failure —
+/// real or injected — the temporary is removed and `path` is untouched.
 ///
 /// `faults` (optional) is consulted at the I/O fault sites "io_open",
 /// "io_write", "io_fsync" and "io_rename", making torn-write and
@@ -31,7 +32,9 @@ namespace gpr::ra {
 Status AtomicWriteFile(const std::string& path, const std::string& content,
                        exec::FaultInjector* faults = nullptr);
 
-/// Writes `table` to `path` atomically (via AtomicWriteFile). Strings are
+/// Writes `table` to `path` atomically, streaming rows through the same
+/// staged temp + fsync + rename protocol as AtomicWriteFile (large
+/// exports are never materialized whole in memory). Strings are
 /// double-quoted with "" escaping; NULL is an empty unquoted field.
 Status SaveCsv(const Table& table, const std::string& path,
                exec::FaultInjector* faults = nullptr);

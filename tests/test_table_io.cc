@@ -4,11 +4,15 @@
 // (docs/robustness.md; linted by GPR-C408).
 #include <gtest/gtest.h>
 
+#include <dirent.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "exec/fault_injector.h"
 #include "ra/table_io.h"
@@ -16,9 +20,26 @@
 namespace gpr::ra {
 namespace {
 
-/// The temp name AtomicWriteFile stages into before the rename.
-std::string TmpPathFor(const std::string& path) {
-  return path + ".tmp." + std::to_string(::getpid());
+/// True if any staging temp (`<path>.tmp.<pid>.<n>` — the suffix is
+/// unique per call, so scan the directory for the prefix) was left
+/// behind by AtomicWriteFile.
+bool TempLeftBehind(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const std::string prefix =
+      (slash == std::string::npos ? path : path.substr(slash + 1)) + ".tmp.";
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return false;
+  bool found = false;
+  while (const dirent* e = ::readdir(d)) {
+    if (std::string(e->d_name).rfind(prefix, 0) == 0) {
+      found = true;
+      break;
+    }
+  }
+  ::closedir(d);
+  return found;
 }
 
 std::string ReadWholeFile(const std::string& path) {
@@ -97,7 +118,7 @@ TEST(TableIoAtomic, AtomicWriteFileReplacesContentAndLeavesNoTemp) {
   EXPECT_EQ(ReadWholeFile(path), "first\n");
   ASSERT_TRUE(AtomicWriteFile(path, "second\n").ok());
   EXPECT_EQ(ReadWholeFile(path), "second\n");
-  EXPECT_FALSE(FileExists(TmpPathFor(path)));
+  EXPECT_FALSE(TempLeftBehind(path));
   std::remove(path.c_str());
 }
 
@@ -115,8 +136,38 @@ TEST(TableIoAtomic, FaultAtAnySiteLeavesTargetIntact) {
     ASSERT_FALSE(s.ok()) << spec;
     EXPECT_EQ(s.code(), StatusCode::kExecutionError) << spec;
     EXPECT_EQ(ReadWholeFile(path), "durable\n") << spec;
-    EXPECT_FALSE(FileExists(TmpPathFor(path))) << spec;
+    EXPECT_FALSE(TempLeftBehind(path)) << spec;
   }
+  std::remove(path.c_str());
+}
+
+// Concurrent writers to the same target must each stage into their own
+// temp file: every write lands complete (one of the writers' full
+// contents, never an interleaving) and no staging file survives.
+TEST(TableIoAtomic, ConcurrentWritersNeverShareAStagingFile) {
+  const std::string path = ::testing::TempDir() + "/gpr_atomic_conc.txt";
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 25;
+  std::vector<std::string> payloads;
+  for (int t = 0; t < kThreads; ++t) {
+    payloads.push_back(std::string(1024, static_cast<char>('a' + t)) + "\n");
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        // EXPECT (not ASSERT): gtest fatal failures don't propagate out
+        // of secondary threads.
+        EXPECT_TRUE(AtomicWriteFile(path, payloads[t]).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::string got = ReadWholeFile(path);
+  EXPECT_NE(std::find(payloads.begin(), payloads.end(), got),
+            payloads.end())
+      << "target holds an interleaved / torn write";
+  EXPECT_FALSE(TempLeftBehind(path));
   std::remove(path.c_str());
 }
 
@@ -128,7 +179,7 @@ TEST(TableIoAtomic, TransientFaultClassPropagates) {
   ASSERT_FALSE(s.ok());
   EXPECT_EQ(s.code(), StatusCode::kUnavailable);
   EXPECT_FALSE(FileExists(path));
-  EXPECT_FALSE(FileExists(TmpPathFor(path)));
+  EXPECT_FALSE(TempLeftBehind(path));
 }
 
 TEST(TableIoAtomic, SaveCsvFaultPreservesPreviousSnapshot) {
