@@ -55,6 +55,12 @@ struct BenchRecord {
   size_t facts_dedup_skips = 0;
   size_t facts_pruned_columns = 0;
   double facts_setup_ms = 0;  ///< dataflow analysis wall time
+  // CSR SpMV/SpMM kernel counters (ra/csr.h; 0 for kernels-off legs and
+  // workloads with no MV/MM-join): layouts built, aggregate-joins run on
+  // the kernel path, and kernels-on executions that fell back generic.
+  size_t csr_builds = 0;
+  size_t kernel_hits = 0;
+  size_t kernel_fallbacks = 0;
 };
 
 /// Collects BenchRecords and writes them as a JSON array.
@@ -66,7 +72,7 @@ class BenchJsonWriter {
     std::string out = "[\n";
     for (size_t i = 0; i < records_.size(); ++i) {
       const BenchRecord& r = records_[i];
-      char buf[512];
+      char buf[768];
       std::snprintf(buf, sizeof(buf),
                     "  {\"op\": \"%s\", \"profile\": \"%s\", "
                     "\"dataset\": \"%s\", \"dop\": %d, "
@@ -76,11 +82,15 @@ class BenchJsonWriter {
                     "\"facts_dead_selects\": %zu, "
                     "\"facts_dedup_skips\": %zu, "
                     "\"facts_pruned_columns\": %zu, "
-                    "\"facts_setup_ms\": %.3f}%s\n",
+                    "\"facts_setup_ms\": %.3f, "
+                    "\"csr_builds\": %zu, "
+                    "\"kernel_hits\": %zu, "
+                    "\"kernel_fallbacks\": %zu}%s\n",
                     r.op.c_str(), r.profile.c_str(), r.dataset.c_str(),
                     r.dop, r.wall_ms, r.rows, r.cache_hits, r.cache_misses,
                     r.setup_ms, r.facts_dead_selects, r.facts_dedup_skips,
-                    r.facts_pruned_columns, r.facts_setup_ms,
+                    r.facts_pruned_columns, r.facts_setup_ms, r.csr_builds,
+                    r.kernel_hits, r.kernel_fallbacks,
                     i + 1 < records_.size() ? "," : "");
       out += buf;
     }

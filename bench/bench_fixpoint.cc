@@ -11,6 +11,12 @@
 // skips, dead-select skips, pruned columns, analysis time) for the CI
 // perf-trajectory artifact.
 //
+// A kernels section measures the CSR SpMV kernel end to end: WCC, SSSP
+// and PR at DOP 1 with `kernels off` vs `kernels on` ("kernels-off" /
+// "kernels-on" variants, with csr_builds / kernel_hits /
+// kernel_fallbacks counters in the JSON) — the docs/performance.md
+// speedup claim is the er-64k rows of this section.
+//
 // A trailing section measures the resilience layer's cost: WCC and SSSP
 // with iteration-granular checkpointing off vs every 8 iterations
 // ("ckpt-off" / "ckpt-every-8" variants) — the snapshot copies must stay
@@ -136,6 +142,9 @@ int Run(bool json) {
             rec.facts_pruned_columns = counters.facts_pruned_columns;
             rec.facts_setup_ms =
                 static_cast<double>(counters.facts_setup_us) / 1000.0;
+            rec.csr_builds = counters.csr_builds;
+            rec.kernel_hits = counters.kernel_hits;
+            rec.kernel_fallbacks = counters.kernel_fallbacks;
             writer.Add(rec);
             std::printf(
                 "%-6s %-10s %-6s %4d %12.1f %10zu %10zu %10.1f %7zu %7zu\n",
@@ -146,6 +155,61 @@ int Run(bool json) {
             std::fflush(stdout);
           }
         }
+      }
+    }
+
+    // CSR-kernel legs: the MV-join algorithms (WCC, SSSP, PR) at DOP 1,
+    // cache on, facts on, with the CSR SpMV kernel off vs on
+    // (docs/performance.md). Results are verified row-identical against
+    // the leg's own kernels-off run; the kernel counters land in the JSON
+    // so CI can watch hit/fallback drift.
+    std::printf("%-6s %-12s %4s %12s %8s %8s %10s\n", "algo", "kernels",
+                "dop", "wall_ms", "builds", "hits", "fallbacks");
+    const Workload kernel_workloads[] = {{"wcc", &algos::Wcc},
+                                         {"sssp", &algos::SsspBellmanFord},
+                                         {"pr", &algos::PageRank}};
+    for (const Workload& w : kernel_workloads) {
+      ra::Table kernel_baseline;
+      for (int kernels : {0, 1}) {
+        algos::AlgoOptions opt;
+        opt.fault_spec = "none";
+        opt.plan_cache = 1;
+        opt.plan_facts = 1;
+        opt.degree_of_parallelism = 1;
+        opt.csr_kernels = kernels;
+        opt.profile.csr_kernels = kernels != 0;
+        size_t rows = 0;
+        core::ExecCounters counters;
+        double best = 1e300;
+        for (int rep = 0; rep < reps; ++rep) {
+          auto fresh = CatalogFor(g);
+          WallTimer timer;
+          auto result = w.run(fresh, opt);
+          GPR_CHECK_OK(result.status());
+          best = std::min(best, timer.ElapsedMillis());
+          rows = result->table.NumRows();
+          counters = result->counters;
+          if (kernels == 0) {
+            kernel_baseline = result->table;
+          } else {
+            ExpectIdentical(kernel_baseline, result->table, w.name);
+          }
+        }
+        BenchRecord rec{w.name,
+                        kernels == 0 ? "kernels-off" : "kernels-on",
+                        spec.label,
+                        1,
+                        best,
+                        rows};
+        rec.csr_builds = counters.csr_builds;
+        rec.kernel_hits = counters.kernel_hits;
+        rec.kernel_fallbacks = counters.kernel_fallbacks;
+        writer.Add(rec);
+        std::printf("%-6s %-12s %4d %12.1f %8zu %8zu %10zu\n", w.name,
+                    kernels == 0 ? "off" : "on", 1, best,
+                    counters.csr_builds, counters.kernel_hits,
+                    counters.kernel_fallbacks);
+        std::fflush(stdout);
       }
     }
 

@@ -62,6 +62,12 @@ struct AlgoOptions {
   /// either way.
   int plan_facts = -1;
 
+  /// CSR SpMV/SpMM kernels behind MV/MM-join (ra/csr.h,
+  /// docs/performance.md): -1 = inherit the profile's csr_kernels
+  /// setting, 0 = off, 1 = on. Results are guaranteed row-identical
+  /// either way.
+  int csr_kernels = -1;
+
   /// Checkpoint/resume (core/checkpoint.h, docs/robustness.md): -1 =
   /// inherit the profile's checkpoint_every, 0 = off, N = snapshot every
   /// N fixpoint iterations. `resume_from` continues an interrupted run

@@ -46,13 +46,15 @@ Result<WithPlusResult> PageRank(ra::Catalog& catalog,
                 {ops::As(Col("ID"), "ID"), ops::As(Lit(0.0), "W")}),
       {}});
   // Fig 3 lines 5–6: select S.T, c*sum(W*ew)+(1-c)/n from P, S
-  // where P.ID = S.F group by S.T.
-  PlanPtr agg = GroupByOp(
-      JoinOp(Scan("E_pr"), Scan("P"), {{"F"}, {"ID"}}), {"E_pr.T"},
-      {ra::SumOf(ex::Mul(Col("E_pr.ew"), Col("P.W")), "s")});
+  // where P.ID = S.F group by S.T — which is exactly Eᵀ·P under (+, ×)
+  // (Eq. 4), expressed as an MV-join so the CSR SpMV kernel applies,
+  // followed by the affine damping transform.
+  PlanPtr agg =
+      MVJoinOp(Scan("E_pr"), Scan("P"), core::PlusTimes(),
+               core::MVOrientation::kTransposed, {}, {"ID", "W"});
   PlanPtr proj = ProjectOp(
-      agg, {ops::As(Col("T"), "ID"),
-            ops::As(ex::Add(ex::Mul(Lit(c), Col("s")), Lit((1.0 - c) / n)),
+      agg, {ops::As(Col("ID"), "ID"),
+            ops::As(ex::Add(ex::Mul(Lit(c), Col("vw")), Lit((1.0 - c) / n)),
                     "W")});
   q.recursive.push_back(Subquery{proj, {}});
   q.mode = UnionMode::kUnionByUpdate;

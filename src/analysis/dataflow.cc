@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <functional>
 #include <limits>
 #include <set>
 #include <sstream>
@@ -2548,6 +2549,32 @@ void CheckDataflow(const core::WithPlusQuery& query,
           "definition column(s) " + cols +
               " are never read by any consumer",
           "drop the dead column(s) from the definition's select list");
+    }
+  }
+
+  // GPR-W318: a semiring aggregate-join whose edge side is provably
+  // loop-invariant (csr_eligible) will run on the generic hash-join path
+  // because the query turned the CSR kernels off explicitly.
+  if (query.csr_kernels == 0) {
+    std::unordered_set<const Plan*> warned;
+    std::function<void(const PlanPtr&)> walk = [&](const PlanPtr& p) {
+      if (p == nullptr || !warned.insert(p.get()).second) return;
+      const OperatorFacts* f = facts.Get(p.get());
+      if (f != nullptr && f->csr_eligible) {
+        diags->AddWarning(
+            "GPR-W318", f->path,
+            "MV/MM-join is CSR-eligible (loop-invariant edge side) but "
+            "executed on the generic path: the query disables the CSR "
+            "kernels",
+            "drop `kernels off` (the kernel path is row-identical and "
+            "caches the CSR layout per table version)");
+      }
+      for (const auto& c : p->children) walk(c);
+    };
+    for (const auto& sq : query.init) walk(sq.plan);
+    for (const auto& sq : query.recursive) {
+      for (const auto& def : sq.computed_by) walk(def.plan);
+      walk(sq.plan);
     }
   }
 }

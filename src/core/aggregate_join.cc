@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "exec/exec_context.h"
+#include "ra/csr.h"
 #include "ra/plan_cache.h"
 #include "ra/tuple.h"
 
@@ -17,6 +18,42 @@ namespace ops = ra::ops;
 using ra::AggSpec;
 using ra::Col;
 using ra::Table;
+
+namespace {
+
+/// True when every named column resolves — the binder-verified shape the
+/// CSR kernels require. A failure here routes to the generic path so the
+/// error surface (and its messages) stays exactly the generic one's.
+bool ResolvesMatrix(const Table& t, const MatrixCols& cols) {
+  return t.schema().Resolve(cols.from).ok() &&
+         t.schema().Resolve(cols.to).ok() &&
+         t.schema().Resolve(cols.weight).ok();
+}
+
+bool ResolvesVector(const Table& t, const VectorCols& cols) {
+  return t.schema().Resolve(cols.id).ok() &&
+         t.schema().Resolve(cols.weight).ok();
+}
+
+/// The SpMM kernel path of MMJoin: B compiled to CSR (rows keyed on
+/// B.from — the probe side), A's rows probed in order.
+Result<Table> MMJoinCsr(const Table& a, const Table& b, const Semiring& sr,
+                        const MatrixCols& a_cols, const MatrixCols& b_cols,
+                        ra::EvalContext* ctx, bool b_stable) {
+  GPR_ASSIGN_OR_RETURN(size_t af, a.schema().Resolve(a_cols.from));
+  GPR_ASSIGN_OR_RETURN(size_t at, a.schema().Resolve(a_cols.to));
+  GPR_ASSIGN_OR_RETURN(size_t aw, a.schema().Resolve(a_cols.weight));
+  GPR_ASSIGN_OR_RETURN(size_t bf, b.schema().Resolve(b_cols.from));
+  GPR_ASSIGN_OR_RETURN(size_t bt, b.schema().Resolve(b_cols.to));
+  GPR_ASSIGN_OR_RETURN(size_t bw, b.schema().Resolve(b_cols.weight));
+  GPR_ASSIGN_OR_RETURN(std::shared_ptr<const ra::CsrMatrix> csr,
+                       ra::CsrFor(b, bf, bt, bw, b_stable, ctx));
+  ++ctx->kernels->kernel_hits;
+  return ra::SpmmKernel(*csr, a, af, at, aw, b, bt, bw, sr.add, sr.multiply,
+                        ctx);
+}
+
+}  // namespace
 
 Result<Table> MMJoin(const Table& a, const Table& b, const Semiring& sr,
                      const EngineProfile& profile, const MatrixCols& a_cols,
@@ -32,6 +69,17 @@ Result<Table> MMJoin(const Table& a, const Table& b, const Semiring& sr,
   opts.ctx = ctx;
   opts.left_qualifier = ln;
   opts.right_qualifier = rn;
+  // CSR SpMM kernel (ra/csr.h): kernels on (non-null counters), a hash
+  // plan (merge-join match order is one the kernel cannot replay), and a
+  // binder-verified shape. Row-identical to the generic path below,
+  // which stays as the differential-testing oracle.
+  if (ctx != nullptr && ctx->kernels != nullptr) {
+    if (opts.algo == ops::JoinAlgorithm::kHash && ResolvesMatrix(a, a_cols) &&
+        ResolvesMatrix(b, b_cols)) {
+      return MMJoinCsr(a, b, sr, a_cols, b_cols, ctx, b_stable);
+    }
+    ++ctx->kernels->kernel_fallbacks;
+  }
   // The build table / sort runs of a catalog-resident side survive across
   // fixpoint iterations (ApspLinear's invariant edge matrix).
   opts.cache_build = b_stable;
@@ -185,6 +233,32 @@ Result<Table> MVJoin(const Table& m, const Table& v, const Semiring& sr,
   opts.ctx = ctx;
   opts.left_qualifier = ln;
   opts.right_qualifier = rn;
+  // CSR SpMV kernel (ra/csr.h): kernels on (non-null counters), a hash
+  // plan, and a binder-verified shape. The CSR layout rows are keyed on
+  // the group column and its columns on the join column, so one cached
+  // build (keyed on m's content version) serves every iteration until
+  // the matrix mutates. Row-identical to both paths below.
+  if (ctx != nullptr && ctx->kernels != nullptr) {
+    if (opts.algo == ops::JoinAlgorithm::kHash && ResolvesMatrix(m, m_cols) &&
+        ResolvesVector(v, v_cols)) {
+      GPR_ASSIGN_OR_RETURN(size_t mf, m.schema().Resolve(m_cols.from));
+      GPR_ASSIGN_OR_RETURN(size_t mt, m.schema().Resolve(m_cols.to));
+      GPR_ASSIGN_OR_RETURN(size_t mw, m.schema().Resolve(m_cols.weight));
+      GPR_ASSIGN_OR_RETURN(size_t vid, v.schema().Resolve(v_cols.id));
+      GPR_ASSIGN_OR_RETURN(size_t vwc, v.schema().Resolve(v_cols.weight));
+      const size_t join_idx =
+          orientation == MVOrientation::kStandard ? mt : mf;
+      const size_t group_idx =
+          orientation == MVOrientation::kStandard ? mf : mt;
+      GPR_ASSIGN_OR_RETURN(std::shared_ptr<const ra::CsrMatrix> csr,
+                           ra::CsrFor(m, group_idx, join_idx, mw, m_stable,
+                                      ctx));
+      ++ctx->kernels->kernel_hits;
+      return ra::SpmvKernel(*csr, m, group_idx, mw, v, vid, vwc, sr.add,
+                            sr.multiply, ctx);
+    }
+    ++ctx->kernels->kernel_fallbacks;
+  }
   // Fused path: only when the matrix is a named catalog table (its
   // (name, version) pair keys the cache) and the profile would hash-join —
   // merge-join materializes matches in a different row order, which the

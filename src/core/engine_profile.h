@@ -122,6 +122,24 @@ struct EngineProfile {
   /// WithPlusQuery::plan_facts.
   bool plan_facts = true;
 
+  /// CSR-backed semiring SpMV/SpMM kernels (ra/csr.h,
+  /// docs/performance.md): execute MV-join / MM-join on a compressed-
+  /// sparse-row layout of the edge side (cached per table content
+  /// version) instead of the generic hash-join + group-by whenever the
+  /// plan would hash-join and the shape binds. Results are guaranteed
+  /// row-identical on or off; overridable per query via the SQL
+  /// `kernels on|off` option / WithPlusQuery::csr_kernels.
+  bool csr_kernels = true;
+
+  /// Parallel-admission threshold (exec::AdmittedDop,
+  /// docs/performance.md): inputs below this many rows run serial at any
+  /// DOP — morsel dispatch on tiny inputs costs more than it saves (the
+  /// BENCH_fixpoint er-4k regression). The GPR_MIN_PARALLEL_ROWS
+  /// environment variable overrides it process-wide
+  /// (exec::ResolveMinParallelRows); 0 admits everything, < 0 falls back
+  /// to the 8192-row default. Results are identical either way.
+  int parallel_min_rows = 8192;
+
   /// Rows between mid-operator governor polls (docs/robustness.md): the
   /// cadence at which long row loops check cancellation and deadlines.
   /// Lower = snappier interrupts, higher = less poll overhead. The

@@ -36,6 +36,10 @@ struct ExplainPrinter {
   /// Statically-proven facts to print under each operator (nullptr = facts
   /// off or not a with+ explain).
   const analysis::PlanFacts* facts = nullptr;
+  /// True when the resolved knobs enable the CSR SpMV/SpMM kernels: MV/MM
+  /// joins are marked as kernel candidates (the final shape check happens
+  /// at execution time against the bound tables).
+  bool kernels_on = false;
   std::ostringstream out;
 
   void Print(const PlanPtr& plan, int depth) {
@@ -106,6 +110,7 @@ struct ExplainPrinter {
       case PlanKind::kMMJoin:
       case PlanKind::kMVJoin:
         out << "{" << plan->semiring.name << "}";
+        if (kernels_on) out << " [csr kernel]";
         break;
       case PlanKind::kRename:
         out << "->" << plan->new_name;
@@ -134,7 +139,9 @@ std::string Explain(
     const PlanPtr& plan, const ra::Catalog& catalog,
     const EngineProfile& profile,
     const std::unordered_map<std::string, ra::Schema>* overlays) {
-  ExplainPrinter printer{catalog, profile, overlays, nullptr, nullptr, {}};
+  ExplainPrinter printer{catalog, profile, overlays,
+                         nullptr, nullptr,  false,
+                         {}};
   printer.Print(plan, 0);
   return printer.out.str();
 }
@@ -161,8 +168,11 @@ std::string ExplainWithPlus(const WithPlusQuery& query,
       query.plan_cache < 0 ? profile.plan_cache : query.plan_cache > 0;
   const bool facts_on =
       query.plan_facts < 0 ? profile.plan_facts : query.plan_facts > 0;
+  const bool kernels_on =
+      query.csr_kernels < 0 ? profile.csr_kernels : query.csr_kernels > 0;
   out << "plan cache: " << (cache_on ? "on" : "off") << "\n";
   out << "plan facts: " << (facts_on ? "on" : "off") << "\n";
+  out << "csr kernels: " << (kernels_on ? "on" : "off") << "\n";
   const int ckpt_every = query.checkpoint_every < 0
                              ? profile.checkpoint_every
                              : query.checkpoint_every;
@@ -244,7 +254,9 @@ std::string ExplainWithPlus(const WithPlusQuery& query,
   std::unordered_map<std::string, ra::Schema> overlays;
   overlays.emplace(query.rec_name, query.rec_schema);
   for (size_t i = 0; i < dfq.init.size(); ++i) {
-    ExplainPrinter printer{catalog, profile, nullptr, nullptr, facts_ptr, {}};
+    ExplainPrinter printer{catalog, profile,    nullptr,
+                           nullptr, facts_ptr,  kernels_on,
+                           {}};
     printer.Print(dfq.init[i], 0);
     out << "\ninitial subquery " << i + 1 << ":\n" << printer.out.str();
   }
@@ -253,7 +265,8 @@ std::string ExplainWithPlus(const WithPlusQuery& query,
     for (const auto& def : block.defs) {
       const bool invariant = invariant_defs.count(def.first) > 0;
       ExplainPrinter printer{catalog,  profile,   &overlays,
-                             &hoisted, facts_ptr, {}};
+                             &hoisted, facts_ptr, kernels_on,
+                             {}};
       printer.Print(def.second, 0);
       out << "\ncomputed by " << def.first
           << (invariant ? " [invariant — materialized once pre-loop]" : "")
@@ -264,7 +277,8 @@ std::string ExplainWithPlus(const WithPlusQuery& query,
       }
     }
     ExplainPrinter printer{catalog,  profile,   &overlays,
-                           &hoisted, facts_ptr, {}};
+                           &hoisted, facts_ptr, kernels_on,
+                           {}};
     printer.Print(block.delta, 0);
     out << "\nrecursive subquery " << i + 1 << ":\n" << printer.out.str();
   }

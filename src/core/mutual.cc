@@ -7,6 +7,7 @@
 
 #include "core/checkpoint.h"
 #include "core/psm.h"
+#include "ra/csr.h"
 #include "util/timer.h"
 
 namespace gpr::core {
@@ -181,6 +182,12 @@ Result<MutualResult> ExecuteMutual(const MutualQuery& query,
   ctx.exec = gov ? &*gov : nullptr;
   ctx.dop = std::max(1, profile.degree_of_parallelism);
   ctx.poll_stride = exec::ResolvePollInterval(profile.governor_poll_interval);
+  ctx.min_parallel_rows =
+      exec::ResolveMinParallelRows(profile.parallel_min_rows);
+  // Mutual fixpoints (HITS) inherit the profile's kernel toggle directly:
+  // MutualQuery has no per-query override.
+  ra::KernelCounters kernels;
+  if (profile.csr_kernels) ctx.kernels = &kernels;
   ra::TempTableScope scope(catalog);
 
   // ---- Checkpoint/resume (core/checkpoint.h) — same protocol as

@@ -425,6 +425,8 @@ Result<Table> ExecutePlan(const PlanPtr& plan, ra::Catalog& catalog,
   ra::EvalContext local;
   if (ctx == nullptr && profile.degree_of_parallelism > 1) {
     local.dop = profile.degree_of_parallelism;
+    local.min_parallel_rows =
+        exec::ResolveMinParallelRows(profile.parallel_min_rows);
     ctx = &local;
   }
   Executor exec{catalog, profile, ctx, counters,

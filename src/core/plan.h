@@ -148,6 +148,11 @@ struct ExecCounters {
   size_t facts_dedup_skips = 0;
   /// Columns pruned by the facts-proven projection pushdown.
   size_t facts_pruned_columns = 0;
+  // CSR SpMV/SpMM kernels (ra/csr.h), populated by the fixpoint driver
+  // from ra::KernelCounters when kernels are enabled.
+  size_t csr_builds = 0;        ///< CSR layouts built (misses + uncached)
+  size_t kernel_hits = 0;       ///< aggregate-joins run on a CSR kernel
+  size_t kernel_fallbacks = 0;  ///< kernels on, generic path taken
 };
 
 /// The "table name" a plan output carries for join qualification purposes:

@@ -9,6 +9,7 @@
 
 #include "analysis/dataflow.h"
 #include "core/checkpoint.h"
+#include "ra/csr.h"
 #include "ra/plan_cache.h"
 #include "util/timer.h"
 
@@ -68,6 +69,7 @@ Result<PsmProcedure> CompileToPsm(const WithPlusQuery& query) {
   proc.degree_of_parallelism = query.degree_of_parallelism;
   proc.plan_cache = query.plan_cache;
   proc.plan_facts = query.plan_facts;
+  proc.csr_kernels = query.csr_kernels;
   proc.sql99_working_table = query.sql99_working_table;
   proc.checkpoint_every = query.checkpoint_every;
   proc.resume_from = query.resume_from;
@@ -151,6 +153,16 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
   // acts only on a structural proof.
   const bool facts_on =
       proc.plan_facts < 0 ? profile.plan_facts : proc.plan_facts > 0;
+  // CSR kernels: the query-level `kernels on|off` option overrides the
+  // profile default. A non-null counters pointer on the context is the
+  // executor-side on switch (ra/csr.h); results are row-identical
+  // either way.
+  const bool kernels_on =
+      proc.csr_kernels < 0 ? profile.csr_kernels : proc.csr_kernels > 0;
+  ra::KernelCounters kernels;
+  if (kernels_on) ctx.kernels = &kernels;
+  ctx.min_parallel_rows =
+      exec::ResolveMinParallelRows(profile.parallel_min_rows);
   ra::PlanCache cache(gov);
   if (cache_on) ctx.cache = &cache;
   RedoLog redo;
@@ -638,6 +650,11 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
     result.counters.cache_misses = cs.misses;
     result.counters.cache_invalidations = cs.invalidations;
     result.counters.cache_bytes = cs.bytes_live;
+  }
+  if (kernels_on) {
+    result.counters.csr_builds = kernels.csr_builds;
+    result.counters.kernel_hits = kernels.kernel_hits;
+    result.counters.kernel_fallbacks = kernels.kernel_fallbacks;
   }
   // Success: the run is complete, nothing will resume it. Failure paths
   // return above and leave the active snapshot in the store on purpose.

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "exec/exec_context.h"
 #include "exec/thread_pool.h"
 #include "ra/operators.h"
 #include "ra/tuple.h"
@@ -386,6 +387,11 @@ Result<Table> UnionByUpdate(const Table& r, const Table& s,
     // implementation degenerates to the same assignment.
     return DropAlterImpl(r, s, keys, stats);
   }
+  // Parallel admission (exec::AdmittedDop): tiny ⊎ inputs run serial at
+  // any DOP, same threshold as the ra operators (docs/performance.md).
+  const int dop = exec::AdmittedDop(
+      std::max(r.NumRows(), s.NumRows()), profile.degree_of_parallelism,
+      exec::ResolveMinParallelRows(profile.parallel_min_rows));
   switch (impl) {
     case UnionByUpdateImpl::kMerge:
       if (!profile.supports_merge) {
@@ -393,16 +399,14 @@ Result<Table> UnionByUpdate(const Table& r, const Table& s,
                                     profile.name);
       }
       return MergeStyle(r, s, keys, /*reject_duplicate_source=*/true,
-                        /*update_images=*/2, profile.degree_of_parallelism,
-                        stats);
+                        /*update_images=*/2, dop, stats);
     case UnionByUpdateImpl::kUpdateFrom:
       if (!profile.supports_update_from) {
         return Status::NotSupported("UPDATE ... FROM is not available under " +
                                     profile.name);
       }
       return MergeStyle(r, s, keys, /*reject_duplicate_source=*/false,
-                        /*update_images=*/1, profile.degree_of_parallelism,
-                        stats);
+                        /*update_images=*/1, dop, stats);
     case UnionByUpdateImpl::kFullOuterJoin:
       return FullOuterJoinImpl(r, s, keys, stats);
     case UnionByUpdateImpl::kDropAlter:

@@ -79,6 +79,11 @@ struct WithPlusQuery {
   /// -1 = inherit the profile's plan_facts setting, 0 = off, 1 = on.
   /// Results are guaranteed identical either way.
   int plan_facts = -1;
+  /// CSR SpMV/SpMM kernels behind MV/MM-join (the SQL `kernels on|off`
+  /// option, ra/csr.h): -1 = inherit the profile's csr_kernels setting,
+  /// 0 = off, 1 = on. Pure physical tuning — results are guaranteed
+  /// row-identical either way.
+  int csr_kernels = -1;
   /// when false, skip the XY-stratification gate (for ablation only).
   bool check_stratification = true;
   /// SQL'99 working-table semantics (union all / union modes only): the

@@ -206,4 +206,14 @@ size_t ResolvePollInterval(int configured) {
   return configured > 0 ? static_cast<size_t>(configured) : 8192;
 }
 
+size_t ResolveMinParallelRows(int configured) {
+  const char* env = std::getenv("GPR_MIN_PARALLEL_ROWS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 0) return static_cast<size_t>(v);
+  }
+  return configured >= 0 ? static_cast<size_t>(configured) : 8192;
+}
+
 }  // namespace gpr::exec

@@ -204,6 +204,13 @@ class ExecContext {
 /// 8192-row default. Always >= 1.
 size_t ResolvePollInterval(int configured);
 
+/// Parallel-admission threshold (rows below which an input runs serial
+/// at any DOP — exec::AdmittedDop): the GPR_MIN_PARALLEL_ROWS
+/// environment variable when set to a non-negative integer, else
+/// `configured` (EngineProfile::parallel_min_rows) when non-negative,
+/// else the 8192-row default. 0 admits every input.
+size_t ResolveMinParallelRows(int configured);
+
 /// Builds the governor for one query execution: nullopt when ungoverned
 /// (no limits, null token, no fault spec — the zero-overhead fast path).
 /// `fault_spec` "" consults GPR_FAULTS; "none" disables injection.

@@ -83,6 +83,7 @@ Status ThreadPool::RunTasks(size_t num_tasks, size_t max_claimers,
     return Status::OK();
   }
 
+  dispatched_batches_.fetch_add(1, std::memory_order_relaxed);
   auto batch = std::make_shared<Batch>();
   batch->fn = &fn;
   batch->num_tasks = num_tasks;

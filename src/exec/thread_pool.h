@@ -63,6 +63,14 @@ class ThreadPool {
   /// True when the calling thread is one of this process's pool workers.
   static bool InWorker();
 
+  /// Number of RunTasks calls that actually dispatched a batch to the
+  /// pool (i.e. did not take the inline serial path). Monotonic,
+  /// process-wide; tests use deltas of it to assert that small inputs
+  /// fall back to serial execution under the admission threshold.
+  uint64_t dispatched_batches() const {
+    return dispatched_batches_.load(std::memory_order_relaxed);
+  }
+
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
 
@@ -113,11 +121,22 @@ class ThreadPool {
   bool stop_ GPR_GUARDED_BY(mu_) = false;
   /// Joined in the destructor; written only during construction.
   std::vector<std::thread> workers_;
+  std::atomic<uint64_t> dispatched_batches_{0};
 };
 
 /// Number of ~`morsel_rows`-row morsels covering `rows` inputs; at least 1.
 inline size_t NumMorsels(size_t rows, size_t morsel_rows) {
   return rows == 0 ? 1 : (rows - 1) / morsel_rows + 1;
+}
+
+/// Parallel-admission threshold: an input below `min_rows` rows runs
+/// serial regardless of the requested DOP — dispatching and joining a
+/// batch costs more than scanning a tiny input does (the BENCH_fixpoint
+/// er-4k regression), and results are DOP-invariant either way. min_rows
+/// of 0 admits everything (the TSan suites use it to keep tiny fixtures
+/// on the parallel paths).
+inline int AdmittedDop(size_t rows, int dop, size_t min_rows) {
+  return dop > 1 && rows < min_rows ? 1 : dop;
 }
 
 }  // namespace gpr::exec

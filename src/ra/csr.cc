@@ -1,0 +1,476 @@
+#include "ra/csr.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "exec/exec_context.h"
+#include "exec/thread_pool.h"
+#include "ra/plan_cache.h"
+#include "ra/tuple.h"
+
+namespace gpr::ra {
+namespace {
+
+constexpr uint32_t kNoRow = UINT32_MAX;
+
+inline Status PollEvery(EvalContext* ctx, size_t counter, const char* site) {
+  if (ctx != nullptr && ctx->exec != nullptr &&
+      counter % ctx->poll_stride == ctx->poll_stride - 1) {
+    return ctx->exec->Poll(site);
+  }
+  return Status::OK();
+}
+
+/// Boxes edge weight `e` back into a Value; for the unboxed
+/// representations this reproduces exactly the Value the build saw.
+inline Value EdgeWeight(const CsrMatrix& csr, size_t e) {
+  switch (csr.wclass) {
+    case CsrMatrix::WeightClass::kInt64: return Value(csr.iweights[e]);
+    case CsrMatrix::WeightClass::kDouble: return Value(csr.dweights[e]);
+    case CsrMatrix::WeightClass::kBoxed: return csr.vweights[e];
+  }
+  return Value::Null();
+}
+
+/// GroupBy's output-type adjustment for the ⊕ column, mirrored so the
+/// kernel output schema is byte-identical to join + group-by + rename.
+inline ValueType AddOutType(AggKind add, ValueType mult_type) {
+  switch (add) {
+    case AggKind::kCount: return ValueType::kInt64;
+    case AggKind::kAvg: return ValueType::kDouble;
+    default: return mult_type;
+  }
+}
+
+}  // namespace
+
+size_t CsrMatrix::ApproxBytes() const {
+  size_t bytes = offsets.size() * sizeof(uint32_t) +
+                 col_ids.size() * sizeof(uint32_t) +
+                 src_rows.size() * sizeof(uint32_t) +
+                 iweights.size() * sizeof(int64_t) +
+                 dweights.size() * sizeof(double) +
+                 vweights.size() * sizeof(Value);
+  bytes += col_values.size() * sizeof(Value);
+  // Dictionary entries: value + dense id + bucket overhead, roughly.
+  bytes += (col_index.size() + row_index.size()) *
+           (sizeof(Value) + 2 * sizeof(size_t));
+  return bytes;
+}
+
+Result<std::shared_ptr<const CsrMatrix>> BuildCsr(const Table& m,
+                                                  size_t row_idx,
+                                                  size_t col_idx,
+                                                  size_t weight_idx,
+                                                  EvalContext* ctx) {
+  auto csr = std::make_shared<CsrMatrix>();
+  const size_t n = m.NumRows();
+
+  // Pass 1, in scan order: assign dense row/col ids by first appearance
+  // (NULL keys are ordinary dictionary values — the kernels never probe
+  // them, replaying the hash join's null-key skip) and classify the
+  // weight column for the unboxed representations.
+  std::vector<uint32_t> row_of(n);
+  std::vector<uint32_t> col_of(n);
+  std::vector<uint32_t> degree;
+  bool all_int = true;
+  bool all_double = true;
+  for (size_t i = 0; i < n; ++i) {
+    GPR_RETURN_NOT_OK(PollEvery(ctx, i, "csr_build"));
+    const Tuple& r = m.row(i);
+    auto [rit, rins] =
+        csr->row_index.try_emplace(r[row_idx],
+                                   static_cast<uint32_t>(degree.size()));
+    if (rins) degree.push_back(0);
+    ++degree[rit->second];
+    row_of[i] = rit->second;
+    auto [cit, cins] = csr->col_index.try_emplace(
+        r[col_idx], static_cast<uint32_t>(csr->col_values.size()));
+    if (cins) csr->col_values.push_back(r[col_idx]);
+    col_of[i] = cit->second;
+    const Value& w = r[weight_idx];
+    all_int = all_int && w.is_int64();
+    all_double = all_double && w.is_double();
+  }
+  csr->wclass = all_int      ? CsrMatrix::WeightClass::kInt64
+                : all_double ? CsrMatrix::WeightClass::kDouble
+                             : CsrMatrix::WeightClass::kBoxed;
+
+  // Pass 2: prefix offsets, then fill edge lists with a per-row write
+  // cursor. Scan order means every row's edges end up ascending by
+  // original row index — the order every downstream identity argument
+  // leans on.
+  const size_t nrows = degree.size();
+  csr->offsets.assign(nrows + 1, 0);
+  for (size_t r = 0; r < nrows; ++r) {
+    csr->offsets[r + 1] = csr->offsets[r] + degree[r];
+  }
+  csr->col_ids.resize(n);
+  csr->src_rows.resize(n);
+  switch (csr->wclass) {
+    case CsrMatrix::WeightClass::kInt64: csr->iweights.resize(n); break;
+    case CsrMatrix::WeightClass::kDouble: csr->dweights.resize(n); break;
+    case CsrMatrix::WeightClass::kBoxed: csr->vweights.resize(n); break;
+  }
+  std::vector<uint32_t> cursor(csr->offsets.begin(), csr->offsets.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    GPR_RETURN_NOT_OK(PollEvery(ctx, i, "csr_build"));
+    const uint32_t e = cursor[row_of[i]]++;
+    csr->col_ids[e] = col_of[i];
+    csr->src_rows[e] = static_cast<uint32_t>(i);
+    const Value& w = m.row(i)[weight_idx];
+    switch (csr->wclass) {
+      case CsrMatrix::WeightClass::kInt64: csr->iweights[e] = w.AsInt64(); break;
+      case CsrMatrix::WeightClass::kDouble:
+        csr->dweights[e] = w.AsDouble();
+        break;
+      case CsrMatrix::WeightClass::kBoxed: csr->vweights[e] = w; break;
+    }
+  }
+  return std::shared_ptr<const CsrMatrix>(std::move(csr));
+}
+
+Result<std::shared_ptr<const CsrMatrix>> CsrFor(const Table& m,
+                                                size_t row_idx,
+                                                size_t col_idx,
+                                                size_t weight_idx,
+                                                bool m_stable,
+                                                EvalContext* ctx) {
+  // Same cacheability contract as the operators' CacheFor: a stable,
+  // named input with a cache on the context. Anything else builds a
+  // throwaway layout (keeps kernels usable with the cache off, at the
+  // cost of a rebuild per call).
+  PlanCache* cache = m_stable && ctx != nullptr && ctx->cache != nullptr &&
+                             !m.name().empty()
+                         ? ctx->cache
+                         : nullptr;
+  const uint64_t mversion = m.version();
+  std::string key;
+  if (cache != nullptr) {
+    key = "csr:" + m.name() + ":" + std::to_string(row_idx) + ":" +
+          std::to_string(col_idx) + ":" + std::to_string(weight_idx);
+    std::shared_ptr<const CsrMatrix> hit =
+        cache->Lookup<CsrMatrix>(key, mversion);
+    if (hit != nullptr) return hit;
+  }
+  GPR_ASSIGN_OR_RETURN(std::shared_ptr<const CsrMatrix> built,
+                       BuildCsr(m, row_idx, col_idx, weight_idx, ctx));
+  if (ctx != nullptr && ctx->kernels != nullptr) {
+    ++ctx->kernels->csr_builds;
+  }
+  if (cache != nullptr) {
+    GPR_RETURN_NOT_OK(cache->Insert<CsrMatrix>(key, mversion, built,
+                                               built->ApproxBytes()));
+  }
+  return built;
+}
+
+Result<Table> SpmvKernel(const CsrMatrix& csr, const Table& m,
+                         size_t group_idx, size_t weight_idx, const Table& v,
+                         size_t vid_idx, size_t vw_idx, AggKind add,
+                         BinaryOp multiply, EvalContext* ctx) {
+  // Compile ⊙ once against the weight columns' declared types — the same
+  // expression over the same operand types as the generic group-by path.
+  Schema operand_schema{{"a", m.schema().column(weight_idx).type},
+                        {"b", v.schema().column(vw_idx).type}};
+  GPR_ASSIGN_OR_RETURN(
+      CompiledExpr mult,
+      Compile(Binary(multiply, Col("a"), Col("b")), operand_schema));
+  const ValueType out_type = AddOutType(add, mult.result_type());
+
+  // Per-iteration probe side: bucket v's row indexes by dense column id,
+  // preserving v insertion order within each bucket (the order a
+  // hash-join build table replays matches in). NULL vector ids never
+  // match. Two passes: count, prefix, fill.
+  const size_t ncols = csr.col_values.size();
+  const size_t vn = v.NumRows();
+  std::vector<uint32_t> vcol(vn, kNoRow);
+  std::vector<uint32_t> voffsets(ncols + 1, 0);
+  bool v_all_int = true;
+  bool v_all_double = true;
+  for (size_t i = 0; i < vn; ++i) {
+    GPR_RETURN_NOT_OK(PollEvery(ctx, i, "mv_kernel"));
+    const Tuple& vr = v.row(i);
+    const Value& id = vr[vid_idx];
+    if (id.is_null()) continue;
+    auto it = csr.col_index.find(id);
+    if (it == csr.col_index.end()) continue;
+    vcol[i] = it->second;
+    ++voffsets[it->second + 1];
+    const Value& w = vr[vw_idx];
+    v_all_int = v_all_int && w.is_int64();
+    v_all_double = v_all_double && w.is_double();
+  }
+  for (size_t c = 0; c < ncols; ++c) voffsets[c + 1] += voffsets[c];
+  std::vector<uint32_t> vrows(voffsets[ncols]);
+  {
+    std::vector<uint32_t> cursor(voffsets.begin(), voffsets.end() - 1);
+    for (size_t i = 0; i < vn; ++i) {
+      if (vcol[i] != kNoRow) {
+        vrows[cursor[vcol[i]]++] = static_cast<uint32_t>(i);
+      }
+    }
+  }
+
+  // The unboxed fast path: a uniformly-typed numeric fold with ⊙ in
+  // {*, +} and ⊕ in {sum, min, max} computes on raw int64/double exactly
+  // what NumericBinary + Accumulator compute on the boxed Values —
+  // integer arithmetic while both sides are integers, double arithmetic
+  // (with the same static_cast widening) otherwise, 0-seeded in-order
+  // sums, strict-compare min/max keeping the first on ties.
+  const bool fold_ok = add == AggKind::kSum || add == AggKind::kMin ||
+                       add == AggKind::kMax;
+  const bool mult_ok =
+      multiply == BinaryOp::kMul || multiply == BinaryOp::kAdd;
+  const bool m_unboxed = csr.wclass != CsrMatrix::WeightClass::kBoxed;
+  const bool v_unboxed = v_all_int || v_all_double;
+  enum class Mode { kBoxed, kInt64, kDouble };
+  Mode mode = Mode::kBoxed;
+  if (fold_ok && mult_ok && m_unboxed && v_unboxed) {
+    mode = csr.wclass == CsrMatrix::WeightClass::kInt64 && v_all_int
+               ? Mode::kInt64
+               : Mode::kDouble;
+  }
+
+  // Gather the matched v weights unboxed, aligned with `vrows`.
+  std::vector<int64_t> viw;
+  std::vector<double> vdw;
+  if (mode == Mode::kInt64) {
+    viw.resize(vrows.size());
+    for (size_t k = 0; k < vrows.size(); ++k) {
+      GPR_RETURN_NOT_OK(PollEvery(ctx, k, "mv_kernel"));
+      viw[k] = v.row(vrows[k])[vw_idx].AsInt64();
+    }
+  } else if (mode == Mode::kDouble) {
+    vdw.resize(vrows.size());
+    for (size_t k = 0; k < vrows.size(); ++k) {
+      GPR_RETURN_NOT_OK(PollEvery(ctx, k, "mv_kernel"));
+      vdw[k] = v.row(vrows[k])[vw_idx].ToDouble();
+    }
+  }
+
+  // Row sweep: every CSR row is an independent output slot, so morsels
+  // over row ranges need no merge step and the result is DOP-invariant
+  // by construction. first_src[r] records the originating m-row of the
+  // row's first matched edge (edges are ascending, so this is the
+  // group-creation point of the generic path).
+  const size_t nrows = csr.NumRows();
+  std::vector<uint32_t> first_src(nrows, kNoRow);
+  std::vector<int64_t> ires;
+  std::vector<double> dres;
+  std::vector<Value> vres;
+  switch (mode) {
+    case Mode::kInt64: ires.resize(nrows); break;
+    case Mode::kDouble: dres.resize(nrows); break;
+    case Mode::kBoxed: vres.resize(nrows); break;
+  }
+
+  exec::ExecContext* gov = ctx != nullptr ? ctx->exec : nullptr;
+  const size_t stride = ctx != nullptr ? ctx->poll_stride : 8192;
+  const bool by_mul = multiply == BinaryOp::kMul;
+  auto sweep = [&](size_t begin, size_t end) -> Status {
+    Tuple operand(2);  // reused (a, b) operand row of the boxed fold
+    size_t products = 0;
+    for (size_t r = begin; r < end; ++r) {
+      const uint32_t eb = csr.offsets[r];
+      const uint32_t ee = csr.offsets[r + 1];
+      switch (mode) {
+        case Mode::kInt64: {
+          int64_t acc = 0;
+          bool seen = false;
+          for (uint32_t e = eb; e < ee; ++e) {
+            const uint32_t c = csr.col_ids[e];
+            const uint32_t kb = voffsets[c];
+            const uint32_t ke = voffsets[c + 1];
+            if (kb == ke) continue;
+            if (first_src[r] == kNoRow) first_src[r] = csr.src_rows[e];
+            const int64_t mw = csr.iweights[e];
+            for (uint32_t k = kb; k < ke; ++k) {
+              if (gov != nullptr && ++products % stride == 0) {
+                GPR_RETURN_NOT_OK(gov->Poll("mv_kernel"));
+              }
+              const int64_t p = by_mul ? mw * viw[k] : mw + viw[k];
+              if (add == AggKind::kSum) {
+                acc += p;
+              } else if (!seen || (add == AggKind::kMin ? p < acc : p > acc)) {
+                acc = p;
+              }
+              seen = true;
+            }
+          }
+          ires[r] = acc;
+          break;
+        }
+        case Mode::kDouble: {
+          const bool m_int = csr.wclass == CsrMatrix::WeightClass::kInt64;
+          double acc = 0.0;
+          bool seen = false;
+          for (uint32_t e = eb; e < ee; ++e) {
+            const uint32_t c = csr.col_ids[e];
+            const uint32_t kb = voffsets[c];
+            const uint32_t ke = voffsets[c + 1];
+            if (kb == ke) continue;
+            if (first_src[r] == kNoRow) first_src[r] = csr.src_rows[e];
+            const double mw = m_int ? static_cast<double>(csr.iweights[e])
+                                    : csr.dweights[e];
+            for (uint32_t k = kb; k < ke; ++k) {
+              if (gov != nullptr && ++products % stride == 0) {
+                GPR_RETURN_NOT_OK(gov->Poll("mv_kernel"));
+              }
+              const double p = by_mul ? mw * vdw[k] : mw + vdw[k];
+              if (add == AggKind::kSum) {
+                acc += p;
+              } else if (!seen || (add == AggKind::kMin ? p < acc : p > acc)) {
+                acc = p;
+              }
+              seen = true;
+            }
+          }
+          dres[r] = acc;
+          break;
+        }
+        case Mode::kBoxed: {
+          Accumulator acc(add);
+          bool matched = false;
+          for (uint32_t e = eb; e < ee; ++e) {
+            const uint32_t c = csr.col_ids[e];
+            const uint32_t kb = voffsets[c];
+            const uint32_t ke = voffsets[c + 1];
+            if (kb == ke) continue;
+            if (first_src[r] == kNoRow) first_src[r] = csr.src_rows[e];
+            matched = true;
+            operand[0] = EdgeWeight(csr, e);
+            for (uint32_t k = kb; k < ke; ++k) {
+              if (gov != nullptr && ++products % stride == 0) {
+                GPR_RETURN_NOT_OK(gov->Poll("mv_kernel"));
+              }
+              operand[1] = v.row(vrows[k])[vw_idx];
+              acc.Add(mult.Eval(operand, ctx));
+            }
+          }
+          if (matched) vres[r] = acc.Finish();
+          break;
+        }
+      }
+    }
+    return Status::OK();
+  };
+
+  const int dop = exec::AdmittedDop(
+      nrows, ctx != nullptr && ctx->dop > 1 ? ctx->dop : 1,
+      ctx != nullptr ? ctx->min_parallel_rows : 8192);
+  if (dop > 1 && nrows > 1) {
+    const size_t per_worker =
+        (nrows + static_cast<size_t>(dop) - 1) / static_cast<size_t>(dop);
+    const size_t morsel_rows = std::clamp<size_t>(per_worker, 1, 8192);
+    const size_t num_morsels = exec::NumMorsels(nrows, morsel_rows);
+    GPR_RETURN_NOT_OK(exec::ThreadPool::Global().RunTasks(
+        num_morsels, static_cast<size_t>(dop), [&](size_t t) -> Status {
+          if (gov != nullptr) {
+            GPR_RETURN_NOT_OK(gov->Poll("mv_kernel"));
+          }
+          const size_t begin = t * morsel_rows;
+          return sweep(begin, std::min(nrows, begin + morsel_rows));
+        }));
+  } else {
+    GPR_RETURN_NOT_OK(sweep(0, nrows));
+  }
+
+  // Emit matched rows ordered by first matched m-row — exactly the
+  // first-appearance group order of the generic path. The group key is
+  // re-read from that originating row, so even the kept representative
+  // of numerically-equal keys matches the generic path's.
+  std::vector<std::pair<uint32_t, uint32_t>> order;  // (first_src, row)
+  order.reserve(nrows);
+  for (size_t r = 0; r < nrows; ++r) {
+    if (first_src[r] != kNoRow) {
+      order.emplace_back(first_src[r], static_cast<uint32_t>(r));
+    }
+  }
+  std::sort(order.begin(), order.end());
+
+  Table out("", Schema{{"ID", m.schema().column(group_idx).type},
+                       {"vw", out_type}});
+  out.Reserve(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    GPR_RETURN_NOT_OK(PollEvery(ctx, i, "mv_kernel"));
+    const auto [src, r] = order[i];
+    Tuple row;
+    row.reserve(2);
+    row.push_back(m.row(src)[group_idx]);
+    switch (mode) {
+      case Mode::kInt64: row.push_back(Value(ires[r])); break;
+      case Mode::kDouble: row.push_back(Value(dres[r])); break;
+      case Mode::kBoxed: row.push_back(vres[r]); break;
+    }
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+Result<Table> SpmmKernel(const CsrMatrix& csr, const Table& a,
+                         size_t a_from_idx, size_t a_to_idx,
+                         size_t a_weight_idx, const Table& b,
+                         size_t b_to_idx, size_t b_weight_idx, AggKind add,
+                         BinaryOp multiply, EvalContext* ctx) {
+  Schema operand_schema{{"a", a.schema().column(a_weight_idx).type},
+                        {"b", b.schema().column(b_weight_idx).type}};
+  GPR_ASSIGN_OR_RETURN(
+      CompiledExpr mult,
+      Compile(Binary(multiply, Col("a"), Col("b")), operand_schema));
+  const ValueType out_type = AddOutType(add, mult.result_type());
+
+  // Probe A's rows in order against B's CSR row dictionary; per match,
+  // fold into the (A.from, B.to) cell. Cells are created in first-match
+  // order and edges within a CSR row are ascending, so the cell order
+  // and every fold order replay hash-join + group-by exactly.
+  std::unordered_map<Tuple, size_t, TupleHash, TupleEq> cell_pos;
+  std::vector<Tuple> cell_keys;
+  std::vector<Accumulator> accs;
+  exec::ExecContext* gov = ctx != nullptr ? ctx->exec : nullptr;
+  const size_t stride = ctx != nullptr ? ctx->poll_stride : 8192;
+  Tuple operand(2);
+  Tuple key(2);
+  size_t products = 0;
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    GPR_RETURN_NOT_OK(PollEvery(ctx, i, "mm_kernel"));
+    const Tuple& ar = a.row(i);
+    const Value& join = ar[a_to_idx];
+    if (join.is_null()) continue;  // a hash join never matches NULL keys
+    auto rit = csr.row_index.find(join);
+    if (rit == csr.row_index.end()) continue;
+    const uint32_t eb = csr.offsets[rit->second];
+    const uint32_t ee = csr.offsets[rit->second + 1];
+    operand[0] = ar[a_weight_idx];
+    for (uint32_t e = eb; e < ee; ++e) {
+      if (gov != nullptr && ++products % stride == 0) {
+        GPR_RETURN_NOT_OK(gov->Poll("mm_kernel"));
+      }
+      const Tuple& br = b.row(csr.src_rows[e]);
+      key[0] = ar[a_from_idx];
+      key[1] = br[b_to_idx];
+      auto [it, inserted] = cell_pos.try_emplace(key, cell_keys.size());
+      if (inserted) {
+        cell_keys.push_back(key);
+        accs.emplace_back(add);
+      }
+      operand[1] = br[b_weight_idx];
+      accs[it->second].Add(mult.Eval(operand, ctx));
+    }
+  }
+
+  Table out("", Schema{{"F", a.schema().column(a_from_idx).type},
+                       {"T", b.schema().column(b_to_idx).type},
+                       {"ew", out_type}});
+  out.Reserve(cell_keys.size());
+  for (size_t i = 0; i < cell_keys.size(); ++i) {
+    GPR_RETURN_NOT_OK(PollEvery(ctx, i, "mm_kernel"));
+    Tuple row = std::move(cell_keys[i]);
+    row.push_back(accs[i].Finish());
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace gpr::ra

@@ -1,0 +1,124 @@
+// CSR-backed semiring kernels (paper Eqs. 3/4): the physical layout and
+// the SpMV/SpMM execution paths behind MV-join / MM-join.
+//
+// A CsrMatrix is the edge-side input of an aggregate-join compiled into
+// compressed-sparse-row form: rows grouped by the row-key column in
+// first-appearance order, per-row edge lists in original row order, and a
+// dictionary mapping the column-key values to dense column ids (node ids
+// are arbitrary Values, not dense integers). The build is pure layout —
+// no semiring is baked in — so one cached CsrMatrix serves every
+// semiring and both MV orientations that share its (row, col, weight)
+// columns. Cached builds go through ra::PlanCache keyed on the table's
+// content version, so any mutation of the edge table invalidates the
+// CSR for free (gpr_check rule GPR-C409 pins this).
+//
+// The kernels are row-identical to the generic hash-join + group-by
+// path at any DOP (see MVJoinCsr for the order argument); the generic
+// path stays in the tree as the differential-testing oracle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ra/aggregate.h"
+#include "ra/expr.h"
+#include "ra/table.h"
+#include "util/status.h"
+
+namespace gpr::ra {
+
+/// Kernel observability, owned by the fixpoint driver for one query and
+/// copied into core::ExecCounters afterwards. A non-null
+/// EvalContext::kernels pointer doubles as the "kernels on" signal.
+/// Mutated only on the coordinating thread (the kernels update it after
+/// their parallel regions complete), so plain fields suffice.
+struct KernelCounters {
+  size_t csr_builds = 0;        ///< CSR layouts built (cache misses + uncached)
+  size_t kernel_hits = 0;       ///< aggregate-joins executed on a CSR kernel
+  size_t kernel_fallbacks = 0;  ///< kernels on, but the generic path ran
+};
+
+/// The edge-side input of an aggregate-join in compressed-sparse-row
+/// form. Immutable once built; shared read-only across fixpoint
+/// iterations and morsel workers.
+struct CsrMatrix {
+  /// Dense row id -> [offsets[r], offsets[r+1]) edge range.
+  std::vector<uint32_t> offsets;
+  /// Per edge: dense column id (index into col_values).
+  std::vector<uint32_t> col_ids;
+  /// Per edge: the originating row index of the source table, ascending
+  /// within each CSR row (the build preserves scan order). Lets the
+  /// kernels replay hash-join match order and group-creation order.
+  std::vector<uint32_t> src_rows;
+  /// Per edge: the weight. A uniformly-typed non-null weight column is
+  /// stored unboxed (the typed SpMV fast path reads it directly; the
+  /// boxed path reconstructs identical Values on the fly); anything
+  /// mixed, null-bearing or non-numeric falls back to boxed Values.
+  enum class WeightClass { kInt64, kDouble, kBoxed };
+  WeightClass wclass = WeightClass::kBoxed;
+  std::vector<int64_t> iweights;  ///< valid iff wclass == kInt64
+  std::vector<double> dweights;   ///< valid iff wclass == kDouble
+  std::vector<Value> vweights;    ///< valid iff wclass == kBoxed
+  /// Dense column id -> first-appearing column-key value.
+  std::vector<Value> col_values;
+  std::unordered_map<Value, uint32_t, ValueHash> col_index;
+  /// Row-key value -> dense row id (the SpMM probe side).
+  std::unordered_map<Value, uint32_t, ValueHash> row_index;
+
+  size_t NumRows() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+  size_t NumEdges() const { return col_ids.size(); }
+  /// Approximate footprint, charged to the governor at cache insert.
+  size_t ApproxBytes() const;
+};
+
+/// Builds the CSR layout of `m` with rows keyed on column `row_idx`,
+/// columns keyed on `col_idx` and weights from `weight_idx`. Rows of `m`
+/// whose row key or column key is NULL are dropped (a hash join never
+/// matches them). Polls the governor every ctx->poll_stride rows.
+Result<std::shared_ptr<const CsrMatrix>> BuildCsr(const Table& m,
+                                                  size_t row_idx,
+                                                  size_t col_idx,
+                                                  size_t weight_idx,
+                                                  EvalContext* ctx);
+
+/// Looks the CSR layout of `m` up in ctx->cache (when `m` is a named,
+/// cache-stable table and the context carries a cache), building and
+/// inserting on miss; builds an uncached throwaway otherwise. Bumps
+/// ctx->kernels->csr_builds on every real build. The cache entry is
+/// keyed on m.version(), so mutating `m` invalidates it.
+Result<std::shared_ptr<const CsrMatrix>> CsrFor(const Table& m,
+                                                size_t row_idx,
+                                                size_t col_idx,
+                                                size_t weight_idx,
+                                                bool m_stable,
+                                                EvalContext* ctx);
+
+/// Semiring SpMV: γ_{row; ⊕(ew ⊙ vw)}(M ⋈ V) over the CSR layout.
+/// `csr` must be BuildCsr(m, group_idx, join_idx, weight_idx). The result
+/// is row-identical to hash-join + group-by (and to the fused MV path):
+/// groups appear in the order of their first matched m row, every group
+/// folds its matches in m-row order with v duplicates in v insertion
+/// order, ⊙ is the same compiled expression over the same operand types
+/// and ⊕ the same Accumulator. Rows are processed morsel-parallel at
+/// ctx->dop (each CSR row is an independent output — no merge step);
+/// matched rows are emitted serially in first-match order.
+Result<Table> SpmvKernel(const CsrMatrix& csr, const Table& m,
+                         size_t group_idx, size_t weight_idx, const Table& v,
+                         size_t vid_idx, size_t vw_idx, AggKind add,
+                         BinaryOp multiply, EvalContext* ctx);
+
+/// Semiring SpMM: γ_{A.row, B.col; ⊕(A.ew ⊙ B.ew)}(A ⋈ B) over B's CSR
+/// layout (`csr` = BuildCsr(b, b_from_idx, b_to_idx, b_weight_idx)).
+/// Probes A's rows in order against the CSR row dictionary, replaying
+/// the hash-join + group-by cell order exactly. Serial: the cell map is
+/// shared across A rows, and the inputs the kernels accelerate are
+/// matrix-matrix products far off the per-iteration hot path.
+Result<Table> SpmmKernel(const CsrMatrix& csr, const Table& a,
+                         size_t a_from_idx, size_t a_to_idx,
+                         size_t a_weight_idx, const Table& b,
+                         size_t b_to_idx, size_t b_weight_idx, AggKind add,
+                         BinaryOp multiply, EvalContext* ctx);
+
+}  // namespace gpr::ra

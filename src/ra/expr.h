@@ -26,6 +26,7 @@ class PlanFacts;
 namespace gpr::ra {
 
 class PlanCache;
+struct KernelCounters;
 
 enum class ExprKind { kColumn, kLiteral, kBinary, kUnary, kCall };
 
@@ -119,6 +120,17 @@ struct EvalContext {
   /// GPR_POLL_INTERVAL. Affects only the poll cadence — the morsel
   /// decomposition stays fixed so results remain DOP-invariant.
   size_t poll_stride = 8192;
+  /// Parallel-admission threshold (exec::AdmittedDop): inputs below this
+  /// many rows run serial regardless of `dop` — splitting a tiny input
+  /// into morsels costs more than scanning it. Set by the fixpoint
+  /// drivers from exec::ResolveMinParallelRows(
+  /// EngineProfile::parallel_min_rows) / GPR_MIN_PARALLEL_ROWS; 0 admits
+  /// everything. Results are identical either way.
+  size_t min_parallel_rows = 8192;
+  /// CSR kernel observability (ra/csr.h), owned by the fixpoint driver.
+  /// Doubles as the kernel knob: non-null = the aggregate-joins may take
+  /// the CSR SpMV/SpMM path, null = generic paths only.
+  KernelCounters* kernels = nullptr;
   /// Statically-proven plan facts (analysis/plan_facts.h), keyed by plan
   /// node identity; null = facts off. Owned by the fixpoint driver for the
   /// duration of one query. The plan executor consults it to skip work

@@ -36,6 +36,16 @@ inline int EffectiveDop(const EvalContext* ctx) {
   return ctx == nullptr || ctx->dop < 1 ? 1 : ctx->dop;
 }
 
+/// EffectiveDop gated by the parallel-admission threshold
+/// (exec::AdmittedDop): inputs under ctx->min_parallel_rows run serial at
+/// any DOP — morsel dispatch on tiny inputs costs more than it saves
+/// (docs/performance.md). A null ctx admits everything, preserving the
+/// plain EffectiveDop behaviour.
+inline int AdmitDop(const EvalContext* ctx, size_t rows) {
+  return exec::AdmittedDop(rows, EffectiveDop(ctx),
+                           ctx == nullptr ? 0 : ctx->min_parallel_rows);
+}
+
 /// Morsel size: kPollStride rows at scale, shrinking on small inputs so a
 /// DOP-parallel run over a tiny table still splits into `dop` morsels
 /// (what the determinism tests exercise).
@@ -170,7 +180,7 @@ Result<Table> Select(const Table& in, const ExprPtr& pred, EvalContext* ctx) {
   GPR_ASSIGN_OR_RETURN(CompiledExpr p, Compile(pred, in.schema()));
   Table out(in.name(), in.schema());
   const size_t n = in.NumRows();
-  const int dop = EffectiveDop(ctx);
+  const int dop = AdmitDop(ctx, n);
   if (dop > 1 && n > 1 && p.deterministic()) {
     std::vector<std::vector<Tuple>> parts(
         exec::NumMorsels(n, MorselRowsFor(n, dop)));
@@ -208,7 +218,7 @@ Result<Table> Project(const Table& in, const std::vector<ProjectItem>& items,
   Table out(out_name.empty() ? in.name() : std::move(out_name),
             Schema(std::move(cols)));
   const size_t n = in.NumRows();
-  const int dop = EffectiveDop(ctx);
+  const int dop = AdmitDop(ctx, n);
   const bool deterministic =
       std::all_of(exprs.begin(), exprs.end(),
                   [](const CompiledExpr& e) { return e.deterministic(); });
@@ -364,6 +374,10 @@ Result<Table> HashJoinImpl(const Table& l, const Table& r,
   }
   int dop = EffectiveDop(ctx);
   if (res && !res->deterministic()) dop = 1;
+  // Per-side admission: the build parallelizes over r, the probe over l,
+  // and either side alone may be too small to be worth dispatching.
+  const int bdop = dop == 1 ? 1 : AdmitDop(ctx, r.NumRows());
+  const int pdop = dop == 1 ? 1 : AdmitDop(ctx, l.NumRows());
   // Reuse the right table's hash index when it covers exactly the join key.
   const HashIndex* index = r.hash_index();
   const bool index_usable =
@@ -386,8 +400,8 @@ Result<Table> HashJoinImpl(const Table& l, const Table& r,
   }
   if (!index_usable && built == nullptr) {
     auto fresh = std::make_shared<HashBuild>();
-    fresh->num_parts = dop > 1 && r.NumRows() > 1
-                           ? static_cast<size_t>(dop)
+    fresh->num_parts = bdop > 1 && r.NumRows() > 1
+                           ? static_cast<size_t>(bdop)
                            : 1;
     fresh->parts.resize(fresh->num_parts);
     if (fresh->num_parts == 1) {
@@ -401,11 +415,11 @@ Result<Table> HashJoinImpl(const Table& l, const Table& r,
     } else {
       const size_t rn = r.NumRows();
       const size_t num_parts = fresh->num_parts;
-      const size_t num_morsels = exec::NumMorsels(rn, MorselRowsFor(rn, dop));
+      const size_t num_morsels = exec::NumMorsels(rn, MorselRowsFor(rn, bdop));
       std::vector<std::vector<std::vector<size_t>>> buckets(
           num_morsels, std::vector<std::vector<size_t>>(num_parts));
       GPR_RETURN_NOT_OK(RunMorsels(
-          ctx, rn, dop, "join", [&](size_t m, size_t begin, size_t end) {
+          ctx, rn, bdop, "join", [&](size_t m, size_t begin, size_t end) {
             Tuple key;
             for (size_t i = begin; i < end; ++i) {
               ProjectTupleInto(r.row(i), plan.rkeys, &key);
@@ -415,7 +429,7 @@ Result<Table> HashJoinImpl(const Table& l, const Table& r,
             return Status::OK();
           }));
       GPR_RETURN_NOT_OK(exec::ThreadPool::Global().RunTasks(
-          num_parts, static_cast<size_t>(dop), [&](size_t p) {
+          num_parts, static_cast<size_t>(bdop), [&](size_t p) {
             RowMultiMap& map = fresh->parts[p];
             map.reserve(rn / num_parts + 1);
             Tuple key;
@@ -450,12 +464,12 @@ Result<Table> HashJoinImpl(const Table& l, const Table& r,
   };
 
   // Probe side: morsels over l, outputs spliced in morsel order.
-  if (dop > 1 && l.NumRows() > 1) {
+  if (pdop > 1 && l.NumRows() > 1) {
     const size_t ln = l.NumRows();
     std::vector<std::vector<Tuple>> parts(
-        exec::NumMorsels(ln, MorselRowsFor(ln, dop)));
+        exec::NumMorsels(ln, MorselRowsFor(ln, pdop)));
     GPR_RETURN_NOT_OK(RunMorsels(
-        ctx, ln, dop, "join", [&](size_t m, size_t begin, size_t end) {
+        ctx, ln, pdop, "join", [&](size_t m, size_t begin, size_t end) {
           std::vector<Tuple>& part = parts[m];
           Tuple key;
           for (size_t li = begin; li < end; ++li) {
@@ -797,7 +811,7 @@ Result<Table> GroupBy(const Table& in,
   Table out("", Schema(std::move(out_cols)));
 
   const size_t n = in.NumRows();
-  const int dop = EffectiveDop(ctx);
+  const int dop = AdmitDop(ctx, n);
   const bool deterministic = std::all_of(
       args.begin(), args.end(),
       [](const std::optional<CompiledExpr>& e) {

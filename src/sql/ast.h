@@ -90,6 +90,7 @@ struct WithStatementAst {
   int parallel_dop = 0;     ///< `parallel N` hint; 0 = inherit profile
   int plan_cache = -1;      ///< `cache on|off`; -1 = inherit profile
   int plan_facts = -1;      ///< `facts on|off`; -1 = inherit profile
+  int csr_kernels = -1;     ///< `kernels on|off`; -1 = inherit profile
   int checkpoint_every = -1;  ///< `checkpoint every N`; -1 = inherit profile
   std::optional<SelectCore> final_select;
 };

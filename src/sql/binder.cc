@@ -451,6 +451,10 @@ Result<BoundWithStatement> BindWithStatement(const WithStatementAst& ast,
   // `facts on|off` plan-facts toggle; every executor consult acts only on
   // a structural proof, so results are identical either way.
   q.plan_facts = ast.plan_facts;
+  // `kernels on|off` CSR-kernel toggle (docs/performance.md); the kernel
+  // path is guaranteed row-identical to the generic one, so this is pure
+  // physical tuning as well.
+  q.csr_kernels = ast.csr_kernels;
   // `checkpoint every N` fixpoint-snapshot cadence (docs/robustness.md);
   // N = 0 turns checkpointing off explicitly, -1 inherits the profile.
   if (ast.checkpoint_every < -1 || ast.checkpoint_every > 32767) {

@@ -13,7 +13,8 @@ bool IsKeyword(const std::string& lower) {
       "union",  "all",      "as",    "with",   "recursive",    "and",
       "or",     "not",      "in",    "is",     "null",         "update",
       "computed", "maxrecursion", "exists", "maxtime",      "maxrows",
-      "maxbytes", "parallel", "cache", "facts", "checkpoint", "every"};
+      "maxbytes", "parallel", "cache", "facts", "kernels", "checkpoint",
+      "every"};
   for (const char* k : kKeywords) {
     if (lower == k) return true;
   }
@@ -64,11 +65,12 @@ class Parser {
     // Trailing options, in any order, each at most once: maxrecursion
     // (quiet cap), the governor budgets maxtime/maxrows/maxbytes, the
     // degree-of-parallelism hint `parallel N`, the plan-state cache
-    // toggle `cache on|off`, the plan-facts toggle `facts on|off`, and
-    // the checkpoint cadence `checkpoint every N` (docs/robustness.md).
+    // toggle `cache on|off`, the plan-facts toggle `facts on|off`, the
+    // CSR-kernel toggle `kernels on|off` (docs/performance.md), and the
+    // checkpoint cadence `checkpoint every N` (docs/robustness.md).
     bool saw_maxrecursion = false, saw_maxtime = false, saw_maxrows = false,
          saw_maxbytes = false, saw_parallel = false, saw_cache = false,
-         saw_facts = false, saw_checkpoint = false;
+         saw_facts = false, saw_kernels = false, saw_checkpoint = false;
     auto dup = [](const char* opt) {
       return Status::ParseError(std::string("duplicate option '") + opt +
                                 "' in with+ statement");
@@ -127,6 +129,18 @@ class Parser {
         } else {
           return Status::ParseError(
               "expected 'on' or 'off' after 'facts' near offset " +
+              std::to_string(Peek().offset));
+        }
+      } else if (AcceptKeyword("kernels")) {
+        if (saw_kernels) return dup("kernels");
+        saw_kernels = true;
+        if (AcceptKeyword("on")) {
+          stmt.csr_kernels = 1;
+        } else if (AcceptKeyword("off")) {
+          stmt.csr_kernels = 0;
+        } else {
+          return Status::ParseError(
+              "expected 'on' or 'off' after 'kernels' near offset " +
               std::to_string(Peek().offset));
         }
       } else {

@@ -573,6 +573,38 @@ TEST(AnalysisFacts, W317FlagsProvablyEmptyRecursiveStep) {
   EXPECT_GE(result->gate_warnings, 2u);
 }
 
+TEST(AnalysisFacts, W318FlagsCsrEligibleJoinWithKernelsOff) {
+  // An MV-join whose matrix side is a loop-invariant scan is csr_eligible;
+  // `kernels off` downgrades it to the generic hash-join path, which the
+  // diagnostic surfaces.
+  auto catalog = MakeCatalog(TinyGraph());
+  WithPlusQuery q;
+  q.rec_name = "Rk";
+  q.rec_schema =
+      Schema{{"ID", ValueType::kInt64}, {"vw", ValueType::kDouble}};
+  q.init.push_back(
+      {core::ProjectOp(Scan("V"), {ops::As(Col("ID"), "ID"),
+                                   ops::As(Col("vw"), "vw")}),
+       {}});
+  q.recursive.push_back(
+      {core::MVJoinOp(Scan("E"), Scan("Rk"), core::MinTimes(),
+                      core::MVOrientation::kTransposed),
+       {}});
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {"ID"};
+  q.csr_kernels = 0;  // explicit `kernels off`
+  DiagnosticBag bag = AnalyzeWithPlus(q, catalog);
+  auto d = Find(bag, "GPR-W318");
+  ASSERT_TRUE(d.has_value()) << bag.Render();
+  EXPECT_NE(d->message.find("CSR-eligible"), std::string::npos) << d->message;
+  EXPECT_EQ(bag.NumErrors(), 0u) << bag.Render();
+
+  // Default (inherit the profile) keeps the kernel path: no W318.
+  q.csr_kernels = -1;
+  bag = AnalyzeWithPlus(q, catalog);
+  EXPECT_FALSE(bag.Has("GPR-W318")) << bag.Render();
+}
+
 // ---------------------------------------------------------------------
 // Stratification edge cases: malformed recursion shapes must produce a
 // stable diagnostic, never a crash or a hang.

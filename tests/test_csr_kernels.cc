@@ -1,0 +1,386 @@
+// Differential tests for the CSR-backed semiring SpMV/SpMM kernels
+// (ra/csr.h, docs/performance.md). The contract under test is strict: the
+// kernel path must be *row-identical* — order included — to the generic
+// hash-join + group-by path for every semiring, orientation, DOP, and
+// cache setting, and the cached CSR layout must die with the matrix
+// table's content version. The generic path is kept verbatim in
+// core/aggregate_join.cc precisely so these comparisons stay meaningful.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algos/common.h"
+#include "algos/registry.h"
+#include "core/aggregate_join.h"
+#include "core/explain.h"
+#include "core/plan.h"
+#include "core/semiring.h"
+#include "core/with_plus.h"
+#include "graph/generators.h"
+#include "ra/csr.h"
+#include "ra/plan_cache.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace gpr {
+namespace {
+
+namespace ops = ra::ops;
+using core::MaxTimes;
+using core::MinPlus;
+using core::MinTimes;
+using core::MMJoin;
+using core::MVJoin;
+using core::MVJoinReference;
+using core::MVOrientation;
+using core::OracleLike;
+using core::OrAnd;
+using core::PlusTimes;
+using core::PostgresLike;
+using core::Scan;
+using core::Semiring;
+using core::UnionMode;
+using core::WithPlusQuery;
+using gpr::testing::MakeCatalog;
+using ra::KernelCounters;
+using ra::Schema;
+using ra::Table;
+using ra::Value;
+using ra::ValueType;
+
+void ExpectRowsIdentical(const Table& a, const Table& b,
+                         const std::string& label) {
+  ASSERT_EQ(a.NumRows(), b.NumRows()) << label;
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    EXPECT_TRUE(a.row(i) == b.row(i)) << label << ": row " << i << " differs";
+  }
+}
+
+Schema MatrixSchema() {
+  return Schema{{"F", ValueType::kInt64},
+                {"T", ValueType::kInt64},
+                {"ew", ValueType::kDouble}};
+}
+
+/// Random sparse matrix with deduped (F, T) keys, the paper's convention.
+Table RandomMatrix(const std::string& name, int n, int entries,
+                   uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Table t(name, MatrixSchema());
+  std::set<std::pair<int64_t, int64_t>> seen;
+  for (int i = 0; i < entries; ++i) {
+    int64_t f = static_cast<int64_t>(rng.NextBounded(n));
+    int64_t to = static_cast<int64_t>(rng.NextBounded(n));
+    if (!seen.insert({f, to}).second) continue;
+    t.AddRow({f, to, rng.NextDouble() * 4.0});
+  }
+  return t;
+}
+
+Table RandomVector(const std::string& name, int n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Table t(name, Schema{{"ID", ValueType::kInt64}, {"vw", ValueType::kDouble}});
+  for (int64_t i = 0; i < n; ++i) {
+    t.AddRow({i, rng.NextDouble() * 3.0});
+  }
+  return t;
+}
+
+const std::vector<const Semiring*>& AllSemirings() {
+  static const std::vector<const Semiring*> all = {
+      &PlusTimes(), &MinPlus(), &MaxTimes(), &MinTimes(), &OrAnd()};
+  return all;
+}
+
+// --------------------------------------------- operator-level identity
+
+TEST(CsrKernels, MVJoinKernelRowIdenticalToGenericPath) {
+  for (const Semiring* sr : AllSemirings()) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      Table m = RandomMatrix("M", 25, 120, seed);
+      Table v = RandomVector("V", 25, seed + 50);
+      for (auto orient :
+           {MVOrientation::kStandard, MVOrientation::kTransposed}) {
+        // No ctx → kernels off → the generic hash-join + group-by path.
+        auto generic = MVJoin(m, v, *sr, orient);
+        ASSERT_TRUE(generic.ok()) << generic.status();
+        auto ref = MVJoinReference(m, v, *sr, orient);
+        ASSERT_TRUE(ref.ok()) << ref.status();
+        EXPECT_TRUE(generic->SameRowsAs(*ref)) << sr->name;
+        for (int dop : {1, 4}) {
+          KernelCounters kc;
+          ra::EvalContext ctx;
+          ctx.dop = dop;
+          ctx.min_parallel_rows = 1;  // admit the tiny fixture
+          ctx.kernels = &kc;
+          auto kernel = MVJoin(m, v, *sr, orient, OracleLike(), {}, {},
+                               &ctx);
+          ASSERT_TRUE(kernel.ok()) << kernel.status();
+          EXPECT_EQ(kc.kernel_hits, 1u) << sr->name;
+          EXPECT_EQ(kc.kernel_fallbacks, 0u) << sr->name;
+          ExpectRowsIdentical(
+              *generic, *kernel,
+              std::string(sr->name) + " seed " + std::to_string(seed) +
+                  " dop " + std::to_string(dop));
+        }
+      }
+    }
+  }
+}
+
+TEST(CsrKernels, MMJoinKernelRowIdenticalToGenericPath) {
+  for (const Semiring* sr : AllSemirings()) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      Table a = RandomMatrix("A", 15, 70, seed);
+      Table b = RandomMatrix("B", 15, 70, seed + 100);
+      auto generic = MMJoin(a, b, *sr);
+      ASSERT_TRUE(generic.ok()) << generic.status();
+      KernelCounters kc;
+      ra::EvalContext ctx;
+      ctx.kernels = &kc;
+      auto kernel = MMJoin(a, b, *sr, OracleLike(), {}, {}, &ctx);
+      ASSERT_TRUE(kernel.ok()) << kernel.status();
+      EXPECT_EQ(kc.kernel_hits, 1u) << sr->name;
+      ExpectRowsIdentical(*generic, *kernel,
+                          std::string(sr->name) + " seed " +
+                              std::to_string(seed));
+    }
+  }
+}
+
+TEST(CsrKernels, MergeJoinProfileFallsBackToGenericPath) {
+  // PostgresLike picks merge joins on stat-less inputs; the kernel cannot
+  // replay merge-join match order and must route to the generic path.
+  Table m = RandomMatrix("M", 10, 40, 3);
+  Table v = RandomVector("V", 10, 4);
+  KernelCounters kc;
+  ra::EvalContext ctx;
+  ctx.kernels = &kc;
+  auto merge = MVJoin(m, v, PlusTimes(), MVOrientation::kStandard,
+                      PostgresLike(), {}, {}, &ctx);
+  ASSERT_TRUE(merge.ok()) << merge.status();
+  EXPECT_EQ(kc.kernel_hits, 0u);
+  EXPECT_EQ(kc.kernel_fallbacks, 1u);
+  auto plain = MVJoin(m, v, PlusTimes(), MVOrientation::kStandard,
+                      PostgresLike());
+  ASSERT_TRUE(plain.ok());
+  ExpectRowsIdentical(*plain, *merge, "merge-join fallback");
+}
+
+TEST(CsrKernels, MixedAndNullValuesMatchGenericPath) {
+  // Mixed int64/double weights force the boxed kernel mode; NULL weights,
+  // NULL join keys, and NULL vector ids exercise the skip/keep rules the
+  // generic Accumulator + hash-join path defines.
+  Table m("M", MatrixSchema());
+  m.AddRow({int64_t{0}, int64_t{1}, int64_t{2}});
+  m.AddRow({int64_t{0}, int64_t{2}, 1.5});
+  m.AddRow({int64_t{1}, Value(), 3.0});          // NULL join key (T)
+  m.AddRow({int64_t{1}, int64_t{2}, Value()});   // NULL weight
+  m.AddRow({int64_t{2}, int64_t{0}, int64_t{4}});
+  m.AddRow({int64_t{2}, int64_t{1}, 0.25});
+  Table v("V", Schema{{"ID", ValueType::kInt64}, {"vw", ValueType::kDouble}});
+  v.AddRow({int64_t{0}, 1.0});
+  v.AddRow({int64_t{1}, int64_t{2}});
+  v.AddRow({Value(), 9.0});                      // NULL id never matches
+  v.AddRow({int64_t{2}, Value()});               // NULL vector weight
+  for (const Semiring* sr : AllSemirings()) {
+    for (auto orient :
+         {MVOrientation::kStandard, MVOrientation::kTransposed}) {
+      auto generic = MVJoin(m, v, *sr, orient);
+      ASSERT_TRUE(generic.ok()) << generic.status();
+      KernelCounters kc;
+      ra::EvalContext ctx;
+      ctx.kernels = &kc;
+      auto kernel = MVJoin(m, v, *sr, orient, OracleLike(), {}, {}, &ctx);
+      ASSERT_TRUE(kernel.ok()) << kernel.status();
+      EXPECT_EQ(kc.kernel_hits, 1u);
+      ExpectRowsIdentical(*generic, *kernel,
+                          std::string("nulls/") + sr->name);
+    }
+  }
+}
+
+// --------------------------------------------------- cache & versioning
+
+TEST(CsrCache, CachedLayoutIsReusedAndDiesWithTheTableVersion) {
+  Table m = RandomMatrix("E_csr", 20, 90, 7);
+  Table v = RandomVector("Vec", 20, 8);
+  ra::PlanCache cache;
+  KernelCounters kc;
+  ra::EvalContext ctx;
+  ctx.cache = &cache;
+  ctx.kernels = &kc;
+  auto run = [&] {
+    return MVJoin(m, v, MinTimes(), MVOrientation::kTransposed, OracleLike(),
+                  {}, {}, &ctx, /*m_stable=*/true);
+  };
+  auto r1 = run();
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_EQ(kc.csr_builds, 1u);
+  auto r2 = run();
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(kc.csr_builds, 1u) << "second call must hit the cached CSR";
+  EXPECT_GE(cache.stats().hits, 1u);
+  ExpectRowsIdentical(*r1, *r2, "cached CSR rerun");
+
+  // Mutating the matrix bumps its content version: the cached layout is
+  // unreachable and the kernel rebuilds against the new contents.
+  m.AddRow({int64_t{19}, int64_t{0}, 0.125});
+  auto r3 = run();
+  ASSERT_TRUE(r3.ok()) << r3.status();
+  EXPECT_EQ(kc.csr_builds, 2u) << "version bump must invalidate the CSR";
+  auto fresh = MVJoin(m, v, MinTimes(), MVOrientation::kTransposed);
+  ASSERT_TRUE(fresh.ok());
+  ExpectRowsIdentical(*fresh, *r3, "post-mutation CSR result");
+}
+
+TEST(CsrCache, UnnamedOrUnstableMatrixBuildsWithoutCaching) {
+  Table m = RandomMatrix("", 12, 40, 9);  // unnamed → never cached
+  Table v = RandomVector("Vec", 12, 10);
+  ra::PlanCache cache;
+  KernelCounters kc;
+  ra::EvalContext ctx;
+  ctx.cache = &cache;
+  ctx.kernels = &kc;
+  for (int i = 0; i < 2; ++i) {
+    auto r = MVJoin(m, v, PlusTimes(), MVOrientation::kStandard,
+                    OracleLike(), {}, {}, &ctx, /*m_stable=*/true);
+    ASSERT_TRUE(r.ok()) << r.status();
+  }
+  EXPECT_EQ(kc.csr_builds, 2u);
+  EXPECT_EQ(cache.stats().bytes_live, 0u);
+}
+
+// ------------------------------------------------ algorithm differential
+
+TEST(CsrAlgorithms, KernelsOnIsRowIdenticalToKernelsOff) {
+  const graph::Graph g = graph::ErdosRenyi(200, 800, 11);
+  for (const char* abbrev : {"BFS", "WCC", "SSSP", "PR", "HITS"}) {
+    auto entry = algos::AlgoByAbbrev(abbrev);
+    ASSERT_TRUE(entry.ok()) << entry.status();
+    for (int dop : {1, 4}) {
+      for (int cache : {0, 1}) {
+        algos::AlgoOptions off;
+        off.fault_spec = "none";
+        off.degree_of_parallelism = dop;
+        off.plan_cache = cache;
+        off.csr_kernels = 0;
+        off.profile.csr_kernels = false;  // HITS' mutual fixpoint reads it
+        off.profile.parallel_min_rows = 1;
+        algos::AlgoOptions on = off;
+        on.csr_kernels = 1;
+        on.profile.csr_kernels = true;
+        auto c_off = MakeCatalog(g);
+        auto r_off = entry->run(c_off, off);
+        ASSERT_TRUE(r_off.ok()) << abbrev << ": " << r_off.status();
+        auto c_on = MakeCatalog(g);
+        auto r_on = entry->run(c_on, on);
+        ASSERT_TRUE(r_on.ok()) << abbrev << ": " << r_on.status();
+        ExpectRowsIdentical(r_off->table, r_on->table,
+                            std::string(abbrev) + " dop " +
+                                std::to_string(dop) + " cache " +
+                                std::to_string(cache));
+      }
+    }
+  }
+}
+
+TEST(CsrAlgorithms, KernelCountersSurfaceThroughWithPlusStats) {
+  const graph::Graph g = graph::ErdosRenyi(100, 400, 13);
+  for (const char* abbrev : {"WCC", "SSSP", "PR"}) {
+    auto entry = algos::AlgoByAbbrev(abbrev);
+    ASSERT_TRUE(entry.ok());
+    algos::AlgoOptions opt;
+    opt.fault_spec = "none";
+    opt.csr_kernels = 1;
+    auto catalog = MakeCatalog(g);
+    auto result = entry->run(catalog, opt);
+    ASSERT_TRUE(result.ok()) << abbrev << ": " << result.status();
+    EXPECT_GT(result->counters.kernel_hits, 0u) << abbrev;
+    EXPECT_GT(result->counters.csr_builds, 0u) << abbrev;
+
+    algos::AlgoOptions off = opt;
+    off.csr_kernels = 0;
+    off.profile.csr_kernels = false;
+    auto catalog2 = MakeCatalog(g);
+    auto r2 = entry->run(catalog2, off);
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r2->counters.kernel_hits, 0u) << abbrev;
+    EXPECT_EQ(r2->counters.csr_builds, 0u) << abbrev;
+  }
+}
+
+// ------------------------------------------------------------ SQL surface
+
+TEST(CsrSql, KernelsOptionParsesAndBinds) {
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) kernels off)");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  EXPECT_EQ(ast->csr_kernels, 0);
+  auto catalog = MakeCatalog(gpr::testing::TinyGraph());
+  auto bound = sql::BindWithStatement(*ast, catalog);
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_EQ(bound->query.csr_kernels, 0);
+
+  auto on = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) kernels on cache off)");
+  ASSERT_TRUE(on.ok()) << on.status();
+  EXPECT_EQ(on->csr_kernels, 1);
+  EXPECT_EQ(on->plan_cache, 0);
+}
+
+TEST(CsrSql, DuplicateKernelsOptionIsAParseError) {
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) kernels on kernels off)");
+  ASSERT_FALSE(ast.ok());
+  EXPECT_EQ(ast.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsrSql, MissingOnOffAfterKernelsIsAParseError) {
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) kernels maybe)");
+  ASSERT_FALSE(ast.ok());
+  EXPECT_EQ(ast.status().code(), StatusCode::kParseError);
+}
+
+// ---------------------------------------------------------------- explain
+
+TEST(CsrExplain, KnobLineAndKernelMarker) {
+  auto catalog = MakeCatalog(gpr::testing::TinyGraph());
+  WithPlusQuery q;
+  q.rec_name = "Rk";
+  q.rec_schema =
+      Schema{{"ID", ValueType::kInt64}, {"vw", ValueType::kDouble}};
+  q.init.push_back(
+      {core::ProjectOp(Scan("V"), {ops::As(ra::Col("ID"), "ID"),
+                                   ops::As(ra::Col("vw"), "vw")}),
+       {}});
+  q.recursive.push_back(
+      {core::MVJoinOp(Scan("E"), Scan("Rk"), MinTimes(),
+                      MVOrientation::kTransposed),
+       {}});
+  q.mode = UnionMode::kUnionByUpdate;
+  q.update_keys = {"ID"};
+
+  std::string on = core::ExplainWithPlus(q, catalog, OracleLike());
+  EXPECT_NE(on.find("csr kernels: on"), std::string::npos) << on;
+  EXPECT_NE(on.find("[csr kernel]"), std::string::npos) << on;
+
+  q.csr_kernels = 0;
+  std::string off = core::ExplainWithPlus(q, catalog, OracleLike());
+  EXPECT_NE(off.find("csr kernels: off"), std::string::npos) << off;
+  EXPECT_EQ(off.find("[csr kernel]"), std::string::npos) << off;
+}
+
+}  // namespace
+}  // namespace gpr

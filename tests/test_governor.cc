@@ -95,6 +95,15 @@ int TestCache() {
   return v != nullptr ? std::atoi(v) : -1;
 }
 
+/// CSR-kernel override (GPR_TEST_KERNELS): the CI fault matrix re-runs
+/// the suite with the SpMV/SpMM kernel path forced off (0) and on (1) —
+/// governor trips and injected faults must behave identically on either
+/// physical path.
+int TestKernels() {
+  const char* v = std::getenv("GPR_TEST_KERNELS");
+  return v != nullptr ? std::atoi(v) : -1;
+}
+
 /// TC over E; `spec` pins the fault-injection behaviour.
 WithPlusQuery TcQuery(UnionMode mode, const std::string& spec = "none") {
   WithPlusQuery q;
@@ -111,6 +120,7 @@ WithPlusQuery TcQuery(UnionMode mode, const std::string& spec = "none") {
   q.fault_spec = spec;
   q.degree_of_parallelism = TestDop();
   q.plan_cache = TestCache();
+  q.csr_kernels = TestKernels();
   return q;
 }
 
@@ -455,6 +465,7 @@ TEST(Governor, AlgoOptionsThreadGovernanceThrough) {
   EXPECT_EQ(catalog.TableNames(), before);
   opt.cancel = CancellationToken();
   opt.governor.iteration_cap = 1;
+  opt.csr_kernels = TestKernels();
   auto capped = algos::Wcc(catalog, opt);
   ASSERT_FALSE(capped.ok());
   EXPECT_EQ(capped.status().code(), StatusCode::kResourceExhausted);

@@ -356,6 +356,45 @@ TEST(GprCheckC408, OnlyAppliesToTableIo) {
   EXPECT_FALSE(Has(f, "GPR-C408")) << FindingsToJson(f);
 }
 
+// GPR-C409 — cached CSR layouts are keyed on table content versions.
+
+TEST(GprCheckC409, VersionedCacheCallsAreClean) {
+  const auto f = CheckSourceText(
+      "src/ra/csr.cc",
+      "std::shared_ptr<const CsrMatrix> hit =\n"
+      "    cache->Lookup<CsrMatrix>(key, m.version());\n"
+      "GPR_RETURN_NOT_OK(cache->Insert<CsrMatrix>(key, mversion, built,\n"
+      "                                           built->ApproxBytes()));\n");
+  EXPECT_FALSE(Has(f, "GPR-C409")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC409, UnversionedLookupFires) {
+  const auto f = CheckSourceText(
+      "src/ra/csr.cc",
+      "std::shared_ptr<const CsrMatrix> hit =\n"
+      "    cache->Lookup<CsrMatrix>(key, 0);\n");
+  EXPECT_TRUE(Has(f, "GPR-C409")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC409, UnversionedInsertFires) {
+  const auto f = CheckSourceText(
+      "src/ra/csr.cc",
+      "Status S(PlanCache* cache, std::shared_ptr<const CsrMatrix> built) {\n"
+      "  return cache->Insert<CsrMatrix>(\"csr:E\", 7, built, 64);\n"
+      "}\n");
+  EXPECT_TRUE(Has(f, "GPR-C409")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC409, OtherArtifactKindsAreExempt) {
+  // Only CsrMatrix entries are pinned; other cache users carry their own
+  // keying conventions (and their own rules when they need them).
+  const auto f = CheckSourceText(
+      "src/ra/csr.cc",
+      "struct CsrMatrix;\n"
+      "auto hit = cache->Lookup<HashIndex>(key, 0);\n");
+  EXPECT_FALSE(Has(f, "GPR-C409")) << FindingsToJson(f);
+}
+
 TEST(GprCheckC408, SuppressionCommentIsHonoured) {
   const auto f = CheckSourceText(
       "src/ra/table_io.cc",

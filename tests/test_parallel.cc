@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -154,6 +155,57 @@ TEST(ThreadPoolTest, NumMorselsCoversAllRows) {
   EXPECT_EQ(exec::NumMorsels(100, 7), 15u);
 }
 
+// ------------------------------------------------------ parallel admission
+
+TEST(ParallelAdmission, AdmittedDopDropsToSerialBelowThreshold) {
+  EXPECT_EQ(exec::AdmittedDop(100, 8, 8192), 1);
+  EXPECT_EQ(exec::AdmittedDop(8191, 8, 8192), 1);
+  EXPECT_EQ(exec::AdmittedDop(8192, 8, 8192), 8);
+  EXPECT_EQ(exec::AdmittedDop(100, 8, 0), 8);  // 0 admits everything
+  EXPECT_EQ(exec::AdmittedDop(100, 1, 8192), 1);
+}
+
+TEST(ParallelAdmission, ResolveMinParallelRowsPrecedence) {
+  // No env override in the test process: configured >= 0 wins, negative
+  // falls back to the 8192 default.
+  if (std::getenv("GPR_MIN_PARALLEL_ROWS") != nullptr) {
+    GTEST_SKIP() << "GPR_MIN_PARALLEL_ROWS set in the environment";
+  }
+  EXPECT_EQ(exec::ResolveMinParallelRows(4096), 4096u);
+  EXPECT_EQ(exec::ResolveMinParallelRows(0), 0u);
+  EXPECT_EQ(exec::ResolveMinParallelRows(-1), 8192u);
+}
+
+TEST(ParallelAdmission, SmallInputsDoNotDispatchToThePool) {
+  // 5000 rows at DOP 8 stays under the default 8192-row threshold: the
+  // result is still row-identical and no batch reaches the worker pool.
+  Table t = RandomMatrix("T", 97, 5000, 7);
+  auto serial = ops::Select(t, Gt(Col("ew"), Lit(1.0)));
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ra::EvalContext ctx;
+  ctx.dop = 8;  // min_parallel_rows keeps its 8192 default
+  const uint64_t before = ThreadPool::Global().dispatched_batches();
+  auto out = ops::Select(t, Gt(Col("ew"), Lit(1.0)), &ctx);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(ThreadPool::Global().dispatched_batches(), before)
+      << "a sub-threshold input dispatched to the pool";
+  ExpectRowsIdentical(*serial, *out, "small-input select");
+}
+
+TEST(ParallelAdmission, ThresholdZeroDispatchesSmallInputs) {
+  if (ThreadPool::Global().num_workers() == 0) {
+    GTEST_SKIP() << "no pool workers on this machine";
+  }
+  Table t = RandomMatrix("T", 97, 5000, 7);
+  ra::EvalContext ctx;
+  ctx.dop = 8;
+  ctx.min_parallel_rows = 0;
+  const uint64_t before = ThreadPool::Global().dispatched_batches();
+  auto out = ops::Select(t, Gt(Col("ew"), Lit(1.0)), &ctx);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_GT(ThreadPool::Global().dispatched_batches(), before);
+}
+
 // ------------------------------------------------- operator DOP-invariance
 
 TEST(ParallelOperators, SelectProjectJoinGroupByMatchSerial) {
@@ -171,6 +223,7 @@ TEST(ParallelOperators, SelectProjectJoinGroupByMatchSerial) {
   for (int dop : {2, 8}) {
     ra::EvalContext ctx;
     ctx.dop = dop;
+    ctx.min_parallel_rows = 1;  // admit these tiny fixtures
     const std::string d = " (dop " + std::to_string(dop) + ")";
     auto sel = ops::Select(t, Gt(Col("ew"), Lit(1.0)), &ctx);
     ASSERT_TRUE(sel.ok()) << sel.status();
@@ -200,6 +253,7 @@ TEST(ParallelOperators, UnionByUpdateMatchesSerial) {
   for (int dop : {2, 8}) {
     core::EngineProfile profile = core::PostgresLike();
     profile.degree_of_parallelism = dop;
+    profile.parallel_min_rows = 1;  // admit these tiny fixtures
     auto out = core::UnionByUpdate(
         r, s, {"F", "T"}, core::UnionByUpdateImpl::kUpdateFrom, profile);
     ASSERT_TRUE(out.ok()) << out.status();
@@ -224,6 +278,7 @@ TEST(ParallelOperators, MergeStyleDuplicateSourceErrorIsDeterministic) {
   for (int dop : {2, 8}) {
     core::EngineProfile profile = core::OracleLike();
     profile.degree_of_parallelism = dop;
+    profile.parallel_min_rows = 1;
     auto out = core::UnionByUpdate(r, s, {"ID"},
                                    core::UnionByUpdateImpl::kMerge, profile);
     ASSERT_FALSE(out.ok());
@@ -254,6 +309,7 @@ TEST(ParallelAlgorithms, EvaluationSetIsDopInvariant) {
       auto fresh = MakeCatalog(g);
       algos::AlgoOptions opt = base;
       opt.degree_of_parallelism = dop;
+      opt.profile.parallel_min_rows = 1;  // admit the tiny graphs
       auto result = entry.run(fresh, opt);
       ASSERT_TRUE(result.ok()) << entry.abbrev << ": " << result.status();
       ExpectRowsIdentical(baseline->table, result->table,
@@ -264,6 +320,14 @@ TEST(ParallelAlgorithms, EvaluationSetIsDopInvariant) {
 }
 
 // --------------------------------------------- governor under parallelism
+
+/// OracleLike with the parallel-admission threshold disabled, so the tiny
+/// governor fixtures still exercise the parallel regions.
+core::EngineProfile AdmitAllProfile() {
+  core::EngineProfile p = OracleLike();
+  p.parallel_min_rows = 0;
+  return p;
+}
 
 /// TC over E, as in test_governor.cc, with an explicit DOP.
 WithPlusQuery ParallelTcQuery(UnionMode mode, int dop) {
@@ -288,7 +352,7 @@ TEST(ParallelGovernor, RowBudgetTripsWithProgressDetail) {
   const auto before = catalog.TableNames();
   auto q = ParallelTcQuery(UnionMode::kUnionDistinct, 8);
   q.governor.row_budget = 5;  // the init projection alone produces 6 rows
-  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  auto result = ExecuteWithPlus(q, catalog, AdmitAllProfile());
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
   const ProgressDetail* detail = ProgressDetail::FromStatus(result.status());
@@ -305,7 +369,7 @@ TEST(ParallelGovernor, DeadlineTripsWithProgressDetail) {
   // deadline stops it — and it must trip from a parallel region too.
   auto q = ParallelTcQuery(UnionMode::kUnionAll, 8);
   q.governor.deadline_ms = 0.05;
-  auto result = ExecuteWithPlus(q, catalog, OracleLike());
+  auto result = ExecuteWithPlus(q, catalog, AdmitAllProfile());
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
   const ProgressDetail* detail = ProgressDetail::FromStatus(result.status());
@@ -324,7 +388,7 @@ TEST(ParallelGovernor, GovernedParallelResultMatchesSerial) {
   q.governor.row_budget = 1000000;
   q.governor.byte_budget = 1ull << 30;
   q.governor.iteration_cap = 1000;
-  auto governed = ExecuteWithPlus(q, catalog, OracleLike());
+  auto governed = ExecuteWithPlus(q, catalog, AdmitAllProfile());
   ASSERT_TRUE(governed.ok()) << governed.status();
   EXPECT_TRUE(governed->converged);
   ExpectRowsIdentical(plain->table, governed->table, "governed TC (dop 8)");

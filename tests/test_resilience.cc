@@ -70,6 +70,12 @@ int TestCache() {
   return v != nullptr ? std::atoi(v) : -1;
 }
 
+/// CSR-kernel override (GPR_TEST_KERNELS, see test_governor.cc).
+int TestKernels() {
+  const char* v = std::getenv("GPR_TEST_KERNELS");
+  return v != nullptr ? std::atoi(v) : -1;
+}
+
 /// Pins an environment variable for the lifetime of a test, restoring the
 /// previous value on destruction.
 class ScopedEnv {
@@ -123,6 +129,7 @@ WithPlusQuery TcQuery(UnionMode mode, const std::string& spec = "none") {
   q.fault_spec = spec;
   q.degree_of_parallelism = TestDop();
   q.plan_cache = TestCache();
+  q.csr_kernels = TestKernels();
   return q;
 }
 
@@ -589,6 +596,7 @@ TEST(ChaosHarness, RetryWithResumeMakesMonotonicProgress) {
   options.checkpoint_store = &store;
   options.plan_cache = TestCache();
   options.degree_of_parallelism = TestDop();
+  options.csr_kernels = TestKernels();
   options.retry.max_attempts = 20;
   options.retry.backoff_base_ms = 0;
   auto result = algos::RunWithPlus(q, catalog, options);
@@ -609,6 +617,7 @@ TEST(ChaosHarness, RetryWithoutCheckpointCannotPassRecurringFault) {
   options.checkpoint_every = 0;
   options.plan_cache = TestCache();
   options.degree_of_parallelism = TestDop();
+  options.csr_kernels = TestKernels();
   options.retry.max_attempts = 4;
   options.retry.backoff_base_ms = 0;
   auto result = algos::RunWithPlus(q, catalog, options);

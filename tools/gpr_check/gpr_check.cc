@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <regex>
@@ -398,6 +399,60 @@ void CheckC408(const SourceFile& src, std::vector<Finding>* out) {
   }
 }
 
+// --- GPR-C409 ------------------------------------------------------------
+// Cached CSR layouts must be keyed on the source table's content version:
+// a plan-cache Lookup/Insert of a CsrMatrix whose argument list carries no
+// version is a stale-kernel-read bug — the entry would survive table
+// mutation and the SpMV kernel would read dead edges (ra/csr.cc, CsrFor).
+void CheckC409(const SourceFile& src, std::vector<Finding>* out) {
+  const std::string& code = src.code;
+  if (code.find("CsrMatrix") == std::string::npos) return;
+  for (const char* fn : {"Lookup", "Insert"}) {
+    static const std::regex kVersion(R"(\bversion\b|\bmversion\b)");
+    size_t pos = 0;
+    while ((pos = code.find(fn, pos)) != std::string::npos) {
+      if (pos > 0 && IsIdentChar(code[pos - 1])) {
+        pos += std::strlen(fn);
+        continue;
+      }
+      size_t p = pos + std::strlen(fn);
+      // Only the templated cache calls: Lookup<...>(...) / Insert<...>(...).
+      if (p >= code.size() || code[p] != '<') {
+        pos = p;
+        continue;
+      }
+      const size_t close_tpl = code.find('>', p);
+      if (close_tpl == std::string::npos) break;
+      const std::string tpl_arg = code.substr(p + 1, close_tpl - p - 1);
+      if (tpl_arg.find("CsrMatrix") == std::string::npos) {
+        pos = close_tpl;
+        continue;
+      }
+      size_t open = close_tpl + 1;
+      while (open < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[open]))) {
+        ++open;
+      }
+      if (open >= code.size() || code[open] != '(') {
+        pos = close_tpl;
+        continue;
+      }
+      const size_t close = MatchForward(code, open, '(', ')');
+      if (close == std::string::npos) break;
+      const std::string args = code.substr(open + 1, close - open - 1);
+      if (!std::regex_search(args, kVersion)) {
+        Add(src, out, "GPR-C409", pos,
+            std::string("cache ") + fn +
+                "<CsrMatrix> without a table content version in the key — "
+                "the CSR layout would survive table mutation",
+            "key the entry on the source table's version() "
+            "(ra/csr.cc CsrFor is the reference call shape)");
+      }
+      pos = close;
+    }
+  }
+}
+
 }  // namespace
 
 size_t SourceFile::LineOf(size_t offset) const {
@@ -532,6 +587,7 @@ void CheckSource(const SourceFile& src, std::vector<Finding>* out) {
   CheckC406(src, out);
   CheckC407(src, out);
   CheckC408(src, out);
+  CheckC409(src, out);
 }
 
 std::vector<Finding> CheckSourceText(const std::string& path,
