@@ -61,6 +61,11 @@ struct BenchRecord {
   size_t csr_builds = 0;
   size_t kernel_hits = 0;
   size_t kernel_fallbacks = 0;
+  // Vectorized batch-execution counters (ra/vectorized.h; 0 for
+  // vectorize-off legs): ~2048-row column batches processed, and
+  // vectorize-on executions that fell back to the row-at-a-time oracle.
+  size_t vector_batches = 0;
+  size_t vector_fallbacks = 0;
 };
 
 /// Collects BenchRecords and writes them as a JSON array.
@@ -72,7 +77,7 @@ class BenchJsonWriter {
     std::string out = "[\n";
     for (size_t i = 0; i < records_.size(); ++i) {
       const BenchRecord& r = records_[i];
-      char buf[768];
+      char buf[896];
       std::snprintf(buf, sizeof(buf),
                     "  {\"op\": \"%s\", \"profile\": \"%s\", "
                     "\"dataset\": \"%s\", \"dop\": %d, "
@@ -85,12 +90,15 @@ class BenchJsonWriter {
                     "\"facts_setup_ms\": %.3f, "
                     "\"csr_builds\": %zu, "
                     "\"kernel_hits\": %zu, "
-                    "\"kernel_fallbacks\": %zu}%s\n",
+                    "\"kernel_fallbacks\": %zu, "
+                    "\"vector_batches\": %zu, "
+                    "\"vector_fallbacks\": %zu}%s\n",
                     r.op.c_str(), r.profile.c_str(), r.dataset.c_str(),
                     r.dop, r.wall_ms, r.rows, r.cache_hits, r.cache_misses,
                     r.setup_ms, r.facts_dead_selects, r.facts_dedup_skips,
                     r.facts_pruned_columns, r.facts_setup_ms, r.csr_builds,
-                    r.kernel_hits, r.kernel_fallbacks,
+                    r.kernel_hits, r.kernel_fallbacks, r.vector_batches,
+                    r.vector_fallbacks,
                     i + 1 < records_.size() ? "," : "");
       out += buf;
     }

@@ -17,6 +17,12 @@
 // kernel_fallbacks counters in the JSON) — the docs/performance.md
 // speedup claim is the er-64k rows of this section.
 //
+// A vectorize section measures the columnar batch execution end to end:
+// the same three workloads at DOP 1 over the kernels × vectorize grid
+// ("vectorize-off+kernels-off" … "vectorize-on+kernels-on" variants,
+// with vector_batches / vector_fallbacks counters in the JSON), every
+// leg row-identical to the grid's own off/off run.
+//
 // A trailing section measures the resilience layer's cost: WCC and SSSP
 // with iteration-granular checkpointing off vs every 8 iterations
 // ("ckpt-off" / "ckpt-every-8" variants) — the snapshot copies must stay
@@ -210,6 +216,65 @@ int Run(bool json) {
                     counters.csr_builds, counters.kernel_hits,
                     counters.kernel_fallbacks);
         std::fflush(stdout);
+      }
+    }
+
+    // Vectorize legs: the same MV-join workloads at DOP 1, cache on,
+    // facts on, over the kernels × vectorize grid — off/off is the row
+    // oracle, on/on shows the two fast paths composing (the
+    // docs/performance.md vectorization claim is the er-64k rows). Every
+    // leg is verified row-identical against the grid's own off/off run;
+    // batch/fallback counters land in the JSON.
+    std::printf("%-6s %-22s %4s %12s %8s %10s\n", "algo", "vectorize", "dop",
+                "wall_ms", "batches", "fallbacks");
+    const Workload vec_workloads[] = {{"wcc", &algos::Wcc},
+                                      {"sssp", &algos::SsspBellmanFord},
+                                      {"pr", &algos::PageRank}};
+    for (const Workload& w : vec_workloads) {
+      ra::Table vec_baseline;
+      for (int kernels : {0, 1}) {
+        for (int vec : {0, 1}) {
+          algos::AlgoOptions opt;
+          opt.fault_spec = "none";
+          opt.plan_cache = 1;
+          opt.plan_facts = 1;
+          opt.degree_of_parallelism = 1;
+          opt.csr_kernels = kernels;
+          opt.profile.csr_kernels = kernels != 0;
+          opt.vectorized = vec;
+          opt.profile.vectorized = vec != 0;
+          size_t rows = 0;
+          core::ExecCounters counters;
+          double best = 1e300;
+          for (int rep = 0; rep < reps; ++rep) {
+            auto fresh = CatalogFor(g);
+            WallTimer timer;
+            auto result = w.run(fresh, opt);
+            GPR_CHECK_OK(result.status());
+            best = std::min(best, timer.ElapsedMillis());
+            rows = result->table.NumRows();
+            counters = result->counters;
+            if (kernels == 0 && vec == 0) {
+              vec_baseline = result->table;
+            } else {
+              ExpectIdentical(vec_baseline, result->table, w.name);
+            }
+          }
+          const std::string variant =
+              std::string(vec != 0 ? "vectorize-on" : "vectorize-off") +
+              (kernels != 0 ? "+kernels-on" : "+kernels-off");
+          BenchRecord rec{w.name, variant, spec.label, 1, best, rows};
+          rec.csr_builds = counters.csr_builds;
+          rec.kernel_hits = counters.kernel_hits;
+          rec.kernel_fallbacks = counters.kernel_fallbacks;
+          rec.vector_batches = counters.vector_batches;
+          rec.vector_fallbacks = counters.vector_fallbacks;
+          writer.Add(rec);
+          std::printf("%-6s %-22s %4d %12.1f %8zu %10zu\n", w.name,
+                      variant.c_str(), 1, best, counters.vector_batches,
+                      counters.vector_fallbacks);
+          std::fflush(stdout);
+        }
       }
     }
 

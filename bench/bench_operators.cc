@@ -8,9 +8,10 @@
 // aggregate; useful for regression-tracking the engine itself.
 //
 // `--json` skips google-benchmark and runs a fixed suite over the hot
-// operators at DOP 1 / 4 / hardware-max — plus the plan-facts showcase
-// fixpoint at facts off/on — writing BENCH_operators.json (schema:
-// bench_common.h BenchRecord) for CI artifact upload.
+// operators at DOP 1 / 4 / hardware-max — plus vectorize-off/on legs at
+// DOP 1 and the plan-facts showcase fixpoint at facts off/on — writing
+// BENCH_operators.json (schema: bench_common.h BenchRecord) for CI
+// artifact upload.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -24,6 +25,7 @@
 #include "graph/generators.h"
 #include "graph/relations.h"
 #include "ra/operators.h"
+#include "ra/vectorized.h"
 #include "util/rng.h"
 
 namespace {
@@ -290,6 +292,85 @@ int RunJsonSuite() {
       });
       add("union_by_update", "oracle-like", ms, rows);
     }
+  }
+
+  // Vectorize-off/on legs at DOP 1 over the hot operators — the
+  // docs/performance.md vectorization speedups. The on legs set
+  // EvalContext::vectors so the vec::Try* batch fast paths engage; each
+  // on-leg output is verified row-identical (order included) to its
+  // off-leg twin before the timing is recorded, and the batch/fallback
+  // counters land in the JSON.
+  {
+    const size_t n = 1 << 15;
+    Table l = RandomMatrix("L", static_cast<int64_t>(n / 4), n, 21);
+    Table r = RandomMatrix("R", static_cast<int64_t>(n / 4), n, 22);
+    Table vr = RandomVector("VR", static_cast<int64_t>(n), 23);
+    Table vs = RandomVector("VS", static_cast<int64_t>(n), 24);
+
+    auto expect_identical = [](const Table& base, const Table& got,
+                               const char* op) {
+      GPR_CHECK_EQ(base.NumRows(), got.NumRows()) << op;
+      for (size_t i = 0; i < base.NumRows(); ++i) {
+        GPR_CHECK(base.row(i) == got.row(i))
+            << op << ": vectorize-on row " << i
+            << " differs from the vectorize-off baseline";
+      }
+    };
+    auto run_pair = [&](const char* op, auto&& fn) {
+      Table base;
+      for (int vec : {0, 1}) {
+        ra::EvalContext ctx;
+        ctx.dop = 1;
+        ra::VectorCounters vc;
+        if (vec != 0) ctx.vectors = &vc;
+        {
+          // Untimed differential run: the on leg must reproduce the off
+          // leg's rows exactly before its timing counts.
+          auto out = fn(&ctx);
+          GPR_CHECK_OK(out.status());
+          if (vec == 0) {
+            base = std::move(*out);
+          } else {
+            expect_identical(base, *out, op);
+          }
+        }
+        size_t rows = 0;
+        const double ms = BestOfMs(3, &rows, [&] {
+          auto out = fn(&ctx);
+          GPR_CHECK_OK(out.status());
+          return out->NumRows();
+        });
+        bench::BenchRecord rec{op, vec != 0 ? "vectorize-on" : "vectorize-off",
+                               "rand-32k", 1, ms, rows};
+        rec.vector_batches = vc.vector_batches;
+        rec.vector_fallbacks = vc.vector_fallbacks;
+        writer.Add(rec);
+      }
+    };
+
+    run_pair("select", [&](ra::EvalContext* ctx) {
+      return ops::Select(l, ra::Gt(ra::Col("ew"), ra::Lit(1.0)), ctx);
+    });
+    run_pair("project", [&](ra::EvalContext* ctx) {
+      return ops::Project(
+          l,
+          {ops::As(ra::Add(ra::Col("F"), ra::Col("T")), "k"),
+           ops::As(ra::Mul(ra::Col("ew"), ra::Lit(2.0)), "w")},
+          ctx);
+    });
+    run_pair("hash_join", [&](ra::EvalContext* ctx) {
+      return ops::Join(l, r, {{"T"}, {"F"}}, ops::JoinAlgorithm::kHash,
+                       nullptr, ctx);
+    });
+    run_pair("group_by", [&](ra::EvalContext* ctx) {
+      return ops::GroupBy(l, {"T"}, {ra::SumOf(ra::Col("ew"), "s")}, ctx);
+    });
+    const core::EngineProfile ubu_profile = core::OracleLike();
+    run_pair("union_by_update", [&](ra::EvalContext* ctx) {
+      return core::UnionByUpdate(vr, vs, {"ID"},
+                                 core::UnionByUpdateImpl::kFullOuterJoin,
+                                 ubu_profile, nullptr, ctx);
+    });
   }
 
   // Plan-facts wins on the showcase reachability fixpoint (bench_common.h

@@ -29,6 +29,7 @@ Result<WithPlusResult> RunWithPlus(core::WithPlusQuery& q,
   if (options.plan_cache >= 0) q.plan_cache = options.plan_cache;
   if (options.plan_facts >= 0) q.plan_facts = options.plan_facts;
   if (options.csr_kernels >= 0) q.csr_kernels = options.csr_kernels;
+  if (options.vectorized >= 0) q.vectorized = options.vectorized;
   if (options.checkpoint_every != -1) {
     q.checkpoint_every = options.checkpoint_every;
   }

@@ -68,6 +68,11 @@ struct AlgoOptions {
   /// either way.
   int csr_kernels = -1;
 
+  /// Vectorized batch execution (ra/vectorized.h, docs/performance.md):
+  /// -1 = inherit the profile's vectorized setting, 0 = off, 1 = on.
+  /// Results are guaranteed row-identical either way.
+  int vectorized = -1;
+
   /// Checkpoint/resume (core/checkpoint.h, docs/robustness.md): -1 =
   /// inherit the profile's checkpoint_every, 0 = off, N = snapshot every
   /// N fixpoint iterations. `resume_from` continues an interrupted run

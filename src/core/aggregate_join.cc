@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "exec/exec_context.h"
+#include "ra/column.h"
 #include "ra/csr.h"
 #include "ra/plan_cache.h"
 #include "ra/tuple.h"
+#include "ra/vectorized.h"
 
 namespace gpr::core {
 
@@ -112,6 +114,173 @@ struct MVTriples {
   std::vector<std::array<ra::Value, 3>> rows;
 };
 
+/// Typed image of MVTriples for the vectorized fused path: group / join
+/// ids and weights unboxed. Cached under its own "mvv:" key so toggling
+/// `vectorize` mid-session never mixes layouts with the boxed triples.
+struct MVTypedTriples {
+  std::vector<int64_t> group;
+  std::vector<int64_t> join;
+  bool w_f64 = false;           // product representation, decided statically
+  std::vector<int64_t> wi;      // weights when the m column is int64
+  std::vector<double> wd;       // weights when the m column is double
+};
+
+/// The vectorized fused MV-join (ra/vectorized.h knob): the same
+/// probe/fold structure as the boxed loop below, run over unboxed triple
+/// and weight arrays with the ⊙ product and the ⊕ fold typed. Binds only
+/// when the group/join/id columns are uniformly int64 (join/id NULLs are
+/// skipped like the hash join does; a NULL group key falls back), both
+/// weight columns are uniformly int64/double with no NULLs, ⊕ ∈
+/// {sum, min, max} and ⊙ ∈ {+, ×} — shapes where int64 arithmetic stays
+/// integral, double sums fold in match order from a 0.0 seed, and strict
+/// compares keep the first of ties, replicating NumericBinary and
+/// Accumulator bit for bit. Returns false (untouched *out) to run the
+/// boxed loop, which stays intact as the differential oracle.
+Result<bool> TryMVJoinFusedTyped(const Table& m, const Table& v,
+                                 const Semiring& sr, size_t group_idx,
+                                 size_t join_idx, size_t mw, size_t vid,
+                                 size_t vwc, const std::string& cache_key,
+                                 ra::ValueType group_type,
+                                 ra::ValueType out_type,
+                                 ra::EvalContext* ctx, Table* out) {
+  using Rep = ra::ColumnVec::Rep;
+  if (sr.add != ra::AggKind::kSum && sr.add != ra::AggKind::kMin &&
+      sr.add != ra::AggKind::kMax) {
+    return false;
+  }
+  if (sr.multiply != ra::BinaryOp::kAdd && sr.multiply != ra::BinaryOp::kMul) {
+    return false;
+  }
+  const ra::ColumnStore& mcols = m.columns();
+  const ra::ColumnVec& mg = mcols.column(group_idx);
+  const ra::ColumnVec& mj = mcols.column(join_idx);
+  const ra::ColumnVec& mwv = mcols.column(mw);
+  if (mg.rep() != Rep::kInt64 || mg.has_nulls()) return false;
+  if (mj.rep() != Rep::kInt64) return false;
+  const bool m_f64 = mwv.rep() == Rep::kDouble;
+  if ((mwv.rep() != Rep::kInt64 && !m_f64) || mwv.has_nulls()) return false;
+  const ra::ColumnStore& vcols = v.columns();
+  const ra::ColumnVec& vi = vcols.column(vid);
+  const ra::ColumnVec& vwv = vcols.column(vwc);
+  if (vi.rep() != Rep::kInt64) return false;
+  const bool v_f64 = vwv.rep() == Rep::kDouble;
+  if ((vwv.rep() != Rep::kInt64 && !v_f64) || vwv.has_nulls()) return false;
+  const bool f64 = m_f64 || v_f64;
+
+  std::shared_ptr<const MVTypedTriples> triples =
+      ctx->cache->Lookup<MVTypedTriples>(cache_key, m.version());
+  if (triples == nullptr) {
+    auto fresh = std::make_shared<MVTypedTriples>();
+    fresh->w_f64 = m_f64;
+    const size_t n = m.NumRows();
+    fresh->group.reserve(n);
+    fresh->join.reserve(n);
+    if (m_f64) fresh->wd.reserve(n); else fresh->wi.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (mj.has_nulls() && mj.IsNull(i)) continue;
+      fresh->group.push_back(mg.i64()[i]);
+      fresh->join.push_back(mj.i64()[i]);
+      if (m_f64) {
+        fresh->wd.push_back(mwv.f64()[i]);
+      } else {
+        fresh->wi.push_back(mwv.i64()[i]);
+      }
+    }
+    GPR_RETURN_NOT_OK(ctx->cache->Insert<MVTypedTriples>(
+        cache_key, m.version(), fresh,
+        fresh->group.size() * (2 * sizeof(int64_t) + sizeof(double))));
+    triples = std::move(fresh);
+  }
+
+  // Per-iteration probe side: vector ID → v row indexes, in v row order.
+  std::unordered_map<int64_t, std::vector<size_t>> vmap;
+  vmap.reserve(v.NumRows());
+  for (size_t i = 0; i < v.NumRows(); ++i) {
+    if (vi.has_nulls() && vi.IsNull(i)) continue;
+    vmap[vi.i64()[i]].push_back(i);
+  }
+
+  // Group slots in first-appearance order; every slot sees ≥1 product, so
+  // the empty-accumulator NULL case never arises. Double sums start from
+  // 0.0 exactly like Accumulator's any_double_ promotion of a 0 isum_.
+  std::unordered_map<int64_t, size_t> group_pos;
+  std::vector<int64_t> group_keys;
+  std::vector<int64_t> iacc;
+  std::vector<double> dacc;
+  std::vector<uint8_t> seeded;  // min/max: first product seeds like best_
+  exec::ExecContext* gov = ctx->exec;
+  const bool is_min = sr.add == ra::AggKind::kMin;
+  const bool is_max = sr.add == ra::AggKind::kMax;
+  const bool is_mul = sr.multiply == ra::BinaryOp::kMul;
+  size_t probes = 0;
+  const size_t n = triples->group.size();
+  for (size_t t = 0; t < n; ++t) {
+    auto vit = vmap.find(triples->join[t]);
+    if (vit == vmap.end()) continue;
+    auto [pos_it, inserted] =
+        group_pos.try_emplace(triples->group[t], group_keys.size());
+    const size_t slot = pos_it->second;
+    if (inserted) {
+      group_keys.push_back(triples->group[t]);
+      if (f64) dacc.push_back(0.0); else iacc.push_back(0);
+      if (is_min || is_max) seeded.push_back(0);
+    }
+    for (size_t vr : vit->second) {
+      if (gov != nullptr && ++probes % kFusedPollStride == 0) {
+        GPR_RETURN_NOT_OK(gov->Poll("mv_join"));
+      }
+      if (f64) {
+        const double a = triples->w_f64
+                             ? triples->wd[t]
+                             : static_cast<double>(triples->wi[t]);
+        const double b =
+            v_f64 ? vwv.f64()[vr] : static_cast<double>(vwv.i64()[vr]);
+        const double p = is_mul ? a * b : a + b;
+        double& acc = dacc[slot];
+        if (is_min || is_max) {
+          if (!seeded[slot]) {
+            acc = p;
+            seeded[slot] = 1;
+          } else if (is_min ? p < acc : p > acc) {
+            acc = p;
+          }
+        } else {
+          acc += p;
+        }
+      } else {
+        const int64_t a = triples->wi[t];
+        const int64_t b = vwv.i64()[vr];
+        const int64_t p = is_mul ? a * b : a + b;
+        int64_t& acc = iacc[slot];
+        if (is_min || is_max) {
+          if (!seeded[slot]) {
+            acc = p;
+            seeded[slot] = 1;
+          } else if (is_min ? p < acc : p > acc) {
+            acc = p;
+          }
+        } else {
+          acc += p;
+        }
+      }
+    }
+  }
+  if (ctx->vectors != nullptr) {
+    ctx->vectors->vector_batches +=
+        (n + ra::kVectorBatchRows - 1) / ra::kVectorBatchRows;
+  }
+
+  Table result("", ra::Schema{{"ID", group_type}, {"vw", out_type}});
+  result.Reserve(group_keys.size());
+  for (size_t i = 0; i < group_keys.size(); ++i) {
+    ra::Tuple row{ra::Value(group_keys[i])};
+    row.push_back(f64 ? ra::Value(dacc[i]) : ra::Value(iacc[i]));
+    result.AddRow(std::move(row));
+  }
+  *out = std::move(result);
+  return true;
+}
+
 /// The cache-on hash path of MVJoin: instead of materializing m ⋈ v and
 /// re-grouping it every fixpoint iteration, cache m's triples once and fold
 /// the probe and the γ-aggregation into a single pass over them.
@@ -132,6 +301,35 @@ Result<Table> MVJoinFused(const Table& m, const Table& v, const Semiring& sr,
   GPR_ASSIGN_OR_RETURN(size_t vwc, v.schema().Resolve(v_cols.weight));
   const size_t join_idx = orientation == MVOrientation::kStandard ? mt : mf;
   const size_t group_idx = orientation == MVOrientation::kStandard ? mf : mt;
+
+  // Vectorized fused path first: when the column shapes bind it replaces
+  // both the boxed triples cache and the boxed fold; a decline runs the
+  // boxed loop below untouched and counts a vector_fallback.
+  if (ra::vec::Enabled(ctx)) {
+    ra::Schema typed_operands{{"a", m.schema().column(mw).type},
+                              {"b", v.schema().column(vwc).type}};
+    GPR_ASSIGN_OR_RETURN(
+        ra::CompiledExpr typed_mult,
+        Compile(sr.Multiply(Col("a"), Col("b")), typed_operands));
+    ra::ValueType typed_out_type = typed_mult.result_type();
+    switch (sr.add) {  // mirror GroupBy's output-type adjustment
+      case ra::AggKind::kCount: typed_out_type = ra::ValueType::kInt64; break;
+      case ra::AggKind::kAvg: typed_out_type = ra::ValueType::kDouble; break;
+      default: break;
+    }
+    const std::string typed_key =
+        "mvv:" + m.name() + ":" +
+        (orientation == MVOrientation::kStandard ? "s" : "t") + ":" +
+        m_cols.from + ":" + m_cols.to + ":" + m_cols.weight;
+    Table typed_out;
+    GPR_ASSIGN_OR_RETURN(
+        bool done,
+        TryMVJoinFusedTyped(m, v, sr, group_idx, join_idx, mw, vid, vwc,
+                            typed_key, m.schema().column(group_idx).type,
+                            typed_out_type, ctx, &typed_out));
+    if (done) return typed_out;
+    ra::vec::CountFallback(ctx);
+  }
 
   const uint64_t mversion = m.version();
   const std::string cache_key =

@@ -131,6 +131,15 @@ struct EngineProfile {
   /// `kernels on|off` option / WithPlusQuery::csr_kernels.
   bool csr_kernels = true;
 
+  /// Vectorized batch execution (ra/vectorized.h, docs/performance.md):
+  /// evaluate filters, projections, hash joins, group-bys and ⊎ merges
+  /// over typed ~2048-row column batches (ra/column.h) instead of one
+  /// boxed Value row at a time, whenever the operand shapes bind.
+  /// Results are guaranteed row-identical (order included) on or off;
+  /// overridable per query via the SQL `vectorize on|off` option /
+  /// WithPlusQuery::vectorized.
+  bool vectorized = true;
+
   /// Parallel-admission threshold (exec::AdmittedDop,
   /// docs/performance.md): inputs below this many rows run serial at any
   /// DOP — morsel dispatch on tiny inputs costs more than it saves (the

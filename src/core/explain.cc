@@ -40,6 +40,10 @@ struct ExplainPrinter {
   /// joins are marked as kernel candidates (the final shape check happens
   /// at execution time against the bound tables).
   bool kernels_on = false;
+  /// True when the resolved knobs enable vectorized batch execution:
+  /// batchable operators are marked as vector candidates (the final shape
+  /// check happens at execution time against the bound columns).
+  bool vectors_on = false;
   std::ostringstream out;
 
   void Print(const PlanPtr& plan, int depth) {
@@ -65,6 +69,7 @@ struct ExplainPrinter {
       }
       case PlanKind::kSelect:
         out << "{" << plan->predicate->ToString() << "}";
+        if (vectors_on) out << " [vector]";
         break;
       case PlanKind::kJoin: {
         out << "(" << ops::JoinAlgorithmName(
@@ -79,6 +84,10 @@ struct ExplainPrinter {
             PredictedJoinAlgo(*plan, catalog, profile) ==
                 ops::JoinAlgorithm::kSortMerge) {
           out << " [index adopted]";
+        }
+        if (vectors_on && PredictedJoinAlgo(*plan, catalog, profile) ==
+                              ops::JoinAlgorithm::kHash) {
+          out << " [vector]";
         }
         break;
       }
@@ -105,8 +114,12 @@ struct ExplainPrinter {
           out << ra::AggKindName(plan->aggs[i].kind);
         }
         out << "}";
+        if (vectors_on && !plan->group_cols.empty()) out << " [vector]";
         break;
       }
+      case PlanKind::kProject:
+        if (vectors_on) out << " [vector]";
+        break;
       case PlanKind::kMMJoin:
       case PlanKind::kMVJoin:
         out << "{" << plan->semiring.name << "}";
@@ -139,9 +152,8 @@ std::string Explain(
     const PlanPtr& plan, const ra::Catalog& catalog,
     const EngineProfile& profile,
     const std::unordered_map<std::string, ra::Schema>* overlays) {
-  ExplainPrinter printer{catalog, profile, overlays,
-                         nullptr, nullptr,  false,
-                         {}};
+  ExplainPrinter printer{catalog, profile, overlays, nullptr,
+                         nullptr, false,   false,    {}};
   printer.Print(plan, 0);
   return printer.out.str();
 }
@@ -170,9 +182,12 @@ std::string ExplainWithPlus(const WithPlusQuery& query,
       query.plan_facts < 0 ? profile.plan_facts : query.plan_facts > 0;
   const bool kernels_on =
       query.csr_kernels < 0 ? profile.csr_kernels : query.csr_kernels > 0;
+  const bool vectors_on =
+      query.vectorized < 0 ? profile.vectorized : query.vectorized > 0;
   out << "plan cache: " << (cache_on ? "on" : "off") << "\n";
   out << "plan facts: " << (facts_on ? "on" : "off") << "\n";
   out << "csr kernels: " << (kernels_on ? "on" : "off") << "\n";
+  out << "vectorized: " << (vectors_on ? "on" : "off") << "\n";
   const int ckpt_every = query.checkpoint_every < 0
                              ? profile.checkpoint_every
                              : query.checkpoint_every;
@@ -254,9 +269,8 @@ std::string ExplainWithPlus(const WithPlusQuery& query,
   std::unordered_map<std::string, ra::Schema> overlays;
   overlays.emplace(query.rec_name, query.rec_schema);
   for (size_t i = 0; i < dfq.init.size(); ++i) {
-    ExplainPrinter printer{catalog, profile,    nullptr,
-                           nullptr, facts_ptr,  kernels_on,
-                           {}};
+    ExplainPrinter printer{catalog,   profile,    nullptr,    nullptr,
+                           facts_ptr, kernels_on, vectors_on, {}};
     printer.Print(dfq.init[i], 0);
     out << "\ninitial subquery " << i + 1 << ":\n" << printer.out.str();
   }
@@ -264,9 +278,8 @@ std::string ExplainWithPlus(const WithPlusQuery& query,
     const auto& block = dfq.blocks[i];
     for (const auto& def : block.defs) {
       const bool invariant = invariant_defs.count(def.first) > 0;
-      ExplainPrinter printer{catalog,  profile,   &overlays,
-                             &hoisted, facts_ptr, kernels_on,
-                             {}};
+      ExplainPrinter printer{catalog,   profile,    &overlays,  &hoisted,
+                             facts_ptr, kernels_on, vectors_on, {}};
       printer.Print(def.second, 0);
       out << "\ncomputed by " << def.first
           << (invariant ? " [invariant — materialized once pre-loop]" : "")
@@ -276,9 +289,8 @@ std::string ExplainWithPlus(const WithPlusQuery& query,
         overlays.emplace(def.first, *s);
       }
     }
-    ExplainPrinter printer{catalog,  profile,   &overlays,
-                           &hoisted, facts_ptr, kernels_on,
-                           {}};
+    ExplainPrinter printer{catalog,   profile,    &overlays,  &hoisted,
+                           facts_ptr, kernels_on, vectors_on, {}};
     printer.Print(block.delta, 0);
     out << "\nrecursive subquery " << i + 1 << ":\n" << printer.out.str();
   }

@@ -8,6 +8,7 @@
 #include "core/checkpoint.h"
 #include "core/psm.h"
 #include "ra/csr.h"
+#include "ra/vectorized.h"
 #include "util/timer.h"
 
 namespace gpr::core {
@@ -184,10 +185,12 @@ Result<MutualResult> ExecuteMutual(const MutualQuery& query,
   ctx.poll_stride = exec::ResolvePollInterval(profile.governor_poll_interval);
   ctx.min_parallel_rows =
       exec::ResolveMinParallelRows(profile.parallel_min_rows);
-  // Mutual fixpoints (HITS) inherit the profile's kernel toggle directly:
-  // MutualQuery has no per-query override.
+  // Mutual fixpoints (HITS) inherit the profile's kernel and vectorize
+  // toggles directly: MutualQuery has no per-query override.
   ra::KernelCounters kernels;
   if (profile.csr_kernels) ctx.kernels = &kernels;
+  ra::VectorCounters vectors;
+  if (profile.vectorized) ctx.vectors = &vectors;
   ra::TempTableScope scope(catalog);
 
   // ---- Checkpoint/resume (core/checkpoint.h) — same protocol as
@@ -317,7 +320,8 @@ Result<MutualResult> ExecuteMutual(const MutualQuery& query,
           UbuStats ustats;
           GPR_ASSIGN_OR_RETURN(Table updated,
                                UnionByUpdate(*r, delta, rel.update_keys,
-                                             rel.ubu_impl, profile, &ustats));
+                                             rel.ubu_impl, profile, &ustats,
+                                             &ctx));
           if (ustats.changed) changed_any = true;
           GPR_RETURN_NOT_OK(
               catalog.ReplaceTable(rel.name, std::move(updated)));

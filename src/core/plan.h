@@ -153,6 +153,10 @@ struct ExecCounters {
   size_t csr_builds = 0;        ///< CSR layouts built (misses + uncached)
   size_t kernel_hits = 0;       ///< aggregate-joins run on a CSR kernel
   size_t kernel_fallbacks = 0;  ///< kernels on, generic path taken
+  // Vectorized batch execution (ra/vectorized.h), populated by the
+  // fixpoint driver from ra::VectorCounters when vectorize is enabled.
+  size_t vector_batches = 0;    ///< ~2048-row column batches processed
+  size_t vector_fallbacks = 0;  ///< vectorize on, row-at-a-time path taken
 };
 
 /// The "table name" a plan output carries for join qualification purposes:

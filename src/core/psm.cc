@@ -11,6 +11,7 @@
 #include "core/checkpoint.h"
 #include "ra/csr.h"
 #include "ra/plan_cache.h"
+#include "ra/vectorized.h"
 #include "util/timer.h"
 
 namespace gpr::core {
@@ -70,6 +71,7 @@ Result<PsmProcedure> CompileToPsm(const WithPlusQuery& query) {
   proc.plan_cache = query.plan_cache;
   proc.plan_facts = query.plan_facts;
   proc.csr_kernels = query.csr_kernels;
+  proc.vectorized = query.vectorized;
   proc.sql99_working_table = query.sql99_working_table;
   proc.checkpoint_every = query.checkpoint_every;
   proc.resume_from = query.resume_from;
@@ -161,6 +163,13 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
       proc.csr_kernels < 0 ? profile.csr_kernels : proc.csr_kernels > 0;
   ra::KernelCounters kernels;
   if (kernels_on) ctx.kernels = &kernels;
+  // Vectorized batches: same override chain and executor-side switch
+  // shape as kernels (ra/vectorized.h); results are row-identical
+  // either way.
+  const bool vectors_on =
+      proc.vectorized < 0 ? profile.vectorized : proc.vectorized > 0;
+  ra::VectorCounters vectors;
+  if (vectors_on) ctx.vectors = &vectors;
   ctx.min_parallel_rows =
       exec::ResolveMinParallelRows(profile.parallel_min_rows);
   ra::PlanCache cache(gov);
@@ -582,7 +591,8 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
         UbuStats ustats;
         GPR_ASSIGN_OR_RETURN(Table updated,
                              UnionByUpdate(*r, delta, proc.update_keys,
-                                           proc.ubu_impl, profile, &ustats));
+                                           proc.ubu_impl, profile, &ustats,
+                                           &ctx));
         changed = ustats.changed;
         if (profile.insert_logging) {
           for (const auto& row : updated.rows()) redo.LogInsert(row);
@@ -655,6 +665,10 @@ Result<WithPlusResult> CallProcedure(const PsmProcedure& proc,
     result.counters.csr_builds = kernels.csr_builds;
     result.counters.kernel_hits = kernels.kernel_hits;
     result.counters.kernel_fallbacks = kernels.kernel_fallbacks;
+  }
+  if (vectors_on) {
+    result.counters.vector_batches = vectors.vector_batches;
+    result.counters.vector_fallbacks = vectors.vector_fallbacks;
   }
   // Success: the run is complete, nothing will resume it. Failure paths
   // return above and leave the active snapshot in the store on purpose.

@@ -43,6 +43,8 @@ struct PsmProcedure {
   int plan_facts = -1;
   /// -1 = inherit the profile's csr_kernels; 0 = off; 1 = on.
   int csr_kernels = -1;
+  /// -1 = inherit the profile's vectorized; 0 = off; 1 = on.
+  int vectorized = -1;
   bool sql99_working_table = false;
   /// Checkpoint cadence: -1 = inherit the profile's checkpoint_every;
   /// 0 = off; N = snapshot every N completed iterations.

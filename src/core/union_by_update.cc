@@ -7,8 +7,10 @@
 
 #include "exec/exec_context.h"
 #include "exec/thread_pool.h"
+#include "ra/column.h"
 #include "ra/operators.h"
 #include "ra/tuple.h"
+#include "ra/vectorized.h"
 
 namespace gpr::core {
 
@@ -256,15 +258,99 @@ Result<Table> MergeStyle(const Table& r, const Table& s,
 /// order), then unmatched S rows appended in S order. The projection is
 /// per column `coalesce(R.key, S.key)` for keys and `coalesce(S.val,
 /// R.val)` for non-keys.
+/// Vectorized ⊎ fast path: when the single key column is non-null int64 on
+/// both sides, build and probe an unboxed int64 key map over column
+/// batches instead of hashing boxed key tuples per row. The per-column
+/// coalesce/diff merge is byte-identical to the plain scan below; with no
+/// NULL keys anywhere the oracle's null-key handling is trivially
+/// preserved. Returns false when the shape doesn't bind.
+bool TryFullOuterJoinVec(const Table& r, const Table& s,
+                         const std::vector<size_t>& rkeys,
+                         const std::vector<bool>& is_key,
+                         ra::EvalContext* ctx, UbuStats* stats, Table* out) {
+  if (rkeys.size() != 1) return false;
+  const ra::ColumnStore& rstore = r.columns();
+  const ra::ColumnStore& sstore = s.columns();
+  const ra::ColumnVec& rkey = rstore.column(rkeys[0]);
+  const ra::ColumnVec& skey = sstore.column(rkeys[0]);
+  if (rkey.rep() != ra::ColumnVec::Rep::kInt64 ||
+      skey.rep() != ra::ColumnVec::Rep::kInt64 || rkey.has_nulls() ||
+      skey.has_nulls()) {
+    return false;
+  }
+  std::unordered_map<int64_t, std::vector<size_t>> s_by_key;
+  s_by_key.reserve(s.NumRows());
+  const std::vector<int64_t>& sk = skey.i64();
+  for (size_t i = 0; i < s.NumRows(); ++i) s_by_key[sk[i]].push_back(i);
+
+  std::vector<Tuple> rows;
+  rows.reserve(r.NumRows());
+  std::vector<bool> smatched(s.NumRows(), false);
+  size_t updated = 0;
+  bool dup_match = false;
+  const std::vector<int64_t>& rk = rkey.i64();
+  for (size_t ri = 0; ri < r.NumRows(); ++ri) {
+    const Tuple& rr = r.row(ri);
+    auto it = s_by_key.find(rk[ri]);
+    if (it == s_by_key.end()) {
+      rows.push_back(rr);
+      continue;
+    }
+    if (it->second.size() > 1) dup_match = true;
+    for (size_t si : it->second) {
+      smatched[si] = true;
+      const Tuple& sr = s.row(si);
+      Tuple merged = rr;
+      bool diff = false;
+      for (size_t c = 0; c < merged.size(); ++c) {
+        // Key columns are non-null here, so the oracle's NULL-coalesce of
+        // the key side never fires; non-keys take s's value when present.
+        if (!is_key[c] && !sr[c].is_null()) merged[c] = sr[c];
+        if (!diff && !merged[c].Equals(rr[c])) diff = true;
+      }
+      if (diff) ++updated;
+      rows.push_back(std::move(merged));
+    }
+  }
+  size_t inserted = 0;
+  for (size_t si = 0; si < s.NumRows(); ++si) {
+    if (smatched[si]) continue;
+    rows.push_back(s.row(si));
+    ++inserted;
+  }
+  out->mutable_rows() = std::move(rows);
+  if (stats != nullptr) {
+    stats->updated = updated;
+    stats->inserted = inserted;
+    stats->changed = updated > 0 || inserted > 0 || dup_match;
+  }
+  if (ctx->vectors != nullptr) {
+    ctx->vectors->vector_batches +=
+        (r.NumRows() + ra::kVectorBatchRows - 1) / ra::kVectorBatchRows +
+        (s.NumRows() + ra::kVectorBatchRows - 1) / ra::kVectorBatchRows;
+  }
+  return true;
+}
+
 Result<Table> FullOuterJoinImpl(const Table& r, const Table& s,
                                 const std::vector<std::string>& keys,
-                                UbuStats* stats) {
+                                UbuStats* stats, ra::EvalContext* ctx) {
   GPR_RETURN_NOT_OK(CheckCompatible(r, s));
   GPR_ASSIGN_OR_RETURN(auto rkeys, ResolveAll(r.schema(), keys));
   // s's columns correspond to r's positionally (union-compatible), so r's
   // key positions apply to s rows directly — exactly what the old rename-
   // to-r's-names + resolve dance computed.
   const std::vector<size_t>& skeys = rkeys;
+
+  std::vector<bool> is_key_flags(r.schema().NumColumns(), false);
+  for (size_t k : rkeys) is_key_flags[k] = true;
+  if (ra::vec::Enabled(ctx)) {
+    Table out(r.name(), r.schema());
+    if (TryFullOuterJoinVec(r, s, rkeys, is_key_flags, ctx, stats, &out)) {
+      return out;
+    }
+    ra::vec::CountFallback(ctx);
+  }
 
   auto has_null_key = [](const Tuple& t, const std::vector<size_t>& idx) {
     for (size_t k : idx) {
@@ -381,7 +467,8 @@ Result<Table> DropAlterImpl(const Table& r, const Table& s,
 Result<Table> UnionByUpdate(const Table& r, const Table& s,
                             const std::vector<std::string>& keys,
                             UnionByUpdateImpl impl,
-                            const EngineProfile& profile, UbuStats* stats) {
+                            const EngineProfile& profile, UbuStats* stats,
+                            ra::EvalContext* ctx) {
   if (keys.empty() && impl != UnionByUpdateImpl::kDropAlter) {
     // ⊎ without attributes replaces the relation as a whole; every
     // implementation degenerates to the same assignment.
@@ -408,7 +495,7 @@ Result<Table> UnionByUpdate(const Table& r, const Table& s,
       return MergeStyle(r, s, keys, /*reject_duplicate_source=*/false,
                         /*update_images=*/1, dop, stats);
     case UnionByUpdateImpl::kFullOuterJoin:
-      return FullOuterJoinImpl(r, s, keys, stats);
+      return FullOuterJoinImpl(r, s, keys, stats, ctx);
     case UnionByUpdateImpl::kDropAlter:
       return DropAlterImpl(r, s, keys, stats);
   }
@@ -419,10 +506,11 @@ Status UnionByUpdateInPlace(ra::Catalog& catalog, const std::string& r_name,
                             const Table& s,
                             const std::vector<std::string>& keys,
                             UnionByUpdateImpl impl,
-                            const EngineProfile& profile, UbuStats* stats) {
+                            const EngineProfile& profile, UbuStats* stats,
+                            ra::EvalContext* ctx) {
   GPR_ASSIGN_OR_RETURN(Table * r, catalog.Get(r_name));
-  GPR_ASSIGN_OR_RETURN(Table out,
-                       UnionByUpdate(*r, s, keys, impl, profile, stats));
+  GPR_ASSIGN_OR_RETURN(
+      Table out, UnionByUpdate(*r, s, keys, impl, profile, stats, ctx));
   if (profile.insert_logging) {
     RedoLog log;
     for (const Tuple& t : out.rows()) log.LogInsert(t);

@@ -15,6 +15,7 @@
 
 #include "core/engine_profile.h"
 #include "ra/catalog.h"
+#include "ra/expr.h"
 #include "ra/table.h"
 #include "util/status.h"
 
@@ -58,11 +59,17 @@ struct UbuStats {
 /// lacks the statement (merge on PostgreSQL < 9.5, update-from elsewhere),
 /// and with InvalidArgument when multiple s match one r (kMerge detects
 /// this; kUpdateFrom reproduces PostgreSQL's silent last-write behaviour).
+///
+/// `ctx` is optional and only consulted for the vectorized batch path
+/// (ctx->vectors, ra/vectorized.h): when set and the key shape binds, the
+/// full-outer-join implementation probes typed int64 key columns instead
+/// of hashing boxed tuples — row-identical to the plain scan.
 Result<ra::Table> UnionByUpdate(const ra::Table& r, const ra::Table& s,
                                 const std::vector<std::string>& keys,
                                 UnionByUpdateImpl impl,
                                 const EngineProfile& profile = OracleLike(),
-                                UbuStats* stats = nullptr);
+                                UbuStats* stats = nullptr,
+                                ra::EvalContext* ctx = nullptr);
 
 /// In-place variant against a catalog table (the PSM executor's path): the
 /// kDropAlter implementation truly swaps the catalog entry; the others
@@ -72,6 +79,7 @@ Status UnionByUpdateInPlace(ra::Catalog& catalog, const std::string& r_name,
                             const std::vector<std::string>& keys,
                             UnionByUpdateImpl impl,
                             const EngineProfile& profile = OracleLike(),
-                            UbuStats* stats = nullptr);
+                            UbuStats* stats = nullptr,
+                            ra::EvalContext* ctx = nullptr);
 
 }  // namespace gpr::core

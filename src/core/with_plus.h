@@ -84,6 +84,11 @@ struct WithPlusQuery {
   /// 0 = off, 1 = on. Pure physical tuning — results are guaranteed
   /// row-identical either way.
   int csr_kernels = -1;
+  /// Vectorized batch execution (the SQL `vectorize on|off` option,
+  /// ra/vectorized.h): -1 = inherit the profile's vectorized setting,
+  /// 0 = off, 1 = on. Pure physical tuning — results are guaranteed
+  /// row-identical either way.
+  int vectorized = -1;
   /// when false, skip the XY-stratification gate (for ablation only).
   bool check_stratification = true;
   /// SQL'99 working-table semantics (union all / union modes only): the

@@ -1,0 +1,190 @@
+#include "ra/column.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace gpr::ra {
+
+Value ColumnVec::Get(size_t i) const {
+  GPR_CHECK(i < size_) << "column slot " << i << " out of range " << size_;
+  if (IsNull(i)) return Value::Null();
+  switch (rep_) {
+    case Rep::kInt64:
+      return Value(i64_[i]);
+    case Rep::kDouble:
+      return Value(f64_[i]);
+    case Rep::kString:
+      return Value(strs_[i]);
+    case Rep::kBoxed:
+      return boxed_[i];
+  }
+  return Value::Null();
+}
+
+void ColumnVec::GrowBitmap(bool null) {
+  if ((size_ & 7) == 0) null_bits_.push_back(0);
+  if (null) {
+    null_bits_[size_ >> 3] |= static_cast<uint8_t>(1u << (size_ & 7));
+    ++null_count_;
+  }
+  ++size_;
+}
+
+void ColumnVec::AppendNull() {
+  switch (rep_) {
+    case Rep::kInt64:
+      i64_.push_back(0);
+      break;
+    case Rep::kDouble:
+      f64_.push_back(0.0);
+      break;
+    case Rep::kString:
+      strs_.emplace_back();
+      break;
+    case Rep::kBoxed:
+      boxed_.emplace_back();
+      break;
+  }
+  GrowBitmap(/*null=*/true);
+}
+
+void ColumnVec::AppendInt64(int64_t v) {
+  GPR_CHECK(rep_ == Rep::kInt64) << "AppendInt64 on non-int64 column";
+  i64_.push_back(v);
+  GrowBitmap(/*null=*/false);
+}
+
+void ColumnVec::AppendDouble(double v) {
+  GPR_CHECK(rep_ == Rep::kDouble) << "AppendDouble on non-double column";
+  f64_.push_back(v);
+  GrowBitmap(/*null=*/false);
+}
+
+void ColumnVec::AppendString(std::string v) {
+  GPR_CHECK(rep_ == Rep::kString) << "AppendString on non-string column";
+  strs_.push_back(std::move(v));
+  GrowBitmap(/*null=*/false);
+}
+
+void ColumnVec::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  if (rep_ == Rep::kBoxed) {
+    boxed_.push_back(v);
+    GrowBitmap(/*null=*/false);
+    return;
+  }
+  switch (v.type()) {
+    case ValueType::kInt64:
+      AppendInt64(v.AsInt64());
+      return;
+    case ValueType::kDouble:
+      AppendDouble(v.AsDouble());
+      return;
+    case ValueType::kString:
+      AppendString(v.AsString());
+      return;
+    default:
+      GPR_CHECK(false) << "unreachable value type";
+  }
+}
+
+void ColumnVec::Reserve(size_t n) {
+  switch (rep_) {
+    case Rep::kInt64:
+      i64_.reserve(n);
+      break;
+    case Rep::kDouble:
+      f64_.reserve(n);
+      break;
+    case Rep::kString:
+      strs_.reserve(n);
+      break;
+    case Rep::kBoxed:
+      boxed_.reserve(n);
+      break;
+  }
+  null_bits_.reserve((n + 7) / 8);
+}
+
+namespace {
+
+ColumnVec::Rep ClassifyColumn(const std::vector<Tuple>& rows, size_t c) {
+  bool saw_int = false, saw_double = false, saw_string = false;
+  for (const Tuple& row : rows) {
+    const Value& v = row[c];
+    if (v.is_null()) continue;
+    if (v.is_int64()) {
+      saw_int = true;
+    } else if (v.is_double()) {
+      saw_double = true;
+    } else {
+      saw_string = true;
+    }
+    if ((saw_int + saw_double + saw_string) > 1) return ColumnVec::Rep::kBoxed;
+  }
+  if (saw_double) return ColumnVec::Rep::kDouble;
+  if (saw_string) return ColumnVec::Rep::kString;
+  // All-int, empty, or all-NULL columns: the int64 representation is the
+  // cheapest carrier (NULL slots are placeholders either way).
+  return ColumnVec::Rep::kInt64;
+}
+
+}  // namespace
+
+ColumnStore ColumnStore::FromRows(const Schema& schema,
+                                  const std::vector<Tuple>& rows) {
+  ColumnStore store;
+  const size_t ncols = schema.NumColumns();
+  store.cols_.reserve(ncols);
+  for (size_t c = 0; c < ncols; ++c) {
+    store.cols_.emplace_back(ClassifyColumn(rows, c));
+    store.cols_.back().Reserve(rows.size());
+  }
+  for (const Tuple& row : rows) {
+    GPR_CHECK(row.size() == ncols) << "row arity " << row.size()
+                                   << " != schema arity " << ncols;
+    for (size_t c = 0; c < ncols; ++c) store.cols_[c].Append(row[c]);
+  }
+  store.num_rows_ = rows.size();
+  return store;
+}
+
+ColumnStore ColumnStore::WithReps(const std::vector<ColumnVec::Rep>& reps) {
+  ColumnStore store;
+  store.cols_.reserve(reps.size());
+  for (ColumnVec::Rep rep : reps) store.cols_.emplace_back(rep);
+  return store;
+}
+
+void ColumnStore::AppendRow(const Tuple& row) {
+  GPR_CHECK(row.size() == cols_.size())
+      << "row arity " << row.size() << " != store arity " << cols_.size();
+  for (size_t c = 0; c < cols_.size(); ++c) cols_[c].Append(row[c]);
+  ++num_rows_;
+}
+
+void ColumnStore::FinishRows() {
+  if (cols_.empty()) return;
+  const size_t n = cols_[0].size();
+  for (const ColumnVec& col : cols_) {
+    GPR_CHECK(col.size() == n) << "ragged column store: " << col.size()
+                               << " vs " << n;
+  }
+  num_rows_ = n;
+}
+
+void ColumnStore::MaterializeRow(size_t i, Tuple* out) const {
+  out->clear();
+  out->reserve(cols_.size());
+  for (const ColumnVec& col : cols_) out->push_back(col.Get(i));
+}
+
+void ColumnStore::Reserve(size_t n) {
+  for (ColumnVec& col : cols_) col.Reserve(n);
+}
+
+}  // namespace gpr::ra

@@ -1,0 +1,129 @@
+// Typed columnar projection of a Table (docs/architecture.md, storage
+// layout): one ColumnVec per schema column, holding the column's values
+// unboxed when they are uniformly typed (int64 / double / string) and as
+// boxed Values otherwise, plus a per-column null bitmap.
+//
+// The columnar image is what the vectorized batch path (ra/vectorized.h)
+// scans instead of the row store: a column batch is a contiguous slice of
+// a typed vector, so hot loops run without per-cell Value variant
+// dispatch. Rows remain the canonical representation — the store is a
+// per-content-version cache on Table (same lifetime discipline as the CSR
+// layout in ra/csr.h) and is rebuilt whenever the version moves.
+//
+// Growth goes through the batch append API only (Append* / AppendRow):
+// it keeps the value buffers and the null bitmap in sync — linter rule
+// GPR-C410 pins this invariant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ra/schema.h"
+#include "ra/tuple.h"
+#include "ra/value.h"
+#include "util/status.h"
+
+namespace gpr::ra {
+
+/// Rows per execution batch on the vectorized path: large enough to
+/// amortize dispatch, small enough that a batch's working set stays
+/// cache-resident.
+inline constexpr size_t kVectorBatchRows = 2048;
+
+/// One typed column. The representation is fixed at construction
+/// (classified over the source rows): kInt64 / kDouble / kString hold
+/// unboxed values with NULL slots carrying a zero placeholder; kBoxed is
+/// the fallback for mixed-type columns and stores full Values.
+class ColumnVec {
+ public:
+  enum class Rep { kInt64, kDouble, kString, kBoxed };
+
+  explicit ColumnVec(Rep rep = Rep::kBoxed) : rep_(rep) {}
+
+  Rep rep() const { return rep_; }
+  size_t size() const { return size_; }
+  bool has_nulls() const { return null_count_ > 0; }
+  size_t null_count() const { return null_count_; }
+
+  bool IsNull(size_t i) const {
+    return (null_bits_[i >> 3] >> (i & 7)) & 1u;
+  }
+
+  /// Typed readers; valid only for the matching representation. NULL slots
+  /// hold placeholders — consult IsNull first.
+  const std::vector<int64_t>& i64() const { return i64_; }
+  const std::vector<double>& f64() const { return f64_; }
+  const std::vector<std::string>& strs() const { return strs_; }
+  const std::vector<Value>& boxed() const { return boxed_; }
+
+  /// Boxes slot `i` back into a Value (identical to the source Value).
+  Value Get(size_t i) const;
+
+  // Batch append API (GPR-C410): the only way to grow a column, so the
+  // value buffer and the null bitmap advance together.
+  void AppendNull();
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+  /// Dispatches on the value's type; CHECKs it fits the representation
+  /// (anything fits kBoxed, NULL fits everything).
+  void Append(const Value& v);
+
+  void Reserve(size_t n);
+
+ private:
+  void GrowBitmap(bool null);
+
+  Rep rep_;
+  size_t size_ = 0;
+  size_t null_count_ = 0;
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<std::string> strs_;
+  std::vector<Value> boxed_;
+  std::vector<uint8_t> null_bits_;  // bit i of word i>>3, 1 = NULL
+};
+
+/// A full columnar image: one ColumnVec per schema column, all the same
+/// length. Built via FromRows (which classifies each column's
+/// representation over the actual values) or grown row-wise through
+/// AppendRow.
+class ColumnStore {
+ public:
+  ColumnStore() = default;
+
+  /// Classifies and fills one column per schema entry. A column whose
+  /// non-null values are uniformly int64 / double / string gets the
+  /// corresponding unboxed representation; anything mixed falls back to
+  /// kBoxed. Empty or all-NULL columns classify as kInt64.
+  static ColumnStore FromRows(const Schema& schema,
+                              const std::vector<Tuple>& rows);
+
+  /// An empty store with pre-chosen column representations (for builders
+  /// that know their output types, e.g. the vectorized projection).
+  static ColumnStore WithReps(const std::vector<ColumnVec::Rep>& reps);
+
+  size_t NumRows() const { return num_rows_; }
+  size_t NumColumns() const { return cols_.size(); }
+  const ColumnVec& column(size_t c) const { return cols_[c]; }
+  ColumnVec* mutable_column(size_t c) { return &cols_[c]; }
+
+  /// Appends one row across all columns (batch API — keeps every column
+  /// and its null bitmap in sync). Arity must match.
+  void AppendRow(const Tuple& row);
+  /// Called by builders that appended to the columns directly through the
+  /// ColumnVec batch API; CHECKs all columns reached the same length.
+  void FinishRows();
+
+  /// Boxes row `i` back into `out` (cleared and refilled).
+  void MaterializeRow(size_t i, Tuple* out) const;
+
+  void Reserve(size_t n);
+
+ private:
+  size_t num_rows_ = 0;
+  std::vector<ColumnVec> cols_;
+};
+
+}  // namespace gpr::ra

@@ -6,6 +6,7 @@
 
 #include "exec/exec_context.h"
 #include "exec/thread_pool.h"
+#include "ra/column.h"
 #include "ra/plan_cache.h"
 #include "ra/tuple.h"
 
@@ -74,6 +75,18 @@ Result<std::shared_ptr<const CsrMatrix>> BuildCsr(const Table& m,
   std::vector<uint32_t> row_of(n);
   std::vector<uint32_t> col_of(n);
   std::vector<uint32_t> degree;
+  // With vectorize on (ctx->vectors set, ra/vectorized.h), classify and
+  // read the weight column through the table's typed column store
+  // (ra/column.h) instead of per-row boxed reads — value-identical by
+  // construction, since the store is built from these very rows.
+  const ColumnVec* wvec = nullptr;
+  if (ctx != nullptr && ctx->vectors != nullptr) {
+    const ColumnVec& c = m.columns().column(weight_idx);
+    if (!c.has_nulls() && (c.rep() == ColumnVec::Rep::kInt64 ||
+                           c.rep() == ColumnVec::Rep::kDouble)) {
+      wvec = &c;
+    }
+  }
   bool all_int = true;
   bool all_double = true;
   for (size_t i = 0; i < n; ++i) {
@@ -89,9 +102,17 @@ Result<std::shared_ptr<const CsrMatrix>> BuildCsr(const Table& m,
         r[col_idx], static_cast<uint32_t>(csr->col_values.size()));
     if (cins) csr->col_values.push_back(r[col_idx]);
     col_of[i] = cit->second;
-    const Value& w = r[weight_idx];
-    all_int = all_int && w.is_int64();
-    all_double = all_double && w.is_double();
+    if (wvec == nullptr) {
+      const Value& w = r[weight_idx];
+      all_int = all_int && w.is_int64();
+      all_double = all_double && w.is_double();
+    }
+  }
+  if (wvec != nullptr) {
+    // A null-free kInt64/kDouble column is exactly an all-int64 /
+    // all-double weight set — the per-row scan would conclude the same.
+    all_int = wvec->rep() == ColumnVec::Rep::kInt64;
+    all_double = wvec->rep() == ColumnVec::Rep::kDouble;
   }
   csr->wclass = all_int      ? CsrMatrix::WeightClass::kInt64
                 : all_double ? CsrMatrix::WeightClass::kDouble
@@ -119,13 +140,23 @@ Result<std::shared_ptr<const CsrMatrix>> BuildCsr(const Table& m,
     const uint32_t e = cursor[row_of[i]]++;
     csr->col_ids[e] = col_of[i];
     csr->src_rows[e] = static_cast<uint32_t>(i);
-    const Value& w = m.row(i)[weight_idx];
-    switch (csr->wclass) {
-      case CsrMatrix::WeightClass::kInt64: csr->iweights[e] = w.AsInt64(); break;
-      case CsrMatrix::WeightClass::kDouble:
-        csr->dweights[e] = w.AsDouble();
-        break;
-      case CsrMatrix::WeightClass::kBoxed: csr->vweights[e] = w; break;
+    if (wvec != nullptr) {
+      if (csr->wclass == CsrMatrix::WeightClass::kInt64) {
+        csr->iweights[e] = wvec->i64()[i];
+      } else {
+        csr->dweights[e] = wvec->f64()[i];
+      }
+    } else {
+      const Value& w = m.row(i)[weight_idx];
+      switch (csr->wclass) {
+        case CsrMatrix::WeightClass::kInt64:
+          csr->iweights[e] = w.AsInt64();
+          break;
+        case CsrMatrix::WeightClass::kDouble:
+          csr->dweights[e] = w.AsDouble();
+          break;
+        case CsrMatrix::WeightClass::kBoxed: csr->vweights[e] = w; break;
+      }
     }
   }
   return std::shared_ptr<const CsrMatrix>(std::move(csr));
@@ -233,20 +264,41 @@ Result<Table> SpmvKernel(const CsrMatrix& csr, const Table& m,
                : Mode::kDouble;
   }
 
-  // Gather the matched v weights unboxed, aligned with `vrows`.
+  // Gather the matched v weights unboxed, aligned with `vrows`. With
+  // vectorize on, read straight out of v's typed column store instead of
+  // chasing boxed rows — same values (the store mirrors the rows), and
+  // the matched-row typing already proved the reads well-formed.
+  const ColumnVec* vwvec = nullptr;
+  if (ctx != nullptr && ctx->vectors != nullptr) {
+    const ColumnVec& c = v.columns().column(vw_idx);
+    if (!c.has_nulls() && (c.rep() == ColumnVec::Rep::kInt64 ||
+                           c.rep() == ColumnVec::Rep::kDouble)) {
+      vwvec = &c;
+    }
+  }
   std::vector<int64_t> viw;
   std::vector<double> vdw;
   if (mode == Mode::kInt64) {
     viw.resize(vrows.size());
+    const bool typed = vwvec != nullptr &&
+                       vwvec->rep() == ColumnVec::Rep::kInt64;
     for (size_t k = 0; k < vrows.size(); ++k) {
       GPR_RETURN_NOT_OK(PollEvery(ctx, k, "mv_kernel"));
-      viw[k] = v.row(vrows[k])[vw_idx].AsInt64();
+      viw[k] = typed ? vwvec->i64()[vrows[k]]
+                     : v.row(vrows[k])[vw_idx].AsInt64();
     }
   } else if (mode == Mode::kDouble) {
     vdw.resize(vrows.size());
+    const bool typed_int = vwvec != nullptr &&
+                           vwvec->rep() == ColumnVec::Rep::kInt64;
     for (size_t k = 0; k < vrows.size(); ++k) {
       GPR_RETURN_NOT_OK(PollEvery(ctx, k, "mv_kernel"));
-      vdw[k] = v.row(vrows[k])[vw_idx].ToDouble();
+      if (vwvec != nullptr) {
+        vdw[k] = typed_int ? static_cast<double>(vwvec->i64()[vrows[k]])
+                           : vwvec->f64()[vrows[k]];
+      } else {
+        vdw[k] = v.row(vrows[k])[vw_idx].ToDouble();
+      }
     }
   }
 
@@ -428,6 +480,16 @@ Result<Table> SpmmKernel(const CsrMatrix& csr, const Table& a,
   std::unordered_map<Tuple, size_t, TupleHash, TupleEq> cell_pos;
   std::vector<Tuple> cell_keys;
   std::vector<Accumulator> accs;
+  // With vectorize on, read A's weight through its typed column store and
+  // the edge weight from the CSR's unboxed array (BuildCsr filled it from
+  // the same source row) — value-identical to the boxed row reads.
+  const ColumnVec* awvec = nullptr;
+  if (ctx != nullptr && ctx->vectors != nullptr) {
+    const ColumnVec& c = a.columns().column(a_weight_idx);
+    if (c.rep() != ColumnVec::Rep::kBoxed) awvec = &c;
+  }
+  const bool edge_typed = ctx != nullptr && ctx->vectors != nullptr &&
+                          csr.wclass != CsrMatrix::WeightClass::kBoxed;
   exec::ExecContext* gov = ctx != nullptr ? ctx->exec : nullptr;
   const size_t stride = ctx != nullptr ? ctx->poll_stride : 8192;
   Tuple operand(2);
@@ -442,7 +504,7 @@ Result<Table> SpmmKernel(const CsrMatrix& csr, const Table& a,
     if (rit == csr.row_index.end()) continue;
     const uint32_t eb = csr.offsets[rit->second];
     const uint32_t ee = csr.offsets[rit->second + 1];
-    operand[0] = ar[a_weight_idx];
+    operand[0] = awvec != nullptr ? awvec->Get(i) : ar[a_weight_idx];
     for (uint32_t e = eb; e < ee; ++e) {
       if (gov != nullptr && ++products % stride == 0) {
         GPR_RETURN_NOT_OK(gov->Poll("mm_kernel"));
@@ -455,7 +517,7 @@ Result<Table> SpmmKernel(const CsrMatrix& csr, const Table& a,
         cell_keys.push_back(key);
         accs.emplace_back(add);
       }
-      operand[1] = br[b_weight_idx];
+      operand[1] = edge_typed ? EdgeWeight(csr, e) : br[b_weight_idx];
       accs[it->second].Add(mult.Eval(operand, ctx));
     }
   }

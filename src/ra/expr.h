@@ -27,6 +27,7 @@ namespace gpr::ra {
 
 class PlanCache;
 struct KernelCounters;
+struct VectorCounters;
 
 enum class ExprKind { kColumn, kLiteral, kBinary, kUnary, kCall };
 
@@ -131,6 +132,11 @@ struct EvalContext {
   /// Doubles as the kernel knob: non-null = the aggregate-joins may take
   /// the CSR SpMV/SpMM path, null = generic paths only.
   KernelCounters* kernels = nullptr;
+  /// Vectorized-execution observability (ra/vectorized.h), owned by the
+  /// fixpoint driver. Doubles as the vectorize knob, mirroring `kernels`:
+  /// non-null = the hot operators may run over column batches when the
+  /// shape binds, null = row-at-a-time only (the differential oracle).
+  VectorCounters* vectors = nullptr;
   /// Statically-proven plan facts (analysis/plan_facts.h), keyed by plan
   /// node identity; null = facts off. Owned by the fixpoint driver for the
   /// duration of one query. The plan executor consults it to skip work
@@ -160,9 +166,6 @@ class CompiledExpr {
   /// every DOP reproduces the seeded sequence exactly.
   bool deterministic() const { return deterministic_; }
 
- private:
-  friend Result<CompiledExpr> Compile(const ExprPtr&, const Schema&);
-
   struct Node {
     ExprKind kind;
     size_t column_index = 0;
@@ -173,6 +176,17 @@ class CompiledExpr {
     std::vector<int> children;
     ValueType type = ValueType::kNull;
   };
+
+  /// Read-only view of the lowered node array for the vectorized batch
+  /// evaluator (ra/vectorized.cc), which compiles its own typed program
+  /// from these nodes against a table's column representations. The static
+  /// `type` tags are advisory (the engine is dynamically typed); the batch
+  /// evaluator keys off column representations instead.
+  const std::vector<Node>& nodes() const { return nodes_; }
+  int root() const { return root_; }
+
+ private:
+  friend Result<CompiledExpr> Compile(const ExprPtr&, const Schema&);
 
   Value EvalNode(int id, const Tuple& row, EvalContext* ctx) const;
 

@@ -6,85 +6,16 @@
 
 #include "exec/exec_context.h"
 #include "exec/thread_pool.h"
+#include "ra/morsel.h"
 #include "ra/plan_cache.h"
+#include "ra/vectorized.h"
 
 namespace gpr::ra::ops {
 namespace {
 
-/// Cooperative governance inside long row loops: every poll_stride rows
-/// (EvalContext::poll_stride, default kPollStride) the operator consults
-/// the execution governor so cancellation and deadlines can interrupt a
-/// large materialization mid-flight rather than only at operator
-/// boundaries. Ungoverned runs pay two compares per row.
-constexpr size_t kPollStride = 8192;
-
-inline Status PollGovernor(EvalContext* ctx, size_t counter,
-                           const char* site) {
-  if (ctx != nullptr && ctx->exec != nullptr &&
-      counter % ctx->poll_stride == ctx->poll_stride - 1) {
-    return ctx->exec->Poll(site);
-  }
-  return Status::OK();
-}
-
-/// Morsel-driven parallelism (docs/performance.md). A DOP above 1 splits
-/// the long row loops into numbered morsels executed on exec::ThreadPool;
-/// each morsel fills a private output slot and the slots are spliced in
-/// morsel order, so the result is byte-identical to the serial loop. The
-/// decomposition depends only on (rows, dop) — never on the machine.
-inline int EffectiveDop(const EvalContext* ctx) {
-  return ctx == nullptr || ctx->dop < 1 ? 1 : ctx->dop;
-}
-
-/// EffectiveDop gated by the parallel-admission threshold
-/// (exec::AdmittedDop): inputs under ctx->min_parallel_rows run serial at
-/// any DOP — morsel dispatch on tiny inputs costs more than it saves
-/// (docs/performance.md). A null ctx admits everything, preserving the
-/// plain EffectiveDop behaviour.
-inline int AdmitDop(const EvalContext* ctx, size_t rows) {
-  return exec::AdmittedDop(rows, EffectiveDop(ctx),
-                           ctx == nullptr ? 0 : ctx->min_parallel_rows);
-}
-
-/// Morsel size: kPollStride rows at scale, shrinking on small inputs so a
-/// DOP-parallel run over a tiny table still splits into `dop` morsels
-/// (what the determinism tests exercise).
-inline size_t MorselRowsFor(size_t rows, int dop) {
-  const size_t per_worker = (rows + dop - 1) / static_cast<size_t>(dop);
-  return std::clamp<size_t>(per_worker, 1, kPollStride);
-}
-
-/// Runs `morsel(index, begin, end)` for every morsel of [0, rows) with up
-/// to `dop` threads, polling the governor once per morsel so cancellation
-/// and deadlines keep the serial poll cadence or better. The first failed
-/// morsel's status is returned (lowest index — same as the serial loop).
-template <typename Fn>
-Status RunMorsels(EvalContext* ctx, size_t rows, int dop, const char* site,
-                  const Fn& morsel) {
-  const size_t morsel_rows = MorselRowsFor(rows, dop);
-  const size_t num_morsels = exec::NumMorsels(rows, morsel_rows);
-  exec::ExecContext* gov = ctx != nullptr ? ctx->exec : nullptr;
-  return exec::ThreadPool::Global().RunTasks(
-      num_morsels, static_cast<size_t>(dop), [&](size_t m) -> Status {
-        if (gov != nullptr) {
-          GPR_RETURN_NOT_OK(gov->Poll(site));
-        }
-        const size_t begin = m * morsel_rows;
-        const size_t end = std::min(rows, begin + morsel_rows);
-        return morsel(m, begin, end);
-      });
-}
-
-/// Moves per-morsel output buffers into `out` in morsel order.
-void SpliceInto(std::vector<std::vector<Tuple>>& parts, Table* out) {
-  size_t total = 0;
-  for (const auto& part : parts) total += part.size();
-  out->Reserve(out->NumRows() + total);
-  for (auto& part : parts) {
-    for (Tuple& t : part) out->AddRow(std::move(t));
-    part.clear();
-  }
-}
+// The poll / morsel helpers (PollGovernor, AdmitDop, RunMorsels,
+// SpliceInto, ...) live in ra/morsel.h, shared with the vectorized batch
+// path so both execute under identical admission and cadence rules.
 
 using RowSet = std::unordered_set<Tuple, TupleHash, TupleEq>;
 using RowMultiMap =
@@ -179,6 +110,11 @@ const char* JoinAlgorithmName(JoinAlgorithm a) {
 Result<Table> Select(const Table& in, const ExprPtr& pred, EvalContext* ctx) {
   GPR_ASSIGN_OR_RETURN(CompiledExpr p, Compile(pred, in.schema()));
   Table out(in.name(), in.schema());
+  if (vec::Enabled(ctx)) {
+    GPR_ASSIGN_OR_RETURN(bool done, vec::TrySelect(in, p, ctx, &out));
+    if (done) return out;
+    vec::CountFallback(ctx);
+  }
   const size_t n = in.NumRows();
   const int dop = AdmitDop(ctx, n);
   if (dop > 1 && n > 1 && p.deterministic()) {
@@ -217,6 +153,11 @@ Result<Table> Project(const Table& in, const std::vector<ProjectItem>& items,
   }
   Table out(out_name.empty() ? in.name() : std::move(out_name),
             Schema(std::move(cols)));
+  if (vec::Enabled(ctx)) {
+    GPR_ASSIGN_OR_RETURN(bool done, vec::TryProject(in, exprs, ctx, &out));
+    if (done) return out;
+    vec::CountFallback(ctx);
+  }
   const size_t n = in.NumRows();
   const int dop = AdmitDop(ctx, n);
   const bool deterministic =
@@ -382,6 +323,18 @@ Result<Table> HashJoinImpl(const Table& l, const Table& r,
   const HashIndex* index = r.hash_index();
   const bool index_usable =
       index != nullptr && index->key_cols() == plan.rkeys;
+
+  // Vectorized fast path: serial single-int64-key probe over column
+  // batches, residual-free (a residual would re-box every joined row
+  // anyway). An existing hash index already gives the row path an unboxed
+  // probe, so it keeps precedence.
+  if (vec::Enabled(ctx) && !res && !index_usable) {
+    GPR_ASSIGN_OR_RETURN(
+        bool done, vec::TryHashJoin(l, r, plan.lkeys, plan.rkeys, cache_build,
+                                    ctx, &out));
+    if (done) return out;
+    vec::CountFallback(ctx);
+  }
 
   // Build side. Serial: one map. Parallel: radix-style two-stage build —
   // morsels bucket right-row indexes by hash partition, then partition p
@@ -809,6 +762,13 @@ Result<Table> GroupBy(const Table& in,
     out_cols.push_back({aggs[i].out_name, t});
   }
   Table out("", Schema(std::move(out_cols)));
+
+  if (vec::Enabled(ctx) && !gidx.empty()) {
+    GPR_ASSIGN_OR_RETURN(bool done,
+                         vec::TryGroupBy(in, gidx, aggs, args, ctx, &out));
+    if (done) return out;
+    vec::CountFallback(ctx);
+  }
 
   const size_t n = in.NumRows();
   const int dop = AdmitDop(ctx, n);

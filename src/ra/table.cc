@@ -55,7 +55,25 @@ void Table::Clear() {
   rows_.clear();
   ResetIndexes();
   stats_.present = false;
+  columns_.reset();  // version bump would invalidate it anyway; free now
   BumpVersion();
+}
+
+const ColumnStore& Table::columns() const {
+  if (!columns_ || columns_version_ != version_) {
+    columns_ = std::make_shared<const ColumnStore>(
+        ColumnStore::FromRows(schema_, rows_));
+    columns_version_ = version_;
+  }
+  return *columns_;
+}
+
+void Table::AdoptColumns(std::shared_ptr<const ColumnStore> cols) {
+  GPR_CHECK(cols != nullptr);
+  GPR_CHECK_EQ(cols->NumRows(), rows_.size());
+  GPR_CHECK_EQ(cols->NumColumns(), schema_.NumColumns());
+  columns_ = std::move(cols);
+  columns_version_ = version_;
 }
 
 Status Table::BuildHashIndex(const std::vector<std::string>& cols) {

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ra/column.h"
 #include "ra/schema.h"
 #include "ra/tuple.h"
 #include "util/status.h"
@@ -96,6 +97,8 @@ class Table {
       rows_ = other.rows_;
       ResetIndexes();
       stats_ = TableStats{};
+      columns_.reset();
+      columns_version_ = 0;
       version_ = NextTableVersion();
     }
     return *this;
@@ -158,6 +161,19 @@ class Table {
   const TableStats& stats() const { return stats_; }
   void InvalidateStats() { stats_.present = false; }
 
+  /// Typed columnar image of the current contents, built lazily and cached
+  /// per content version (same discipline as the CSR layout: a stale image
+  /// is detected by version mismatch and rebuilt from rows). Not
+  /// thread-safe against concurrent first calls — the vectorized operators
+  /// materialize it on the coordinating thread before fanning out.
+  const ColumnStore& columns() const;
+
+  /// Installs a columnar image a builder produced alongside the rows, so
+  /// the next columns() call needn't re-derive it. Must describe exactly
+  /// the current rows (arity and row count are CHECKed); call only after
+  /// the final row mutation of the producing operator.
+  void AdoptColumns(std::shared_ptr<const ColumnStore> cols);
+
   /// Sorts rows lexicographically (used for deterministic output/tests).
   void SortRows();
 
@@ -185,6 +201,11 @@ class Table {
   std::unique_ptr<HashIndex> hash_index_;
   std::unique_ptr<SortIndex> sort_index_;
   TableStats stats_;
+  // Lazily cached columnar image (see columns()); valid only while
+  // columns_version_ == version_. Copies deliberately do not carry it —
+  // the copy's fresh version would invalidate it anyway.
+  mutable std::shared_ptr<const ColumnStore> columns_;
+  mutable uint64_t columns_version_ = 0;
   uint64_t version_ = NextTableVersion();
 };
 

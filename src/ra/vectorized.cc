@@ -1,0 +1,839 @@
+#include "ra/vectorized.h"
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "exec/exec_context.h"
+#include "ra/morsel.h"
+#include "ra/plan_cache.h"
+
+namespace gpr::ra::vec {
+namespace {
+
+/// One governor poll per column batch. A batch is kVectorBatchRows = 2048
+/// rows, at or under the morsel-granular cadence the row path's parallel
+/// legs already use (morsels are at most kPollStride = 8192 rows), so
+/// cancellation and deadline latency stay bounded at least as tightly as
+/// on the row path. Poll() carries no fault injection — only Checkpoint()
+/// does — so the differing poll count cannot perturb fault determinism.
+Status PollBatch(EvalContext* ctx, const char* site) {
+  if (ctx != nullptr && ctx->exec != nullptr) {
+    return ctx->exec->Poll(site);
+  }
+  return Status::OK();
+}
+
+void CountBatches(EvalContext* ctx, size_t batches) {
+  if (ctx != nullptr && ctx->vectors != nullptr) {
+    ctx->vectors->vector_batches += batches;
+  }
+}
+
+/// The per-batch result of one expression node: an unboxed int64 or
+/// double payload plus a byte-per-row null mask. NULL slots carry
+/// placeholder payloads and must never be read without consulting the
+/// mask. The int64 tag doubles as the three-valued boolean carrier
+/// (0 / 1 / NULL), matching the row evaluator's Int64 booleans.
+struct Vec {
+  bool is_f64 = false;
+  std::vector<int64_t> i;
+  std::vector<double> d;
+  std::vector<uint8_t> null;  // 1 = NULL
+
+  void Resize(size_t n, bool f64) {
+    is_f64 = f64;
+    if (f64) {
+      d.resize(n);
+    } else {
+      i.resize(n);
+    }
+    null.assign(n, 0);
+  }
+  double F64At(size_t k) const {
+    return is_f64 ? d[k] : static_cast<double>(i[k]);
+  }
+};
+
+/// Three-valued truth of a (numeric) vec slot, replicating TruthOf: a
+/// non-null slot is true iff its numeric value is non-zero. Batch vecs are
+/// always numeric — string columns never enter the batchable subset except
+/// through the fused null tests, which produce Int64 vecs.
+inline bool Truthy(const Vec& v, size_t k) {
+  return v.is_f64 ? v.d[k] != 0.0 : v.i[k] != 0;
+}
+
+/// A CompiledExpr lowered against one table's column representations into
+/// straight-line batch steps. Binding fails (returns false) whenever a
+/// node falls outside the batchable subset: string/boxed columns (except
+/// directly under IS [NOT] NULL, which reads the null bitmap), string
+/// literals, and function calls. The batchable subset is deterministic by
+/// construction (rand() is a call), so batch evaluation of and/or without
+/// short-circuiting is observationally identical to the row evaluator's
+/// Kleene short-circuit.
+class BatchProgram {
+ public:
+  bool Bind(const CompiledExpr& expr, const ColumnStore& store);
+
+  /// Evaluates rows [begin, end) of `store`; scratch must hold
+  /// num_steps() vecs (reused across batches and private per worker).
+  void Run(const ColumnStore& store, size_t begin, size_t end,
+           std::vector<Vec>* scratch) const;
+
+  size_t num_steps() const { return steps_.size(); }
+  const Vec& Root(const std::vector<Vec>& scratch) const {
+    return scratch[root_];
+  }
+  /// Whether the root produces doubles (known statically from the column
+  /// representations — used to pick output column representations).
+  bool root_is_f64() const { return steps_[root_].is_f64; }
+
+ private:
+  struct Step {
+    enum class Op {
+      kSkip,         // column consumed only by a fused null test
+      kLoadColumn,   // unbox an int64/double column slice
+      kLiteral,      // splat a constant
+      kArith,        // + - * / %
+      kCompare,      // = <> < <= > >=
+      kAndOr,        // Kleene and/or
+      kNot,
+      kNeg,
+      kIsNull,       // null mask of an evaluated child
+      kNullTestCol,  // IS [NOT] NULL fused onto a column's bitmap
+    };
+    Op op = Op::kSkip;
+    bool is_f64 = false;  // result representation
+    size_t col = 0;
+    bool lit_null = false;
+    int64_t lit_i = 0;
+    double lit_d = 0;
+    BinaryOp bin = BinaryOp::kAdd;
+    bool negate = false;  // kNullTestCol / kIsNull: IS NOT NULL
+    int c0 = -1;
+    int c1 = -1;
+  };
+
+  std::vector<Step> steps_;
+  int root_ = -1;
+};
+
+bool BatchProgram::Bind(const CompiledExpr& expr, const ColumnStore& store) {
+  const auto& nodes = expr.nodes();
+  steps_.assign(nodes.size(), Step{});
+  root_ = expr.root();
+  // Mark columns consumed only through IS [NOT] NULL: those read the
+  // bitmap directly and may be of any representation.
+  std::vector<uint8_t> fused(nodes.size(), 0);
+  for (const auto& n : nodes) {
+    if (n.kind == ExprKind::kUnary &&
+        (n.un_op == UnaryOp::kIsNull || n.un_op == UnaryOp::kIsNotNull) &&
+        nodes[n.children[0]].kind == ExprKind::kColumn) {
+      fused[n.children[0]] = 1;
+    }
+  }
+  for (size_t id = 0; id < nodes.size(); ++id) {
+    const auto& n = nodes[id];
+    Step& s = steps_[id];
+    switch (n.kind) {
+      case ExprKind::kColumn: {
+        const ColumnVec::Rep rep = store.column(n.column_index).rep();
+        if (rep != ColumnVec::Rep::kInt64 && rep != ColumnVec::Rep::kDouble) {
+          if (!fused[id]) return false;
+          s.op = Step::Op::kSkip;  // only its bitmap is ever read
+          s.col = n.column_index;
+          break;
+        }
+        s.op = Step::Op::kLoadColumn;
+        s.col = n.column_index;
+        s.is_f64 = rep == ColumnVec::Rep::kDouble;
+        break;
+      }
+      case ExprKind::kLiteral:
+        s.op = Step::Op::kLiteral;
+        if (n.literal.is_null()) {
+          s.lit_null = true;
+        } else if (n.literal.is_int64()) {
+          s.lit_i = n.literal.AsInt64();
+        } else if (n.literal.is_double()) {
+          s.is_f64 = true;
+          s.lit_d = n.literal.AsDouble();
+        } else {
+          return false;  // string literal
+        }
+        break;
+      case ExprKind::kBinary: {
+        s.bin = n.bin_op;
+        s.c0 = n.children[0];
+        s.c1 = n.children[1];
+        const Step& l = steps_[s.c0];
+        const Step& r = steps_[s.c1];
+        if (l.op == Step::Op::kSkip || r.op == Step::Op::kSkip) return false;
+        switch (n.bin_op) {
+          case BinaryOp::kAdd:
+          case BinaryOp::kSub:
+          case BinaryOp::kMul:
+          case BinaryOp::kMod:
+            s.op = Step::Op::kArith;
+            s.is_f64 = l.is_f64 || r.is_f64;
+            break;
+          case BinaryOp::kDiv:
+            s.op = Step::Op::kArith;
+            s.is_f64 = true;
+            break;
+          case BinaryOp::kAnd:
+          case BinaryOp::kOr:
+            s.op = Step::Op::kAndOr;
+            break;
+          default:
+            s.op = Step::Op::kCompare;
+        }
+        break;
+      }
+      case ExprKind::kUnary: {
+        s.c0 = n.children[0];
+        const Step& c = steps_[s.c0];
+        switch (n.un_op) {
+          case UnaryOp::kNot:
+            if (c.op == Step::Op::kSkip) return false;
+            s.op = Step::Op::kNot;
+            break;
+          case UnaryOp::kNeg:
+            if (c.op == Step::Op::kSkip) return false;
+            s.op = Step::Op::kNeg;
+            s.is_f64 = c.is_f64;
+            break;
+          case UnaryOp::kIsNull:
+          case UnaryOp::kIsNotNull:
+            s.negate = n.un_op == UnaryOp::kIsNotNull;
+            if (nodes[s.c0].kind == ExprKind::kColumn) {
+              s.op = Step::Op::kNullTestCol;
+              s.col = nodes[s.c0].column_index;
+            } else {
+              if (c.op == Step::Op::kSkip) return false;
+              s.op = Step::Op::kIsNull;
+            }
+            break;
+        }
+        break;
+      }
+      case ExprKind::kCall:
+        return false;
+    }
+  }
+  return true;
+}
+
+void BatchProgram::Run(const ColumnStore& store, size_t begin, size_t end,
+                       std::vector<Vec>* scratch) const {
+  const size_t n = end - begin;
+  for (size_t id = 0; id < steps_.size(); ++id) {
+    const Step& s = steps_[id];
+    Vec& out = (*scratch)[id];
+    switch (s.op) {
+      case Step::Op::kSkip:
+        break;
+      case Step::Op::kLoadColumn: {
+        const ColumnVec& col = store.column(s.col);
+        out.Resize(n, s.is_f64);
+        if (s.is_f64) {
+          std::memcpy(out.d.data(), col.f64().data() + begin,
+                      n * sizeof(double));
+        } else {
+          std::memcpy(out.i.data(), col.i64().data() + begin,
+                      n * sizeof(int64_t));
+        }
+        if (col.has_nulls()) {
+          for (size_t k = 0; k < n; ++k) {
+            out.null[k] = col.IsNull(begin + k) ? 1 : 0;
+          }
+        }
+        break;
+      }
+      case Step::Op::kLiteral:
+        out.Resize(n, s.is_f64);
+        if (s.lit_null) {
+          std::fill(out.null.begin(), out.null.end(), uint8_t{1});
+        } else if (s.is_f64) {
+          std::fill(out.d.begin(), out.d.end(), s.lit_d);
+        } else {
+          std::fill(out.i.begin(), out.i.end(), s.lit_i);
+        }
+        break;
+      case Step::Op::kArith: {
+        const Vec& l = (*scratch)[s.c0];
+        const Vec& r = (*scratch)[s.c1];
+        out.Resize(n, s.is_f64);
+        if (!s.is_f64) {
+          // Both sides integral and op != div: integer arithmetic, with
+          // mod-by-zero yielding NULL — exactly NumericBinary's integral
+          // branch. Placeholder payloads under NULL slots are zero, so
+          // the unguarded ops are safe; mod guards explicitly.
+          switch (s.bin) {
+            case BinaryOp::kAdd:
+              for (size_t k = 0; k < n; ++k) out.i[k] = l.i[k] + r.i[k];
+              break;
+            case BinaryOp::kSub:
+              for (size_t k = 0; k < n; ++k) out.i[k] = l.i[k] - r.i[k];
+              break;
+            case BinaryOp::kMul:
+              for (size_t k = 0; k < n; ++k) out.i[k] = l.i[k] * r.i[k];
+              break;
+            case BinaryOp::kMod:
+              for (size_t k = 0; k < n; ++k) {
+                if (r.i[k] == 0) {
+                  out.null[k] = 1;
+                } else {
+                  out.i[k] = l.i[k] % r.i[k];
+                }
+              }
+              break;
+            default:
+              break;
+          }
+          for (size_t k = 0; k < n; ++k) {
+            out.null[k] |= l.null[k] | r.null[k];
+          }
+          break;
+        }
+        // Double branch of NumericBinary: either side double (or division).
+        for (size_t k = 0; k < n; ++k) {
+          const double a = l.F64At(k);
+          const double b = r.F64At(k);
+          switch (s.bin) {
+            case BinaryOp::kAdd: out.d[k] = a + b; break;
+            case BinaryOp::kSub: out.d[k] = a - b; break;
+            case BinaryOp::kMul: out.d[k] = a * b; break;
+            case BinaryOp::kDiv:
+              if (b == 0.0) {
+                out.null[k] = 1;
+              } else {
+                out.d[k] = a / b;
+              }
+              break;
+            case BinaryOp::kMod:
+              if (b == 0.0) {
+                out.null[k] = 1;
+              } else {
+                out.d[k] = std::fmod(a, b);
+              }
+              break;
+            default:
+              break;
+          }
+          out.null[k] |= l.null[k] | r.null[k];
+        }
+        break;
+      }
+      case Step::Op::kCompare: {
+        const Vec& l = (*scratch)[s.c0];
+        const Vec& r = (*scratch)[s.c1];
+        out.Resize(n, false);
+        const bool both_int = !l.is_f64 && !r.is_f64;
+        for (size_t k = 0; k < n; ++k) {
+          if (l.null[k] || r.null[k]) {
+            out.null[k] = 1;
+            continue;
+          }
+          // Value::Compare's numeric branches: integer compare when both
+          // sides are Int64, else compare widened to double (NaN compares
+          // as equal, like the row path).
+          int c;
+          if (both_int) {
+            c = l.i[k] < r.i[k] ? -1 : (l.i[k] > r.i[k] ? 1 : 0);
+          } else {
+            const double a = l.F64At(k);
+            const double b = r.F64At(k);
+            c = a < b ? -1 : (a > b ? 1 : 0);
+          }
+          bool res = false;
+          switch (s.bin) {
+            case BinaryOp::kEq: res = c == 0; break;
+            case BinaryOp::kNe: res = c != 0; break;
+            case BinaryOp::kLt: res = c < 0; break;
+            case BinaryOp::kLe: res = c <= 0; break;
+            case BinaryOp::kGt: res = c > 0; break;
+            case BinaryOp::kGe: res = c >= 0; break;
+            default: break;
+          }
+          out.i[k] = res ? 1 : 0;
+        }
+        break;
+      }
+      case Step::Op::kAndOr: {
+        const Vec& l = (*scratch)[s.c0];
+        const Vec& r = (*scratch)[s.c1];
+        out.Resize(n, false);
+        const bool is_and = s.bin == BinaryOp::kAnd;
+        for (size_t k = 0; k < n; ++k) {
+          const bool ln = l.null[k] != 0;
+          const bool rn = r.null[k] != 0;
+          const bool lt = !ln && Truthy(l, k);
+          const bool rt = !rn && Truthy(r, k);
+          if (is_and) {
+            if ((!ln && !lt) || (!rn && !rt)) {
+              out.i[k] = 0;  // a definite false dominates
+            } else if (lt && rt) {
+              out.i[k] = 1;
+            } else {
+              out.null[k] = 1;
+            }
+          } else {
+            if (lt || rt) {
+              out.i[k] = 1;  // a definite true dominates
+            } else if (!ln && !rn) {
+              out.i[k] = 0;
+            } else {
+              out.null[k] = 1;
+            }
+          }
+        }
+        break;
+      }
+      case Step::Op::kNot: {
+        const Vec& c = (*scratch)[s.c0];
+        out.Resize(n, false);
+        for (size_t k = 0; k < n; ++k) {
+          if (c.null[k]) {
+            out.null[k] = 1;
+          } else {
+            out.i[k] = Truthy(c, k) ? 0 : 1;
+          }
+        }
+        break;
+      }
+      case Step::Op::kNeg: {
+        const Vec& c = (*scratch)[s.c0];
+        out.Resize(n, s.is_f64);
+        if (s.is_f64) {
+          for (size_t k = 0; k < n; ++k) out.d[k] = -c.d[k];
+        } else {
+          for (size_t k = 0; k < n; ++k) out.i[k] = -c.i[k];
+        }
+        for (size_t k = 0; k < n; ++k) out.null[k] = c.null[k];
+        break;
+      }
+      case Step::Op::kIsNull: {
+        const Vec& c = (*scratch)[s.c0];
+        out.Resize(n, false);
+        for (size_t k = 0; k < n; ++k) {
+          const bool isnull = c.null[k] != 0;
+          out.i[k] = (isnull != s.negate) ? 1 : 0;
+        }
+        break;
+      }
+      case Step::Op::kNullTestCol: {
+        const ColumnVec& col = store.column(s.col);
+        out.Resize(n, false);
+        for (size_t k = 0; k < n; ++k) {
+          const bool isnull = col.IsNull(begin + k);
+          out.i[k] = (isnull != s.negate) ? 1 : 0;
+        }
+        break;
+      }
+    }
+  }
+}
+
+/// Boxes one vec slot back into a Value; replicates the row evaluator's
+/// result types (Int64 booleans/integers, Double arithmetic).
+inline Value VecValue(const Vec& v, size_t k) {
+  if (v.null[k]) return Value::Null();
+  return v.is_f64 ? Value(v.d[k]) : Value(v.i[k]);
+}
+
+/// The plan cache to consult for an input (same gate as the row path: the
+/// caller marked the input cache-stable, a cache is live, and the table is
+/// named so its (name, version) identifies the artifact).
+PlanCache* CacheFor(EvalContext* ctx, bool stable, const Table& t) {
+  if (!stable || ctx == nullptr || ctx->cache == nullptr) return nullptr;
+  return t.name().empty() ? nullptr : ctx->cache;
+}
+
+Tuple ConcatRows(const Tuple& a, const Tuple& b) {
+  Tuple out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+/// Memoized unboxed hash-join build side: int64 key → right-row match
+/// list in increasing row order. The vectorized analogue of the row
+/// path's HashBuild, cached under "hjv:" instead of "hj:" so the two
+/// paths' artifacts never alias.
+struct Int64Build {
+  std::unordered_map<int64_t, std::vector<size_t>> map;
+};
+
+}  // namespace
+
+Result<bool> TrySelect(const Table& in, const CompiledExpr& pred,
+                       EvalContext* ctx, Table* out) {
+  const size_t n = in.NumRows();
+  const ColumnStore& store = in.columns();
+  BatchProgram prog;
+  if (!prog.Bind(pred, store)) return false;
+  const int dop = AdmitDop(ctx, n);
+  if (dop > 1 && n > 1) {
+    // Morsel-parallel: same decomposition as the row path, each morsel
+    // scanning its row range batch-wise and gathering survivors in order.
+    const size_t num_morsels = exec::NumMorsels(n, MorselRowsFor(n, dop));
+    std::vector<std::vector<Tuple>> parts(num_morsels);
+    std::vector<size_t> batch_counts(num_morsels, 0);
+    GPR_RETURN_NOT_OK(RunMorsels(
+        ctx, n, dop, "select", [&](size_t m, size_t begin, size_t end) {
+          std::vector<Tuple>& part = parts[m];
+          std::vector<Vec> scratch(prog.num_steps());
+          for (size_t b = begin; b < end; b += kVectorBatchRows) {
+            const size_t e = std::min(end, b + kVectorBatchRows);
+            prog.Run(store, b, e, &scratch);
+            const Vec& root = prog.Root(scratch);
+            for (size_t k = 0; k < e - b; ++k) {
+              if (!root.null[k] && Truthy(root, k)) {
+                part.push_back(in.row(b + k));
+              }
+            }
+            ++batch_counts[m];
+          }
+          return Status::OK();
+        }));
+    SpliceInto(parts, out);
+    size_t batches = 0;
+    for (size_t c : batch_counts) batches += c;
+    CountBatches(ctx, batches);
+    return true;
+  }
+  std::vector<Vec> scratch(prog.num_steps());
+  std::vector<Tuple> rows;
+  rows.reserve(n);
+  size_t batches = 0;
+  for (size_t b = 0; b < n; b += kVectorBatchRows) {
+    GPR_RETURN_NOT_OK(PollBatch(ctx, "select"));
+    const size_t e = std::min(n, b + kVectorBatchRows);
+    prog.Run(store, b, e, &scratch);
+    const Vec& root = prog.Root(scratch);
+    for (size_t k = 0; k < e - b; ++k) {
+      if (!root.null[k] && Truthy(root, k)) rows.push_back(in.row(b + k));
+    }
+    ++batches;
+  }
+  out->mutable_rows() = std::move(rows);
+  CountBatches(ctx, batches);
+  return true;
+}
+
+Result<bool> TryProject(const Table& in,
+                        const std::vector<CompiledExpr>& exprs,
+                        EvalContext* ctx, Table* out) {
+  const size_t n = in.NumRows();
+  if (exprs.empty()) return false;  // zero-column projection: oracle's edge
+  if (AdmitDop(ctx, n) > 1 && n > 1) return false;  // row path has the morsel leg
+  const ColumnStore& store = in.columns();
+  // Each output item is either a bare column passthrough (any
+  // representation, including string/boxed) or a batchable expression.
+  struct Item {
+    int passthrough = -1;  // input column index, or -1
+    BatchProgram prog;
+  };
+  std::vector<Item> items(exprs.size());
+  std::vector<ColumnVec::Rep> reps(exprs.size());
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    const auto& nodes = exprs[i].nodes();
+    const auto& root = nodes[exprs[i].root()];
+    if (root.kind == ExprKind::kColumn) {
+      items[i].passthrough = static_cast<int>(root.column_index);
+      reps[i] = store.column(root.column_index).rep();
+      continue;
+    }
+    if (!items[i].prog.Bind(exprs[i], store)) return false;
+    reps[i] = items[i].prog.root_is_f64() ? ColumnVec::Rep::kDouble
+                                          : ColumnVec::Rep::kInt64;
+  }
+  auto built = std::make_shared<ColumnStore>(ColumnStore::WithReps(reps));
+  built->Reserve(n);
+  std::vector<Vec> scratch;
+  size_t batches = 0;
+  for (size_t b = 0; b < n; b += kVectorBatchRows) {
+    GPR_RETURN_NOT_OK(PollBatch(ctx, "project"));
+    const size_t e = std::min(n, b + kVectorBatchRows);
+    for (size_t i = 0; i < items.size(); ++i) {
+      ColumnVec* col = built->mutable_column(i);
+      if (items[i].passthrough >= 0) {
+        const ColumnVec& src =
+            store.column(static_cast<size_t>(items[i].passthrough));
+        for (size_t r = b; r < e; ++r) col->Append(src.Get(r));
+        continue;
+      }
+      const BatchProgram& prog = items[i].prog;
+      if (scratch.size() < prog.num_steps()) scratch.resize(prog.num_steps());
+      prog.Run(store, b, e, &scratch);
+      const Vec& root = prog.Root(scratch);
+      for (size_t k = 0; k < e - b; ++k) {
+        if (root.null[k]) {
+          col->AppendNull();
+        } else if (root.is_f64) {
+          col->AppendDouble(root.d[k]);
+        } else {
+          col->AppendInt64(root.i[k]);
+        }
+      }
+    }
+    ++batches;
+  }
+  built->FinishRows();
+  std::vector<Tuple> rows(n);
+  for (size_t r = 0; r < n; ++r) built->MaterializeRow(r, &rows[r]);
+  out->mutable_rows() = std::move(rows);
+  out->AdoptColumns(std::move(built));
+  CountBatches(ctx, batches);
+  return true;
+}
+
+Result<bool> TryHashJoin(const Table& l, const Table& r,
+                         const std::vector<size_t>& lkeys,
+                         const std::vector<size_t>& rkeys, bool cache_build,
+                         EvalContext* ctx, Table* out) {
+  if (lkeys.size() != 1) return false;
+  if (AdmitDop(ctx, l.NumRows()) > 1 || AdmitDop(ctx, r.NumRows()) > 1) {
+    return false;  // the row path owns the morsel build/probe legs
+  }
+  const ColumnStore& lstore = l.columns();
+  const ColumnStore& rstore = r.columns();
+  const ColumnVec& lkey = lstore.column(lkeys[0]);
+  const ColumnVec& rkey = rstore.column(rkeys[0]);
+  if (lkey.rep() != ColumnVec::Rep::kInt64 ||
+      rkey.rep() != ColumnVec::Rep::kInt64) {
+    return false;
+  }
+  size_t batches = 0;
+  // Build side, memoized like the row path's HashBuild but with unboxed
+  // int64 keys; byte charge mirrors the row build's accounting shape.
+  PlanCache* cache = CacheFor(ctx, cache_build, r);
+  std::shared_ptr<const Int64Build> built;
+  std::string cache_key;
+  const uint64_t rversion = r.version();
+  if (cache != nullptr) {
+    cache_key = "hjv:" + r.name() + ":" + std::to_string(rkeys[0]);
+    built = cache->Lookup<Int64Build>(cache_key, rversion);
+  }
+  if (built == nullptr) {
+    auto fresh = std::make_shared<Int64Build>();
+    const size_t rn = r.NumRows();
+    fresh->map.reserve(rn);
+    for (size_t b = 0; b < rn; b += kVectorBatchRows) {
+      GPR_RETURN_NOT_OK(PollBatch(ctx, "join"));
+      const size_t e = std::min(rn, b + kVectorBatchRows);
+      for (size_t i = b; i < e; ++i) {
+        if (rkey.IsNull(i)) continue;  // NULL keys never match
+        fresh->map[rkey.i64()[i]].push_back(i);
+      }
+      ++batches;
+    }
+    if (cache != nullptr) {
+      const size_t bytes =
+          r.NumRows() * (sizeof(int64_t) + 2 * sizeof(size_t));
+      GPR_RETURN_NOT_OK(
+          cache->Insert<Int64Build>(cache_key, rversion, fresh, bytes));
+    }
+    built = std::move(fresh);
+  }
+  // Probe in l-row order; per-key match lists are in increasing r-row
+  // order, so output order matches the row path exactly.
+  const size_t ln = l.NumRows();
+  std::vector<Tuple> rows;
+  for (size_t b = 0; b < ln; b += kVectorBatchRows) {
+    GPR_RETURN_NOT_OK(PollBatch(ctx, "join"));
+    const size_t e = std::min(ln, b + kVectorBatchRows);
+    for (size_t li = b; li < e; ++li) {
+      if (lkey.IsNull(li)) continue;
+      auto it = built->map.find(lkey.i64()[li]);
+      if (it == built->map.end()) continue;
+      const Tuple& lrow = l.row(li);
+      for (size_t ri : it->second) {
+        rows.push_back(ConcatRows(lrow, r.row(ri)));
+      }
+    }
+    ++batches;
+  }
+  out->mutable_rows() = std::move(rows);
+  CountBatches(ctx, batches);
+  return true;
+}
+
+Result<bool> TryGroupBy(const Table& in, const std::vector<size_t>& gidx,
+                        const std::vector<AggSpec>& aggs,
+                        const std::vector<std::optional<CompiledExpr>>& args,
+                        EvalContext* ctx, Table* out) {
+  const size_t n = in.NumRows();
+  if (gidx.size() != 1) return false;
+  if (AdmitDop(ctx, n) > 1 && n > 1) return false;  // row path partitions
+  const ColumnStore& store = in.columns();
+  const ColumnVec& key = store.column(gidx[0]);
+  if (key.rep() != ColumnVec::Rep::kInt64 || key.has_nulls()) return false;
+  // Aggregate arguments must be count(*) or bare int64/double columns.
+  struct AggCol {
+    int col = -1;  // -1 = count(*)
+    bool is_f64 = false;
+  };
+  std::vector<AggCol> acols(aggs.size());
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (!args[i]) {
+      // A missing argument is count(*); the row path feeds Value(1) into
+      // any kind, so a null-arg sum/avg/min/max would fold literal ones —
+      // leave that oddity to the oracle.
+      if (aggs[i].kind != AggKind::kCount) return false;
+      continue;
+    }
+    const auto& nodes = args[i]->nodes();
+    const auto& root = nodes[args[i]->root()];
+    if (root.kind != ExprKind::kColumn) return false;
+    const ColumnVec::Rep rep = store.column(root.column_index).rep();
+    if (rep != ColumnVec::Rep::kInt64 && rep != ColumnVec::Rep::kDouble) {
+      return false;
+    }
+    acols[i].col = static_cast<int>(root.column_index);
+    acols[i].is_f64 = rep == ColumnVec::Rep::kDouble;
+  }
+  // Typed accumulator state replicating Accumulator field-for-field:
+  // integer sums stay integral until the first double (never, on a typed
+  // column), double sums fold in row order from 0.0, min/max keep the
+  // first of ties (strict compare) with Compare's NaN behaviour.
+  struct TypedAcc {
+    bool seen = false;
+    int64_t count = 0;
+    int64_t isum = 0;
+    double dsum = 0;
+    bool has_best = false;
+    int64_t ibest = 0;
+    double dbest = 0;
+  };
+  std::unordered_map<int64_t, size_t> slots;
+  slots.reserve(64);
+  std::vector<int64_t> order;               // first-appearance key order
+  std::vector<std::vector<TypedAcc>> accs;  // per group, per aggregate
+  const std::vector<int64_t>& keys = key.i64();
+  size_t batches = 0;
+  for (size_t b = 0; b < n; b += kVectorBatchRows) {
+    GPR_RETURN_NOT_OK(PollBatch(ctx, "group_by"));
+    const size_t e = std::min(n, b + kVectorBatchRows);
+    for (size_t ri = b; ri < e; ++ri) {
+      auto [it, inserted] = slots.try_emplace(keys[ri], order.size());
+      if (inserted) {
+        order.push_back(keys[ri]);
+        accs.emplace_back(aggs.size());
+      }
+      std::vector<TypedAcc>& g = accs[it->second];
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        TypedAcc& a = g[i];
+        const AggCol& ac = acols[i];
+        if (ac.col < 0) {  // count(*): the row path feeds Value(1)
+          a.seen = true;
+          ++a.count;
+          continue;
+        }
+        const ColumnVec& col = store.column(static_cast<size_t>(ac.col));
+        if (col.has_nulls() && col.IsNull(ri)) continue;  // SQL: skip NULLs
+        a.seen = true;
+        ++a.count;
+        switch (aggs[i].kind) {
+          case AggKind::kSum:
+          case AggKind::kAvg:
+            if (ac.is_f64) {
+              a.dsum += col.f64()[ri];
+            } else {
+              a.isum += col.i64()[ri];
+            }
+            break;
+          case AggKind::kMin:
+            if (ac.is_f64) {
+              const double v = col.f64()[ri];
+              if (!a.has_best || v < a.dbest) {
+                a.dbest = v;
+                a.has_best = true;
+              }
+            } else {
+              const int64_t v = col.i64()[ri];
+              if (!a.has_best || v < a.ibest) {
+                a.ibest = v;
+                a.has_best = true;
+              }
+            }
+            break;
+          case AggKind::kMax:
+            if (ac.is_f64) {
+              const double v = col.f64()[ri];
+              if (!a.has_best || v > a.dbest) {
+                a.dbest = v;
+                a.has_best = true;
+              }
+            } else {
+              const int64_t v = col.i64()[ri];
+              if (!a.has_best || v > a.ibest) {
+                a.ibest = v;
+                a.has_best = true;
+              }
+            }
+            break;
+          case AggKind::kCount:
+            break;
+        }
+      }
+    }
+    ++batches;
+  }
+  std::vector<Tuple> rows;
+  rows.reserve(order.size());
+  for (size_t g = 0; g < order.size(); ++g) {
+    Tuple t;
+    t.reserve(1 + aggs.size());
+    t.push_back(Value(order[g]));
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      const TypedAcc& a = accs[g][i];
+      const AggCol& ac = acols[i];
+      switch (aggs[i].kind) {
+        case AggKind::kCount:
+          t.push_back(Value(a.count));
+          break;
+        case AggKind::kSum:
+          if (!a.seen) {
+            t.push_back(Value::Null());
+          } else if (ac.col >= 0 && ac.is_f64) {
+            t.push_back(Value(a.dsum));
+          } else {
+            t.push_back(Value(a.isum));
+          }
+          break;
+        case AggKind::kAvg: {
+          if (!a.seen) {
+            t.push_back(Value::Null());
+            break;
+          }
+          const double total =
+              ac.col >= 0 && ac.is_f64 ? a.dsum : static_cast<double>(a.isum);
+          t.push_back(Value(total / static_cast<double>(a.count)));
+          break;
+        }
+        case AggKind::kMin:
+        case AggKind::kMax:
+          if (!a.has_best) {
+            t.push_back(Value::Null());
+          } else if (ac.is_f64) {
+            t.push_back(Value(a.dbest));
+          } else {
+            t.push_back(Value(a.ibest));
+          }
+          break;
+      }
+    }
+    rows.push_back(std::move(t));
+  }
+  out->mutable_rows() = std::move(rows);
+  CountBatches(ctx, batches);
+  return true;
+}
+
+}  // namespace gpr::ra::vec

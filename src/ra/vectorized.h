@@ -1,0 +1,87 @@
+// Vectorized batch execution over the typed columnar image (ra/column.h).
+//
+// Each vec::Try* entry point is a shape-gated fast path for one hot
+// operator: it executes over fixed-size column batches (kVectorBatchRows)
+// with unboxed typed inner loops, and is row-identical — order included —
+// to the row-at-a-time operator it shadows. When the input shape doesn't
+// bind (mixed-type columns, non-batchable expressions, multi-column keys,
+// parallel admission where only the row path has a morsel leg), the entry
+// point returns false and the caller runs the row path, which stays fully
+// intact as the differential oracle.
+//
+// The knob chain mirrors the CSR kernels exactly (docs/performance.md):
+// EvalContext::vectors non-null = vectorize on; EngineProfile::vectorized
+// → WithPlusQuery/AlgoOptions overrides → SQL `vectorize on|off`.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ra/aggregate.h"
+#include "ra/column.h"
+#include "ra/expr.h"
+#include "ra/table.h"
+#include "util/status.h"
+
+namespace gpr::ra {
+
+/// Observability for the vectorized path, owned by the fixpoint driver and
+/// surfaced through ExecCounters (vector_batches / vector_fallbacks). Its
+/// presence on EvalContext doubles as the on/off knob, like KernelCounters
+/// does for the CSR kernels.
+struct VectorCounters {
+  size_t vector_batches = 0;    ///< column batches executed vectorized
+  size_t vector_fallbacks = 0;  ///< operator calls that fell back to rows
+};
+
+namespace vec {
+
+/// σ over column batches. `out` must be constructed with the output name
+/// and schema; on true it holds the full result. Serial and morsel-parallel
+/// legs mirror the row operator's admission exactly.
+Result<bool> TrySelect(const Table& in, const CompiledExpr& pred,
+                       EvalContext* ctx, Table* out);
+
+/// Π over column batches: every item must be a bare column passthrough
+/// (any representation) or a batchable expression. Serial only — parallel
+/// admission falls back to the row operator's morsel leg. On success the
+/// output table also adopts the typed columns built alongside its rows.
+Result<bool> TryProject(const Table& in,
+                        const std::vector<CompiledExpr>& exprs,
+                        EvalContext* ctx, Table* out);
+
+/// Serial hash-join fast path: single int64-typed key pair, no residual.
+/// Builds (or reuses, via the plan cache under "hjv:") an unboxed int64
+/// key map over `r` and probes `l`'s key column batch-wise. NULL keys are
+/// skipped on both sides, match lists are in increasing row order, and
+/// output is l-row-order × match-order — exactly the row path's contract.
+Result<bool> TryHashJoin(const Table& l, const Table& r,
+                         const std::vector<size_t>& lkeys,
+                         const std::vector<size_t>& rkeys, bool cache_build,
+                         EvalContext* ctx, Table* out);
+
+/// Serial group-by fast path: single non-null int64 group key, aggregates
+/// limited to count(*) and sum/min/max/count/avg over bare int64/double
+/// columns. Folds replicate Accumulator bit-for-bit (integer sums stay
+/// integral; double sums accumulate in row order; min/max keep the first
+/// of ties) and groups emit in first-appearance order.
+Result<bool> TryGroupBy(const Table& in, const std::vector<size_t>& gidx,
+                        const std::vector<AggSpec>& aggs,
+                        const std::vector<std::optional<CompiledExpr>>& args,
+                        EvalContext* ctx, Table* out);
+
+/// Bumps the fallback counter when the vectorized path was on but a Try*
+/// declined; callers use this to keep accounting in one place.
+inline void CountFallback(EvalContext* ctx) {
+  if (ctx != nullptr && ctx->vectors != nullptr) {
+    ++ctx->vectors->vector_fallbacks;
+  }
+}
+
+/// True when the vectorized path is enabled on this context.
+inline bool Enabled(const EvalContext* ctx) {
+  return ctx != nullptr && ctx->vectors != nullptr;
+}
+
+}  // namespace vec
+}  // namespace gpr::ra

@@ -91,6 +91,7 @@ struct WithStatementAst {
   int plan_cache = -1;      ///< `cache on|off`; -1 = inherit profile
   int plan_facts = -1;      ///< `facts on|off`; -1 = inherit profile
   int csr_kernels = -1;     ///< `kernels on|off`; -1 = inherit profile
+  int vectorized = -1;      ///< `vectorize on|off`; -1 = inherit profile
   int checkpoint_every = -1;  ///< `checkpoint every N`; -1 = inherit profile
   std::optional<SelectCore> final_select;
 };

@@ -455,6 +455,10 @@ Result<BoundWithStatement> BindWithStatement(const WithStatementAst& ast,
   // path is guaranteed row-identical to the generic one, so this is pure
   // physical tuning as well.
   q.csr_kernels = ast.csr_kernels;
+  // `vectorize on|off` batch-execution toggle (ra/vectorized.h); the
+  // batch path is guaranteed row-identical to row-at-a-time, so this is
+  // pure physical tuning as well.
+  q.vectorized = ast.vectorized;
   // `checkpoint every N` fixpoint-snapshot cadence (docs/robustness.md);
   // N = 0 turns checkpointing off explicitly, -1 inherits the profile.
   if (ast.checkpoint_every < -1 || ast.checkpoint_every > 32767) {

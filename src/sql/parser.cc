@@ -13,8 +13,8 @@ bool IsKeyword(const std::string& lower) {
       "union",  "all",      "as",    "with",   "recursive",    "and",
       "or",     "not",      "in",    "is",     "null",         "update",
       "computed", "maxrecursion", "exists", "maxtime",      "maxrows",
-      "maxbytes", "parallel", "cache", "facts", "kernels", "checkpoint",
-      "every"};
+      "maxbytes", "parallel", "cache", "facts", "kernels", "vectorize",
+      "checkpoint", "every"};
   for (const char* k : kKeywords) {
     if (lower == k) return true;
   }
@@ -66,11 +66,13 @@ class Parser {
     // (quiet cap), the governor budgets maxtime/maxrows/maxbytes, the
     // degree-of-parallelism hint `parallel N`, the plan-state cache
     // toggle `cache on|off`, the plan-facts toggle `facts on|off`, the
-    // CSR-kernel toggle `kernels on|off` (docs/performance.md), and the
-    // checkpoint cadence `checkpoint every N` (docs/robustness.md).
+    // CSR-kernel toggle `kernels on|off` (docs/performance.md), the
+    // vectorized-batch toggle `vectorize on|off` (ra/vectorized.h), and
+    // the checkpoint cadence `checkpoint every N` (docs/robustness.md).
     bool saw_maxrecursion = false, saw_maxtime = false, saw_maxrows = false,
          saw_maxbytes = false, saw_parallel = false, saw_cache = false,
-         saw_facts = false, saw_kernels = false, saw_checkpoint = false;
+         saw_facts = false, saw_kernels = false, saw_vectorize = false,
+         saw_checkpoint = false;
     auto dup = [](const char* opt) {
       return Status::ParseError(std::string("duplicate option '") + opt +
                                 "' in with+ statement");
@@ -141,6 +143,18 @@ class Parser {
         } else {
           return Status::ParseError(
               "expected 'on' or 'off' after 'kernels' near offset " +
+              std::to_string(Peek().offset));
+        }
+      } else if (AcceptKeyword("vectorize")) {
+        if (saw_vectorize) return dup("vectorize");
+        saw_vectorize = true;
+        if (AcceptKeyword("on")) {
+          stmt.vectorized = 1;
+        } else if (AcceptKeyword("off")) {
+          stmt.vectorized = 0;
+        } else {
+          return Status::ParseError(
+              "expected 'on' or 'off' after 'vectorize' near offset " +
               std::to_string(Peek().offset));
         }
       } else {

@@ -1,0 +1,504 @@
+// Differential tests for columnar storage + vectorized batch execution
+// (ra/column.h, ra/vectorized.h, docs/performance.md). The contract is
+// the same one the CSR kernels live under: the batch path must be
+// *row-identical* — order included — to the row-at-a-time oracle for
+// every converted operator, DOP, cache setting, and for every evaluation
+// algorithm end to end. Shapes the batch evaluator cannot bind (boxed
+// columns, unsupported expressions) must fall back to the oracle and say
+// so through VectorCounters::vector_fallbacks.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algos/common.h"
+#include "algos/registry.h"
+#include "core/explain.h"
+#include "core/union_by_update.h"
+#include "core/with_plus.h"
+#include "graph/generators.h"
+#include "ra/column.h"
+#include "ra/operators.h"
+#include "ra/plan_cache.h"
+#include "ra/vectorized.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace gpr {
+namespace {
+
+namespace ops = ra::ops;
+using gpr::testing::MakeCatalog;
+using ra::Col;
+using ra::ColumnStore;
+using ra::ColumnVec;
+using ra::Lit;
+using ra::Schema;
+using ra::Table;
+using ra::Value;
+using ra::ValueType;
+using ra::VectorCounters;
+
+void ExpectRowsIdentical(const Table& a, const Table& b,
+                         const std::string& label) {
+  ASSERT_EQ(a.NumRows(), b.NumRows()) << label;
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    EXPECT_TRUE(a.row(i) == b.row(i)) << label << ": row " << i << " differs";
+  }
+}
+
+/// A numeric fixture wide enough to span several 2048-row batches, with
+/// NULL holes in every column so the bitmap paths run.
+Table NumericTable(const std::string& name, size_t n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Table t(name, Schema{{"id", ValueType::kInt64},
+                       {"x", ValueType::kInt64},
+                       {"y", ValueType::kDouble}});
+  for (size_t i = 0; i < n; ++i) {
+    Value x = rng.NextBounded(17) == 0
+                  ? Value::Null()
+                  : Value(static_cast<int64_t>(rng.NextBounded(1000)));
+    Value y = rng.NextBounded(19) == 0 ? Value::Null()
+                                       : Value(rng.NextDouble() * 10.0);
+    t.AddRow({static_cast<int64_t>(i), x, y});
+  }
+  return t;
+}
+
+ra::EvalContext MakeCtx(int dop, VectorCounters* vc, ra::PlanCache* cache) {
+  ra::EvalContext ctx;
+  ctx.dop = dop;
+  ctx.min_parallel_rows = 1;  // admit the tiny fixtures
+  ctx.vectors = vc;
+  ctx.cache = cache;
+  return ctx;
+}
+
+// ------------------------------------------------------------ ColumnStore
+
+TEST(ColumnStore, ClassifiesRepsAndRoundTripsValues) {
+  Table t("t", Schema{{"i", ValueType::kInt64},
+                      {"d", ValueType::kDouble},
+                      {"s", ValueType::kString},
+                      {"m", ValueType::kString}});
+  t.AddRow({int64_t{1}, 1.5, "a", Value(int64_t{7})});
+  t.AddRow({int64_t{2}, 2.5, "b", Value("mix")});
+  t.AddRow({Value::Null(), Value::Null(), Value::Null(), Value::Null()});
+  const ColumnStore cols = ColumnStore::FromRows(t.schema(), t.rows());
+  EXPECT_EQ(cols.column(0).rep(), ColumnVec::Rep::kInt64);
+  EXPECT_EQ(cols.column(1).rep(), ColumnVec::Rep::kDouble);
+  EXPECT_EQ(cols.column(2).rep(), ColumnVec::Rep::kString);
+  EXPECT_EQ(cols.column(3).rep(), ColumnVec::Rep::kBoxed);  // int + string
+  for (size_t c = 0; c < 4; ++c) {
+    for (size_t r = 0; r < t.NumRows(); ++r) {
+      EXPECT_TRUE(cols.column(c).Get(r).Equals(t.row(r)[c]))
+          << "col " << c << " row " << r;
+    }
+  }
+}
+
+TEST(ColumnStore, NullBitmapSurvivesByteBoundaries) {
+  // Nulls straddling the 8-bit bitmap word edges (7/8, 15/16, 63/64).
+  Table t("t", Schema{{"v", ValueType::kInt64}});
+  for (int64_t i = 0; i < 70; ++i) {
+    if (i == 0 || i == 7 || i == 8 || i == 15 || i == 16 || i == 63 ||
+        i == 64 || i == 69) {
+      t.AddRow({Value::Null()});
+    } else {
+      t.AddRow({i});
+    }
+  }
+  const ColumnStore cols = ColumnStore::FromRows(t.schema(), t.rows());
+  const ColumnVec& c = cols.column(0);
+  EXPECT_EQ(c.rep(), ColumnVec::Rep::kInt64);  // nullable int stays typed
+  EXPECT_TRUE(c.has_nulls());
+  EXPECT_EQ(c.null_count(), 8u);
+  for (size_t i = 0; i < 70; ++i) {
+    EXPECT_EQ(c.IsNull(i), t.row(i)[0].is_null()) << i;
+    EXPECT_TRUE(c.Get(i).Equals(t.row(i)[0])) << i;
+  }
+}
+
+TEST(ColumnStore, TableCacheFollowsContentVersion) {
+  Table t("t", Schema{{"v", ValueType::kInt64}});
+  t.AddRow({int64_t{1}});
+  EXPECT_EQ(t.columns().NumRows(), 1u);
+  t.AddRow({int64_t{2}});  // bumps the content version
+  EXPECT_EQ(t.columns().NumRows(), 2u);
+  EXPECT_TRUE(t.columns().column(0).Get(1).Equals(Value(int64_t{2})));
+}
+
+// --------------------------------------------- operator-level identity
+
+TEST(VecSelect, RowIdenticalAcrossDopAndCache) {
+  const Table in = NumericTable("T", 6000, 7);
+  const auto pred = ra::And(ra::Gt(ra::Add(Col("x"), ra::Mul(Col("y"), Lit(Value(2.0)))),
+                                   Lit(Value(400.0))),
+                            ra::IsNotNull(Col("x")));
+  for (int dop : {1, 4}) {
+    for (int cache : {0, 1}) {
+      ra::PlanCache pc;
+      auto off_ctx = MakeCtx(dop, nullptr, cache ? &pc : nullptr);
+      auto oracle = ops::Select(in, pred, &off_ctx);
+      ASSERT_TRUE(oracle.ok()) << oracle.status();
+
+      VectorCounters vc;
+      ra::PlanCache pc2;
+      auto on_ctx = MakeCtx(dop, &vc, cache ? &pc2 : nullptr);
+      auto vecres = ops::Select(in, pred, &on_ctx);
+      ASSERT_TRUE(vecres.ok()) << vecres.status();
+      ExpectRowsIdentical(*oracle, *vecres,
+                          "select dop " + std::to_string(dop) + " cache " +
+                              std::to_string(cache));
+      EXPECT_GT(vc.vector_batches, 0u);
+      EXPECT_EQ(vc.vector_fallbacks, 0u);
+    }
+  }
+}
+
+TEST(VecSelect, KleeneLogicAndNullTestsMatchOracle) {
+  const Table in = NumericTable("T", 3000, 21);
+  const std::vector<ra::ExprPtr> preds = {
+      ra::Or(ra::IsNull(Col("x")), ra::Lt(Col("x"), Col("y"))),
+      ra::Not(ra::Ge(Col("y"), Lit(Value(5.0)))),
+      ra::Eq(ra::Binary(ra::BinaryOp::kMod, Col("x"), Lit(Value(int64_t{7}))),
+             Lit(Value(int64_t{0}))),
+      ra::Gt(ra::Neg(Col("x")), Lit(Value(int64_t{-100}))),
+      ra::And(Col("x"), ra::Or(Col("y"), ra::IsNull(Col("y")))),
+  };
+  for (const auto& pred : preds) {
+    auto off_ctx = MakeCtx(1, nullptr, nullptr);
+    auto oracle = ops::Select(in, pred, &off_ctx);
+    ASSERT_TRUE(oracle.ok()) << oracle.status();
+    VectorCounters vc;
+    auto on_ctx = MakeCtx(1, &vc, nullptr);
+    auto vecres = ops::Select(in, pred, &on_ctx);
+    ASSERT_TRUE(vecres.ok()) << vecres.status();
+    ExpectRowsIdentical(*oracle, *vecres, "kleene select");
+    EXPECT_GT(vc.vector_batches, 0u);
+  }
+}
+
+TEST(VecProject, RowIdenticalWithPassthroughAndArithmetic) {
+  Table in = NumericTable("T", 5000, 3);
+  // A string column rides along to exercise typed pass-through.
+  Table wide("T", Schema{{"id", ValueType::kInt64},
+                         {"x", ValueType::kInt64},
+                         {"y", ValueType::kDouble},
+                         {"tag", ValueType::kString}});
+  for (size_t i = 0; i < in.NumRows(); ++i) {
+    auto row = in.row(i);
+    row.push_back(i % 13 == 0 ? Value::Null()
+                              : Value("t" + std::to_string(i % 5)));
+    wide.AddRow(std::move(row));
+  }
+  const std::vector<ra::ops::ProjectItem> items = {
+      ops::As(Col("id"), "id"),
+      ops::As(ra::Div(Col("x"), Lit(Value(int64_t{3}))), "q"),
+      ops::As(ra::Sub(Col("y"), Col("x")), "d"),
+      ops::As(Col("tag"), "tag"),
+  };
+  for (int dop : {1, 4}) {
+    auto off_ctx = MakeCtx(dop, nullptr, nullptr);
+    auto oracle = ops::Project(wide, items, &off_ctx);
+    ASSERT_TRUE(oracle.ok()) << oracle.status();
+    VectorCounters vc;
+    auto on_ctx = MakeCtx(dop, &vc, nullptr);
+    auto vecres = ops::Project(wide, items, &on_ctx);
+    ASSERT_TRUE(vecres.ok()) << vecres.status();
+    ExpectRowsIdentical(*oracle, *vecres, "project dop " + std::to_string(dop));
+    if (dop == 1) {
+      EXPECT_GT(vc.vector_batches, 0u);
+      EXPECT_EQ(vc.vector_fallbacks, 0u);
+    }
+  }
+}
+
+Table KeyedTable(const std::string& name, size_t n, int key_mod,
+                 uint64_t seed, bool with_null_keys) {
+  Xoshiro256 rng(seed);
+  Table t(name, Schema{{"k", ValueType::kInt64}, {"w", ValueType::kDouble}});
+  for (size_t i = 0; i < n; ++i) {
+    Value k = with_null_keys && rng.NextBounded(23) == 0
+                  ? Value::Null()
+                  : Value(static_cast<int64_t>(rng.NextBounded(key_mod)));
+    t.AddRow({k, rng.NextDouble()});
+  }
+  return t;
+}
+
+TEST(VecHashJoin, RowIdenticalAcrossDopAndCache) {
+  const Table l = KeyedTable("L", 4000, 500, 5, /*with_null_keys=*/true);
+  const Table r = KeyedTable("R", 1500, 500, 6, /*with_null_keys=*/true);
+  for (int dop : {1, 4}) {
+    for (int cache : {0, 1}) {
+      ra::ops::JoinOptions o_off;
+      o_off.cache_build = cache != 0;
+      ra::PlanCache pc;
+      auto off_ctx = MakeCtx(dop, nullptr, cache ? &pc : nullptr);
+      o_off.ctx = &off_ctx;
+      auto oracle = ops::JoinWithOptions(l, r, {{"k"}, {"k"}}, o_off);
+      ASSERT_TRUE(oracle.ok()) << oracle.status();
+
+      ra::ops::JoinOptions o_on = o_off;
+      VectorCounters vc;
+      ra::PlanCache pc2;
+      auto on_ctx = MakeCtx(dop, &vc, cache ? &pc2 : nullptr);
+      o_on.ctx = &on_ctx;
+      // Run twice when caching so the second probe hits the cached build.
+      auto vecres = ops::JoinWithOptions(l, r, {{"k"}, {"k"}}, o_on);
+      ASSERT_TRUE(vecres.ok()) << vecres.status();
+      if (cache) {
+        vecres = ops::JoinWithOptions(l, r, {{"k"}, {"k"}}, o_on);
+        ASSERT_TRUE(vecres.ok()) << vecres.status();
+      }
+      ExpectRowsIdentical(*oracle, *vecres,
+                          "hash join dop " + std::to_string(dop) + " cache " +
+                              std::to_string(cache));
+      if (dop == 1) EXPECT_GT(vc.vector_batches, 0u);
+    }
+  }
+}
+
+TEST(VecGroupBy, RowIdenticalForAllAggregateKinds) {
+  const Table in = KeyedTable("G", 5000, 120, 9, /*with_null_keys=*/false);
+  const std::vector<ra::AggSpec> aggs = {
+      {ra::AggKind::kCount, nullptr, "n"},
+      {ra::AggKind::kSum, Col("w"), "s"},
+      {ra::AggKind::kMin, Col("w"), "lo"},
+      {ra::AggKind::kMax, Col("w"), "hi"},
+      {ra::AggKind::kAvg, Col("w"), "a"},
+      {ra::AggKind::kCount, Col("k"), "nk"},
+  };
+  for (int dop : {1, 4}) {
+    auto off_ctx = MakeCtx(dop, nullptr, nullptr);
+    auto oracle = ops::GroupBy(in, {"k"}, aggs, &off_ctx);
+    ASSERT_TRUE(oracle.ok()) << oracle.status();
+    VectorCounters vc;
+    auto on_ctx = MakeCtx(dop, &vc, nullptr);
+    auto vecres = ops::GroupBy(in, {"k"}, aggs, &on_ctx);
+    ASSERT_TRUE(vecres.ok()) << vecres.status();
+    ExpectRowsIdentical(*oracle, *vecres, "group-by dop " + std::to_string(dop));
+    if (dop == 1) {
+      EXPECT_GT(vc.vector_batches, 0u);
+      EXPECT_EQ(vc.vector_fallbacks, 0u);
+    }
+  }
+}
+
+TEST(VecUnionByUpdate, FullOuterJoinMergeMatchesOracle) {
+  const Table r = KeyedTable("Rk", 4000, 900, 11, /*with_null_keys=*/false);
+  Table s("S", r.schema());
+  Xoshiro256 rng(12);
+  for (size_t i = 0; i < 2000; ++i) {
+    s.AddRow({static_cast<int64_t>(rng.NextBounded(1200)), rng.NextDouble()});
+  }
+  core::UbuStats off_stats;
+  auto oracle = core::UnionByUpdate(r, s, {"k"},
+                                    core::UnionByUpdateImpl::kFullOuterJoin,
+                                    core::OracleLike(), &off_stats);
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+
+  VectorCounters vc;
+  auto ctx = MakeCtx(1, &vc, nullptr);
+  core::UbuStats on_stats;
+  auto vecres = core::UnionByUpdate(r, s, {"k"},
+                                    core::UnionByUpdateImpl::kFullOuterJoin,
+                                    core::OracleLike(), &on_stats, &ctx);
+  ASSERT_TRUE(vecres.ok()) << vecres.status();
+  ExpectRowsIdentical(*oracle, *vecres, "ubu full-outer-join");
+  EXPECT_EQ(off_stats.updated, on_stats.updated);
+  EXPECT_EQ(off_stats.inserted, on_stats.inserted);
+  EXPECT_EQ(off_stats.changed, on_stats.changed);
+  EXPECT_GT(vc.vector_batches, 0u);
+}
+
+// ------------------------------------------------------- boxed fallback
+
+TEST(VecFallback, BoxedColumnFallsBackAndCounts) {
+  Table in("T", Schema{{"v", ValueType::kString}});
+  in.AddRow({Value(int64_t{1})});
+  in.AddRow({Value("two")});  // mixed types → boxed column
+  for (int i = 0; i < 100; ++i) in.AddRow({Value(int64_t{i})});
+  const auto pred = ra::IsNotNull(Col("v"));
+  // IS NOT NULL never reads values, so even a boxed column binds (the
+  // bitmap is rep-independent); a value-reading predicate must not.
+  VectorCounters vc;
+  auto ctx = MakeCtx(1, &vc, nullptr);
+  auto r1 = ops::Select(in, pred, &ctx);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_GT(vc.vector_batches, 0u);
+
+  VectorCounters vc2;
+  auto ctx2 = MakeCtx(1, &vc2, nullptr);
+  const auto value_pred = ra::Eq(Col("v"), Lit(Value(int64_t{1})));
+  auto off_ctx = MakeCtx(1, nullptr, nullptr);
+  auto oracle = ops::Select(in, value_pred, &off_ctx);
+  ASSERT_TRUE(oracle.ok());
+  auto vecres = ops::Select(in, value_pred, &ctx2);
+  ASSERT_TRUE(vecres.ok());
+  ExpectRowsIdentical(*oracle, *vecres, "boxed fallback select");
+  EXPECT_EQ(vc2.vector_batches, 0u);
+  EXPECT_GT(vc2.vector_fallbacks, 0u);
+}
+
+// ------------------------------------------------ algorithm differential
+
+TEST(VecAlgorithms, VectorizeOnIsRowIdenticalToOffForAllTen) {
+  graph::Graph er = graph::ErdosRenyi(120, 480, 11);
+  graph::Graph dag = graph::RandomDag(120, 360, 11);
+  graph::AttachRandomNodeData(&er, 31);  // labels for LP / KS
+  graph::AttachRandomNodeData(&dag, 31);
+  for (const auto& entry : algos::EvaluationSet(/*include_toposort=*/true)) {
+    const graph::Graph& g = entry.needs_dag ? dag : er;
+    for (int dop : {1, 4}) {
+      algos::AlgoOptions off;
+      off.fault_spec = "none";
+      off.degree_of_parallelism = dop;
+      off.vectorized = 0;
+      off.profile.vectorized = false;  // HITS' mutual fixpoint reads it
+      off.profile.parallel_min_rows = 1;
+      algos::AlgoOptions on = off;
+      on.vectorized = 1;
+      on.profile.vectorized = true;
+      auto c_off = MakeCatalog(g);
+      auto r_off = entry.run(c_off, off);
+      ASSERT_TRUE(r_off.ok()) << entry.abbrev << ": " << r_off.status();
+      auto c_on = MakeCatalog(g);
+      auto r_on = entry.run(c_on, on);
+      ASSERT_TRUE(r_on.ok()) << entry.abbrev << ": " << r_on.status();
+      ExpectRowsIdentical(r_off->table, r_on->table,
+                          entry.abbrev + " dop " + std::to_string(dop));
+    }
+  }
+}
+
+TEST(VecAlgorithms, ComposesWithKernelsEitherWay) {
+  const graph::Graph g = graph::ErdosRenyi(150, 600, 17);
+  for (const char* abbrev : {"SSSP", "PR"}) {
+    auto entry = algos::AlgoByAbbrev(abbrev);
+    ASSERT_TRUE(entry.ok());
+    algos::AlgoOptions base;
+    base.fault_spec = "none";
+    base.profile.parallel_min_rows = 1;
+    Table reference("", Schema{});
+    bool first = true;
+    for (int kernels : {0, 1}) {
+      for (int vec : {0, 1}) {
+        algos::AlgoOptions opt = base;
+        opt.csr_kernels = kernels;
+        opt.profile.csr_kernels = kernels != 0;
+        opt.vectorized = vec;
+        opt.profile.vectorized = vec != 0;
+        auto catalog = MakeCatalog(g);
+        auto r = entry->run(catalog, opt);
+        ASSERT_TRUE(r.ok()) << abbrev << ": " << r.status();
+        if (first) {
+          reference = r->table;
+          first = false;
+        } else {
+          ExpectRowsIdentical(reference, r->table,
+                              std::string(abbrev) + " kernels " +
+                                  std::to_string(kernels) + " vec " +
+                                  std::to_string(vec));
+        }
+      }
+    }
+  }
+}
+
+TEST(VecAlgorithms, CountersSurfaceThroughWithPlusStats) {
+  const graph::Graph g = graph::ErdosRenyi(100, 400, 13);
+  for (const char* abbrev : {"WCC", "SSSP", "PR"}) {
+    auto entry = algos::AlgoByAbbrev(abbrev);
+    ASSERT_TRUE(entry.ok());
+    algos::AlgoOptions opt;
+    opt.fault_spec = "none";
+    opt.vectorized = 1;
+    auto catalog = MakeCatalog(g);
+    auto result = entry->run(catalog, opt);
+    ASSERT_TRUE(result.ok()) << abbrev << ": " << result.status();
+    EXPECT_GT(result->counters.vector_batches, 0u) << abbrev;
+
+    algos::AlgoOptions off = opt;
+    off.vectorized = 0;
+    off.profile.vectorized = false;
+    auto catalog2 = MakeCatalog(g);
+    auto r2 = entry->run(catalog2, off);
+    ASSERT_TRUE(r2.ok());
+    EXPECT_EQ(r2->counters.vector_batches, 0u) << abbrev;
+    EXPECT_EQ(r2->counters.vector_fallbacks, 0u) << abbrev;
+  }
+}
+
+// ------------------------------------------------------------ SQL surface
+
+TEST(VecSql, VectorizeOptionParsesAndBinds) {
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) vectorize off)");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  EXPECT_EQ(ast->vectorized, 0);
+  auto catalog = MakeCatalog(gpr::testing::TinyGraph());
+  auto bound = sql::BindWithStatement(*ast, catalog);
+  ASSERT_TRUE(bound.ok()) << bound.status();
+  EXPECT_EQ(bound->query.vectorized, 0);
+
+  auto on = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) vectorize on kernels off)");
+  ASSERT_TRUE(on.ok()) << on.status();
+  EXPECT_EQ(on->vectorized, 1);
+  EXPECT_EQ(on->csr_kernels, 0);
+}
+
+TEST(VecSql, DuplicateVectorizeOptionIsAParseError) {
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) vectorize on vectorize off)");
+  ASSERT_FALSE(ast.ok());
+  EXPECT_EQ(ast.status().code(), StatusCode::kParseError);
+}
+
+TEST(VecSql, MissingOnOffAfterVectorizeIsAParseError) {
+  auto ast = sql::ParseWithStatement(
+      "with R(F, T) as ((select F, T from E) union (select R.F, E.T from R, "
+      "E where R.T = E.F) vectorize sometimes)");
+  ASSERT_FALSE(ast.ok());
+  EXPECT_EQ(ast.status().code(), StatusCode::kParseError);
+}
+
+// ---------------------------------------------------------------- explain
+
+TEST(VecExplain, KnobLineAndVectorMarkers) {
+  auto catalog = MakeCatalog(gpr::testing::TinyGraph());
+  core::WithPlusQuery q;
+  q.rec_name = "R";
+  q.rec_schema = Schema{{"F", ValueType::kInt64}, {"T", ValueType::kInt64}};
+  q.init.push_back({core::ProjectOp(core::Scan("E"),
+                                    {ops::As(Col("F"), "F"),
+                                     ops::As(Col("T"), "T")}),
+                    {}});
+  q.recursive.push_back(
+      {core::ProjectOp(
+           core::SelectOp(
+               core::JoinOp(core::Scan("R"), core::Scan("E"), {{"T"}, {"F"}}),
+               ra::Lt(Col("R.F"), Lit(Value(int64_t{100})))),
+           {ops::As(Col("R.F"), "F"), ops::As(Col("E.T"), "T")}),
+       {}});
+  q.mode = core::UnionMode::kUnionAll;
+
+  std::string on = core::ExplainWithPlus(q, catalog, core::OracleLike());
+  EXPECT_NE(on.find("vectorized: on"), std::string::npos) << on;
+  EXPECT_NE(on.find("[vector]"), std::string::npos) << on;
+
+  q.vectorized = 0;
+  std::string off = core::ExplainWithPlus(q, catalog, core::OracleLike());
+  EXPECT_NE(off.find("vectorized: off"), std::string::npos) << off;
+  EXPECT_EQ(off.find("[vector]"), std::string::npos) << off;
+}
+
+}  // namespace
+}  // namespace gpr

@@ -104,6 +104,14 @@ int TestKernels() {
   return v != nullptr ? std::atoi(v) : -1;
 }
 
+/// Vectorized-batch override (GPR_TEST_VECTORIZE): same matrix idea as
+/// GPR_TEST_KERNELS for the column-batch execution path
+/// (ra/vectorized.h).
+int TestVectorize() {
+  const char* v = std::getenv("GPR_TEST_VECTORIZE");
+  return v != nullptr ? std::atoi(v) : -1;
+}
+
 /// TC over E; `spec` pins the fault-injection behaviour.
 WithPlusQuery TcQuery(UnionMode mode, const std::string& spec = "none") {
   WithPlusQuery q;
@@ -121,6 +129,7 @@ WithPlusQuery TcQuery(UnionMode mode, const std::string& spec = "none") {
   q.degree_of_parallelism = TestDop();
   q.plan_cache = TestCache();
   q.csr_kernels = TestKernels();
+  q.vectorized = TestVectorize();
   return q;
 }
 
@@ -466,6 +475,7 @@ TEST(Governor, AlgoOptionsThreadGovernanceThrough) {
   opt.cancel = CancellationToken();
   opt.governor.iteration_cap = 1;
   opt.csr_kernels = TestKernels();
+  opt.vectorized = TestVectorize();
   auto capped = algos::Wcc(catalog, opt);
   ASSERT_FALSE(capped.ok());
   EXPECT_EQ(capped.status().code(), StatusCode::kResourceExhausted);

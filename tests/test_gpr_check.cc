@@ -395,6 +395,36 @@ TEST(GprCheckC409, OtherArtifactKindsAreExempt) {
   EXPECT_FALSE(Has(f, "GPR-C409")) << FindingsToJson(f);
 }
 
+// GPR-C410 — ColumnStore growth goes through the batch API and is sealed
+// by FinishRows() before the store is read or adopted.
+
+TEST(GprCheckC410, SealedBatchGrowthIsClean) {
+  const auto f = CheckSourceText(
+      "src/ra/vectorized.cc",
+      "void Fill(ColumnStore* built) {\n"
+      "  ColumnVec* col = built->mutable_column(0);\n"
+      "  col->AppendInt64(1);\n"
+      "  built->FinishRows();\n"
+      "}\n");
+  EXPECT_FALSE(Has(f, "GPR-C410")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC410, UnsealedMutableColumnFires) {
+  const auto f = CheckSourceText(
+      "src/core/some_operator.cc",
+      "void Fill(ColumnStore* built) {\n"
+      "  built->mutable_column(0)->AppendInt64(1);\n"
+      "}\n");
+  EXPECT_TRUE(Has(f, "GPR-C410")) << FindingsToJson(f);
+}
+
+TEST(GprCheckC410, ColumnStoreImplementationIsExempt) {
+  const auto f = CheckSourceText(
+      "src/ra/column.h",
+      "ColumnVec* mutable_column(size_t c) { return &cols_[c]; }\n");
+  EXPECT_FALSE(Has(f, "GPR-C410")) << FindingsToJson(f);
+}
+
 TEST(GprCheckC408, SuppressionCommentIsHonoured) {
   const auto f = CheckSourceText(
       "src/ra/table_io.cc",

@@ -76,6 +76,12 @@ int TestKernels() {
   return v != nullptr ? std::atoi(v) : -1;
 }
 
+/// Vectorized-batch override (GPR_TEST_VECTORIZE, see test_governor.cc).
+int TestVectorize() {
+  const char* v = std::getenv("GPR_TEST_VECTORIZE");
+  return v != nullptr ? std::atoi(v) : -1;
+}
+
 /// Pins an environment variable for the lifetime of a test, restoring the
 /// previous value on destruction.
 class ScopedEnv {
@@ -130,6 +136,7 @@ WithPlusQuery TcQuery(UnionMode mode, const std::string& spec = "none") {
   q.degree_of_parallelism = TestDop();
   q.plan_cache = TestCache();
   q.csr_kernels = TestKernels();
+  q.vectorized = TestVectorize();
   return q;
 }
 
@@ -597,6 +604,7 @@ TEST(ChaosHarness, RetryWithResumeMakesMonotonicProgress) {
   options.plan_cache = TestCache();
   options.degree_of_parallelism = TestDop();
   options.csr_kernels = TestKernels();
+  options.vectorized = TestVectorize();
   options.retry.max_attempts = 20;
   options.retry.backoff_base_ms = 0;
   auto result = algos::RunWithPlus(q, catalog, options);
@@ -618,6 +626,7 @@ TEST(ChaosHarness, RetryWithoutCheckpointCannotPassRecurringFault) {
   options.plan_cache = TestCache();
   options.degree_of_parallelism = TestDop();
   options.csr_kernels = TestKernels();
+  options.vectorized = TestVectorize();
   options.retry.max_attempts = 4;
   options.retry.backoff_base_ms = 0;
   auto result = algos::RunWithPlus(q, catalog, options);

@@ -453,6 +453,33 @@ void CheckC409(const SourceFile& src, std::vector<Finding>* out) {
   }
 }
 
+// --- GPR-C410 ------------------------------------------------------------
+// Columnar stores grow through the batch append API and are sealed by
+// FinishRows(): a translation unit that takes mutable columns via
+// mutable_column() but never calls FinishRows() can leave the per-column
+// value buffers and null bitmaps at unequal lengths — MaterializeRow /
+// AdoptColumns would then read (or CHECK on) a torn store (ra/column.h).
+void CheckC410(const SourceFile& src, std::vector<Finding>* out) {
+  // The store's own implementation legitimately touches columns directly.
+  if (src.path.find("ra/column") != std::string::npos) return;
+  const std::string& code = src.code;
+  if (code.find("FinishRows") != std::string::npos) return;
+  size_t pos = 0;
+  while ((pos = code.find("mutable_column", pos)) != std::string::npos) {
+    if (pos > 0 && IsIdentChar(code[pos - 1])) {
+      pos += std::strlen("mutable_column");
+      continue;
+    }
+    Add(src, out, "GPR-C410", pos,
+        "ColumnStore grown via mutable_column() without a FinishRows() "
+        "seal — per-column buffers can end up at unequal lengths",
+        "append per batch, then call FinishRows() before the store is "
+        "read or adopted (ra/vectorized.cc TryProject is the reference "
+        "shape)");
+    pos += std::strlen("mutable_column");
+  }
+}
+
 }  // namespace
 
 size_t SourceFile::LineOf(size_t offset) const {
@@ -588,6 +615,7 @@ void CheckSource(const SourceFile& src, std::vector<Finding>* out) {
   CheckC407(src, out);
   CheckC408(src, out);
   CheckC409(src, out);
+  CheckC410(src, out);
 }
 
 std::vector<Finding> CheckSourceText(const std::string& path,
